@@ -1,0 +1,58 @@
+//! Criterion benchmarks comparing the MAC designs (the software-time
+//! companion of Tables 2/3): group MACs on mMAC, pMAC, bMAC and Laconic.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mri_hw::{BMac, LaconicPe, MacUnit, Mmac, PMac};
+use mri_quant::SdrEncoding;
+
+fn operands() -> (Vec<i64>, Vec<i64>) {
+    let w: Vec<i64> = (0..16).map(|i| ((i * 7) % 15) - 7).collect();
+    let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 15) - 7).collect();
+    (w, x)
+}
+
+fn bench_group_mac(c: &mut Criterion) {
+    let (w, x) = operands();
+    let mut group = c.benchmark_group("group_mac_g16");
+    group.bench_function("pmac", |b| {
+        let mut m = PMac::new();
+        b.iter(|| black_box(m.group_mac(black_box(&w), black_box(&x), 0)))
+    });
+    group.bench_function("bmac", |b| {
+        let mut m = BMac::new();
+        b.iter(|| black_box(m.group_mac(black_box(&w), black_box(&x), 0)))
+    });
+    for gamma_cfg in [(8usize, 2usize), (20, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new("mmac", format!("a{}b{}", gamma_cfg.0, gamma_cfg.1)),
+            &gamma_cfg,
+            |b, &(alpha, beta)| {
+                let mut m = Mmac::new(16, alpha, beta, SdrEncoding::Naf);
+                b.iter(|| black_box(m.group_mac(black_box(&w), black_box(&x), 0)))
+            },
+        );
+    }
+    group.bench_function("laconic", |b| {
+        let mut pe = LaconicPe::new();
+        b.iter(|| black_box(pe.dot(black_box(&w), black_box(&x))))
+    });
+    group.finish();
+}
+
+fn bench_energy_model(c: &mut Criterion) {
+    c.bench_function("table3_generation", |b| {
+        b.iter(|| {
+            black_box(mri_hw::energy::table3(
+                16,
+                &[16, 20, 24, 28, 42, 48, 54, 60],
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_group_mac, bench_energy_model
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the quantization-aware layers: the software
+//! cost of the `UQ → SDR → TQ` forward pass at different resolutions (the
+//! Table 1 training-cost companion).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mri_core::{QConv2d, QLinear, QuantConfig, Resolution, ResolutionControl};
+use mri_nn::{Layer, Mode};
+use mri_tensor::conv::Conv2dCfg;
+use mri_tensor::init;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_qconv_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let control = Arc::new(ResolutionControl::default());
+    let mut conv = QConv2d::new(
+        &mut rng,
+        16,
+        16,
+        Conv2dCfg::same(3),
+        QuantConfig::paper_cnn(),
+        Arc::clone(&control),
+    );
+    let x = init::uniform(&mut rng, &[8, 16, 12, 12], 0.0, 1.0);
+    let mut group = c.benchmark_group("qconv2d_fwd_16x16x12x12");
+    for res in [
+        Resolution::Full,
+        Resolution::Tq { alpha: 8, beta: 2 },
+        Resolution::Tq { alpha: 20, beta: 3 },
+        Resolution::UqShared {
+            weight_bits: 3,
+            data_bits: 3,
+        },
+    ] {
+        group.bench_with_input(BenchmarkId::new("res", res.label()), &res, |b, &res| {
+            control.set_resolution(res);
+            b.iter(|| black_box(conv.forward(black_box(&x), Mode::Eval)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_qlinear_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let control = Arc::new(ResolutionControl::new(Resolution::Tq {
+        alpha: 20,
+        beta: 3,
+    }));
+    let mut lin = QLinear::new(
+        &mut rng,
+        256,
+        64,
+        QuantConfig::paper_cnn(),
+        Arc::clone(&control),
+    );
+    let x = init::uniform(&mut rng, &[32, 256], 0.0, 1.0);
+    let labels: Vec<usize> = (0..32).map(|i| i % 64).collect();
+    c.bench_function("qlinear_fwd_bwd_256x64", |b| {
+        b.iter(|| {
+            lin.visit_params(&mut |p| p.zero_grad());
+            let y = lin.forward(black_box(&x), Mode::Train);
+            let (_, g) = mri_nn::loss::cross_entropy(&y, &labels);
+            black_box(lin.backward(&g));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_qconv_forward, bench_qlinear_train_step
+}
+criterion_main!(benches);

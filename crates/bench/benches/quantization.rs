@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the quantization core: SDR encoders, group TQ
+//! and the real-valued TQ of Fig. 5(b).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mri_hw::SdrEncoderFsm;
+use mri_quant::{sdr, GroupTermQuantizer, MultiResGroup, SdrEncoding};
+
+fn bench_sdr_encodings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdr_encode");
+    let values: Vec<i64> = (0..256).collect();
+    for enc in [SdrEncoding::Unsigned, SdrEncoding::Naf, SdrEncoding::Booth] {
+        group.bench_with_input(
+            BenchmarkId::new("arith", format!("{enc:?}")),
+            &enc,
+            |b, &enc| {
+                b.iter(|| {
+                    for &v in &values {
+                        black_box(sdr::encode(black_box(v), enc));
+                    }
+                })
+            },
+        );
+    }
+    group.bench_function("fsm_naf_8bit", |b| {
+        b.iter(|| {
+            for v in 0..256i64 {
+                black_box(SdrEncoderFsm::new().encode_value(black_box(v), 8));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_group_tq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_tq");
+    let values: Vec<i64> = (0..16).map(|i| (i * 7 % 31) - 15).collect();
+    for (g, alpha) in [(8usize, 10usize), (16, 20), (16, 8)] {
+        let vals = &values[..g];
+        group.bench_with_input(
+            BenchmarkId::new("quantize", format!("g{g}_a{alpha}")),
+            &alpha,
+            |b, &alpha| {
+                let q = GroupTermQuantizer::new(g, alpha, SdrEncoding::Naf);
+                b.iter(|| black_box(q.quantize_i64(black_box(vals))))
+            },
+        );
+    }
+    group.bench_function("multires_values_at", |b| {
+        let g = MultiResGroup::from_values(&values, 20, SdrEncoding::Naf);
+        b.iter(|| {
+            for budget in [4usize, 8, 12, 16, 20] {
+                black_box(g.values_at(black_box(budget)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_tq_real(c: &mut Criterion) {
+    let samples = mri_data::images::normal_samples(1, 16 * 512, 0.0, 0.03);
+    c.bench_function("tq_real_rmse_g16", |b| {
+        b.iter(|| black_box(mri_quant::tq::tq_real_rmse(black_box(&samples), 16, 1.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sdr_encodings, bench_group_tq, bench_tq_real
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the systolic-array simulator and the system
+//! model (the Fig. 26 / Table 4 machinery).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mri_hw::{MmacSystem, NetworkWorkload, SystemConfig, SystolicArray};
+use mri_quant::SdrEncoding;
+
+fn bench_systolic_matmul(c: &mut Criterion) {
+    let (m, k, n) = (8usize, 64usize, 8usize);
+    let w: Vec<i64> = (0..m * k).map(|i| ((i * 7) % 15) as i64 - 7).collect();
+    let x: Vec<i64> = (0..k * n).map(|i| ((i * 5) % 15) as i64 - 7).collect();
+    let mut group = c.benchmark_group("systolic_matmul_8x64x8");
+    for (alpha, beta) in [(8usize, 2usize), (20, 3)] {
+        group.bench_with_input(
+            BenchmarkId::new("gamma", alpha * beta),
+            &(alpha, beta),
+            |b, &(alpha, beta)| {
+                let arr = SystolicArray::new(8, 4, 16, alpha, beta, SdrEncoding::Naf);
+                b.iter(|| black_box(arr.matmul(black_box(&w), k, black_box(&x), n)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_system_model(c: &mut Criterion) {
+    let sys = MmacSystem::new(SystemConfig::paper_vc707());
+    let nets = [
+        NetworkWorkload::resnet18(),
+        NetworkWorkload::resnet50(),
+        NetworkWorkload::yolov5s(),
+    ];
+    let mut group = c.benchmark_group("system_run");
+    for net in &nets {
+        group.bench_with_input(BenchmarkId::new("net", &net.name), net, |b, net| {
+            b.iter(|| black_box(sys.run(black_box(net), 20, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_systolic_matmul, bench_system_model
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the tensor substrate: matmul and conv2d, the
+//! kernels that dominate training time (Table 1's denominator).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mri_tensor::conv::{conv2d_forward, Conv2dCfg};
+use mri_tensor::{init, ops};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = init::normal(&mut rng, &[n, n], 0.0, 1.0);
+        let b = init::normal(&mut rng, &[n, n], 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("square", n), &n, |bch, _| {
+            bch.iter(|| black_box(ops::matmul(black_box(&a), black_box(&b))))
+        });
+    }
+    // The transposed variants backprop relies on.
+    let a = init::normal(&mut rng, &[64, 128], 0.0, 1.0);
+    let b = init::normal(&mut rng, &[64, 128], 0.0, 1.0);
+    group.bench_function("matmul_bt_64x128", |bch| {
+        bch.iter(|| black_box(ops::matmul_bt(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("matmul_at_64x128", |bch| {
+        bch.iter(|| black_box(ops::matmul_at(black_box(&a), black_box(&b))))
+    });
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = init::normal(&mut rng, &[8, 16, 12, 12], 0.0, 1.0);
+    let w = init::normal(&mut rng, &[16, 16, 3, 3], 0.0, 0.1);
+    c.bench_function("conv2d_16x16_12x12_b8", |b| {
+        b.iter(|| {
+            black_box(conv2d_forward(
+                black_box(&x),
+                black_box(&w),
+                Conv2dCfg::same(3),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv
+}
+criterion_main!(benches);

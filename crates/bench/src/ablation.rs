@@ -1,0 +1,249 @@
+//! Ablation studies on the design choices DESIGN.md calls out:
+//!
+//! * **training strategy** — Algorithm 1's two-model KD step vs the
+//!   joint-all-sub-models step the paper rejects (§4.2): per-iteration cost
+//!   as the number of sub-models grows;
+//! * **knowledge distillation** — λ = 0 (plain CE on the student) vs the
+//!   paper's combined loss;
+//! * **encoding** — term counts and accuracy under UBR / NAF / Booth /
+//!   radix-4 Booth operand encodings at a fixed term budget.
+
+use crate::train_exp::{cnn_specs, CnnScale};
+use crate::RunConfig;
+use mri_core::{MultiResTrainer, QuantConfig, ResolutionControl, SubModelSpec, TrainerConfig};
+use mri_data::SyntheticImages;
+use mri_models::MiniResNet;
+use mri_quant::{sdr, SdrEncoding};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One row of the training-strategy cost ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct StrategyCostRow {
+    /// Number of jointly supported sub-models.
+    pub sub_models: usize,
+    /// Seconds per iteration, Algorithm 1 (teacher + one student).
+    pub kd_pair_s: f64,
+    /// Seconds per iteration, joint-all training.
+    pub joint_all_s: f64,
+    /// Seconds per iteration, single-model training.
+    pub single_s: f64,
+}
+
+/// Measures per-iteration training cost for 2/4/8 sub-models: Algorithm 1
+/// stays ≈2× a single model while joint-all grows linearly (§4.2, §6.5).
+pub fn training_strategy_cost(cfg: RunConfig) -> Vec<StrategyCostRow> {
+    let scale = CnnScale::of(cfg);
+    let iters = if cfg.fast { 3 } else { 8 };
+    let qcfg = QuantConfig::paper_cnn();
+    let mut rows = Vec::new();
+    for n_specs in [2usize, 4, 8] {
+        let specs: Vec<SubModelSpec> = cnn_specs().into_iter().take(n_specs).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = MiniResNet::resnet18_like(&mut rng, scale.classes, qcfg, &control);
+        let mut tcfg = TrainerConfig::new(specs.clone());
+        tcfg.lr = scale.lr;
+        let mut trainer = MultiResTrainer::new(tcfg, Arc::clone(&control));
+        let mut data = SyntheticImages::new(cfg.seed, scale.classes, scale.img);
+        let batches: Vec<_> = (0..iters).map(|_| data.batch(scale.batch)).collect();
+
+        let t0 = Instant::now();
+        for (x, labels) in &batches {
+            trainer.train_step(&mut model, x, labels);
+        }
+        let kd_pair_s = t0.elapsed().as_secs_f64() / iters as f64;
+
+        let t0 = Instant::now();
+        for (x, labels) in &batches {
+            trainer.train_step_joint_all(&mut model, x, labels);
+        }
+        let joint_all_s = t0.elapsed().as_secs_f64() / iters as f64;
+
+        let t0 = Instant::now();
+        let res = specs.last().expect("non-empty").resolution();
+        for (x, labels) in &batches {
+            trainer.train_step_single(&mut model, x, labels, res);
+        }
+        let single_s = t0.elapsed().as_secs_f64() / iters as f64;
+
+        rows.push(StrategyCostRow {
+            sub_models: n_specs,
+            kd_pair_s,
+            joint_all_s,
+            single_s,
+        });
+    }
+    rows
+}
+
+/// One row of the KD ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct KdAblationRow {
+    /// KD weight λ.
+    pub lambda: f32,
+    /// Sub-model label.
+    pub setting: String,
+    /// Final accuracy.
+    pub accuracy: f32,
+}
+
+/// Trains the same multi-resolution model with and without the
+/// knowledge-distillation term and reports per-sub-model accuracy.
+pub fn kd_ablation(cfg: RunConfig) -> Vec<KdAblationRow> {
+    let scale = CnnScale::of(cfg);
+    let qcfg = QuantConfig::paper_cnn();
+    let specs = if cfg.fast {
+        cnn_specs()[..3].to_vec()
+    } else {
+        cnn_specs()
+    };
+    let eval = SyntheticImages::eval_set(cfg.seed, scale.classes, scale.img, scale.eval_n, 32);
+    let calib = {
+        let mut ds = SyntheticImages::new(cfg.seed ^ 0xca11, scale.classes, scale.img);
+        (0..30).map(|_| ds.batch(scale.batch).0).collect::<Vec<_>>()
+    };
+    let mut rows = Vec::new();
+    for lambda in [0.0f32, 1.0] {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = MiniResNet::mobilenet_like(&mut rng, scale.classes, qcfg, &control);
+        let mut tcfg = TrainerConfig::new(specs.clone());
+        tcfg.lr = scale.lr;
+        tcfg.kd_lambda = lambda;
+        tcfg.seed = cfg.seed;
+        let mut trainer = MultiResTrainer::new(tcfg, Arc::clone(&control));
+        let mut data = SyntheticImages::new(cfg.seed, scale.classes, scale.img);
+        for _ in 0..scale.steps {
+            let (x, labels) = data.batch(scale.batch);
+            trainer.train_step(&mut model, &x, &labels);
+        }
+        for &spec in &specs {
+            mri_core::training::calibrate_batchnorm(
+                &mut model,
+                &control,
+                spec.resolution(),
+                &calib,
+            );
+            let r = mri_core::training::evaluate_spec(&mut model, &control, spec, &eval);
+            rows.push(KdAblationRow {
+                lambda,
+                setting: spec.to_string(),
+                accuracy: r.accuracy,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the encoding ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct EncodingRow {
+    /// Encoding name.
+    pub encoding: String,
+    /// Mean nonzero terms per 5-bit weight value (lower = cheaper).
+    pub mean_terms: f64,
+    /// Accuracy of a multi-resolution model trained with this encoding,
+    /// evaluated at the most aggressive sub-model.
+    pub low_budget_accuracy: f32,
+}
+
+/// Compares operand encodings: term-count statistics on a realistic weight
+/// distribution plus end accuracy at a tight budget.
+pub fn encoding_ablation(cfg: RunConfig) -> Vec<EncodingRow> {
+    let scale = CnnScale::of(cfg);
+    let specs = if cfg.fast {
+        cnn_specs()[..2].to_vec()
+    } else {
+        cnn_specs()[..4].to_vec()
+    };
+    let eval = SyntheticImages::eval_set(cfg.seed, scale.classes, scale.img, scale.eval_n, 32);
+
+    // Term statistics over a 5-bit-quantized normal weight population.
+    let weights = mri_data::images::normal_samples(cfg.seed, 20_000, 0.0, 0.25);
+    let uq = mri_quant::UniformQuantizer::symmetric(5, 1.0);
+    let ints: Vec<i64> = weights.iter().map(|&w| uq.quantize(w)).collect();
+
+    let mut rows = Vec::new();
+    for (name, enc) in [
+        ("unsigned", SdrEncoding::Unsigned),
+        ("naf", SdrEncoding::Naf),
+        ("booth_r2", SdrEncoding::Booth),
+        ("booth_r4", SdrEncoding::Booth4),
+    ] {
+        let mean_terms = ints
+            .iter()
+            .map(|&v| sdr::term_count(v, enc) as f64)
+            .sum::<f64>()
+            / ints.len() as f64;
+
+        let mut qcfg = QuantConfig::paper_cnn();
+        qcfg.encoding = enc;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = MiniResNet::mobilenet_like(&mut rng, scale.classes, qcfg, &control);
+        let mut tcfg = TrainerConfig::new(specs.clone());
+        tcfg.lr = scale.lr;
+        let mut trainer = MultiResTrainer::new(tcfg, Arc::clone(&control));
+        let mut data = SyntheticImages::new(cfg.seed, scale.classes, scale.img);
+        let steps = scale.steps / 2;
+        for _ in 0..steps {
+            let (x, labels) = data.batch(scale.batch);
+            trainer.train_step(&mut model, &x, &labels);
+        }
+        let mut cal_ds = SyntheticImages::new(cfg.seed ^ 0xca11, scale.classes, scale.img);
+        let calib: Vec<_> = (0..30).map(|_| cal_ds.batch(scale.batch).0).collect();
+        let low = specs[0];
+        mri_core::training::calibrate_batchnorm(&mut model, &control, low.resolution(), &calib);
+        let r = mri_core::training::evaluate_spec(&mut model, &control, low, &eval);
+        rows.push(EncodingRow {
+            encoding: name.to_string(),
+            mean_terms,
+            low_budget_accuracy: r.accuracy,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_cost_orders_correctly() {
+        let rows = training_strategy_cost(RunConfig::fast());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.kd_pair_s < r.joint_all_s || r.sub_models <= 2,
+                "{} sub-models: KD pair {} vs joint {}",
+                r.sub_models,
+                r.kd_pair_s,
+                r.joint_all_s
+            );
+        }
+        // Joint-all cost must grow with the sub-model count; KD-pair must not
+        // grow anywhere near as fast.
+        let joint_growth = rows[2].joint_all_s / rows[0].joint_all_s;
+        let kd_growth = rows[2].kd_pair_s / rows[0].kd_pair_s;
+        assert!(joint_growth > 1.5, "joint growth {joint_growth}");
+        assert!(
+            kd_growth < joint_growth,
+            "kd {kd_growth} vs joint {joint_growth}"
+        );
+    }
+
+    #[test]
+    fn encoding_term_counts_ordered() {
+        let rows = encoding_ablation(RunConfig::fast());
+        let get = |n: &str| rows.iter().find(|r| r.encoding == n).unwrap().mean_terms;
+        // NAF is minimal; UBR never beats it; radix-2 Booth can be worse
+        // than UBR on alternating patterns.
+        assert!(get("naf") <= get("unsigned") + 1e-9);
+        assert!(get("naf") <= get("booth_r2") + 1e-9);
+        assert!(get("naf") <= get("booth_r4") + 1e-9);
+    }
+}

@@ -1,0 +1,454 @@
+//! The figure/table regeneration harness.
+//!
+//! ```text
+//! figures <experiment>... [--fast] [--seed N]
+//! figures all --fast
+//! ```
+//!
+//! Each experiment prints its table and writes `results/<name>.json`.
+
+use mri_bench::report::{f3, pct, print_table, write_json};
+use mri_bench::{hw_exp, quant_exp, train_exp, RunConfig};
+use mri_core::Resolution;
+use mri_nn::Layer;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let cfg = RunConfig { fast, seed };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            !a.starts_with("--")
+                && Some(a.as_str())
+                    != args
+                        .iter()
+                        .position(|x| x == "--seed")
+                        .and_then(|i| args.get(i + 1))
+                        .map(|s| s.as_str())
+        })
+        .map(|s| s.as_str())
+        .collect();
+    if wanted.is_empty() {
+        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|verify|summary|all> [--fast] [--seed N]");
+        std::process::exit(2);
+    }
+    let all = wanted.contains(&"all");
+    let want = |name: &str| all || wanted.contains(&name);
+
+    let started = Instant::now();
+    if want("fig5a") {
+        run_fig5a(cfg);
+    }
+    if want("fig5b") {
+        run_fig5b(cfg);
+    }
+    if want("fig19") {
+        run_accuracy("fig19", train_exp::fig19(cfg));
+    }
+    if want("fig20") {
+        run_fig20(cfg);
+    }
+    if want("fig21") {
+        run_accuracy("fig21", train_exp::fig21(cfg));
+    }
+    if want("fig22") {
+        let mut pts = train_exp::fig22_cnn(cfg);
+        pts.extend(train_exp::fig22_lstm(cfg));
+        pts.extend(train_exp::fig22_yolo(cfg));
+        run_accuracy("fig22", pts);
+    }
+    if want("table1") {
+        run_table1(cfg);
+    }
+    if want("fig23") {
+        run_accuracy("fig23", train_exp::fig23(cfg));
+    }
+    if want("fig24") {
+        run_accuracy("fig24", train_exp::fig24(cfg));
+    }
+    if want("table2") {
+        run_table2();
+    }
+    if want("table3") {
+        run_table3();
+    }
+    if want("laconic") {
+        run_laconic();
+    }
+    if want("fig26") {
+        run_fig26();
+    }
+    if want("table4") {
+        run_table4();
+    }
+    if want("ablation_strategy") {
+        run_ablation_strategy(cfg);
+    }
+    if want("ablation_kd") {
+        run_ablation_kd(cfg);
+    }
+    if want("ablation_encoding") {
+        run_ablation_encoding(cfg);
+    }
+    if want("dynamic") {
+        run_accuracy("dynamic", train_exp::dynamic_policy(cfg));
+    }
+    if want("summary") {
+        let claims = mri_bench::summary::check_claims(std::path::Path::new("results"));
+        let rows: Vec<Vec<String>> = claims
+            .iter()
+            .map(|c| {
+                vec![
+                    c.source.clone(),
+                    c.statement.clone(),
+                    format!("{:?}", c.verdict).to_uppercase(),
+                    c.detail.clone(),
+                ]
+            })
+            .collect();
+        print_table(
+            "Reproduction summary (claims vs measured artifacts)",
+            &["source", "claim", "verdict", "measured"],
+            &rows,
+        );
+        write_json("summary", &claims);
+    }
+    if want("verify") {
+        let trials = if cfg.fast { 10 } else { 40 };
+        let reports = mri_bench::verify::verify_all(cfg.seed + 99, trials);
+        let rows: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| {
+                vec![
+                    r.check.clone(),
+                    r.trials.to_string(),
+                    if r.ok() {
+                        "PASS".to_string()
+                    } else {
+                        format!("{} FAILURES", r.failures)
+                    },
+                ]
+            })
+            .collect();
+        print_table(
+            "Self-verification (random differential checks)",
+            &["check", "trials", "status"],
+            &rows,
+        );
+        write_json("verify", &reports);
+        if reports.iter().any(|r| !r.ok()) {
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "\nall requested experiments done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}
+
+fn run_ablation_strategy(cfg: RunConfig) {
+    let rows = mri_bench::ablation::training_strategy_cost(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.sub_models.to_string(),
+                format!("{:.3}s", r.kd_pair_s),
+                format!("{:.3}s", r.joint_all_s),
+                format!("{:.3}s", r.single_s),
+                format!("{:.2}x", r.kd_pair_s / r.single_s),
+                format!("{:.2}x", r.joint_all_s / r.single_s),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: per-iteration training cost by strategy (§4.2)",
+        &[
+            "sub-models",
+            "KD pair",
+            "joint-all",
+            "single",
+            "KD/single",
+            "joint/single",
+        ],
+        &table,
+    );
+    write_json("ablation_strategy", &rows);
+}
+
+fn run_ablation_kd(cfg: RunConfig) {
+    let rows = mri_bench::ablation::kd_ablation(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("λ={}", r.lambda),
+                r.setting.clone(),
+                pct(r.accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: knowledge distillation weight",
+        &["λ", "setting", "accuracy"],
+        &table,
+    );
+    write_json("ablation_kd", &rows);
+}
+
+fn run_ablation_encoding(cfg: RunConfig) {
+    let rows = mri_bench::ablation::encoding_ablation(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.encoding.clone(),
+                format!("{:.3}", r.mean_terms),
+                pct(r.low_budget_accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: operand encoding (mean terms / 5-bit value, low-budget accuracy)",
+        &["encoding", "mean terms", "low-budget acc"],
+        &table,
+    );
+    write_json("ablation_encoding", &rows);
+}
+
+fn run_fig5a(cfg: RunConfig) {
+    // Train a CNN briefly at full precision and fit a normal to a conv
+    // layer's weights (the paper reports N(0, 0.03) for ResNet-18 layer 13).
+    let scale = train_exp::CnnScale::of(cfg);
+    let (mut model, _) = train_exp::train_single_cnn(
+        "resnet18",
+        Resolution::Full,
+        scale,
+        mri_core::QuantConfig::paper_cnn(),
+        cfg.seed,
+    );
+    let mut weights: Vec<f32> = Vec::new();
+    model.visit_params(&mut |p| {
+        if p.value.shape().rank() == 4 {
+            weights.extend_from_slice(p.value.data());
+        }
+    });
+    let fit = quant_exp::fit_normal(&weights);
+    let hist = quant_exp::weight_histogram("conv weights", &weights, -0.3, 0.3, 40);
+    print_table(
+        "Fig. 5(a): trained conv-weight distribution",
+        &["statistic", "value"],
+        &[
+            vec!["count".to_string(), weights.len().to_string()],
+            vec!["MLE mean".to_string(), f3(fit.mean)],
+            vec!["MLE std".to_string(), f3(fit.std)],
+        ],
+    );
+    write_json("fig5a", &(fit, hist));
+}
+
+fn run_fig5b(cfg: RunConfig) {
+    let pts = quant_exp::fig5b(cfg.seed, if cfg.fast { 15 * 2000 } else { 15 * 20_000 });
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| vec![p.group_size.to_string(), format!("{:.5}", p.rmse)])
+        .collect();
+    print_table(
+        "Fig. 5(b): TQ RMSE vs group size (1 term/value, N(0, 0.03))",
+        &["g", "rmse"],
+        &rows,
+    );
+    write_json("fig5b", &pts);
+}
+
+fn run_fig20(cfg: RunConfig) {
+    let weights = mri_data::images::normal_samples(cfg.seed, 160_000, 0.0, 0.25);
+    let hists = quant_exp::fig20(&weights, 1.0);
+    let rows: Vec<Vec<String>> = hists
+        .iter()
+        .map(|h| vec![h.label.clone(), format!("{:.1}%", h.zero_fraction * 100.0)])
+        .collect();
+    print_table(
+        "Fig. 20: weight-value histograms (zero fraction)",
+        &["sub-model", "zeros"],
+        &rows,
+    );
+    write_json("fig20", &hists);
+}
+
+fn run_accuracy(name: &str, pts: Vec<train_exp::AccuracyPoint>) {
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.series.clone(),
+                p.setting.clone(),
+                p.gamma.to_string(),
+                p.term_pairs.to_string(),
+                if p.metric <= 0.0 {
+                    format!("ppl {:.2}", -p.metric)
+                } else {
+                    pct(p.metric)
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        name,
+        &["series", "setting", "γ", "term-pairs", "metric"],
+        &rows,
+    );
+    write_json(name, &pts);
+}
+
+fn run_table1(cfg: RunConfig) {
+    let rows = train_exp::table1(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                format!("{:.2}s", r.multi_res_epoch_s),
+                r.batch.to_string(),
+                r.sub_models.to_string(),
+                format!("{:.2}s", r.single_epoch_s),
+                format!("{:.2}x", r.ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: multi-resolution training cost",
+        &[
+            "model",
+            "multi-res epoch",
+            "batch",
+            "sub-models",
+            "single epoch",
+            "ratio",
+        ],
+        &table,
+    );
+    write_json("table1", &rows);
+}
+
+fn run_table2() {
+    let rows = hw_exp::table2();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.design.clone(), r.lut.to_string(), r.ff.to_string()])
+        .collect();
+    print_table(
+        "Table 2: MAC resource consumption",
+        &["design", "LUT", "FF"],
+        &table,
+    );
+    write_json("table2", &rows);
+}
+
+fn run_table3() {
+    let rows = hw_exp::table3();
+    let mut table = Vec::new();
+    for r in &rows {
+        let mut cells = vec![r.design.clone()];
+        cells.extend(r.efficiency.iter().map(|e| format!("{e:.2}x")));
+        table.push(cells);
+    }
+    let mut headers: Vec<String> = vec!["γ".to_string()];
+    headers.extend(hw_exp::TABLE3_GAMMAS.iter().map(|g| g.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Table 3: energy efficiency vs mMAC", &headers_ref, &table);
+    write_json("table3", &rows);
+}
+
+fn run_laconic() {
+    let rows = hw_exp::laconic_comparison();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.gamma.to_string(),
+                format!("{:.2}x", r.mmac_advantage),
+                r.laconic_term_pairs.to_string(),
+                r.mmac_term_pairs.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "§7.2: mMAC vs Laconic PE",
+        &[
+            "γ",
+            "mMAC energy advantage",
+            "Laconic term-pairs",
+            "mMAC term-pairs",
+        ],
+        &table,
+    );
+    write_json("laconic", &rows);
+}
+
+fn run_fig26() {
+    let pts = hw_exp::fig26();
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.network.clone(),
+                p.gamma.to_string(),
+                format!("{:.2}ms", p.latency_ms),
+                format!("{:.2}x", p.latency_norm),
+                format!("{:.1}/J", p.samples_per_joule),
+                format!("{:.2}x", p.efficiency_norm),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 26: system latency & efficiency vs γ (normalised to γ=16)",
+        &["network", "γ", "latency", "lat. norm", "eff.", "eff. norm"],
+        &rows,
+    );
+    write_json("fig26", &pts);
+}
+
+fn run_table4() {
+    let rows = hw_exp::table4_rows();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!(
+                    "{}{}",
+                    r.design,
+                    if r.measured {
+                        " (measured)"
+                    } else {
+                        " (cited)"
+                    }
+                ),
+                r.chip.clone(),
+                format!("{:.0}", r.frequency_mhz),
+                format!("{:.0}k", r.ff_k),
+                format!("{:.0}k", r.lut_k),
+                r.dsp.to_string(),
+                r.bram.to_string(),
+                format!("{:.2}ms", r.latency_ms),
+                format!("{:.2}", r.frames_per_joule),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4: FPGA accelerator comparison (ResNet-18)",
+        &[
+            "design", "chip", "MHz", "FF", "LUT", "DSP", "BRAM", "latency", "frames/J",
+        ],
+        &table,
+    );
+    write_json("table4", &rows);
+}

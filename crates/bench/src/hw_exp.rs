@@ -1,0 +1,202 @@
+//! Hardware experiments: Tables 2–4, the §7.2 Laconic comparison and
+//! Fig. 26, all produced by the `mri-hw` simulator and models.
+
+use mri_hw::energy::{efficiency_vs_mmac, mmac_vs_laconic, MacDesign};
+use mri_hw::system::{table4, Table4Row};
+use mri_hw::{cost, MmacSystem, NetworkWorkload, SystemConfig};
+use serde::Serialize;
+
+/// One Table 2 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Design name.
+    pub design: String,
+    /// LUTs.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+}
+
+/// Table 2: FPGA resource consumption of the MAC designs.
+pub fn table2() -> Vec<Table2Row> {
+    cost::table2()
+        .into_iter()
+        .map(|(design, lut, ff)| Table2Row {
+            design: design.to_string(),
+            lut,
+            ff,
+        })
+        .collect()
+}
+
+/// One Table 3 row: energy-efficiency relative to the mMAC per γ.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Design name.
+    pub design: String,
+    /// γ values (columns).
+    pub gammas: Vec<u64>,
+    /// Efficiency relative to mMAC (mMAC = 1).
+    pub efficiency: Vec<f64>,
+}
+
+/// The paper's Table 3 γ columns.
+pub const TABLE3_GAMMAS: [u64; 8] = [16, 20, 24, 28, 42, 48, 54, 60];
+
+/// Table 3: relative energy efficiency of bMAC/pMAC/mMAC across budgets.
+pub fn table3() -> Vec<Table3Row> {
+    [MacDesign::BMac, MacDesign::PMac, MacDesign::Mmac]
+        .into_iter()
+        .map(|d| Table3Row {
+            design: d.name().to_string(),
+            gammas: TABLE3_GAMMAS.to_vec(),
+            efficiency: TABLE3_GAMMAS
+                .iter()
+                .map(|&g| efficiency_vs_mmac(d, 16, g))
+                .collect(),
+        })
+        .collect()
+}
+
+/// §7.2 result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct LaconicRow {
+    /// mMAC term-pair budget.
+    pub gamma: u64,
+    /// mMAC energy-efficiency advantage over the Laconic PE.
+    pub mmac_advantage: f64,
+    /// Term pairs Laconic must assume per 16-long dot product.
+    pub laconic_term_pairs: u64,
+    /// Term pairs the mMAC processes for the same dot product.
+    pub mmac_term_pairs: u64,
+}
+
+/// §7.2: mMAC vs the Laconic processing element.
+pub fn laconic_comparison() -> Vec<LaconicRow> {
+    [16u64, 28, 42, 60]
+        .into_iter()
+        .map(|gamma| LaconicRow {
+            gamma,
+            mmac_advantage: mmac_vs_laconic(gamma),
+            laconic_term_pairs: 144,
+            mmac_term_pairs: gamma,
+        })
+        .collect()
+}
+
+/// One Fig. 26 point: system latency and efficiency at a budget, normalised
+/// to the γ = 16 setting of the same network.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig26Point {
+    /// Network name.
+    pub network: String,
+    /// Term-pair budget γ = α·β.
+    pub gamma: usize,
+    /// Weight budget α.
+    pub alpha: usize,
+    /// Data budget β.
+    pub beta: usize,
+    /// Latency (ms).
+    pub latency_ms: f64,
+    /// Latency normalised to γ = 16 (≥ 1).
+    pub latency_norm: f64,
+    /// Energy efficiency (samples/J).
+    pub samples_per_joule: f64,
+    /// Efficiency normalised to γ = 16 (≤ 1).
+    pub efficiency_norm: f64,
+}
+
+/// Fig. 26: latency / energy-efficiency vs γ across the five networks on
+/// the 128×128 mMAC system.
+pub fn fig26() -> Vec<Fig26Point> {
+    let sys = MmacSystem::new(SystemConfig::paper_vc707());
+    let budgets: [(usize, usize); 5] = [(8, 2), (10, 2), (14, 2), (16, 3), (20, 3)];
+    let nets = [
+        NetworkWorkload::resnet18(),
+        NetworkWorkload::resnet50(),
+        NetworkWorkload::mobilenet_v2(),
+        NetworkWorkload::lstm_wikitext2(),
+        NetworkWorkload::yolov5s(),
+    ];
+    let mut out = Vec::new();
+    for net in &nets {
+        let base = sys.run(net, 8, 2);
+        for &(a, b) in &budgets {
+            let r = sys.run(net, a, b);
+            out.push(Fig26Point {
+                network: net.name.clone(),
+                gamma: a * b,
+                alpha: a,
+                beta: b,
+                latency_ms: r.latency_ms,
+                latency_norm: r.latency_ms / base.latency_ms,
+                samples_per_joule: r.frames_per_joule,
+                efficiency_norm: r.frames_per_joule / base.frames_per_joule,
+            });
+        }
+    }
+    out
+}
+
+/// Table 4 re-export (cited rows + our measured row).
+pub fn table4_rows() -> Vec<Table4Row> {
+    table4()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = table2();
+        let get = |n: &str| rows.iter().find(|r| r.design == n).unwrap().clone();
+        assert_eq!((get("pMAC").lut, get("pMAC").ff), (57, 44));
+        assert_eq!((get("bMAC").lut, get("bMAC").ff), (12, 14));
+        assert_eq!((get("mMAC").lut, get("mMAC").ff), (21, 25));
+    }
+
+    #[test]
+    fn table3_mmac_row_is_ones() {
+        let rows = table3();
+        let m = rows.iter().find(|r| r.design == "mMAC").unwrap();
+        assert!(m.efficiency.iter().all(|&e| (e - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn laconic_advantage_at_60_matches_paper() {
+        let rows = laconic_comparison();
+        let r60 = rows.iter().find(|r| r.gamma == 60).unwrap();
+        assert!(
+            (2.2..3.2).contains(&r60.mmac_advantage),
+            "{}",
+            r60.mmac_advantage
+        );
+        assert_eq!(r60.laconic_term_pairs, 144);
+    }
+
+    #[test]
+    fn fig26_normalisations_behave() {
+        let pts = fig26();
+        assert_eq!(pts.len(), 25);
+        for p in &pts {
+            assert!(p.latency_norm >= 0.999, "{p:?}");
+            assert!(p.efficiency_norm <= 1.001, "{p:?}");
+        }
+        // Latency at γ = 60 is ~3× the γ = 16 latency on average.
+        let avg: f64 = pts
+            .iter()
+            .filter(|p| p.gamma == 60)
+            .map(|p| p.latency_norm)
+            .sum::<f64>()
+            / 5.0;
+        assert!((2.4..4.0).contains(&avg), "avg latency ratio {avg}");
+    }
+
+    #[test]
+    fn table4_has_five_rows_one_measured() {
+        let rows = table4_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.iter().filter(|r| r.measured).count(), 1);
+    }
+}

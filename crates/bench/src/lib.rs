@@ -1,0 +1,63 @@
+//! # mri-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§6 and §7). Each experiment is a plain function
+//! returning serialisable rows, driven by the `figures` binary:
+//!
+//! ```text
+//! cargo run --release -p mri-bench --bin figures -- all --fast
+//! cargo run --release -p mri-bench --bin figures -- fig19
+//! ```
+//!
+//! Mapping (see DESIGN.md §4 for the full index):
+//!
+//! | experiment | paper artefact | module |
+//! |---|---|---|
+//! | `fig5a`/`fig5b` | weight distribution & TQ error vs group size | [`quant_exp`] |
+//! | `fig19` | multi-resolution vs individually trained | [`train_exp`] |
+//! | `fig20` | sub-model weight histograms | [`quant_exp`] |
+//! | `fig21` | multi-resolution vs post-training TQ | [`train_exp`] |
+//! | `fig22` | TQ vs shared-bit UQ (CNNs / LSTM / YOLO) | [`train_exp`] |
+//! | `table1` | training cost multi-res vs single | [`train_exp`] |
+//! | `fig23` | group-size sensitivity | [`train_exp`] |
+//! | `fig24` | sub-model count scalability | [`train_exp`] |
+//! | `table2`/`table3`/`laconic` | MAC cost & energy | [`hw_exp`] |
+//! | `fig26`/`table4` | system latency/efficiency & accelerator table | [`hw_exp`] |
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod hw_exp;
+pub mod quant_exp;
+pub mod report;
+pub mod summary;
+pub mod train_exp;
+pub mod verify;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Fast mode: tiny models and few steps (seconds; CI smoke). Full mode
+    /// is the EXPERIMENTS.md setting (minutes).
+    pub fast: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Full-scale configuration.
+    pub fn full() -> Self {
+        RunConfig {
+            fast: false,
+            seed: 0,
+        }
+    }
+
+    /// Fast smoke configuration.
+    pub fn fast() -> Self {
+        RunConfig {
+            fast: true,
+            seed: 0,
+        }
+    }
+}

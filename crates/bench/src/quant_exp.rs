@@ -1,0 +1,169 @@
+//! Pure-quantization experiments: Fig. 5 (weight distribution, TQ error vs
+//! group size) and Fig. 20 (sub-model weight-value histograms).
+
+use mri_data::images::normal_samples;
+use mri_quant::tq::tq_real_rmse;
+use mri_quant::{GroupTermQuantizer, SdrEncoding, UniformQuantizer};
+use serde::Serialize;
+
+/// One point of the Fig. 5(b) curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5bPoint {
+    /// TQ group size.
+    pub group_size: usize,
+    /// RMSE of TQ at one term per value on `N(0, 0.03²)` samples.
+    pub rmse: f64,
+}
+
+/// Fig. 5(b): TQ quantization error vs group size at an average budget of
+/// one term per value, on samples from the paper's fitted `N(0, 0.03)`.
+pub fn fig5b(seed: u64, n_samples: usize) -> Vec<Fig5bPoint> {
+    // Use a sample count divisible by every group size of interest.
+    let n = n_samples.div_ceil(360_360 / 1000) * 360; // multiple of 1..=15
+    let samples = normal_samples(seed, n.max(15 * 1024), 0.0, 0.03);
+    // Idealised TQ straight on the real values (no prior UQ bounding the
+    // exponent range), matching the figure's error-analysis setting.
+    (1..=15)
+        .map(|g| Fig5bPoint {
+            group_size: g,
+            rmse: tq_real_rmse(&samples, g, 1.0),
+        })
+        .collect()
+}
+
+/// One histogram of Fig. 5(a) / Fig. 20.
+#[derive(Debug, Clone, Serialize)]
+pub struct WeightHistogram {
+    /// Which model/sub-model the histogram describes.
+    pub label: String,
+    /// Bin left edges.
+    pub edges: Vec<f32>,
+    /// Normalised frequencies.
+    pub freq: Vec<f64>,
+    /// Fraction of exactly-zero values.
+    pub zero_fraction: f64,
+}
+
+/// Builds a histogram over `[lo, hi]` with `bins` buckets.
+pub fn weight_histogram(
+    label: &str,
+    values: &[f32],
+    lo: f32,
+    hi: f32,
+    bins: usize,
+) -> WeightHistogram {
+    let counts = mri_data::images::histogram(values, lo, hi, bins);
+    let total: u64 = counts.iter().sum::<u64>().max(1);
+    let w = (hi - lo) / bins as f32;
+    WeightHistogram {
+        label: label.to_string(),
+        edges: (0..bins).map(|i| lo + i as f32 * w).collect(),
+        freq: counts.iter().map(|&c| c as f64 / total as f64).collect(),
+        zero_fraction: values.iter().filter(|v| **v == 0.0).count() as f64
+            / values.len().max(1) as f64,
+    }
+}
+
+/// Fig. 20: histograms of the **absolute quantized integer weight values**
+/// for three sub-models of one weight population, plus plain 5-bit UQ.
+///
+/// The inputs are real-valued weights (e.g. from a trained model or a
+/// normal fit); quantization follows the paper's 5-bit meta model, g = 16.
+pub fn fig20(weights: &[f32], clip: f32) -> Vec<WeightHistogram> {
+    let uq = UniformQuantizer::symmetric(5, clip);
+    let ints: Vec<i64> = weights.iter().map(|&w| uq.quantize(w)).collect();
+    let mut out = Vec::new();
+    for (alpha, beta) in [(8usize, 2usize), (14, 2), (20, 3)] {
+        let tq = GroupTermQuantizer::new(16, alpha, SdrEncoding::Naf);
+        let q = tq.quantize_slice(&ints);
+        let vals: Vec<f32> = q.iter().map(|&v| v.unsigned_abs() as f32).collect();
+        out.push(weight_histogram(
+            &format!("multi-res (α={alpha}, β={beta})"),
+            &vals,
+            0.0,
+            16.0,
+            16,
+        ));
+    }
+    let vals: Vec<f32> = ints.iter().map(|&v| v.unsigned_abs() as f32).collect();
+    out.push(weight_histogram("5-bit UQ", &vals, 0.0, 16.0, 16));
+    out
+}
+
+/// Fitted normal parameters for Fig. 5(a): the MLE of a 1-D normal.
+#[derive(Debug, Clone, Serialize)]
+pub struct NormalFit {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+}
+
+/// Maximum-likelihood normal fit (the paper reports `N(0, 0.03)` for the
+/// 13th conv layer of ResNet-18).
+pub fn fit_normal(values: &[f32]) -> NormalFit {
+    let n = values.len().max(1) as f64;
+    let mean = values.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let var = values
+        .iter()
+        .map(|&v| (f64::from(v) - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    NormalFit {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5b_error_drops_then_flattens() {
+        let pts = fig5b(1, 15 * 2000);
+        assert_eq!(pts.len(), 15);
+        // Paper: rapid decrease from g=1 to g=4, flat approaching 15. We
+        // assert the shape: monotone, with the g=1→4 drop carrying most of
+        // the total improvement and a nearly-flat tail.
+        for w in pts.windows(2) {
+            assert!(w[1].rmse <= w[0].rmse * 1.01, "not monotone: {pts:?}");
+        }
+        let total = pts[0].rmse - pts[14].rmse;
+        let early = pts[0].rmse - pts[3].rmse;
+        assert!(early > 0.5 * total, "drop not front-loaded: {pts:?}");
+        let tail_change = (pts[14].rmse - pts[10].rmse).abs() / pts[10].rmse;
+        assert!(tail_change < 0.1, "tail still moving: {tail_change}");
+    }
+
+    #[test]
+    fn fig20_low_budget_concentrates_on_powers_of_two_and_zero() {
+        let weights = normal_samples(2, 16_000, 0.0, 0.3);
+        let hists = fig20(&weights, 1.0);
+        assert_eq!(hists.len(), 4);
+        let low = &hists[0];
+        let high = &hists[2];
+        // Paper §6.2: at (α=8, β=2) almost 50% of values are zero.
+        assert!(
+            low.zero_fraction > 0.3,
+            "low-budget zeros {}",
+            low.zero_fraction
+        );
+        assert!(low.zero_fraction > high.zero_fraction);
+    }
+
+    #[test]
+    fn normal_fit_recovers_parameters() {
+        let s = normal_samples(3, 40_000, 0.0, 0.03);
+        let fit = fit_normal(&s);
+        assert!(fit.mean.abs() < 1e-3);
+        assert!((fit.std - 0.03).abs() < 0.002);
+    }
+
+    #[test]
+    fn histogram_frequencies_normalised() {
+        let h = weight_histogram("t", &[0.1, 0.2, 0.3, 0.9], 0.0, 1.0, 4);
+        let s: f64 = h.freq.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

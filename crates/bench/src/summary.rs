@@ -1,0 +1,398 @@
+//! Claim checker: reads the `results/*.json` artifacts and verifies the
+//! paper's headline claims hold in the measured data (`figures summary`).
+//!
+//! Each claim is a predicate over one artifact; the summary prints
+//! REPRODUCED / DIVERGED / MISSING per claim so a reader can audit the
+//! reproduction without re-running anything.
+
+use serde::Serialize;
+use serde_json::Value;
+use std::fs;
+use std::path::Path;
+
+/// Verdict for one claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// The predicate holds on the measured data.
+    Reproduced,
+    /// The artifact exists but the predicate fails.
+    Diverged,
+    /// The artifact has not been generated yet.
+    Missing,
+}
+
+/// One checked claim.
+#[derive(Debug, Clone, Serialize)]
+pub struct Claim {
+    /// Paper reference (figure/table/section).
+    pub source: String,
+    /// The claim in one sentence.
+    pub statement: String,
+    /// Verdict on the measured data.
+    pub verdict: Verdict,
+    /// Supporting detail (measured numbers).
+    pub detail: String,
+}
+
+fn load(dir: &Path, name: &str) -> Option<Value> {
+    let body = fs::read_to_string(dir.join(format!("{name}.json"))).ok()?;
+    serde_json::from_str(&body).ok()
+}
+
+fn points<'a>(v: &'a Value) -> Vec<&'a Value> {
+    v.as_array().map(|a| a.iter().collect()).unwrap_or_default()
+}
+
+fn metric(p: &Value) -> f64 {
+    p["metric"].as_f64().unwrap_or(0.0)
+}
+
+fn claim(
+    dir: &Path,
+    artifact: &str,
+    source: &str,
+    statement: &str,
+    pred: impl FnOnce(&Value) -> (bool, String),
+) -> Claim {
+    match load(dir, artifact) {
+        None => Claim {
+            source: source.to_string(),
+            statement: statement.to_string(),
+            verdict: Verdict::Missing,
+            detail: format!("results/{artifact}.json not found — run `figures {artifact}`"),
+        },
+        Some(v) => {
+            let (ok, detail) = pred(&v);
+            Claim {
+                source: source.to_string(),
+                statement: statement.to_string(),
+                verdict: if ok {
+                    Verdict::Reproduced
+                } else {
+                    Verdict::Diverged
+                },
+                detail,
+            }
+        }
+    }
+}
+
+/// Evaluates every encoded claim against the artifacts in `dir`.
+pub fn check_claims(dir: &Path) -> Vec<Claim> {
+    let mut out = Vec::new();
+
+    out.push(claim(
+        dir,
+        "fig5b",
+        "Fig. 5(b)",
+        "TQ error drops fast to g=4, then flattens",
+        |v| {
+            let pts = points(v);
+            if pts.len() < 15 {
+                return (false, "curve incomplete".to_string());
+            }
+            let rmse = |i: usize| pts[i]["rmse"].as_f64().unwrap_or(0.0);
+            let early = rmse(0) - rmse(3);
+            let total = rmse(0) - rmse(14);
+            (
+                total > 0.0 && early > 0.5 * total,
+                format!(
+                    "g1 {:.5} → g4 {:.5} → g15 {:.5}",
+                    rmse(0),
+                    rmse(3),
+                    rmse(14)
+                ),
+            )
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "fig19",
+        "Fig. 19 / §6.1",
+        "multi-resolution within a few % of individually-trained models at every setting",
+        |v| {
+            let pts = points(v);
+            let mut worst = 0.0f64;
+            for p in pts.iter().filter(|p| p["series"] == "multi-resolution") {
+                if let Some(ind) = pts
+                    .iter()
+                    .find(|q| q["series"] == "individual" && q["setting"] == p["setting"])
+                {
+                    worst = worst.max(metric(ind) - metric(p));
+                }
+            }
+            (worst <= 0.05, format!("largest gap {:.1}%", worst * 100.0))
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "fig20",
+        "Fig. 20 / §6.2",
+        "low-budget sub-model has ~50% zero weights; high budget tracks 5-bit UQ",
+        |v| {
+            let hs = points(v);
+            let zf = |i: usize| {
+                hs.get(i)
+                    .and_then(|h| h["zero_fraction"].as_f64())
+                    .unwrap_or(0.0)
+            };
+            (
+                zf(0) > 0.35 && (zf(2) - zf(3)).abs() < 0.1,
+                format!(
+                    "zeros: low {:.1}%, high {:.1}%, UQ {:.1}%",
+                    zf(0) * 100.0,
+                    zf(2) * 100.0,
+                    zf(3) * 100.0
+                ),
+            )
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "fig21",
+        "Fig. 21 / §6.3",
+        "multi-resolution training beats post-training TQ at every setting, most at aggressive budgets",
+        |v| {
+            let pts = points(v);
+            let mut min_gap = f64::INFINITY;
+            let mut max_gap = 0.0f64;
+            for p in pts.iter().filter(|p| p["series"].as_str().unwrap_or("").contains("multi")) {
+                let series = p["series"].as_str().unwrap_or("").replace("multi-resolution", "post-training TQ");
+                if let Some(pt) = pts
+                    .iter()
+                    .find(|q| q["series"] == series.as_str() && q["setting"] == p["setting"])
+                {
+                    let gap = metric(p) - metric(pt);
+                    min_gap = min_gap.min(gap);
+                    max_gap = max_gap.max(gap);
+                }
+            }
+            (
+                min_gap >= -0.015 && max_gap > 0.2,
+                format!("gap range {:.1}%..{:.1}%", min_gap * 100.0, max_gap * 100.0),
+            )
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "fig22",
+        "Fig. 22 / §6.4",
+        "TQ sub-models dominate shared-bit UQ on CNNs, LSTM and detector",
+        |v| {
+            let pts = points(v);
+            let best = |series_contains: &str, tq: bool| -> f64 {
+                pts.iter()
+                    .filter(|p| {
+                        let s = p["series"].as_str().unwrap_or("");
+                        s.contains(series_contains) && s.contains(if tq { "TQ" } else { "UQ" })
+                    })
+                    .map(|p| metric(p))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            };
+            let cnn = best("mobilenet", true) >= best("mobilenet", false) - 0.01;
+            let lstm = best("LSTM", true) >= best("LSTM", false); // negated ppl
+            let yolo = best("YOLO", true) >= best("YOLO", false) - 0.05;
+            (
+                cnn && lstm && yolo,
+                format!(
+                    "best TQ vs UQ — cnn {:.2}/{:.2}, lstm ppl {:.1}/{:.1}, yolo {:.2}/{:.2}",
+                    best("mobilenet", true),
+                    best("mobilenet", false),
+                    -best("LSTM", true),
+                    -best("LSTM", false),
+                    best("YOLO", true),
+                    best("YOLO", false)
+                ),
+            )
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "table1",
+        "Table 1 / §6.5",
+        "multi-resolution training costs ≈2× single-model training (paper: 1.92×)",
+        |v| {
+            let rows = points(v);
+            let ratios: Vec<f64> = rows.iter().filter_map(|r| r["ratio"].as_f64()).collect();
+            let avg = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+            (
+                (1.5..=2.5).contains(&avg),
+                format!("average ratio {avg:.2}x"),
+            )
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "fig23",
+        "Fig. 23 / §6.6",
+        "larger group size wins at equal term-pair count; g=16 ≈ g=32",
+        |v| {
+            let pts = points(v);
+            let acc = |series: &str, idx: usize| {
+                pts.iter()
+                    .filter(|p| p["series"] == series)
+                    .nth(idx)
+                    .map(|p| metric(p))
+                    .unwrap_or(0.0)
+            };
+            // Compare the lowest-budget point at matched term pairs.
+            let g8 = acc("g=8", 0);
+            let g16 = acc("g=16", 0);
+            let g32 = acc("g=32", 0);
+            (
+                g16 >= g8 - 0.01 && g32 >= g8 - 0.01,
+                format!(
+                    "lowest-budget acc: g8 {:.1}%, g16 {:.1}%, g32 {:.1}%",
+                    g8 * 100.0,
+                    g16 * 100.0,
+                    g32 * 100.0
+                ),
+            )
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "fig24",
+        "Fig. 24 / §6.7",
+        "12 sub-models stay within a few % of 4 sub-models across the range",
+        |v| {
+            let pts = points(v);
+            let min_of = |series: &str| {
+                pts.iter()
+                    .filter(|p| p["series"] == series)
+                    .map(|p| metric(p))
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let four = min_of("4 sub-models");
+            let twelve = min_of("12 sub-models");
+            (
+                twelve >= four - 0.08,
+                format!(
+                    "worst-case acc: 4 models {:.1}%, 12 models {:.1}%",
+                    four * 100.0,
+                    twelve * 100.0
+                ),
+            )
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "table3",
+        "Table 3 / §7.1",
+        "mMAC beats bMAC and pMAC at every budget",
+        |v| {
+            let rows = points(v);
+            let ok = rows.iter().filter(|r| r["design"] != "mMAC").all(|r| {
+                r["efficiency"]
+                    .as_array()
+                    .map(|es| es.iter().all(|e| e.as_f64().unwrap_or(1.0) < 1.0))
+                    .unwrap_or(false)
+            });
+            (ok, "all relative efficiencies < 1".to_string())
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "laconic",
+        "§7.2",
+        "mMAC ≈2.7× more energy-efficient than Laconic at γ=60",
+        |v| {
+            let rows = points(v);
+            let adv = rows
+                .iter()
+                .find(|r| r["gamma"] == 60)
+                .and_then(|r| r["mmac_advantage"].as_f64())
+                .unwrap_or(0.0);
+            ((2.2..=3.2).contains(&adv), format!("measured {adv:.2}x"))
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "fig26",
+        "Fig. 26 / §7.3",
+        "γ 60→16 cuts latency ~3.1× and lifts efficiency ~3.25×",
+        |v| {
+            let pts = points(v);
+            let lat: Vec<f64> = pts
+                .iter()
+                .filter(|p| p["gamma"] == 60)
+                .filter_map(|p| p["latency_norm"].as_f64())
+                .collect();
+            let avg = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+            (
+                (2.4..=4.0).contains(&avg),
+                format!("average latency ratio {avg:.2}x"),
+            )
+        },
+    ));
+
+    out.push(claim(
+        dir,
+        "table4",
+        "Table 4 / §7.4",
+        "our system has the best energy efficiency of the compared accelerators",
+        |v| {
+            let rows = points(v);
+            let ours = rows
+                .iter()
+                .find(|r| r["measured"] == true)
+                .and_then(|r| r["frames_per_joule"].as_f64())
+                .unwrap_or(0.0);
+            let best_cited = rows
+                .iter()
+                .filter(|r| r["measured"] == false)
+                .filter_map(|r| r["frames_per_joule"].as_f64())
+                .fold(0.0, f64::max);
+            (
+                ours > best_cited,
+                format!("ours {ours:.1} vs best cited {best_cited:.1} frames/J"),
+            )
+        },
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_artifacts_reported_not_panicked() {
+        let dir = std::env::temp_dir().join("mri_summary_empty");
+        let _ = std::fs::create_dir_all(&dir);
+        let claims = check_claims(&dir);
+        assert!(claims.len() >= 10);
+        assert!(claims.iter().all(|c| c.verdict == Verdict::Missing));
+    }
+
+    #[test]
+    fn synthetic_artifact_passes_predicate() {
+        let dir = std::env::temp_dir().join("mri_summary_synth");
+        let _ = std::fs::create_dir_all(&dir);
+        // A fake Table 3 where mMAC wins everywhere.
+        let body = serde_json::json!([
+            {"design": "bMAC", "efficiency": [0.2, 0.5]},
+            {"design": "pMAC", "efficiency": [0.3, 0.6]},
+            {"design": "mMAC", "efficiency": [1.0, 1.0]}
+        ]);
+        std::fs::write(dir.join("table3.json"), body.to_string()).unwrap();
+        let claims = check_claims(&dir);
+        let t3 = claims
+            .iter()
+            .find(|c| c.source.contains("Table 3"))
+            .unwrap();
+        assert_eq!(t3.verdict, Verdict::Reproduced);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

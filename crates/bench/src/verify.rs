@@ -1,0 +1,188 @@
+//! Randomised differential self-checks between the software quantization
+//! path, the packed storage layer and the hardware simulators — the same
+//! invariants the unit tests pin, exercised over fresh random instances so
+//! a user can gain confidence on their own machine (`figures verify`).
+
+use mri_core::{fake_quantize_weights, QuantConfig, Resolution};
+use mri_hw::pipeline::run_tile;
+use mri_hw::{SdrEncoderFsm, SystolicArray};
+use mri_quant::storage::MultiResStorage;
+use mri_quant::{sdr, GroupTermQuantizer, MultiResGroup, SdrEncoding, UniformQuantizer};
+use mri_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Result of one verification suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct VerifyReport {
+    /// Check name.
+    pub check: String,
+    /// Random instances exercised.
+    pub trials: usize,
+    /// Instances that failed (0 for a healthy build).
+    pub failures: usize,
+    /// Description of the first failure, if any.
+    pub first_failure: Option<String>,
+}
+
+impl VerifyReport {
+    fn new(check: &str, trials: usize) -> Self {
+        VerifyReport {
+            check: check.to_string(),
+            trials,
+            failures: 0,
+            first_failure: None,
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.first_failure.is_none() {
+            self.first_failure = Some(msg);
+        }
+        self.failures += 1;
+    }
+
+    /// Whether every instance passed.
+    pub fn ok(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// Systolic array vs plain quantized matmul, and the cycle-stepped pipeline
+/// vs the schedule model, on random instances.
+pub fn verify_systolic(seed: u64, trials: usize) -> VerifyReport {
+    let mut rep = VerifyReport::new("systolic == software quantized matmul", trials);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..trials {
+        let g = [4usize, 8, 16][rng.random_range(0..3)];
+        let cols = rng.random_range(1..4usize);
+        let rows = rng.random_range(1..5usize);
+        let k = g * cols * rng.random_range(1..3usize);
+        let m = rows * rng.random_range(1..3usize);
+        let n = rng.random_range(1..6usize);
+        let alpha = rng.random_range(2..2 * g);
+        let beta = rng.random_range(1..4usize);
+        let w: Vec<i64> = (0..m * k).map(|_| rng.random_range(-31..=31)).collect();
+        let x: Vec<i64> = (0..k * n).map(|_| rng.random_range(-31..=31)).collect();
+        let arr = SystolicArray::new(rows, cols, g, alpha, beta, SdrEncoding::Naf);
+        let hw = arr.matmul(&w, k, &x, n);
+        let sw = arr.reference_matmul(&w, k, &x, n);
+        if hw.result != sw {
+            rep.fail(format!(
+                "trial {t}: array (g={g}, α={alpha}, β={beta}) diverged"
+            ));
+        }
+        // Single-tile workloads must also match the per-clock simulation.
+        if m == rows && k == g * cols {
+            let stepped = run_tile(&w, &x, rows, cols, g, n, alpha, beta, SdrEncoding::Naf);
+            if stepped.result != hw.result || stepped.cycles != hw.cycles {
+                rep.fail(format!("trial {t}: cycle-stepped pipeline diverged"));
+            }
+        }
+    }
+    rep
+}
+
+/// Software fake-quantized weights vs the integer group quantizer.
+pub fn verify_fake_quant(seed: u64, trials: usize) -> VerifyReport {
+    let mut rep = VerifyReport::new("fake-quant == scale * integer TQ", trials);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let qcfg = QuantConfig::paper_cnn();
+    for t in 0..trials {
+        let rows = rng.random_range(1..4usize);
+        let row_len = 16 * rng.random_range(1..3usize);
+        let alpha = rng.random_range(1..40usize);
+        let clip = 0.5 + rng.random::<f32>();
+        let data: Vec<f32> = (0..rows * row_len)
+            .map(|_| (rng.random::<f32>() - 0.5) * 2.5)
+            .collect();
+        let w = Tensor::from_vec(data, &[rows, row_len]);
+        let fq = fake_quantize_weights(&w, clip, Resolution::Tq { alpha, beta: 2 }, qcfg, row_len);
+        let uq = UniformQuantizer::symmetric(qcfg.weight_bits, clip);
+        let tq = GroupTermQuantizer::new(qcfg.group_size, alpha, qcfg.encoding);
+        for r in 0..rows {
+            let ints: Vec<i64> = w.data()[r * row_len..(r + 1) * row_len]
+                .iter()
+                .map(|&x| uq.quantize(x))
+                .collect();
+            let expect = tq.quantize_slice(&ints);
+            for (i, &e) in expect.iter().enumerate() {
+                let got = fq.values.data()[r * row_len + i];
+                if (got - e as f32 * uq.scale()).abs() > 1e-6 {
+                    rep.fail(format!(
+                        "trial {t}: row {r} col {i}: {got} vs {}",
+                        e as f32 * uq.scale()
+                    ));
+                }
+            }
+        }
+    }
+    rep
+}
+
+/// The hardware FSM encoder vs the arithmetic NAF, random widths.
+pub fn verify_fsm(seed: u64, trials: usize) -> VerifyReport {
+    let mut rep = VerifyReport::new("SDR FSM == arithmetic NAF", trials);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..trials {
+        let bits = rng.random_range(1..20u8);
+        let v = rng.random_range(0..1i64 << bits);
+        let fsm = SdrEncoderFsm::new().encode_value(v, bits + 1);
+        let naf = sdr::encode(v, SdrEncoding::Naf);
+        if fsm != naf {
+            rep.fail(format!("trial {t}: value {v} width {bits}"));
+        }
+    }
+    rep
+}
+
+/// Packed memory round-trips every budget of random multi-resolution groups.
+pub fn verify_storage(seed: u64, trials: usize) -> VerifyReport {
+    let mut rep = VerifyReport::new("packed storage round trip", trials);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in 0..trials {
+        let g = [4usize, 8, 16][rng.random_range(0..3)];
+        let vals: Vec<i64> = (0..g).map(|_| rng.random_range(-127..=127)).collect();
+        let max_budget = rng.random_range(2..3 * g);
+        let budgets: Vec<usize> = (1..=4)
+            .map(|i| (max_budget * i).div_ceil(4))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let group = MultiResGroup::from_values(&vals, max_budget, SdrEncoding::Naf);
+        match MultiResStorage::store(&group, &budgets, 16) {
+            Err(e) => rep.fail(format!("trial {t}: store failed: {e}")),
+            Ok(mut st) => {
+                for &b in &budgets {
+                    if st.values_at(b) != group.values_at(b) {
+                        rep.fail(format!("trial {t}: budget {b} mismatch"));
+                    }
+                }
+            }
+        }
+    }
+    rep
+}
+
+/// Runs every suite.
+pub fn verify_all(seed: u64, trials: usize) -> Vec<VerifyReport> {
+    vec![
+        verify_systolic(seed, trials),
+        verify_fake_quant(seed + 1, trials),
+        verify_fsm(seed + 2, trials * 10),
+        verify_storage(seed + 3, trials * 4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_suites_pass_on_fresh_seeds() {
+        for rep in verify_all(2024, 8) {
+            assert!(rep.ok(), "{}: {:?}", rep.check, rep.first_failure);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Saving and restoring trained multi-resolution models.
+//!
+//! A checkpoint captures every parameter reachable through
+//! [`mri_nn::Layer::visit_params`] in visit order — the same deterministic
+//! order the optimizer relies on — so a model rebuilt with the same
+//! constructor arguments can be restored exactly. Since a multi-resolution
+//! model stores only full-precision masters plus clip scalars, one
+//! checkpoint serves **every** sub-model.
+
+use mri_nn::Param;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A serialisable snapshot of a model's parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Free-form model identifier (checked on load).
+    pub model: String,
+    /// Parameters in visit order: shape + row-major data.
+    pub params: Vec<ParamRecord>,
+}
+
+/// One saved parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamRecord {
+    /// Tensor dimensions.
+    pub dims: Vec<usize>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+/// Errors raised when restoring a checkpoint.
+#[derive(Debug)]
+pub enum LoadCheckpointError {
+    /// The checkpoint was written for a different model identifier.
+    ModelMismatch {
+        /// Identifier stored in the file.
+        expected: String,
+        /// Identifier supplied by the caller.
+        found: String,
+    },
+    /// Parameter count or a shape differs from the target model.
+    ShapeMismatch {
+        /// Index of the offending parameter (or count mismatch).
+        index: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// I/O or serialisation failure.
+    Io(std::io::Error),
+    /// JSON parse failure.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for LoadCheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadCheckpointError::ModelMismatch { expected, found } => {
+                write!(f, "checkpoint is for model '{expected}', not '{found}'")
+            }
+            LoadCheckpointError::ShapeMismatch { index, detail } => {
+                write!(f, "parameter {index} mismatch: {detail}")
+            }
+            LoadCheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            LoadCheckpointError::Parse(e) => write!(f, "checkpoint parse error: {e}"),
+        }
+    }
+}
+
+impl Error for LoadCheckpointError {}
+
+impl From<std::io::Error> for LoadCheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        LoadCheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LoadCheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        LoadCheckpointError::Parse(e)
+    }
+}
+
+impl Checkpoint {
+    /// Captures a model's parameters.
+    pub fn capture(model: &str, visit: impl FnOnce(&mut dyn FnMut(&mut Param))) -> Self {
+        let mut params = Vec::new();
+        visit(&mut |p: &mut Param| {
+            params.push(ParamRecord {
+                dims: p.value.dims().to_vec(),
+                data: p.value.data().to_vec(),
+            });
+        });
+        Checkpoint {
+            version: 1,
+            model: model.to_string(),
+            params,
+        }
+    }
+
+    /// Restores the captured parameters into a model with the same
+    /// architecture (and therefore the same visit order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadCheckpointError::ModelMismatch`] or
+    /// [`LoadCheckpointError::ShapeMismatch`] if the target differs.
+    pub fn restore(
+        &self,
+        model: &str,
+        visit: impl FnOnce(&mut dyn FnMut(&mut Param)),
+    ) -> Result<(), LoadCheckpointError> {
+        if self.model != model {
+            return Err(LoadCheckpointError::ModelMismatch {
+                expected: self.model.clone(),
+                found: model.to_string(),
+            });
+        }
+        let mut idx = 0usize;
+        let mut error: Option<LoadCheckpointError> = None;
+        visit(&mut |p: &mut Param| {
+            if error.is_some() {
+                return;
+            }
+            match self.params.get(idx) {
+                None => {
+                    error = Some(LoadCheckpointError::ShapeMismatch {
+                        index: idx,
+                        detail: "model has more parameters than the checkpoint".to_string(),
+                    });
+                }
+                Some(rec) => {
+                    if rec.dims != p.value.dims() {
+                        error = Some(LoadCheckpointError::ShapeMismatch {
+                            index: idx,
+                            detail: format!(
+                                "shape {:?} vs checkpoint {:?}",
+                                p.value.dims(),
+                                rec.dims
+                            ),
+                        });
+                    } else {
+                        p.value.data_mut().copy_from_slice(&rec.data);
+                    }
+                }
+            }
+            idx += 1;
+        });
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if idx != self.params.len() {
+            return Err(LoadCheckpointError::ShapeMismatch {
+                index: idx,
+                detail: format!(
+                    "checkpoint holds {} parameters, model visited {idx}",
+                    self.params.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes the checkpoint as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation and filesystem failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), LoadCheckpointError> {
+        let body = serde_json::to_string(self)?;
+        fs::write(path, body)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and filesystem failures.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, LoadCheckpointError> {
+        let body = fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&body)?)
+    }
+
+    /// Total scalar parameters stored.
+    pub fn scalar_count(&self) -> usize {
+        self.params.iter().map(|p| p.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QLinear, QuantConfig, Resolution, ResolutionControl};
+    use mri_nn::{Layer, Mode};
+    use mri_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn make_model(seed: u64) -> (QLinear, Arc<ResolutionControl>) {
+        let c = Arc::new(ResolutionControl::new(Resolution::Tq {
+            alpha: 12,
+            beta: 2,
+        }));
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            QLinear::new(&mut rng, 8, 4, QuantConfig::paper_cnn(), Arc::clone(&c)),
+            c,
+        )
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let (mut a, _) = make_model(1);
+        let (mut b, _) = make_model(2); // different init
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = init::uniform(&mut rng, &[4, 8], 0.0, 1.0);
+        let ya = a.forward(&x, Mode::Eval);
+
+        let ckpt = Checkpoint::capture("qlinear-8-4", |f| a.visit_params(f));
+        ckpt.restore("qlinear-8-4", |f| b.visit_params(f))
+            .expect("restore");
+        let yb = b.forward(&x, Mode::Eval);
+        assert_eq!(ya.data(), yb.data(), "restored model must match exactly");
+    }
+
+    #[test]
+    fn model_name_checked() {
+        let (mut a, _) = make_model(1);
+        let ckpt = Checkpoint::capture("model-a", |f| a.visit_params(f));
+        let err = ckpt.restore("model-b", |f| a.visit_params(f)).unwrap_err();
+        assert!(err.to_string().contains("model-a"));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let (mut a, _) = make_model(1);
+        let ckpt = Checkpoint::capture("m", |f| a.visit_params(f));
+        let c = Arc::new(ResolutionControl::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut other = QLinear::new(&mut rng, 16, 4, QuantConfig::paper_cnn(), c);
+        let err = ckpt.restore("m", |f| other.visit_params(f)).unwrap_err();
+        assert!(
+            matches!(err, LoadCheckpointError::ShapeMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (mut a, _) = make_model(4);
+        let ckpt = Checkpoint::capture("m", |f| a.visit_params(f));
+        let dir = std::env::temp_dir().join("mri_ckpt_test.json");
+        ckpt.save(&dir).expect("save");
+        let loaded = Checkpoint::load(&dir).expect("load");
+        assert_eq!(ckpt, loaded);
+        assert!(loaded.scalar_count() > 0);
+        let _ = std::fs::remove_file(dir);
+    }
+}

@@ -1,0 +1,121 @@
+//! Shared resolution control and term-pair accounting.
+
+use crate::Resolution;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A handle shared by every quantized layer of one model.
+///
+/// Setting the resolution here reconfigures the whole model at once — the
+/// software analogue of loading a different number of leading terms into the
+/// mMACs (paper §5.1). The control also tallies the term-pair
+/// multiplications and value-level MACs the quantized layers perform, which
+/// is the x-axis of the paper's accuracy/cost plots.
+///
+/// All methods are thread-safe; layers running in worker threads may report
+/// counts concurrently.
+#[derive(Debug)]
+pub struct ResolutionControl {
+    resolution: RwLock<Resolution>,
+    term_pairs: AtomicU64,
+    value_macs: AtomicU64,
+}
+
+impl ResolutionControl {
+    /// Creates a control starting at the given resolution.
+    pub fn new(resolution: Resolution) -> Self {
+        ResolutionControl {
+            resolution: RwLock::new(resolution),
+            term_pairs: AtomicU64::new(0),
+            value_macs: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently active resolution.
+    pub fn resolution(&self) -> Resolution {
+        *self.resolution.read()
+    }
+
+    /// Switches every listening layer to `r` (takes effect on their next
+    /// forward pass).
+    pub fn set_resolution(&self, r: Resolution) {
+        *self.resolution.write() = r;
+    }
+
+    /// Records `n` term-pair multiplications.
+    pub fn add_term_pairs(&self, n: u64) {
+        self.term_pairs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` value-level multiply-accumulates.
+    pub fn add_value_macs(&self, n: u64) {
+        self.value_macs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Term-pair multiplications since the last reset.
+    pub fn term_pairs(&self) -> u64 {
+        self.term_pairs.load(Ordering::Relaxed)
+    }
+
+    /// Value-level MACs since the last reset.
+    pub fn value_macs(&self) -> u64 {
+        self.value_macs.load(Ordering::Relaxed)
+    }
+
+    /// Clears both counters.
+    pub fn reset_counters(&self) {
+        self.term_pairs.store(0, Ordering::Relaxed);
+        self.value_macs.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for ResolutionControl {
+    fn default() -> Self {
+        ResolutionControl::new(Resolution::Full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_and_get_resolution() {
+        let c = ResolutionControl::default();
+        assert_eq!(c.resolution(), Resolution::Full);
+        c.set_resolution(Resolution::Tq { alpha: 12, beta: 2 });
+        assert_eq!(c.resolution(), Resolution::Tq { alpha: 12, beta: 2 });
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = ResolutionControl::default();
+        c.add_term_pairs(10);
+        c.add_term_pairs(5);
+        c.add_value_macs(3);
+        assert_eq!(c.term_pairs(), 15);
+        assert_eq!(c.value_macs(), 3);
+        c.reset_counters();
+        assert_eq!(c.term_pairs(), 0);
+        assert_eq!(c.value_macs(), 0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = Arc::new(ResolutionControl::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c2 = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c2.add_term_pairs(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.term_pairs(), 4000);
+    }
+}

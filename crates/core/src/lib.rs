@@ -1,0 +1,53 @@
+//! # mri-core
+//!
+//! The paper's primary contribution: **meta multi-resolution DNN training
+//! with reusable quantization terms** (Algorithm 1) and the runtime
+//! machinery for spawning sub-models at inference.
+//!
+//! Main pieces:
+//!
+//! * [`Resolution`] / [`SubModelSpec`] — which sub-model is active: a term
+//!   quantization budget pair `(α, β)`, a shared-bit uniform-quantization
+//!   setting (the paper's §6.4 baseline), or full precision;
+//! * [`ResolutionControl`] — a shared handle that flips every quantized
+//!   layer in a model to a new resolution at once and accounts term-pair
+//!   multiplications (the paper's x-axis in Figs. 19/21/22/23/24);
+//! * [`QConv2d`] / [`QLinear`] — quantization-aware layers: full-precision
+//!   master weights, learnable PACT clips, a `UQ → SDR → TQ` forward and a
+//!   straight-through backward (Algorithm 1 steps 1–7);
+//! * [`MultiResTrainer`] — the teacher–student joint-optimization loop
+//!   (Algorithm 1 steps 8–9) together with evaluation helpers;
+//! * [`training`] also provides the baselines the paper compares against:
+//!   individually-trained models (Fig. 19) and post-training TQ (Fig. 21).
+//!
+//! # Examples
+//!
+//! ```
+//! use mri_core::{QuantConfig, Resolution, ResolutionControl};
+//! use std::sync::Arc;
+//!
+//! let ctl = Arc::new(ResolutionControl::new(Resolution::Tq { alpha: 20, beta: 3 }));
+//! ctl.set_resolution(Resolution::Tq { alpha: 8, beta: 2 });
+//! assert_eq!(ctl.resolution(), Resolution::Tq { alpha: 8, beta: 2 });
+//! let cfg = QuantConfig::paper_cnn();
+//! assert_eq!(cfg.group_size, 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod control;
+pub mod policy;
+pub mod qlayers;
+pub mod spec;
+pub mod training;
+
+pub use checkpoint::Checkpoint;
+pub use control::ResolutionControl;
+pub use policy::{ConfidenceLadder, LatencyPolicy};
+pub use qlayers::{
+    fake_quantize_data, fake_quantize_weights, QConv2d, QDepthwiseConv2d, QLinear, QuantConfig,
+    QuantizedTensor,
+};
+pub use spec::{Resolution, SubModelSpec};
+pub use training::{EvalResult, MultiResTrainer, StepStats, TrainerConfig};

@@ -1,0 +1,316 @@
+//! Runtime sub-model selection policies.
+//!
+//! The paper's deployment story (Fig. 1 right, §5.1) leaves the *selection
+//! mechanism* open: "a user (or other selection mechanism) can select which
+//! sub-model to use based on the current resource constraints". This module
+//! provides two concrete mechanisms:
+//!
+//! * [`LatencyPolicy`] — pick the largest sub-model whose term-pair budget
+//!   fits a hard per-sample budget (the paper's own scenario);
+//! * [`ConfidenceLadder`] — an *input-adaptive* extension in the spirit of
+//!   the early-exit work the paper cites (§2.1): classify every sample with
+//!   the cheapest sub-model first and re-run only low-confidence samples at
+//!   the next resolution, so easy inputs pay the low-γ price while hard
+//!   inputs climb the ladder.
+
+use crate::{ResolutionControl, SubModelSpec};
+use mri_nn::{Layer, Mode};
+use mri_tensor::reduce::softmax;
+use mri_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Picks the most accurate sub-model that fits a hard γ budget.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyPolicy {
+    /// Available sub-models, sorted by ascending budget.
+    pub ladder: Vec<SubModelSpec>,
+}
+
+impl LatencyPolicy {
+    /// Creates a policy; the ladder is sorted by γ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ladder` is empty.
+    pub fn new(mut ladder: Vec<SubModelSpec>) -> Self {
+        assert!(!ladder.is_empty(), "empty sub-model ladder");
+        ladder.sort_by_key(SubModelSpec::gamma);
+        LatencyPolicy { ladder }
+    }
+
+    /// The largest sub-model with `γ <= budget`, or the smallest one if none
+    /// fits (the system must produce *some* answer).
+    pub fn select(&self, gamma_budget: usize) -> SubModelSpec {
+        self.ladder
+            .iter()
+            .rev()
+            .find(|s| s.gamma() <= gamma_budget)
+            .copied()
+            .unwrap_or(self.ladder[0])
+    }
+}
+
+/// Outcome of one adaptive classification pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LadderOutcome {
+    /// Predicted class per sample.
+    pub predictions: Vec<usize>,
+    /// Index into the ladder of the sub-model that produced each
+    /// prediction.
+    pub rung_used: Vec<usize>,
+    /// Total term-pair multiplications spent (including re-runs).
+    pub term_pairs: u64,
+    /// Samples evaluated per rung (rung 0 sees everything).
+    pub samples_per_rung: Vec<usize>,
+}
+
+/// Input-adaptive resolution selection by prediction confidence.
+#[derive(Debug, Clone, Default)]
+pub struct LadderBanks {
+    selector: Option<mri_nn::BnBankSelector>,
+    bank_of_rung: Vec<usize>,
+}
+
+/// Input-adaptive resolution selection by prediction confidence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfidenceLadder {
+    /// Sub-models in ascending budget order.
+    pub ladder: Vec<SubModelSpec>,
+    /// Minimum top-1 softmax probability to accept a prediction without
+    /// escalating to the next rung.
+    pub threshold: f32,
+    /// Switchable-BN wiring (skipped by serde; rebuild after deserialising).
+    #[serde(skip)]
+    banks: LadderBanks,
+}
+
+impl ConfidenceLadder {
+    /// Creates a ladder policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ladder` is empty or the threshold is outside `(0, 1]`.
+    pub fn new(mut ladder: Vec<SubModelSpec>, threshold: f32) -> Self {
+        assert!(!ladder.is_empty(), "empty sub-model ladder");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        ladder.sort_by_key(SubModelSpec::gamma);
+        ConfidenceLadder {
+            ladder,
+            threshold,
+            banks: LadderBanks::default(),
+        }
+    }
+
+    /// Wires switchable-BN banks: before evaluating rung `r` the selector is
+    /// set to `bank_of_rung[r]` (the sub-model's index in the *training*
+    /// spec list, which names its statistic bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_of_rung.len() != ladder.len()`.
+    pub fn with_banks(
+        mut self,
+        selector: mri_nn::BnBankSelector,
+        bank_of_rung: Vec<usize>,
+    ) -> Self {
+        assert_eq!(
+            bank_of_rung.len(),
+            self.ladder.len(),
+            "one bank per rung required"
+        );
+        self.banks = LadderBanks {
+            selector: Some(selector),
+            bank_of_rung,
+        };
+        self
+    }
+
+    /// Classifies a batch adaptively: every sample starts at the cheapest
+    /// rung; samples whose top-1 probability falls below the threshold are
+    /// re-run at the next rung (the final rung's answers are always
+    /// accepted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a batch (rank ≥ 2 with the batch on axis 0).
+    pub fn classify(
+        &self,
+        model: &mut dyn Layer,
+        control: &ResolutionControl,
+        x: &Tensor,
+    ) -> LadderOutcome {
+        let n = x.dim(0);
+        let mut predictions = vec![0usize; n];
+        let mut rung_used = vec![0usize; n];
+        let mut samples_per_rung = Vec::with_capacity(self.ladder.len());
+        control.reset_counters();
+
+        // Samples still unresolved, by original index.
+        let mut active: Vec<usize> = (0..n).collect();
+        for (rung, spec) in self.ladder.iter().enumerate() {
+            if active.is_empty() {
+                samples_per_rung.push(0);
+                continue;
+            }
+            samples_per_rung.push(active.len());
+            if let Some(sel) = &self.banks.selector {
+                sel.store(
+                    self.banks.bank_of_rung[rung],
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
+            control.set_resolution(spec.resolution());
+            let sub = Tensor::stack(&active.iter().map(|&i| x.index_axis0(i)).collect::<Vec<_>>());
+            let logits = model.forward(&sub, Mode::Eval);
+            let probs = softmax(&logits);
+            let c = logits.dim(1);
+            let last = rung + 1 == self.ladder.len();
+            let mut still_active = Vec::new();
+            for (row, &sample) in active.iter().enumerate() {
+                let row_probs = &probs.data()[row * c..(row + 1) * c];
+                let (best, best_p) = row_probs.iter().enumerate().fold(
+                    (0usize, f32::NEG_INFINITY),
+                    |acc, (j, &p)| {
+                        if p > acc.1 {
+                            (j, p)
+                        } else {
+                            acc
+                        }
+                    },
+                );
+                predictions[sample] = best;
+                rung_used[sample] = rung;
+                if !last && best_p < self.threshold {
+                    still_active.push(sample);
+                }
+            }
+            active = still_active;
+        }
+        LadderOutcome {
+            predictions,
+            rung_used,
+            term_pairs: control.term_pairs(),
+            samples_per_rung,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QLinear, QuantConfig, Resolution};
+    use mri_nn::{Relu, Sequential};
+    use mri_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn ladder() -> Vec<SubModelSpec> {
+        vec![
+            SubModelSpec::new(20, 3),
+            SubModelSpec::new(8, 2),
+            SubModelSpec::new(14, 2),
+        ]
+    }
+
+    #[test]
+    fn latency_policy_picks_largest_fitting() {
+        let p = LatencyPolicy::new(ladder());
+        assert_eq!(p.select(1000), SubModelSpec::new(20, 3));
+        assert_eq!(p.select(30), SubModelSpec::new(14, 2));
+        assert_eq!(p.select(16), SubModelSpec::new(8, 2));
+        // Nothing fits: fall back to the cheapest.
+        assert_eq!(p.select(1), SubModelSpec::new(8, 2));
+    }
+
+    fn toy(seed: u64) -> (Sequential, Arc<ResolutionControl>) {
+        let control = Arc::new(ResolutionControl::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Sequential::new();
+        m.push(QLinear::new(
+            &mut rng,
+            6,
+            12,
+            QuantConfig::paper_cnn(),
+            Arc::clone(&control),
+        ));
+        m.push(Relu::new());
+        m.push(QLinear::new(
+            &mut rng,
+            12,
+            3,
+            QuantConfig::paper_cnn(),
+            Arc::clone(&control),
+        ));
+        (m, control)
+    }
+
+    #[test]
+    fn threshold_one_always_escalates_to_top() {
+        let (mut m, c) = toy(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = init::uniform(&mut rng, &[5, 6], 0.0, 1.0);
+        let pol = ConfidenceLadder::new(ladder(), 1.0);
+        let out = pol.classify(&mut m, &c, &x);
+        assert!(out.rung_used.iter().all(|&r| r == 2), "{:?}", out.rung_used);
+        assert_eq!(out.samples_per_rung, vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn tiny_threshold_stays_on_cheapest_rung() {
+        let (mut m, c) = toy(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = init::uniform(&mut rng, &[5, 6], 0.0, 1.0);
+        let pol = ConfidenceLadder::new(ladder(), 1e-6);
+        let out = pol.classify(&mut m, &c, &x);
+        assert!(out.rung_used.iter().all(|&r| r == 0));
+        assert_eq!(out.samples_per_rung, vec![5, 0, 0]);
+    }
+
+    #[test]
+    fn adaptive_costs_between_static_extremes() {
+        let (mut m, c) = toy(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = init::uniform(&mut rng, &[16, 6], 0.0, 1.0);
+        // Static costs at the two extremes.
+        c.set_resolution(Resolution::Tq { alpha: 8, beta: 2 });
+        c.reset_counters();
+        m.forward(&x, Mode::Eval);
+        let low = c.term_pairs();
+        c.set_resolution(Resolution::Tq { alpha: 20, beta: 3 });
+        c.reset_counters();
+        m.forward(&x, Mode::Eval);
+        let high = c.term_pairs();
+
+        let pol = ConfidenceLadder::new(ladder(), 0.5);
+        let out = pol.classify(&mut m, &c, &x);
+        assert!(
+            out.term_pairs >= low,
+            "adaptive {} < static low {low}",
+            out.term_pairs
+        );
+        assert!(
+            out.term_pairs <= low + high + high * 14 / 30 + high,
+            "adaptive cost suspiciously high"
+        );
+        assert_eq!(out.predictions.len(), 16);
+    }
+
+    #[test]
+    fn predictions_match_final_rung_resolution() {
+        // With threshold 1.0 everything lands on the final rung: the
+        // predictions must equal a static evaluation there.
+        let (mut m, c) = toy(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = init::uniform(&mut rng, &[6, 6], 0.0, 1.0);
+        let pol = ConfidenceLadder::new(ladder(), 1.0);
+        let out = pol.classify(&mut m, &c, &x);
+        c.set_resolution(Resolution::Tq { alpha: 20, beta: 3 });
+        let logits = m.forward(&x, Mode::Eval);
+        let expect = mri_tensor::reduce::argmax_rows(&logits);
+        assert_eq!(out.predictions, expect);
+    }
+}

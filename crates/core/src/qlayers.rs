@@ -1,0 +1,945 @@
+//! Quantization-aware layers: master-precision weights with a
+//! `UQ → SDR → TQ` forward pass and straight-through backward.
+//!
+//! These layers implement Algorithm 1 steps 1–7 for a single layer:
+//!
+//! 1. uniform-quantize weights and data to the meta bitwidth `b` using
+//!    learnable PACT clips;
+//! 2. expand into a signed-digit representation;
+//! 3. apply term quantization — group budget `α` for weights, per-value
+//!    budget `β` for data — as dictated by the shared [`ResolutionControl`];
+//! 4. run the convolution / matmul on the quantized values;
+//! 5. on backward, pass gradients straight through the quantizers to the
+//!    master weights (no quantization in the backward pass), routing
+//!    saturation gradients to the clip parameters (PACT).
+
+use crate::{Resolution, ResolutionControl};
+use mri_nn::{Layer, Mode, Param};
+use mri_quant::uq::{pact_clip_grad, ste_mask, QuantRange};
+use mri_quant::{GroupTermQuantizer, SdrEncoding, UniformQuantizer};
+use mri_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dCfg};
+use mri_tensor::reduce::sum_except_channel;
+use mri_tensor::{init, ops, Tensor};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Static quantization configuration shared by all quantized layers of a
+/// model (the meta model's bitwidth and grouping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantConfig {
+    /// Meta-model bitwidth `b` for weights (5 for the CNNs, 8 for LSTM/YOLO).
+    pub weight_bits: u32,
+    /// Meta-model bitwidth for data.
+    pub data_bits: u32,
+    /// TQ weight group size `g` (16 throughout the paper's evaluation).
+    pub group_size: usize,
+    /// Signed-digit encoding applied before term truncation.
+    pub encoding: SdrEncoding,
+    /// Range convention for data (unsigned after ReLU, symmetric otherwise).
+    pub data_range: QuantRange,
+    /// Initial PACT clip for weights.
+    pub init_weight_clip: f32,
+    /// Initial PACT clip for data.
+    pub init_data_clip: f32,
+}
+
+impl QuantConfig {
+    /// The paper's CNN setting: `b = 5`, `g = 16`, NAF encoding (§6, §9.1).
+    pub fn paper_cnn() -> Self {
+        QuantConfig {
+            weight_bits: 5,
+            data_bits: 5,
+            group_size: 16,
+            encoding: SdrEncoding::Naf,
+            data_range: QuantRange::Unsigned,
+            init_weight_clip: 1.0,
+            init_data_clip: 4.0,
+        }
+    }
+
+    /// The paper's 8-bit setting used for the LSTM and YOLO-v5 (§9.3, §9.4).
+    ///
+    /// The data clip starts at 1.0: PACT's saturation gradient can grow a
+    /// clip but nothing shrinks one, so initialising near the bounded
+    /// activation range (tanh/sigmoid outputs) is essential — an oversized
+    /// clip leaves low-bitwidth shared-scale UQ sub-models with only a
+    /// handful of representable levels.
+    pub fn paper_8bit() -> Self {
+        QuantConfig {
+            weight_bits: 8,
+            data_bits: 8,
+            group_size: 16,
+            encoding: SdrEncoding::Naf,
+            data_range: QuantRange::Symmetric,
+            init_weight_clip: 1.0,
+            init_data_clip: 1.0,
+        }
+    }
+}
+
+/// Internal helper performing the weight/data quantization for one layer.
+struct Quantizers {
+    qcfg: QuantConfig,
+}
+
+/// Result of fake-quantizing a tensor: the quantize-dequantized values plus
+/// the straight-through mask and PACT saturation signs needed by backward.
+///
+/// Exposed publicly so models with bespoke weight handling (e.g. the
+/// quantized LSTM in `mri-models`) can reuse the exact Algorithm-1 forward
+/// quantization path of [`QConv2d`]/[`QLinear`].
+pub struct QuantizedTensor {
+    /// Fake-quantized values (same shape as the input).
+    pub values: Tensor,
+    /// 1 where the straight-through gradient passes, 0 where it saturated.
+    pub ste: Tensor,
+    /// PACT clip-gradient signs (±1 where saturated, 0 elsewhere).
+    pub sat: Tensor,
+}
+
+/// Fake-quantizes a weight tensor under `res` exactly as [`QConv2d`] /
+/// [`QLinear`] do: symmetric UQ at the meta bitwidth with clip `clip`,
+/// then group TQ with groups laid along rows of length `row_len` (groups
+/// never cross rows).
+pub fn fake_quantize_weights(
+    w: &Tensor,
+    clip: f32,
+    res: Resolution,
+    qcfg: QuantConfig,
+    row_len: usize,
+) -> QuantizedTensor {
+    Quantizers { qcfg }.quantize_weights(w, clip, res, row_len)
+}
+
+/// Fake-quantizes a data tensor under `res`: UQ at the meta data bitwidth
+/// with clip `clip` (range per `qcfg.data_range`), then per-value TQ with
+/// the active `β`.
+pub fn fake_quantize_data(
+    x: &Tensor,
+    clip: f32,
+    res: Resolution,
+    qcfg: QuantConfig,
+) -> QuantizedTensor {
+    Quantizers { qcfg }.quantize_data(x, clip, res)
+}
+
+impl Quantizers {
+    /// Quantizes weights under `res`, grouping along the trailing axis in
+    /// row chunks of `row_len` (so groups never cross filters / output rows).
+    fn quantize_weights(
+        &self,
+        w: &Tensor,
+        clip: f32,
+        res: Resolution,
+        row_len: usize,
+    ) -> QuantizedTensor {
+        match res {
+            Resolution::Full => QuantizedTensor {
+                values: w.clone(),
+                ste: Tensor::ones(w.dims()),
+                sat: Tensor::zeros(w.dims()),
+            },
+            Resolution::Tq { alpha, .. } => {
+                let uq = UniformQuantizer::symmetric(self.qcfg.weight_bits, clip);
+                let tq = GroupTermQuantizer::new(self.qcfg.group_size, alpha, self.qcfg.encoding);
+                let mut values = Tensor::zeros(w.dims());
+                let mut ste = Tensor::zeros(w.dims());
+                let mut sat = Tensor::zeros(w.dims());
+                let scale = uq.scale();
+                for (r, row) in w.data().chunks(row_len).enumerate() {
+                    let ints: Vec<i64> = row.iter().map(|&x| uq.quantize(x)).collect();
+                    let tqd = tq.quantize_slice(&ints);
+                    for (i, (&q, &x)) in tqd.iter().zip(row.iter()).enumerate() {
+                        let idx = r * row_len + i;
+                        values.data_mut()[idx] = q as f32 * scale;
+                        ste.data_mut()[idx] = ste_mask(x, clip, QuantRange::Symmetric);
+                        sat.data_mut()[idx] = pact_clip_grad(x, clip, QuantRange::Symmetric, 1.0);
+                    }
+                }
+                QuantizedTensor { values, ste, sat }
+            }
+            Resolution::UqShared { weight_bits, .. } => {
+                let uq = UniformQuantizer::symmetric(self.qcfg.weight_bits, clip);
+                let shift = self.qcfg.weight_bits.saturating_sub(weight_bits);
+                let scale = uq.scale();
+                let mut values = Tensor::zeros(w.dims());
+                let mut ste = Tensor::zeros(w.dims());
+                let mut sat = Tensor::zeros(w.dims());
+                for (i, &x) in w.data().iter().enumerate() {
+                    let q = truncate_low_bits(uq.quantize(x), shift);
+                    values.data_mut()[i] = q as f32 * scale;
+                    ste.data_mut()[i] = ste_mask(x, clip, QuantRange::Symmetric);
+                    sat.data_mut()[i] = pact_clip_grad(x, clip, QuantRange::Symmetric, 1.0);
+                }
+                QuantizedTensor { values, ste, sat }
+            }
+        }
+    }
+
+    /// Quantizes data under `res` with a per-integer lookup table (`g = 1`).
+    fn quantize_data(&self, x: &Tensor, clip: f32, res: Resolution) -> QuantizedTensor {
+        match res {
+            Resolution::Full => QuantizedTensor {
+                values: x.clone(),
+                ste: Tensor::ones(x.dims()),
+                sat: Tensor::zeros(x.dims()),
+            },
+            Resolution::Tq { .. } | Resolution::UqShared { .. } => {
+                // Both branches share the LUT mechanism; pick the transform.
+                let uq = match self.qcfg.data_range {
+                    QuantRange::Symmetric => UniformQuantizer::symmetric(self.qcfg.data_bits, clip),
+                    QuantRange::Unsigned => UniformQuantizer::unsigned(self.qcfg.data_bits, clip),
+                };
+                let transform: Box<dyn Fn(i64) -> i64> = match res {
+                    Resolution::Tq { beta, .. } => {
+                        let tq = GroupTermQuantizer::new(1, beta, self.qcfg.encoding);
+                        Box::new(move |v| tq.quantize_i64(&[v]).values[0])
+                    }
+                    Resolution::UqShared { data_bits, .. } => {
+                        let shift = self.qcfg.data_bits.saturating_sub(data_bits);
+                        Box::new(move |v| truncate_low_bits(v, shift))
+                    }
+                    Resolution::Full => unreachable!(),
+                };
+                let levels = uq.levels();
+                let lut: Vec<f32> = (-levels..=levels)
+                    .map(|v| transform(v) as f32 * uq.scale())
+                    .collect();
+                let off = levels;
+                let mut values = Tensor::zeros(x.dims());
+                let mut ste = Tensor::zeros(x.dims());
+                let mut sat = Tensor::zeros(x.dims());
+                for (i, &v) in x.data().iter().enumerate() {
+                    let q = uq.quantize(v);
+                    values.data_mut()[i] = lut[(q + off) as usize];
+                    ste.data_mut()[i] = ste_mask(v, clip, self.qcfg.data_range);
+                    sat.data_mut()[i] = pact_clip_grad(v, clip, self.qcfg.data_range, 1.0);
+                }
+                QuantizedTensor { values, ste, sat }
+            }
+        }
+    }
+}
+
+/// Zeroes the low `shift` bits of an integer level, sign-magnitude style —
+/// the "leading bit positions" truncation of Fig. 2(b).
+fn truncate_low_bits(v: i64, shift: u32) -> i64 {
+    let mag = (v.unsigned_abs() >> shift) << shift;
+    if v < 0 {
+        -(mag as i64)
+    } else {
+        mag as i64
+    }
+}
+
+/// Counts the term pairs a dot product of length `k` costs per output
+/// element under `res` (full groups of `g`, tail scaled).
+fn term_pairs_per_dot(res: Resolution, k: usize, g: usize, meta_bits: u32) -> u64 {
+    match res {
+        Resolution::Tq { alpha, beta } => {
+            let full = k / g;
+            let tail = k % g;
+            let mut tp = full as u64 * (alpha * beta) as u64;
+            if tail > 0 {
+                tp += ((alpha * tail).div_ceil(g) * beta) as u64;
+            }
+            tp
+        }
+        _ => {
+            // Bit-serial style accounting: per value pair, wbits × dbits.
+            let per_val = res.term_pairs_per_group(g, meta_bits) / g as u64;
+            per_val * k as u64
+        }
+    }
+}
+
+/// Quantization-aware 2-D convolution (the multi-resolution counterpart of
+/// [`mri_nn::Conv2d`]).
+pub struct QConv2d {
+    weight: Param,
+    bias: Param,
+    w_clip: Param,
+    x_clip: Param,
+    cfg: Conv2dCfg,
+    qcfg: QuantConfig,
+    control: Arc<ResolutionControl>,
+    in_channels: usize,
+    out_channels: usize,
+    cache: Option<QConvCache>,
+}
+
+struct QConvCache {
+    cols_q: Tensor,
+    input_dims: (usize, usize, usize, usize),
+    w_q: Tensor,
+    w_ste: Tensor,
+    w_sat: Tensor,
+    x_ste: Tensor,
+    x_sat: Tensor,
+}
+
+impl QConv2d {
+    /// Creates a quantized convolution with Kaiming-normal master weights.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        cfg: Conv2dCfg,
+        qcfg: QuantConfig,
+        control: Arc<ResolutionControl>,
+    ) -> Self {
+        let (kh, kw) = cfg.kernel;
+        let fan_in = in_channels * kh * kw;
+        QConv2d {
+            weight: Param::new(init::kaiming_normal(
+                rng,
+                &[out_channels, in_channels, kh, kw],
+                fan_in,
+            )),
+            bias: Param::new_no_decay(Tensor::zeros(&[out_channels])),
+            w_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
+            x_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
+            cfg,
+            qcfg,
+            control,
+            in_channels,
+            out_channels,
+            cache: None,
+        }
+    }
+
+    /// Immutable access to the master (full-precision) weights.
+    pub fn master_weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The weights as quantized under the currently active resolution —
+    /// what the hardware would actually store and compute with.
+    pub fn quantized_weight(&self) -> Tensor {
+        let q = Quantizers { qcfg: self.qcfg };
+        let row_len = self.in_channels * self.cfg.kernel.0 * self.cfg.kernel.1;
+        q.quantize_weights(
+            &self.weight.value,
+            clip_value(&self.w_clip),
+            self.control.resolution(),
+            row_len,
+        )
+        .values
+    }
+}
+
+fn clip_value(p: &Param) -> f32 {
+    p.value.data()[0].max(1e-3)
+}
+
+impl Layer for QConv2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.dim(1), self.in_channels, "qconv input channel mismatch");
+        let res = self.control.resolution();
+        let q = Quantizers { qcfg: self.qcfg };
+        let row_len = self.in_channels * self.cfg.kernel.0 * self.cfg.kernel.1;
+
+        let wq = q.quantize_weights(&self.weight.value, clip_value(&self.w_clip), res, row_len);
+        let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
+
+        let dims = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (mut y, cols_q) = conv2d_forward(&xq.values, &wq.values, self.cfg);
+        y.add_channel_bias_inplace(&self.bias.value);
+
+        // Accounting: every output element is a length-row_len dot product.
+        let out_elems = (y.len()) as u64;
+        self.control.add_term_pairs(
+            out_elems
+                * term_pairs_per_dot(res, row_len, self.qcfg.group_size, self.qcfg.weight_bits),
+        );
+        self.control.add_value_macs(out_elems * row_len as u64);
+
+        if mode.is_train() {
+            self.cache = Some(QConvCache {
+                cols_q,
+                input_dims: dims,
+                w_q: wq.values,
+                w_ste: wq.ste,
+                w_sat: wq.sat,
+                x_ste: xq.ste,
+                x_sat: xq.sat,
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let (gx_q, gw_q) = conv2d_backward(
+            grad_out,
+            &cache.cols_q,
+            &cache.w_q,
+            cache.input_dims,
+            self.cfg,
+        );
+
+        // Straight-through to the master weights; saturated part to clips.
+        self.weight.accumulate(&(&gw_q * &cache.w_ste));
+        let wclip_g: f32 = gw_q
+            .data()
+            .iter()
+            .zip(cache.w_sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum();
+        self.w_clip.grad.data_mut()[0] += wclip_g;
+
+        self.bias.accumulate(&sum_except_channel(grad_out));
+
+        let gx = &gx_q * &cache.x_ste;
+        let xclip_g: f32 = gx_q
+            .data()
+            .iter()
+            .zip(cache.x_sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum();
+        self.x_clip.grad.data_mut()[0] += xclip_g;
+        gx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+        visitor(&mut self.w_clip);
+        visitor(&mut self.x_clip);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "qconv2d({}->{}, {}x{}/{}, b={}, g={})",
+            self.in_channels,
+            self.out_channels,
+            self.cfg.kernel.0,
+            self.cfg.kernel.1,
+            self.cfg.stride.0,
+            self.qcfg.weight_bits,
+            self.qcfg.group_size
+        )
+    }
+}
+
+/// Quantization-aware fully connected layer.
+pub struct QLinear {
+    weight: Param,
+    bias: Param,
+    w_clip: Param,
+    x_clip: Param,
+    qcfg: QuantConfig,
+    control: Arc<ResolutionControl>,
+    in_features: usize,
+    out_features: usize,
+    cache: Option<QLinearCache>,
+}
+
+struct QLinearCache {
+    x_q: Tensor,
+    w_q: Tensor,
+    w_ste: Tensor,
+    w_sat: Tensor,
+    x_ste: Tensor,
+    x_sat: Tensor,
+}
+
+impl QLinear {
+    /// Creates a quantized linear layer with Kaiming-normal master weights.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_features: usize,
+        out_features: usize,
+        qcfg: QuantConfig,
+        control: Arc<ResolutionControl>,
+    ) -> Self {
+        QLinear {
+            weight: Param::new(init::kaiming_normal(
+                rng,
+                &[out_features, in_features],
+                in_features,
+            )),
+            bias: Param::new_no_decay(Tensor::zeros(&[out_features])),
+            w_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
+            x_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
+            qcfg,
+            control,
+            in_features,
+            out_features,
+            cache: None,
+        }
+    }
+
+    /// Immutable access to the master (full-precision) weights.
+    pub fn master_weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The weights as quantized under the currently active resolution.
+    pub fn quantized_weight(&self) -> Tensor {
+        let q = Quantizers { qcfg: self.qcfg };
+        q.quantize_weights(
+            &self.weight.value,
+            clip_value(&self.w_clip),
+            self.control.resolution(),
+            self.in_features,
+        )
+        .values
+    }
+}
+
+impl Layer for QLinear {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.dim(1), self.in_features, "qlinear input width mismatch");
+        let res = self.control.resolution();
+        let q = Quantizers { qcfg: self.qcfg };
+        let wq = q.quantize_weights(
+            &self.weight.value,
+            clip_value(&self.w_clip),
+            res,
+            self.in_features,
+        );
+        let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
+
+        let mut y = ops::matmul_bt(&xq.values, &wq.values);
+        y.add_channel_bias_inplace(&self.bias.value);
+
+        let out_elems = y.len() as u64;
+        self.control.add_term_pairs(
+            out_elems
+                * term_pairs_per_dot(
+                    res,
+                    self.in_features,
+                    self.qcfg.group_size,
+                    self.qcfg.weight_bits,
+                ),
+        );
+        self.control
+            .add_value_macs(out_elems * self.in_features as u64);
+
+        if mode.is_train() {
+            self.cache = Some(QLinearCache {
+                x_q: xq.values,
+                w_q: wq.values,
+                w_ste: wq.ste,
+                w_sat: wq.sat,
+                x_ste: xq.ste,
+                x_sat: xq.sat,
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let gw_q = ops::matmul_at(grad_out, &cache.x_q);
+        let gx_q = ops::matmul(grad_out, &cache.w_q);
+
+        self.weight.accumulate(&(&gw_q * &cache.w_ste));
+        let wclip_g: f32 = gw_q
+            .data()
+            .iter()
+            .zip(cache.w_sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum();
+        self.w_clip.grad.data_mut()[0] += wclip_g;
+
+        self.bias.accumulate(&sum_except_channel(grad_out));
+
+        let gx = &gx_q * &cache.x_ste;
+        let xclip_g: f32 = gx_q
+            .data()
+            .iter()
+            .zip(cache.x_sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum();
+        self.x_clip.grad.data_mut()[0] += xclip_g;
+        gx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+        visitor(&mut self.w_clip);
+        visitor(&mut self.x_clip);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "qlinear({}->{}, b={})",
+            self.in_features, self.out_features, self.qcfg.weight_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctl(res: Resolution) -> Arc<ResolutionControl> {
+        Arc::new(ResolutionControl::new(res))
+    }
+
+    #[test]
+    fn truncate_low_bits_matches_fig2b() {
+        // 5-bit values truncated to their two leading positions (shift 3).
+        assert_eq!(truncate_low_bits(21, 3), 16); // 10101 -> 10000
+        assert_eq!(truncate_low_bits(6, 3), 0); // 00110 -> 00000
+        assert_eq!(truncate_low_bits(17, 3), 16);
+        assert_eq!(truncate_low_bits(11, 3), 8); // 01011 -> 01000
+        assert_eq!(truncate_low_bits(-11, 3), -8);
+    }
+
+    #[test]
+    fn full_resolution_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = ctl(Resolution::Full);
+        let mut lin = QLinear::new(&mut rng, 4, 3, QuantConfig::paper_cnn(), Arc::clone(&c));
+        let x = init::uniform(&mut rng, &[2, 4], 0.0, 1.0);
+        let y = lin.forward(&x, Mode::Eval);
+        // Same as an unquantized linear with identical weights.
+        let manual = {
+            let mut m = ops::matmul_bt(&x, lin.master_weight());
+            m.add_channel_bias_inplace(&Tensor::zeros(&[3]));
+            m
+        };
+        mri_tensor::assert_close(y.data(), manual.data(), 1e-6);
+    }
+
+    #[test]
+    fn lower_budgets_change_output_more() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = ctl(Resolution::Full);
+        let mut lin = QLinear::new(&mut rng, 32, 8, QuantConfig::paper_cnn(), Arc::clone(&c));
+        let x = init::uniform(&mut rng, &[4, 32], 0.0, 1.0);
+        let y_full = lin.forward(&x, Mode::Eval);
+        let err_at = |alpha: usize, beta: usize, lin: &mut QLinear| {
+            c.set_resolution(Resolution::Tq { alpha, beta });
+            let y = lin.forward(&x, Mode::Eval);
+            (&y - &y_full).norm_sq()
+        };
+        let e_hi = err_at(20, 3, &mut lin);
+        let e_lo = err_at(4, 1, &mut lin);
+        assert!(
+            e_lo > e_hi,
+            "low budget error {e_lo} should exceed high budget error {e_hi}"
+        );
+    }
+
+    #[test]
+    fn term_pair_accounting_matches_gamma() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = ctl(Resolution::Tq { alpha: 8, beta: 2 });
+        // in_features 32 = two groups of 16 -> 2γ per output element.
+        let mut lin = QLinear::new(&mut rng, 32, 4, QuantConfig::paper_cnn(), Arc::clone(&c));
+        let x = init::uniform(&mut rng, &[3, 32], 0.0, 1.0);
+        c.reset_counters();
+        lin.forward(&x, Mode::Eval);
+        assert_eq!(c.term_pairs(), 3 * 4 * 2 * 16);
+        assert_eq!(c.value_macs(), 3 * 4 * 32);
+    }
+
+    #[test]
+    fn term_pairs_per_dot_handles_tail_groups() {
+        let res = Resolution::Tq { alpha: 8, beta: 2 };
+        // k = 40 with g = 16: two full groups (2γ) + tail of 8 (α scaled to 4 -> 8 pairs).
+        assert_eq!(term_pairs_per_dot(res, 40, 16, 5), 2 * 16 + 8);
+        // UQ shared 4w/3d: 12 pairs per value.
+        let uq = Resolution::UqShared {
+            weight_bits: 4,
+            data_bits: 3,
+        };
+        assert_eq!(term_pairs_per_dot(uq, 10, 16, 5), 120);
+    }
+
+    #[test]
+    fn qconv_forward_shape_and_counters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = ctl(Resolution::Tq { alpha: 16, beta: 2 });
+        let mut conv = QConv2d::new(
+            &mut rng,
+            3,
+            8,
+            Conv2dCfg::same(3),
+            QuantConfig::paper_cnn(),
+            Arc::clone(&c),
+        );
+        let x = init::uniform(&mut rng, &[2, 3, 8, 8], 0.0, 1.0);
+        c.reset_counters();
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+        // row_len = 27: one full group (32 pairs) + tail 11 (α 11 -> ceil(16*11/16)=11, 22 pairs).
+        let per_dot = term_pairs_per_dot(Resolution::Tq { alpha: 16, beta: 2 }, 27, 16, 5);
+        assert_eq!(c.term_pairs(), (2 * 8 * 8 * 8) as u64 * per_dot);
+    }
+
+    #[test]
+    fn qlinear_gradcheck_inside_clip_range() {
+        // With generous budgets and tiny inputs the quantizer is locally
+        // constant, so the STE gradient should match the quantized matmul's
+        // gradient; we check the loss actually decreases under SGD instead
+        // of pointwise equality (rounding makes finite differences unstable).
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = ctl(Resolution::Tq { alpha: 20, beta: 3 });
+        let mut lin = QLinear::new(&mut rng, 8, 4, QuantConfig::paper_cnn(), Arc::clone(&c));
+        let x = init::uniform(&mut rng, &[16, 8], 0.0, 1.0);
+        let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+        let mut opt = mri_nn::Sgd::new(0.1, 0.9, 0.0);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            lin.visit_params(&mut |p| p.zero_grad());
+            let y = lin.forward(&x, Mode::Train);
+            let (l, g) = mri_nn::loss::cross_entropy(&y, &labels);
+            lin.backward(&g);
+            opt.step(|f| lin.visit_params(f));
+            first.get_or_insert(l);
+            last = l;
+        }
+        assert!(
+            last < first.unwrap() * 0.7,
+            "loss {last} did not improve from {:?}",
+            first
+        );
+    }
+
+    #[test]
+    fn clip_gradients_flow_on_saturation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = ctl(Resolution::Tq { alpha: 20, beta: 3 });
+        let mut qcfg = QuantConfig::paper_cnn();
+        qcfg.init_data_clip = 0.5; // force saturation: inputs go up to 1.
+        let mut lin = QLinear::new(&mut rng, 8, 2, qcfg, c);
+        let x = init::uniform(&mut rng, &[4, 8], 0.9, 1.0);
+        let y = lin.forward(&x, Mode::Train);
+        lin.backward(&y);
+        let mut clips = Vec::new();
+        lin.visit_params(&mut |p| clips.push(p.grad.data()[0]));
+        // Param order: weight, bias, w_clip, x_clip.
+        let x_clip_grad = clips[3];
+        assert!(
+            x_clip_grad.abs() > 0.0,
+            "saturated inputs must update the PACT clip"
+        );
+    }
+
+    #[test]
+    fn quantized_weight_reflects_resolution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = ctl(Resolution::Tq { alpha: 2, beta: 1 });
+        let lin = QLinear::new(&mut rng, 16, 1, QuantConfig::paper_cnn(), Arc::clone(&c));
+        let w_low = lin.quantized_weight();
+        c.set_resolution(Resolution::Full);
+        let w_full = lin.quantized_weight();
+        assert_eq!(w_full.data(), lin.master_weight().data());
+        // At α = 2 per 16 weights, at most 2 nonzero values remain.
+        let nonzero = w_low.data().iter().filter(|v| **v != 0.0).count();
+        assert!(
+            nonzero <= 2,
+            "expected <= 2 nonzero quantized weights, got {nonzero}"
+        );
+    }
+}
+
+/// Quantization-aware depthwise convolution: each channel convolves with its
+/// own 3×3 filter (MobileNet-v2's inner stage). Weight groups are laid per
+/// channel (KH·KW values, a partial TQ group with proportionally scaled
+/// budget), matching how the systolic mapping treats depthwise layers.
+pub struct QDepthwiseConv2d {
+    weight: Param,
+    bias: Param,
+    w_clip: Param,
+    x_clip: Param,
+    cfg: Conv2dCfg,
+    qcfg: QuantConfig,
+    control: Arc<ResolutionControl>,
+    channels: usize,
+    cache: Option<QDwCache>,
+}
+
+struct QDwCache {
+    x_q: Tensor,
+    w_q: Tensor,
+    w_ste: Tensor,
+    w_sat: Tensor,
+    x_ste: Tensor,
+    x_sat: Tensor,
+}
+
+impl QDepthwiseConv2d {
+    /// Creates a quantized depthwise convolution over `channels` maps.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        channels: usize,
+        cfg: Conv2dCfg,
+        qcfg: QuantConfig,
+        control: Arc<ResolutionControl>,
+    ) -> Self {
+        let (kh, kw) = cfg.kernel;
+        QDepthwiseConv2d {
+            weight: Param::new(init::kaiming_normal(rng, &[channels, kh, kw], kh * kw)),
+            bias: Param::new_no_decay(Tensor::zeros(&[channels])),
+            w_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
+            x_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
+            cfg,
+            qcfg,
+            control,
+            channels,
+            cache: None,
+        }
+    }
+
+    /// Immutable access to the master weights (`[C, KH, KW]`).
+    pub fn master_weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for QDepthwiseConv2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.dim(1), self.channels, "qdepthwise channel mismatch");
+        let res = self.control.resolution();
+        let q = Quantizers { qcfg: self.qcfg };
+        let (kh, kw) = self.cfg.kernel;
+        // One TQ group per channel filter (k = kh*kw values).
+        let wq = q.quantize_weights(&self.weight.value, clip_value(&self.w_clip), res, kh * kw);
+        let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
+
+        let mut y = mri_tensor::conv::depthwise_forward(&xq.values, &wq.values, self.cfg);
+        y.add_channel_bias_inplace(&self.bias.value);
+
+        let out_elems = y.len() as u64;
+        self.control.add_term_pairs(
+            out_elems
+                * term_pairs_per_dot(res, kh * kw, self.qcfg.group_size, self.qcfg.weight_bits),
+        );
+        self.control.add_value_macs(out_elems * (kh * kw) as u64);
+
+        if mode.is_train() {
+            self.cache = Some(QDwCache {
+                x_q: xq.values,
+                w_q: wq.values,
+                w_ste: wq.ste,
+                w_sat: wq.sat,
+                x_ste: xq.ste,
+                x_sat: xq.sat,
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let (gx_q, gw_q) =
+            mri_tensor::conv::depthwise_backward(grad_out, &cache.x_q, &cache.w_q, self.cfg);
+        self.weight.accumulate(&(&gw_q * &cache.w_ste));
+        let wclip_g: f32 = gw_q
+            .data()
+            .iter()
+            .zip(cache.w_sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum();
+        self.w_clip.grad.data_mut()[0] += wclip_g;
+        self.bias.accumulate(&sum_except_channel(grad_out));
+        let gx = &gx_q * &cache.x_ste;
+        let xclip_g: f32 = gx_q
+            .data()
+            .iter()
+            .zip(cache.x_sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum();
+        self.x_clip.grad.data_mut()[0] += xclip_g;
+        gx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+        visitor(&mut self.w_clip);
+        visitor(&mut self.x_clip);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "qdepthwise({}ch, {}x{}/{})",
+            self.channels, self.cfg.kernel.0, self.cfg.kernel.1, self.cfg.stride.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod depthwise_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn qdepthwise_forward_shape_and_counters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = Arc::new(ResolutionControl::new(Resolution::Tq { alpha: 8, beta: 2 }));
+        let mut dw = QDepthwiseConv2d::new(
+            &mut rng,
+            4,
+            Conv2dCfg::same(3),
+            QuantConfig::paper_cnn(),
+            Arc::clone(&c),
+        );
+        let x = init::uniform(&mut rng, &[2, 4, 6, 6], 0.0, 1.0);
+        c.reset_counters();
+        let y = dw.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 4, 6, 6]);
+        // k = 9 tail group at α = 8 on g = 16: ceil(8*9/16) = 5 terms × β = 2.
+        assert_eq!(c.term_pairs(), (2 * 4 * 36) as u64 * 10);
+    }
+
+    #[test]
+    fn qdepthwise_full_resolution_matches_plain_kernel() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Arc::new(ResolutionControl::new(Resolution::Full));
+        let mut dw = QDepthwiseConv2d::new(
+            &mut rng,
+            3,
+            Conv2dCfg::same(3),
+            QuantConfig::paper_cnn(),
+            Arc::clone(&c),
+        );
+        let x = init::uniform(&mut rng, &[1, 3, 5, 5], 0.0, 1.0);
+        let y = dw.forward(&x, Mode::Eval);
+        let expect =
+            mri_tensor::conv::depthwise_forward(&x, dw.master_weight(), Conv2dCfg::same(3));
+        mri_tensor::assert_close(y.data(), expect.data(), 1e-6);
+    }
+
+    #[test]
+    fn qdepthwise_trains() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Arc::new(ResolutionControl::new(Resolution::Tq {
+            alpha: 12,
+            beta: 2,
+        }));
+        let mut dw = QDepthwiseConv2d::new(
+            &mut rng,
+            2,
+            Conv2dCfg::same(3),
+            QuantConfig::paper_cnn(),
+            Arc::clone(&c),
+        );
+        let x = init::uniform(&mut rng, &[4, 2, 4, 4], 0.0, 1.0);
+        let target = init::uniform(&mut rng, &[4, 2, 4, 4], 0.0, 1.0);
+        let mut opt = mri_nn::Sgd::new(0.05, 0.9, 0.0);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            dw.visit_params(&mut |p| p.zero_grad());
+            let y = dw.forward(&x, Mode::Train);
+            let (l, g) = mri_nn::loss::mse(&y, &target);
+            dw.backward(&g);
+            opt.step(|f| dw.visit_params(f));
+            first.get_or_insert(l);
+            last = l;
+        }
+        assert!(last < first.unwrap(), "loss {first:?} -> {last}");
+    }
+}

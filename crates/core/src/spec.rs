@@ -1,0 +1,208 @@
+//! Sub-model specifications: the resolution a model runs at.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A term-budget pair `(α, β)` identifying one sub-model of a
+/// multi-resolution model (paper §4.1: "we call the resulting DNN model
+/// corresponding to a specific term budget pair (α, β) a sub-model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubModelSpec {
+    /// Weight term budget per group of `g` weights.
+    pub alpha: usize,
+    /// Data term budget per value.
+    pub beta: usize,
+}
+
+impl SubModelSpec {
+    /// Creates a spec.
+    pub fn new(alpha: usize, beta: usize) -> Self {
+        SubModelSpec { alpha, beta }
+    }
+
+    /// The term-pair budget `γ = α·β`, the per-group mMAC latency (§3.3).
+    pub fn gamma(&self) -> usize {
+        self.alpha * self.beta
+    }
+
+    /// The resolution corresponding to this spec.
+    pub fn resolution(&self) -> Resolution {
+        Resolution::Tq {
+            alpha: self.alpha,
+            beta: self.beta,
+        }
+    }
+
+    /// The eight ResNet-18 sub-model settings read off the paper's Fig. 19
+    /// (α from 8 to 20 in steps of 2 at β = 2, then β = 3 for the largest),
+    /// ordered smallest to largest.
+    pub fn paper_resnet18_grid() -> Vec<SubModelSpec> {
+        vec![
+            SubModelSpec::new(8, 2),
+            SubModelSpec::new(10, 2),
+            SubModelSpec::new(12, 2),
+            SubModelSpec::new(14, 2),
+            SubModelSpec::new(16, 2),
+            SubModelSpec::new(18, 2),
+            SubModelSpec::new(20, 2),
+            SubModelSpec::new(20, 3),
+        ]
+    }
+
+    /// The YOLO-v5 grid of §6.4.3: α from 22 to 38, β from 4 to 5, at 8-bit.
+    pub fn paper_yolo_grid() -> Vec<SubModelSpec> {
+        vec![
+            SubModelSpec::new(22, 4),
+            SubModelSpec::new(24, 4),
+            SubModelSpec::new(26, 4),
+            SubModelSpec::new(28, 4),
+            SubModelSpec::new(30, 4),
+            SubModelSpec::new(32, 4),
+            SubModelSpec::new(34, 5),
+            SubModelSpec::new(36, 5),
+            SubModelSpec::new(38, 5),
+            SubModelSpec::new(38, 5),
+        ]
+    }
+}
+
+impl fmt::Display for SubModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(α={}, β={})", self.alpha, self.beta)
+    }
+}
+
+/// The active resolution of a quantized model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Resolution {
+    /// No quantization: the full-precision master weights run as-is.
+    #[default]
+    Full,
+    /// Term quantization with weight budget `alpha` per group and data
+    /// budget `beta` per value — the paper's proposal.
+    Tq {
+        /// Weight term budget per group.
+        alpha: usize,
+        /// Data term budget per value.
+        beta: usize,
+    },
+    /// Shared-bit uniform quantization (the §6.4 baseline): the sub-model's
+    /// values are the meta model's `meta_bits`-bit values truncated to their
+    /// leading `weight_bits` / `data_bits` bit positions (Fig. 2(b)), so all
+    /// bitwidths share one scale factor.
+    UqShared {
+        /// Retained weight bit positions.
+        weight_bits: u32,
+        /// Retained data bit positions.
+        data_bits: u32,
+    },
+}
+
+impl Resolution {
+    /// Term-pair multiplications one value–value product costs under this
+    /// resolution, per weight *group* of size `g` (the mMAC's processing
+    /// latency, §3.3/§5.1):
+    ///
+    /// * TQ: `γ = α·β`;
+    /// * shared-bit UQ: every value carries up to `bits` terms, so a group
+    ///   costs `g · w_bits · d_bits`;
+    /// * full precision: treated as `g · meta_bits²`.
+    pub fn term_pairs_per_group(&self, g: usize, meta_bits: u32) -> u64 {
+        match *self {
+            Resolution::Full => g as u64 * u64::from(meta_bits) * u64::from(meta_bits),
+            Resolution::Tq { alpha, beta } => (alpha * beta) as u64,
+            Resolution::UqShared {
+                weight_bits,
+                data_bits,
+            } => g as u64 * u64::from(weight_bits) * u64::from(data_bits),
+        }
+    }
+
+    /// Short label for tables and plots, e.g. `tq(a20,b3)` or `uq(w5,d5)`.
+    pub fn label(&self) -> String {
+        match *self {
+            Resolution::Full => "full".to_string(),
+            Resolution::Tq { alpha, beta } => format!("tq(a{alpha},b{beta})"),
+            Resolution::UqShared {
+                weight_bits,
+                data_bits,
+            } => {
+                format!("uq(w{weight_bits},d{data_bits})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl From<SubModelSpec> for Resolution {
+    fn from(s: SubModelSpec) -> Self {
+        s.resolution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_is_alpha_times_beta() {
+        assert_eq!(SubModelSpec::new(20, 3).gamma(), 60);
+        assert_eq!(SubModelSpec::new(8, 2).gamma(), 16);
+    }
+
+    #[test]
+    fn paper_grid_spans_fig19_gammas() {
+        let grid = SubModelSpec::paper_resnet18_grid();
+        assert_eq!(grid.len(), 8);
+        assert_eq!(grid.first().unwrap().gamma(), 16);
+        assert_eq!(grid.last().unwrap().gamma(), 60);
+        // Strictly non-decreasing γ.
+        for w in grid.windows(2) {
+            assert!(w[0].gamma() <= w[1].gamma());
+        }
+    }
+
+    #[test]
+    fn term_pairs_per_group() {
+        let g = 16;
+        assert_eq!(
+            Resolution::Tq { alpha: 20, beta: 3 }.term_pairs_per_group(g, 5),
+            60
+        );
+        assert_eq!(
+            Resolution::UqShared {
+                weight_bits: 5,
+                data_bits: 5
+            }
+            .term_pairs_per_group(g, 5),
+            16 * 25
+        );
+        assert_eq!(Resolution::Full.term_pairs_per_group(g, 5), 16 * 25);
+    }
+
+    #[test]
+    fn labels_round_trip_visually() {
+        assert_eq!(Resolution::Tq { alpha: 8, beta: 2 }.label(), "tq(a8,b2)");
+        assert_eq!(
+            Resolution::UqShared {
+                weight_bits: 4,
+                data_bits: 3
+            }
+            .label(),
+            "uq(w4,d3)"
+        );
+        assert_eq!(Resolution::Full.label(), "full");
+        assert_eq!(SubModelSpec::new(8, 2).to_string(), "(α=8, β=2)");
+    }
+
+    #[test]
+    fn conversion_from_spec() {
+        let r: Resolution = SubModelSpec::new(10, 2).into();
+        assert_eq!(r, Resolution::Tq { alpha: 10, beta: 2 });
+    }
+}

@@ -1,0 +1,518 @@
+//! Meta multi-resolution training (the paper's Algorithm 1) and the
+//! baselines it is compared against.
+//!
+//! Per iteration the trainer:
+//!
+//! 1. activates the **teacher** — always the largest-budget sub-model —
+//!    and runs a forward/backward pass against the true labels;
+//! 2. activates a **student** sub-model drawn uniformly from the remaining
+//!    specs and runs a forward/backward pass against the combined
+//!    cross-entropy + knowledge-distillation loss (teacher logits as soft
+//!    targets, treated as constants);
+//! 3. applies the accumulated gradients to the full-precision master
+//!    weights with SGD (momentum + weight decay). No quantization happens
+//!    in the backward pass — the quantized layers use straight-through
+//!    estimators.
+
+use crate::{Resolution, ResolutionControl, SubModelSpec};
+use mri_nn::loss::{cross_entropy, distillation_loss};
+use mri_nn::{Layer, Mode, Sgd};
+use mri_tensor::reduce::accuracy;
+use mri_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration of the multi-resolution training loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerConfig {
+    /// Sub-model specs; the last (largest) is always the teacher.
+    pub specs: Vec<SubModelSpec>,
+    /// KD loss weight λ in `CE + λ·KD`.
+    pub kd_lambda: f32,
+    /// KD softmax temperature.
+    pub kd_temperature: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum (0.9 in the paper).
+    pub momentum: f32,
+    /// L2 weight decay (1e-4 in the paper).
+    pub weight_decay: f32,
+    /// RNG seed for student selection.
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// Paper-style defaults for a given sub-model grid.
+    pub fn new(specs: Vec<SubModelSpec>) -> Self {
+        TrainerConfig {
+            specs,
+            kd_lambda: 1.0,
+            kd_temperature: 4.0,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics of one Algorithm-1 iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Teacher task loss `L_T`.
+    pub teacher_loss: f32,
+    /// Student combined loss `L_S`.
+    pub student_loss: f32,
+    /// Which student spec was drawn this iteration.
+    pub student: SubModelSpec,
+}
+
+/// Result of evaluating one sub-model on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// The evaluated sub-model.
+    pub spec: SubModelSpec,
+    /// Classification accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Term-pair multiplications for one full pass over the dataset.
+    pub term_pairs: u64,
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+}
+
+/// The Algorithm-1 trainer.
+///
+/// Works on any classifier implementing [`Layer`] whose quantized layers
+/// listen to the given [`ResolutionControl`].
+pub struct MultiResTrainer {
+    cfg: TrainerConfig,
+    control: Arc<ResolutionControl>,
+    optimizer: Sgd,
+    rng: StdRng,
+    bank_selector: Option<mri_nn::BnBankSelector>,
+}
+
+impl MultiResTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.specs` is empty.
+    pub fn new(cfg: TrainerConfig, control: Arc<ResolutionControl>) -> Self {
+        assert!(
+            !cfg.specs.is_empty(),
+            "at least one sub-model spec required"
+        );
+        let optimizer = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        MultiResTrainer {
+            cfg,
+            control,
+            optimizer,
+            rng,
+            bank_selector: None,
+        }
+    }
+
+    /// Attaches a switchable-BN bank selector: before every forward pass the
+    /// trainer sets it to the active sub-model's index, so each sub-model
+    /// accumulates its own batch-norm statistics (and no post-training
+    /// recalibration is needed). The model must have been built with
+    /// `specs.len()` banks sharing this selector.
+    pub fn with_bank_selector(mut self, selector: mri_nn::BnBankSelector) -> Self {
+        self.bank_selector = Some(selector);
+        self
+    }
+
+    fn select_bank(&self, index: usize) {
+        if let Some(sel) = &self.bank_selector {
+            sel.store(index, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// The teacher spec (largest budget, last in the list).
+    pub fn teacher_spec(&self) -> SubModelSpec {
+        *self.cfg.specs.last().expect("specs non-empty")
+    }
+
+    /// The shared resolution control.
+    pub fn control(&self) -> &Arc<ResolutionControl> {
+        &self.control
+    }
+
+    /// Updates the learning rate (driven by an [`mri_nn::LrSchedule`]).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.optimizer.set_lr(lr);
+    }
+
+    /// Draws the student spec for this iteration: uniform over all specs
+    /// except the teacher (falling back to the teacher when it is alone).
+    fn draw_student(&mut self) -> (usize, SubModelSpec) {
+        let n = self.cfg.specs.len();
+        if n == 1 {
+            return (0, self.cfg.specs[0]);
+        }
+        let i = self.rng.random_range(0..n - 1);
+        (i, self.cfg.specs[i])
+    }
+
+    /// One Algorithm-1 iteration on a classification batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on label/batch mismatches.
+    pub fn train_step(&mut self, model: &mut dyn Layer, x: &Tensor, labels: &[usize]) -> StepStats {
+        model.visit_params(&mut |p| p.zero_grad());
+
+        // Teacher pass (steps 2-3, 6-9 for the teacher path).
+        let teacher = self.teacher_spec();
+        self.select_bank(self.cfg.specs.len() - 1);
+        self.control.set_resolution(teacher.resolution());
+        let t_logits = model.forward(x, Mode::Train);
+        let (teacher_loss, t_grad) = cross_entropy(&t_logits, labels);
+        model.backward(&t_grad);
+
+        // Student pass (steps 4-5, 6-9 for the student path). The teacher
+        // logits act as constant soft labels.
+        let (student_idx, student) = self.draw_student();
+        self.select_bank(student_idx);
+        self.control.set_resolution(student.resolution());
+        let s_logits = model.forward(x, Mode::Train);
+        let (student_loss, s_grad) = distillation_loss(
+            &s_logits,
+            &t_logits,
+            labels,
+            self.cfg.kd_lambda,
+            self.cfg.kd_temperature,
+        );
+        model.backward(&s_grad);
+
+        // Step 9: apply the accumulated gradients to the master weights.
+        self.optimizer.step(|f| model.visit_params(f));
+        StepStats {
+            teacher_loss,
+            student_loss,
+            student,
+        }
+    }
+
+    /// The "straightforward strategy" the paper rejects in §4.2: jointly
+    /// train **all** sub-models every iteration by summing their losses.
+    /// Provided for the training-cost ablation — its per-step time grows
+    /// linearly with the number of sub-models, while [`MultiResTrainer::train_step`]
+    /// stays at two forward/backward passes.
+    pub fn train_step_joint_all(
+        &mut self,
+        model: &mut dyn Layer,
+        x: &Tensor,
+        labels: &[usize],
+    ) -> f32 {
+        model.visit_params(&mut |p| p.zero_grad());
+        let mut total = 0.0;
+        let specs = self.cfg.specs.clone();
+        let scale = 1.0 / specs.len() as f32;
+        for (i, spec) in specs.into_iter().enumerate() {
+            self.select_bank(i);
+            self.control.set_resolution(spec.resolution());
+            let logits = model.forward(x, Mode::Train);
+            let (loss, grad) = cross_entropy(&logits, labels);
+            model.backward(&grad.scale(scale));
+            total += loss * scale;
+        }
+        self.optimizer.step(|f| model.visit_params(f));
+        total
+    }
+
+    /// Single-resolution training step (used for the individually-trained
+    /// baselines of Fig. 19 and the per-model rows of Table 1).
+    pub fn train_step_single(
+        &mut self,
+        model: &mut dyn Layer,
+        x: &Tensor,
+        labels: &[usize],
+        res: Resolution,
+    ) -> f32 {
+        model.visit_params(&mut |p| p.zero_grad());
+        self.control.set_resolution(res);
+        let logits = model.forward(x, Mode::Train);
+        let (loss, grad) = cross_entropy(&logits, labels);
+        model.backward(&grad);
+        self.optimizer.step(|f| model.visit_params(f));
+        loss
+    }
+
+    /// Evaluates every configured sub-model on a dataset, reporting
+    /// accuracy and the term-pair count of one full pass (Fig. 19's axes).
+    pub fn evaluate_all(
+        &self,
+        model: &mut dyn Layer,
+        batches: &[(Tensor, Vec<usize>)],
+    ) -> Vec<EvalResult> {
+        self.cfg
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
+                self.select_bank(i);
+                evaluate_spec(model, &self.control, spec, batches)
+            })
+            .collect()
+    }
+}
+
+/// Recalibrates batch-normalisation running statistics for one resolution
+/// by running training-mode forward passes (gradients untouched, outputs
+/// discarded).
+///
+/// Shared-weight multi-configuration models need this because every
+/// resolution shifts the activation distributions: the running statistics
+/// accumulated while alternating between teacher and student resolutions
+/// match *none* of the sub-models exactly. Recalibrating per sub-model
+/// before evaluation is the standard remedy in the slimmable-network line
+/// of work the paper builds on ([58, 59] in its bibliography).
+///
+/// Use ~30 batches: BN momentum 0.1 needs that many updates to move the
+/// running statistics ≈95% of the way to the target distribution.
+pub fn calibrate_batchnorm(
+    model: &mut dyn Layer,
+    control: &ResolutionControl,
+    res: Resolution,
+    batches: &[Tensor],
+) {
+    control.set_resolution(res);
+    for x in batches {
+        let _ = model.forward(x, Mode::Train);
+    }
+}
+
+/// Evaluates one sub-model spec on a dataset.
+pub fn evaluate_spec(
+    model: &mut dyn Layer,
+    control: &ResolutionControl,
+    spec: SubModelSpec,
+    batches: &[(Tensor, Vec<usize>)],
+) -> EvalResult {
+    evaluate_resolution(model, control, spec.resolution(), batches, spec)
+}
+
+/// Evaluates the model under an arbitrary resolution, tagging the result
+/// with `spec` for reporting.
+pub fn evaluate_resolution(
+    model: &mut dyn Layer,
+    control: &ResolutionControl,
+    res: Resolution,
+    batches: &[(Tensor, Vec<usize>)],
+    spec: SubModelSpec,
+) -> EvalResult {
+    control.set_resolution(res);
+    control.reset_counters();
+    let mut correct_weighted = 0.0f64;
+    let mut loss_sum = 0.0f64;
+    let mut n_total = 0usize;
+    for (x, labels) in batches {
+        let logits = model.forward(x, Mode::Eval);
+        let acc = accuracy(&logits, labels);
+        let (l, _) = cross_entropy(&logits, labels);
+        correct_weighted += f64::from(acc) * labels.len() as f64;
+        loss_sum += f64::from(l) * labels.len() as f64;
+        n_total += labels.len();
+    }
+    let term_pairs = control.term_pairs();
+    EvalResult {
+        spec,
+        accuracy: if n_total == 0 {
+            0.0
+        } else {
+            (correct_weighted / n_total as f64) as f32
+        },
+        term_pairs,
+        loss: if n_total == 0 {
+            0.0
+        } else {
+            (loss_sum / n_total as f64) as f32
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QLinear, QuantConfig};
+    use mri_nn::{Relu, Sequential};
+    use mri_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A linearly separable two-class toy problem.
+    fn toy_data(rng: &mut StdRng, n: usize) -> (Tensor, Vec<usize>) {
+        let mut x = init::uniform(rng, &[n, 8], 0.0, 1.0);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            // Bias the first feature strongly by class.
+            x.data_mut()[i * 8] = if class == 0 { 0.1 } else { 0.9 };
+            labels.push(class);
+        }
+        (x, labels)
+    }
+
+    fn toy_model(rng: &mut StdRng, control: &Arc<ResolutionControl>) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(QLinear::new(
+            rng,
+            8,
+            16,
+            QuantConfig::paper_cnn(),
+            Arc::clone(control),
+        ));
+        m.push(Relu::new());
+        m.push(QLinear::new(
+            rng,
+            16,
+            2,
+            QuantConfig::paper_cnn(),
+            Arc::clone(control),
+        ));
+        m
+    }
+
+    fn specs() -> Vec<SubModelSpec> {
+        vec![
+            SubModelSpec::new(8, 2),
+            SubModelSpec::new(14, 2),
+            SubModelSpec::new(20, 3),
+        ]
+    }
+
+    #[test]
+    fn teacher_is_largest_spec() {
+        let control = Arc::new(ResolutionControl::default());
+        let t = MultiResTrainer::new(TrainerConfig::new(specs()), control);
+        assert_eq!(t.teacher_spec(), SubModelSpec::new(20, 3));
+    }
+
+    #[test]
+    fn students_drawn_from_non_teacher_specs() {
+        let control = Arc::new(ResolutionControl::default());
+        let mut t = MultiResTrainer::new(TrainerConfig::new(specs()), control);
+        for _ in 0..50 {
+            let (_, s) = t.draw_student();
+            assert_ne!(s, t.teacher_spec(), "teacher must not be drawn as student");
+        }
+    }
+
+    #[test]
+    fn training_reduces_both_losses() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = toy_model(&mut rng, &control);
+        let mut cfg = TrainerConfig::new(specs());
+        cfg.lr = 0.1;
+        let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+        let (x, labels) = toy_data(&mut rng, 32);
+
+        let first = trainer.train_step(&mut model, &x, &labels);
+        let mut last = first;
+        for _ in 0..80 {
+            last = trainer.train_step(&mut model, &x, &labels);
+        }
+        assert!(
+            last.teacher_loss < first.teacher_loss * 0.5,
+            "teacher loss {} -> {}",
+            first.teacher_loss,
+            last.teacher_loss
+        );
+        assert!(
+            last.student_loss < first.student_loss,
+            "student loss {} -> {}",
+            first.student_loss,
+            last.student_loss
+        );
+    }
+
+    #[test]
+    fn evaluate_all_reports_monotone_term_pairs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = toy_model(&mut rng, &control);
+        let trainer = MultiResTrainer::new(TrainerConfig::new(specs()), Arc::clone(&control));
+        let (x, labels) = toy_data(&mut rng, 16);
+        let results = trainer.evaluate_all(&mut model, &[(x, labels)]);
+        assert_eq!(results.len(), 3);
+        for w in results.windows(2) {
+            assert!(w[0].term_pairs <= w[1].term_pairs, "γ ordering violated");
+        }
+    }
+
+    #[test]
+    fn trained_model_beats_chance_at_every_resolution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = toy_model(&mut rng, &control);
+        let mut cfg = TrainerConfig::new(specs());
+        cfg.lr = 0.1;
+        let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+        let (x, labels) = toy_data(&mut rng, 64);
+        for _ in 0..120 {
+            trainer.train_step(&mut model, &x, &labels);
+        }
+        let results = trainer.evaluate_all(&mut model, &[(x, labels)]);
+        for r in &results {
+            assert!(
+                r.accuracy > 0.8,
+                "spec {} accuracy only {}",
+                r.spec,
+                r.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn joint_all_training_also_learns_but_costs_more() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = toy_model(&mut rng, &control);
+        let mut cfg = TrainerConfig::new(specs());
+        cfg.lr = 0.1;
+        let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+        let (x, labels) = toy_data(&mut rng, 32);
+        let first = trainer.train_step_joint_all(&mut model, &x, &labels);
+        let mut last = first;
+        for _ in 0..60 {
+            last = trainer.train_step_joint_all(&mut model, &x, &labels);
+        }
+        assert!(last < first * 0.6, "joint loss {first} -> {last}");
+
+        // Cost: joint-all runs one forward per spec, Algorithm 1 exactly two.
+        control.reset_counters();
+        trainer.train_step_joint_all(&mut model, &x, &labels);
+        let joint_tp = control.term_pairs();
+        control.reset_counters();
+        trainer.train_step(&mut model, &x, &labels);
+        let kd_tp = control.term_pairs();
+        assert!(
+            joint_tp > kd_tp,
+            "joint-all ({joint_tp}) must cost more forward work than two-model KD ({kd_tp})"
+        );
+    }
+
+    #[test]
+    fn single_resolution_training_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = toy_model(&mut rng, &control);
+        let mut cfg = TrainerConfig::new(vec![SubModelSpec::new(10, 2)]);
+        cfg.lr = 0.1;
+        let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+        let (x, labels) = toy_data(&mut rng, 32);
+        let res = Resolution::Tq { alpha: 10, beta: 2 };
+        let first = trainer.train_step_single(&mut model, &x, &labels, res);
+        let mut last = first;
+        for _ in 0..80 {
+            last = trainer.train_step_single(&mut model, &x, &labels, res);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the quantization-aware layers and the
+//! multi-resolution invariants at the model level.
+
+use mri_core::{fake_quantize_data, fake_quantize_weights, QuantConfig, Resolution};
+use mri_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(len: usize, lo: f32, hi: f32) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(lo..hi, len).prop_map(move |v| Tensor::from_vec(v, &[len]))
+}
+
+proptest! {
+    /// Weight fake-quantization error decreases (weakly) as α grows, and at
+    /// α large enough it reduces to plain UQ error.
+    #[test]
+    fn weight_error_monotone_in_alpha(w in tensor_strategy(32, -0.9, 0.9)) {
+        let qcfg = QuantConfig::paper_cnn();
+        let mut prev = f32::INFINITY;
+        for alpha in [2usize, 4, 8, 16, 32, 64] {
+            let fq = fake_quantize_weights(&w, 1.0, Resolution::Tq { alpha, beta: 2 }, qcfg, 32);
+            let err = (&fq.values - &w).norm_sq();
+            prop_assert!(err <= prev + 1e-5, "α={} error {} > {}", alpha, err, prev);
+            prev = err;
+        }
+        // At α = 64 every 5-bit NAF term fits: equals pure-UQ error.
+        let fq = fake_quantize_weights(&w, 1.0, Resolution::Tq { alpha: 64, beta: 2 }, qcfg, 32);
+        let uq = mri_quant::UniformQuantizer::symmetric(5, 1.0);
+        for (i, &x) in w.data().iter().enumerate() {
+            prop_assert!((fq.values.data()[i] - uq.fake_quantize(x)).abs() < 1e-6);
+        }
+    }
+
+    /// The STE mask is 1 exactly where the input is strictly inside the
+    /// clip range, and the PACT saturation sign matches the side.
+    #[test]
+    fn ste_and_sat_masks_consistent(w in tensor_strategy(16, -2.0, 2.0)) {
+        let qcfg = QuantConfig::paper_cnn();
+        let clip = 1.0;
+        let fq = fake_quantize_weights(&w, clip, Resolution::Tq { alpha: 20, beta: 2 }, qcfg, 16);
+        for i in 0..16 {
+            let x = w.data()[i];
+            let ste = fq.ste.data()[i];
+            let sat = fq.sat.data()[i];
+            if x.abs() < clip {
+                prop_assert_eq!(ste, 1.0);
+                prop_assert_eq!(sat, 0.0);
+            } else {
+                prop_assert_eq!(ste, 0.0);
+                prop_assert_eq!(sat, x.signum());
+            }
+        }
+    }
+
+    /// Data fake-quantization at Full resolution is the identity; at any TQ
+    /// resolution the output is within UQ-clip distance of the input.
+    #[test]
+    fn data_quantization_bounded(x in tensor_strategy(32, 0.0, 3.9)) {
+        let qcfg = QuantConfig::paper_cnn(); // unsigned data, clip 4.0
+        let full = fake_quantize_data(&x, 4.0, Resolution::Full, qcfg);
+        prop_assert_eq!(full.values.data(), x.data());
+        let q = fake_quantize_data(&x, 4.0, Resolution::Tq { alpha: 20, beta: 2 }, qcfg);
+        let uq = mri_quant::UniformQuantizer::unsigned(5, 4.0);
+        for i in 0..32 {
+            // β = 2 on 5-bit unsigned values drops at most the low bits:
+            // error bounded by one UQ step + dropped-term mass (< 8 steps).
+            let err = (q.values.data()[i] - x.data()[i]).abs();
+            prop_assert!(err <= 8.0 * uq.scale() + uq.scale() / 2.0 + 1e-5, "err {}", err);
+        }
+    }
+
+    /// Shared-bit UQ truncation keeps sign and never increases magnitude.
+    #[test]
+    fn uq_shared_truncation_shrinks_magnitude(w in tensor_strategy(16, -0.99, 0.99)) {
+        let qcfg = QuantConfig::paper_cnn();
+        for bits in 2u32..=5 {
+            let res = Resolution::UqShared { weight_bits: bits, data_bits: bits };
+            let fq = fake_quantize_weights(&w, 1.0, res, qcfg, 16);
+            let base = fake_quantize_weights(
+                &w,
+                1.0,
+                Resolution::UqShared { weight_bits: 5, data_bits: 5 },
+                qcfg,
+                16,
+            );
+            for i in 0..16 {
+                let t = fq.values.data()[i];
+                let b = base.values.data()[i];
+                prop_assert!(t.abs() <= b.abs() + 1e-6, "bits {} |{}| > |{}|", bits, t, b);
+                prop_assert!(t == 0.0 || t.signum() == b.signum());
+            }
+        }
+    }
+
+    /// Bit-sharing nesting (Fig. 2(b)): the b-bit value's kept bit positions
+    /// are a subset of the (b+1)-bit value's.
+    #[test]
+    fn uq_shared_bits_nest(w in tensor_strategy(16, -0.99, 0.99)) {
+        let qcfg = QuantConfig::paper_cnn();
+        let uq = mri_quant::UniformQuantizer::symmetric(5, 1.0);
+        let vals = |bits: u32| {
+            fake_quantize_weights(
+                &w,
+                1.0,
+                Resolution::UqShared { weight_bits: bits, data_bits: bits },
+                qcfg,
+                16,
+            )
+        };
+        for bits in 2u32..5 {
+            let small = vals(bits);
+            let big = vals(bits + 1);
+            for i in 0..16 {
+                let s = (small.values.data()[i] / uq.scale()).round() as i64;
+                let b = (big.values.data()[i] / uq.scale()).round() as i64;
+                // The small value is the big value with one more low bit
+                // position zeroed.
+                let shift = 5 - bits;
+                let expected = {
+                    let mag = (b.unsigned_abs() >> shift) << shift;
+                    if b < 0 { -(mag as i64) } else { mag as i64 }
+                };
+                prop_assert_eq!(s, expected, "bits {}", bits);
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Synthetic object detection: coloured shapes on noisy backgrounds with
+//! ground-truth boxes, plus an AP@0.5 metric.
+//!
+//! Stands in for COCO in the YOLO-v5 experiment (§6.4.3). Each image holds
+//! one to three axis-aligned shapes of distinct classes (square, disc,
+//! triangle); targets follow the single-scale YOLO convention: an
+//! `S × S` grid where the cell containing a box centre predicts
+//! objectness, centre offset, size and class.
+
+use mri_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An axis-aligned ground-truth box in normalised `[0, 1]` coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Centre x.
+    pub cx: f32,
+    /// Centre y.
+    pub cy: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+    /// Class id (0 = square, 1 = disc, 2 = triangle).
+    pub class: usize,
+}
+
+impl BoundingBox {
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &BoundingBox) -> f32 {
+        let (l1, r1) = (self.cx - self.w / 2.0, self.cx + self.w / 2.0);
+        let (t1, b1) = (self.cy - self.h / 2.0, self.cy + self.h / 2.0);
+        let (l2, r2) = (other.cx - other.w / 2.0, other.cx + other.w / 2.0);
+        let (t2, b2) = (other.cy - other.h / 2.0, other.cy + other.h / 2.0);
+        let iw = (r1.min(r2) - l1.max(l2)).max(0.0);
+        let ih = (b1.min(b2) - t1.max(t2)).max(0.0);
+        let inter = iw * ih;
+        let union = self.w * self.h + other.w * other.h - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// Number of shape classes.
+pub const NUM_CLASSES: usize = 3;
+
+/// A deterministic shapes-with-boxes detection dataset.
+pub struct ShapesDetection {
+    rng: StdRng,
+    size: usize,
+    grid: usize,
+}
+
+impl ShapesDetection {
+    /// Creates a dataset of `size × size` images with an `grid × grid`
+    /// target grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 16` or `grid == 0` or `size % grid != 0`.
+    pub fn new(seed: u64, size: usize, grid: usize) -> Self {
+        assert!(size >= 16, "images must be at least 16x16");
+        assert!(
+            grid > 0 && size.is_multiple_of(grid),
+            "grid must divide the image size"
+        );
+        ShapesDetection {
+            rng: StdRng::seed_from_u64(seed),
+            size,
+            grid,
+        }
+    }
+
+    /// Image side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Target grid side length.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Channels of the target tensor: objectness + 4 box + classes.
+    pub fn target_channels(&self) -> usize {
+        5 + NUM_CLASSES
+    }
+
+    /// Draws a batch: images `[n, 3, size, size]`, targets
+    /// `[n, 5 + classes, grid, grid]` and the ground-truth boxes.
+    pub fn batch(&mut self, n: usize) -> (Tensor, Tensor, Vec<Vec<BoundingBox>>) {
+        let mut imgs = Vec::with_capacity(n);
+        let mut tgts = Vec::with_capacity(n);
+        let mut boxes_all = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (img, tgt, boxes) = self.sample();
+            imgs.push(img);
+            tgts.push(tgt);
+            boxes_all.push(boxes);
+        }
+        (Tensor::stack(&imgs), Tensor::stack(&tgts), boxes_all)
+    }
+
+    fn sample(&mut self) -> (Tensor, Tensor, Vec<BoundingBox>) {
+        let s = self.size;
+        let g = self.grid;
+        let mut img = Tensor::zeros(&[3, s, s]);
+        // noisy background
+        for v in img.data_mut() {
+            *v = 0.15 + 0.1 * self.rng.random::<f32>();
+        }
+        let count = 1 + self.rng.random_range(0..3);
+        let mut boxes: Vec<BoundingBox> = Vec::new();
+        let mut target = Tensor::zeros(&[5 + NUM_CLASSES, g, g]);
+        for _ in 0..count {
+            let w = 0.15 + 0.2 * self.rng.random::<f32>();
+            let h = 0.15 + 0.2 * self.rng.random::<f32>();
+            let cx = w / 2.0 + (1.0 - w) * self.rng.random::<f32>();
+            let cy = h / 2.0 + (1.0 - h) * self.rng.random::<f32>();
+            let class = self.rng.random_range(0..NUM_CLASSES);
+            let b = BoundingBox {
+                cx,
+                cy,
+                w,
+                h,
+                class,
+            };
+            if boxes.iter().any(|o| o.iou(&b) > 0.1) {
+                continue; // keep shapes mostly disjoint
+            }
+            self.draw(&mut img, &b);
+            // Fill the target cell at the box centre.
+            let gx = ((cx * g as f32) as usize).min(g - 1);
+            let gy = ((cy * g as f32) as usize).min(g - 1);
+            if target.at(&[0, gy, gx]) == 0.0 {
+                *target.at_mut(&[0, gy, gx]) = 1.0;
+                *target.at_mut(&[1, gy, gx]) = cx * g as f32 - gx as f32;
+                *target.at_mut(&[2, gy, gx]) = cy * g as f32 - gy as f32;
+                *target.at_mut(&[3, gy, gx]) = w;
+                *target.at_mut(&[4, gy, gx]) = h;
+                *target.at_mut(&[5 + class, gy, gx]) = 1.0;
+                boxes.push(b);
+            }
+        }
+        (img, target, boxes)
+    }
+
+    fn draw(&mut self, img: &mut Tensor, b: &BoundingBox) {
+        let s = self.size;
+        let colour: [f32; 3] = match b.class {
+            0 => [0.9, 0.2, 0.2],
+            1 => [0.2, 0.9, 0.2],
+            _ => [0.2, 0.2, 0.9],
+        };
+        let x0 = ((b.cx - b.w / 2.0) * s as f32).max(0.0) as usize;
+        let x1 = (((b.cx + b.w / 2.0) * s as f32) as usize).min(s - 1);
+        let y0 = ((b.cy - b.h / 2.0) * s as f32).max(0.0) as usize;
+        let y1 = (((b.cy + b.h / 2.0) * s as f32) as usize).min(s - 1);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let u = (x as f32 / s as f32 - b.cx) / (b.w / 2.0);
+                let v = (y as f32 / s as f32 - b.cy) / (b.h / 2.0);
+                let inside = match b.class {
+                    0 => true,                                  // filled square
+                    1 => u * u + v * v <= 1.0,                  // disc
+                    _ => v >= -1.0 && v >= 2.0 * u.abs() - 1.0, // triangle
+                };
+                if inside {
+                    for (ch, &c) in colour.iter().enumerate() {
+                        *img.at_mut(&[ch, y, x]) = c;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A scored detection for AP computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Predicted box (class inside).
+    pub bbox: BoundingBox,
+    /// Confidence score.
+    pub score: f32,
+    /// Which image in the evaluation set it belongs to.
+    pub image: usize,
+}
+
+/// Average precision at IoU 0.5 over a set of images, micro-averaged over
+/// classes (the detection counterpart of the paper's mAP metric).
+///
+/// Detections are matched greedily in descending score order; each ground
+/// truth can match at most one detection of its own class.
+pub fn average_precision_50(detections: &[Detection], truths: &[Vec<BoundingBox>]) -> f32 {
+    let total_truths: usize = truths.iter().map(Vec::len).sum();
+    if total_truths == 0 {
+        return 0.0;
+    }
+    let mut dets: Vec<&Detection> = detections.iter().collect();
+    dets.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut matched: Vec<Vec<bool>> = truths.iter().map(|t| vec![false; t.len()]).collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut precisions = Vec::with_capacity(dets.len());
+    let mut recalls = Vec::with_capacity(dets.len());
+    for d in dets {
+        let gt = &truths[d.image];
+        let mut best = None;
+        let mut best_iou = 0.5f32;
+        for (i, t) in gt.iter().enumerate() {
+            if t.class == d.bbox.class && !matched[d.image][i] {
+                let iou = d.bbox.iou(t);
+                if iou >= best_iou {
+                    best_iou = iou;
+                    best = Some(i);
+                }
+            }
+        }
+        match best {
+            Some(i) => {
+                matched[d.image][i] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+        precisions.push(tp as f32 / (tp + fp) as f32);
+        recalls.push(tp as f32 / total_truths as f32);
+    }
+    // 11-point interpolated AP.
+    let mut ap = 0.0f32;
+    for i in 0..=10 {
+        let r = i as f32 / 10.0;
+        let p = precisions
+            .iter()
+            .zip(recalls.iter())
+            .filter(|(_, &rr)| rr >= r)
+            .map(|(&pp, _)| pp)
+            .fold(0.0f32, f32::max);
+        ap += p / 11.0;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_shapes() {
+        let mut ds = ShapesDetection::new(1, 32, 4);
+        let (x, t, boxes) = ds.batch(3);
+        assert_eq!(x.dims(), &[3, 3, 32, 32]);
+        assert_eq!(t.dims(), &[3, 8, 4, 4]);
+        assert_eq!(boxes.len(), 3);
+        assert!(boxes.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn iou_identity_and_disjoint() {
+        let a = BoundingBox {
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.2,
+            h: 0.2,
+            class: 0,
+        };
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        let b = BoundingBox {
+            cx: 0.1,
+            cy: 0.1,
+            w: 0.1,
+            h: 0.1,
+            class: 0,
+        };
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = BoundingBox {
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.2,
+            h: 0.2,
+            class: 0,
+        };
+        let b = BoundingBox {
+            cx: 0.6,
+            cy: 0.5,
+            w: 0.2,
+            h: 0.2,
+            class: 0,
+        };
+        let iou = a.iou(&b);
+        assert!((iou - 1.0 / 3.0).abs() < 1e-5, "iou {iou}");
+    }
+
+    #[test]
+    fn perfect_detections_score_ap_one() {
+        let mut ds = ShapesDetection::new(2, 32, 4);
+        let (_, _, truths) = ds.batch(5);
+        let dets: Vec<Detection> = truths
+            .iter()
+            .enumerate()
+            .flat_map(|(i, bs)| {
+                bs.iter().map(move |&bbox| Detection {
+                    bbox,
+                    score: 0.9,
+                    image: i,
+                })
+            })
+            .collect();
+        let ap = average_precision_50(&dets, &truths);
+        assert!((ap - 1.0).abs() < 1e-5, "AP {ap}");
+    }
+
+    #[test]
+    fn random_detections_score_poorly() {
+        let mut ds = ShapesDetection::new(3, 32, 4);
+        let (_, _, truths) = ds.batch(5);
+        let dets: Vec<Detection> = (0..15)
+            .map(|i| Detection {
+                bbox: BoundingBox {
+                    cx: 0.05,
+                    cy: 0.05,
+                    w: 0.05,
+                    h: 0.05,
+                    class: 0,
+                },
+                score: 0.5,
+                image: i % 5,
+            })
+            .collect();
+        let ap = average_precision_50(&dets, &truths);
+        assert!(ap < 0.1, "AP {ap}");
+    }
+
+    #[test]
+    fn no_detections_zero_ap() {
+        let mut ds = ShapesDetection::new(4, 32, 4);
+        let (_, _, truths) = ds.batch(2);
+        assert_eq!(average_precision_50(&[], &truths), 0.0);
+    }
+
+    #[test]
+    fn targets_mark_box_centres() {
+        let mut ds = ShapesDetection::new(5, 32, 4);
+        let (_, t, boxes) = ds.batch(1);
+        let g = 4usize;
+        let marked: usize = (0..g * g)
+            .filter(|&i| t.data()[i] > 0.5) // objectness plane is channel 0
+            .count();
+        assert_eq!(marked, boxes[0].len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _, _) = ShapesDetection::new(6, 32, 4).batch(2);
+        let (b, _, _) = ShapesDetection::new(6, 32, 4).batch(2);
+        assert_eq!(a.data(), b.data());
+    }
+}

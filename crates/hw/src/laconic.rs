@@ -1,0 +1,154 @@
+//! Re-implementation of the Laconic processing element compared against in
+//! §7.2 (Sharify et al., ISCA 2019).
+//!
+//! The PE multiplies 16 weight/data value pairs in parallel. Every value is
+//! signed-digit encoded with at most 3 terms (the paper's assumption for
+//! 5-bit operands under Booth-style encoding), so each pair produces up to
+//! 3 × 3 = 9 term-pair products, processed one per cycle per lane — 9 cycles
+//! per 16-long dot product regardless of the actual term counts. The lane
+//! outputs are tallied in per-exponent *histogram buckets* whose coefficients
+//! are reduced to the final value at the end.
+
+use mri_quant::{sdr, SdrEncoding, Term};
+
+/// Number of parallel multiplier lanes in one PE.
+pub const LANES: usize = 16;
+
+/// Maximum signed-digit terms per 5-bit operand.
+pub const MAX_TERMS: usize = 3;
+
+/// Worst-case cycles per 16-long dot product (`3 × 3` term pairs serially).
+pub const CYCLES_PER_DOT: u64 = (MAX_TERMS * MAX_TERMS) as u64;
+
+/// Result of one Laconic dot product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaconicResult {
+    /// The exact dot-product value.
+    pub value: i64,
+    /// Cycles consumed (always [`CYCLES_PER_DOT`] per 16 lanes — the PE has
+    /// no per-group budget, so it must assume the worst case).
+    pub cycles: u64,
+    /// Term-pair products actually generated.
+    pub operations: u64,
+    /// Histogram-bucket additions performed during reduction, including the
+    /// zero-coefficient buckets the paper calls out as wasted work.
+    pub bucket_additions: u64,
+}
+
+/// The Laconic PE simulator.
+#[derive(Debug, Clone)]
+pub struct LaconicPe {
+    encoding: SdrEncoding,
+}
+
+impl Default for LaconicPe {
+    fn default() -> Self {
+        LaconicPe {
+            encoding: SdrEncoding::Naf,
+        }
+    }
+}
+
+impl LaconicPe {
+    /// Creates a PE using minimal signed-digit (NAF) operand encoding.
+    pub fn new() -> Self {
+        LaconicPe::default()
+    }
+
+    /// Computes a dot product over at most [`LANES`] value pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, exceed [`LANES`], or an
+    /// operand needs more than [`MAX_TERMS`] signed digits (i.e. is not a
+    /// 5-bit value).
+    pub fn dot(&mut self, weights: &[i64], data: &[i64]) -> LaconicResult {
+        assert_eq!(weights.len(), data.len(), "lane count mismatch");
+        assert!(weights.len() <= LANES, "too many lanes");
+
+        // Histogram buckets: one signed coefficient per output exponent.
+        // 5-bit operands (±31) encode with exponents ≤ 5, so products have
+        // exponents ≤ 10; the hardware uses 6-bit coefficients per bucket.
+        let mut buckets = [0i64; 16];
+        let mut operations = 0u64;
+        for (&w, &x) in weights.iter().zip(data.iter()) {
+            let wt = sdr::encode(w, self.encoding);
+            let xt = sdr::encode(x, self.encoding);
+            assert!(
+                wt.len() <= MAX_TERMS,
+                "weight {w} exceeds {MAX_TERMS} terms"
+            );
+            assert!(xt.len() <= MAX_TERMS, "data {x} exceeds {MAX_TERMS} terms");
+            for a in &wt {
+                for b in &xt {
+                    let p: Term = a.multiply(b);
+                    buckets[p.exponent as usize] += if p.negative { -1 } else { 1 };
+                    operations += 1;
+                }
+            }
+        }
+
+        // Reduction: every bucket is added shift-wise, zero or not — the
+        // under-utilisation §7.2 criticises.
+        let mut value = 0i64;
+        let mut bucket_additions = 0u64;
+        for (e, &coef) in buckets.iter().enumerate() {
+            value += coef << e;
+            bucket_additions += 1;
+        }
+        LaconicResult {
+            value,
+            cycles: CYCLES_PER_DOT,
+            operations,
+            bucket_additions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_5bit_operands() {
+        let w: Vec<i64> = (0..16).map(|i| (i * 7 % 63) - 31).collect();
+        let x: Vec<i64> = (0..16).map(|i| (i * 11 % 63) - 31).collect();
+        let expect: i64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let r = LaconicPe::new().dot(&w, &x);
+        assert_eq!(r.value, expect);
+    }
+
+    #[test]
+    fn fixed_nine_cycle_latency() {
+        let r = LaconicPe::new().dot(&[1; 16], &[1; 16]);
+        assert_eq!(r.cycles, 9);
+        // All-ones operands need only 1 term pair per lane.
+        assert_eq!(r.operations, 16);
+    }
+
+    #[test]
+    fn paper_term_pair_bound() {
+        // §7.2: Laconic must assume 3 × 3 × 16 = 144 term pairs per 16-long
+        // dot product; mMAC with γ = 60 does the same work in 60.
+        assert_eq!(MAX_TERMS * MAX_TERMS * LANES, 144);
+        let w: Vec<i64> = vec![21; 16]; // 21 has 3 NAF terms (16 + 4 + 1)
+        let x: Vec<i64> = vec![21; 16];
+        let r = LaconicPe::new().dot(&w, &x);
+        assert_eq!(r.operations, 144);
+        assert_eq!(r.value, 16 * 21 * 21);
+    }
+
+    #[test]
+    fn bucket_reduction_counts_empty_buckets() {
+        let r = LaconicPe::new().dot(&[1], &[1]);
+        // One real product, but all 16 buckets are reduced.
+        assert_eq!(r.bucket_additions, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 3 terms")]
+    fn rejects_wide_operands() {
+        // 171 = 10101011₂ needs more than 3 signed digits.
+        LaconicPe::new().dot(&[171], &[1]);
+    }
+}

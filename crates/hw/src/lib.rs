@@ -1,0 +1,48 @@
+//! # mri-hw
+//!
+//! Cycle-level simulator of the paper's multi-resolution inference hardware
+//! (§5 and §7), replacing the Xilinx VC707 FPGA used by the authors.
+//!
+//! Components:
+//!
+//! * [`accumulator`] — the shift + half-adder-incrementer term accumulator
+//!   of Fig. 13, with separate positive/negative accumulations for SDR;
+//! * [`mac`] — the multi-resolution MAC ([`Mmac`], Figs. 11/12) plus the
+//!   bit-parallel [`PMac`] and bit-serial [`BMac`] baselines of Fig. 25;
+//! * [`laconic`] — a re-implementation of the Laconic processing element
+//!   compared against in §7.2;
+//! * [`sdr_fsm`] — the two-bit sliding-window SDR encoder FSM of Fig. 14;
+//! * [`term_quantizer`] — the streaming top-`β` data quantizer of Fig. 15;
+//! * [`systolic`] — a weight-stationary systolic array of mMAC cells
+//!   (Fig. 3 / Fig. 9) with exact results and cycle accounting;
+//! * [`cost`] — the structural LUT/FF cost model reproducing Table 2;
+//! * [`energy`] — the per-cycle energy model reproducing Table 3 and §7.2;
+//! * [`system`] — the full mMAC system (Fig. 9): buffers, encoders,
+//!   quantizers and array, evaluated on whole-network workloads for
+//!   Fig. 26 and Table 4.
+//!
+//! Every MAC simulator is *functional*: it computes the true integer dot
+//! product of its term-quantized operands, cycle by cycle, so correctness is
+//! testable against plain arithmetic, and latency falls out of the same
+//! simulation rather than being asserted.
+
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod cost;
+pub mod energy;
+pub mod laconic;
+pub mod mac;
+pub mod pipeline;
+pub mod sdr_fsm;
+pub mod system;
+pub mod systolic;
+pub mod term_quantizer;
+
+pub use accumulator::TermAccumulator;
+pub use laconic::LaconicPe;
+pub use mac::{BMac, MacUnit, Mmac, PMac};
+pub use sdr_fsm::SdrEncoderFsm;
+pub use system::{LayerShape, MmacSystem, NetworkWorkload, SystemConfig, SystemReport};
+pub use systolic::SystolicArray;
+pub use term_quantizer::StreamingTermQuantizer;

@@ -1,0 +1,319 @@
+//! Cycle-level MAC units: the multi-resolution MAC (mMAC) and the
+//! bit-parallel / bit-serial baselines of §7.1.
+//!
+//! All units evaluate the same contract — `y_out = Σ xᵢ·wᵢ + y_in` over a
+//! group of `g` value pairs — and report how many cycles they needed, so
+//! latency comparisons come out of the same simulation that checks
+//! functional correctness.
+
+use crate::TermAccumulator;
+use mri_quant::{GroupTermQuantizer, MultiResGroup, SdrEncoding, Term};
+
+/// Result of one group multiply-accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacResult {
+    /// The accumulated value (including `y_in`).
+    pub value: i64,
+    /// Cycles the unit was busy.
+    pub cycles: u64,
+    /// Term-pair multiplications actually performed (mMAC/Laconic only;
+    /// value-level units report value multiplications here).
+    pub operations: u64,
+}
+
+/// Common interface of the evaluated MAC designs.
+pub trait MacUnit {
+    /// Computes `Σ xᵢ·wᵢ + y_in` over a group of value pairs.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `weights.len() != data.len()`.
+    fn group_mac(&mut self, weights: &[i64], data: &[i64], y_in: i64) -> MacResult;
+
+    /// Short design name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The multi-resolution MAC of Figs. 11/12.
+///
+/// Weight terms are stored (exponent, sign, index) in queues sized for the
+/// largest budget; each cycle one weight term is paired with one term of its
+/// data value via the index queue, the exponents are added, and the result
+/// enters the [`TermAccumulator`]. Processing a group therefore takes
+/// `γ = α·β` cycles — the queues are padded to the budget, which is exactly
+/// the "tight processing bound" the paper credits for removing stragglers.
+#[derive(Debug, Clone)]
+pub struct Mmac {
+    group_size: usize,
+    alpha: usize,
+    beta: usize,
+    encoding: SdrEncoding,
+}
+
+impl Mmac {
+    /// Creates an mMAC for groups of `group_size` values under budgets
+    /// `(alpha, beta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`.
+    pub fn new(group_size: usize, alpha: usize, beta: usize, encoding: SdrEncoding) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        Mmac {
+            group_size,
+            alpha,
+            beta,
+            encoding,
+        }
+    }
+
+    /// The term-pair budget `γ = α·β` — the unit's group latency in cycles.
+    pub fn gamma(&self) -> u64 {
+        (self.alpha * self.beta) as u64
+    }
+
+    /// The values the unit actually computes with: group-TQ weights and
+    /// per-value-TQ data. Exposed so callers can verify exactness of the
+    /// simulated result (C-INTERMEDIATE).
+    pub fn quantized_operands(&self, weights: &[i64], data: &[i64]) -> (Vec<i64>, Vec<i64>) {
+        let wq = GroupTermQuantizer::new(self.group_size, self.alpha, self.encoding)
+            .quantize_i64(weights)
+            .values;
+        let dq = GroupTermQuantizer::new(1, self.beta, self.encoding);
+        let xq = data
+            .iter()
+            .map(|&v| dq.quantize_i64(&[v]).values[0])
+            .collect();
+        (wq, xq)
+    }
+}
+
+impl MacUnit for Mmac {
+    fn group_mac(&mut self, weights: &[i64], data: &[i64], y_in: i64) -> MacResult {
+        assert_eq!(weights.len(), data.len(), "group length mismatch");
+        assert_eq!(weights.len(), self.group_size, "wrong group size");
+
+        // Load the weight exponent/sign/index queues (paper §5.1: terms of
+        // the selected budget are loaded from memory, most significant
+        // first) and quantize the incoming data stream to β terms.
+        let group = MultiResGroup::from_values(weights, self.alpha, self.encoding);
+        let data_terms: Vec<Vec<Term>> = data
+            .iter()
+            .map(|&v| {
+                let mut t = mri_quant::sdr::encode(v, self.encoding);
+                t.truncate(self.beta);
+                t
+            })
+            .collect();
+
+        let mut acc = TermAccumulator::new();
+        let mut operations = 0u64;
+        // Weight queues recirculate (LFSR) once per data-term slot: slot s
+        // pairs every weight term with the s-th term of its data value.
+        for slot in 0..self.beta {
+            for gt in group.terms() {
+                if let Some(xt) = data_terms[gt.index].get(slot) {
+                    acc.add_term_pair(gt.term, *xt);
+                    operations += 1;
+                }
+            }
+        }
+        // The unit is busy for the full budget regardless of empty slots.
+        let cycles = self.gamma();
+        MacResult {
+            value: acc.value() + y_in,
+            cycles,
+            operations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mMAC"
+    }
+}
+
+/// Bit-parallel MAC (Fig. 25 left): one value multiply-add per cycle.
+#[derive(Debug, Clone, Default)]
+pub struct PMac;
+
+impl PMac {
+    /// Creates a bit-parallel MAC.
+    pub fn new() -> Self {
+        PMac
+    }
+}
+
+impl MacUnit for PMac {
+    fn group_mac(&mut self, weights: &[i64], data: &[i64], y_in: i64) -> MacResult {
+        assert_eq!(weights.len(), data.len(), "group length mismatch");
+        let mut acc = y_in;
+        for (&w, &x) in weights.iter().zip(data.iter()) {
+            acc += w * x;
+        }
+        MacResult {
+            value: acc,
+            cycles: weights.len() as u64,
+            operations: weights.len() as u64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pMAC"
+    }
+}
+
+/// Bit-serial MAC (Fig. 25 right, after the paper's citation 35): processes the data operand
+/// one bit per cycle over a fixed 16-bit window, so one value pair costs 16
+/// cycles and a group costs `16·g`.
+#[derive(Debug, Clone)]
+pub struct BMac {
+    /// Serial window width in bits.
+    pub bits: u32,
+}
+
+impl Default for BMac {
+    fn default() -> Self {
+        BMac { bits: 16 }
+    }
+}
+
+impl BMac {
+    /// Creates a bit-serial MAC with the paper's 16-bit window.
+    pub fn new() -> Self {
+        BMac::default()
+    }
+}
+
+impl MacUnit for BMac {
+    fn group_mac(&mut self, weights: &[i64], data: &[i64], y_in: i64) -> MacResult {
+        assert_eq!(weights.len(), data.len(), "group length mismatch");
+        let mut acc = y_in;
+        let mut cycles = 0u64;
+        for (&w, &x) in weights.iter().zip(data.iter()) {
+            // Serialise |x| over `bits` cycles; the extra negation logic of
+            // Fig. 25 applies the sign at the end.
+            let xs = x.unsigned_abs();
+            let mut partial = 0i64;
+            for b in 0..self.bits {
+                if xs >> b & 1 == 1 {
+                    partial += w << b;
+                }
+                cycles += 1;
+            }
+            acc += if x < 0 { -partial } else { partial };
+        }
+        MacResult {
+            value: acc,
+            cycles,
+            operations: weights.len() as u64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bMAC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(a: &[i64], b: &[i64]) -> i64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    const W: [i64; 4] = [2, 5, -3, 7];
+    const X: [i64; 4] = [9, 3, 4, -1];
+
+    #[test]
+    fn pmac_exact_in_g_cycles() {
+        let r = PMac::new().group_mac(&W, &X, 10);
+        assert_eq!(r.value, dot(&W, &X) + 10);
+        assert_eq!(r.cycles, 4);
+    }
+
+    #[test]
+    fn bmac_exact_in_16g_cycles() {
+        let r = BMac::new().group_mac(&W, &X, -5);
+        assert_eq!(r.value, dot(&W, &X) - 5);
+        assert_eq!(r.cycles, 64);
+    }
+
+    #[test]
+    fn mmac_exact_when_budgets_generous() {
+        // With α, β large enough to keep every term the result is exact.
+        let mut m = Mmac::new(4, 32, 8, SdrEncoding::Naf);
+        let r = m.group_mac(&W, &X, 3);
+        assert_eq!(r.value, dot(&W, &X) + 3);
+        assert_eq!(r.cycles, 32 * 8);
+    }
+
+    #[test]
+    fn mmac_matches_quantized_dot_product_for_all_budgets() {
+        for alpha in 1..=10usize {
+            for beta in 1..=3usize {
+                let mut m = Mmac::new(4, alpha, beta, SdrEncoding::Naf);
+                let r = m.group_mac(&W, &X, 0);
+                let (wq, xq) = m.quantized_operands(&W, &X);
+                assert_eq!(
+                    r.value,
+                    dot(&wq, &xq),
+                    "mismatch at α={alpha}, β={beta}: wq={wq:?}, xq={xq:?}"
+                );
+                assert_eq!(r.cycles, (alpha * beta) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn mmac_fig6a_example() {
+        // Fig. 6(a): W = [2, 5], X = [9, 3], α = 2, β = 1 -> 24 in 2 cycles.
+        let mut m = Mmac::new(2, 2, 1, SdrEncoding::Unsigned);
+        let r = m.group_mac(&[2, 5], &[9, 3], 0);
+        assert_eq!(r.value, 24);
+        assert_eq!(r.cycles, 2);
+        assert_eq!(r.operations, 2);
+    }
+
+    #[test]
+    fn mmac_fig6b_example() {
+        // Fig. 6(b): α = 3, β = 2 -> γ = 6 term pairs.
+        let mut m = Mmac::new(2, 3, 2, SdrEncoding::Unsigned);
+        let r = m.group_mac(&[2, 5], &[9, 3], 0);
+        let (wq, xq) = m.quantized_operands(&[2, 5], &[9, 3]);
+        assert_eq!(r.value, dot(&wq, &xq));
+        assert_eq!(r.cycles, 6);
+    }
+
+    #[test]
+    fn mmac_latency_scales_with_budget_not_group() {
+        // Fig. 10: a 4-term budget runs in 4 cycles, an 8-term in 8.
+        let mut lo = Mmac::new(4, 4, 1, SdrEncoding::Naf);
+        let mut hi = Mmac::new(4, 8, 1, SdrEncoding::Naf);
+        assert_eq!(lo.group_mac(&W, &X, 0).cycles, 4);
+        assert_eq!(hi.group_mac(&W, &X, 0).cycles, 8);
+    }
+
+    #[test]
+    fn mmac_faster_than_bmac_and_pmac_at_paper_budgets() {
+        // g = 16, γ up to 60: mMAC ≤ 60 cycles vs pMAC 16 and bMAC 256.
+        // (mMAC beats bMAC always; it trades cycles for far cheaper logic
+        // against pMAC — the energy model in `energy.rs` captures that.)
+        // Weights small enough that their NAF terms fit the α = 20 group
+        // budget (18 terms total), so the comparison is lossless.
+        let w: Vec<i64> = (0..16).map(|i| (i % 8) - 4).collect();
+        let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 15) - 7).collect();
+        let b = BMac::new().group_mac(&w, &x, 0);
+        let m = Mmac::new(16, 20, 3, SdrEncoding::Naf).group_mac(&w, &x, 0);
+        assert_eq!(b.cycles, 256);
+        assert_eq!(m.cycles, 60);
+        // 5-bit operands with α=20,β=3 NAF budgets are lossless.
+        assert_eq!(m.value, b.value);
+    }
+
+    #[test]
+    #[should_panic(expected = "group length mismatch")]
+    fn mismatched_groups_panic() {
+        PMac::new().group_mac(&[1, 2], &[1], 0);
+    }
+}

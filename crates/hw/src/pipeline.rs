@@ -1,0 +1,305 @@
+//! A true cycle-stepped simulation of the weight-stationary mMAC systolic
+//! array: every cell is a small state machine advanced one clock at a time.
+//!
+//! This is the ground truth the schedule recurrence in [`crate::systolic`]
+//! and the closed-form layer model in [`crate::system`] are validated
+//! against. It is slower (it really clocks every cell), so it targets
+//! single-tile workloads in tests and benches.
+
+use crate::TermAccumulator;
+use mri_quant::{sdr, GroupTerm, MultiResGroup, SdrEncoding, Term};
+
+/// One mMAC cell's per-cycle state.
+struct Cell {
+    /// Stationary weight terms at the active budget (exponent/sign/index
+    /// queues, Fig. 11), recirculated once per data-term slot.
+    weight_terms: Vec<GroupTerm>,
+    /// β data-term slots for the currently resident data group.
+    data_terms: Vec<Vec<Term>>,
+    /// Partial-sum input latched from the left neighbour.
+    psum_in: i64,
+    /// Which vector index the resident data group belongs to.
+    vector: Option<usize>,
+    /// Cycles of work remaining on the resident group.
+    remaining: u64,
+    /// Work schedule position: (slot, term index).
+    slot: usize,
+    term_idx: usize,
+    acc: TermAccumulator,
+    /// Completed output waiting to move right: (vector, value).
+    out: Option<(usize, i64)>,
+}
+
+impl Cell {
+    fn new(weight_terms: Vec<GroupTerm>) -> Self {
+        Cell {
+            weight_terms,
+            data_terms: Vec::new(),
+            psum_in: 0,
+            vector: None,
+            remaining: 0,
+            slot: 0,
+            term_idx: 0,
+            acc: TermAccumulator::new(),
+            out: None,
+        }
+    }
+
+    fn busy(&self) -> bool {
+        self.vector.is_some()
+    }
+
+    /// Loads a new data group (one per γ cycles).
+    fn load(&mut self, vector: usize, data_terms: Vec<Vec<Term>>, psum: i64, gamma: u64) {
+        debug_assert!(!self.busy(), "cell overrun");
+        self.data_terms = data_terms;
+        self.psum_in = psum;
+        self.vector = Some(vector);
+        self.remaining = gamma;
+        self.slot = 0;
+        self.term_idx = 0;
+        self.acc.reset();
+    }
+
+    /// Advances one clock: processes one term pair (or idles through a
+    /// padded budget slot) and emits the finished partial sum on the last
+    /// cycle.
+    fn tick(&mut self, beta: usize) {
+        if !self.busy() {
+            return;
+        }
+        // Work through (slot, weight-term) pairs; empty pairings burn the
+        // cycle, exactly like the padded queues in hardware.
+        if self.slot < beta {
+            if let Some(gt) = self.weight_terms.get(self.term_idx) {
+                if let Some(xt) = self.data_terms[gt.index].get(self.slot) {
+                    self.acc.add_term_pair(gt.term, *xt);
+                }
+            }
+            self.term_idx += 1;
+            if self.term_idx >= self.weight_terms.len().max(1) {
+                self.term_idx = 0;
+                self.slot += 1;
+            }
+        }
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            let v = self.vector.take().expect("busy cell has a vector");
+            self.out = Some((v, self.acc.value() + self.psum_in));
+        }
+    }
+}
+
+/// Result of a cycle-stepped run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Output matrix `[rows, n]` (row-major) of the tile.
+    pub result: Vec<i64>,
+    /// Exact cycle the last output left the array.
+    pub cycles: u64,
+}
+
+/// Cycle-steps a single-tile weight-stationary array.
+///
+/// `w` is `[rows, cols * g]` (each cell holds one group of `g` weights) and
+/// `x` is `[cols * g, n]`. Data for vector `j` enters column `c` at cycle
+/// `j·γ + c·γ` and climbs one row per cycle; partial sums ripple rightward.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the stated dimensions.
+#[allow(clippy::too_many_arguments)] // a flat geometry signature mirrors the hardware parameters
+pub fn run_tile(
+    w: &[i64],
+    x: &[i64],
+    rows: usize,
+    cols: usize,
+    g: usize,
+    n: usize,
+    alpha: usize,
+    beta: usize,
+    encoding: SdrEncoding,
+) -> PipelineReport {
+    let k = cols * g;
+    assert_eq!(w.len(), rows * k, "weight matrix shape mismatch");
+    assert_eq!(x.len(), k * n, "data matrix shape mismatch");
+    let gamma = (alpha * beta) as u64;
+
+    // Pre-quantize the stationary weights per cell.
+    let mut cells: Vec<Vec<Cell>> = (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| {
+                    let group = &w[r * k + c * g..r * k + (c + 1) * g];
+                    let mrg = MultiResGroup::from_values(group, alpha, encoding);
+                    Cell::new(mrg.terms().to_vec())
+                })
+                .collect()
+        })
+        .collect();
+
+    // Pre-encode the data stream per column/vector.
+    let data_group = |c: usize, j: usize| -> Vec<Vec<Term>> {
+        (0..g)
+            .map(|i| {
+                let mut t = sdr::encode(x[(c * g + i) * n + j], encoding);
+                t.truncate(beta);
+                t
+            })
+            .collect()
+    };
+
+    let mut pending: std::collections::HashMap<(usize, usize, usize), i64> =
+        std::collections::HashMap::new();
+    let mut result = vec![0i64; rows * n];
+    let mut done = vec![false; rows * n];
+    let mut finished = 0usize;
+    let mut last_cycle = 0u64;
+    let total = rows * n;
+
+    let mut cycle = 0u64;
+    // Generous upper bound on runtime to catch deadlocks in tests.
+    let deadline = gamma * (n as u64 + cols as u64 + 2) + rows as u64 + 16;
+    while finished < total && cycle <= deadline {
+        // Phase 1: loads. Vector j enters column c at cycle j·γ + c·γ and
+        // reaches row r after r more cycles (skewed bottom entry).
+        for (r, row) in cells.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                if cell.busy() {
+                    continue;
+                }
+                // Which vector would arrive at this cell now?
+                let base = c as u64 * gamma + r as u64;
+                if cycle >= base && (cycle - base).is_multiple_of(gamma) {
+                    let j = ((cycle - base) / gamma) as usize;
+                    if j < n {
+                        // Partial sum from the left neighbour must be ready.
+                        let psum = if c == 0 {
+                            Some(0)
+                        } else {
+                            // The left cell's finished partial sum for
+                            // vector j, stashed when it completed.
+                            pending.remove(&(r, c - 1, j))
+                        };
+                        if let Some(p) = psum {
+                            let dg = data_group(c, j);
+                            cell.load(j, dg, p, gamma);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: clock every cell.
+        for row in cells.iter_mut() {
+            for cell in row.iter_mut() {
+                cell.tick(beta);
+            }
+        }
+
+        // Phase 3: collect outputs.
+        for (r, row) in cells.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                if let Some((j, v)) = cell.out.take() {
+                    if c + 1 == cols {
+                        if !done[r * n + j] {
+                            result[r * n + j] = v;
+                            done[r * n + j] = true;
+                            finished += 1;
+                            last_cycle = cycle + 1;
+                        }
+                    } else {
+                        pending.insert((r, c, j), v);
+                    }
+                }
+            }
+        }
+        cycle += 1;
+    }
+    assert!(
+        finished == total,
+        "pipeline deadlocked after {cycle} cycles ({finished}/{total})"
+    );
+    PipelineReport {
+        result,
+        cycles: last_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystolicArray;
+
+    fn w_matrix(rows: usize, k: usize) -> Vec<i64> {
+        (0..rows * k).map(|i| ((i * 7) % 15) as i64 - 7).collect()
+    }
+
+    fn x_matrix(k: usize, n: usize) -> Vec<i64> {
+        (0..k * n).map(|i| ((i * 5) % 15) as i64 - 7).collect()
+    }
+
+    #[test]
+    fn cycle_stepped_matches_schedule_model_exactly() {
+        // Same single-tile workload through the per-clock simulation and the
+        // recurrence-based SystolicArray: identical results AND cycles.
+        let (rows, cols, g, n) = (3usize, 2usize, 4usize, 5usize);
+        let k = cols * g;
+        let w = w_matrix(rows, k);
+        let x = x_matrix(k, n);
+        for (alpha, beta) in [(4usize, 1usize), (6, 2), (8, 2)] {
+            let stepped = run_tile(&w, &x, rows, cols, g, n, alpha, beta, SdrEncoding::Naf);
+            let arr = SystolicArray::new(rows, cols, g, alpha, beta, SdrEncoding::Naf);
+            let model = arr.matmul(&w, k, &x, n);
+            assert_eq!(
+                stepped.result, model.result,
+                "values differ at (α={alpha}, β={beta})"
+            );
+            assert_eq!(
+                stepped.cycles, model.cycles,
+                "cycle counts differ at (α={alpha}, β={beta})"
+            );
+        }
+    }
+
+    #[test]
+    fn results_exact_at_generous_budget() {
+        let (rows, cols, g, n) = (2usize, 2usize, 4usize, 3usize);
+        let k = cols * g;
+        let w = w_matrix(rows, k);
+        let x = x_matrix(k, n);
+        let rep = run_tile(&w, &x, rows, cols, g, n, 16, 4, SdrEncoding::Naf);
+        for r in 0..rows {
+            for j in 0..n {
+                let expect: i64 = (0..k).map(|kk| w[r * k + kk] * x[kk * n + j]).sum();
+                assert_eq!(rep.result[r * n + j], expect, "({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_one_vector_per_gamma_in_steady_state() {
+        // With n large relative to the array, total cycles ≈ n·γ + fill.
+        let (rows, cols, g) = (2usize, 2usize, 4usize);
+        let k = cols * g;
+        let n = 24;
+        let w = w_matrix(rows, k);
+        let x = x_matrix(k, n);
+        let gamma = 12u64; // α = 6, β = 2
+        let rep = run_tile(&w, &x, rows, cols, g, n, 6, 2, SdrEncoding::Naf);
+        // Last vector loads at (n-1+cols-1)*γ + rows-1 and runs γ cycles.
+        let expected = (n as u64 + cols as u64 - 1) * gamma + rows as u64 - 1;
+        assert_eq!(rep.cycles, expected, "cycles {}", rep.cycles);
+    }
+
+    #[test]
+    fn single_cell_tile_equals_mmac() {
+        use crate::mac::{MacUnit, Mmac};
+        let g = 8usize;
+        let w: Vec<i64> = (0..g).map(|i| (i as i64) - 4).collect();
+        let x: Vec<i64> = (0..g).map(|i| ((i * 3) as i64 % 7) - 3).collect();
+        let rep = run_tile(&w, &x, 1, 1, g, 1, 10, 2, SdrEncoding::Naf);
+        let mut mac = Mmac::new(g, 10, 2, SdrEncoding::Naf);
+        assert_eq!(rep.result[0], mac.group_mac(&w, &x, 0).value);
+    }
+}

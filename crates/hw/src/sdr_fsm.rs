@@ -1,0 +1,213 @@
+//! The SDR encoder FSM of Fig. 14: converts an unsigned binary input stream
+//! into a signed-digit representation with the minimum number of terms,
+//! examining two consecutive bits per cycle.
+//!
+//! The FSM scans least-significant-bit first with a one-bit carry state.
+//! With incoming bit `b`, lookahead bit `b⁺` and carry `c`:
+//!
+//! | `b + c` | `b⁺` | emitted digit | next carry |
+//! |---------|------|---------------|------------|
+//! | 0       | –    | 0             | 0          |
+//! | 2       | –    | 0             | 1          |
+//! | 1       | 0    | +1            | 0          |
+//! | 1       | 1    | −1            | 1          |
+//!
+//! This produces exactly the non-adjacent form, which is property-tested
+//! against the arithmetic NAF encoder in `mri-quant`.
+
+#[cfg(test)]
+use mri_quant::SdrEncoding;
+use mri_quant::{sdr, Term};
+
+/// A streaming SDR encoder.
+///
+/// Bits are pushed LSB-first with [`SdrEncoderFsm::push_bit`]; terms come
+/// out as they are decided. [`SdrEncoderFsm::finish`] flushes the carry.
+///
+/// # Examples
+///
+/// ```
+/// use mri_hw::SdrEncoderFsm;
+///
+/// let mut fsm = SdrEncoderFsm::new();
+/// let terms = fsm.encode_value(27, 8);
+/// // 27 = 100̄10̄1 in SDR: 2^5 - 2^2 - 2^0.
+/// assert_eq!(terms.iter().map(|t| t.value()).sum::<i64>(), 27);
+/// assert_eq!(terms.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SdrEncoderFsm {
+    carry: bool,
+    position: u8,
+    pending: Option<bool>, // previous bit awaiting its lookahead
+    cycles: u64,
+}
+
+impl SdrEncoderFsm {
+    /// Creates an encoder in its initial state.
+    pub fn new() -> Self {
+        SdrEncoderFsm::default()
+    }
+
+    /// Cycles consumed so far (one per input bit).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Pushes the next input bit (LSB first); returns a decided term, if
+    /// any. Terms are emitted at the position of the *previous* bit, since
+    /// the FSM needs one bit of lookahead.
+    pub fn push_bit(&mut self, bit: bool) -> Option<Term> {
+        self.cycles += 1;
+        let out = match self.pending {
+            None => None,
+            Some(prev) => {
+                let s = u8::from(prev) + u8::from(self.carry);
+                match s {
+                    0 => {
+                        self.carry = false;
+                        None
+                    }
+                    2 => {
+                        self.carry = true;
+                        None
+                    }
+                    _ => {
+                        // s == 1: decide by the lookahead bit.
+                        let e = self.position - 1;
+                        if bit {
+                            self.carry = true;
+                            Some(Term::neg(e))
+                        } else {
+                            self.carry = false;
+                            Some(Term::pos(e))
+                        }
+                    }
+                }
+            }
+        };
+        self.pending = Some(bit);
+        self.position += 1;
+        out
+    }
+
+    /// Flushes the final pending bit and carry, returning up to one term.
+    pub fn finish(&mut self) -> Option<Term> {
+        match self.pending.take() {
+            None => {
+                if self.carry {
+                    let e = self.position;
+                    self.carry = false;
+                    Some(Term::pos(e))
+                } else {
+                    None
+                }
+            }
+            Some(prev) => {
+                let s = u8::from(prev) + u8::from(self.carry);
+                self.carry = false;
+                match s {
+                    0 => None,
+                    1 => Some(Term::pos(self.position - 1)),
+                    _ => Some(Term::pos(self.position)), // carry out of the top bit
+                }
+            }
+        }
+    }
+
+    /// Encodes a non-negative value of `bits` significant bits in one call,
+    /// returning terms most-significant first (like [`mri_quant::sdr::encode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or does not fit in `bits` bits.
+    pub fn encode_value(&mut self, value: i64, bits: u8) -> Vec<Term> {
+        assert!(
+            value >= 0,
+            "FSM encodes unsigned streams (sign handled upstream)"
+        );
+        assert!(value < (1i64 << bits), "value does not fit in {bits} bits");
+        *self = SdrEncoderFsm {
+            cycles: self.cycles,
+            ..Default::default()
+        };
+        let mut terms = Vec::new();
+        for i in 0..bits {
+            if let Some(t) = self.push_bit(value >> i & 1 == 1) {
+                terms.push(t);
+            }
+        }
+        if let Some(t) = self.finish() {
+            terms.push(t);
+        }
+        terms.reverse();
+        terms
+    }
+}
+
+/// Convenience: checks a term sequence decodes to `value`.
+pub fn decodes_to(terms: &[Term], value: i64) -> bool {
+    sdr::decode(terms) == value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_27() {
+        let terms = SdrEncoderFsm::new().encode_value(27, 8);
+        assert_eq!(terms, vec![Term::pos(5), Term::neg(2), Term::neg(0)]);
+    }
+
+    #[test]
+    fn matches_arithmetic_naf_for_all_10bit_values() {
+        for v in 0..1024i64 {
+            let fsm = SdrEncoderFsm::new().encode_value(v, 10);
+            let naf = sdr::encode(v, SdrEncoding::Naf);
+            assert_eq!(fsm, naf, "FSM disagrees with NAF for {v}");
+        }
+    }
+
+    #[test]
+    fn one_cycle_per_bit() {
+        let mut fsm = SdrEncoderFsm::new();
+        fsm.encode_value(21, 5);
+        assert_eq!(fsm.cycles(), 5);
+    }
+
+    #[test]
+    fn streaming_interface_incremental() {
+        // Stream 6 = 0110 LSB-first; NAF is 2^3 - 2^1.
+        let mut fsm = SdrEncoderFsm::new();
+        let mut terms = Vec::new();
+        for b in [false, true, true, false] {
+            if let Some(t) = fsm.push_bit(b) {
+                terms.push(t);
+            }
+        }
+        if let Some(t) = fsm.finish() {
+            terms.push(t);
+        }
+        assert!(decodes_to(&terms, 6));
+        assert_eq!(terms.len(), 2);
+    }
+
+    #[test]
+    fn zero_emits_nothing() {
+        assert!(SdrEncoderFsm::new().encode_value(0, 8).is_empty());
+    }
+
+    #[test]
+    fn all_ones_collapses_to_two_terms() {
+        // 255 = 2^8 - 1: the FSM's whole point.
+        let terms = SdrEncoderFsm::new().encode_value(255, 8);
+        assert_eq!(terms, vec![Term::pos(8), Term::neg(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        SdrEncoderFsm::new().encode_value(300, 8);
+    }
+}

@@ -1,0 +1,131 @@
+//! The streaming term quantizer of Fig. 15: passes the first `β` terms of a
+//! value (most significant first) and zeroes the rest.
+
+use mri_quant::Term;
+
+/// A per-value term quantizer sitting between the SDR encoder and the data
+/// buffer (Fig. 9 component 5).
+///
+/// Terms arrive one per cycle, most significant first; the unit counts them
+/// and suppresses everything past the budget `β`.
+///
+/// # Examples
+///
+/// ```
+/// use mri_hw::StreamingTermQuantizer;
+/// use mri_quant::Term;
+///
+/// // x = 23 under SDR: 2^5 - 2^3 - 2^0; β = 2 keeps the two leading terms.
+/// let mut tq = StreamingTermQuantizer::new(2);
+/// assert_eq!(tq.push(Term::pos(5)), Some(Term::pos(5)));
+/// assert_eq!(tq.push(Term::neg(3)), Some(Term::neg(3)));
+/// assert_eq!(tq.push(Term::neg(0)), None); // budget exhausted
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingTermQuantizer {
+    budget: usize,
+    seen: usize,
+    cycles: u64,
+}
+
+impl StreamingTermQuantizer {
+    /// Creates a quantizer with data term budget `β = budget`.
+    pub fn new(budget: usize) -> Self {
+        StreamingTermQuantizer {
+            budget,
+            seen: 0,
+            cycles: 0,
+        }
+    }
+
+    /// The configured budget `β`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Terms observed for the current value.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Cycles consumed (one per observed term).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Feeds the next term of the current value; returns it if within
+    /// budget, `None` if it was suppressed.
+    pub fn push(&mut self, term: Term) -> Option<Term> {
+        self.cycles += 1;
+        if self.seen < self.budget {
+            self.seen += 1;
+            Some(term)
+        } else {
+            None
+        }
+    }
+
+    /// Starts the next value (resets the term counter, keeps cycles).
+    pub fn next_value(&mut self) {
+        self.seen = 0;
+    }
+
+    /// Quantizes a whole term list at once (terms must be most significant
+    /// first, as produced by the SDR encoder).
+    pub fn quantize(&mut self, terms: &[Term]) -> Vec<Term> {
+        self.next_value();
+        terms.iter().filter_map(|&t| self.push(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mri_quant::{sdr, SdrEncoding};
+
+    #[test]
+    fn fig15_example_23_to_24() {
+        let terms = sdr::encode(23, SdrEncoding::Naf);
+        let kept = StreamingTermQuantizer::new(2).quantize(&terms);
+        assert_eq!(sdr::decode(&kept), 24);
+    }
+
+    #[test]
+    fn budget_zero_suppresses_everything() {
+        let terms = sdr::encode(21, SdrEncoding::Naf);
+        let kept = StreamingTermQuantizer::new(0).quantize(&terms);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn generous_budget_passes_all() {
+        let terms = sdr::encode(21, SdrEncoding::Naf);
+        let kept = StreamingTermQuantizer::new(8).quantize(&terms);
+        assert_eq!(kept, terms);
+    }
+
+    #[test]
+    fn next_value_resets_counter_not_cycles() {
+        let mut tq = StreamingTermQuantizer::new(1);
+        tq.push(Term::pos(3));
+        tq.push(Term::pos(1));
+        assert_eq!(tq.cycles(), 2);
+        tq.next_value();
+        assert_eq!(tq.seen(), 0);
+        assert_eq!(tq.cycles(), 2);
+        assert_eq!(tq.push(Term::pos(2)), Some(Term::pos(2)));
+    }
+
+    #[test]
+    fn agrees_with_group_quantizer_at_g1() {
+        use mri_quant::GroupTermQuantizer;
+        for v in 0..256i64 {
+            for beta in 0..4usize {
+                let terms = sdr::encode(v, SdrEncoding::Naf);
+                let kept = StreamingTermQuantizer::new(beta).quantize(&terms);
+                let gq = GroupTermQuantizer::new(1, beta, SdrEncoding::Naf).quantize_i64(&[v]);
+                assert_eq!(sdr::decode(&kept), gq.values[0], "v={v}, β={beta}");
+            }
+        }
+    }
+}

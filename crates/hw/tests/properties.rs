@@ -1,0 +1,86 @@
+//! Property-based tests for the hardware simulators.
+
+use mri_hw::{BMac, MacUnit, Mmac, PMac, SdrEncoderFsm, TermAccumulator};
+use mri_quant::{sdr, SdrEncoding, Term};
+use proptest::prelude::*;
+
+proptest! {
+    /// The term accumulator equals plain summation for any term sequence.
+    #[test]
+    fn accumulator_matches_plain_sum(
+        terms in prop::collection::vec((0u8..20, any::<bool>()), 0..64)
+    ) {
+        let mut acc = TermAccumulator::new();
+        let mut expect = 0i64;
+        for (e, neg) in terms {
+            let t = Term { exponent: e, negative: neg };
+            acc.add_term(t);
+            expect += t.value();
+        }
+        prop_assert_eq!(acc.value(), expect);
+    }
+
+    /// pMAC and bMAC are exact for any operands in the 5-bit range.
+    #[test]
+    fn value_level_macs_exact(
+        w in prop::collection::vec(-31i64..=31, 1..24),
+        y_in in -1000i64..1000,
+    ) {
+        let x: Vec<i64> = w.iter().rev().copied().collect();
+        let expect: i64 = w.iter().zip(&x).map(|(a, b)| a * b).sum::<i64>() + y_in;
+        prop_assert_eq!(PMac::new().group_mac(&w, &x, y_in).value, expect);
+        prop_assert_eq!(BMac::new().group_mac(&w, &x, y_in).value, expect);
+    }
+
+    /// The mMAC's result always equals the plain dot product of its own
+    /// quantized operands, for any budgets.
+    #[test]
+    fn mmac_equals_quantized_dot(
+        w in prop::collection::vec(-31i64..=31, 8),
+        x in prop::collection::vec(-31i64..=31, 8),
+        alpha in 1usize..24,
+        beta in 1usize..4,
+    ) {
+        let mut mac = Mmac::new(8, alpha, beta, SdrEncoding::Naf);
+        let r = mac.group_mac(&w, &x, 0);
+        let (wq, xq) = mac.quantized_operands(&w, &x);
+        let expect: i64 = wq.iter().zip(&xq).map(|(a, b)| a * b).sum();
+        prop_assert_eq!(r.value, expect);
+        prop_assert_eq!(r.cycles, (alpha * beta) as u64);
+    }
+
+    /// With budgets covering every term, the mMAC is exact.
+    #[test]
+    fn mmac_exact_at_full_budget(
+        w in prop::collection::vec(-31i64..=31, 8),
+        x in prop::collection::vec(-31i64..=31, 8),
+        y_in in -100i64..100,
+    ) {
+        // 5-bit NAF needs at most 3 terms/value: α = 24, β = 3 is lossless.
+        let mut mac = Mmac::new(8, 24, 3, SdrEncoding::Naf);
+        let expect: i64 = w.iter().zip(&x).map(|(a, b)| a * b).sum::<i64>() + y_in;
+        prop_assert_eq!(mac.group_mac(&w, &x, y_in).value, expect);
+    }
+
+    /// The FSM encoder agrees with the arithmetic NAF for arbitrary widths.
+    #[test]
+    fn fsm_matches_naf(v in 0i64..(1 << 16)) {
+        let fsm = SdrEncoderFsm::new().encode_value(v, 17);
+        let naf = sdr::encode(v, SdrEncoding::Naf);
+        prop_assert_eq!(fsm, naf);
+    }
+
+    /// Accumulator half-adder work is bounded linearly in the term count.
+    #[test]
+    fn accumulator_ha_ops_bounded(
+        terms in prop::collection::vec((0u8..16, any::<bool>()), 1..128)
+    ) {
+        let n = terms.len() as u64;
+        let mut acc = TermAccumulator::new();
+        for (e, neg) in terms {
+            acc.add_term(Term { exponent: e, negative: neg });
+        }
+        prop_assert!(acc.half_adder_ops() <= n * 33);
+        prop_assert_eq!(acc.cycles(), n);
+    }
+}

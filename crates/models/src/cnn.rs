@@ -1,0 +1,670 @@
+//! Residual CNN classifiers built from quantized layers.
+
+use mri_core::{QConv2d, QLinear, QuantConfig, ResolutionControl};
+use mri_nn::{BatchNorm2d, BnBankSelector, GlobalAvgPool, Layer, Mode, Param, Relu, Sequential};
+use mri_tensor::conv::Conv2dCfg;
+use mri_tensor::Tensor;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A pre-activation-free basic residual block: `relu(bn(conv(x)) + skip(x))`
+/// with an optional 1×1 projection shortcut for stride/width changes.
+pub struct ResidualBlock {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    relu: Relu,
+    cached_x: Option<Tensor>,
+}
+
+/// Per-sub-model switchable BN configuration: `(bank count, selector)`.
+pub type BnBanks = Option<(usize, BnBankSelector)>;
+
+fn make_bn(channels: usize, banks: &BnBanks) -> BatchNorm2d {
+    match banks {
+        Some((n, sel)) => BatchNorm2d::banked(channels, *n, Some(Arc::clone(sel))),
+        None => BatchNorm2d::new(channels),
+    }
+}
+
+impl ResidualBlock {
+    /// Builds a block of two 3×3 quantized convolutions.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        ResidualBlock::new_banked(rng, in_ch, out_ch, stride, qcfg, control, &None)
+    }
+
+    /// [`ResidualBlock::new`] with switchable BN statistic banks.
+    pub fn new_banked<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+        banks: &BnBanks,
+    ) -> Self {
+        let mut main = Sequential::new();
+        main.push(QConv2d::new(
+            rng,
+            in_ch,
+            out_ch,
+            Conv2dCfg::new(3, stride, 1),
+            qcfg,
+            Arc::clone(control),
+        ));
+        main.push(make_bn(out_ch, banks));
+        main.push(Relu::new());
+        main.push(QConv2d::new(
+            rng,
+            out_ch,
+            out_ch,
+            Conv2dCfg::same(3),
+            qcfg,
+            Arc::clone(control),
+        ));
+        main.push(make_bn(out_ch, banks));
+
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            let mut s = Sequential::new();
+            s.push(QConv2d::new(
+                rng,
+                in_ch,
+                out_ch,
+                Conv2dCfg::new(1, stride, 0),
+                qcfg,
+                Arc::clone(control),
+            ));
+            s.push(make_bn(out_ch, banks));
+            Some(s)
+        } else {
+            None
+        };
+        ResidualBlock {
+            main,
+            shortcut,
+            relu: Relu::new(),
+            cached_x: None,
+        }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode.is_train() {
+            self.cached_x = Some(x.clone());
+        }
+        let main = self.main.forward(x, mode);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(x, mode),
+            None => x.clone(),
+        };
+        self.relu.forward(&(&main + &skip), mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.relu.backward(grad_out);
+        let g_main = self.main.backward(&g);
+        let g_skip = match &mut self.shortcut {
+            Some(s) => s.backward(&g),
+            None => g,
+        };
+        &g_main + &g_skip
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(visitor);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(visitor);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "residual[{}{}]",
+            self.main.describe(),
+            if self.shortcut.is_some() {
+                " + projection"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// A scaled-down residual classifier in the ResNet family.
+///
+/// Three stages of residual blocks over a quantized stem, global average
+/// pooling and a quantized linear head. `blocks_per_stage` and `width`
+/// select the ResNet-18-like, ResNet-50-like and MobileNet-like variants
+/// used in the evaluation (see the constructors).
+pub struct MiniResNet {
+    net: Sequential,
+    classes: usize,
+    name: &'static str,
+}
+
+impl MiniResNet {
+    /// Builds a custom variant.
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        name: &'static str,
+        classes: usize,
+        width: usize,
+        blocks_per_stage: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        MiniResNet::build_banked(
+            rng,
+            name,
+            classes,
+            width,
+            blocks_per_stage,
+            qcfg,
+            control,
+            None,
+        )
+    }
+
+    /// [`MiniResNet::build`] with per-sub-model switchable BN statistic
+    /// banks: pass `(number_of_sub_models, selector)` and set the selector
+    /// to the active sub-model index before each forward pass.
+    #[allow(clippy::too_many_arguments)] // mirror of `build` plus the bank handle
+    pub fn build_banked<R: Rng + ?Sized>(
+        rng: &mut R,
+        name: &'static str,
+        classes: usize,
+        width: usize,
+        blocks_per_stage: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+        banks: BnBanks,
+    ) -> Self {
+        let mut net = Sequential::new();
+        // Stem.
+        net.push(QConv2d::new(
+            rng,
+            3,
+            width,
+            Conv2dCfg::same(3),
+            qcfg,
+            Arc::clone(control),
+        ));
+        net.push(make_bn(width, &banks));
+        net.push(Relu::new());
+        // Stages at width, 2·width, 4·width with stride-2 transitions.
+        let mut in_ch = width;
+        for (stage, mult) in [1usize, 2, 4].into_iter().enumerate() {
+            let out_ch = width * mult;
+            for b in 0..blocks_per_stage {
+                let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+                net.push(ResidualBlock::new_banked(
+                    rng, in_ch, out_ch, stride, qcfg, control, &banks,
+                ));
+                in_ch = out_ch;
+            }
+        }
+        net.push(GlobalAvgPool::new());
+        net.push(QLinear::new(rng, in_ch, classes, qcfg, Arc::clone(control)));
+        MiniResNet { net, classes, name }
+    }
+
+    /// The ResNet-18 stand-in: 2 blocks per stage at width 16.
+    pub fn resnet18_like<R: Rng + ?Sized>(
+        rng: &mut R,
+        classes: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        MiniResNet::build(rng, "MiniResNet18", classes, 16, 2, qcfg, control)
+    }
+
+    /// The ResNet-50 stand-in: 3 blocks per stage at width 20.
+    pub fn resnet50_like<R: Rng + ?Sized>(
+        rng: &mut R,
+        classes: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        MiniResNet::build(rng, "MiniResNet50", classes, 20, 3, qcfg, control)
+    }
+
+    /// The MobileNet-v2 stand-in: a narrow single-block-per-stage network.
+    pub fn mobilenet_like<R: Rng + ?Sized>(
+        rng: &mut R,
+        classes: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        MiniResNet::build(rng, "MiniMobileNet", classes, 12, 1, qcfg, control)
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Variant name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Total scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.net.param_count()
+    }
+}
+
+impl Layer for MiniResNet {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.net.forward(x, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.net.backward(grad_out)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.net.visit_params(visitor);
+    }
+
+    fn describe(&self) -> String {
+        format!("{}({})", self.name, self.net.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mri_core::Resolution;
+    use mri_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctl() -> Arc<ResolutionControl> {
+        Arc::new(ResolutionControl::new(Resolution::Tq {
+            alpha: 20,
+            beta: 3,
+        }))
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let control = ctl();
+        let mut m = MiniResNet::resnet18_like(&mut rng, 6, QuantConfig::paper_cnn(), &control);
+        let x = init::uniform(&mut rng, &[2, 3, 16, 16], 0.0, 1.0);
+        let y = m.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 6]);
+    }
+
+    #[test]
+    fn residual_block_identity_path_backward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let control = ctl();
+        let mut block = ResidualBlock::new(&mut rng, 4, 4, 1, QuantConfig::paper_cnn(), &control);
+        let x = init::uniform(&mut rng, &[1, 4, 8, 8], 0.0, 1.0);
+        let y = block.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), x.dims());
+        let gx = block.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), x.dims());
+        assert!(gx.norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn projection_shortcut_changes_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let control = ctl();
+        let mut block = ResidualBlock::new(&mut rng, 4, 8, 2, QuantConfig::paper_cnn(), &control);
+        let x = init::uniform(&mut rng, &[1, 4, 8, 8], 0.0, 1.0);
+        let y = block.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[1, 8, 4, 4]);
+        let gx = block.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn variants_have_increasing_capacity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let control = ctl();
+        let mut small = MiniResNet::mobilenet_like(&mut rng, 4, QuantConfig::paper_cnn(), &control);
+        let mut mid = MiniResNet::resnet18_like(&mut rng, 4, QuantConfig::paper_cnn(), &control);
+        let mut big = MiniResNet::resnet50_like(&mut rng, 4, QuantConfig::paper_cnn(), &control);
+        assert!(small.param_count() < mid.param_count());
+        assert!(mid.param_count() < big.param_count());
+    }
+
+    #[test]
+    fn term_pairs_respond_to_resolution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let control = ctl();
+        let mut m = MiniResNet::mobilenet_like(&mut rng, 4, QuantConfig::paper_cnn(), &control);
+        let x = init::uniform(&mut rng, &[1, 3, 16, 16], 0.0, 1.0);
+        control.set_resolution(Resolution::Tq { alpha: 20, beta: 3 });
+        control.reset_counters();
+        m.forward(&x, Mode::Eval);
+        let hi = control.term_pairs();
+        control.set_resolution(Resolution::Tq { alpha: 8, beta: 2 });
+        control.reset_counters();
+        m.forward(&x, Mode::Eval);
+        let lo = control.term_pairs();
+        assert!(
+            lo * 3 < hi,
+            "γ=16 ({lo}) should be ~3.75x cheaper than γ=60 ({hi})"
+        );
+    }
+
+    #[test]
+    fn short_training_run_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let control = ctl();
+        let mut m = MiniResNet::mobilenet_like(&mut rng, 2, QuantConfig::paper_cnn(), &control);
+        let mut ds = mri_data::SyntheticImages::new(1, 2, 8);
+        let (x, labels) = ds.batch(16);
+        let mut opt = mri_nn::Sgd::new(0.05, 0.9, 1e-4);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..15 {
+            m.visit_params(&mut |p| p.zero_grad());
+            let logits = m.forward(&x, Mode::Train);
+            let (l, g) = mri_nn::loss::cross_entropy(&logits, &labels);
+            m.backward(&g);
+            opt.step(|f| m.visit_params(f));
+            first.get_or_insert(l);
+            last = l;
+        }
+        assert!(last < first.unwrap(), "loss {first:?} -> {last}");
+    }
+}
+
+/// A MobileNet-v2 inverted residual block built from quantized layers:
+/// 1×1 expand → 3×3 depthwise → 1×1 project, with a residual connection
+/// when the geometry allows.
+pub struct InvertedResidual {
+    expand: Option<Sequential>,
+    depthwise: Sequential,
+    project: Sequential,
+    has_skip: bool,
+    cached_x: Option<Tensor>,
+}
+
+impl InvertedResidual {
+    /// Builds a block with expansion factor `t`.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        t: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        use mri_core::QDepthwiseConv2d;
+        let hidden = in_ch * t;
+        let expand = if t != 1 {
+            let mut e = Sequential::new();
+            e.push(QConv2d::new(
+                rng,
+                in_ch,
+                hidden,
+                Conv2dCfg::new(1, 1, 0),
+                qcfg,
+                Arc::clone(control),
+            ));
+            e.push(BatchNorm2d::new(hidden));
+            e.push(Relu::new());
+            Some(e)
+        } else {
+            None
+        };
+        let mut depthwise = Sequential::new();
+        depthwise.push(QDepthwiseConv2d::new(
+            rng,
+            hidden,
+            Conv2dCfg::new(3, stride, 1),
+            qcfg,
+            Arc::clone(control),
+        ));
+        depthwise.push(BatchNorm2d::new(hidden));
+        depthwise.push(Relu::new());
+        let mut project = Sequential::new();
+        project.push(QConv2d::new(
+            rng,
+            hidden,
+            out_ch,
+            Conv2dCfg::new(1, 1, 0),
+            qcfg,
+            Arc::clone(control),
+        ));
+        project.push(BatchNorm2d::new(out_ch)); // linear bottleneck: no ReLU
+        InvertedResidual {
+            expand,
+            depthwise,
+            project,
+            has_skip: stride == 1 && in_ch == out_ch,
+            cached_x: None,
+        }
+    }
+}
+
+impl Layer for InvertedResidual {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode.is_train() {
+            self.cached_x = Some(x.clone());
+        }
+        let mut h = match &mut self.expand {
+            Some(e) => e.forward(x, mode),
+            None => x.clone(),
+        };
+        h = self.depthwise.forward(&h, mode);
+        let out = self.project.forward(&h, mode);
+        if self.has_skip {
+            &out + x
+        } else {
+            out
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.project.backward(grad_out);
+        let g = self.depthwise.backward(&g);
+        let g_main = match &mut self.expand {
+            Some(e) => e.backward(&g),
+            None => g,
+        };
+        if self.has_skip {
+            &g_main + grad_out
+        } else {
+            g_main
+        }
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        if let Some(e) = &mut self.expand {
+            e.visit_params(visitor);
+        }
+        self.depthwise.visit_params(visitor);
+        self.project.visit_params(visitor);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "inverted_residual[{}{}, {}, {}]",
+            self.expand
+                .as_ref()
+                .map(|e| e.describe())
+                .unwrap_or_default(),
+            if self.has_skip { " + skip" } else { "" },
+            self.depthwise.describe(),
+            self.project.describe()
+        )
+    }
+}
+
+/// A faithful (scaled-down) MobileNet-v2: quantized stem, inverted residual
+/// stages with depthwise convolutions, global pooling and a quantized head.
+pub struct MiniMobileNetV2 {
+    net: Sequential,
+    classes: usize,
+}
+
+impl MiniMobileNetV2 {
+    /// Builds the model. Stage table `(t, c, n, s)` mirrors the original at
+    /// reduced width.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        classes: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        let mut net = Sequential::new();
+        net.push(QConv2d::new(
+            rng,
+            3,
+            8,
+            Conv2dCfg::same(3),
+            qcfg,
+            Arc::clone(control),
+        ));
+        net.push(BatchNorm2d::new(8));
+        net.push(Relu::new());
+        let stages: [(usize, usize, usize, usize); 3] =
+            [(1, 8, 1, 1), (4, 12, 2, 2), (4, 16, 2, 2)];
+        let mut in_ch = 8;
+        for (t, c, n, s) in stages {
+            for b in 0..n {
+                let stride = if b == 0 { s } else { 1 };
+                net.push(InvertedResidual::new(
+                    rng, in_ch, c, stride, t, qcfg, control,
+                ));
+                in_ch = c;
+            }
+        }
+        net.push(GlobalAvgPool::new());
+        net.push(QLinear::new(rng, in_ch, classes, qcfg, Arc::clone(control)));
+        MiniMobileNetV2 { net, classes }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.net.param_count()
+    }
+}
+
+impl Layer for MiniMobileNetV2 {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.net.forward(x, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.net.backward(grad_out)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.net.visit_params(visitor);
+    }
+
+    fn describe(&self) -> String {
+        format!("MiniMobileNetV2({})", self.net.describe())
+    }
+}
+
+#[cfg(test)]
+mod mobilenet_tests {
+    use super::*;
+    use mri_core::Resolution;
+    use mri_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctl2() -> Arc<ResolutionControl> {
+        Arc::new(ResolutionControl::new(Resolution::Tq {
+            alpha: 12,
+            beta: 2,
+        }))
+    }
+
+    #[test]
+    fn forward_shapes_through_strided_stages() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let control = ctl2();
+        let mut m = MiniMobileNetV2::new(&mut rng, 5, QuantConfig::paper_cnn(), &control);
+        let x = init::uniform(&mut rng, &[2, 3, 16, 16], 0.0, 1.0);
+        let y = m.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 5]);
+    }
+
+    #[test]
+    fn inverted_residual_skip_path_backward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let control = ctl2();
+        let mut block =
+            InvertedResidual::new(&mut rng, 6, 6, 1, 4, QuantConfig::paper_cnn(), &control);
+        let x = init::uniform(&mut rng, &[1, 6, 8, 8], 0.0, 1.0);
+        let y = block.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), x.dims());
+        let gx = block.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), x.dims());
+        // The skip path guarantees the gradient includes the identity.
+        assert!(gx.sum() != 0.0);
+    }
+
+    #[test]
+    fn short_training_run_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let control = ctl2();
+        let mut m = MiniMobileNetV2::new(&mut rng, 2, QuantConfig::paper_cnn(), &control);
+        let mut ds = mri_data::SyntheticImages::new(3, 2, 8);
+        let (x, labels) = ds.batch(16);
+        let mut opt = mri_nn::Sgd::new(0.05, 0.9, 1e-4);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..12 {
+            m.visit_params(&mut |p| p.zero_grad());
+            let logits = m.forward(&x, Mode::Train);
+            let (l, g) = mri_nn::loss::cross_entropy(&logits, &labels);
+            m.backward(&g);
+            opt.step(|f| m.visit_params(f));
+            first.get_or_insert(l);
+            last = l;
+        }
+        assert!(last < first.unwrap(), "loss {first:?} -> {last}");
+    }
+
+    #[test]
+    fn depthwise_layers_cost_few_term_pairs() {
+        // Depthwise dot products are k = 9: the term-pair bill should be far
+        // smaller than an equivalent dense conv.
+        let mut rng = StdRng::seed_from_u64(3);
+        let control = ctl2();
+        let mut m = MiniMobileNetV2::new(&mut rng, 4, QuantConfig::paper_cnn(), &control);
+        let x = init::uniform(&mut rng, &[1, 3, 16, 16], 0.0, 1.0);
+        control.reset_counters();
+        m.forward(&x, Mode::Eval);
+        let mobile_tp = control.term_pairs();
+        assert!(mobile_tp > 0);
+
+        let control2 = ctl2();
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let mut resnet =
+            MiniResNet::resnet18_like(&mut rng2, 4, QuantConfig::paper_cnn(), &control2);
+        control2.reset_counters();
+        resnet.forward(&x, Mode::Eval);
+        assert!(
+            mobile_tp * 3 < control2.term_pairs(),
+            "mobilenet {mobile_tp} vs resnet {}",
+            control2.term_pairs()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # mri-models
+//!
+//! Reference models built from the multi-resolution quantized layers of
+//! [`mri_core`], scaled to train on a CPU while preserving the architectural
+//! families the paper evaluates:
+//!
+//! * [`MiniResNet`] — residual CNNs (the ResNet-18/-50 stand-ins) and a
+//!   narrow variant standing in for MobileNet-v2;
+//! * [`LstmLm`] — a two-layer quantized LSTM language model (the
+//!   WikiText-2 experiment);
+//! * [`TinyYolo`] — a single-scale grid detector with objectness, box and
+//!   class heads (the YOLO-v5/COCO experiment).
+//!
+//! Every model listens to one shared [`mri_core::ResolutionControl`], so a
+//! single instance serves all sub-models at runtime.
+
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod lstm_lm;
+pub mod yolo;
+
+pub use cnn::{InvertedResidual, MiniMobileNetV2, MiniResNet, ResidualBlock};
+pub use lstm_lm::LstmLm;
+pub use yolo::TinyYolo;

@@ -1,0 +1,399 @@
+//! A two-layer quantized LSTM language model (the WikiText-2 experiment).
+//!
+//! Weight quantization follows Algorithm 1 exactly — symmetric UQ at the
+//! meta bitwidth with a learnable clip, then group TQ at the active budget —
+//! implemented by temporarily swapping fake-quantized weights into the LSTM
+//! cells for the forward/backward pair and restoring the full-precision
+//! masters before the optimizer step (straight-through estimation). Data
+//! entering each recurrent layer is quantized with the active `β`.
+
+use mri_core::{
+    fake_quantize_data, fake_quantize_weights, QLinear, QuantConfig, ResolutionControl,
+};
+use mri_nn::{Dropout, Embedding, Layer, Lstm, Mode, Param};
+use mri_tensor::Tensor;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A quantized 2-layer LSTM language model.
+pub struct LstmLm {
+    emb: Embedding,
+    lstm1: Lstm,
+    lstm2: Lstm,
+    drop1: Dropout,
+    drop2: Dropout,
+    head: QLinear,
+    w_clip: Param,
+    x_clip: Param,
+    qcfg: QuantConfig,
+    control: Arc<ResolutionControl>,
+    state: Option<FwdState>,
+}
+
+struct FwdState {
+    steps: usize,
+    batch: usize,
+    saved_weights: Vec<Tensor>,
+    weight_ste: Vec<Tensor>,
+    weight_sat: Vec<Tensor>,
+    e_ste: Tensor,
+    e_sat: Tensor,
+    h1_ste: Tensor,
+    h1_sat: Tensor,
+    hidden: usize,
+    emb_dim: usize,
+}
+
+impl LstmLm {
+    /// Builds the model: embedding → LSTM ×2 (with dropout) → quantized
+    /// linear decoder, mirroring the paper's §6.4.2 configuration scaled to
+    /// CPU size.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        vocab: usize,
+        emb_dim: usize,
+        hidden: usize,
+        dropout: f32,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        LstmLm {
+            emb: Embedding::new(rng, vocab, emb_dim),
+            lstm1: Lstm::new(rng, emb_dim, hidden),
+            lstm2: Lstm::new(rng, hidden, hidden),
+            drop1: Dropout::new(dropout, 11),
+            drop2: Dropout::new(dropout, 13),
+            head: QLinear::new(rng, hidden, vocab, qcfg, Arc::clone(control)),
+            w_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
+            x_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
+            qcfg,
+            control: Arc::clone(control),
+            state: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.emb.vocab()
+    }
+
+    /// Forward pass over a time-major token batch (`ids[t * batch + b]`),
+    /// returning logits `[steps * batch, vocab]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != steps * batch`.
+    pub fn forward(&mut self, ids: &[usize], steps: usize, batch: usize, mode: Mode) -> Tensor {
+        assert_eq!(ids.len(), steps * batch, "token count mismatch");
+        let res = self.control.resolution();
+        let w_clip = self.w_clip.value.data()[0].max(1e-3);
+        let x_clip = self.x_clip.value.data()[0].max(1e-3);
+
+        // Swap fake-quantized weights into both LSTM cells.
+        let mut saved = Vec::new();
+        let mut stes = Vec::new();
+        let mut sats = Vec::new();
+        for lstm in [&mut self.lstm1, &mut self.lstm2] {
+            lstm.visit_params(&mut |p| {
+                if p.value.shape().rank() == 2 {
+                    let row_len = p.value.dim(1);
+                    let fq = fake_quantize_weights(&p.value, w_clip, res, self.qcfg, row_len);
+                    saved.push(std::mem::replace(&mut p.value, fq.values));
+                    stes.push(fq.ste);
+                    sats.push(fq.sat);
+                }
+            });
+        }
+
+        let emb_dim = self.emb.dim();
+        let hidden = self.lstm1.hidden_size();
+
+        let e = self.emb.forward(ids); // [steps*batch, emb]
+        let eq = fake_quantize_data(&e, x_clip, res, self.qcfg);
+        let e_dropped = self.drop1.forward(&eq.values, mode);
+        let h1 = self
+            .lstm1
+            .forward(&e_dropped.reshape(&[steps, batch, emb_dim]));
+        let h1_flat = h1.reshape(&[steps * batch, hidden]);
+        let h1q = fake_quantize_data(&h1_flat, x_clip, res, self.qcfg);
+        let h1_dropped = self.drop2.forward(&h1q.values, mode);
+        let h2 = self
+            .lstm2
+            .forward(&h1_dropped.reshape(&[steps, batch, hidden]));
+        let h2_flat = h2.reshape(&[steps * batch, hidden]);
+        let logits = self.head.forward(&h2_flat, mode);
+
+        if mode.is_train() {
+            self.state = Some(FwdState {
+                steps,
+                batch,
+                saved_weights: saved,
+                weight_ste: stes,
+                weight_sat: sats,
+                e_ste: eq.ste,
+                e_sat: eq.sat,
+                h1_ste: h1q.ste,
+                h1_sat: h1q.sat,
+                hidden,
+                emb_dim,
+            });
+        } else {
+            // Restore the master weights immediately in eval mode.
+            self.restore_weights(saved);
+        }
+        logits
+    }
+
+    /// Backward pass from the logits gradient; accumulates gradients into
+    /// the full-precision masters (STE) and restores them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward.
+    pub fn backward(&mut self, grad_logits: &Tensor) {
+        let st = self.state.take().expect("backward before forward");
+        let g_h2 = self.head.backward(grad_logits);
+        let g_h1d = self
+            .lstm2
+            .backward(&g_h2.reshape(&[st.steps, st.batch, st.hidden]))
+            .reshape_into(&[st.steps * st.batch, st.hidden]);
+        let g_h1q = self.drop2.backward(&g_h1d);
+        // STE through the h1 data quantizer + PACT to the shared x clip.
+        let g_h1 = &g_h1q * &st.h1_ste;
+        self.x_clip.grad.data_mut()[0] += g_h1q
+            .data()
+            .iter()
+            .zip(st.h1_sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum::<f32>();
+        let g_ed = self
+            .lstm1
+            .backward(&g_h1.reshape(&[st.steps, st.batch, st.hidden]))
+            .reshape_into(&[st.steps * st.batch, st.emb_dim]);
+        let g_eq = self.drop1.backward(&g_ed);
+        let g_e = &g_eq * &st.e_ste;
+        self.x_clip.grad.data_mut()[0] += g_eq
+            .data()
+            .iter()
+            .zip(st.e_sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum::<f32>();
+        self.emb.backward(&g_e);
+
+        // STE on the LSTM weight gradients + PACT to the shared w clip,
+        // then restore the full-precision masters.
+        let mut idx = 0usize;
+        let mut wclip_grad = 0.0f32;
+        for lstm in [&mut self.lstm1, &mut self.lstm2] {
+            lstm.visit_params(&mut |p| {
+                if p.value.shape().rank() == 2 {
+                    wclip_grad += p
+                        .grad
+                        .data()
+                        .iter()
+                        .zip(st.weight_sat[idx].data())
+                        .map(|(&g, &s)| g * s)
+                        .sum::<f32>();
+                    let masked = &p.grad * &st.weight_ste[idx];
+                    p.grad = masked;
+                    idx += 1;
+                }
+            });
+        }
+        self.w_clip.grad.data_mut()[0] += wclip_grad;
+        self.restore_weights(st.saved_weights);
+    }
+
+    fn restore_weights(&mut self, saved: Vec<Tensor>) {
+        let mut it = saved.into_iter();
+        for lstm in [&mut self.lstm1, &mut self.lstm2] {
+            lstm.visit_params(&mut |p| {
+                if p.value.shape().rank() == 2 {
+                    p.value = it.next().expect("saved weight count mismatch");
+                }
+            });
+        }
+    }
+
+    /// Visits every trainable parameter.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.emb.visit_params(visitor);
+        self.lstm1.visit_params(visitor);
+        self.lstm2.visit_params(visitor);
+        self.head.visit_params(visitor);
+        visitor(&mut self.w_clip);
+        visitor(&mut self.x_clip);
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Mean cross-entropy (nats/token) over BPTT batches; `exp` of this is
+    /// the perplexity reported in Fig. 22 (middle).
+    pub fn evaluate_ce(
+        &mut self,
+        batches: &[(Vec<usize>, Vec<usize>)],
+        steps: usize,
+        batch: usize,
+    ) -> f32 {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for (input, target) in batches {
+            let logits = self.forward(input, steps, batch, Mode::Eval);
+            let (ce, _) = mri_nn::loss::cross_entropy(&logits, target);
+            total += f64::from(ce) * target.len() as f64;
+            count += target.len();
+        }
+        if count == 0 {
+            0.0
+        } else {
+            (total / count as f64) as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mri_core::Resolution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctl() -> Arc<ResolutionControl> {
+        Arc::new(ResolutionControl::new(Resolution::Tq {
+            alpha: 24,
+            beta: 3,
+        }))
+    }
+
+    fn tiny_lm(rng: &mut StdRng, control: &Arc<ResolutionControl>) -> LstmLm {
+        LstmLm::new(rng, 16, 8, 12, 0.0, QuantConfig::paper_8bit(), control)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let control = ctl();
+        let mut lm = tiny_lm(&mut rng, &control);
+        let ids: Vec<usize> = (0..20).map(|i| i % 16).collect();
+        let logits = lm.forward(&ids, 5, 4, Mode::Eval);
+        assert_eq!(logits.dims(), &[20, 16]);
+    }
+
+    #[test]
+    fn weights_restored_after_eval_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let control = ctl();
+        let mut lm = tiny_lm(&mut rng, &control);
+        let mut before = Vec::new();
+        lm.lstm1.visit_params(&mut |p| before.push(p.value.clone()));
+        let ids: Vec<usize> = (0..8).collect();
+        lm.forward(&ids, 2, 4, Mode::Eval);
+        let mut after = Vec::new();
+        lm.lstm1.visit_params(&mut |p| after.push(p.value.clone()));
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert_eq!(b.data(), a.data(), "weights must be restored after eval");
+        }
+    }
+
+    #[test]
+    fn weights_restored_after_train_step() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let control = ctl();
+        let mut lm = tiny_lm(&mut rng, &control);
+        let mut before = Vec::new();
+        lm.lstm2.visit_params(&mut |p| before.push(p.value.clone()));
+        let ids: Vec<usize> = (0..8).collect();
+        let logits = lm.forward(&ids, 2, 4, Mode::Train);
+        let (_, g) = mri_nn::loss::cross_entropy(&logits, &[1usize; 8]);
+        lm.backward(&g);
+        let mut after = Vec::new();
+        lm.lstm2.visit_params(&mut |p| after.push(p.value.clone()));
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert_eq!(b.data(), a.data());
+        }
+    }
+
+    #[test]
+    fn training_reduces_perplexity_on_markov_text() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let control = ctl();
+        let mut lm = tiny_lm(&mut rng, &control);
+        let corpus = mri_data::MarkovCorpus::with_order(7, 16, 6000, 1);
+        let batches = corpus.batches(8, 8);
+        let eval: Vec<_> = batches[..2].to_vec();
+        let before = lm.evaluate_ce(&eval, 8, 8);
+        let mut opt = mri_nn::Sgd::new(0.5, 0.9, 0.0);
+        for epoch in 0..5 {
+            for (input, target) in batches.iter().skip(2).take(40) {
+                lm.zero_grad();
+                let logits = lm.forward(input, 8, 8, Mode::Train);
+                let (_, g) = mri_nn::loss::cross_entropy(&logits, target);
+                lm.backward(&g);
+                opt.step(|f| lm.visit_params(f));
+            }
+            let _ = epoch;
+        }
+        let after = lm.evaluate_ce(&eval, 8, 8);
+        assert!(
+            after < before - 0.05,
+            "cross-entropy should drop: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn resolution_switch_changes_outputs_deterministically() {
+        // The same instance serves every sub-model: switching the shared
+        // control changes the logits, and evaluating twice at the same
+        // resolution is bit-identical (no hidden state leaks between runs).
+        let mut rng = StdRng::seed_from_u64(4);
+        let control = ctl();
+        let mut lm = tiny_lm(&mut rng, &control);
+        let ids: Vec<usize> = (0..8).collect();
+        control.set_resolution(Resolution::Full);
+        let base = lm.forward(&ids, 2, 4, Mode::Eval);
+        let base2 = lm.forward(&ids, 2, 4, Mode::Eval);
+        assert_eq!(base.data(), base2.data(), "eval must be deterministic");
+        control.set_resolution(Resolution::Tq { alpha: 4, beta: 1 });
+        let lo = lm.forward(&ids, 2, 4, Mode::Eval);
+        assert!(
+            (&lo - &base).norm_sq() > 0.0,
+            "quantization must perturb the logits"
+        );
+        // The underlying weight quantization error is strongly monotone in α
+        // (the logit-level deviation of an *untrained* net is not a reliable
+        // proxy, so we assert at the weight level).
+        let mut w = None;
+        lm.lstm1.visit_params(&mut |p| {
+            if w.is_none() && p.value.shape().rank() == 2 {
+                w = Some(p.value.clone());
+            }
+        });
+        let w = w.unwrap();
+        let qcfg = mri_core::QuantConfig::paper_8bit();
+        let row = w.dim(1);
+        let e4 = (&mri_core::fake_quantize_weights(
+            &w,
+            1.0,
+            Resolution::Tq { alpha: 4, beta: 1 },
+            qcfg,
+            row,
+        )
+        .values
+            - &w)
+            .norm_sq();
+        let e32 = (&mri_core::fake_quantize_weights(
+            &w,
+            1.0,
+            Resolution::Tq { alpha: 32, beta: 1 },
+            qcfg,
+            row,
+        )
+        .values
+            - &w)
+            .norm_sq();
+        assert!(e4 > 10.0 * e32, "α=4 error {e4} vs α=32 error {e32}");
+    }
+}

@@ -1,0 +1,333 @@
+//! A single-scale grid detector in the YOLO family, built from quantized
+//! convolutions (the COCO experiment stand-in, §6.4.3).
+
+use mri_core::{QConv2d, QuantConfig, ResolutionControl};
+use mri_data::detection::{average_precision_50, BoundingBox, Detection, NUM_CLASSES};
+use mri_nn::{BatchNorm2d, Layer, Mode, Param, Relu, Sequential};
+use mri_tensor::conv::Conv2dCfg;
+use mri_tensor::Tensor;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A tiny single-scale YOLO-style detector.
+///
+/// Input `[N, 3, S, S]`; output `[N, 5 + classes, S/8, S/8]` where channel
+/// 0 is objectness, 1–4 are (cx offset, cy offset, w, h), the rest class
+/// scores. All predictions are raw logits; the loss and decoder apply
+/// sigmoids.
+pub struct TinyYolo {
+    net: Sequential,
+    grid: usize,
+    input: usize,
+}
+
+impl TinyYolo {
+    /// Builds the detector for `input × input` images (grid = input / 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `input` is a multiple of 8 and at least 16.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        input: usize,
+        qcfg: QuantConfig,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        assert!(
+            input >= 16 && input.is_multiple_of(8),
+            "input must be a multiple of 8, >= 16"
+        );
+        let mut net = Sequential::new();
+        let widths = [16usize, 32, 48];
+        let mut in_ch = 3;
+        for w in widths {
+            net.push(QConv2d::new(
+                rng,
+                in_ch,
+                w,
+                Conv2dCfg::new(3, 2, 1),
+                qcfg,
+                Arc::clone(control),
+            ));
+            net.push(BatchNorm2d::new(w));
+            net.push(Relu::new());
+            in_ch = w;
+        }
+        net.push(QConv2d::new(
+            rng,
+            in_ch,
+            in_ch,
+            Conv2dCfg::same(3),
+            qcfg,
+            Arc::clone(control),
+        ));
+        net.push(BatchNorm2d::new(in_ch));
+        net.push(Relu::new());
+        net.push(QConv2d::new(
+            rng,
+            in_ch,
+            5 + NUM_CLASSES,
+            Conv2dCfg::new(1, 1, 0),
+            qcfg,
+            Arc::clone(control),
+        ));
+        TinyYolo {
+            net,
+            grid: input / 8,
+            input,
+        }
+    }
+
+    /// Grid side length.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Expected input side length.
+    pub fn input_size(&self) -> usize {
+        self.input
+    }
+
+    /// Decodes raw predictions into scored detections.
+    pub fn decode(pred: &Tensor, threshold: f32, image_offset: usize) -> Vec<Detection> {
+        let (n, c, gh, gw) = (pred.dim(0), pred.dim(1), pred.dim(2), pred.dim(3));
+        let classes = c - 5;
+        let mut out = Vec::new();
+        let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+        for b in 0..n {
+            for gy in 0..gh {
+                for gx in 0..gw {
+                    let obj = sig(pred.at(&[b, 0, gy, gx]));
+                    if obj < threshold {
+                        continue;
+                    }
+                    let cx = (gx as f32 + sig(pred.at(&[b, 1, gy, gx]))) / gw as f32;
+                    let cy = (gy as f32 + sig(pred.at(&[b, 2, gy, gx]))) / gh as f32;
+                    let w = sig(pred.at(&[b, 3, gy, gx]));
+                    let h = sig(pred.at(&[b, 4, gy, gx]));
+                    let (mut best_c, mut best_s) = (0usize, f32::NEG_INFINITY);
+                    for cl in 0..classes {
+                        let s = pred.at(&[b, 5 + cl, gy, gx]);
+                        if s > best_s {
+                            best_s = s;
+                            best_c = cl;
+                        }
+                    }
+                    out.push(Detection {
+                        bbox: BoundingBox {
+                            cx,
+                            cy,
+                            w,
+                            h,
+                            class: best_c,
+                        },
+                        score: obj,
+                        image: image_offset + b,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates AP@0.5 over a batch list, returning `(ap, term_pairs)`.
+    pub fn evaluate_ap(
+        &mut self,
+        control: &ResolutionControl,
+        batches: &[(Tensor, Tensor, Vec<Vec<BoundingBox>>)],
+        threshold: f32,
+    ) -> (f32, u64) {
+        control.reset_counters();
+        let mut dets = Vec::new();
+        let mut truths = Vec::new();
+        for (x, _, boxes) in batches {
+            let pred = self.net.forward(x, Mode::Eval);
+            dets.extend(TinyYolo::decode(&pred, threshold, truths.len()));
+            truths.extend(boxes.iter().cloned());
+        }
+        (average_precision_50(&dets, &truths), control.term_pairs())
+    }
+}
+
+impl Layer for TinyYolo {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.dim(2), self.input, "wrong input size");
+        self.net.forward(x, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.net.backward(grad_out)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.net.visit_params(visitor);
+    }
+
+    fn describe(&self) -> String {
+        format!("tiny_yolo(grid {}x{})", self.grid, self.grid)
+    }
+}
+
+/// The detection training loss: BCE objectness everywhere, plus box MSE and
+/// class BCE on positive cells. Returns `(loss, grad_wrt_pred)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn detection_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.dims(), target.dims(), "pred/target shape mismatch");
+    let (n, c, gh, gw) = (pred.dim(0), pred.dim(1), pred.dim(2), pred.dim(3));
+    let classes = c - 5;
+    let mut grad = Tensor::zeros(pred.dims());
+    let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+    let cells = (n * gh * gw) as f32;
+    let mut loss = 0.0f32;
+    let box_w = 5.0f32;
+
+    for b in 0..n {
+        for gy in 0..gh {
+            for gx in 0..gw {
+                let t_obj = target.at(&[b, 0, gy, gx]);
+                let p_obj = pred.at(&[b, 0, gy, gx]);
+                // Stable BCE on the objectness logit.
+                loss +=
+                    (p_obj.max(0.0) - p_obj * t_obj + (1.0 + (-p_obj.abs()).exp()).ln()) / cells;
+                *grad.at_mut(&[b, 0, gy, gx]) = (sig(p_obj) - t_obj) / cells;
+                if t_obj > 0.5 {
+                    // Box terms: sigmoid-squashed predictions vs targets.
+                    for (ch, &t) in [
+                        target.at(&[b, 1, gy, gx]),
+                        target.at(&[b, 2, gy, gx]),
+                        target.at(&[b, 3, gy, gx]),
+                        target.at(&[b, 4, gy, gx]),
+                    ]
+                    .iter()
+                    .enumerate()
+                    {
+                        let p = pred.at(&[b, 1 + ch, gy, gx]);
+                        let sp = sig(p);
+                        let d = sp - t;
+                        loss += box_w * d * d / cells;
+                        *grad.at_mut(&[b, 1 + ch, gy, gx]) =
+                            box_w * 2.0 * d * sp * (1.0 - sp) / cells;
+                    }
+                    for cl in 0..classes {
+                        let t = target.at(&[b, 5 + cl, gy, gx]);
+                        let p = pred.at(&[b, 5 + cl, gy, gx]);
+                        loss += (p.max(0.0) - p * t + (1.0 + (-p.abs()).exp()).ln()) / cells;
+                        *grad.at_mut(&[b, 5 + cl, gy, gx]) = (sig(p) - t) / cells;
+                    }
+                }
+            }
+        }
+    }
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mri_core::Resolution;
+    use mri_data::ShapesDetection;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctl() -> Arc<ResolutionControl> {
+        Arc::new(ResolutionControl::new(Resolution::Tq {
+            alpha: 32,
+            beta: 4,
+        }))
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let control = ctl();
+        let mut y = TinyYolo::new(&mut rng, 32, QuantConfig::paper_8bit(), &control);
+        let x = Tensor::zeros(&[2, 3, 32, 32]);
+        let p = y.forward(&x, Mode::Eval);
+        assert_eq!(p.dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn loss_gradcheck_on_random_cells() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ds = ShapesDetection::new(2, 32, 4);
+        let (_, target, _) = ds.batch(2);
+        let pred = mri_tensor::init::normal(&mut rng, target.dims(), 0.0, 1.0);
+        let (_, g) = detection_loss(&pred, &target);
+        let eps = 1e-2;
+        for idx in [0usize, 17, 40, 90, 120] {
+            let mut pp = pred.clone();
+            pp.data_mut()[idx] += eps;
+            let mut pm = pred.clone();
+            pm.data_mut()[idx] -= eps;
+            let num =
+                (detection_loss(&pp, &target).0 - detection_loss(&pm, &target).0) / (2.0 * eps);
+            assert!(
+                (num - g.data()[idx]).abs() < 0.02 * (1.0 + num.abs()) + 1e-4,
+                "grad {idx}: numeric {num} vs analytic {}",
+                g.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_logits_give_small_loss() {
+        let mut ds = ShapesDetection::new(3, 32, 4);
+        let (_, target, _) = ds.batch(2);
+        // Build logits that sigmoid to the targets.
+        let mut pred = Tensor::zeros(target.dims());
+        for i in 0..target.len() {
+            let t = target.data()[i];
+            pred.data_mut()[i] = if t > 0.5 { 12.0 } else { -12.0 };
+        }
+        // Box channels need logit(sigmoid) = target in (0, 1).
+        let (n, _, gh, gw) = (target.dim(0), target.dim(1), target.dim(2), target.dim(3));
+        for b in 0..n {
+            for gy in 0..gh {
+                for gx in 0..gw {
+                    if target.at(&[b, 0, gy, gx]) > 0.5 {
+                        for ch in 1..5 {
+                            let t = target.at(&[b, ch, gy, gx]).clamp(1e-4, 1.0 - 1e-4);
+                            *pred.at_mut(&[b, ch, gy, gx]) = (t / (1.0 - t)).ln();
+                        }
+                    }
+                }
+            }
+        }
+        let (loss, _) = detection_loss(&pred, &target);
+        assert!(loss < 0.01, "loss {loss}");
+    }
+
+    #[test]
+    fn decode_respects_threshold() {
+        let mut pred = Tensor::full(&[1, 8, 2, 2], -10.0);
+        *pred.at_mut(&[0, 0, 1, 1]) = 10.0; // one confident cell
+        let dets = TinyYolo::decode(&pred, 0.5, 0);
+        assert_eq!(dets.len(), 1);
+        assert!(dets[0].bbox.cx > 0.5 && dets[0].bbox.cy > 0.5);
+    }
+
+    #[test]
+    fn short_training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let control = ctl();
+        let mut model = TinyYolo::new(&mut rng, 16, QuantConfig::paper_8bit(), &control);
+        let mut ds = ShapesDetection::new(5, 16, 2);
+        let (x, t, _) = ds.batch(8);
+        let mut opt = mri_nn::Sgd::new(0.05, 0.9, 1e-4);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..10 {
+            model.visit_params(&mut |p| p.zero_grad());
+            let pred = model.forward(&x, Mode::Train);
+            let (l, g) = detection_loss(&pred, &t);
+            model.backward(&g);
+            opt.step(|f| model.visit_params(f));
+            first.get_or_insert(l);
+            last = l;
+        }
+        assert!(last < first.unwrap(), "loss {first:?} -> {last}");
+    }
+}

@@ -1,0 +1,243 @@
+//! The [`Layer`] trait, trainable parameters and the [`Sequential`] container.
+
+use mri_tensor::Tensor;
+
+/// Whether a forward pass runs in training or evaluation mode.
+///
+/// Training mode enables dropout and updates batch-norm running statistics;
+/// evaluation mode uses the stored statistics and disables stochasticity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: caches for backward, dropout active, BN batch statistics.
+    #[default]
+    Train,
+    /// Inference: deterministic, running statistics, no caching required.
+    Eval,
+}
+
+impl Mode {
+    /// True in training mode.
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A trainable parameter: its value and the accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by backward passes since the last
+    /// [`Param::zero_grad`].
+    pub grad: Tensor,
+    /// Whether weight decay applies (disabled for biases, norms, clips).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a tensor as a weight-decayed parameter with zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param {
+            value,
+            grad,
+            decay: true,
+        }
+    }
+
+    /// Wraps a tensor as a parameter exempt from weight decay.
+    pub fn new_no_decay(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param {
+            value,
+            grad,
+            decay: false,
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.axpy(1.0, g);
+    }
+}
+
+/// A differentiable network layer with explicit backward.
+///
+/// Contract: `backward` may only be called after `forward` in [`Mode::Train`]
+/// on the same instance; each layer caches whatever it needs. `backward`
+/// *accumulates* parameter gradients (so teacher and student passes of
+/// Algorithm 1 can share weights) and returns the gradient with respect to
+/// the layer input.
+pub trait Layer {
+    /// Runs the layer on `x`.
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` back through the layer, accumulating parameter
+    /// gradients and returning the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a training-mode `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter (for optimizers and initialisation).
+    ///
+    /// The visit order must be deterministic and stable across calls.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        let _ = visitor;
+    }
+
+    /// A short human-readable description, e.g. `conv2d(16->32, 3x3)`.
+    fn describe(&self) -> String {
+        "layer".to_string()
+    }
+}
+
+/// A stack of layers applied in order.
+///
+/// # Examples
+///
+/// ```
+/// use mri_nn::{Layer, Linear, Mode, Relu, Sequential};
+/// use mri_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(&mut rng, 4, 8));
+/// net.push(Relu::new());
+/// net.push(Linear::new(&mut rng, 8, 2));
+/// let y = net.forward(&Tensor::zeros(&[3, 4]), Mode::Eval);
+/// assert_eq!(y.dims(), &[3, 2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Zeroes the gradients of every parameter in the stack.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn describe(&self) -> String {
+        let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("sequential[{}]", inner.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Scale(f32);
+    impl Layer for Scale {
+        fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+            x.scale(self.0)
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            grad_out.scale(self.0)
+        }
+        fn describe(&self) -> String {
+            format!("scale({})", self.0)
+        }
+    }
+
+    #[test]
+    fn sequential_composes_forward_and_backward() {
+        let mut s = Sequential::new();
+        s.push(Scale(2.0));
+        s.push(Scale(3.0));
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let y = s.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[6.0, 12.0]);
+        let gx = s.backward(&Tensor::from_slice(&[1.0, 1.0]));
+        assert_eq!(gx.data(), &[6.0, 6.0]);
+        assert_eq!(s.describe(), "sequential[scale(2), scale(3)]");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn param_accumulates_and_zeroes() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate(&Tensor::from_slice(&[1.0, 2.0]));
+        p.accumulate(&Tensor::from_slice(&[1.0, 2.0]));
+        assert_eq!(p.grad.data(), &[2.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mode_flags() {
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+    }
+}

@@ -1,0 +1,767 @@
+//! Standard feed-forward layers: linear, convolution, batch norm, ReLU,
+//! pooling, flatten and dropout.
+
+use crate::{Layer, Mode, Param};
+use mri_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dCfg};
+use mri_tensor::pool::{
+    global_avgpool, global_avgpool_backward, maxpool2d, maxpool2d_backward, MaxPoolOutput,
+};
+use mri_tensor::reduce::sum_except_channel;
+use mri_tensor::{init, ops, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fully connected layer: `y = x Wᵀ + b` with `W: [out, in]`.
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    cached_x: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-normal weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let weight = Param::new(init::kaiming_normal(
+            rng,
+            &[out_features, in_features],
+            in_features,
+        ));
+        let bias = Param::new_no_decay(Tensor::zeros(&[out_features]));
+        Linear {
+            weight,
+            bias,
+            cached_x: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Immutable access to the weight tensor.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable access to the weight tensor (e.g. for tying or loading).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.shape().rank(), 2, "linear expects [N, in]");
+        assert_eq!(x.dim(1), self.in_features, "linear input width mismatch");
+        if mode.is_train() {
+            self.cached_x = Some(x.clone());
+        }
+        let mut y = ops::matmul_bt(x, &self.weight.value);
+        y.add_channel_bias_inplace(&self.bias.value);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_x.as_ref().expect("backward before forward");
+        // dW = gᵀ x : [out, in]; dB = column sums; dX = g W.
+        self.weight.accumulate(&ops::matmul_at(grad_out, x));
+        self.bias.accumulate(&sum_except_channel(grad_out));
+        ops::matmul(grad_out, &self.weight.value)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        format!("linear({}->{})", self.in_features, self.out_features)
+    }
+}
+
+/// 2-D convolution layer (NCHW) built on `im2col`.
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    cfg: Conv2dCfg,
+    cached: Option<(Tensor, (usize, usize, usize, usize))>, // (cols, input dims)
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        cfg: Conv2dCfg,
+    ) -> Self {
+        let (kh, kw) = cfg.kernel;
+        let fan_in = in_channels * kh * kw;
+        let weight = Param::new(init::kaiming_normal(
+            rng,
+            &[out_channels, in_channels, kh, kw],
+            fan_in,
+        ));
+        let bias = Param::new_no_decay(Tensor::zeros(&[out_channels]));
+        Conv2d {
+            weight,
+            bias,
+            cfg,
+            cached: None,
+            in_channels,
+            out_channels,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn cfg(&self) -> Conv2dCfg {
+        self.cfg
+    }
+
+    /// Immutable access to the weight tensor.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.dim(1), self.in_channels, "conv input channel mismatch");
+        let dims = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let (mut y, cols) = conv2d_forward(x, &self.weight.value, self.cfg);
+        if mode.is_train() {
+            self.cached = Some((cols, dims));
+        }
+        y.add_channel_bias_inplace(&self.bias.value);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (cols, dims) = self.cached.as_ref().expect("backward before forward");
+        let (gx, gw) = conv2d_backward(grad_out, cols, &self.weight.value, *dims, self.cfg);
+        self.weight.accumulate(&gw);
+        self.bias.accumulate(&sum_except_channel(grad_out));
+        gx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv2d({}->{}, {}x{}/{})",
+            self.in_channels,
+            self.out_channels,
+            self.cfg.kernel.0,
+            self.cfg.kernel.1,
+            self.cfg.stride.0
+        )
+    }
+}
+
+/// Shared selector for switchable batch-norm statistic banks.
+///
+/// Shared-weight multi-configuration models (slimmable networks, this
+/// paper's multi-resolution models) have per-configuration activation
+/// statistics; giving each configuration its own running-stat bank —
+/// selected through this handle — removes the need for post-hoc
+/// recalibration. The affine parameters (γ, β) remain shared.
+pub type BnBankSelector = std::sync::Arc<std::sync::atomic::AtomicUsize>;
+
+/// Batch normalisation over the channel axis of `[N, C, H, W]` tensors,
+/// optionally with multiple switchable running-statistic banks.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    /// `(running mean, running var)` per bank. Stored as no-decay `Param`s
+    /// with permanently zero gradients so they ride along with
+    /// `visit_params` — checkpoints capture them, optimizers never move
+    /// them (zero gradient, decay disabled).
+    banks: Vec<(Param, Param)>,
+    selector: Option<BnBankSelector>,
+    momentum: f32,
+    eps: f32,
+    cached: Option<BnCache>,
+    channels: usize,
+}
+
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: (usize, usize, usize, usize),
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps (one bank).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d::banked(channels, 1, None)
+    }
+
+    /// Creates a batch-norm layer with `banks` switchable statistic banks.
+    /// The active bank is `selector % banks` (bank 0 when `selector` is
+    /// `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn banked(channels: usize, banks: usize, selector: Option<BnBankSelector>) -> Self {
+        assert!(banks > 0, "at least one statistic bank required");
+        BatchNorm2d {
+            gamma: Param::new_no_decay(Tensor::ones(&[channels])),
+            beta: Param::new_no_decay(Tensor::zeros(&[channels])),
+            banks: (0..banks)
+                .map(|_| {
+                    (
+                        Param::new_no_decay(Tensor::zeros(&[channels])),
+                        Param::new_no_decay(Tensor::ones(&[channels])),
+                    )
+                })
+                .collect(),
+            selector,
+            momentum: 0.1,
+            eps: 1e-5,
+            cached: None,
+            channels,
+        }
+    }
+
+    fn active_bank(&self) -> usize {
+        match &self.selector {
+            Some(s) => s.load(std::sync::atomic::Ordering::Relaxed) % self.banks.len(),
+            None => 0,
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "batchnorm2d expects [N, C, H, W]");
+        assert_eq!(x.dim(1), self.channels, "batchnorm channel mismatch");
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let per_c = (n * h * w) as f32;
+        let mut y = Tensor::zeros(&[n, c, h, w]);
+        let mut x_hat = Tensor::zeros(&[n, c, h, w]);
+        let mut inv_std_v = vec![0.0f32; c];
+
+        let bank = self.active_bank();
+        for ch in 0..c {
+            let (mean, var) = if mode.is_train() {
+                let mut mean = 0.0f32;
+                for b in 0..n {
+                    let base = (b * c + ch) * h * w;
+                    mean += x.data()[base..base + h * w].iter().sum::<f32>();
+                }
+                mean /= per_c;
+                let mut var = 0.0f32;
+                for b in 0..n {
+                    let base = (b * c + ch) * h * w;
+                    var += x.data()[base..base + h * w]
+                        .iter()
+                        .map(|v| (v - mean).powi(2))
+                        .sum::<f32>();
+                }
+                var /= per_c;
+                let (rm, rv) = &mut self.banks[bank];
+                let m0 = rm.value.data()[ch];
+                let v0 = rv.value.data()[ch];
+                rm.value.data_mut()[ch] = (1.0 - self.momentum) * m0 + self.momentum * mean;
+                rv.value.data_mut()[ch] = (1.0 - self.momentum) * v0 + self.momentum * var;
+                (mean, var)
+            } else {
+                let (rm, rv) = &self.banks[bank];
+                (rm.value.data()[ch], rv.value.data()[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_std_v[ch] = inv_std;
+            let g = self.gamma.value.data()[ch];
+            let bta = self.beta.value.data()[ch];
+            for b in 0..n {
+                let base = (b * c + ch) * h * w;
+                for s in 0..h * w {
+                    let xh = (x.data()[base + s] - mean) * inv_std;
+                    x_hat.data_mut()[base + s] = xh;
+                    y.data_mut()[base + s] = g * xh + bta;
+                }
+            }
+        }
+        if mode.is_train() {
+            self.cached = Some(BnCache {
+                x_hat,
+                inv_std: inv_std_v,
+                dims: (n, c, h, w),
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cached.as_ref().expect("backward before forward");
+        let (n, c, h, w) = cache.dims;
+        let per_c = (n * h * w) as f32;
+        let mut gx = Tensor::zeros(&[n, c, h, w]);
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+
+        for ch in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for b in 0..n {
+                let base = (b * c + ch) * h * w;
+                for s in 0..h * w {
+                    let dy = grad_out.data()[base + s];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[base + s];
+                }
+            }
+            dgamma[ch] = sum_dy_xhat;
+            dbeta[ch] = sum_dy;
+            let g = self.gamma.value.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            let mean_dy = sum_dy / per_c;
+            let mean_dy_xhat = sum_dy_xhat / per_c;
+            for b in 0..n {
+                let base = (b * c + ch) * h * w;
+                for s in 0..h * w {
+                    let dy = grad_out.data()[base + s];
+                    let xh = cache.x_hat.data()[base + s];
+                    gx.data_mut()[base + s] = g * inv_std * (dy - mean_dy - xh * mean_dy_xhat);
+                }
+            }
+        }
+        self.gamma.accumulate(&Tensor::from_vec(dgamma, &[c]));
+        self.beta.accumulate(&Tensor::from_vec(dbeta, &[c]));
+        gx
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+        for (rm, rv) in &mut self.banks {
+            visitor(rm);
+            visitor(rv);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "batchnorm2d({}, {} bank(s))",
+            self.channels,
+            self.banks.len()
+        )
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode.is_train() {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.dims())
+    }
+
+    fn describe(&self) -> String {
+        "relu".to_string()
+    }
+}
+
+/// Max pooling with a square window.
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    cached: Option<(MaxPoolOutput, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    pub fn new(window: usize, stride: usize) -> Self {
+        MaxPool2d {
+            window,
+            stride,
+            cached: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let out = maxpool2d(x, self.window, self.stride);
+        let result = out.output.clone();
+        if mode.is_train() {
+            self.cached = Some((out, x.dims().to_vec()));
+        }
+        result
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (fwd, in_dims) = self.cached.as_ref().expect("backward before forward");
+        let len: usize = in_dims.iter().product();
+        maxpool2d_backward(grad_out, fwd, len).reshape_into(in_dims)
+    }
+
+    fn describe(&self) -> String {
+        format!("maxpool2d({}x{}/{})", self.window, self.window, self.stride)
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    cached_hw: Option<(usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_hw: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode.is_train() {
+            self.cached_hw = Some((x.dim(2), x.dim(3)));
+        }
+        global_avgpool(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (h, w) = self.cached_hw.expect("backward before forward");
+        global_avgpool_backward(grad_out, h, w)
+    }
+
+    fn describe(&self) -> String {
+        "global_avgpool".to_string()
+    }
+}
+
+/// Flattens `[N, ...] → [N, prod(...)]`.
+#[derive(Default)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode.is_train() {
+            self.cached_dims = Some(x.dims().to_vec());
+        }
+        let n = x.dim(0);
+        x.reshape(&[n, x.len() / n])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self.cached_dims.as_ref().expect("backward before forward");
+        grad_out.reshape(dims)
+    }
+
+    fn describe(&self) -> String {
+        "flatten".to_string()
+    }
+}
+
+/// Inverted dropout: scales kept activations by `1/(1-p)` in training and is
+/// the identity in evaluation.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if !mode.is_train() || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| {
+                if self.rng.random::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let data = x
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&v, &m)| v * m)
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, x.dims())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        if self.p == 0.0 {
+            return grad_out.clone();
+        }
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Tensor::from_vec(data, grad_out.dims())
+    }
+
+    fn describe(&self) -> String {
+        format!("dropout({})", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check(layer: &mut dyn Layer, x: &Tensor, probe: &[usize], tol: f32) {
+        // Loss = 0.5 * sum(y^2); analytic input grad vs central differences.
+        let y = layer.forward(x, Mode::Train);
+        let gx = layer.backward(&y);
+        let eps = 1e-2;
+        for &i in probe {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp: f32 = layer
+                .forward(&xp, Mode::Eval)
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                * 0.5;
+            let lm: f32 = layer
+                .forward(&xm, Mode::Eval)
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                * 0.5;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() <= tol * (1.0 + num.abs()),
+                "grad {i}: numeric {num} vs analytic {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_shapes_and_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new(&mut rng, 5, 3);
+        let x = init::normal(&mut rng, &[4, 5], 0.0, 1.0);
+        let y = lin.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[4, 3]);
+        finite_diff_check(&mut lin, &x, &[0, 7, 19], 0.03);
+    }
+
+    #[test]
+    fn linear_weight_grad_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new(&mut rng, 3, 2);
+        let x = init::normal(&mut rng, &[2, 3], 0.0, 1.0);
+        let y = lin.forward(&x, Mode::Train);
+        lin.backward(&y);
+        let mut grads = Vec::new();
+        lin.visit_params(&mut |p| grads.push(p.grad.clone()));
+        let gw = grads[0].clone();
+
+        let eps = 1e-2;
+        let mut wp = lin.weight().clone();
+        wp.data_mut()[1] += eps;
+        let orig = std::mem::replace(lin.weight_mut(), wp);
+        let lp: f32 = lin
+            .forward(&x, Mode::Eval)
+            .data()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            * 0.5;
+        let mut wm = orig.clone();
+        wm.data_mut()[1] -= eps;
+        *lin.weight_mut() = wm;
+        let lm: f32 = lin
+            .forward(&x, Mode::Eval)
+            .data()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            * 0.5;
+        let num = (lp - lm) / (2.0 * eps);
+        assert!((num - gw.data()[1]).abs() < 0.03 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    fn conv_layer_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(&mut rng, 2, 3, Conv2dCfg::same(3));
+        let x = init::normal(&mut rng, &[1, 2, 5, 5], 0.0, 1.0);
+        finite_diff_check(&mut conv, &x, &[0, 11, 29, 49], 0.05);
+    }
+
+    #[test]
+    fn batchnorm_normalises_in_train_mode() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = init::normal(&mut rng, &[8, 2, 4, 4], 3.0, 2.0);
+        let y = bn.forward(&x, Mode::Train);
+        // Per-channel mean ~0, var ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..8 {
+                for s in 0..16 {
+                    vals.push(y.data()[(b * 2 + ch) * 16 + s]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Train on many batches so running stats converge.
+        for _ in 0..200 {
+            let x = init::normal(&mut rng, &[16, 1, 2, 2], 5.0, 3.0);
+            bn.forward(&x, Mode::Train);
+        }
+        let x = init::normal(&mut rng, &[16, 1, 2, 2], 5.0, 3.0);
+        let y = bn.forward(&x, Mode::Eval);
+        assert!(y.mean().abs() < 0.3, "eval mean {}", y.mean());
+    }
+
+    #[test]
+    fn batchnorm_gradient_sums_to_zero() {
+        // BN output is mean-free per channel, so dL/dx summed over a channel
+        // must vanish when the upstream gradient is constant.
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = init::normal(&mut rng, &[4, 1, 3, 3], 0.0, 1.0);
+        bn.forward(&x, Mode::Train);
+        let gx = bn.backward(&Tensor::ones(&[4, 1, 3, 3]));
+        assert!(gx.sum().abs() < 1e-4);
+    }
+
+    #[test]
+    fn relu_masks_negative_gradient() {
+        let mut r = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 2.0, -3.0, 4.0]);
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let gx = r.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0]));
+        assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn maxpool_layer_round_trip() {
+        let mut mp = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = mp.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        let gx = mp.backward(&Tensor::ones(&[1, 1, 2, 2]));
+        assert_eq!(gx.dims(), &[1, 1, 4, 4]);
+        assert_eq!(gx.sum(), 4.0);
+    }
+
+    #[test]
+    fn flatten_and_back() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 48]);
+        let gx = f.backward(&Tensor::ones(&[2, 48]));
+        assert_eq!(gx.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_and_is_identity_in_eval() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train);
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        let ye = d.forward(&x, Mode::Eval);
+        assert_eq!(ye.data(), x.data());
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, Mode::Train);
+        let gx = d.backward(&Tensor::ones(&[64]));
+        assert_eq!(y.data(), gx.data());
+    }
+
+    #[test]
+    fn global_avgpool_layer() {
+        let mut g = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = g.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[2.5]);
+        let gx = g.backward(&Tensor::from_vec(vec![4.0], &[1, 1]));
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

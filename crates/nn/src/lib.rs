@@ -1,0 +1,40 @@
+//! # mri-nn
+//!
+//! A from-scratch neural-network training stack with explicit (manual)
+//! backpropagation, built on [`mri_tensor`].
+//!
+//! The crate provides:
+//!
+//! * the [`Layer`] trait — `forward`/`backward` pairs that cache whatever
+//!   they need in between — plus a [`Sequential`] container;
+//! * standard layers: [`Linear`], [`Conv2d`], [`BatchNorm2d`], [`Relu`],
+//!   [`MaxPool2d`], [`GlobalAvgPool`], [`Flatten`], [`Dropout`];
+//! * recurrent machinery: [`Embedding`] and an [`Lstm`] with full
+//!   backpropagation-through-time;
+//! * losses: softmax cross-entropy, mean-squared error and the knowledge-
+//!   distillation loss used by the paper's Algorithm 1 ([`loss`]);
+//! * optimisation: SGD with momentum and weight decay ([`Sgd`]) and the
+//!   step/cosine learning-rate schedules from the paper's appendix
+//!   ([`optim`]).
+//!
+//! The multi-resolution quantized layers live in `mri-core`; they implement
+//! this crate's [`Layer`] trait so models can mix plain and quantized layers
+//! freely.
+
+#![warn(missing_docs)]
+// Numeric kernels index with explicit loop variables on purpose (see
+// mri-tensor); iterator rewrites of the BN/LSTM math hurt readability.
+#![allow(clippy::needless_range_loop)]
+
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod lstm;
+pub mod optim;
+
+pub use layer::{Layer, Mode, Param, Sequential};
+pub use layers::{
+    BatchNorm2d, BnBankSelector, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
+};
+pub use lstm::{Embedding, Lstm};
+pub use optim::{clip_grad_norm, LrSchedule, Sgd};

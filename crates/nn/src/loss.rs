@@ -1,0 +1,263 @@
+//! Loss functions returning `(scalar_loss, grad_wrt_input)` pairs.
+//!
+//! Every loss here is *mean-reduced* over the batch so gradient magnitudes
+//! are independent of batch size. The knowledge-distillation loss implements
+//! the Hinton et al. formulation used in the paper's Algorithm 1 step 8.
+
+use mri_tensor::reduce::{log_softmax, softmax, softmax_with_temperature};
+use mri_tensor::Tensor;
+
+/// Softmax cross-entropy against integer class labels.
+///
+/// Returns the mean loss and its gradient with respect to the logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[N, C]`, the label count differs from `N`, or
+/// any label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use mri_nn::loss::cross_entropy;
+/// use mri_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+/// let (l, _) = cross_entropy(&logits, &[0]);
+/// assert!(l < 1e-3); // confident and correct
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "cross_entropy expects [N, C]");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let ls = log_softmax(logits);
+    let mut loss = 0.0f32;
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < c, "label {y} out of range for {c} classes");
+        loss -= ls.data()[i * c + y];
+    }
+    loss /= n as f32;
+
+    let p = softmax(logits);
+    let mut grad = p;
+    for (i, &y) in labels.iter().enumerate() {
+        grad.data_mut()[i * c + y] -= 1.0;
+    }
+    (loss, grad.scale(1.0 / n as f32))
+}
+
+/// Mean-squared error between prediction and target.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.dims(), target.dims(), "mse shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let diff = pred - target;
+    let loss = diff.norm_sq() / n;
+    (loss, diff.scale(2.0 / n))
+}
+
+/// Binary cross-entropy on logits (sigmoid fused in), mean-reduced.
+///
+/// Targets must lie in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn bce_with_logits(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.dims(), target.dims(), "bce shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Tensor::zeros(pred.dims());
+    for i in 0..pred.len() {
+        let x = pred.data()[i];
+        let t = target.data()[i];
+        // Numerically stable: log(1 + e^-|x|) + max(x, 0) - x t.
+        loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        let sig = 1.0 / (1.0 + (-x).exp());
+        grad.data_mut()[i] = (sig - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Knowledge-distillation loss: `T² · KL(softmax(t/T) ‖ softmax(s/T))`,
+/// mean-reduced over the batch. The teacher is treated as a constant (no
+/// gradient flows to it), exactly as in Algorithm 1 where only the soft
+/// labels are used.
+///
+/// Returns the loss and its gradient with respect to the **student** logits.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `temperature <= 0`.
+pub fn kd_loss(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    temperature: f32,
+) -> (f32, Tensor) {
+    assert_eq!(
+        student_logits.dims(),
+        teacher_logits.dims(),
+        "kd shape mismatch"
+    );
+    assert!(temperature > 0.0, "temperature must be positive");
+    let (n, c) = (student_logits.dim(0), student_logits.dim(1));
+    let pt = softmax_with_temperature(teacher_logits, temperature);
+    let ls = log_softmax(&student_logits.scale(1.0 / temperature));
+    let lt = log_softmax(&teacher_logits.scale(1.0 / temperature));
+    let mut loss = 0.0f32;
+    for i in 0..n * c {
+        loss += pt.data()[i] * (lt.data()[i] - ls.data()[i]);
+    }
+    loss = loss * temperature * temperature / n as f32;
+
+    // d/ds [T² KL] = T (softmax(s/T) - softmax(t/T)) / N.
+    let ps = softmax_with_temperature(student_logits, temperature);
+    let grad = (&ps - &pt).scale(temperature / n as f32);
+    (loss, grad)
+}
+
+/// The combined student loss of Algorithm 1 step 8:
+/// `CE(student, labels) + λ · KD(student, teacher)`.
+///
+/// Returns the total loss and its gradient with respect to the student
+/// logits.
+///
+/// # Panics
+///
+/// Panics on shape/label mismatches (see [`cross_entropy`] and [`kd_loss`]).
+pub fn distillation_loss(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    labels: &[usize],
+    lambda: f32,
+    temperature: f32,
+) -> (f32, Tensor) {
+    let (ce, ce_grad) = cross_entropy(student_logits, labels);
+    let (kd, kd_grad) = kd_loss(student_logits, teacher_logits, temperature);
+    let mut grad = ce_grad;
+    grad.axpy(lambda, &kd_grad);
+    (ce + lambda * kd, grad)
+}
+
+/// Perplexity corresponding to a mean cross-entropy (nats): `exp(ce)`.
+pub fn perplexity(mean_cross_entropy: f32) -> f32 {
+    mean_cross_entropy.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_check(f: impl Fn(&Tensor) -> (f32, Tensor), x: &Tensor, probe: &[usize], tol: f32) {
+        let (_, g) = f(x);
+        let eps = 1e-2;
+        for &i in probe {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (f(&xp).0 - f(&xm).0) / (2.0 * eps);
+            assert!(
+                (num - g.data()[i]).abs() <= tol * (1.0 + num.abs()),
+                "grad {i}: numeric {num} vs analytic {}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[4, 8]);
+        let (l, _) = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((l - (8.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.0, 0.5, -0.2], &[2, 3]);
+        grad_check(
+            |x| cross_entropy(x, &[2, 0]),
+            &logits,
+            &[0, 1, 2, 3, 4, 5],
+            0.02,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.0, 0.5, -0.2], &[2, 3]);
+        let (_, g) = cross_entropy(&logits, &[1, 1]);
+        for i in 0..2 {
+            let s: f32 = g.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_basics_and_gradcheck() {
+        let pred = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let target = Tensor::from_slice(&[1.0, 1.0, 1.0]);
+        let (l, _) = mse(&pred, &target);
+        assert!((l - 5.0 / 3.0).abs() < 1e-6);
+        grad_check(|x| mse(x, &target), &pred, &[0, 1, 2], 0.01);
+    }
+
+    #[test]
+    fn kd_loss_zero_when_identical() {
+        let s = Tensor::from_vec(vec![1.0, -0.5, 0.25, 0.0], &[2, 2]);
+        let (l, g) = kd_loss(&s, &s, 4.0);
+        assert!(l.abs() < 1e-6);
+        assert!(g.data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn kd_loss_gradcheck() {
+        let s = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.0, 0.5, -0.2], &[2, 3]);
+        let t = Tensor::from_vec(vec![1.0, 0.1, -0.4, 0.6, -0.6, 0.9], &[2, 3]);
+        grad_check(|x| kd_loss(x, &t, 2.0), &s, &[0, 2, 4, 5], 0.03);
+    }
+
+    #[test]
+    fn kd_loss_is_nonnegative() {
+        let s = Tensor::from_vec(vec![2.0, -1.0], &[1, 2]);
+        let t = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]);
+        let (l, _) = kd_loss(&s, &t, 1.0);
+        assert!(l > 0.0);
+    }
+
+    #[test]
+    fn distillation_combines_both_terms() {
+        let s = Tensor::from_vec(vec![0.2, -0.3, 0.5, 0.1], &[2, 2]);
+        let t = Tensor::from_vec(vec![1.0, -1.0, -0.5, 0.8], &[2, 2]);
+        let (ce, _) = cross_entropy(&s, &[0, 1]);
+        let (kd, _) = kd_loss(&s, &t, 3.0);
+        let (total, _) = distillation_loss(&s, &t, &[0, 1], 0.7, 3.0);
+        assert!((total - (ce + 0.7 * kd)).abs() < 1e-6);
+        grad_check(
+            |x| distillation_loss(x, &t, &[0, 1], 0.7, 3.0),
+            &s,
+            &[0, 1, 2, 3],
+            0.03,
+        );
+    }
+
+    #[test]
+    fn bce_gradcheck_and_extremes() {
+        let pred = Tensor::from_slice(&[2.0, -3.0, 0.0, 10.0]);
+        let target = Tensor::from_slice(&[1.0, 0.0, 0.5, 1.0]);
+        let (l, _) = bce_with_logits(&pred, &target);
+        assert!(l.is_finite() && l > 0.0);
+        grad_check(|x| bce_with_logits(x, &target), &pred, &[0, 1, 2], 0.02);
+        // Extremely confident and correct -> near-zero contribution.
+        let (l2, _) = bce_with_logits(&Tensor::from_slice(&[30.0]), &Tensor::from_slice(&[1.0]));
+        assert!(l2 < 1e-6);
+    }
+
+    #[test]
+    fn perplexity_of_uniform_model() {
+        assert!((perplexity((10.0f32).ln()) - 10.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,396 @@
+//! Embedding lookup and an LSTM with backpropagation through time.
+
+use crate::Param;
+use mri_tensor::{init, ops, Tensor};
+use rand::Rng;
+
+/// Token-embedding table: maps integer ids to dense rows of a `[V, D]`
+/// weight matrix.
+pub struct Embedding {
+    weight: Param,
+    vocab: usize,
+    dim: usize,
+    cached_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates an embedding with `N(0, 0.1)` rows.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, vocab: usize, dim: usize) -> Self {
+        Embedding {
+            weight: Param::new_no_decay(init::normal(rng, &[vocab, dim], 0.0, 0.1)),
+            vocab,
+            dim,
+            cached_ids: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up a batch of ids, producing `[len, D]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn forward(&mut self, ids: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(&[ids.len(), self.dim]);
+        for (row, &id) in ids.iter().enumerate() {
+            assert!(id < self.vocab, "token id {id} out of range");
+            let src = &self.weight.value.data()[id * self.dim..(id + 1) * self.dim];
+            out.data_mut()[row * self.dim..(row + 1) * self.dim].copy_from_slice(src);
+        }
+        self.cached_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Accumulates gradients for the rows used by the last forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a mismatched gradient shape.
+    pub fn backward(&mut self, grad_out: &Tensor) {
+        let ids = self.cached_ids.as_ref().expect("backward before forward");
+        assert_eq!(
+            grad_out.dims(),
+            &[ids.len(), self.dim],
+            "grad shape mismatch"
+        );
+        for (row, &id) in ids.iter().enumerate() {
+            let g = &grad_out.data()[row * self.dim..(row + 1) * self.dim];
+            let dst = &mut self.weight.value; // silence unused warning pattern
+            let _ = dst;
+            for (k, &gv) in g.iter().enumerate() {
+                self.weight.grad.data_mut()[id * self.dim + k] += gv;
+            }
+        }
+    }
+
+    /// Visits the embedding table parameter.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+    }
+}
+
+/// One LSTM layer processing a whole `[T, N, I]` sequence, with full BPTT.
+///
+/// Gate order in the stacked weight matrices is `(input, forget, cell,
+/// output)`. Initial states default to zero.
+pub struct Lstm {
+    /// Input-to-hidden weights `[4H, I]`.
+    w_ih: Param,
+    /// Hidden-to-hidden weights `[4H, H]`.
+    w_hh: Param,
+    /// Gate biases `[4H]` (forget-gate slice initialised to 1).
+    bias: Param,
+    input_size: usize,
+    hidden_size: usize,
+    cache: Option<LstmCache>,
+}
+
+struct LstmCache {
+    xs: Vec<Tensor>,         // input per step [N, I]
+    hs: Vec<Tensor>,         // hidden per step, hs[0] is the initial state
+    cs: Vec<Tensor>,         // cell states, cs[0] initial
+    gates: Vec<[Tensor; 4]>, // activated gates (i, f, g, o) per step
+    tanh_c: Vec<Tensor>,     // tanh(c_t) per step
+}
+
+impl Lstm {
+    /// Creates an LSTM layer with Xavier-uniform weights.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, input_size: usize, hidden_size: usize) -> Self {
+        let h4 = 4 * hidden_size;
+        let w_ih = Param::new(init::xavier_uniform(
+            rng,
+            &[h4, input_size],
+            input_size,
+            hidden_size,
+        ));
+        let w_hh = Param::new(init::xavier_uniform(
+            rng,
+            &[h4, hidden_size],
+            hidden_size,
+            hidden_size,
+        ));
+        let mut b = Tensor::zeros(&[h4]);
+        // Forget-gate bias = 1 helps early training remember.
+        for i in hidden_size..2 * hidden_size {
+            b.data_mut()[i] = 1.0;
+        }
+        Lstm {
+            w_ih,
+            w_hh,
+            bias: Param::new_no_decay(b),
+            input_size,
+            hidden_size,
+            cache: None,
+        }
+    }
+
+    /// Hidden state width `H`.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Input width `I`.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Runs the sequence `[T, N, I]`, returning all hidden states `[T, N, H]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 3 with width `I`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().rank(), 3, "lstm expects [T, N, I]");
+        assert_eq!(x.dim(2), self.input_size, "lstm input width mismatch");
+        let (t_len, n, _) = (x.dim(0), x.dim(1), x.dim(2));
+        let h = self.hidden_size;
+
+        let mut cache = LstmCache {
+            xs: Vec::with_capacity(t_len),
+            hs: vec![Tensor::zeros(&[n, h])],
+            cs: vec![Tensor::zeros(&[n, h])],
+            gates: Vec::with_capacity(t_len),
+            tanh_c: Vec::with_capacity(t_len),
+        };
+        let mut outputs = Vec::with_capacity(t_len);
+
+        for t in 0..t_len {
+            let xt = x.index_axis0(t); // [N, I]
+            let h_prev = cache.hs[t].clone();
+            let c_prev = cache.cs[t].clone();
+
+            // pre = xt W_ihᵀ + h_prev W_hhᵀ + b : [N, 4H]
+            let mut pre = ops::matmul_bt(&xt, &self.w_ih.value);
+            pre.axpy(1.0, &ops::matmul_bt(&h_prev, &self.w_hh.value));
+            pre.add_channel_bias_inplace(&self.bias.value);
+
+            let mut gi = Tensor::zeros(&[n, h]);
+            let mut gf = Tensor::zeros(&[n, h]);
+            let mut gg = Tensor::zeros(&[n, h]);
+            let mut go = Tensor::zeros(&[n, h]);
+            let mut c_t = Tensor::zeros(&[n, h]);
+            let mut th = Tensor::zeros(&[n, h]);
+            let mut h_t = Tensor::zeros(&[n, h]);
+            for b in 0..n {
+                for k in 0..h {
+                    let base = b * 4 * h;
+                    let i_v = sigmoid(pre.data()[base + k]);
+                    let f_v = sigmoid(pre.data()[base + h + k]);
+                    let g_v = pre.data()[base + 2 * h + k].tanh();
+                    let o_v = sigmoid(pre.data()[base + 3 * h + k]);
+                    let c_v = f_v * c_prev.data()[b * h + k] + i_v * g_v;
+                    let t_v = c_v.tanh();
+                    gi.data_mut()[b * h + k] = i_v;
+                    gf.data_mut()[b * h + k] = f_v;
+                    gg.data_mut()[b * h + k] = g_v;
+                    go.data_mut()[b * h + k] = o_v;
+                    c_t.data_mut()[b * h + k] = c_v;
+                    th.data_mut()[b * h + k] = t_v;
+                    h_t.data_mut()[b * h + k] = o_v * t_v;
+                }
+            }
+            outputs.push(h_t.clone());
+            cache.xs.push(xt);
+            cache.hs.push(h_t);
+            cache.cs.push(c_t);
+            cache.gates.push([gi, gf, gg, go]);
+            cache.tanh_c.push(th);
+        }
+        self.cache = Some(cache);
+        Tensor::stack(&outputs)
+    }
+
+    /// Backpropagates through time given `grad_out: [T, N, H]`, accumulating
+    /// weight gradients and returning the input gradient `[T, N, I]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward before forward");
+        let t_len = cache.xs.len();
+        let n = cache.xs[0].dim(0);
+        let h = self.hidden_size;
+        assert_eq!(grad_out.dims(), &[t_len, n, h], "grad shape mismatch");
+
+        let mut dh_next = Tensor::zeros(&[n, h]);
+        let mut dc_next = Tensor::zeros(&[n, h]);
+        let mut dxs = vec![Tensor::zeros(&[n, self.input_size]); t_len];
+
+        for t in (0..t_len).rev() {
+            let [gi, gf, gg, go] = &cache.gates[t];
+            let th = &cache.tanh_c[t];
+            let c_prev = &cache.cs[t];
+            let h_prev = &cache.hs[t];
+            let xt = &cache.xs[t];
+
+            // dh = upstream + carry from t+1.
+            let mut dh = grad_out.index_axis0(t);
+            dh.axpy(1.0, &dh_next);
+
+            // dc = dh * o * (1 - tanh(c)^2) + dc_next.
+            let mut dpre = Tensor::zeros(&[n, 4 * h]);
+            let mut dc_prev = Tensor::zeros(&[n, h]);
+            for b in 0..n {
+                for k in 0..h {
+                    let idx = b * h + k;
+                    let o_v = go.data()[idx];
+                    let t_v = th.data()[idx];
+                    let i_v = gi.data()[idx];
+                    let f_v = gf.data()[idx];
+                    let g_v = gg.data()[idx];
+                    let dhv = dh.data()[idx];
+                    let dc = dhv * o_v * (1.0 - t_v * t_v) + dc_next.data()[idx];
+                    let d_i = dc * g_v * i_v * (1.0 - i_v);
+                    let d_f = dc * c_prev.data()[idx] * f_v * (1.0 - f_v);
+                    let d_g = dc * i_v * (1.0 - g_v * g_v);
+                    let d_o = dhv * t_v * o_v * (1.0 - o_v);
+                    let base = b * 4 * h;
+                    dpre.data_mut()[base + k] = d_i;
+                    dpre.data_mut()[base + h + k] = d_f;
+                    dpre.data_mut()[base + 2 * h + k] = d_g;
+                    dpre.data_mut()[base + 3 * h + k] = d_o;
+                    dc_prev.data_mut()[idx] = dc * f_v;
+                }
+            }
+
+            // Parameter gradients: dW_ih += dpreᵀ x, dW_hh += dpreᵀ h_prev.
+            self.w_ih.accumulate(&ops::matmul_at(&dpre, xt));
+            self.w_hh.accumulate(&ops::matmul_at(&dpre, h_prev));
+            self.bias
+                .accumulate(&mri_tensor::reduce::sum_except_channel(&dpre));
+
+            // Input and recurrent gradients.
+            dxs[t] = ops::matmul(&dpre, &self.w_ih.value);
+            dh_next = ops::matmul(&dpre, &self.w_hh.value);
+            dc_next = dc_prev;
+        }
+        Tensor::stack(&dxs)
+    }
+
+    /// Visits the three parameter tensors in a deterministic order.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.w_ih);
+        visitor(&mut self.w_hh);
+        visitor(&mut self.bias);
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn embedding_lookup_and_backward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut emb = Embedding::new(&mut rng, 10, 4);
+        let out = emb.forward(&[3, 3, 7]);
+        assert_eq!(out.dims(), &[3, 4]);
+        // Rows 0 and 1 are the same token.
+        assert_eq!(&out.data()[..4], &out.data()[4..8]);
+
+        emb.backward(&Tensor::ones(&[3, 4]));
+        let mut grads = Vec::new();
+        emb.visit_params(&mut |p| grads.push(p.grad.clone()));
+        let g = &grads[0];
+        // Token 3 used twice -> gradient 2; token 7 once -> 1; others 0.
+        assert_eq!(g.data()[3 * 4], 2.0);
+        assert_eq!(g.data()[7 * 4], 1.0);
+        assert_eq!(g.data()[0], 0.0);
+    }
+
+    #[test]
+    fn lstm_output_shape_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(&mut rng, 3, 5);
+        let x = init::normal(&mut rng, &[7, 2, 3], 0.0, 1.0);
+        let y = lstm.forward(&x);
+        assert_eq!(y.dims(), &[7, 2, 5]);
+        // Hidden states are o*tanh(c), hence in (-1, 1).
+        assert!(y.data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn lstm_gradcheck_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lstm = Lstm::new(&mut rng, 2, 3);
+        let x = init::normal(&mut rng, &[4, 1, 2], 0.0, 1.0);
+
+        let y = lstm.forward(&x);
+        let gx = lstm.backward(&y.clone());
+
+        let eps = 1e-2;
+        for idx in [0usize, 3, 5, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = lstm.forward(&xp).data().iter().map(|v| v * v).sum::<f32>() * 0.5;
+            let lm: f32 = lstm.forward(&xm).data().iter().map(|v| v * v).sum::<f32>() * 0.5;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "grad {idx}: numeric {num} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn lstm_weight_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(&mut rng, 2, 2);
+        let x = init::normal(&mut rng, &[3, 1, 2], 0.0, 1.0);
+        let y = lstm.forward(&x);
+        lstm.backward(&y);
+        let mut grads = Vec::new();
+        lstm.visit_params(&mut |p| grads.push(p.grad.clone()));
+        let g_wih = grads[0].clone();
+
+        let eps = 1e-2;
+        let idx = 5usize;
+        let loss_at = |delta: f32, lstm: &mut Lstm| {
+            lstm.w_ih.value.data_mut()[idx] += delta;
+            let l: f32 = lstm.forward(&x).data().iter().map(|v| v * v).sum::<f32>() * 0.5;
+            lstm.w_ih.value.data_mut()[idx] -= delta;
+            l
+        };
+        let num = (loss_at(eps, &mut lstm) - loss_at(-eps, &mut lstm)) / (2.0 * eps);
+        assert!(
+            (num - g_wih.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+            "numeric {num} vs analytic {}",
+            g_wih.data()[idx]
+        );
+    }
+
+    #[test]
+    fn lstm_remembers_across_steps() {
+        // With default init the hidden state at step t depends on step 0's
+        // input: perturbing x_0 must change y_T.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lstm = Lstm::new(&mut rng, 1, 4);
+        let mut x = Tensor::zeros(&[6, 1, 1]);
+        x.data_mut()[0] = 1.0;
+        let y1 = lstm.forward(&x);
+        x.data_mut()[0] = -1.0;
+        let y2 = lstm.forward(&x);
+        let last1 = &y1.data()[5 * 4..];
+        let last2 = &y2.data()[5 * 4..];
+        assert!(last1.iter().zip(last2).any(|(a, b)| (a - b).abs() > 1e-4));
+    }
+}

@@ -1,0 +1,307 @@
+//! SGD with momentum and weight decay, plus learning-rate schedules.
+
+use crate::layer::Param;
+use mri_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and decoupled L2
+/// weight decay, matching the paper's hyperparameter tables (momentum 0.9,
+/// weight decay 1e-4).
+///
+/// The optimizer identifies parameters by visit order, which the [`crate::Layer`]
+/// contract requires to be deterministic.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, `momentum` is outside `[0, 1)` or
+    /// `weight_decay < 0`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step over every parameter visited by `visit`.
+    ///
+    /// `visit` must enumerate the same parameters in the same order on every
+    /// call (the `Layer::visit_params` contract); velocities are allocated
+    /// lazily on the first step.
+    pub fn step(&mut self, visit: impl FnOnce(&mut dyn FnMut(&mut Param))) {
+        let mut idx = 0usize;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocities = &mut self.velocities;
+        visit(&mut |p: &mut Param| {
+            if velocities.len() == idx {
+                velocities.push(Tensor::zeros(p.value.dims()));
+            }
+            let v = &mut velocities[idx];
+            assert_eq!(
+                v.dims(),
+                p.value.dims(),
+                "parameter {idx} changed shape between optimizer steps"
+            );
+            let decay = if p.decay { wd } else { 0.0 };
+            for ((vv, &g), w) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data().iter())
+                .zip(p.value.data_mut().iter_mut())
+            {
+                *vv = momentum * *vv + g + decay * *w;
+                *w -= lr * *vv;
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Learning-rate schedules used in the paper's appendix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant(f32),
+    /// Piecewise-constant: `rates[i]` applies from `boundaries[i-1]` (0 for
+    /// the first) until `boundaries[i]` epochs. Used for the ResNet /
+    /// MobileNet runs (0.1 → 0.01 → … per Table 5/6).
+    Step {
+        /// Rates per segment; one more entry than `boundaries`.
+        rates: Vec<f32>,
+        /// Epoch indices at which the next rate begins.
+        boundaries: Vec<usize>,
+    },
+    /// Cosine decay from `max` to `min` over `total` epochs (Table 7, YOLO).
+    Cosine {
+        /// Initial (maximum) rate.
+        max: f32,
+        /// Final (minimum) rate.
+        min: f32,
+        /// Total epochs over which to decay.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at a given epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics for malformed step schedules (`rates.len() != boundaries.len() + 1`).
+    pub fn at(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant(r) => *r,
+            LrSchedule::Step { rates, boundaries } => {
+                assert_eq!(rates.len(), boundaries.len() + 1, "malformed step schedule");
+                let seg = boundaries.iter().take_while(|&&b| epoch >= b).count();
+                rates[seg]
+            }
+            LrSchedule::Cosine { max, min, total } => {
+                if *total == 0 {
+                    return *min;
+                }
+                let t = (epoch.min(*total) as f32) / (*total as f32);
+                min + 0.5 * (max - min) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+
+    /// The paper's CNN schedule: 60 epochs stepping through
+    /// `0.1, 0.01, 10⁻³, 10⁻⁴, 10⁻⁵` (Tables 5 and 6), scaled by `scale`.
+    pub fn paper_cnn(scale: f32) -> Self {
+        LrSchedule::Step {
+            rates: vec![
+                0.1 * scale,
+                0.01 * scale,
+                1e-3 * scale,
+                1e-4 * scale,
+                1e-5 * scale,
+            ],
+            boundaries: vec![12, 24, 36, 48],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(at: f32) -> Param {
+        Param::new(Tensor::from_slice(&[at]))
+    }
+
+    #[test]
+    fn sgd_minimises_quadratic() {
+        // f(w) = 0.5 w², grad = w. SGD should converge towards 0.
+        let mut p = quadratic_param(10.0);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        for _ in 0..300 {
+            p.zero_grad();
+            let w = p.value.data()[0];
+            p.grad.data_mut()[0] = w;
+            opt.step(|f| f(&mut p));
+        }
+        assert!(p.value.data()[0].abs() < 1e-2, "w = {}", p.value.data()[0]);
+    }
+
+    #[test]
+    fn momentum_accelerates_along_consistent_gradient() {
+        let run = |mom: f32| {
+            let mut p = quadratic_param(0.0);
+            let mut opt = Sgd::new(0.01, mom, 0.0);
+            for _ in 0..10 {
+                p.zero_grad();
+                p.grad.data_mut()[0] = -1.0; // constant pull upward
+                opt.step(|f| f(&mut p));
+            }
+            p.value.data()[0]
+        };
+        assert!(run(0.9) > run(0.0) * 2.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_weights() {
+        let mut p = quadratic_param(1.0);
+        let mut opt = Sgd::new(0.1, 0.0, 0.1);
+        for _ in 0..50 {
+            p.zero_grad(); // zero gradient: only decay acts
+            opt.step(|f| f(&mut p));
+        }
+        assert!(p.value.data()[0] < 0.7);
+    }
+
+    #[test]
+    fn no_decay_flag_respected() {
+        let mut p = Param::new_no_decay(Tensor::from_slice(&[1.0]));
+        let mut opt = Sgd::new(0.1, 0.0, 0.1);
+        for _ in 0..50 {
+            p.zero_grad();
+            opt.step(|f| f(&mut p));
+        }
+        assert_eq!(p.value.data()[0], 1.0);
+    }
+
+    #[test]
+    fn step_schedule_matches_paper_table() {
+        let s = LrSchedule::paper_cnn(1.0);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(11), 0.1);
+        assert_eq!(s.at(12), 0.01);
+        assert_eq!(s.at(35), 1e-3);
+        assert_eq!(s.at(36), 1e-4);
+        assert_eq!(s.at(59), 1e-5);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints_and_monotonicity() {
+        let s = LrSchedule::Cosine {
+            max: 0.01,
+            min: 0.0001,
+            total: 40,
+        };
+        assert!((s.at(0) - 0.01).abs() < 1e-7);
+        assert!((s.at(40) - 0.0001).abs() < 1e-7);
+        let mut prev = f32::INFINITY;
+        for e in 0..=40 {
+            let r = s.at(e);
+            assert!(r <= prev + 1e-9);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn constant_schedule() {
+        assert_eq!(LrSchedule::Constant(5.0).at(1000), 5.0);
+    }
+}
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`
+/// (the standard recurrent-network stabiliser; the paper's LSTM recipe
+/// follows the PyTorch word-language-model example, which clips at 0.25).
+///
+/// `visit` is invoked twice (measure, then scale), so pass a re-callable
+/// closure such as `|f| model.visit_params(f)`.
+///
+/// Returns the pre-clipping norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm <= 0`.
+pub fn clip_grad_norm(max_norm: f32, mut visit: impl FnMut(&mut dyn FnMut(&mut Param))) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f64;
+    visit(&mut |p: &mut Param| {
+        sq += f64::from(p.grad.norm_sq());
+    });
+    let norm = (sq as f32).sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        visit(&mut |p: &mut Param| {
+            p.grad.map_inplace(|g| g * scale);
+        });
+    }
+    norm
+}
+
+#[cfg(test)]
+mod clip_tests {
+    use super::*;
+
+    #[test]
+    fn clips_only_when_above_threshold() {
+        let mut a = Param::new(Tensor::from_slice(&[0.0, 0.0]));
+        a.grad = Tensor::from_slice(&[3.0, 4.0]); // norm 5
+        let norm = clip_grad_norm(10.0, |f| f(&mut a));
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert_eq!(a.grad.data(), &[3.0, 4.0]); // untouched
+
+        let norm = clip_grad_norm(1.0, |f| f(&mut a));
+        assert!((norm - 5.0).abs() < 1e-6);
+        let clipped: f32 = a.grad.norm_sq().sqrt();
+        assert!((clipped - 1.0).abs() < 1e-5, "clipped norm {clipped}");
+        // Direction preserved.
+        assert!((a.grad.data()[0] / a.grad.data()[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn norm_spans_multiple_params() {
+        let mut a = Param::new(Tensor::from_slice(&[3.0]));
+        let mut b = Param::new(Tensor::from_slice(&[4.0]));
+        a.grad = Tensor::from_slice(&[3.0]);
+        b.grad = Tensor::from_slice(&[4.0]);
+        let norm = clip_grad_norm(100.0, |f| {
+            f(&mut a);
+            f(&mut b);
+        });
+        assert!((norm - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based gradient checks for the NN stack: every layer's backward
+//! must match central finite differences of the loss `0.5·Σy²` on random
+//! inputs.
+
+use mri_nn::{BatchNorm2d, Conv2d, Layer, Linear, Mode, Relu};
+use mri_tensor::conv::Conv2dCfg;
+use mri_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_input_grad(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    probes: &[usize],
+    tol: f32,
+) -> Result<(), String> {
+    let y = layer.forward(x, Mode::Train);
+    let gx = layer.backward(&y);
+    let eps = 1e-2;
+    for &i in probes {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let lp: f32 = layer
+            .forward(&xp, Mode::Eval)
+            .data()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            * 0.5;
+        let lm: f32 = layer
+            .forward(&xm, Mode::Eval)
+            .data()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            * 0.5;
+        let num = (lp - lm) / (2.0 * eps);
+        let ana = gx.data()[i];
+        if (num - ana).abs() > tol * (1.0 + num.abs()) {
+            return Err(format!("grad {i}: numeric {num} vs analytic {ana}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn linear_gradcheck(seed in 0u64..1000, data in prop::collection::vec(-1.5f32..1.5, 12)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lin = Linear::new(&mut rng, 4, 3);
+        let x = Tensor::from_vec(data, &[3, 4]);
+        prop_assert!(check_input_grad(&mut lin, &x, &[0, 5, 11], 0.05).is_ok());
+    }
+
+    #[test]
+    fn conv_gradcheck(seed in 0u64..1000, data in prop::collection::vec(-1.0f32..1.0, 32)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new(&mut rng, 2, 2, Conv2dCfg::same(3));
+        let x = Tensor::from_vec(data, &[1, 2, 4, 4]);
+        prop_assert!(check_input_grad(&mut conv, &x, &[0, 9, 21, 31], 0.08).is_ok());
+    }
+
+    /// ReLU: grad is the indicator of positive inputs, everywhere.
+    #[test]
+    fn relu_grad_is_indicator(data in prop::collection::vec(-2.0f32..2.0, 24)) {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(data.clone(), &[24]);
+        r.forward(&x, Mode::Train);
+        let g = r.backward(&Tensor::ones(&[24]));
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(g.data()[i], if v > 0.0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// BatchNorm output statistics: per-channel mean 0, variance 1 in train.
+    #[test]
+    fn batchnorm_output_normalised(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bn = BatchNorm2d::new(2);
+        let x = mri_tensor::init::normal(&mut rng, &[6, 2, 3, 3], 2.0, 1.5);
+        let y = bn.forward(&x, Mode::Train);
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..6 {
+                for s in 0..9 {
+                    vals.push(y.data()[(b * 2 + ch) * 9 + s]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+            prop_assert!((var - 1.0).abs() < 1e-2, "var {}", var);
+        }
+    }
+
+    /// Cross-entropy gradient rows always sum to zero (softmax simplex).
+    #[test]
+    fn ce_grad_rows_sum_to_zero(
+        logits in prop::collection::vec(-4.0f32..4.0, 12),
+        labels in prop::collection::vec(0usize..4, 3),
+    ) {
+        let t = Tensor::from_vec(logits, &[3, 4]);
+        let (_, g) = mri_nn::loss::cross_entropy(&t, &labels);
+        for i in 0..3 {
+            let s: f32 = g.data()[i * 4..(i + 1) * 4].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// KD loss is non-negative and zero iff the distributions match.
+    #[test]
+    fn kd_loss_nonnegative(
+        s in prop::collection::vec(-3.0f32..3.0, 8),
+        t in prop::collection::vec(-3.0f32..3.0, 8),
+        temp in 1.0f32..6.0,
+    ) {
+        let st = Tensor::from_vec(s, &[2, 4]);
+        let tt = Tensor::from_vec(t, &[2, 4]);
+        let (l, _) = mri_nn::loss::kd_loss(&st, &tt, temp);
+        prop_assert!(l >= -1e-5, "KL must be non-negative, got {}", l);
+        let (lz, _) = mri_nn::loss::kd_loss(&st, &st, temp);
+        prop_assert!(lz.abs() < 1e-5);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mri-quant
+//!
+//! Quantization machinery for *Training for Multi-resolution Inference using
+//! Reusable Quantization Terms* (ASPLOS 2021).
+//!
+//! The crate implements, from scratch:
+//!
+//! * [`Term`] — a signed power-of-two term `±2^e`;
+//! * [`sdr`] — binary encodings: unsigned binary (UBR), the non-adjacent form
+//!   (NAF, the minimal signed-digit representation), and radix-2 Booth
+//!   recoding;
+//! * [`uq`] — uniform quantization with symmetric (weights) and unsigned
+//!   (activations) ranges plus PACT-style clipping;
+//! * [`lq`] — logarithmic quantization (round to one power of two);
+//! * [`tq`] — **term quantization**: keep the leading `α` terms across a
+//!   group of `g` values ([`GroupTermQuantizer`]), and the nested
+//!   multi-resolution term sequence ([`MultiResGroup`]) that lets one stored
+//!   model spawn sub-models at any budget by prefix truncation;
+//! * [`storage`] — the packed 4-bit term format, the separate index memory
+//!   and the two-term-increment layout of the paper's §5.4, with memory
+//!   access accounting.
+//!
+//! # Examples
+//!
+//! The paper's running example (Fig. 4): a group of four 5-bit weights
+//! quantized with a term budget of 8:
+//!
+//! ```
+//! use mri_quant::{GroupTermQuantizer, SdrEncoding};
+//!
+//! let q = GroupTermQuantizer::new(4, 8, SdrEncoding::Unsigned);
+//! let out = q.quantize_i64(&[21, 6, 17, 11]);
+//! assert_eq!(out.values, vec![21, 6, 16, 10]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lq;
+pub mod sdr;
+pub mod storage;
+pub mod tq;
+pub mod uq;
+
+mod term;
+
+pub use sdr::SdrEncoding;
+pub use term::{term_sum, GroupTerm, Term};
+pub use tq::{GroupTermQuantizer, MultiResGroup, QuantizedGroup};
+pub use uq::{QuantRange, UniformQuantizer};

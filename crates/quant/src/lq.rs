@@ -1,0 +1,107 @@
+//! Logarithmic quantization (LQ): round each value to a single power of two.
+//!
+//! LQ is the extreme point of the resolution spectrum — one term per value —
+//! that the multi-resolution model's lowest-budget sub-models approach
+//! (paper §6.2: the (α=8, β=2) sub-model's weights concentrate on single
+//! powers of two, "interpolating" towards LQ).
+
+use crate::Term;
+
+/// Rounds an integer to the nearest power of two (times sign), i.e. keeps a
+/// single term. Zero stays zero. Ties round to the larger power, matching
+/// "round half away" on the log scale boundary at `1.5 × 2^e`.
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::lq;
+///
+/// assert_eq!(lq::quantize_i64(6), 8);    // 6 is closer to 8 than to 4
+/// assert_eq!(lq::quantize_i64(5), 4);
+/// assert_eq!(lq::quantize_i64(-11), -8);
+/// assert_eq!(lq::quantize_i64(0), 0);
+/// ```
+pub fn quantize_i64(value: i64) -> i64 {
+    match term(value) {
+        Some(t) => t.value(),
+        None => 0,
+    }
+}
+
+/// The single term LQ keeps for `value`, or `None` for zero.
+pub fn term(value: i64) -> Option<Term> {
+    if value == 0 {
+        return None;
+    }
+    let negative = value < 0;
+    let mag = value.unsigned_abs();
+    let e = 63 - mag.leading_zeros();
+    // Candidates 2^e and 2^(e+1); pick the nearer (ties up).
+    let lo = 1u64 << e;
+    let hi = lo << 1;
+    let exponent = if mag - lo >= hi - mag {
+        (e + 1) as u8
+    } else {
+        e as u8
+    };
+    Some(Term { exponent, negative })
+}
+
+/// Logarithmically quantizes a real value given a step `scale` (the value is
+/// first expressed in integer steps, then rounded to a power of two).
+///
+/// # Panics
+///
+/// Panics if `scale <= 0`.
+pub fn quantize_f32(x: f32, scale: f32) -> f32 {
+    assert!(scale > 0.0, "scale must be positive");
+    quantize_i64((x / scale).round() as i64) as f32 * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers_of_two_are_fixed_points() {
+        for e in 0..20u8 {
+            let v = 1i64 << e;
+            assert_eq!(quantize_i64(v), v);
+            assert_eq!(quantize_i64(-v), -v);
+        }
+    }
+
+    #[test]
+    fn figure2_examples() {
+        // Fig. 2(c): 21 -> 16, 6 -> 4 (paper rounds 6 down), 17 -> 16, 11 -> 8.
+        assert_eq!(quantize_i64(21), 16);
+        assert_eq!(quantize_i64(17), 16);
+        assert_eq!(quantize_i64(11), 8);
+        // 6 sits exactly between 4 and 8; our tie rule rounds up. The paper's
+        // Fig. 2(c) keeps only the largest *existing* term (4); both are
+        // single-term encodings — document the difference:
+        assert_eq!(quantize_i64(6), 8);
+        assert_eq!(term(6), Some(Term::pos(3)));
+    }
+
+    #[test]
+    fn error_is_relative_not_absolute() {
+        // LQ error grows with magnitude: |q(x) - x| can be large for big x.
+        assert_eq!(quantize_i64(1000), 1024);
+        assert_eq!((quantize_i64(1500) - 1500).abs(), 476); // rounds to 1024
+    }
+
+    #[test]
+    fn f32_quantization_uses_scale() {
+        let q = quantize_f32(0.6, 0.1);
+        // 0.6 / 0.1 = 6 -> 8 -> 0.8
+        assert!((q - 0.8).abs() < 1e-6);
+        assert_eq!(quantize_f32(0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn zero_has_no_term() {
+        assert_eq!(term(0), None);
+        assert_eq!(quantize_i64(0), 0);
+    }
+}

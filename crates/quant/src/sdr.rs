@@ -1,0 +1,353 @@
+//! Binary encodings: unsigned binary, non-adjacent form and Booth recoding.
+//!
+//! A value's *resolution* in this paper is the number of nonzero
+//! power-of-two terms in its encoding, so the choice of encoding directly
+//! determines computation cost. The non-adjacent form (NAF) attains the
+//! minimum possible number of nonzero signed digits, which is why the paper
+//! uses signed-digit representations throughout (§2.4).
+
+use crate::Term;
+use serde::{Deserialize, Serialize};
+
+/// Which binary encoding to expand values into before term quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SdrEncoding {
+    /// Unsigned binary representation of the magnitude; every term carries
+    /// the value's sign. Matches the paper's Fig. 2/4 illustrations.
+    Unsigned,
+    /// Non-adjacent form: signed digits in `{-1, 0, 1}` with no two adjacent
+    /// nonzeros; provably minimal in nonzero-digit count.
+    #[default]
+    Naf,
+    /// Radix-2 Booth recoding: signed digits derived from adjacent bit pairs.
+    /// Not always minimal, but hardware-friendly; included because the
+    /// Laconic PE baseline (§7.2) assumes Booth-encoded operands.
+    Booth,
+    /// Radix-4 (modified) Booth recoding: digits in `{-2, -1, 0, 1, 2}` over
+    /// bit triples, guaranteeing at most `⌈(n+1)/2⌉` nonzero terms for an
+    /// `n`-bit value — the bound multiplier hardware traditionally exploits.
+    Booth4,
+}
+
+/// Encodes a signed integer into terms under the chosen encoding.
+///
+/// Terms are returned sorted by exponent, **descending** (most significant
+/// first) — the order in which term quantization keeps them.
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::{sdr, SdrEncoding, Term};
+///
+/// // 27 = 11011₂ needs 4 terms unsigned but only 3 in NAF (paper §2.4).
+/// assert_eq!(sdr::encode(27, SdrEncoding::Unsigned).len(), 4);
+/// assert_eq!(
+///     sdr::encode(27, SdrEncoding::Naf),
+///     vec![Term::pos(5), Term::neg(2), Term::neg(0)],
+/// );
+/// ```
+pub fn encode(value: i64, encoding: SdrEncoding) -> Vec<Term> {
+    match encoding {
+        SdrEncoding::Unsigned => encode_unsigned(value),
+        SdrEncoding::Naf => encode_naf(value),
+        SdrEncoding::Booth => encode_booth(value),
+        SdrEncoding::Booth4 => encode_booth4(value),
+    }
+}
+
+/// Decodes a term slice back into its integer value.
+pub fn decode(terms: &[Term]) -> i64 {
+    crate::term_sum(terms)
+}
+
+/// Unsigned binary expansion of `|value|`, each term signed by `sign(value)`.
+fn encode_unsigned(value: i64) -> Vec<Term> {
+    let negative = value < 0;
+    let mut mag = value.unsigned_abs();
+    let mut terms = Vec::new();
+    while mag != 0 {
+        let e = 63 - mag.leading_zeros() as u8;
+        terms.push(Term {
+            exponent: e,
+            negative,
+        });
+        mag &= !(1u64 << e);
+    }
+    terms
+}
+
+/// Non-adjacent form: the canonical minimal signed-digit representation.
+///
+/// Produced low-to-high with the classic `2 - (n mod 4)` rule, then reversed
+/// so the most significant term comes first.
+fn encode_naf(value: i64) -> Vec<Term> {
+    let mut n = i128::from(value);
+    let mut e: u8 = 0;
+    let mut terms = Vec::new();
+    while n != 0 {
+        if n & 1 != 0 {
+            // z in {-1, +1} chosen so (n - z) is divisible by 4.
+            let z = 2 - (n.rem_euclid(4)) as i64;
+            terms.push(Term {
+                exponent: e,
+                negative: z < 0,
+            });
+            n -= i128::from(z);
+        }
+        n >>= 1;
+        e += 1;
+    }
+    terms.reverse();
+    terms
+}
+
+/// Radix-2 Booth recoding: digit `d_i = b_{i-1} - b_i` over the two's
+/// complement bits (with `b_{-1} = 0`).
+fn encode_booth(value: i64) -> Vec<Term> {
+    let bits = value as u64;
+    let mut terms = Vec::new();
+    let mut prev = 0u64;
+    for i in 0..64u32 {
+        let cur = (bits >> i) & 1;
+        match (cur, prev) {
+            (1, 0) => terms.push(Term {
+                exponent: i as u8,
+                negative: true,
+            }),
+            (0, 1) => terms.push(Term {
+                exponent: i as u8,
+                negative: false,
+            }),
+            _ => {}
+        }
+        prev = cur;
+    }
+    // For non-negative values the implicit sign bit contributes nothing;
+    // for negative values the sign extension is all-ones and also terminates.
+    if prev == 1 && value > 0 {
+        // Unreachable for i64 inputs below 2^63, kept for clarity.
+        terms.push(Term {
+            exponent: 63,
+            negative: false,
+        });
+    }
+    terms.reverse();
+    terms
+}
+
+/// Radix-4 modified Booth: digit `d_i = b_{2i-1} + b_{2i} - 2·b_{2i+1}`
+/// (with `b_{-1} = 0`), each nonzero digit contributing one term `±2^{2i}`
+/// or `±2^{2i+1}`.
+fn encode_booth4(value: i64) -> Vec<Term> {
+    let bits = value as u64;
+    let bit = |i: i64| -> i64 {
+        if i < 0 {
+            0
+        } else if i >= 64 {
+            // Sign extension for negative values.
+            i64::from(value < 0)
+        } else {
+            (bits >> i & 1) as i64
+        }
+    };
+    let mut terms = Vec::new();
+    let mut i = 0i64;
+    while i < 66 {
+        let d = bit(i - 1) + bit(i) - 2 * bit(i + 1);
+        match d {
+            1 => terms.push(Term {
+                exponent: i as u8,
+                negative: false,
+            }),
+            -1 => terms.push(Term {
+                exponent: i as u8,
+                negative: true,
+            }),
+            2 => terms.push(Term {
+                exponent: (i + 1) as u8,
+                negative: false,
+            }),
+            -2 => terms.push(Term {
+                exponent: (i + 1) as u8,
+                negative: true,
+            }),
+            _ => {}
+        }
+        i += 2;
+    }
+    terms.reverse();
+    terms
+}
+
+/// Number of nonzero terms `value` needs under `encoding`.
+pub fn term_count(value: i64, encoding: SdrEncoding) -> usize {
+    encode(value, encoding).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_encoding_matches_binary() {
+        assert_eq!(
+            encode(21, SdrEncoding::Unsigned),
+            vec![Term::pos(4), Term::pos(2), Term::pos(0)]
+        );
+        assert_eq!(encode(0, SdrEncoding::Unsigned), vec![]);
+        assert_eq!(
+            encode(-6, SdrEncoding::Unsigned),
+            vec![Term::neg(2), Term::neg(1)]
+        );
+    }
+
+    #[test]
+    fn naf_paper_example_27() {
+        // 27 (11011, four nonzero digits) -> 100-10-1 (three nonzero digits).
+        let t = encode(27, SdrEncoding::Naf);
+        assert_eq!(t, vec![Term::pos(5), Term::neg(2), Term::neg(0)]);
+        assert_eq!(decode(&t), 27);
+    }
+
+    #[test]
+    fn naf_is_nonadjacent() {
+        for v in -500..=500i64 {
+            let t = encode(v, SdrEncoding::Naf);
+            for w in t.windows(2) {
+                assert!(
+                    w[0].exponent >= w[1].exponent + 2,
+                    "adjacent nonzero digits in NAF of {v}: {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_encodings_round_trip() {
+        for v in -1000..=1000i64 {
+            for enc in [
+                SdrEncoding::Unsigned,
+                SdrEncoding::Naf,
+                SdrEncoding::Booth,
+                SdrEncoding::Booth4,
+            ] {
+                assert_eq!(
+                    decode(&encode(v, enc)),
+                    v,
+                    "round trip failed for {v} under {enc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn naf_never_needs_more_terms_than_unsigned() {
+        for v in 0..=2000i64 {
+            assert!(
+                term_count(v, SdrEncoding::Naf) <= term_count(v, SdrEncoding::Unsigned),
+                "NAF worse than UBR for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn naf_minimality_small_values() {
+        // Brute-force the minimum number of signed power-of-two terms needed
+        // to express each value with exponents <= 10, and check NAF attains it.
+        fn min_terms(v: i64) -> usize {
+            // BFS over term counts.
+            for k in 0..=6usize {
+                if can_express(v, k, 11) {
+                    return k;
+                }
+            }
+            usize::MAX
+        }
+        fn can_express(v: i64, k: usize, max_exp: u8) -> bool {
+            if k == 0 {
+                return v == 0;
+            }
+            for e in 0..max_exp {
+                for s in [1i64, -1] {
+                    if can_express(v - s * (1i64 << e), k - 1, max_exp) {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        for v in [0i64, 1, 3, 7, 11, 23, 27, 31, 93, 171] {
+            assert_eq!(
+                term_count(v, SdrEncoding::Naf),
+                min_terms(v),
+                "NAF not minimal for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn booth_compresses_runs_of_ones() {
+        // Booth turns a run of k ones into two terms regardless of k.
+        assert_eq!(
+            encode(31, SdrEncoding::Booth),
+            vec![Term::pos(5), Term::neg(0)]
+        );
+        assert_eq!(
+            encode(15, SdrEncoding::Booth),
+            vec![Term::pos(4), Term::neg(0)]
+        );
+    }
+
+    #[test]
+    fn naf_of_5bit_values_needs_at_most_3_terms() {
+        // The §7.2 Laconic comparison assumes every 5-bit operand has <= 3
+        // signed-digit terms; NAF guarantees that bound.
+        for v in -31..=31i64 {
+            assert!(
+                term_count(v, SdrEncoding::Naf) <= 3,
+                "NAF of {v} exceeded 3 terms"
+            );
+        }
+    }
+
+    #[test]
+    fn booth4_term_bound() {
+        // Radix-4 Booth guarantees at most ceil((n+1)/2) nonzero digits.
+        for v in 0..256i64 {
+            let t = encode(v, SdrEncoding::Booth4);
+            assert!(t.len() <= 5, "Booth4 of 8-bit {v} used {} terms", t.len());
+        }
+        for v in -16..16i64 {
+            let t = encode(v, SdrEncoding::Booth4);
+            assert!(t.len() <= 3, "Booth4 of 5-bit {v} used {} terms", t.len());
+        }
+    }
+
+    #[test]
+    fn booth4_examples() {
+        // 6 = 8 - 2 under radix-4 recoding (digits: block0 d=-2, block1 d=+... )
+        assert_eq!(decode(&encode(6, SdrEncoding::Booth4)), 6);
+        // 21 = 16 + 4 + 1: all digits already radix-4 friendly.
+        assert_eq!(
+            encode(21, SdrEncoding::Booth4),
+            vec![Term::pos(4), Term::pos(2), Term::pos(0)]
+        );
+    }
+
+    #[test]
+    fn terms_sorted_most_significant_first() {
+        for v in [21i64, 27, 1023, -77] {
+            for enc in [
+                SdrEncoding::Unsigned,
+                SdrEncoding::Naf,
+                SdrEncoding::Booth,
+                SdrEncoding::Booth4,
+            ] {
+                let t = encode(v, enc);
+                for w in t.windows(2) {
+                    assert!(w[0].exponent > w[1].exponent);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Packed storage of multi-resolution weight terms (paper §5.4, Figs. 16–18).
+//!
+//! Every term is stored in 4 bits (3-bit exponent + 1 sign bit); the owning
+//! value's position within its group goes to a separate *index memory* using
+//! `log2(g)` bits per term. Terms are laid out in *increments* between
+//! consecutive sub-model budgets so that a low-resolution sub-model touches
+//! only a prefix of the memory entries.
+
+use crate::{GroupTerm, MultiResGroup, Term};
+use std::error::Error;
+use std::fmt;
+
+/// Number of bits used to store one term (3-bit exponent + sign).
+pub const TERM_BITS: u32 = 4;
+
+/// Largest exponent representable in the packed format.
+pub const MAX_PACKED_EXPONENT: u8 = 7;
+
+/// Error converting a term into the packed 4-bit format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackTermError {
+    exponent: u8,
+}
+
+impl fmt::Display for PackTermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "term exponent {} does not fit the 3-bit packed field (max {})",
+            self.exponent, MAX_PACKED_EXPONENT
+        )
+    }
+}
+
+impl Error for PackTermError {}
+
+/// Packs a term into a 4-bit nibble: `[sign | e2 e1 e0]` (Fig. 16(b)).
+///
+/// # Errors
+///
+/// Returns [`PackTermError`] if the exponent exceeds
+/// [`MAX_PACKED_EXPONENT`].
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::{storage, Term};
+///
+/// assert_eq!(storage::pack_term(Term::pos(4))?, 0b0100);
+/// assert_eq!(storage::pack_term(Term::neg(3))?, 0b1011);
+/// # Ok::<(), storage::PackTermError>(())
+/// ```
+pub fn pack_term(t: Term) -> Result<u8, PackTermError> {
+    if t.exponent > MAX_PACKED_EXPONENT {
+        return Err(PackTermError {
+            exponent: t.exponent,
+        });
+    }
+    Ok((u8::from(t.negative) << 3) | t.exponent)
+}
+
+/// Unpacks a 4-bit nibble back into a term.
+///
+/// Only the low 4 bits of `nibble` are examined.
+pub fn unpack_term(nibble: u8) -> Term {
+    Term {
+        exponent: nibble & 0b111,
+        negative: nibble & 0b1000 != 0,
+    }
+}
+
+/// Bits needed to store one group of `g` values at term budget `alpha`:
+/// `4α` term bits plus `α · log2(g)` index bits (paper §5.4).
+///
+/// # Panics
+///
+/// Panics if `g` is not a power of two.
+pub fn storage_bits(g: usize, alpha: usize) -> usize {
+    assert!(g.is_power_of_two(), "group size must be a power of two");
+    TERM_BITS as usize * alpha + alpha * g.trailing_zeros() as usize
+}
+
+/// Average storage bits per weight value at budget `alpha` for group size `g`.
+pub fn bits_per_weight(g: usize, alpha: usize) -> f64 {
+    storage_bits(g, alpha) as f64 / g as f64
+}
+
+/// A word-addressable memory holding packed fields, counting accesses.
+///
+/// The width models the physical memory port; reading a range of bits costs
+/// one access per touched entry.
+#[derive(Debug, Clone)]
+pub struct PackedMemory {
+    bits: Vec<bool>,
+    entry_bits: usize,
+    accesses: u64,
+}
+
+impl PackedMemory {
+    /// Creates an empty memory with the given entry (port) width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bits == 0`.
+    pub fn new(entry_bits: usize) -> Self {
+        assert!(entry_bits > 0, "entry width must be positive");
+        PackedMemory {
+            bits: Vec::new(),
+            entry_bits,
+            accesses: 0,
+        }
+    }
+
+    /// Appends a field of `width` bits (little-endian within the field).
+    pub fn push_field(&mut self, value: u64, width: usize) {
+        for i in 0..width {
+            self.bits.push(value >> i & 1 == 1);
+        }
+    }
+
+    /// Reads a field, counting the memory entries it touches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_field(&mut self, bit_offset: usize, width: usize) -> u64 {
+        assert!(bit_offset + width <= self.bits.len(), "read out of bounds");
+        let first_entry = bit_offset / self.entry_bits;
+        let last_entry = if width == 0 {
+            first_entry
+        } else {
+            (bit_offset + width - 1) / self.entry_bits
+        };
+        self.accesses += (last_entry - first_entry + 1) as u64;
+        let mut v = 0u64;
+        for i in 0..width {
+            if self.bits[bit_offset + i] {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Number of entry accesses performed so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Resets the access counter.
+    pub fn reset_accesses(&mut self) {
+        self.accesses = 0;
+    }
+
+    /// Total stored bits.
+    pub fn len_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Total entries occupied (the last may be partial).
+    pub fn len_entries(&self) -> usize {
+        self.bits.len().div_ceil(self.entry_bits)
+    }
+}
+
+/// The §5.4 storage layout for one multi-resolution group: a term memory and
+/// an index memory, both laid out in budget increments (Fig. 17).
+#[derive(Debug, Clone)]
+pub struct MultiResStorage {
+    term_mem: PackedMemory,
+    index_mem: PackedMemory,
+    budgets: Vec<usize>,
+    group_size: usize,
+    index_bits: usize,
+    stored_terms: usize,
+}
+
+impl MultiResStorage {
+    /// Stores a group's term sequence for the given increasing budgets.
+    ///
+    /// `entry_bits` is the memory port width (the paper uses 16-bit wide
+    /// memories storing two two-term increments per entry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackTermError`] if any exponent exceeds the packed range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size is not a power of two or budgets are not
+    /// strictly increasing.
+    pub fn store(
+        group: &MultiResGroup,
+        budgets: &[usize],
+        entry_bits: usize,
+    ) -> Result<Self, PackTermError> {
+        let g = group.group_size();
+        assert!(g.is_power_of_two(), "group size must be a power of two");
+        let index_bits = g.trailing_zeros() as usize;
+        let mut term_mem = PackedMemory::new(entry_bits);
+        let mut index_mem = PackedMemory::new(entry_bits);
+        let mut stored = 0usize;
+        for inc in group.increments(budgets) {
+            for gt in inc {
+                term_mem.push_field(u64::from(pack_term(gt.term)?), TERM_BITS as usize);
+                index_mem.push_field(gt.index as u64, index_bits);
+                stored += 1;
+            }
+        }
+        Ok(MultiResStorage {
+            term_mem,
+            index_mem,
+            budgets: budgets.to_vec(),
+            group_size: g,
+            index_bits,
+            stored_terms: stored,
+        })
+    }
+
+    /// Loads the terms of the sub-model at `budget`, counting memory
+    /// accesses on both memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` exceeds the stored maximum budget.
+    pub fn load_budget(&mut self, budget: usize) -> Vec<GroupTerm> {
+        let n = budget.min(self.stored_terms);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let nib = self
+                .term_mem
+                .read_field(i * TERM_BITS as usize, TERM_BITS as usize) as u8;
+            let idx = if self.index_bits == 0 {
+                0
+            } else {
+                self.index_mem
+                    .read_field(i * self.index_bits, self.index_bits) as usize
+            };
+            out.push(GroupTerm::new(unpack_term(nib), idx));
+        }
+        out
+    }
+
+    /// Reconstructs the sub-model's values at `budget`.
+    pub fn values_at(&mut self, budget: usize) -> Vec<i64> {
+        let mut vals = vec![0i64; self.group_size];
+        for gt in self.load_budget(budget) {
+            vals[gt.index] += gt.term.value();
+        }
+        vals
+    }
+
+    /// Total accesses across term and index memories since the last reset.
+    pub fn total_accesses(&self) -> u64 {
+        self.term_mem.accesses() + self.index_mem.accesses()
+    }
+
+    /// Resets both access counters.
+    pub fn reset_accesses(&mut self) {
+        self.term_mem.reset_accesses();
+        self.index_mem.reset_accesses();
+    }
+
+    /// The configured sub-model budgets.
+    pub fn budgets(&self) -> &[usize] {
+        &self.budgets
+    }
+
+    /// Bits occupied by the term memory.
+    pub fn term_bits(&self) -> usize {
+        self.term_mem.len_bits()
+    }
+
+    /// Bits occupied by the index memory.
+    pub fn index_bits_total(&self) -> usize {
+        self.index_mem.len_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SdrEncoding;
+
+    #[test]
+    fn pack_round_trip_all_nibbles() {
+        for e in 0..=MAX_PACKED_EXPONENT {
+            for neg in [false, true] {
+                let t = Term {
+                    exponent: e,
+                    negative: neg,
+                };
+                assert_eq!(unpack_term(pack_term(t).unwrap()), t);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_rejects_large_exponent() {
+        let err = pack_term(Term::pos(8)).unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn figure16_examples() {
+        // Fig. 16(a): terms 2^4, 2^4, -2^3, 2^1 encode as 4-bit fields.
+        assert_eq!(pack_term(Term::pos(4)).unwrap(), 0b0100);
+        assert_eq!(pack_term(Term::neg(3)).unwrap(), 0b1011);
+        assert_eq!(pack_term(Term::pos(1)).unwrap(), 0b0001);
+    }
+
+    #[test]
+    fn paper_storage_accounting_resnet18() {
+        // §5.4: g = 16, α = 20 -> 160 bits per group, 10 bits per weight,
+        // 1.25 bits per weight per sub-model with 8 sub-models.
+        assert_eq!(storage_bits(16, 20), 160);
+        assert!((bits_per_weight(16, 20) - 10.0).abs() < 1e-9);
+        assert!((bits_per_weight(16, 20) / 8.0 - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn storage_round_trips_paper_group() {
+        let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
+        let mut st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
+        assert_eq!(st.values_at(2), vec![16, 0, 16, 0]);
+        assert_eq!(st.values_at(4), vec![20, 0, 16, 8]);
+        assert_eq!(st.values_at(8), vec![21, 6, 16, 10]);
+    }
+
+    #[test]
+    fn lower_budgets_touch_fewer_entries() {
+        let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
+        let mut st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
+        st.load_budget(2);
+        let low = st.total_accesses();
+        st.reset_accesses();
+        st.load_budget(8);
+        let high = st.total_accesses();
+        assert!(
+            low < high,
+            "budget-2 accesses {low} should be < budget-8 accesses {high}"
+        );
+    }
+
+    #[test]
+    fn term_memory_size_matches_formula() {
+        let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
+        let st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
+        // 8 terms * 4 bits and 8 * log2(4) = 16 index bits.
+        assert_eq!(st.term_bits(), 32);
+        assert_eq!(st.index_bits_total(), 16);
+    }
+
+    #[test]
+    fn packed_memory_counts_entry_spanning_reads() {
+        let mut m = PackedMemory::new(8);
+        m.push_field(0xABCD, 16);
+        // A 4-bit read inside one entry: 1 access.
+        m.read_field(0, 4);
+        assert_eq!(m.accesses(), 1);
+        // A read spanning the entry boundary: 2 accesses.
+        m.read_field(6, 4);
+        assert_eq!(m.accesses(), 3);
+        assert_eq!(m.len_entries(), 2);
+    }
+
+    #[test]
+    fn packed_memory_field_round_trip() {
+        let mut m = PackedMemory::new(16);
+        m.push_field(0b1011, 4);
+        m.push_field(0b0110, 4);
+        assert_eq!(m.read_field(0, 4), 0b1011);
+        assert_eq!(m.read_field(4, 4), 0b0110);
+    }
+}
+
+/// The per-exponent term usage table of Fig. 18: for each power-of-two
+/// position, which group members own a term there (in canonical order).
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::storage::term_usage_table;
+/// use mri_quant::{MultiResGroup, SdrEncoding};
+///
+/// // Fig. 18: the 2^4 terms are used by the first and third weights.
+/// let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
+/// let table = term_usage_table(&g);
+/// assert_eq!(table[&4], vec![0, 2]);
+/// assert_eq!(table[&3], vec![3]);
+/// assert_eq!(table[&2], vec![0, 1]);
+/// ```
+pub fn term_usage_table(group: &MultiResGroup) -> std::collections::BTreeMap<u8, Vec<usize>> {
+    let mut table: std::collections::BTreeMap<u8, Vec<usize>> = std::collections::BTreeMap::new();
+    for gt in group.terms() {
+        table.entry(gt.term.exponent).or_default().push(gt.index);
+    }
+    table
+}
+
+#[cfg(test)]
+mod usage_table_tests {
+    use super::*;
+    use crate::SdrEncoding;
+
+    #[test]
+    fn fig18_usage_for_paper_group() {
+        let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
+        let table = term_usage_table(&g);
+        // 2^4 by weights 0 and 2; 2^3 by weight 3; 2^2 by weights 0 and 1;
+        // 2^1 by weights 1 and 3; one 2^0 kept (weight 0) at budget 8.
+        assert_eq!(table[&4], vec![0, 2]);
+        assert_eq!(table[&3], vec![3]);
+        assert_eq!(table[&2], vec![0, 1]);
+        assert_eq!(table[&1], vec![1, 3]);
+        assert_eq!(table[&0], vec![0]);
+    }
+
+    #[test]
+    fn usage_table_covers_all_terms() {
+        let g = MultiResGroup::from_values(&[5, 9, 3, 12], 16, SdrEncoding::Naf);
+        let table = term_usage_table(&g);
+        let total: usize = table.values().map(Vec::len).sum();
+        assert_eq!(total, g.terms().len());
+    }
+}

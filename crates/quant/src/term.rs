@@ -1,0 +1,179 @@
+//! Signed power-of-two terms, the atoms of term quantization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A signed power-of-two term `±2^exponent`.
+///
+/// Terms are the unit of computation in the mMAC: a multiplication between a
+/// weight term and a data term is a single exponent addition.
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::Term;
+///
+/// assert_eq!(Term::pos(4).value(), 16);
+/// assert_eq!(Term::neg(2).value(), -4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Term {
+    /// Power-of-two exponent (`e` in `±2^e`).
+    pub exponent: u8,
+    /// True for `-2^e`, false for `+2^e`.
+    pub negative: bool,
+}
+
+impl Term {
+    /// Creates a positive term `+2^exponent`.
+    pub fn pos(exponent: u8) -> Self {
+        Term {
+            exponent,
+            negative: false,
+        }
+    }
+
+    /// Creates a negative term `-2^exponent`.
+    pub fn neg(exponent: u8) -> Self {
+        Term {
+            exponent,
+            negative: true,
+        }
+    }
+
+    /// Numeric value of the term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent >= 63` (would overflow `i64`).
+    pub fn value(&self) -> i64 {
+        assert!(self.exponent < 63, "term exponent too large for i64");
+        let v = 1i64 << self.exponent;
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Multiplies two terms: exponents add, signs xor.
+    ///
+    /// This is exactly what the mMAC's exponent adder computes.
+    pub fn multiply(&self, other: &Term) -> Term {
+        Term {
+            exponent: self.exponent + other.exponent,
+            negative: self.negative != other.negative,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}2^{}",
+            if self.negative { "-" } else { "+" },
+            self.exponent
+        )
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Term {
+    /// Orders by numeric value.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.value().cmp(&other.value())
+    }
+}
+
+/// A term attributed to one value within a quantization group.
+///
+/// `index` records which of the `g` group members the term belongs to; the
+/// hardware stores it in the *index memory* (paper §5.4, Fig. 17/18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupTerm {
+    /// The power-of-two term.
+    pub term: Term,
+    /// Index of the owning value within its group (`0..g`).
+    pub index: usize,
+}
+
+impl GroupTerm {
+    /// Creates a group term.
+    pub fn new(term: Term, index: usize) -> Self {
+        GroupTerm { term, index }
+    }
+}
+
+impl fmt::Display for GroupTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@w{}", self.term, self.index)
+    }
+}
+
+/// Sums a slice of terms back into a value.
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::{term_sum, Term};
+///
+/// // 27 = 2^5 - 2^2 - 2^0 (the paper's §2.4 example).
+/// let terms = [Term::pos(5), Term::neg(2), Term::neg(0)];
+/// assert_eq!(term_sum(&terms), 27);
+/// ```
+pub fn term_sum(terms: &[Term]) -> i64 {
+    terms.iter().map(Term::value).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_and_sign() {
+        assert_eq!(Term::pos(0).value(), 1);
+        assert_eq!(Term::pos(10).value(), 1024);
+        assert_eq!(Term::neg(3).value(), -8);
+    }
+
+    #[test]
+    fn multiply_adds_exponents_and_xors_signs() {
+        let a = Term::pos(3);
+        let b = Term::neg(2);
+        let c = a.multiply(&b);
+        assert_eq!(c, Term::neg(5));
+        assert_eq!(c.value(), a.value() * b.value());
+
+        let d = b.multiply(&b);
+        assert_eq!(d, Term::pos(4));
+        assert_eq!(d.value(), 16);
+    }
+
+    #[test]
+    fn ordering_by_numeric_value() {
+        let mut v = vec![Term::neg(4), Term::pos(0), Term::neg(0), Term::pos(4)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Term::neg(4), Term::neg(0), Term::pos(0), Term::pos(4)]
+        );
+    }
+
+    #[test]
+    fn term_sum_reconstructs_paper_example() {
+        // 27 in NAF = 100-10-1.
+        assert_eq!(term_sum(&[Term::pos(5), Term::neg(2), Term::neg(0)]), 27);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Term::pos(4).to_string(), "+2^4");
+        assert_eq!(GroupTerm::new(Term::neg(3), 2).to_string(), "-2^3@w2");
+    }
+}

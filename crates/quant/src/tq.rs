@@ -1,0 +1,581 @@
+//! Term quantization (TQ) and nested multi-resolution weight groups.
+//!
+//! TQ quantizes a *group* of `g` values by pooling all their power-of-two
+//! terms and keeping only the leading `α` (paper §3). Because the kept terms
+//! of a smaller budget are a prefix of the kept terms of any larger budget,
+//! one stored term sequence serves every resolution — the storage- and
+//! computation-sharing property that the whole paper builds on (§4.1, §5.4).
+
+use crate::sdr::{self, SdrEncoding};
+use crate::GroupTerm;
+#[cfg(test)]
+use crate::Term;
+use serde::{Deserialize, Serialize};
+
+/// Canonical ordering of a group's terms: exponent descending, then owning
+/// value index ascending, then positive before negative (for determinism).
+///
+/// This ordering reproduces the paper's worked examples exactly: for the
+/// group `[21, 6, 17, 11]` it yields `[16, 0, 16, 0]` at `α = 2` (§4.1) and
+/// the final two-term increment `{2^1@w4, 2^0@w1}` of Fig. 17.
+fn canonical_order(a: &GroupTerm, b: &GroupTerm) -> std::cmp::Ordering {
+    b.term
+        .exponent
+        .cmp(&a.term.exponent)
+        .then(a.index.cmp(&b.index))
+        .then(a.term.negative.cmp(&b.term.negative))
+}
+
+/// Expands each value of a group into terms and returns them in canonical
+/// order (most significant first).
+pub fn group_terms(values: &[i64], encoding: SdrEncoding) -> Vec<GroupTerm> {
+    let mut terms: Vec<GroupTerm> = values
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &v)| {
+            sdr::encode(v, encoding)
+                .into_iter()
+                .map(move |t| GroupTerm::new(t, i))
+        })
+        .collect();
+    terms.sort_by(canonical_order);
+    terms
+}
+
+/// Result of term-quantizing one group of values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizedGroup {
+    /// The reconstructed (term-quantized) values.
+    pub values: Vec<i64>,
+    /// The terms that were kept, in canonical order.
+    pub kept: Vec<GroupTerm>,
+    /// The terms that were dropped, in canonical order.
+    pub dropped: Vec<GroupTerm>,
+}
+
+impl QuantizedGroup {
+    /// Number of kept terms (`<= α`).
+    pub fn term_count(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Sum of squared errors against the original values.
+    pub fn sq_error(&self, original: &[i64]) -> f64 {
+        self.values
+            .iter()
+            .zip(original.iter())
+            .map(|(&q, &o)| {
+                let d = (q - o) as f64;
+                d * d
+            })
+            .sum()
+    }
+}
+
+/// Term quantizer for groups of `g` values with a term budget `α`.
+///
+/// For data values the paper uses `g = 1` and budget `β`; the same type
+/// covers both cases.
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::{GroupTermQuantizer, SdrEncoding};
+///
+/// // Data TQ with β = 2 (paper §3.2): 19 = 10011₂ -> 18 = 10010₂.
+/// let q = GroupTermQuantizer::new(1, 2, SdrEncoding::Unsigned);
+/// assert_eq!(q.quantize_i64(&[19]).values, vec![18]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupTermQuantizer {
+    group_size: usize,
+    budget: usize,
+    encoding: SdrEncoding,
+}
+
+impl GroupTermQuantizer {
+    /// Creates a quantizer for groups of `group_size` values keeping at most
+    /// `budget` terms per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`.
+    pub fn new(group_size: usize, budget: usize, encoding: SdrEncoding) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        GroupTermQuantizer {
+            group_size,
+            budget,
+            encoding,
+        }
+    }
+
+    /// The group size `g`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The per-group term budget `α` (or `β` when `g = 1`).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The encoding values are expanded into before truncation.
+    pub fn encoding(&self) -> SdrEncoding {
+        self.encoding
+    }
+
+    /// Term-quantizes one group of integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != group_size`.
+    pub fn quantize_i64(&self, values: &[i64]) -> QuantizedGroup {
+        assert_eq!(values.len(), self.group_size, "group length mismatch");
+        let terms = group_terms(values, self.encoding);
+        let cut = self.budget.min(terms.len());
+        let (kept, dropped) = terms.split_at(cut);
+        let mut out = vec![0i64; values.len()];
+        for t in kept {
+            out[t.index] += t.term.value();
+        }
+        QuantizedGroup {
+            values: out,
+            kept: kept.to_vec(),
+            dropped: dropped.to_vec(),
+        }
+    }
+
+    /// Term-quantizes a whole slice, group by group, writing quantized
+    /// integers into a new vector. The final partial group (if any) is
+    /// quantized with a proportionally scaled budget.
+    pub fn quantize_slice(&self, values: &[i64]) -> Vec<i64> {
+        let mut out = Vec::with_capacity(values.len());
+        for chunk in values.chunks(self.group_size) {
+            if chunk.len() == self.group_size {
+                out.extend(self.quantize_i64(chunk).values);
+            } else {
+                // Partial tail group: scale the budget to the chunk size.
+                let b = (self.budget * chunk.len()).div_ceil(self.group_size);
+                let q = GroupTermQuantizer::new(chunk.len(), b, self.encoding);
+                out.extend(q.quantize_i64(chunk).values);
+            }
+        }
+        out
+    }
+
+    /// Total number of kept terms across a slice (the real, not budgeted,
+    /// term count — used for term-pair accounting).
+    pub fn kept_terms_in_slice(&self, values: &[i64]) -> usize {
+        let mut n = 0;
+        for chunk in values.chunks(self.group_size) {
+            let b = if chunk.len() == self.group_size {
+                self.budget
+            } else {
+                (self.budget * chunk.len()).div_ceil(self.group_size)
+            };
+            let terms = group_terms(chunk, self.encoding);
+            n += b.min(terms.len());
+        }
+        n
+    }
+}
+
+/// A multi-resolution weight group: the canonical term sequence of the
+/// *largest* sub-model, from which every smaller budget is a prefix.
+///
+/// This is the in-memory form of the paper's Fig. 7: the same group supports
+/// budgets 2, 4, 6, 8, … by truncation, and consecutive budgets differ by
+/// small *increments* that the storage layer places in successive memory
+/// entries (Fig. 17).
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::{MultiResGroup, SdrEncoding};
+///
+/// let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
+/// assert_eq!(g.values_at(2), vec![16, 0, 16, 0]);   // α = 2 (Fig. 7 blue)
+/// assert_eq!(g.values_at(8), vec![21, 6, 16, 10]);  // α = 8 (Fig. 7 red)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiResGroup {
+    terms: Vec<GroupTerm>,
+    group_size: usize,
+}
+
+impl MultiResGroup {
+    /// Builds the group from raw integers, keeping at most `max_budget`
+    /// terms (the largest sub-model's budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[i64], max_budget: usize, encoding: SdrEncoding) -> Self {
+        assert!(!values.is_empty(), "empty group");
+        let mut terms = group_terms(values, encoding);
+        terms.truncate(max_budget);
+        MultiResGroup {
+            terms,
+            group_size: values.len(),
+        }
+    }
+
+    /// Builds directly from a term sequence already in canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any term's index is out of range or the sequence is not in
+    /// canonical order.
+    pub fn from_terms(terms: Vec<GroupTerm>, group_size: usize) -> Self {
+        for w in terms.windows(2) {
+            assert!(
+                canonical_order(&w[0], &w[1]) != std::cmp::Ordering::Greater,
+                "terms not in canonical order"
+            );
+        }
+        assert!(
+            terms.iter().all(|t| t.index < group_size),
+            "term index out of range"
+        );
+        MultiResGroup { terms, group_size }
+    }
+
+    /// The group size `g`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The full (largest-budget) term sequence.
+    pub fn terms(&self) -> &[GroupTerm] {
+        &self.terms
+    }
+
+    /// Number of stored terms (the largest budget actually present).
+    pub fn max_budget(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The terms of the sub-model with term budget `budget` — always a
+    /// prefix of the stored sequence.
+    pub fn terms_at(&self, budget: usize) -> &[GroupTerm] {
+        &self.terms[..budget.min(self.terms.len())]
+    }
+
+    /// Reconstructs the group's values at the given budget.
+    pub fn values_at(&self, budget: usize) -> Vec<i64> {
+        let mut out = vec![0i64; self.group_size];
+        for t in self.terms_at(budget) {
+            out[t.index] += t.term.value();
+        }
+        out
+    }
+
+    /// Splits the term sequence into the increments between consecutive
+    /// budgets (Fig. 17's memory entries).
+    ///
+    /// `budgets` must be strictly increasing; the first increment covers
+    /// `0..budgets[0]`, the next `budgets[0]..budgets[1]`, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is not strictly increasing.
+    pub fn increments(&self, budgets: &[usize]) -> Vec<&[GroupTerm]> {
+        let mut out = Vec::with_capacity(budgets.len());
+        let mut prev = 0usize;
+        for &b in budgets {
+            assert!(
+                b > prev || (prev == 0 && b == 0),
+                "budgets must be strictly increasing"
+            );
+            let lo = prev.min(self.terms.len());
+            let hi = b.min(self.terms.len());
+            out.push(&self.terms[lo..hi]);
+            prev = b;
+        }
+        out
+    }
+
+    /// Verifies the nesting property: every value of the sub-model at
+    /// `small` is obtainable by truncating the sub-model at `large`.
+    pub fn is_nested(&self, small: usize, large: usize) -> bool {
+        small <= large
+            && self.terms_at(small) == &self.terms_at(large)[..small.min(self.terms.len())]
+    }
+}
+
+/// Average TQ quantization error (RMSE) for groups drawn from `samples`,
+/// used to reproduce Fig. 5(b).
+///
+/// `samples` are reals; they are first uniform-quantized to `bits` bits with
+/// the given symmetric `clip`, then TQ is applied with `budget_per_value ×
+/// group_size` terms per group, and the error is measured back in real space.
+///
+/// # Panics
+///
+/// Panics if `group_size == 0` or `bits == 0`.
+pub fn tq_rmse(
+    samples: &[f32],
+    group_size: usize,
+    budget_per_value: f64,
+    bits: u32,
+    clip: f32,
+    encoding: SdrEncoding,
+) -> f64 {
+    assert!(group_size > 0 && bits > 0, "invalid parameters");
+    let q = crate::uq::UniformQuantizer::symmetric(bits, clip);
+    let budget = (budget_per_value * group_size as f64).round() as usize;
+    let tq = GroupTermQuantizer::new(group_size, budget, encoding);
+    let mut se = 0.0f64;
+    let mut n = 0usize;
+    for chunk in samples.chunks_exact(group_size) {
+        let ints: Vec<i64> = chunk.iter().map(|&x| q.quantize(x)).collect();
+        let tqd = tq.quantize_i64(&ints);
+        for (&orig, &qi) in chunk.iter().zip(tqd.values.iter()) {
+            let back = q.dequantize(qi);
+            se += f64::from((back - orig) * (back - orig));
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (se / n as f64).sqrt()
+    }
+}
+
+/// Term-quantizes a group of *real* values directly: each magnitude is
+/// expanded greedily into powers of two (exponents may be negative), the
+/// group's terms are pooled, and only the `budget` largest are kept.
+///
+/// This is the idealised TQ of the paper's Fig. 5(b) error study, where no
+/// prior uniform quantization bounds the exponent range.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn tq_real_group(values: &[f32], budget: usize) -> Vec<f32> {
+    assert!(!values.is_empty(), "empty group");
+    const DEPTH: usize = 24;
+    // (magnitude, value index), expanded greedily most-significant first.
+    let mut terms: Vec<(f32, usize)> = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        let mut rem = v.abs();
+        for _ in 0..DEPTH {
+            if rem <= 0.0 {
+                break;
+            }
+            let e = rem.log2().floor();
+            let t = e.exp2();
+            terms.push((t, i));
+            rem -= t;
+        }
+    }
+    terms.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0f32; values.len()];
+    for &(t, i) in terms.iter().take(budget) {
+        out[i] += t;
+    }
+    for (o, &v) in out.iter_mut().zip(values.iter()) {
+        if v < 0.0 {
+            *o = -*o;
+        }
+    }
+    out
+}
+
+/// RMSE of [`tq_real_group`] at `budget_per_value` average terms per value
+/// over `samples`, as a function of the group size (Fig. 5(b)).
+pub fn tq_real_rmse(samples: &[f32], group_size: usize, budget_per_value: f64) -> f64 {
+    let budget = (budget_per_value * group_size as f64).round() as usize;
+    let mut se = 0.0f64;
+    let mut n = 0usize;
+    for chunk in samples.chunks_exact(group_size) {
+        let q = tq_real_group(chunk, budget);
+        for (&orig, &qq) in chunk.iter().zip(q.iter()) {
+            se += f64::from((qq - orig) * (qq - orig));
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (se / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_GROUP: [i64; 4] = [21, 6, 17, 11];
+
+    #[test]
+    fn tq_real_group_exact_at_generous_budget() {
+        let vals = [0.75f32, -0.375, 0.5, 0.15625];
+        let q = tq_real_group(&vals, 64);
+        for (a, b) in q.iter().zip(vals.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tq_real_group_keeps_leading_terms() {
+        // [0.75, 0.125] with budget 2: terms 0.5, 0.25, 0.125 -> keep 0.5 + 0.25.
+        let q = tq_real_group(&[0.75, 0.125], 2);
+        assert_eq!(q, vec![0.75, 0.0]);
+    }
+
+    #[test]
+    fn tq_real_rmse_decreases_with_group_size() {
+        let mut seed = 7u64;
+        let mut next = || {
+            let mut s = 0.0f32;
+            for _ in 0..12 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                s += (seed >> 40) as f32 / (1u64 << 24) as f32;
+            }
+            (s - 6.0) * 0.03
+        };
+        let samples: Vec<f32> = (0..12_000).map(|_| next()).collect();
+        let e1 = tq_real_rmse(&samples, 1, 1.0);
+        let e4 = tq_real_rmse(&samples, 4, 1.0);
+        let e12 = tq_real_rmse(&samples, 12, 1.0);
+        // Fig. 5(b)'s shape: most of the improvement arrives by g = 4.
+        assert!(e4 < e1 && e12 < e4, "not monotone: {e1} {e4} {e12}");
+        assert!(
+            (e1 - e4) > 0.5 * (e1 - e12),
+            "drop not front-loaded: {e1} {e4} {e12}"
+        );
+    }
+
+    #[test]
+    fn figure4_group_tq_budget8() {
+        // Fig. 4: 10 total terms, budget 8 -> drop two 2^0 terms.
+        let q = GroupTermQuantizer::new(4, 8, SdrEncoding::Unsigned);
+        let out = q.quantize_i64(&PAPER_GROUP);
+        assert_eq!(out.values, vec![21, 6, 16, 10]);
+        assert_eq!(out.term_count(), 8);
+        assert_eq!(out.dropped.len(), 2);
+        assert!(out.dropped.iter().all(|t| t.term.exponent == 0));
+    }
+
+    #[test]
+    fn figure7_all_budgets_nested() {
+        let g = MultiResGroup::from_values(&PAPER_GROUP, 8, SdrEncoding::Unsigned);
+        assert_eq!(g.values_at(2), vec![16, 0, 16, 0]);
+        assert_eq!(g.values_at(4), vec![20, 0, 16, 8]);
+        assert_eq!(g.values_at(6), vec![20, 6, 16, 8]);
+        assert_eq!(g.values_at(8), vec![21, 6, 16, 10]);
+        for (s, l) in [(2, 4), (4, 6), (6, 8), (2, 8)] {
+            assert!(g.is_nested(s, l));
+        }
+    }
+
+    #[test]
+    fn figure17_final_increment_is_w1_and_w4() {
+        // "In increasing the 6-term budget to the 8-term budget resolution, we
+        //  use a two-term increment composed of 2^0 and 2^1 for w1 and w4."
+        let g = MultiResGroup::from_values(&PAPER_GROUP, 8, SdrEncoding::Unsigned);
+        let incs = g.increments(&[2, 4, 6, 8]);
+        assert_eq!(incs.len(), 4);
+        let last = incs[3];
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[0], GroupTerm::new(Term::pos(1), 3)); // 2^1 for w4
+        assert_eq!(last[1], GroupTerm::new(Term::pos(0), 0)); // 2^0 for w1
+    }
+
+    #[test]
+    fn data_tq_beta2_truncates_19_to_18() {
+        let q = GroupTermQuantizer::new(1, 2, SdrEncoding::Unsigned);
+        assert_eq!(q.quantize_i64(&[19]).values, vec![18]);
+    }
+
+    #[test]
+    fn data_tq_sdr_example_23() {
+        // Fig. 15's x = 23 with β = 2 quantizes to 24. (The figure writes 23
+        // as 2^4 + 2^3 - 2^0; NAF gives 2^5 - 2^3 - 2^0 — either way the two
+        // leading terms sum to 24.)
+        let q = GroupTermQuantizer::new(1, 2, SdrEncoding::Naf);
+        assert_eq!(q.quantize_i64(&[23]).values, vec![24]);
+    }
+
+    #[test]
+    fn budget_zero_gives_all_zero() {
+        let q = GroupTermQuantizer::new(4, 0, SdrEncoding::Naf);
+        let out = q.quantize_i64(&PAPER_GROUP);
+        assert_eq!(out.values, vec![0, 0, 0, 0]);
+        assert!(out.kept.is_empty());
+    }
+
+    #[test]
+    fn generous_budget_is_lossless() {
+        let q = GroupTermQuantizer::new(4, 64, SdrEncoding::Naf);
+        assert_eq!(q.quantize_i64(&PAPER_GROUP).values, PAPER_GROUP.to_vec());
+    }
+
+    #[test]
+    fn negative_values_under_naf() {
+        let q = GroupTermQuantizer::new(2, 3, SdrEncoding::Naf);
+        let out = q.quantize_i64(&[-13, 5]);
+        // -13 NAF: -16 + 4 - 1; 5 NAF: 4 + 1. Terms sorted by exponent:
+        // (-16)@0, 4@0, 4@1, 1@1, (-1)@0 — keep 3 -> [-12, 4].
+        assert_eq!(out.values, vec![-12, 4]);
+    }
+
+    #[test]
+    fn quantize_slice_handles_partial_tail() {
+        let q = GroupTermQuantizer::new(4, 4, SdrEncoding::Unsigned);
+        // Six values: one full group of 4 (budget 4) + tail of 2 (budget 2).
+        let out = q.quantize_slice(&[21, 6, 17, 11, 3, 3]);
+        assert_eq!(out.len(), 6);
+        assert_eq!(&out[..4], &[20, 0, 16, 8]);
+        // Tail [3, 3] = terms 2,1,2,1; budget 2 keeps both 2^1 -> [2, 2].
+        assert_eq!(&out[4..], &[2, 2]);
+    }
+
+    #[test]
+    fn kept_terms_never_exceed_budget() {
+        let q = GroupTermQuantizer::new(4, 5, SdrEncoding::Naf);
+        let vals: Vec<i64> = (0..32).collect();
+        assert!(q.kept_terms_in_slice(&vals) <= 5 * 8);
+    }
+
+    #[test]
+    fn tq_error_decreases_with_group_size() {
+        // The Fig. 5(b) trend: at one term/value average, grouping cuts RMSE.
+        let mut seed = 99u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Roughly normal via sum of uniforms.
+            let mut s = 0.0f32;
+            for _ in 0..12 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                s += (seed >> 40) as f32 / (1u64 << 24) as f32;
+            }
+            (s - 6.0) * 0.03
+        };
+        let samples: Vec<f32> = (0..4800).map(|_| next()).collect();
+        let e1 = tq_rmse(&samples, 1, 1.0, 5, 0.09, SdrEncoding::Naf);
+        let e4 = tq_rmse(&samples, 4, 1.0, 5, 0.09, SdrEncoding::Naf);
+        let e12 = tq_rmse(&samples, 12, 1.0, 5, 0.09, SdrEncoding::Naf);
+        assert!(e4 < e1, "g=4 ({e4}) should beat g=1 ({e1})");
+        assert!(
+            e12 <= e4 * 1.05,
+            "g=12 ({e12}) should not be much worse than g=4 ({e4})"
+        );
+    }
+
+    #[test]
+    fn increments_concatenate_to_prefix() {
+        let g = MultiResGroup::from_values(&PAPER_GROUP, 8, SdrEncoding::Unsigned);
+        let incs = g.increments(&[2, 4, 6, 8]);
+        let concat: Vec<GroupTerm> = incs.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(concat.as_slice(), g.terms());
+    }
+
+    #[test]
+    #[should_panic(expected = "group length mismatch")]
+    fn wrong_group_length_panics() {
+        GroupTermQuantizer::new(4, 8, SdrEncoding::Naf).quantize_i64(&[1, 2, 3]);
+    }
+}

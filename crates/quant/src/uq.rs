@@ -1,0 +1,250 @@
+//! Uniform quantization (UQ) with PACT-style clipping.
+//!
+//! Weights use a symmetric range `[-clip, +clip]` mapped onto signed
+//! integers; activations (post-ReLU) use an unsigned range `[0, clip]`.
+//! The clip value is a *learnable* parameter during training (PACT, citation 10 in
+//! the paper); this module provides the pure quantization math, while the
+//! training crate owns the gradient flow.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a quantizer covers a symmetric signed range or an unsigned range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuantRange {
+    /// `[-clip, +clip]` mapped to `[-(2^(b-1) - 1), 2^(b-1) - 1]`.
+    Symmetric,
+    /// `[0, clip]` mapped to `[0, 2^b - 1]`.
+    Unsigned,
+}
+
+/// A `bits`-bit uniform quantizer with clipping threshold `clip`.
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::UniformQuantizer;
+///
+/// let q = UniformQuantizer::symmetric(5, 1.0);
+/// assert_eq!(q.levels(), 15);            // 2^4 - 1 on each side
+/// assert_eq!(q.quantize(1.0), 15);
+/// assert_eq!(q.quantize(-2.0), -15);     // clipped
+/// assert!((q.dequantize(15) - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformQuantizer {
+    bits: u32,
+    clip: f32,
+    range: QuantRange,
+}
+
+impl UniformQuantizer {
+    /// Symmetric quantizer for weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=16` or `clip <= 0`.
+    pub fn symmetric(bits: u32, clip: f32) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        assert!(clip > 0.0, "clip must be positive");
+        UniformQuantizer {
+            bits,
+            clip,
+            range: QuantRange::Symmetric,
+        }
+    }
+
+    /// Unsigned quantizer for non-negative activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=16` or `clip <= 0`.
+    pub fn unsigned(bits: u32, clip: f32) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        assert!(clip > 0.0, "clip must be positive");
+        UniformQuantizer {
+            bits,
+            clip,
+            range: QuantRange::Unsigned,
+        }
+    }
+
+    /// Bit width `b`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Clipping threshold.
+    pub fn clip(&self) -> f32 {
+        self.clip
+    }
+
+    /// The range convention.
+    pub fn range(&self) -> QuantRange {
+        self.range
+    }
+
+    /// Largest representable integer level.
+    pub fn levels(&self) -> i64 {
+        match self.range {
+            QuantRange::Symmetric => (1i64 << (self.bits - 1)) - 1,
+            QuantRange::Unsigned => (1i64 << self.bits) - 1,
+        }
+    }
+
+    /// The real-valued step between adjacent levels.
+    pub fn scale(&self) -> f32 {
+        self.clip / self.levels() as f32
+    }
+
+    /// Quantizes a real value to its integer level (clipping included).
+    pub fn quantize(&self, x: f32) -> i64 {
+        let l = self.levels() as f32;
+        let v = x / self.scale();
+        let clamped = match self.range {
+            QuantRange::Symmetric => v.clamp(-l, l),
+            QuantRange::Unsigned => v.clamp(0.0, l),
+        };
+        clamped.round() as i64
+    }
+
+    /// Maps an integer level back to its real value.
+    pub fn dequantize(&self, q: i64) -> f32 {
+        q as f32 * self.scale()
+    }
+
+    /// Quantize-dequantize in one step: the "fake quantization" used in
+    /// quantization-aware training forward passes.
+    pub fn fake_quantize(&self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Quantizes a slice into integer levels.
+    pub fn quantize_slice(&self, xs: &[f32]) -> Vec<i64> {
+        xs.iter().map(|&x| self.quantize(x)).collect()
+    }
+
+    /// Dequantizes a slice of integer levels.
+    pub fn dequantize_slice(&self, qs: &[i64]) -> Vec<f32> {
+        qs.iter().map(|&q| self.dequantize(q)).collect()
+    }
+}
+
+/// Gradient of the PACT clip parameter for one element.
+///
+/// PACT's straight-through rule: the activation gradient flows to the clip
+/// parameter only where the input saturated (|x| ≥ clip for symmetric,
+/// x ≥ clip for unsigned).
+pub fn pact_clip_grad(x: f32, clip: f32, range: QuantRange, upstream: f32) -> f32 {
+    match range {
+        QuantRange::Unsigned => {
+            if x >= clip {
+                upstream
+            } else {
+                0.0
+            }
+        }
+        QuantRange::Symmetric => {
+            if x >= clip {
+                upstream
+            } else if x <= -clip {
+                -upstream
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Straight-through estimator mask: 1 inside the clip range, 0 where the
+/// input saturated (the gradient there goes to the clip parameter instead).
+pub fn ste_mask(x: f32, clip: f32, range: QuantRange) -> f32 {
+    match range {
+        QuantRange::Unsigned => {
+            if (0.0..clip).contains(&x) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        QuantRange::Symmetric => {
+            if x.abs() < clip {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_5bit_levels() {
+        let q = UniformQuantizer::symmetric(5, 1.0);
+        assert_eq!(q.levels(), 15);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(0.4), 6); // 0.4 / (1/15) = 6.0
+        assert_eq!(q.quantize(-1.5), -15);
+    }
+
+    #[test]
+    fn unsigned_5bit_levels() {
+        let q = UniformQuantizer::unsigned(5, 2.0);
+        assert_eq!(q.levels(), 31);
+        assert_eq!(q.quantize(2.0), 31);
+        assert_eq!(q.quantize(-0.3), 0);
+        assert!((q.dequantize(31) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fake_quantize_error_bounded_by_half_step() {
+        let q = UniformQuantizer::symmetric(5, 1.0);
+        for i in -100..=100 {
+            let x = i as f32 / 100.0;
+            let err = (q.fake_quantize(x) - x).abs();
+            assert!(err <= q.scale() / 2.0 + 1e-6, "error {err} at {x}");
+        }
+    }
+
+    #[test]
+    fn quantize_is_monotone() {
+        let q = UniformQuantizer::symmetric(4, 1.0);
+        let mut prev = i64::MIN;
+        for i in -20..=20 {
+            let v = q.quantize(i as f32 * 0.1);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let q = UniformQuantizer::unsigned(8, 1.0);
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let qs = q.quantize_slice(&xs);
+        let back = q.dequantize_slice(&qs);
+        for (x, b) in xs.iter().zip(back.iter()) {
+            assert!((x - b).abs() < q.scale());
+        }
+    }
+
+    #[test]
+    fn pact_gradient_routing() {
+        // Inside the range: gradient to data, none to clip.
+        assert_eq!(ste_mask(0.3, 1.0, QuantRange::Unsigned), 1.0);
+        assert_eq!(pact_clip_grad(0.3, 1.0, QuantRange::Unsigned, 2.0), 0.0);
+        // Saturated: gradient to clip, none to data.
+        assert_eq!(ste_mask(1.5, 1.0, QuantRange::Unsigned), 0.0);
+        assert_eq!(pact_clip_grad(1.5, 1.0, QuantRange::Unsigned, 2.0), 2.0);
+        // Symmetric negative saturation flips the sign.
+        assert_eq!(pact_clip_grad(-1.5, 1.0, QuantRange::Symmetric, 2.0), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clip must be positive")]
+    fn rejects_nonpositive_clip() {
+        UniformQuantizer::symmetric(5, 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the quantization core.
+
+use mri_quant::sdr::{self, term_count};
+use mri_quant::storage::MultiResStorage;
+use mri_quant::{GroupTermQuantizer, MultiResGroup, SdrEncoding, UniformQuantizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every encoding is value-preserving for the full i32 range.
+    #[test]
+    fn encodings_round_trip(v in any::<i32>()) {
+        let v = i64::from(v);
+        for enc in [SdrEncoding::Unsigned, SdrEncoding::Naf, SdrEncoding::Booth] {
+            prop_assert_eq!(sdr::decode(&sdr::encode(v, enc)), v);
+        }
+    }
+
+    /// NAF has no two adjacent nonzero digits and never more terms than UBR.
+    #[test]
+    fn naf_nonadjacent_and_no_worse_than_ubr(v in any::<i32>()) {
+        let v = i64::from(v);
+        let t = sdr::encode(v, SdrEncoding::Naf);
+        for w in t.windows(2) {
+            prop_assert!(w[0].exponent >= w[1].exponent + 2);
+        }
+        prop_assert!(t.len() <= term_count(v, SdrEncoding::Unsigned).max(1));
+    }
+
+    /// TQ never increases a group's squared error as the budget grows,
+    /// and at a generous budget it is lossless.
+    #[test]
+    fn tq_error_monotone_in_budget(vals in prop::collection::vec(-127i64..=127, 8)) {
+        let mut prev = f64::INFINITY;
+        for budget in [2usize, 4, 8, 16, 64] {
+            let q = GroupTermQuantizer::new(8, budget, SdrEncoding::Naf);
+            let out = q.quantize_i64(&vals);
+            let err = out.sq_error(&vals);
+            prop_assert!(err <= prev + 1e-9, "budget {} error {} > previous {}", budget, err, prev);
+            prev = err;
+        }
+        let q = GroupTermQuantizer::new(8, 64, SdrEncoding::Naf);
+        prop_assert_eq!(q.quantize_i64(&vals).values, vals);
+    }
+
+    /// The nesting property: a smaller budget's terms are always a prefix of
+    /// a larger budget's terms, and the reconstructed values agree with the
+    /// one-shot group quantizer.
+    #[test]
+    fn nested_budgets_are_prefixes(vals in prop::collection::vec(-31i64..=31, 4)) {
+        let g = MultiResGroup::from_values(&vals, 12, SdrEncoding::Naf);
+        for (s, l) in [(1usize, 3usize), (2, 8), (4, 12), (0, 12)] {
+            prop_assert!(g.is_nested(s, l));
+        }
+        for budget in 0..=12usize {
+            let q = GroupTermQuantizer::new(4, budget, SdrEncoding::Naf);
+            prop_assert_eq!(g.values_at(budget), q.quantize_i64(&vals).values);
+        }
+    }
+
+    /// Packed storage reconstructs exactly the same sub-model values as the
+    /// in-memory group, for every configured budget.
+    #[test]
+    fn storage_round_trip(vals in prop::collection::vec(-127i64..=127, 8)) {
+        let budgets = [2usize, 5, 9, 14];
+        let g = MultiResGroup::from_values(&vals, 14, SdrEncoding::Naf);
+        let mut st = MultiResStorage::store(&g, &budgets, 16).unwrap();
+        for &b in &budgets {
+            prop_assert_eq!(st.values_at(b), g.values_at(b));
+        }
+    }
+
+    /// Uniform quantization round-trip error is bounded by half a step, and
+    /// quantized magnitudes never exceed the level count.
+    #[test]
+    fn uq_error_bound(x in -3.0f32..3.0, bits in 2u32..9) {
+        let q = UniformQuantizer::symmetric(bits, 1.0);
+        let lvl = q.quantize(x);
+        prop_assert!(lvl.abs() <= q.levels());
+        if x.abs() <= 1.0 {
+            prop_assert!((q.fake_quantize(x) - x).abs() <= q.scale() / 2.0 + 1e-6);
+        } else {
+            // Clipped: error equals the clipping distance.
+            prop_assert!((q.fake_quantize(x).abs() - 1.0).abs() <= 1e-6);
+        }
+    }
+
+    /// With budget >= the total term count the group quantizer keeps all
+    /// terms; with budget 0 everything drops.
+    #[test]
+    fn budget_extremes(vals in prop::collection::vec(-63i64..=63, 6)) {
+        let q0 = GroupTermQuantizer::new(6, 0, SdrEncoding::Naf);
+        prop_assert!(q0.quantize_i64(&vals).values.iter().all(|&v| v == 0));
+        let qfull = GroupTermQuantizer::new(6, 6 * 8, SdrEncoding::Naf);
+        prop_assert_eq!(qfull.quantize_i64(&vals).values, vals);
+    }
+
+    /// Per-value TQ error is bounded by the magnitude sum of that value's
+    /// dropped terms (truncation can under- or over-shoot — e.g. NAF 22 =
+    /// 2^5 - 2^3 - 2^1 truncated to one term gives 32 — but never by more
+    /// than what was dropped).
+    #[test]
+    fn tq_error_bounded_by_dropped_terms(
+        vals in prop::collection::vec(-127i64..=127, 8),
+        budget in 0usize..20,
+    ) {
+        let q = GroupTermQuantizer::new(8, budget, SdrEncoding::Naf);
+        let out = q.quantize_i64(&vals);
+        let mut dropped_mag = vec![0i64; vals.len()];
+        for gt in &out.dropped {
+            dropped_mag[gt.index] += gt.term.value().abs();
+        }
+        for i in 0..vals.len() {
+            prop_assert!(
+                (out.values[i] - vals[i]).abs() <= dropped_mag[i],
+                "value {}: |{} - {}| > dropped {}",
+                i, out.values[i], vals[i], dropped_mag[i]
+            );
+        }
+    }
+}

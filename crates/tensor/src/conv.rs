@@ -1,0 +1,585 @@
+//! 2-D convolution via `im2col`, with data and weight gradients.
+//!
+//! Layout conventions follow the usual NCHW scheme:
+//!
+//! * input:  `[N, C_in, H, W]`
+//! * weight: `[C_out, C_in, KH, KW]`
+//! * output: `[N, C_out, H_out, W_out]`
+
+use crate::{ops, Tensor};
+
+/// Static configuration of one 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dCfg {
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Vertical and horizontal stride.
+    pub stride: (usize, usize),
+    /// Zero padding added to each side (top/bottom, left/right).
+    pub padding: (usize, usize),
+}
+
+impl Conv2dCfg {
+    /// Square kernel with stride 1 and "same" padding for odd kernels.
+    pub fn same(kernel: usize) -> Self {
+        Conv2dCfg {
+            kernel: (kernel, kernel),
+            stride: (1, 1),
+            padding: (kernel / 2, kernel / 2),
+        }
+    }
+
+    /// Square kernel, explicit stride and padding.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dCfg {
+            kernel: (kernel, kernel),
+            stride: (stride, stride),
+            padding: (padding, padding),
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let (ph, pw) = self.padding;
+        assert!(
+            h + 2 * ph >= kh && w + 2 * pw >= kw,
+            "kernel larger than padded input"
+        );
+        ((h + 2 * ph - kh) / sh + 1, (w + 2 * pw - kw) / sw + 1)
+    }
+}
+
+/// Unfolds an input batch into the `im2col` matrix of shape
+/// `[C_in·KH·KW, N·H_out·W_out]`.
+///
+/// Every column holds the receptive field of one output position, so the
+/// convolution becomes a single matrix product with the flattened weights.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4.
+pub fn im2col(input: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "im2col expects [N, C, H, W]");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (kh, kw) = cfg.kernel;
+    let (sh, sw) = cfg.stride;
+    let (ph, pw) = cfg.padding;
+    let (ho, wo) = cfg.out_size(h, w);
+
+    let rows = c * kh * kw;
+    let cols = n * ho * wo;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                for b in 0..n {
+                    let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+                    for oy in 0..ho {
+                        let iy = (oy * sh + ki) as isize - ph as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src_row = &img[iy as usize * w..(iy as usize + 1) * w];
+                        let dst = &mut out_row[(b * ho + oy) * wo..(b * ho + oy + 1) * wo];
+                        for ox in 0..wo {
+                            let ix = (ox * sw + kj) as isize - pw as isize;
+                            if ix >= 0 && ix < w as isize {
+                                dst[ox] = src_row[ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Folds an `im2col` matrix back onto the input, accumulating overlaps.
+///
+/// This is the adjoint of [`im2col`] and is used for the data gradient.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape `im2col` would have produced for
+/// an input of shape `[n, c, h, w]` under `cfg`.
+pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, cfg: Conv2dCfg) -> Tensor {
+    let (kh, kw) = cfg.kernel;
+    let (sh, sw) = cfg.stride;
+    let (ph, pw) = cfg.padding;
+    let (ho, wo) = cfg.out_size(h, w);
+    assert_eq!(
+        cols.dims(),
+        &[c * kh * kw, n * ho * wo],
+        "col2im shape mismatch"
+    );
+
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.data();
+    let width = n * ho * wo;
+
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let src_row = &data[row * width..(row + 1) * width];
+                for b in 0..n {
+                    let img = &mut out[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+                    for oy in 0..ho {
+                        let iy = (oy * sh + ki) as isize - ph as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src = &src_row[(b * ho + oy) * wo..(b * ho + oy + 1) * wo];
+                        for ox in 0..wo {
+                            let ix = (ox * sw + kj) as isize - pw as isize;
+                            if ix >= 0 && ix < w as isize {
+                                img[iy as usize * w + ix as usize] += src[ox];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// Forward 2-D convolution.
+///
+/// Returns both the output `[N, C_out, H_out, W_out]` and the `im2col`
+/// matrix, which callers typically keep for the backward pass
+/// (C-INTERMEDIATE).
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> (Tensor, Tensor) {
+    assert_eq!(input.shape().rank(), 4, "conv2d input must be [N, C, H, W]");
+    assert_eq!(
+        weight.shape().rank(),
+        4,
+        "conv2d weight must be [O, C, KH, KW]"
+    );
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (o, wc, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    assert_eq!(c, wc, "channel mismatch: input {c} vs weight {wc}");
+    assert_eq!((kh, kw), cfg.kernel, "weight kernel does not match cfg");
+    let (ho, wo) = cfg.out_size(h, w);
+
+    let cols = im2col(input, cfg);
+    let w2 = weight.reshape(&[o, c * kh * kw]);
+    // [O, CKK] x [CKK, N*Ho*Wo] = [O, N*Ho*Wo]
+    let prod = ops::matmul(&w2, &cols);
+
+    // Rearrange [O, N, Ho, Wo] -> [N, O, Ho, Wo].
+    let mut out = vec![0.0f32; n * o * ho * wo];
+    let pd = prod.data();
+    let hw = ho * wo;
+    for oi in 0..o {
+        for b in 0..n {
+            let src = &pd[(oi * n + b) * hw..(oi * n + b + 1) * hw];
+            let dst = &mut out[(b * o + oi) * hw..(b * o + oi + 1) * hw];
+            dst.copy_from_slice(src);
+        }
+    }
+    (Tensor::from_vec(out, &[n, o, ho, wo]), cols)
+}
+
+/// Backward 2-D convolution.
+///
+/// Given the upstream gradient `[N, C_out, H_out, W_out]`, the saved
+/// `im2col` matrix and the weights, returns `(grad_input, grad_weight)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    input_dims: (usize, usize, usize, usize),
+    cfg: Conv2dCfg,
+) -> (Tensor, Tensor) {
+    let (n, c, h, w) = input_dims;
+    let (o, _, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    let (ho, wo) = cfg.out_size(h, w);
+    assert_eq!(grad_out.dims(), &[n, o, ho, wo], "grad_out shape mismatch");
+
+    // Rearrange grad [N, O, Ho, Wo] -> [O, N*Ho*Wo].
+    let hw = ho * wo;
+    let mut g = vec![0.0f32; o * n * hw];
+    let gd = grad_out.data();
+    for b in 0..n {
+        for oi in 0..o {
+            let src = &gd[(b * o + oi) * hw..(b * o + oi + 1) * hw];
+            let dst = &mut g[(oi * n + b) * hw..(oi * n + b + 1) * hw];
+            dst.copy_from_slice(src);
+        }
+    }
+    let g = Tensor::from_vec(g, &[o, n * hw]);
+
+    // grad_weight = g x colsᵀ : [O, CKK]
+    let gw = ops::matmul_bt(&g, cols).reshape_into(&[o, c, kh, kw]);
+
+    // grad_cols = Wᵀ x g : [CKK, N*Ho*Wo]
+    let w2 = weight.reshape(&[o, c * kh * kw]);
+    let gcols = ops::matmul_at(&w2, &g);
+    let gx = col2im(&gcols, n, c, h, w, cfg);
+    (gx, gw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    /// Direct convolution used as the oracle.
+    fn conv_naive(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> Tensor {
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let (o, _, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+        let (ho, wo) = cfg.out_size(h, w);
+        let mut out = Tensor::zeros(&[n, o, ho, wo]);
+        for b in 0..n {
+            for oi in 0..o {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = 0.0;
+                        for ci in 0..c {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let iy =
+                                        (oy * cfg.stride.0 + ki) as isize - cfg.padding.0 as isize;
+                                    let ix =
+                                        (ox * cfg.stride.1 + kj) as isize - cfg.padding.1 as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                        acc += input.at(&[b, ci, iy as usize, ix as usize])
+                                            * weight.at(&[oi, ci, ki, kj]);
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(&[b, oi, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn arange(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|x| (x as f32) * 0.1 - (n as f32) * 0.05)
+            .collect()
+    }
+
+    #[test]
+    fn out_size_examples() {
+        assert_eq!(Conv2dCfg::same(3).out_size(8, 8), (8, 8));
+        assert_eq!(Conv2dCfg::new(3, 2, 1).out_size(8, 8), (4, 4));
+        assert_eq!(Conv2dCfg::new(1, 1, 0).out_size(5, 7), (5, 7));
+    }
+
+    #[test]
+    fn forward_matches_naive_same_padding() {
+        let cfg = Conv2dCfg::same(3);
+        let input = Tensor::from_vec(arange(2 * 3 * 6 * 6), &[2, 3, 6, 6]);
+        let weight = Tensor::from_vec(arange(4 * 3 * 3 * 3), &[4, 3, 3, 3]);
+        let (out, _) = conv2d_forward(&input, &weight, cfg);
+        assert_close(out.data(), conv_naive(&input, &weight, cfg).data(), 1e-3);
+    }
+
+    #[test]
+    fn forward_matches_naive_strided() {
+        let cfg = Conv2dCfg::new(3, 2, 1);
+        let input = Tensor::from_vec(arange(2 * 7 * 7), &[1, 2, 7, 7]);
+        let weight = Tensor::from_vec(arange(3 * 2 * 3 * 3), &[3, 2, 3, 3]);
+        let (out, _) = conv2d_forward(&input, &weight, cfg);
+        assert_close(out.data(), conv_naive(&input, &weight, cfg).data(), 1e-3);
+    }
+
+    #[test]
+    fn forward_1x1_is_channel_mix() {
+        let cfg = Conv2dCfg::new(1, 1, 0);
+        let input = Tensor::from_vec(arange(2 * 2 * 2), &[1, 2, 2, 2]);
+        let weight = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5], &[2, 2, 1, 1]);
+        let (out, _) = conv2d_forward(&input, &weight, cfg);
+        assert_close(out.data(), conv_naive(&input, &weight, cfg).data(), 1e-5);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is what backprop relies on.
+        let cfg = Conv2dCfg::new(3, 2, 1);
+        let (n, c, h, w) = (1, 2, 5, 5);
+        let x = Tensor::from_vec(arange(n * c * h * w), &[n, c, h, w]);
+        let cols = im2col(&x, cfg);
+        let y = Tensor::from_vec(arange(cols.len()), cols.dims());
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, n, c, h, w, cfg);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let cfg = Conv2dCfg::same(3);
+        let (n, c, h, w) = (1, 2, 4, 4);
+        let input = Tensor::from_vec(arange(n * c * h * w), &[n, c, h, w]);
+        let weight = Tensor::from_vec(arange(2 * c * 9), &[2, c, 3, 3]);
+
+        let loss = |inp: &Tensor, wt: &Tensor| -> f32 {
+            let (out, _) = conv2d_forward(inp, wt, cfg);
+            out.data().iter().map(|v| v * v).sum::<f32>() * 0.5
+        };
+
+        let (out, cols) = conv2d_forward(&input, &weight, cfg);
+        let grad_out = out.clone(); // d(0.5*sum(y^2))/dy = y
+        let (gx, gw) = conv2d_backward(&grad_out, &cols, &weight, (n, c, h, w), cfg);
+
+        let eps = 1e-2;
+        for idx in [0usize, 5, 13, 31] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let num = (loss(&ip, &weight) - loss(&im, &weight)) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "input grad {idx}: fd {num} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+        for idx in [0usize, 7, 17] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&input, &wp) - loss(&input, &wm)) / (2.0 * eps);
+            assert!(
+                (num - gw.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "weight grad {idx}: fd {num} vs analytic {}",
+                gw.data()[idx]
+            );
+        }
+    }
+}
+
+/// Forward depthwise 2-D convolution: each input channel is convolved with
+/// its own single filter (`groups == C`), the core of MobileNet-style
+/// inverted residual blocks.
+///
+/// * input:  `[N, C, H, W]`
+/// * weight: `[C, KH, KW]`
+/// * output: `[N, C, H_out, W_out]`
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn depthwise_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "depthwise input must be [N, C, H, W]"
+    );
+    assert_eq!(
+        weight.shape().rank(),
+        3,
+        "depthwise weight must be [C, KH, KW]"
+    );
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    assert_eq!(weight.dim(0), c, "depthwise channel mismatch");
+    assert_eq!(
+        (weight.dim(1), weight.dim(2)),
+        cfg.kernel,
+        "weight kernel does not match cfg"
+    );
+    let (kh, kw) = cfg.kernel;
+    let (sh, sw) = cfg.stride;
+    let (ph, pw) = cfg.padding;
+    let (ho, wo) = cfg.out_size(h, w);
+
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    let data = input.data();
+    let wd = weight.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+            let ker = &wd[ci * kh * kw..(ci + 1) * kh * kw];
+            let dst = &mut out[(b * c + ci) * ho * wo..(b * c + ci + 1) * ho * wo];
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0f32;
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pw as isize;
+                            if ix >= 0 && ix < w as isize {
+                                acc += img[iy as usize * w + ix as usize] * ker[ky * kw + kx];
+                            }
+                        }
+                    }
+                    dst[oy * wo + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, ho, wo])
+}
+
+/// Backward depthwise convolution: returns `(grad_input, grad_weight)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn depthwise_backward(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight: &Tensor,
+    cfg: Conv2dCfg,
+) -> (Tensor, Tensor) {
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (kh, kw) = cfg.kernel;
+    let (sh, sw) = cfg.stride;
+    let (ph, pw) = cfg.padding;
+    let (ho, wo) = cfg.out_size(h, w);
+    assert_eq!(grad_out.dims(), &[n, c, ho, wo], "grad_out shape mismatch");
+
+    let mut gx = vec![0.0f32; n * c * h * w];
+    let mut gw = vec![0.0f32; c * kh * kw];
+    let data = input.data();
+    let wd = weight.data();
+    let gd = grad_out.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+            let ker = &wd[ci * kh * kw..(ci + 1) * kh * kw];
+            let g = &gd[(b * c + ci) * ho * wo..(b * c + ci + 1) * ho * wo];
+            let gimg = &mut gx[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+            let gker = &mut gw[ci * kh * kw..(ci + 1) * kh * kw];
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let go = g[oy * wo + ox];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..kh {
+                        let iy = (oy * sh + ky) as isize - ph as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * sw + kx) as isize - pw as isize;
+                            if ix >= 0 && ix < w as isize {
+                                let ii = iy as usize * w + ix as usize;
+                                gimg[ii] += go * ker[ky * kw + kx];
+                                gker[ky * kw + kx] += go * img[ii];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(gx, &[n, c, h, w]),
+        Tensor::from_vec(gw, &[c, kh, kw]),
+    )
+}
+
+#[cfg(test)]
+mod depthwise_tests {
+    use super::*;
+
+    fn arange(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|x| (x as f32) * 0.1 - (n as f32) * 0.05)
+            .collect()
+    }
+
+    #[test]
+    fn depthwise_equals_grouped_full_conv() {
+        // A depthwise conv is a full conv whose weight is block-diagonal:
+        // out channel c uses only input channel c.
+        let cfg = Conv2dCfg::same(3);
+        let (n, c, h, w) = (2, 3, 5, 5);
+        let input = Tensor::from_vec(arange(n * c * h * w), &[n, c, h, w]);
+        let dw_weight = Tensor::from_vec(arange(c * 9), &[c, 3, 3]);
+        let out = depthwise_forward(&input, &dw_weight, cfg);
+
+        let mut full = Tensor::zeros(&[c, c, 3, 3]);
+        for ci in 0..c {
+            for k in 0..9 {
+                full.data_mut()[(ci * c + ci) * 9 + k] = dw_weight.data()[ci * 9 + k];
+            }
+        }
+        let (expect, _) = conv2d_forward(&input, &full, cfg);
+        crate::assert_close(out.data(), expect.data(), 1e-4);
+    }
+
+    #[test]
+    fn depthwise_strided_shapes() {
+        let cfg = Conv2dCfg::new(3, 2, 1);
+        let input = Tensor::from_vec(arange(1 * 2 * 7 * 7), &[1, 2, 7, 7]);
+        let weight = Tensor::from_vec(arange(2 * 9), &[2, 3, 3]);
+        let out = depthwise_forward(&input, &weight, cfg);
+        assert_eq!(out.dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn depthwise_backward_matches_finite_differences() {
+        let cfg = Conv2dCfg::same(3);
+        let (n, c, h, w) = (1, 2, 4, 4);
+        let input = Tensor::from_vec(arange(n * c * h * w), &[n, c, h, w]);
+        let weight = Tensor::from_vec(arange(c * 9), &[c, 3, 3]);
+        let loss = |inp: &Tensor, wt: &Tensor| -> f32 {
+            depthwise_forward(inp, wt, cfg)
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                * 0.5
+        };
+        let out = depthwise_forward(&input, &weight, cfg);
+        let (gx, gw) = depthwise_backward(&out, &input, &weight, cfg);
+        let eps = 1e-2;
+        for idx in [0usize, 7, 19, 31] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let num = (loss(&ip, &weight) - loss(&im, &weight)) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "input grad {idx}: fd {num} vs {}",
+                gx.data()[idx]
+            );
+        }
+        for idx in [0usize, 8, 17] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&input, &wp) - loss(&input, &wm)) / (2.0 * eps);
+            assert!(
+                (num - gw.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "weight grad {idx}: fd {num} vs {}",
+                gw.data()[idx]
+            );
+        }
+    }
+}

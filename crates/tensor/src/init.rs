@@ -1,0 +1,115 @@
+//! Random tensor initialisation.
+//!
+//! Normal variates are generated with the Box–Muller transform on top of the
+//! `rand` uniform generator, so no extra distribution crate is needed.
+
+use crate::Tensor;
+use rand::Rng;
+
+/// Draws one standard-normal sample via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Tensor of i.i.d. `N(mean, std²)` samples.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    let len: usize = dims.iter().product();
+    let data = (0..len)
+        .map(|_| mean + std * standard_normal(rng))
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Tensor of i.i.d. `U[lo, hi)` samples.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo <= hi, "uniform bounds out of order");
+    let len: usize = dims.iter().product();
+    let data = (0..len)
+        .map(|_| lo + (hi - lo) * rng.random::<f32>())
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Kaiming (He) normal initialisation for a weight with `fan_in` inputs.
+///
+/// `std = sqrt(2 / fan_in)`, appropriate for ReLU networks.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_normal<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    normal(rng, dims, 0.0, (2.0 / fan_in as f32).sqrt())
+}
+
+/// Xavier/Glorot uniform initialisation.
+///
+/// Samples `U[-a, a]` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan sum must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, dims, -a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(&mut rng, &[10_000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&mut rng, &[1000], -0.5, 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn kaiming_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let wide = kaiming_normal(&mut rng, &[4000], 1000);
+        let narrow = kaiming_normal(&mut rng, &[4000], 10);
+        assert!(wide.norm_sq() < narrow.norm_sq());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = normal(&mut StdRng::seed_from_u64(42), &[16], 0.0, 1.0);
+        let b = normal(&mut StdRng::seed_from_u64(42), &[16], 0.0, 1.0);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&mut rng, &[1000], 30, 30);
+        let a = (6.0f32 / 60.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+    }
+}

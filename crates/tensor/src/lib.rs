@@ -1,0 +1,66 @@
+//! # mri-tensor
+//!
+//! A small, dependency-light dense tensor library used as the numerical
+//! substrate for the multi-resolution inference reproduction.
+//!
+//! The library provides a row-major, contiguous `f32` [`Tensor`] with the
+//! operations a CNN/LSTM training stack needs:
+//!
+//! * element-wise arithmetic and broadcasting along leading/trailing axes,
+//! * blocked, multi-threaded matrix multiplication ([`ops::matmul`]),
+//! * `im2col`-based 2-D convolution together with its data/weight gradients,
+//! * max/average pooling with backward passes,
+//! * reductions (sum, mean, argmax), softmax and log-softmax,
+//! * random initialisation (uniform, normal via Box–Muller, Kaiming/Xavier).
+//!
+//! # Examples
+//!
+//! ```
+//! use mri_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = mri_tensor::ops::matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels index with explicit loop variables on purpose: the
+// row/column arithmetic is the algorithm, and iterator chains obscure it.
+#![allow(clippy::needless_range_loop)]
+
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod ops;
+pub mod pool;
+pub mod reduce;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Asserts that two `f32` slices are element-wise close.
+///
+/// Intended for tests; panics with a helpful message on mismatch.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or any pair of elements differs by
+/// more than `tol`.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "element {i} differs: {x} vs {y} (tol {tol})"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Matrix multiplication and related linear-algebra kernels.
+
+use crate::Tensor;
+
+/// Minimum number of output rows per worker thread before `matmul`
+/// parallelises across threads.
+const PAR_ROWS_PER_THREAD: usize = 16;
+
+/// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+///
+/// The kernel is a cache-blocked triple loop (ikj order) and splits the
+/// output rows over `crossbeam` scoped threads when the problem is large
+/// enough to amortise thread startup.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use mri_tensor::{ops, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+/// assert_eq!(ops::matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = vec![0.0f32; m * n];
+    let threads = available_threads();
+    if m >= threads * PAR_ROWS_PER_THREAD && threads > 1 && m * n * k > 1 << 16 {
+        let a_data = a.data();
+        let b_data = b.data();
+        let rows_per = m.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let row0 = t * rows_per;
+                scope.spawn(move |_| {
+                    matmul_rows(a_data, b_data, chunk, row0, k, n);
+                });
+            }
+        })
+        .expect("matmul worker thread panicked");
+    } else {
+        matmul_rows(a.data(), b.data(), &mut out, 0, k, n);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes rows `[row0, row0 + chunk_rows)` of the product into `out_chunk`.
+fn matmul_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out_chunk.len() / n.max(1);
+    for r in 0..rows {
+        let i = row0 + r;
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out_chunk[r * n..(r + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `a × bᵀ` without materialising the transpose: `[m, k] × [n, k]ᵀ → [m, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the `k` dimensions disagree.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_bt lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul_bt rhs must be rank 2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_bt inner dimension mismatch");
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `aᵀ × b` without materialising the transpose: `[k, m]ᵀ × [k, n] → [m, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the `k` dimensions disagree.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_at lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul_at rhs must be rank 2");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_at inner dimension mismatch");
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let a_row = &a_data[p * m..(p + 1) * m];
+        let b_row = &b_data[p * n..(p + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Dot product of two equal-length 1-D tensors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(x, y)| x * y)
+        .sum()
+}
+
+/// Number of worker threads to use for parallel kernels.
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.dim(0), a.dim(1), b.dim(1));
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..9).map(|x| x as f32).collect(), &[3, 3]);
+        assert_eq!(matmul(&a, &Tensor::eye(3)).data(), a.data());
+        assert_eq!(matmul(&Tensor::eye(3), &a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_matches_naive_medium() {
+        let mut seed = 1234u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let a = Tensor::from_vec((0..40 * 17).map(|_| next()).collect(), &[40, 17]);
+        let b = Tensor::from_vec((0..17 * 23).map(|_| next()).collect(), &[17, 23]);
+        assert_close(matmul(&a, &b).data(), naive_matmul(&a, &b).data(), 1e-4);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // Large enough to cross the parallel threshold on multi-core hosts.
+        let m = 256;
+        let k = 40;
+        let n = 40;
+        let a = Tensor::from_vec((0..m * k).map(|x| (x % 7) as f32 - 3.0).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|x| (x % 5) as f32 - 2.0).collect(), &[k, n]);
+        assert_close(matmul(&a, &b).data(), naive_matmul(&a, &b).data(), 1e-3);
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[4, 3]);
+        let expected = matmul(&a, &b.transpose());
+        assert_close(matmul_bt(&a, &b).data(), expected.data(), 1e-5);
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 2]);
+        let b = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        let expected = matmul(&a.transpose(), &b);
+        assert_close(matmul_at(&a, &b).data(), expected.data(), 1e-5);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, -5.0, 6.0]);
+        assert_eq!(dot(&a, &b), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+}

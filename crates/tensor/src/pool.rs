@@ -1,0 +1,205 @@
+//! Max and average pooling with backward passes.
+
+use crate::Tensor;
+
+/// Result of a max-pooling forward pass.
+///
+/// Keeps the argmax indices so the backward pass can route gradients to the
+/// winning input positions.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled tensor `[N, C, H_out, W_out]`.
+    pub output: Tensor,
+    /// Flat input index (within the whole input tensor) of each maximum.
+    pub argmax: Vec<usize>,
+}
+
+/// Max-pools an `[N, C, H, W]` tensor with a square window and stride.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the window does not fit.
+pub fn maxpool2d(input: &Tensor, window: usize, stride: usize) -> MaxPoolOutput {
+    assert_eq!(input.shape().rank(), 4, "maxpool2d expects [N, C, H, W]");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    assert!(h >= window && w >= window, "pool window larger than input");
+    let ho = (h - window) / stride + 1;
+    let wo = (w - window) / stride + 1;
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    let mut argmax = vec![0usize; n * c * ho * wo];
+    let data = input.data();
+    for bc in 0..n * c {
+        let img_off = bc * h * w;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        let idx = img_off + (oy * stride + ky) * w + (ox * stride + kx);
+                        if data[idx] > best {
+                            best = data[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = (bc * ho + oy) * wo + ox;
+                out[o] = best;
+                argmax[o] = best_idx;
+            }
+        }
+    }
+    MaxPoolOutput {
+        output: Tensor::from_vec(out, &[n, c, ho, wo]),
+        argmax,
+    }
+}
+
+/// Backward pass of [`maxpool2d`]: routes each output gradient to the input
+/// position that won the max.
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not match the forward output length.
+pub fn maxpool2d_backward(grad_out: &Tensor, fwd: &MaxPoolOutput, input_len: usize) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        fwd.argmax.len(),
+        "grad/argmax length mismatch"
+    );
+    let mut gx = vec![0.0f32; input_len];
+    for (g, &idx) in grad_out.data().iter().zip(fwd.argmax.iter()) {
+        gx[idx] += g;
+    }
+    // Returned flat; the caller reshapes to the original input dims.
+    Tensor::from_vec(gx, &[input_len])
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4.
+pub fn global_avgpool(input: &Tensor) -> Tensor {
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "global_avgpool expects [N, C, H, W]"
+    );
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let hw = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for bc in 0..n * c {
+        let s: f32 = input.data()[bc * h * w..(bc + 1) * h * w].iter().sum();
+        out[bc] = s / hw;
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward pass of [`global_avgpool`]: spreads each gradient uniformly over
+/// the spatial positions.
+///
+/// # Panics
+///
+/// Panics if `grad_out` is not `[N, C]`.
+pub fn global_avgpool_backward(grad_out: &Tensor, h: usize, w: usize) -> Tensor {
+    assert_eq!(grad_out.shape().rank(), 2, "grad_out must be [N, C]");
+    let (n, c) = (grad_out.dim(0), grad_out.dim(1));
+    let hw = h * w;
+    let mut gx = vec![0.0f32; n * c * hw];
+    for bc in 0..n * c {
+        let g = grad_out.data()[bc] / hw as f32;
+        for s in 0..hw {
+            gx[bc * hw + s] = g;
+        }
+    }
+    Tensor::from_vec(gx, &[n, c, h, w])
+}
+
+/// Average-pools an `[N, C, H, W]` tensor with a square window and stride.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or the window does not fit.
+pub fn avgpool2d(input: &Tensor, window: usize, stride: usize) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "avgpool2d expects [N, C, H, W]");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    assert!(h >= window && w >= window, "pool window larger than input");
+    let ho = (h - window) / stride + 1;
+    let wo = (w - window) / stride + 1;
+    let inv = 1.0 / (window * window) as f32;
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    let data = input.data();
+    for bc in 0..n * c {
+        let img_off = bc * h * w;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0;
+                for ky in 0..window {
+                    for kx in 0..window {
+                        acc += data[img_off + (oy * stride + ky) * w + (ox * stride + kx)];
+                    }
+                }
+                out[(bc * ho + oy) * wo + ox] = acc * inv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, ho, wo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_basic() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let out = maxpool2d(&input, 2, 2);
+        assert_eq!(out.output.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(out.argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_winner() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 2.0, 0.0], &[1, 1, 2, 2]);
+        let fwd = maxpool2d(&input, 2, 2);
+        let grad = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]);
+        let gx = maxpool2d_backward(&grad, &fwd, 4);
+        assert_eq!(gx.data(), &[0.0, 10.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_basic() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let out = avgpool2d(&input, 2, 2);
+        assert_eq!(out.data(), &[2.5]);
+    }
+
+    #[test]
+    fn global_avgpool_and_backward() {
+        let input = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]);
+        let out = global_avgpool(&input);
+        assert_eq!(out.data(), &[4.0, 2.0]);
+        let gx = global_avgpool_backward(&out, 2, 2);
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn maxpool_stride_one_overlapping_windows() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
+        let out = maxpool2d(&input, 2, 1);
+        assert_eq!(out.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.output.data(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Reductions, softmax and related row-wise transforms.
+
+use crate::Tensor;
+
+/// Row-wise softmax of a `[N, C]` tensor.
+///
+/// Numerically stabilised by subtracting the row maximum.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 2.
+///
+/// # Examples
+///
+/// ```
+/// use mri_tensor::{reduce, Tensor};
+///
+/// let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+/// let p = reduce::softmax(&logits);
+/// assert!((p.data()[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "softmax expects [N, C]");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    let mut out = vec![0.0f32; n * c];
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - m).exp();
+            out[i * c + j] = e;
+            denom += e;
+        }
+        for j in 0..c {
+            out[i * c + j] /= denom;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Row-wise softmax with a temperature: `softmax(logits / t)`.
+///
+/// Used by knowledge distillation (Hinton et al.).
+///
+/// # Panics
+///
+/// Panics if `t <= 0` or the input is not rank 2.
+pub fn softmax_with_temperature(logits: &Tensor, t: f32) -> Tensor {
+    assert!(t > 0.0, "temperature must be positive");
+    softmax(&logits.scale(1.0 / t))
+}
+
+/// Row-wise log-softmax of a `[N, C]` tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 2.
+pub fn log_softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2, "log_softmax expects [N, C]");
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    let mut out = vec![0.0f32; n * c];
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+        for j in 0..c {
+            out[i * c + j] = row[j] - lse;
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Row-wise argmax of a `[N, C]` tensor: the predicted class per row.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 2.
+pub fn argmax_rows(t: &Tensor) -> Vec<usize> {
+    assert_eq!(t.shape().rank(), 2, "argmax_rows expects [N, C]");
+    let (n, c) = (t.dim(0), t.dim(1));
+    (0..n)
+        .map(|i| {
+            let row = &t.data()[i * c..(i + 1) * c];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(j, _)| j)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Sums a `[N, C, ...]` tensor over all axes except the channel axis (axis 1),
+/// producing a `[C]` tensor. Used for bias gradients.
+///
+/// # Panics
+///
+/// Panics if the input has rank < 2.
+pub fn sum_except_channel(t: &Tensor) -> Tensor {
+    assert!(
+        t.shape().rank() >= 2,
+        "sum_except_channel expects rank >= 2"
+    );
+    let n = t.dim(0);
+    let c = t.dim(1);
+    let spatial: usize = t.dims()[2..].iter().product();
+    let mut out = vec![0.0f32; c];
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * spatial;
+            out[ch] += t.data()[base..base + spatial].iter().sum::<f32>();
+        }
+    }
+    Tensor::from_vec(out, &[c])
+}
+
+/// Classification accuracy of logits `[N, C]` against integer labels.
+///
+/// # Panics
+///
+/// Panics if lengths disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = argmax_rows(logits);
+    assert_eq!(preds.len(), labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax(&t);
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // softmax is shift-invariant: row 0 and row 1 differ by a constant 2.
+        assert_close(&p.data()[..3], &p.data()[3..], 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 999.0], &[1, 2]);
+        let p = softmax(&t);
+        assert!(p.data()[0].is_finite() && p.data()[1].is_finite());
+        assert!(p.data()[0] > p.data()[1]);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -0.25, 2.0], &[1, 3]);
+        let ls = log_softmax(&t);
+        let p = softmax(&t);
+        for j in 0..3 {
+            assert!((ls.data()[j] - p.data()[j].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn temperature_flattens_distribution() {
+        let t = Tensor::from_vec(vec![2.0, 0.0], &[1, 2]);
+        let sharp = softmax_with_temperature(&t, 0.5);
+        let flat = softmax_with_temperature(&t, 4.0);
+        assert!(sharp.data()[0] > flat.data()[0]);
+        assert!(flat.data()[0] > 0.5);
+    }
+
+    #[test]
+    fn argmax_rows_and_accuracy() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.8, 0.2], &[2, 2]);
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+        assert_eq!(accuracy(&t, &[1, 0]), 1.0);
+        assert_eq!(accuracy(&t, &[1, 1]), 0.5);
+        assert_eq!(accuracy(&t, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn sum_except_channel_4d() {
+        let t = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
+        let s = sum_except_channel(&t);
+        assert_eq!(s.data(), &[10.0, 100.0]);
+    }
+
+    #[test]
+    fn sum_except_channel_2d() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let s = sum_except_channel(&t);
+        assert_eq!(s.data(), &[4.0, 6.0]);
+    }
+}

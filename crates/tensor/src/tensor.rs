@@ -1,0 +1,540 @@
+//! The dense, row-major `f32` tensor type.
+
+use crate::Shape;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` owns its storage. All operations allocate fresh output tensors
+/// unless the method name says otherwise (`*_inplace`, `map_inplace`).
+///
+/// # Examples
+///
+/// ```
+/// use mri_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates an identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from a flat vector and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape} ({} elements)",
+            data.len(),
+            shape.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new(&[data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes, shorthand for `self.shape().dims()`.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Size of dimension `d`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.shape.dim(d)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable reference to the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.len(), self.len(), "reshape element count mismatch");
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// In-place reshape, avoiding a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape_into(mut self, dims: &[usize]) -> Tensor {
+        let shape = Shape::new(dims);
+        assert_eq!(shape.len(), self.len(), "reshape element count mismatch");
+        self.shape = shape;
+        self
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise binary operation with another tensor of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += alpha * other`, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by a scalar, returning a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; `0.0` for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element; `f32::NEG_INFINITY` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element; `f32::INFINITY` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flattened tensor.
+    ///
+    /// Ties resolve to the first occurrence. Returns `0` for an empty tensor.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Transposes a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose requires a rank-2 tensor");
+        let (r, c) = (self.dim(0), self.dim(1));
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Returns the `i`-th slice along the first axis (e.g. one sample of a
+    /// batch) as a new tensor with the leading axis removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank 0 or `i` is out of bounds.
+    pub fn index_axis0(&self, i: usize) -> Tensor {
+        assert!(self.shape.rank() >= 1, "index_axis0 requires rank >= 1");
+        let n = self.dim(0);
+        assert!(i < n, "index {i} out of bounds for axis of size {n}");
+        let rest: Vec<usize> = self.dims()[1..].to_vec();
+        let chunk = self.len() / n;
+        Tensor::from_vec(self.data[i * chunk..(i + 1) * chunk].to_vec(), &rest)
+    }
+
+    /// Writes `src` into the `i`-th slice along the first axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible or `i` is out of bounds.
+    pub fn set_axis0(&mut self, i: usize, src: &Tensor) {
+        let n = self.dim(0);
+        assert!(i < n, "index {i} out of bounds for axis of size {n}");
+        let chunk = self.len() / n;
+        assert_eq!(src.len(), chunk, "slice length mismatch");
+        self.data[i * chunk..(i + 1) * chunk].copy_from_slice(&src.data);
+    }
+
+    /// Stacks tensors of identical shape along a new leading axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the shapes differ.
+    pub fn stack(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "stack of zero tensors");
+        let inner = parts[0].shape.clone();
+        let mut dims = vec![parts.len()];
+        dims.extend_from_slice(inner.dims());
+        let mut data = Vec::with_capacity(parts.len() * inner.len());
+        for p in parts {
+            assert_eq!(p.shape, inner, "stack shape mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor {
+            shape: Shape::new(&dims),
+            data,
+        }
+    }
+
+    /// Broadcast-adds a 1-D bias over the channel axis of an `[N, C, H, W]`
+    /// or `[N, C]` tensor, returning a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bias length does not match the channel dimension.
+    pub fn add_channel_bias(&self, bias: &Tensor) -> Tensor {
+        let mut out = self.clone();
+        out.add_channel_bias_inplace(bias);
+        out
+    }
+
+    /// In-place variant of [`Tensor::add_channel_bias`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bias length does not match the channel dimension.
+    pub fn add_channel_bias_inplace(&mut self, bias: &Tensor) {
+        let rank = self.shape.rank();
+        assert!(rank == 2 || rank == 4, "channel bias requires rank 2 or 4");
+        let c = self.dim(1);
+        assert_eq!(bias.len(), c, "bias length must equal channel count");
+        let spatial: usize = self.dims()[2..].iter().product();
+        let n = self.dim(0);
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * spatial;
+                let bv = bias.data[ch];
+                for s in 0..spatial {
+                    self.data[base + s] += bv;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 16 {
+            write!(f, "Tensor({}, {:?})", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor({}, [{} elements, first={:?}...])",
+                self.shape,
+                self.len(),
+                &self.data[..4]
+            )
+        }
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+}
+
+impl Div<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn div(self, rhs: &Tensor) -> Tensor {
+        self.zip_with(rhs, |a, b| a / b)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 2]).data(), &[0.0; 4]);
+        assert_eq!(Tensor::ones(&[3]).data(), &[1.0; 3]);
+        assert_eq!(Tensor::full(&[2], 7.5).data(), &[7.5, 7.5]);
+        assert_eq!(Tensor::eye(2).data(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(Tensor::scalar(3.0).dims(), &[] as &[usize]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        *t.at_mut(&[1, 2]) = 5.0;
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        assert_eq!(t.data()[5], 5.0);
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!((&b / &a).data(), &[4.0, 2.5, 2.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let b = Tensor::from_slice(&[2.0, 4.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(t.sum(), 2.5);
+        assert_eq!(t.mean(), 0.625);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.norm_sq() - (1.0 + 4.0 + 9.0 + 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = t.transpose();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn axis0_slicing_and_stack() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        let row1 = t.index_axis0(1);
+        assert_eq!(row1.data(), &[4.0, 5.0, 6.0, 7.0]);
+        let restacked = Tensor::stack(&[t.index_axis0(0), row1.clone(), t.index_axis0(2)]);
+        assert_eq!(restacked.data(), t.data());
+
+        let mut u = Tensor::zeros(&[3, 4]);
+        u.set_axis0(1, &row1);
+        assert_eq!(u.at(&[1, 3]), 7.0);
+        assert_eq!(u.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn channel_bias_broadcast_4d() {
+        let t = Tensor::zeros(&[1, 2, 2, 2]);
+        let bias = Tensor::from_slice(&[1.0, -1.0]);
+        let out = t.add_channel_bias(&bias);
+        assert_eq!(out.data(), &[1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn channel_bias_broadcast_2d() {
+        let t = Tensor::ones(&[2, 3]);
+        let bias = Tensor::from_slice(&[0.0, 1.0, 2.0]);
+        let out = t.add_channel_bias(&bias);
+        assert_eq!(out.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let r = t.reshape(&[2, 2]);
+        assert_eq!(r.at(&[1, 0]), 3.0);
+        let r2 = r.reshape_into(&[4]);
+        assert_eq!(r2.dims(), &[4]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: term quantization and multi-resolution weight groups on the
+//! paper's own running example (Figs. 4, 7, 10, 16–17).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use multi_resolution_inference::hw::{Mmac, SdrEncoderFsm};
+use multi_resolution_inference::quant::storage::MultiResStorage;
+use multi_resolution_inference::quant::{GroupTermQuantizer, MultiResGroup, SdrEncoding};
+
+fn main() {
+    // The paper's running example: a group of four 5-bit weights.
+    let weights = [21i64, 6, 17, 11];
+    println!("weight group: {weights:?}\n");
+
+    // --- Fig. 4: group term quantization with a budget of 8 terms.
+    let q = GroupTermQuantizer::new(4, 8, SdrEncoding::Unsigned);
+    let out = q.quantize_i64(&weights);
+    println!(
+        "TQ with α = 8 keeps {} terms -> {:?}",
+        out.term_count(),
+        out.values
+    );
+    println!(
+        "dropped terms: {}",
+        out.dropped
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // --- Fig. 7: one stored term sequence serves every budget by prefix.
+    let group = MultiResGroup::from_values(&weights, 8, SdrEncoding::Unsigned);
+    println!("\nnested sub-models from one stored sequence:");
+    for budget in [2usize, 4, 6, 8] {
+        println!("  α = {budget}: {:?}", group.values_at(budget));
+    }
+    assert!(group.is_nested(2, 8));
+
+    // --- Fig. 17: the two-term increments the memory layout stores.
+    println!("\ntwo-term increments (memory entries):");
+    for (i, inc) in group.increments(&[2, 4, 6, 8]).iter().enumerate() {
+        let terms: Vec<String> = inc.iter().map(|t| t.to_string()).collect();
+        println!("  entry 0x{i:x}: {}", terms.join(", "));
+    }
+
+    // --- §5.4: packed 4-bit storage with memory-access accounting.
+    let mut storage = MultiResStorage::store(&group, &[2, 4, 6, 8], 16).expect("5-bit terms pack");
+    for budget in [2usize, 8] {
+        storage.reset_accesses();
+        let vals = storage.values_at(budget);
+        println!(
+            "\nloading α = {budget} from packed memory: values {vals:?}, {} entry accesses",
+            storage.total_accesses()
+        );
+    }
+
+    // --- §2.4: the SDR encoder turns 27 (4 unsigned terms) into 3 terms.
+    let sdr = SdrEncoderFsm::new().encode_value(27, 8);
+    let rendered: Vec<String> = sdr.iter().map(|t| t.to_string()).collect();
+    println!(
+        "\nSDR(27) = {} ({} terms instead of 4)",
+        rendered.join(" "),
+        sdr.len()
+    );
+
+    // --- Fig. 10/12: the mMAC computes a group dot product in γ cycles.
+    use multi_resolution_inference::hw::MacUnit;
+    let data = [9i64, 3, 4, 1];
+    for (alpha, beta) in [(4usize, 1usize), (8, 1), (8, 2)] {
+        let mut mac = Mmac::new(4, alpha, beta, SdrEncoding::Unsigned);
+        let r = mac.group_mac(&weights, &data, 0);
+        println!(
+            "mMAC (α={alpha}, β={beta}): dot = {} in {} cycles ({} real term-pairs)",
+            r.value, r.cycles, r.operations
+        );
+    }
+
+    println!(
+        "\nExact dot product for reference: {}",
+        weights.iter().zip(&data).map(|(w, x)| w * x).sum::<i64>()
+    );
+}

@@ -1,0 +1,99 @@
+//! Train once, save once, spawn many: checkpoint a multi-resolution model
+//! and restore it in a fresh process-like context, then serve different
+//! term budgets from the single stored copy (the storage-sharing story of
+//! paper §5.4 at the model level).
+//!
+//! ```text
+//! cargo run --release --example save_and_spawn
+//! ```
+
+use multi_resolution_inference::core::{
+    Checkpoint, MultiResTrainer, QuantConfig, ResolutionControl, SubModelSpec, TrainerConfig,
+};
+use multi_resolution_inference::data::SyntheticImages;
+use multi_resolution_inference::models::MiniResNet;
+use multi_resolution_inference::nn::Layer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let classes = 4;
+    let img = 10;
+    let specs = vec![
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(14, 2),
+        SubModelSpec::new(20, 3),
+    ];
+
+    // --- Phase 1: train the meta model.
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model =
+        MiniResNet::mobilenet_like(&mut rng, classes, QuantConfig::paper_cnn(), &control);
+    let mut cfg = TrainerConfig::new(specs.clone());
+    cfg.lr = 0.08;
+    let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+    let mut data = SyntheticImages::new(0, classes, img);
+    println!("training the meta model (80 iterations)...");
+    for _ in 0..80 {
+        let (x, labels) = data.batch(24);
+        trainer.train_step(&mut model, &x, &labels);
+    }
+
+    // --- Phase 2: save ONE checkpoint for ALL sub-models.
+    let path = std::env::temp_dir().join("multires_meta_model.json");
+    let ckpt = Checkpoint::capture("mini-mobilenet-4c", |f| model.visit_params(f));
+    ckpt.save(&path).expect("write checkpoint");
+    let bytes = std::fs::metadata(&path).expect("stat checkpoint").len();
+    println!(
+        "saved {} scalar parameters ({} KiB) -> {}",
+        ckpt.scalar_count(),
+        bytes / 1024,
+        path.display()
+    );
+    println!(
+        "one file serves all {} sub-models — terms are shared by construction.",
+        specs.len()
+    );
+
+    // --- Phase 3: a fresh deployment restores and spawns sub-models.
+    let control2 = Arc::new(ResolutionControl::default());
+    let mut rng2 = StdRng::seed_from_u64(999); // different init, fully overwritten
+    let mut deployed =
+        MiniResNet::mobilenet_like(&mut rng2, classes, QuantConfig::paper_cnn(), &control2);
+    Checkpoint::load(&path)
+        .expect("read checkpoint")
+        .restore("mini-mobilenet-4c", |f| deployed.visit_params(f))
+        .expect("restore into the deployment instance");
+
+    let eval = SyntheticImages::eval_set(0, classes, img, 240, 24);
+    // Deployment pattern: recalibrate BN statistics for each sub-model once
+    // (or build the model with switchable banks — see the adaptive_policy
+    // example).
+    let mut cal = SyntheticImages::new(314, classes, img);
+    let calib: Vec<_> = (0..30).map(|_| cal.batch(24).0).collect();
+    println!("\nspawned sub-models from the restored checkpoint:");
+    println!("  {:<12} {:>6} {:>10}", "setting", "γ", "accuracy");
+    for spec in &specs {
+        multi_resolution_inference::core::training::calibrate_batchnorm(
+            &mut deployed,
+            &control2,
+            spec.resolution(),
+            &calib,
+        );
+        let r = multi_resolution_inference::core::training::evaluate_spec(
+            &mut deployed,
+            &control2,
+            *spec,
+            &eval,
+        );
+        println!(
+            "  {:<12} {:>6} {:>9.1}%",
+            spec.to_string(),
+            spec.gamma(),
+            r.accuracy * 100.0
+        );
+    }
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,35 @@
+//! # multi-resolution-inference
+//!
+//! Facade crate for the reproduction of *"Training for Multi-resolution
+//! Inference using Reusable Quantization Terms"* (Zhang, McDanel, Kung, Dong —
+//! ASPLOS 2021).
+//!
+//! This crate simply re-exports the workspace members under stable module
+//! names so examples and downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense `f32` tensors, matmul, conv2d, pooling.
+//! * [`quant`] — uniform/logarithmic/term quantization and SDR encodings.
+//! * [`nn`] — layers with manual backprop, losses, SGD.
+//! * [`core`] — multi-resolution models and the Algorithm-1 trainer.
+//! * [`hw`] — cycle-level mMAC / systolic-array hardware simulator.
+//! * [`data`] — synthetic datasets.
+//! * [`models`] — reference CNN/LSTM/detector models.
+//!
+//! # Examples
+//!
+//! ```
+//! use multi_resolution_inference::quant::{GroupTermQuantizer, SdrEncoding};
+//!
+//! // The paper's running example (Fig. 4): group of 4 weights, budget α = 8.
+//! let q = GroupTermQuantizer::new(4, 8, SdrEncoding::Unsigned);
+//! let out = q.quantize_i64(&[21, 6, 17, 11]);
+//! assert_eq!(out.values, vec![21, 6, 16, 10]);
+//! ```
+
+pub use mri_core as core;
+pub use mri_data as data;
+pub use mri_hw as hw;
+pub use mri_models as models;
+pub use mri_nn as nn;
+pub use mri_quant as quant;
+pub use mri_tensor as tensor;

@@ -1,0 +1,133 @@
+//! End-to-end Algorithm-1 training across crates: data → model → trainer →
+//! per-sub-model evaluation, checking the properties the paper's evaluation
+//! section relies on.
+
+use multi_resolution_inference::core::{
+    MultiResTrainer, QuantConfig, Resolution, ResolutionControl, SubModelSpec, TrainerConfig,
+};
+use multi_resolution_inference::data::SyntheticImages;
+use multi_resolution_inference::models::MiniResNet;
+use multi_resolution_inference::nn::{Layer, Mode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn specs() -> Vec<SubModelSpec> {
+    vec![
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(14, 2),
+        SubModelSpec::new(20, 3),
+    ]
+}
+
+fn train(steps: usize, seed: u64) -> (MiniResNet, Arc<ResolutionControl>, MultiResTrainer) {
+    let classes = 3;
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model =
+        MiniResNet::mobilenet_like(&mut rng, classes, QuantConfig::paper_cnn(), &control);
+    let mut cfg = TrainerConfig::new(specs());
+    cfg.lr = 0.08;
+    cfg.seed = seed;
+    let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+    let mut data = SyntheticImages::new(seed, classes, 8);
+    for _ in 0..steps {
+        let (x, labels) = data.batch(16);
+        trainer.train_step(&mut model, &x, &labels);
+    }
+    (model, control, trainer)
+}
+
+#[test]
+fn all_sub_models_learn() {
+    let (mut model, _, trainer) = train(120, 0);
+    let eval = SyntheticImages::eval_set(0, 3, 8, 120, 24);
+    let results = trainer.evaluate_all(&mut model, &eval);
+    for r in &results {
+        assert!(
+            r.accuracy > 0.5,
+            "sub-model {} only reached {:.1}% (chance 33%)",
+            r.spec,
+            r.accuracy * 100.0
+        );
+    }
+}
+
+#[test]
+fn term_pairs_scale_with_gamma_across_the_whole_model() {
+    let (mut model, _, trainer) = train(3, 1);
+    let eval = SyntheticImages::eval_set(1, 3, 8, 48, 24);
+    let results = trainer.evaluate_all(&mut model, &eval);
+    // γ of the three specs: 16, 28, 60. Term pairs should scale by nearly
+    // the same ratios (tail groups distort slightly).
+    let tp: Vec<f64> = results.iter().map(|r| r.term_pairs as f64).collect();
+    let gamma: Vec<f64> = specs().iter().map(|s| s.gamma() as f64).collect();
+    for i in 1..tp.len() {
+        let tp_ratio = tp[i] / tp[0];
+        let gamma_ratio = gamma[i] / gamma[0];
+        assert!(
+            (tp_ratio / gamma_ratio - 1.0).abs() < 0.25,
+            "term-pair ratio {tp_ratio} vs γ ratio {gamma_ratio}"
+        );
+    }
+}
+
+#[test]
+fn training_is_deterministic_given_seed() {
+    let (mut a, ca, _) = train(5, 42);
+    let (mut b, cb, _) = train(5, 42);
+    ca.set_resolution(Resolution::Tq { alpha: 14, beta: 2 });
+    cb.set_resolution(Resolution::Tq { alpha: 14, beta: 2 });
+    let mut ds = SyntheticImages::new(9, 3, 8);
+    let (x, _) = ds.batch(8);
+    let ya = a.forward(&x, Mode::Eval);
+    let yb = b.forward(&x, Mode::Eval);
+    assert_eq!(ya.data(), yb.data(), "same seed must give identical models");
+}
+
+#[test]
+fn full_precision_context_unchanged_by_quantized_training_switches() {
+    // Evaluating at Full before and after flipping through sub-models gives
+    // identical results: resolution switches must not corrupt the masters.
+    let (mut model, control, _) = train(5, 3);
+    let mut ds = SyntheticImages::new(5, 3, 8);
+    let (x, _) = ds.batch(8);
+    control.set_resolution(Resolution::Full);
+    let before = model.forward(&x, Mode::Eval);
+    for spec in specs() {
+        control.set_resolution(spec.resolution());
+        model.forward(&x, Mode::Eval);
+    }
+    control.set_resolution(Resolution::Full);
+    let after = model.forward(&x, Mode::Eval);
+    assert_eq!(before.data(), after.data());
+}
+
+#[test]
+fn teacher_loss_trends_down() {
+    let classes = 3;
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model =
+        MiniResNet::mobilenet_like(&mut rng, classes, QuantConfig::paper_cnn(), &control);
+    let mut cfg = TrainerConfig::new(specs());
+    cfg.lr = 0.08;
+    let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+    let mut data = SyntheticImages::new(11, classes, 8);
+    let mut first_avg = 0.0;
+    let mut last_avg = 0.0;
+    for step in 0..30 {
+        let (x, labels) = data.batch(16);
+        let s = trainer.train_step(&mut model, &x, &labels);
+        if step < 5 {
+            first_avg += s.teacher_loss / 5.0;
+        }
+        if step >= 25 {
+            last_avg += s.teacher_loss / 5.0;
+        }
+    }
+    assert!(
+        last_avg < first_avg,
+        "teacher loss {first_avg} -> {last_avg}"
+    );
+}

@@ -1,0 +1,127 @@
+//! Integration tests pinning the paper's literal worked examples, spanning
+//! the quant, hw and core crates together.
+
+use multi_resolution_inference::core::{QuantConfig, Resolution};
+use multi_resolution_inference::hw::{
+    LaconicPe, MacUnit, Mmac, SdrEncoderFsm, StreamingTermQuantizer, TermAccumulator,
+};
+use multi_resolution_inference::quant::storage::{bits_per_weight, storage_bits, MultiResStorage};
+use multi_resolution_inference::quant::{
+    sdr, GroupTermQuantizer, MultiResGroup, SdrEncoding, Term,
+};
+
+const PAPER_GROUP: [i64; 4] = [21, 6, 17, 11];
+
+#[test]
+fn fig4_group_tq() {
+    let q = GroupTermQuantizer::new(4, 8, SdrEncoding::Unsigned);
+    let out = q.quantize_i64(&PAPER_GROUP);
+    assert_eq!(out.values, vec![21, 6, 16, 10]);
+    assert_eq!(out.dropped.len(), 2);
+}
+
+#[test]
+fn fig4_data_tq_19_to_18() {
+    let q = GroupTermQuantizer::new(1, 2, SdrEncoding::Unsigned);
+    assert_eq!(q.quantize_i64(&[19]).values, vec![18]);
+}
+
+#[test]
+fn fig6a_dot_product_24_in_2_cycles() {
+    let mut mac = Mmac::new(2, 2, 1, SdrEncoding::Unsigned);
+    let r = mac.group_mac(&[2, 5], &[9, 3], 0);
+    assert_eq!(r.value, 24);
+    assert_eq!(r.cycles, 2);
+}
+
+#[test]
+fn fig7_nested_budgets() {
+    let g = MultiResGroup::from_values(&PAPER_GROUP, 8, SdrEncoding::Unsigned);
+    assert_eq!(g.values_at(2), vec![16, 0, 16, 0]);
+    assert_eq!(g.values_at(8), vec![21, 6, 16, 10]);
+    for (s, l) in [(2usize, 4usize), (4, 6), (6, 8)] {
+        assert!(g.is_nested(s, l));
+    }
+}
+
+#[test]
+fn section24_sdr_of_27_has_3_terms() {
+    let ubr = sdr::encode(27, SdrEncoding::Unsigned);
+    let naf = sdr::encode(27, SdrEncoding::Naf);
+    assert_eq!(ubr.len(), 4);
+    assert_eq!(naf.len(), 3);
+    assert_eq!(sdr::decode(&naf), 27);
+    // The hardware FSM produces the same encoding bit-serially.
+    assert_eq!(SdrEncoderFsm::new().encode_value(27, 8), naf);
+}
+
+#[test]
+fn fig13_term_accumulator_shift_add() {
+    let mut acc = TermAccumulator::new();
+    acc.add_term(Term::pos(3));
+    acc.add_term(Term::pos(0));
+    acc.add_term(Term::pos(2)); // 9 + 4
+    assert_eq!(acc.value(), 13);
+}
+
+#[test]
+fn fig15_term_quantizer_keeps_two_leading_terms_of_23() {
+    let terms = sdr::encode(23, SdrEncoding::Naf);
+    let kept = StreamingTermQuantizer::new(2).quantize(&terms);
+    assert_eq!(sdr::decode(&kept), 24);
+}
+
+#[test]
+fn section54_storage_accounting() {
+    // g = 16, α = 20: 160 bits per group, 10 bits/weight, 1.25 with 8 models.
+    assert_eq!(storage_bits(16, 20), 160);
+    assert!((bits_per_weight(16, 20) - 10.0).abs() < 1e-9);
+    assert!((bits_per_weight(16, 20) / 8.0 - 1.25).abs() < 1e-9);
+}
+
+#[test]
+fn fig17_increment_layout_round_trips_through_memory() {
+    let g = MultiResGroup::from_values(&PAPER_GROUP, 8, SdrEncoding::Unsigned);
+    let mut st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).expect("packs");
+    for budget in [2usize, 4, 6, 8] {
+        assert_eq!(st.values_at(budget), g.values_at(budget));
+    }
+    // Lower budgets touch fewer memory entries.
+    st.reset_accesses();
+    st.load_budget(2);
+    let low = st.total_accesses();
+    st.reset_accesses();
+    st.load_budget(8);
+    assert!(low < st.total_accesses());
+}
+
+#[test]
+fn section72_laconic_term_pair_bound() {
+    // Laconic: 144 assumed term pairs per 16-long dot product; the mMAC with
+    // γ = 60 does the same work in 60 cycles.
+    let w: Vec<i64> = (0..16).map(|i| (i % 8) - 4).collect();
+    let x: Vec<i64> = (0..16).map(|i| ((i * 3) % 15) - 7).collect();
+    let lac = LaconicPe::new().dot(&w, &x);
+    let mut mac = Mmac::new(16, 20, 3, SdrEncoding::Naf);
+    let m = mac.group_mac(&w, &x, 0);
+    assert_eq!(
+        lac.value, m.value,
+        "both must compute the exact dot product"
+    );
+    assert_eq!(m.cycles, 60);
+    assert_eq!(lac.cycles, 9); // but with 16 parallel lanes burning power
+}
+
+#[test]
+fn quant_config_matches_paper_hyperparameters() {
+    let cnn = QuantConfig::paper_cnn();
+    assert_eq!(cnn.weight_bits, 5);
+    assert_eq!(cnn.group_size, 16);
+    let big = QuantConfig::paper_8bit();
+    assert_eq!(big.weight_bits, 8);
+    // Resolution γ accounting: (α=20, β=3) → 60 per group.
+    assert_eq!(
+        Resolution::Tq { alpha: 20, beta: 3 }.term_pairs_per_group(16, 5),
+        60
+    );
+}
