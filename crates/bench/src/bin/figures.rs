@@ -37,7 +37,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|verify|summary|all> [--fast] [--seed N]");
+        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|verify|summary|all> [--fast] [--seed N]");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -101,6 +101,9 @@ fn main() {
     if want("dynamic") {
         run_accuracy("dynamic", train_exp::dynamic_policy(cfg));
     }
+    if want("telemetry") {
+        run_telemetry(cfg);
+    }
     if want("summary") {
         let claims = mri_bench::summary::check_claims(std::path::Path::new("results"));
         let rows: Vec<Vec<String>> = claims
@@ -152,6 +155,35 @@ fn main() {
         "\nall requested experiments done in {:.1}s",
         started.elapsed().as_secs_f64()
     );
+}
+
+fn run_telemetry(cfg: RunConfig) {
+    let dir = std::path::Path::new("results/telemetry");
+    let rows = mri_bench::telemetry_exp::trainer_overhead(cfg, &dir.join("bench_events.jsonl"));
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                if r.tracing_compiled { "yes" } else { "no" }.to_string(),
+                r.steps.to_string(),
+                format!("{:.3}s", r.wall_s),
+                format!("{:.2}ms", r.per_step_ms),
+                format!("{:+.2}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Telemetry overhead: 50-step trainer wall-clock by mode",
+        &["mode", "tracing", "steps", "wall", "per step", "overhead"],
+        &table,
+    );
+    write_json("telemetry", &rows);
+    let summary_path = mri_telemetry::global()
+        .summary()
+        .write_dir(dir)
+        .expect("write telemetry summary");
+    println!("telemetry summary -> {}", summary_path.display());
 }
 
 fn run_ablation_strategy(cfg: RunConfig) {

@@ -23,6 +23,7 @@
 //! | `fig24` | sub-model count scalability | [`train_exp`] |
 //! | `table2`/`table3`/`laconic` | MAC cost & energy | [`hw_exp`] |
 //! | `fig26`/`table4` | system latency/efficiency & accelerator table | [`hw_exp`] |
+//! | `telemetry` | tracing/metrics overhead on the trainer | [`telemetry_exp`] |
 
 #![warn(missing_docs)]
 
@@ -31,6 +32,7 @@ pub mod hw_exp;
 pub mod quant_exp;
 pub mod report;
 pub mod summary;
+pub mod telemetry_exp;
 pub mod train_exp;
 pub mod verify;
 

@@ -39,7 +39,7 @@ fn load(dir: &Path, name: &str) -> Option<Value> {
     serde_json::from_str(&body).ok()
 }
 
-fn points<'a>(v: &'a Value) -> Vec<&'a Value> {
+fn points(v: &Value) -> Vec<&Value> {
     v.as_array().map(|a| a.iter().collect()).unwrap_or_default()
 }
 

@@ -1,0 +1,138 @@
+//! Telemetry overhead harness: the acceptance experiment for the
+//! `mri-telemetry` layer.
+//!
+//! Runs the same 50-step Algorithm-1 trainer loop under three telemetry
+//! modes and reports wall-clock per mode:
+//!
+//! * `events-off` — no JSONL sink, sampling 0: counters/gauges/histograms
+//!   still update (they always do), spans and events are skipped;
+//! * `events-sampled` — JSONL sink open, 1-in-8 event sampling;
+//! * `events-full` — JSONL sink open, every event written.
+//!
+//! Build the crate with `--no-default-features` to additionally compile the
+//! tracing tier out; the same three rows then measure the pure-metrics
+//! floor. The acceptance bar is `events-off` within 2% of that floor.
+
+use crate::train_exp::CnnScale;
+use crate::RunConfig;
+use mri_core::{MultiResTrainer, QuantConfig, ResolutionControl, SubModelSpec, TrainerConfig};
+use mri_data::SyntheticImages;
+use mri_models::MiniResNet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wall-clock of one telemetry mode of [`trainer_overhead`].
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Telemetry mode label.
+    pub mode: String,
+    /// Whether the `telemetry` cargo feature (spans + events) was compiled.
+    pub tracing_compiled: bool,
+    /// Training steps timed.
+    pub steps: usize,
+    /// Best-of-reps wall-clock for the whole loop, seconds.
+    pub wall_s: f64,
+    /// Wall-clock per training step, milliseconds.
+    pub per_step_ms: f64,
+    /// Overhead relative to the `events-off` row, percent.
+    pub overhead_pct: f64,
+}
+
+/// Number of training steps per timed run (the acceptance criterion's
+/// 50-step trainer run).
+pub const OVERHEAD_STEPS: usize = 50;
+
+fn timed_run(scale: CnnScale, seed: u64) -> f64 {
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model =
+        MiniResNet::resnet18_like(&mut rng, scale.classes, QuantConfig::paper_cnn(), &control);
+    let specs = vec![SubModelSpec::new(3, 1), SubModelSpec::new(8, 2)];
+    let mut tcfg = TrainerConfig::new(specs);
+    tcfg.lr = scale.lr;
+    tcfg.seed = seed;
+    let mut trainer = MultiResTrainer::new(tcfg, Arc::clone(&control));
+    let mut data = SyntheticImages::new(seed, scale.classes, scale.img);
+    let start = Instant::now();
+    for _ in 0..OVERHEAD_STEPS {
+        let (x, labels) = data.batch(scale.batch);
+        trainer.train_step(&mut model, &x, &labels);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Times the 50-step trainer loop under each telemetry mode (best of
+/// `reps`), streaming events of the sink-open modes to `sink`; restores
+/// the global registry to events-off afterwards.
+pub fn trainer_overhead(cfg: RunConfig, sink: &std::path::Path) -> Vec<OverheadRow> {
+    let scale = CnnScale {
+        steps: OVERHEAD_STEPS,
+        ..CnnScale::of(RunConfig {
+            fast: true,
+            seed: cfg.seed,
+        })
+    };
+    let reps = if cfg.fast { 2 } else { 5 };
+    let reg = mri_telemetry::global();
+
+    // Warm-up run (allocator, caches) before anything is timed.
+    timed_run(scale, cfg.seed);
+
+    let modes: [(&str, u64, bool); 3] = [
+        ("events-off", 0, false),
+        ("events-sampled", 8, true),
+        ("events-full", 1, true),
+    ];
+    let mut walls = Vec::new();
+    for &(name, sampling, open_sink) in &modes {
+        if open_sink {
+            reg.open_jsonl(sink).expect("open bench telemetry sink");
+        }
+        reg.set_sampling(sampling);
+        let best = (0..reps)
+            .map(|r| timed_run(scale, cfg.seed + r as u64))
+            .fold(f64::INFINITY, f64::min);
+        reg.set_sampling(0);
+        if open_sink {
+            reg.close_sink().expect("close bench telemetry sink");
+        }
+        walls.push((name, best));
+    }
+    reg.set_sampling(1);
+
+    let baseline = walls[0].1;
+    walls
+        .iter()
+        .map(|&(name, wall)| OverheadRow {
+            mode: name.to_string(),
+            tracing_compiled: cfg!(feature = "telemetry"),
+            steps: OVERHEAD_STEPS,
+            wall_s: wall,
+            per_step_ms: wall * 1e3 / OVERHEAD_STEPS as f64,
+            overhead_pct: (wall / baseline - 1.0) * 100.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_rows_cover_all_modes() {
+        let sink = std::env::temp_dir().join("mri_bench_telemetry_test_events.jsonl");
+        let rows = trainer_overhead(RunConfig::fast(), &sink);
+        let _ = std::fs::remove_file(&sink);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].mode, "events-off");
+        assert_eq!(rows[0].overhead_pct, 0.0);
+        for r in &rows {
+            assert!(r.wall_s > 0.0, "{r:?}");
+            assert_eq!(r.steps, OVERHEAD_STEPS);
+            assert_eq!(r.tracing_compiled, cfg!(feature = "telemetry"));
+        }
+    }
+}

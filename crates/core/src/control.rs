@@ -1,8 +1,8 @@
 //! Shared resolution control and term-pair accounting.
 
 use crate::Resolution;
+use mri_telemetry::{Counter, Registry};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A handle shared by every quantized layer of one model.
 ///
@@ -12,23 +12,42 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// multiplications and value-level MACs the quantized layers perform, which
 /// is the x-axis of the paper's accuracy/cost plots.
 ///
+/// The tallies are [`mri_telemetry::Counter`] handles. [`ResolutionControl::new`]
+/// keeps them detached (private to this control, exactly the old behaviour);
+/// [`ResolutionControl::bound`] registers the *same* atomic cells in a
+/// telemetry registry, so `results/telemetry/summary.json` totals and the
+/// values returned by [`ResolutionControl::term_pairs`] /
+/// [`ResolutionControl::value_macs`] can never disagree.
+///
 /// All methods are thread-safe; layers running in worker threads may report
 /// counts concurrently.
 #[derive(Debug)]
 pub struct ResolutionControl {
     resolution: RwLock<Resolution>,
-    term_pairs: AtomicU64,
-    value_macs: AtomicU64,
+    term_pairs: Counter,
+    value_macs: Counter,
 }
 
 impl ResolutionControl {
-    /// Creates a control starting at the given resolution.
+    /// Creates a control starting at the given resolution, with counters
+    /// detached from any registry.
     pub fn new(resolution: Resolution) -> Self {
         ResolutionControl {
             resolution: RwLock::new(resolution),
-            term_pairs: AtomicU64::new(0),
-            value_macs: AtomicU64::new(0),
+            term_pairs: Counter::new(),
+            value_macs: Counter::new(),
         }
+    }
+
+    /// Creates a control whose counters are registered in `registry` as
+    /// `"{prefix}.term_pairs"` and `"{prefix}.value_macs"` (conventionally
+    /// `prefix = "control"`). Registry summaries then read the very same
+    /// atomics this control updates.
+    pub fn bound(resolution: Resolution, registry: &Registry, prefix: &str) -> Self {
+        let control = ResolutionControl::new(resolution);
+        registry.register_counter(&format!("{prefix}.term_pairs"), &control.term_pairs);
+        registry.register_counter(&format!("{prefix}.value_macs"), &control.value_macs);
+        control
     }
 
     /// The currently active resolution.
@@ -44,28 +63,38 @@ impl ResolutionControl {
 
     /// Records `n` term-pair multiplications.
     pub fn add_term_pairs(&self, n: u64) {
-        self.term_pairs.fetch_add(n, Ordering::Relaxed);
+        self.term_pairs.add(n);
     }
 
     /// Records `n` value-level multiply-accumulates.
     pub fn add_value_macs(&self, n: u64) {
-        self.value_macs.fetch_add(n, Ordering::Relaxed);
+        self.value_macs.add(n);
     }
 
     /// Term-pair multiplications since the last reset.
     pub fn term_pairs(&self) -> u64 {
-        self.term_pairs.load(Ordering::Relaxed)
+        self.term_pairs.get()
     }
 
     /// Value-level MACs since the last reset.
     pub fn value_macs(&self) -> u64 {
-        self.value_macs.load(Ordering::Relaxed)
+        self.value_macs.get()
     }
 
     /// Clears both counters.
     pub fn reset_counters(&self) {
-        self.term_pairs.store(0, Ordering::Relaxed);
-        self.value_macs.store(0, Ordering::Relaxed);
+        self.term_pairs.reset();
+        self.value_macs.reset();
+    }
+
+    /// A clone of the term-pair counter handle (shares the same cell).
+    pub fn term_pair_counter(&self) -> Counter {
+        self.term_pairs.clone()
+    }
+
+    /// A clone of the value-MAC counter handle (shares the same cell).
+    pub fn value_mac_counter(&self) -> Counter {
+        self.value_macs.clone()
     }
 }
 
@@ -117,5 +146,31 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.term_pairs(), 4000);
+    }
+
+    #[test]
+    fn detached_controls_do_not_interfere() {
+        let a = ResolutionControl::default();
+        let b = ResolutionControl::default();
+        a.add_term_pairs(7);
+        assert_eq!(b.term_pairs(), 0);
+        assert!(!a.term_pair_counter().same_cell(&b.term_pair_counter()));
+    }
+
+    #[test]
+    fn bound_control_shares_cells_with_registry() {
+        let registry = mri_telemetry::Registry::new();
+        let c = ResolutionControl::bound(Resolution::Full, &registry, "control");
+        c.add_term_pairs(123);
+        c.add_value_macs(45);
+        // The registry reads the same atomics, not a copy.
+        assert_eq!(registry.counter("control.term_pairs").get(), 123);
+        assert_eq!(registry.counter("control.value_macs").get(), 45);
+        assert!(registry
+            .counter("control.term_pairs")
+            .same_cell(&c.term_pair_counter()));
+        let summary = registry.summary();
+        assert_eq!(summary.counters["control.term_pairs"], c.term_pairs());
+        assert_eq!(summary.counters["control.value_macs"], c.value_macs());
     }
 }

@@ -17,6 +17,7 @@
 use crate::{Resolution, ResolutionControl, SubModelSpec};
 use mri_nn::loss::{cross_entropy, distillation_loss};
 use mri_nn::{Layer, Mode, Sgd};
+use mri_telemetry::{Counter, Event, Gauge, Histogram};
 use mri_tensor::reduce::accuracy;
 use mri_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -92,6 +93,39 @@ pub struct MultiResTrainer {
     optimizer: Sgd,
     rng: StdRng,
     bank_selector: Option<mri_nn::BnBankSelector>,
+    tele: TrainerTelemetry,
+}
+
+/// Cached global-registry handles so per-step instrumentation is pure
+/// atomics (no name lookups in the training loop).
+struct TrainerTelemetry {
+    /// Total Algorithm-1 iterations (`train.steps`).
+    steps: Counter,
+    /// Last teacher task loss (`train.teacher_loss`).
+    teacher_loss: Gauge,
+    /// Last student combined loss (`train.student_loss`).
+    student_loss: Gauge,
+    /// Optimizer-step latency (`train.optimizer_step.ns`).
+    optim_ns: Histogram,
+    /// Per-spec student selection counts (`train.select.a{α}b{β}`),
+    /// indexed like `cfg.specs`.
+    select: Vec<Counter>,
+}
+
+impl TrainerTelemetry {
+    fn new(specs: &[SubModelSpec]) -> Self {
+        let reg = mri_telemetry::global();
+        TrainerTelemetry {
+            steps: reg.counter("train.steps"),
+            teacher_loss: reg.gauge("train.teacher_loss"),
+            student_loss: reg.gauge("train.student_loss"),
+            optim_ns: reg.histogram("train.optimizer_step.ns"),
+            select: specs
+                .iter()
+                .map(|s| reg.counter(&format!("train.select.a{}b{}", s.alpha, s.beta)))
+                .collect(),
+        }
+    }
 }
 
 impl MultiResTrainer {
@@ -107,12 +141,14 @@ impl MultiResTrainer {
         );
         let optimizer = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay);
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let tele = TrainerTelemetry::new(&cfg.specs);
         MultiResTrainer {
             cfg,
             control,
             optimizer,
             rng,
             bank_selector: None,
+            tele,
         }
     }
 
@@ -164,6 +200,7 @@ impl MultiResTrainer {
     ///
     /// Panics on label/batch mismatches.
     pub fn train_step(&mut self, model: &mut dyn Layer, x: &Tensor, labels: &[usize]) -> StepStats {
+        let _step_span = mri_telemetry::span("train.step");
         model.visit_params(&mut |p| p.zero_grad());
 
         // Teacher pass (steps 2-3, 6-9 for the teacher path).
@@ -190,7 +227,24 @@ impl MultiResTrainer {
         model.backward(&s_grad);
 
         // Step 9: apply the accumulated gradients to the master weights.
+        let optim_start = mri_telemetry::maybe_now();
         self.optimizer.step(|f| model.visit_params(f));
+        self.tele.optim_ns.record_elapsed_ns(optim_start);
+
+        self.tele.steps.inc();
+        self.tele.select[student_idx].inc();
+        self.tele.teacher_loss.set(f64::from(teacher_loss));
+        self.tele.student_loss.set(f64::from(student_loss));
+        let reg = mri_telemetry::global();
+        if reg.events_enabled() {
+            reg.emit(
+                Event::new("train.step", "step")
+                    .int("step", self.tele.steps.get())
+                    .float("teacher_loss", f64::from(teacher_loss))
+                    .float("student_loss", f64::from(student_loss))
+                    .label("student", student.to_string()),
+            );
+        }
         StepStats {
             teacher_loss,
             student_loss,
@@ -496,6 +550,45 @@ mod tests {
             joint_tp > kd_tp,
             "joint-all ({joint_tp}) must cost more forward work than two-model KD ({kd_tp})"
         );
+    }
+
+    #[test]
+    fn train_step_updates_global_telemetry() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = toy_model(&mut rng, &control);
+        let mut trainer = MultiResTrainer::new(TrainerConfig::new(specs()), Arc::clone(&control));
+        let (x, labels) = toy_data(&mut rng, 8);
+
+        let reg = mri_telemetry::global();
+        let steps_before = reg.counter("train.steps").get();
+        let span_count_before = reg.histogram("train.step.ns").count();
+        let optim_count_before = reg.histogram("train.optimizer_step.ns").count();
+        let select_before: u64 = specs()
+            .iter()
+            .map(|s| {
+                reg.counter(&format!("train.select.a{}b{}", s.alpha, s.beta))
+                    .get()
+            })
+            .sum();
+        for _ in 0..5 {
+            trainer.train_step(&mut model, &x, &labels);
+        }
+        // Other tests may run train steps concurrently against the same
+        // global registry, so assert deltas as lower bounds.
+        assert!(reg.counter("train.steps").get() >= steps_before + 5);
+        let select_after: u64 = specs()
+            .iter()
+            .map(|s| {
+                reg.counter(&format!("train.select.a{}b{}", s.alpha, s.beta))
+                    .get()
+            })
+            .sum();
+        assert!(select_after >= select_before + 5);
+        if cfg!(feature = "telemetry") {
+            assert!(reg.histogram("train.step.ns").count() >= span_count_before + 5);
+            assert!(reg.histogram("train.optimizer_step.ns").count() >= optim_count_before + 5);
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod pipeline;
 pub mod sdr_fsm;
 pub mod system;
 pub mod systolic;
+mod tele;
 pub mod term_quantizer;
 
 pub use accumulator::TermAccumulator;

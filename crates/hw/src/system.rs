@@ -333,6 +333,16 @@ impl MmacSystem {
 
     /// Cycles one layer needs at budgets `(alpha, beta)`.
     pub fn layer_cycles(&self, layer: &LayerShape, alpha: usize, beta: usize) -> u64 {
+        self.layer_cycle_breakdown(layer, alpha, beta).total
+    }
+
+    /// Splits one layer's cycle cost into its compute and memory components.
+    pub fn layer_cycle_breakdown(
+        &self,
+        layer: &LayerShape,
+        alpha: usize,
+        beta: usize,
+    ) -> LayerCycles {
         let g = self.cfg.group_size;
         let gamma = (alpha * beta) as u64;
         let groups = layer.k.div_ceil(g);
@@ -347,8 +357,12 @@ impl MmacSystem {
             + (used_cols as u64 - 1) * gamma
             + used_rows as u64;
         // Memory stall bound: the packed term stream must keep up.
-        let stall = self.layer_mem_bits(layer, alpha, beta) / self.cfg.mem_bits_per_cycle;
-        compute.max(stall)
+        let stall_bound = self.layer_mem_bits(layer, alpha, beta) / self.cfg.mem_bits_per_cycle;
+        LayerCycles {
+            compute,
+            stall_bound,
+            total: compute.max(stall_bound),
+        }
     }
 
     /// Term/index/data traffic of one layer per sample, in bits (§5.4
@@ -375,14 +389,26 @@ impl MmacSystem {
         let layers: Vec<LayerReport> = net
             .layers
             .iter()
-            .map(|l| LayerReport {
-                name: l.name.clone(),
-                cycles: self.layer_cycles(l, alpha, beta),
-                mem_bits: self.layer_mem_bits(l, alpha, beta),
-                macs: l.macs(),
+            .map(|l| {
+                let c = self.layer_cycle_breakdown(l, alpha, beta);
+                LayerReport {
+                    name: l.name.clone(),
+                    cycles: c.total,
+                    compute_cycles: c.compute,
+                    stall_cycles: c.total - c.compute,
+                    utilization: if c.total == 0 {
+                        0.0
+                    } else {
+                        c.compute as f64 / c.total as f64
+                    },
+                    mem_bits: self.layer_mem_bits(l, alpha, beta),
+                    macs: l.macs(),
+                }
             })
             .collect();
-        (self.run(net, alpha, beta), layers)
+        let report = self.run(net, alpha, beta);
+        crate::tele::note_layer_reports(&report, &layers);
+        (report, layers)
     }
 
     /// Runs a whole network at budgets `(alpha, beta)`.
@@ -398,7 +424,7 @@ impl MmacSystem {
         let energy_j = cycles as f64 * active_cells * self.cfg.cell_energy_j
             + mem_bits as f64 * self.cfg.mem_energy_per_bit_j
             + latency_s * self.cfg.static_power_w;
-        SystemReport {
+        let report = SystemReport {
             network: net.name.clone(),
             alpha,
             beta,
@@ -407,17 +433,38 @@ impl MmacSystem {
             energy_j,
             frames_per_joule: 1.0 / energy_j,
             mem_bits,
-        }
+        };
+        crate::tele::note_system_run(&report);
+        report
     }
 }
 
+/// Compute/memory cycle breakdown of one layer (see
+/// [`MmacSystem::layer_cycle_breakdown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCycles {
+    /// Cycles the systolic array needs, ignoring the memory system.
+    pub compute: u64,
+    /// Cycles the memory port needs to stream the layer's term traffic.
+    pub stall_bound: u64,
+    /// Actual layer cost: `max(compute, stall_bound)`.
+    pub total: u64,
+}
+
 /// Per-layer slice of a [`SystemReport`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerReport {
     /// Layer name.
     pub name: String,
-    /// Cycles spent on this layer.
+    /// Cycles spent on this layer (`max(compute, memory)`).
     pub cycles: u64,
+    /// Cycles the array alone would need.
+    pub compute_cycles: u64,
+    /// Cycles lost waiting on the memory system (0 when compute-bound).
+    pub stall_cycles: u64,
+    /// Fraction of the layer's cycles doing compute: `compute / cycles`
+    /// (1.0 = fully compute-bound).
+    pub utilization: f64,
     /// Bits moved for this layer.
     pub mem_bits: u64,
     /// Value-level MACs in this layer.
@@ -643,6 +690,32 @@ mod tests {
         // The heaviest layer should be one of the big mid-network convs.
         let heaviest = layers.iter().max_by_key(|l| l.cycles).unwrap();
         assert!(heaviest.macs > net.total_macs() / 30, "{heaviest:?}");
+        // Cycle breakdown invariants: stall is the memory-bound excess and
+        // utilization is the compute share of the final cost.
+        for l in &layers {
+            assert_eq!(l.cycles, l.compute_cycles + l.stall_cycles, "{l:?}");
+            assert!(l.utilization > 0.0 && l.utilization <= 1.0, "{l:?}");
+            assert!(
+                (l.utilization - l.compute_cycles as f64 / l.cycles as f64).abs() < 1e-12,
+                "{l:?}"
+            );
+            if l.stall_cycles == 0 {
+                assert_eq!(l.utilization, 1.0, "{l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_breakdown_total_is_max_of_components() {
+        let sys = MmacSystem::new(SystemConfig::paper_vc707());
+        let net = NetworkWorkload::resnet18();
+        for layer in &net.layers {
+            for (a, b) in [(20usize, 3usize), (8, 2)] {
+                let c = sys.layer_cycle_breakdown(layer, a, b);
+                assert_eq!(c.total, c.compute.max(c.stall_bound));
+                assert_eq!(c.total, sys.layer_cycles(layer, a, b));
+            }
+        }
     }
 
     #[test]

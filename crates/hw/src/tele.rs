@@ -1,0 +1,82 @@
+//! Telemetry hooks for the mMAC system simulator.
+//!
+//! [`crate::system::MmacSystem`] runs are experiment-scale (one call per
+//! network per budget pair), so these hooks can afford registry name lookups
+//! per layer. They turn the previously opaque per-layer numbers into:
+//!
+//! * counters `hw.{network}.{layer}.cycles` / `.stall_cycles` — running
+//!   totals across runs, visible in `summary.json`;
+//! * histogram `hw.layer.cycles` — distribution of per-layer cycle counts;
+//! * events `hw.layer` (one per layer, with cycles, stalls, memory traffic
+//!   and array utilization) and `hw.run` (one per network run) on the JSONL
+//!   stream.
+//!
+//! Without the `telemetry` cargo feature both hooks are empty inline
+//! functions and the `mri-telemetry` dependency is dropped.
+
+use crate::system::{LayerReport, SystemReport};
+
+/// Records one whole-network run (`hw.runs`, `hw.cycles_total`,
+/// `hw.mem_bits_total`, plus the `hw.run` event).
+#[inline]
+pub(crate) fn note_system_run(report: &SystemReport) {
+    #[cfg(feature = "telemetry")]
+    {
+        let reg = mri_telemetry::global();
+        reg.counter("hw.runs").inc();
+        reg.counter("hw.cycles_total").add(report.cycles);
+        reg.counter("hw.mem_bits_total").add(report.mem_bits);
+        if reg.events_enabled() {
+            reg.emit(
+                mri_telemetry::Event::new("hw.run", &report.network)
+                    .int("cycles", report.cycles)
+                    .int("mem_bits", report.mem_bits)
+                    .int("alpha", report.alpha as u64)
+                    .int("beta", report.beta as u64)
+                    .float("latency_ms", report.latency_ms)
+                    .float("energy_j", report.energy_j),
+            );
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = report;
+    }
+}
+
+/// Records the per-layer breakdown of one run: named cycle/stall counters
+/// and one `hw.layer` event per layer.
+#[inline]
+pub(crate) fn note_layer_reports(report: &SystemReport, layers: &[LayerReport]) {
+    #[cfg(feature = "telemetry")]
+    {
+        let reg = mri_telemetry::global();
+        let hist = reg.histogram("hw.layer.cycles");
+        let events = reg.events_enabled();
+        for l in layers {
+            reg.counter(&format!("hw.{}.{}.cycles", report.network, l.name))
+                .add(l.cycles);
+            reg.counter(&format!("hw.{}.{}.stall_cycles", report.network, l.name))
+                .add(l.stall_cycles);
+            hist.record(l.cycles);
+            if events {
+                reg.emit(
+                    mri_telemetry::Event::new("hw.layer", &l.name)
+                        .int("cycles", l.cycles)
+                        .int("compute_cycles", l.compute_cycles)
+                        .int("stall_cycles", l.stall_cycles)
+                        .int("mem_bits", l.mem_bits)
+                        .int("macs", l.macs)
+                        .float("utilization", l.utilization)
+                        .label("network", &report.network)
+                        .int("alpha", report.alpha as u64)
+                        .int("beta", report.beta as u64),
+                );
+            }
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (report, layers);
+    }
+}

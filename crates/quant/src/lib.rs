@@ -38,6 +38,7 @@
 pub mod lq;
 pub mod sdr;
 pub mod storage;
+pub(crate) mod tele;
 pub mod tq;
 pub mod uq;
 

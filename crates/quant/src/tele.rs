@@ -1,0 +1,134 @@
+//! Telemetry hooks for the quantization kernels.
+//!
+//! The kernels in [`crate::tq`] run per weight group inside every quantized
+//! forward pass, so instrumentation must be close to free. Two measures keep
+//! it that way:
+//!
+//! * the whole module body is gated behind the `telemetry` cargo feature —
+//!   without it every hook below is an empty `#[inline]` function and the
+//!   `mri-telemetry` dependency is not even compiled;
+//! * clock readings are stride-sampled per thread (1 in [`SAMPLE_STRIDE`]
+//!   group quantizations), because an `Instant::now` pair per tiny group
+//!   would rival the cost of the kernel itself. Counters are exact; only
+//!   latency is sampled.
+
+#[cfg(feature = "telemetry")]
+mod active {
+    use mri_telemetry::{Counter, Histogram};
+    use std::sync::OnceLock;
+
+    pub struct Hooks {
+        pub sdr_values: Counter,
+        pub sdr_terms: Counter,
+        pub tq_groups: Counter,
+        pub tq_terms_kept: Counter,
+        pub tq_terms_dropped: Counter,
+        pub tq_group_ns: Histogram,
+    }
+
+    pub fn hooks() -> &'static Hooks {
+        static HOOKS: OnceLock<Hooks> = OnceLock::new();
+        HOOKS.get_or_init(|| {
+            let reg = mri_telemetry::global();
+            Hooks {
+                sdr_values: reg.counter("quant.sdr.values_encoded"),
+                sdr_terms: reg.counter("quant.sdr.terms_emitted"),
+                tq_groups: reg.counter("quant.tq.groups"),
+                tq_terms_kept: reg.counter("quant.tq.terms_kept"),
+                tq_terms_dropped: reg.counter("quant.tq.terms_dropped"),
+                tq_group_ns: reg.histogram("quant.tq.group_quantize.ns"),
+            }
+        })
+    }
+
+    thread_local! {
+        static TICK: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+
+    pub fn sampled_now() -> Option<std::time::Instant> {
+        TICK.with(|t| {
+            let v = t.get();
+            t.set(v.wrapping_add(1));
+            v.is_multiple_of(super::SAMPLE_STRIDE)
+                .then(std::time::Instant::now)
+        })
+    }
+}
+
+/// Per-thread stride between latency samples of the group-quantize kernel.
+#[cfg(feature = "telemetry")]
+pub(crate) const SAMPLE_STRIDE: u32 = 1024;
+
+/// Records one pooled SDR expansion: `values` integers encoded into `terms`
+/// signed power-of-two terms (counters `quant.sdr.values_encoded` /
+/// `quant.sdr.terms_emitted`).
+#[inline]
+pub(crate) fn note_group_terms(values: usize, terms: usize) {
+    #[cfg(feature = "telemetry")]
+    {
+        let h = active::hooks();
+        h.sdr_values.add(values as u64);
+        h.sdr_terms.add(terms as u64);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (values, terms);
+    }
+}
+
+/// Starts the (stride-sampled) latency timer for one group quantization.
+#[inline]
+pub(crate) fn tq_group_start() -> Option<std::time::Instant> {
+    #[cfg(feature = "telemetry")]
+    {
+        active::sampled_now()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        None
+    }
+}
+
+/// Records the outcome of one group quantization: exact kept/dropped term
+/// counters plus the sampled latency histogram
+/// (`quant.tq.group_quantize.ns`).
+#[inline]
+pub(crate) fn note_tq_group(kept: usize, dropped: usize, start: Option<std::time::Instant>) {
+    #[cfg(feature = "telemetry")]
+    {
+        let h = active::hooks();
+        h.tq_groups.inc();
+        h.tq_terms_kept.add(kept as u64);
+        h.tq_terms_dropped.add(dropped as u64);
+        h.tq_group_ns.record_elapsed_ns(start);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (kept, dropped, start);
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use crate::{GroupTermQuantizer, SdrEncoding};
+
+    #[test]
+    fn group_quantize_updates_global_counters() {
+        let reg = mri_telemetry::global();
+        let groups_before = reg.counter("quant.tq.groups").get();
+        let kept_before = reg.counter("quant.tq.terms_kept").get();
+        let dropped_before = reg.counter("quant.tq.terms_dropped").get();
+        let values_before = reg.counter("quant.sdr.values_encoded").get();
+
+        let q = GroupTermQuantizer::new(4, 8, SdrEncoding::Unsigned);
+        // The Fig. 4 group: 10 terms total, 8 kept, 2 dropped.
+        let out = q.quantize_i64(&[21, 6, 17, 11]);
+        assert_eq!(out.kept.len(), 8);
+
+        // Deltas are lower bounds: other tests may quantize concurrently.
+        assert!(reg.counter("quant.tq.groups").get() >= groups_before + 1);
+        assert!(reg.counter("quant.tq.terms_kept").get() >= kept_before + 8);
+        assert!(reg.counter("quant.tq.terms_dropped").get() >= dropped_before + 2);
+        assert!(reg.counter("quant.sdr.values_encoded").get() >= values_before + 4);
+    }
+}

@@ -39,6 +39,7 @@ pub fn group_terms(values: &[i64], encoding: SdrEncoding) -> Vec<GroupTerm> {
         })
         .collect();
     terms.sort_by(canonical_order);
+    crate::tele::note_group_terms(values.len(), terms.len());
     terms
 }
 
@@ -131,6 +132,7 @@ impl GroupTermQuantizer {
     /// Panics if `values.len() != group_size`.
     pub fn quantize_i64(&self, values: &[i64]) -> QuantizedGroup {
         assert_eq!(values.len(), self.group_size, "group length mismatch");
+        let start = crate::tele::tq_group_start();
         let terms = group_terms(values, self.encoding);
         let cut = self.budget.min(terms.len());
         let (kept, dropped) = terms.split_at(cut);
@@ -138,6 +140,7 @@ impl GroupTermQuantizer {
         for t in kept {
             out[t.index] += t.term.value();
         }
+        crate::tele::note_tq_group(kept.len(), dropped.len(), start);
         QuantizedGroup {
             values: out,
             kept: kept.to_vec(),

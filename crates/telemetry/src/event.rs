@@ -1,0 +1,88 @@
+//! The JSONL event schema and a small builder for call sites.
+//!
+//! Every line of an event stream is one [`EventRecord`] serialized as a JSON
+//! object. The schema keeps values in three typed maps (`ints`, `floats`,
+//! `labels`) so integer quantities like cycle counts stay exact instead of
+//! being coerced through `f64`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One line of a JSONL event stream.
+///
+/// Required envelope fields: `ts_ns` (nanoseconds since the owning registry
+/// was created), `seq` (global emission sequence number), `kind` (event
+/// family, e.g. `"span"`, `"train.step"`, `"hw.layer"`), `name` (instance
+/// within the family). Payload lives in the three typed maps; empty maps are
+/// serialized as `{}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    pub ts_ns: u64,
+    pub seq: u64,
+    pub kind: String,
+    pub name: String,
+    pub ints: BTreeMap<String, u64>,
+    pub floats: BTreeMap<String, f64>,
+    pub labels: BTreeMap<String, String>,
+}
+
+/// Builder for an event; `ts_ns` and `seq` are stamped by the registry at
+/// emission time.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub(crate) record: EventRecord,
+}
+
+impl Event {
+    /// Starts an event of the given kind/name.
+    pub fn new(kind: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            record: EventRecord {
+                ts_ns: 0,
+                seq: 0,
+                kind: kind.into(),
+                name: name.into(),
+                ints: BTreeMap::new(),
+                floats: BTreeMap::new(),
+                labels: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// Attaches an exact integer field.
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.record.ints.insert(key.to_string(), v);
+        self
+    }
+
+    /// Attaches a floating-point field.
+    pub fn float(mut self, key: &str, v: f64) -> Self {
+        self.record.floats.insert(key.to_string(), v);
+        self
+    }
+
+    /// Attaches a string label.
+    pub fn label(mut self, key: &str, v: impl Into<String>) -> Self {
+        self.record.labels.insert(key.to_string(), v.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_round_trips_through_json() {
+        let e = Event::new("hw.layer", "conv1")
+            .int("cycles", u64::MAX)
+            .int("stall_cycles", 12)
+            .float("utilization", 0.875)
+            .label("network", "resnet18");
+        let line = serde_json::to_string(&e.record).unwrap();
+        let back: EventRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, e.record);
+        assert_eq!(back.ints["cycles"], u64::MAX);
+        assert_eq!(back.labels["network"], "resnet18");
+    }
+}

@@ -1,0 +1,270 @@
+//! Log₂-bucketed `u64` histograms for latency / size distributions.
+//!
+//! Values land in 65 power-of-two buckets: bucket 0 holds the value `0`,
+//! bucket `i` (1..=64) holds `[2^(i-1), 2^i - 1]` (bucket 64's upper bound
+//! saturates at `u64::MAX`). Recording is a handful of relaxed atomic ops,
+//! so histograms are safe to touch from hot paths. Percentile queries return
+//! the *upper bound* of the bucket containing the requested rank, which makes
+//! them monotone in `p` and at most 2x above the true value.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct Inner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Wrapping sum of recorded values (documented: mean is unreliable once
+    /// the sum exceeds `u64::MAX`, which takes ~584 years of nanoseconds).
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A clonable handle to a shared log₂ histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+/// Bucket index for a value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Largest value that lands in bucket `i`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let i = bucket_index(v);
+        self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.min.fetch_min(v, Ordering::Relaxed);
+        self.inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed nanoseconds of a [`crate::maybe_now`] timestamp.
+    ///
+    /// `None` (telemetry feature disabled, or this call site lost the
+    /// sampling draw) records nothing.
+    #[inline]
+    pub fn record_elapsed_ns(&self, start: Option<std::time::Instant>) {
+        if let Some(start) = start {
+            self.record(saturating_ns(start.elapsed()));
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Wrapping sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.inner.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket holding the `p`-th percentile observation
+    /// (`p` in 0..=100; 0 when empty).
+    ///
+    /// Monotone in `p`; concurrent writers make the answer approximate in the
+    /// usual snapshot-free sense.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * count as f64).ceil().clamp(1.0, count as f64) as u64;
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.inner.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        // Racing writers may leave `count` ahead of the bucket array; fall
+        // back to the exact max.
+        self.max()
+    }
+
+    /// Snapshot of the standard summary statistics.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.percentile(50.0),
+            p90: self.percentile(90.0),
+            p99: self.percentile(99.0),
+            max: self.max(),
+        }
+    }
+}
+
+/// Serializable summary statistics for one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub mean: f64,
+    pub min: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+/// Duration → nanoseconds, saturating at `u64::MAX`.
+pub(crate) fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(255), 8);
+        assert_eq!(bucket_index(256), 9);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(9), 511);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn extremes_zero_and_u64_max() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        // rank(50%) = 1 → bucket 0; rank(99%) = 2 → bucket 64.
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(99.0), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bucket_exact() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Buckets 1..=8 hold values 1..=255; bucket 9 holds 256..=511 so the
+        // cumulative count first reaches rank 500 there.
+        assert_eq!(h.percentile(50.0), 511);
+        let ps: Vec<u64> = [0.0, 10.0, 50.0, 90.0, 99.0, 100.0]
+            .iter()
+            .map(|&p| h.percentile(p))
+            .collect();
+        for w in ps.windows(2) {
+            assert!(w[0] <= w[1], "percentiles must be monotone: {ps:?}");
+        }
+        assert!(h.percentile(100.0) >= h.max());
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_records_preserve_count() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 5_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+        let s = h.summary();
+        assert_eq!(s.count, 20_000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert_eq!(s.max, 19_999);
+    }
+}

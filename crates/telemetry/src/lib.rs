@@ -1,0 +1,108 @@
+//! `mri-telemetry`: a lock-cheap tracing + metrics layer for the workspace.
+//!
+//! The design splits observability into two tiers:
+//!
+//! * **Metrics** — [`Counter`], [`Gauge`], [`Histogram`] — are clonable
+//!   handles over shared atomics. They are *always* functional, independent
+//!   of the cargo feature, because workspace accounting such as
+//!   `ResolutionControl`'s term-pair / value-MAC totals is built on them.
+//!   Steady-state updates are single relaxed atomic operations; the
+//!   [`Registry`] lock is only touched when a handle is first created.
+//!
+//! * **Tracing** — [`Registry::span`] timers and the JSONL event stream —
+//!   is gated behind the `telemetry` cargo feature (on by default) plus a
+//!   runtime sampling stride. With the feature off, spans take no clock
+//!   readings, [`Registry::events_enabled`] is a compile-time `false`, and
+//!   guarded call sites fold away.
+//!
+//! Artifacts land under `results/telemetry/` by convention:
+//! `events.jsonl` (one [`EventRecord`] per line) and `summary.json` /
+//! `summary.txt` (a [`Summary`] snapshot).
+//!
+//! ```
+//! use mri_telemetry as tele;
+//!
+//! let steps = tele::counter("train.steps");
+//! {
+//!     let _span = tele::span("train.step");
+//!     steps.inc();
+//! }
+//! let summary = tele::global().summary();
+//! assert!(summary.counters["train.steps"] >= 1);
+//! ```
+
+mod event;
+mod histogram;
+mod metrics;
+mod registry;
+mod span;
+mod summary;
+
+pub use event::{Event, EventRecord};
+pub use histogram::{Histogram, HistogramSummary};
+pub use metrics::{Counter, Gauge};
+pub use registry::Registry;
+pub use span::{current_depth, SpanGuard};
+pub use summary::Summary;
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. Created on first use.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Counter registered under `name` in the global registry. Cache the handle
+/// in hot code.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Gauge registered under `name` in the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Histogram registered under `name` in the global registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// Opens a span against the global registry.
+pub fn span(name: &str) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+/// Emits an event to the global registry's sink (subject to sampling).
+pub fn emit(event: Event) -> bool {
+    global().emit(event)
+}
+
+/// `Some(Instant::now())` when the `telemetry` feature is compiled in,
+/// `None` otherwise — pair with [`Histogram::record_elapsed_ns`] so manual
+/// timing sites cost nothing in untraced builds.
+#[inline]
+pub fn maybe_now() -> Option<std::time::Instant> {
+    if cfg!(feature = "telemetry") {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn global_registry_is_shared() {
+        let c = super::counter("lib.test.global");
+        c.add(2);
+        assert_eq!(super::global().counter("lib.test.global").get(), 2);
+    }
+
+    #[test]
+    fn maybe_now_matches_feature() {
+        assert_eq!(super::maybe_now().is_some(), cfg!(feature = "telemetry"));
+    }
+}

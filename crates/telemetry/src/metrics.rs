@@ -1,0 +1,130 @@
+//! Counters and gauges: clonable handles over shared atomics.
+//!
+//! A handle is an `Arc` around a single atomic cell, so cloning is cheap and
+//! every clone observes the same value. Handles may live detached (private to
+//! one object, like `ResolutionControl`'s per-instance totals) or be bound
+//! into a [`crate::Registry`] under a name so they appear in summaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count (resettable).
+///
+/// All operations use relaxed atomics: counts are exact, but no ordering is
+/// implied with respect to other memory operations.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a detached counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the value at the moment of the swap.
+    pub fn reset(&self) -> u64 {
+        self.cell.swap(0, Ordering::Relaxed)
+    }
+
+    /// True if `other` is a handle to the same underlying cell.
+    pub fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// A last-value-wins measurement (stored as `f64` bits in an atomic).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a detached gauge reading `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a new value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Last stored value (`0.0` if never set).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.reset(), 42);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_clones_share_the_cell() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.add(7);
+        b.add(5);
+        assert_eq!(a.get(), 12);
+        assert!(a.same_cell(&b));
+        assert!(!a.same_cell(&Counter::new()));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_exact() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+}

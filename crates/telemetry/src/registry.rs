@@ -1,0 +1,355 @@
+//! The metric registry: named handles, the JSONL event sink and sampling.
+//!
+//! Lock discipline: named lookups take a `parking_lot` read lock on a
+//! `BTreeMap` once per *handle creation*; call sites are expected to cache
+//! the returned handle so steady-state updates are pure atomics. The event
+//! sink sits behind a `Mutex`, but emission first consults an `AtomicBool`
+//! and the sampling stride, so a closed or down-sampled sink costs a couple
+//! of relaxed loads.
+
+use crate::event::Event;
+use crate::histogram::Histogram;
+use crate::metrics::{Counter, Gauge};
+use crate::span::SpanGuard;
+use crate::summary::Summary;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+struct JsonlSink {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+/// A collection of named counters, gauges and histograms plus an optional
+/// JSONL event sink.
+///
+/// Most code uses the process-wide [`crate::global`] registry; tests and
+/// benchmarks that need isolation can create their own with
+/// [`Registry::new`].
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+    sink: Mutex<Option<JsonlSink>>,
+    sink_open: AtomicBool,
+    /// Emit every `stride`-th event; `0` disables emission entirely.
+    sampling: AtomicU64,
+    seq: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with no sink and a sampling stride of 1.
+    pub fn new() -> Self {
+        Self {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            sink: Mutex::new(None),
+            sink_open: AtomicBool::new(false),
+            sampling: AtomicU64::new(1),
+            seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Returns the counter registered under `name`, creating it if needed.
+    /// Cache the handle; lookups take a read lock.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Binds an *existing* counter handle under `name`, so external totals
+    /// (e.g. `ResolutionControl`'s) and the registry read the same atomic.
+    /// A previous binding under the same name is replaced.
+    pub fn register_counter(&self, name: &str, handle: &Counter) {
+        self.counters
+            .write()
+            .insert(name.to_string(), handle.clone());
+    }
+
+    /// Returns the gauge registered under `name`, creating it if needed.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it if needed.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Opens a timed span; its duration is recorded into the histogram
+    /// `"{name}.ns"` (and emitted as a `"span"` event when the sink is open)
+    /// when the guard drops. A no-op without the `telemetry` feature.
+    pub fn span<'a>(&'a self, name: &str) -> SpanGuard<'a> {
+        SpanGuard::enter(self, name)
+    }
+
+    /// Nanoseconds since this registry was created.
+    pub fn elapsed_ns(&self) -> u64 {
+        crate::histogram::saturating_ns(self.epoch.elapsed())
+    }
+
+    /// Sets the event sampling stride: emit every `stride`-th event, `0`
+    /// disables event emission (metrics still accumulate).
+    pub fn set_sampling(&self, stride: u64) {
+        self.sampling.store(stride, Ordering::Relaxed);
+    }
+
+    /// Current sampling stride.
+    pub fn sampling(&self) -> u64 {
+        self.sampling.load(Ordering::Relaxed)
+    }
+
+    /// True when emitted events can reach a sink: the `telemetry` feature is
+    /// compiled in, a JSONL sink is open and sampling is non-zero. Call sites
+    /// use this to skip building event payloads; with the feature off it is
+    /// a compile-time `false`, so guarded code folds away.
+    #[inline]
+    pub fn events_enabled(&self) -> bool {
+        if cfg!(feature = "telemetry") {
+            self.sink_open.load(Ordering::Relaxed) && self.sampling() != 0
+        } else {
+            false
+        }
+    }
+
+    /// Opens (or replaces) the JSONL event sink at `path`, creating parent
+    /// directories. Resets the emission sequence number.
+    pub fn open_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        let mut guard = self.sink.lock();
+        if let Some(old) = guard.as_mut() {
+            old.writer.flush()?;
+        }
+        *guard = Some(JsonlSink {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+        });
+        self.seq.store(0, Ordering::Relaxed);
+        self.sink_open.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flushes the sink, if open.
+    pub fn flush(&self) -> io::Result<()> {
+        if let Some(sink) = self.sink.lock().as_mut() {
+            sink.writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and closes the sink, returning the path it was writing to.
+    pub fn close_sink(&self) -> io::Result<Option<PathBuf>> {
+        self.sink_open.store(false, Ordering::Relaxed);
+        let mut guard = self.sink.lock();
+        match guard.take() {
+            Some(mut sink) => {
+                sink.writer.flush()?;
+                Ok(Some(sink.path))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Emits an event to the sink, subject to the sampling stride. Returns
+    /// `true` if a line was written. Write errors are swallowed here (the
+    /// hot path must not panic); they surface on [`Registry::flush`] /
+    /// [`Registry::close_sink`].
+    pub fn emit(&self, event: Event) -> bool {
+        if !self.events_enabled() {
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let stride = self.sampling();
+        if stride == 0 || !seq.is_multiple_of(stride) {
+            return false;
+        }
+        let mut record = event.record;
+        record.ts_ns = self.elapsed_ns();
+        record.seq = seq;
+        let Ok(line) = serde_json::to_string(&record) else {
+            return false;
+        };
+        let mut guard = self.sink.lock();
+        match guard.as_mut() {
+            Some(sink) => writeln!(sink.writer, "{line}").is_ok(),
+            None => false,
+        }
+    }
+
+    /// Snapshot of every registered metric.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .filter(|(_, v)| v.count() > 0)
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Resets every counter and forgets gauges/histograms. Intended for
+    /// benchmark harnesses that reuse one registry across phases.
+    pub fn reset_metrics(&self) {
+        for c in self.counters.read().values() {
+            c.reset();
+        }
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventRecord;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "mri-telemetry-{}-{}.jsonl",
+            tag,
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn named_handles_are_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.add(4);
+        assert_eq!(reg.counter("x").get(), 7);
+        assert!(a.same_cell(&b));
+    }
+
+    #[test]
+    fn register_counter_binds_external_handle() {
+        let reg = Registry::new();
+        let external = Counter::new();
+        external.add(10);
+        reg.register_counter("control.term_pairs", &external);
+        external.add(5);
+        assert_eq!(reg.counter("control.term_pairs").get(), 15);
+        assert_eq!(reg.summary().counters["control.term_pairs"], 15);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn jsonl_sink_writes_schema_valid_lines() {
+        let reg = Registry::new();
+        let path = temp_path("sink");
+        reg.open_jsonl(&path).unwrap();
+        assert!(reg.events_enabled());
+        for i in 0..5u64 {
+            let wrote = reg.emit(Event::new("test", "tick").int("i", i));
+            assert!(wrote);
+        }
+        reg.close_sink().unwrap();
+        assert!(!reg.events_enabled());
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 5);
+        let mut last_seq = None;
+        for line in lines {
+            let rec: EventRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(rec.kind, "test");
+            assert_eq!(rec.name, "tick");
+            if let Some(prev) = last_seq {
+                assert!(rec.seq > prev);
+            }
+            last_seq = Some(rec.seq);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sampling_stride_downsamples_and_zero_disables() {
+        let reg = Registry::new();
+        let path = temp_path("sampling");
+        reg.open_jsonl(&path).unwrap();
+        reg.set_sampling(3);
+        let wrote: usize = (0..9)
+            .map(|i| reg.emit(Event::new("test", "t").int("i", i)) as usize)
+            .sum();
+        assert_eq!(wrote, 3); // seq 0, 3, 6
+        reg.set_sampling(0);
+        assert!(!reg.events_enabled());
+        assert!(!reg.emit(Event::new("test", "t")));
+        reg.close_sink().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_cheap_no_op() {
+        let reg = Registry::new();
+        assert!(!reg.events_enabled());
+        assert!(!reg.emit(Event::new("test", "t")));
+    }
+
+    #[test]
+    fn summary_skips_empty_histograms() {
+        let reg = Registry::new();
+        reg.histogram("empty");
+        reg.histogram("full").record(9);
+        reg.gauge("g").set(2.5);
+        let s = reg.summary();
+        assert!(!s.histograms.contains_key("empty"));
+        assert_eq!(s.histograms["full"].count, 1);
+        assert_eq!(s.gauges["g"], 2.5);
+    }
+}

@@ -1,0 +1,180 @@
+//! Scoped spans: RAII timers that feed a histogram and (optionally) the
+//! event stream.
+//!
+//! ```
+//! let reg = mri_telemetry::Registry::new();
+//! {
+//!     let _step = reg.span("train.step");
+//!     // ... work ...
+//! } // duration recorded into histogram "train.step.ns" here
+//! ```
+//!
+//! Spans nest: a thread-local depth is tracked so emitted `"span"` events
+//! carry their nesting level. Without the `telemetry` cargo feature a span
+//! takes no clock reading and the guard is an empty struct.
+
+use crate::registry::Registry;
+
+#[cfg(feature = "telemetry")]
+use crate::histogram::{saturating_ns, Histogram};
+
+#[cfg(feature = "telemetry")]
+thread_local! {
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Current span nesting depth on this thread (0 outside any span). Always 0
+/// without the `telemetry` feature.
+pub fn current_depth() -> u32 {
+    #[cfg(feature = "telemetry")]
+    {
+        DEPTH.with(|d| d.get())
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        0
+    }
+}
+
+/// RAII guard returned by [`Registry::span`]; records on drop.
+pub struct SpanGuard<'a> {
+    #[cfg(feature = "telemetry")]
+    active: Option<Active<'a>>,
+    #[cfg(not(feature = "telemetry"))]
+    _registry: std::marker::PhantomData<&'a Registry>,
+}
+
+#[cfg(feature = "telemetry")]
+struct Active<'a> {
+    registry: &'a Registry,
+    name: String,
+    hist: Histogram,
+    start: std::time::Instant,
+    depth: u32,
+}
+
+impl<'a> SpanGuard<'a> {
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn enter(registry: &'a Registry, name: &str) -> Self {
+        let hist = registry.histogram(&format!("{name}.ns"));
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        Self {
+            active: Some(Active {
+                registry,
+                name: name.to_string(),
+                hist,
+                start: std::time::Instant::now(),
+                depth,
+            }),
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    pub(crate) fn enter(_registry: &'a Registry, _name: &str) -> Self {
+        Self {
+            _registry: std::marker::PhantomData,
+        }
+    }
+
+    /// Nesting depth this span opened at (0 = outermost). Always 0 without
+    /// the `telemetry` feature.
+    pub fn depth(&self) -> u32 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.active.as_ref().map_or(0, |a| a.depth)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(active) = self.active.take() {
+            let ns = saturating_ns(active.start.elapsed());
+            active.hist.record(ns);
+            DEPTH.with(|d| d.set(active.depth));
+            if active.registry.events_enabled() {
+                active.registry.emit(
+                    crate::Event::new("span", active.name)
+                        .int("dur_ns", ns)
+                        .int("depth", u64::from(active.depth)),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn span_records_duration_into_named_histogram() {
+        let reg = Registry::new();
+        {
+            let _s = reg.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let h = reg.histogram("work.ns");
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 2_000_000, "slept 2ms but recorded {}ns", h.max());
+    }
+
+    #[test]
+    fn nested_spans_track_depth_and_contain_inner_time() {
+        let reg = Registry::new();
+        assert_eq!(super::current_depth(), 0);
+        {
+            let outer = reg.span("outer");
+            assert_eq!(outer.depth(), 0);
+            assert_eq!(super::current_depth(), 1);
+            {
+                let inner = reg.span("inner");
+                assert_eq!(inner.depth(), 1);
+                assert_eq!(super::current_depth(), 2);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert_eq!(super::current_depth(), 1);
+        }
+        assert_eq!(super::current_depth(), 0);
+        let outer = reg.histogram("outer.ns");
+        let inner = reg.histogram("inner.ns");
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 1);
+        // The outer span strictly contains the inner one.
+        assert!(outer.max() >= inner.max());
+    }
+
+    #[test]
+    fn span_events_carry_depth() {
+        let reg = Registry::new();
+        let path =
+            std::env::temp_dir().join(format!("mri-telemetry-span-{}.jsonl", std::process::id()));
+        reg.open_jsonl(&path).unwrap();
+        {
+            let _outer = reg.span("outer");
+            let _inner = reg.span("inner");
+        }
+        reg.close_sink().unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let recs: Vec<crate::EventRecord> = body
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        // Inner drops first.
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "inner");
+        assert_eq!(recs[0].ints["depth"], 1);
+        assert_eq!(recs[1].name, "outer");
+        assert_eq!(recs[1].ints["depth"], 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

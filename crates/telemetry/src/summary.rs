@@ -1,0 +1,167 @@
+//! End-of-run summaries: a serializable snapshot of every metric plus a
+//! human-readable table, written under `results/telemetry/` by convention.
+
+use crate::histogram::HistogramSummary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Snapshot of a [`crate::Registry`]: all counters, gauges and non-empty
+/// histograms, keyed by registered name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Formats a nanosecond quantity with a readable unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=1_999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Formats a histogram cell: humanize durations, keep raw integers exact.
+fn fmt_cell(name: &str, v: u64) -> String {
+    if name.ends_with(".ns") || name.ends_with("_ns") {
+        fmt_ns(v)
+    } else {
+        v.to_string()
+    }
+}
+
+fn aligned(rows: &[Vec<String>], out: &mut String) {
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    for row in rows {
+        out.push_str("  ");
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:w$}", cell, w = widths[i]));
+        }
+        // Trailing alignment spaces are trimmed line by line.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+}
+
+impl Summary {
+    /// Renders the summary as an aligned plain-text table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("== telemetry summary ==\n");
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            let rows: Vec<Vec<String>> = self
+                .counters
+                .iter()
+                .map(|(k, v)| vec![k.clone(), v.to_string()])
+                .collect();
+            aligned(&rows, &mut out);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges\n");
+            let rows: Vec<Vec<String>> = self
+                .gauges
+                .iter()
+                .map(|(k, v)| vec![k.clone(), format!("{v:.6}")])
+                .collect();
+            aligned(&rows, &mut out);
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\nhistograms\n");
+            let mut rows: Vec<Vec<String>> =
+                vec![["name", "count", "mean", "min", "p50", "p90", "p99", "max"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()];
+            for (k, h) in &self.histograms {
+                rows.push(vec![
+                    k.clone(),
+                    h.count.to_string(),
+                    fmt_cell(k, h.mean as u64),
+                    fmt_cell(k, h.min),
+                    fmt_cell(k, h.p50),
+                    fmt_cell(k, h.p90),
+                    fmt_cell(k, h.p99),
+                    fmt_cell(k, h.max),
+                ]);
+            }
+            aligned(&rows, &mut out);
+        }
+        out
+    }
+
+    /// Writes `summary.json` and `summary.txt` into `dir` (created if
+    /// missing); returns the JSON path.
+    pub fn write_dir(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join("summary.json");
+        let body = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&json_path, body)?;
+        std::fs::write(dir.join("summary.txt"), self.render_table())?;
+        Ok(json_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(950), "950ns");
+        assert_eq!(fmt_ns(12_500), "12.5us");
+        assert_eq!(fmt_ns(12_500_000), "12.5ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+
+    #[test]
+    fn summary_round_trips_and_renders() {
+        let reg = Registry::new();
+        reg.counter("control.term_pairs").add(123_456);
+        reg.gauge("train.student_loss").set(0.25);
+        let h = reg.histogram("train.step.ns");
+        h.record(1_000_000);
+        h.record(3_000_000);
+        let s = reg.summary();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        let table = s.render_table();
+        assert!(table.contains("control.term_pairs"));
+        assert!(table.contains("123456"));
+        assert!(table.contains("train.step.ns"));
+    }
+
+    #[test]
+    fn write_dir_produces_json_and_txt() {
+        let reg = Registry::new();
+        reg.counter("c").add(1);
+        let dir =
+            std::env::temp_dir().join(format!("mri-telemetry-summary-{}", std::process::id()));
+        let json_path = reg.summary().write_dir(&dir).unwrap();
+        assert!(json_path.ends_with("summary.json"));
+        let body = std::fs::read_to_string(&json_path).unwrap();
+        let back: Summary = serde_json::from_str(&body).unwrap();
+        assert_eq!(back.counters["c"], 1);
+        assert!(dir.join("summary.txt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -12,7 +12,7 @@ use multi_resolution_inference::core::{
 };
 use multi_resolution_inference::data::SyntheticImages;
 use multi_resolution_inference::models::MiniResNet;
-use multi_resolution_inference::nn::{BnBankSelector, Layer};
+use multi_resolution_inference::nn::BnBankSelector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::AtomicUsize;

@@ -1,0 +1,90 @@
+//! Observability walkthrough: stream training + simulator telemetry to
+//! JSONL and render an end-of-run summary.
+//!
+//! ```text
+//! cargo run --release --example telemetry
+//! ```
+//!
+//! Writes `results/telemetry/events.jsonl`, `results/telemetry/summary.json`
+//! and `results/telemetry/summary.txt`, and prints the summary table. The
+//! same registry serves three instrumented layers at once: the Algorithm-1
+//! trainer (spans, losses, student-spec selection), the quantization kernels
+//! (term counters, sampled kernel latency) and the mMAC system simulator
+//! (per-layer cycles and stalls).
+
+use multi_resolution_inference::core::{
+    MultiResTrainer, QuantConfig, Resolution, ResolutionControl, SubModelSpec, TrainerConfig,
+};
+use multi_resolution_inference::data::SyntheticImages;
+use multi_resolution_inference::hw::{MmacSystem, NetworkWorkload, SystemConfig};
+use multi_resolution_inference::models::MiniResNet;
+use multi_resolution_inference::telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::sync::Arc;
+
+fn main() {
+    let dir = Path::new("results/telemetry");
+    let reg = telemetry::global();
+    reg.open_jsonl(dir.join("events.jsonl"))
+        .expect("open JSONL sink");
+    reg.set_sampling(1); // every event; raise the stride to subsample
+
+    // A ResolutionControl *bound* to the registry: the trainer's term-pair
+    // and value-MAC tallies become the `control.*` counters of the summary
+    // while remaining readable through the legacy accessors.
+    let control = Arc::new(ResolutionControl::bound(Resolution::Full, reg, "control"));
+
+    // --- Layer 1+2: a short Algorithm-1 training run on a tiny CNN.
+    // Every `train_step` opens a `train.step` span, updates loss gauges and
+    // selection counters, and emits one `train.step` event; the TQ kernels
+    // underneath count every encoded value and kept/dropped term.
+    let classes = 3;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut model =
+        MiniResNet::mobilenet_like(&mut rng, classes, QuantConfig::paper_cnn(), &control);
+    let specs = vec![
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(14, 2),
+        SubModelSpec::new(20, 3),
+    ];
+    let mut tcfg = TrainerConfig::new(specs);
+    tcfg.lr = 0.08;
+    tcfg.seed = 7;
+    let mut trainer = MultiResTrainer::new(tcfg, Arc::clone(&control));
+    let mut data = SyntheticImages::new(7, classes, 8);
+    for step in 0..10 {
+        let (x, labels) = data.batch(16);
+        let s = trainer.train_step(&mut model, &x, &labels);
+        println!(
+            "step {step}: teacher loss {:.3}, student {} loss {:.3}",
+            s.teacher_loss, s.student, s.student_loss
+        );
+    }
+
+    // --- Layer 3: the mMAC system simulator. `run_detailed` emits one
+    // `hw.layer` event per layer (cycles, stalls, utilization) and
+    // accumulates `hw.<network>.<layer>.*` counters.
+    let sys = MmacSystem::new(SystemConfig::paper_vc707());
+    let net = NetworkWorkload::resnet18();
+    let (report, layers) = sys.run_detailed(&net, 8, 2);
+    println!(
+        "\nmMAC γ=16 ResNet-18: {} cycles, {:.2} ms ({} layers traced)",
+        report.cycles,
+        report.latency_ms,
+        layers.len()
+    );
+
+    // --- Wrap up: close the stream, write and print the summary.
+    let events = reg.close_sink().expect("close JSONL sink").unwrap();
+    let summary = reg.summary();
+    let json = summary.write_dir(dir).expect("write summary");
+    println!("\n{}", summary.render_table());
+    println!("events  -> {}", events.display());
+    println!("summary -> {}", json.display());
+    println!(
+        "legacy accessors agree: control.term_pairs = {}",
+        control.term_pairs()
+    );
+}

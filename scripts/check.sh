@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints (warnings are errors) and the
+# test suite, in both telemetry feature modes. Run from the repo root:
+#
+#   scripts/check.sh [--offline]
+#
+# Pass --offline (or set CARGO_NET_OFFLINE=true) in air-gapped environments
+# where crates.io is unreachable and dependencies are pre-vendored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+for arg in "$@"; do
+    case "$arg" in
+    --offline) CARGO_FLAGS+=(--offline) ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (default features)"
+cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- -D warnings
+
+echo "== cargo clippy (--no-default-features: tracing compiled out)"
+cargo clippy --workspace --lib "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" --no-default-features -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
+
+echo "all checks passed"

@@ -14,6 +14,8 @@
 //! * [`hw`] — cycle-level mMAC / systolic-array hardware simulator.
 //! * [`data`] — synthetic datasets.
 //! * [`models`] — reference CNN/LSTM/detector models.
+//! * [`telemetry`] — workspace-wide metrics registry, spans and JSONL
+//!   event streaming (see the "Observability" section of the README).
 //!
 //! # Examples
 //!
@@ -32,4 +34,5 @@ pub use mri_hw as hw;
 pub use mri_models as models;
 pub use mri_nn as nn;
 pub use mri_quant as quant;
+pub use mri_telemetry as telemetry;
 pub use mri_tensor as tensor;

@@ -1,0 +1,98 @@
+//! Cross-crate telemetry integration: a 10-step Algorithm-1 training run
+//! plus one simulator run must stream schema-valid JSONL events and produce
+//! a summary whose counters agree exactly with the legacy
+//! `ResolutionControl` accessors.
+//!
+//! This file holds a single `#[test]` on purpose: it drives the process-wide
+//! global registry (sink + sampling), which parallel tests in the same
+//! binary would race on.
+
+use multi_resolution_inference::core::{
+    MultiResTrainer, QuantConfig, Resolution, ResolutionControl, SubModelSpec, TrainerConfig,
+};
+use multi_resolution_inference::data::SyntheticImages;
+use multi_resolution_inference::hw::{MmacSystem, NetworkWorkload, SystemConfig};
+use multi_resolution_inference::models::MiniResNet;
+use multi_resolution_inference::telemetry::{self, EventRecord, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn ten_step_run_streams_schema_valid_jsonl_and_consistent_summary() {
+    let dir = std::env::temp_dir().join(format!("mri_telemetry_it_{}", std::process::id()));
+    let reg = telemetry::global();
+    reg.open_jsonl(dir.join("events.jsonl")).unwrap();
+    reg.set_sampling(1);
+
+    let control = Arc::new(ResolutionControl::bound(Resolution::Full, reg, "control"));
+    let classes = 3;
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut model =
+        MiniResNet::mobilenet_like(&mut rng, classes, QuantConfig::paper_cnn(), &control);
+    let mut cfg = TrainerConfig::new(vec![SubModelSpec::new(8, 2), SubModelSpec::new(20, 3)]);
+    cfg.lr = 0.08;
+    cfg.seed = 5;
+    let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+    let mut data = SyntheticImages::new(5, classes, 8);
+    for _ in 0..10 {
+        let (x, labels) = data.batch(16);
+        trainer.train_step(&mut model, &x, &labels);
+    }
+
+    let sys = MmacSystem::new(SystemConfig::paper_vc707());
+    let (report, layers) = sys.run_detailed(&NetworkWorkload::resnet18(), 8, 2);
+
+    let events_path = reg.close_sink().unwrap().expect("sink was open");
+    let body = std::fs::read_to_string(&events_path).unwrap();
+
+    if cfg!(feature = "telemetry") {
+        // Every line must round-trip through the typed event schema.
+        let events: Vec<EventRecord> = body
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("schema-valid JSONL line"))
+            .collect();
+        assert!(!events.is_empty());
+        // Sequence numbers are the emission order.
+        for w in events.windows(2) {
+            assert!(w[1].seq > w[0].seq, "seq must increase: {w:?}");
+        }
+        let count_kind = |k: &str| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count_kind("train.step"), 10, "one event per training step");
+        assert!(count_kind("span") >= 10, "at least the 10 train.step spans");
+        assert_eq!(count_kind("hw.run"), 1);
+        assert_eq!(count_kind("hw.layer"), layers.len());
+        // Per-layer events carry the cycle breakdown.
+        for e in events.iter().filter(|e| e.kind == "hw.layer") {
+            assert_eq!(
+                e.ints["cycles"],
+                e.ints["compute_cycles"] + e.ints["stall_cycles"],
+                "{e:?}"
+            );
+        }
+    } else {
+        assert!(body.is_empty(), "tracing compiled out must emit nothing");
+    }
+
+    // The summary must round-trip through JSON and agree *exactly* with the
+    // legacy ResolutionControl accessors and the simulator report.
+    let json_path = reg.summary().write_dir(&dir).unwrap();
+    let summary: Summary =
+        serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    assert_eq!(summary.counters["control.term_pairs"], control.term_pairs());
+    assert_eq!(summary.counters["control.value_macs"], control.value_macs());
+    assert!(control.term_pairs() > 0, "quantized students ran");
+    assert_eq!(summary.counters["hw.cycles_total"], report.cycles);
+    assert!(summary.counters["train.steps"] >= 10);
+    if cfg!(feature = "telemetry") {
+        let step = &summary.histograms["train.step.ns"];
+        assert!(step.count >= 10);
+        // Percentiles are log₂-bucket upper bounds: monotone in p and at
+        // most one bucket (2×) above the exact observed maximum.
+        assert!(step.p50 <= step.p99);
+        assert!(step.p99 <= step.max.saturating_mul(2));
+        assert!(step.min <= step.max);
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
