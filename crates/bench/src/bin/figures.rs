@@ -37,7 +37,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|verify|summary|all> [--fast] [--seed N]");
+        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|verify|summary|all> [--fast] [--seed N]");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -103,6 +103,9 @@ fn main() {
     }
     if want("telemetry") {
         run_telemetry(cfg);
+    }
+    if want("cache") {
+        run_cache(cfg);
     }
     if want("summary") {
         let claims = mri_bench::summary::check_claims(std::path::Path::new("results"));
@@ -184,6 +187,42 @@ fn run_telemetry(cfg: RunConfig) {
         .write_dir(dir)
         .expect("write telemetry summary");
     println!("telemetry summary -> {}", summary_path.display());
+}
+
+fn run_cache(cfg: RunConfig) {
+    let rows = mri_bench::cache_exp::cache_speedup(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.specs.to_string(),
+                r.steps.to_string(),
+                format!("{:.2}ms", r.per_step_ms),
+                format!("{:.3}s", r.eval_wall_s),
+                r.misses.to_string(),
+                r.hits.to_string(),
+                format!("{:.2}x", r.train_speedup),
+                format!("{:.2}x", r.eval_speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Weight-term cache: encode once per step, truncate per resolution (§4.1)",
+        &[
+            "mode",
+            "specs",
+            "steps",
+            "per step",
+            "eval_all",
+            "encodes",
+            "hits",
+            "step speedup",
+            "eval speedup",
+        ],
+        &table,
+    );
+    write_json("cache", &rows);
 }
 
 fn run_ablation_strategy(cfg: RunConfig) {

@@ -1,0 +1,202 @@
+//! Reusable weight-term cache benchmark: Algorithm-1 steps and multi-spec
+//! evaluation with the per-layer [`WeightTermCache`] enabled vs disabled.
+//!
+//! The cached mode should (a) perform exactly one weight encode per
+//! optimizer step regardless of how many sub-model specs are configured
+//! (the acceptance criterion, visible in the `misses` column) and (b) cut
+//! per-step wall-clock, since the student pass and every evaluation spec
+//! serve weights by prefix truncation instead of re-running
+//! `UQ → SDR → sort → truncate`.
+
+use crate::RunConfig;
+use mri_core::{
+    MultiResTrainer, QLinear, QuantConfig, ResolutionControl, SubModelSpec, TrainerConfig,
+    WeightTermCache,
+};
+use mri_nn::{Layer, Mode, Param, Relu};
+use mri_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One A/B row of the cache benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheRow {
+    /// `"cached"` or `"uncached"`.
+    pub mode: String,
+    /// Sub-model specs configured (≥ 3 per the acceptance criterion).
+    pub specs: usize,
+    /// Algorithm-1 steps timed.
+    pub steps: usize,
+    /// Wall-clock of the training loop, seconds.
+    pub train_wall_s: f64,
+    /// Wall-clock per training step, milliseconds.
+    pub per_step_ms: f64,
+    /// Wall-clock of one `evaluate_all` over every spec, seconds.
+    pub eval_wall_s: f64,
+    /// Cache hits summed over the model's layers.
+    pub hits: u64,
+    /// Cache misses (= weight encodes) summed over the model's layers.
+    pub misses: u64,
+    /// Per-step speedup vs the uncached row (1.0 for the uncached row).
+    pub train_speedup: f64,
+    /// `evaluate_all` speedup vs the uncached row.
+    pub eval_speedup: f64,
+}
+
+/// A three-layer quantized MLP with direct handles on each layer's weight
+/// cache (a `Sequential` would box them away).
+struct BenchNet {
+    l1: QLinear,
+    r1: Relu,
+    l2: QLinear,
+    r2: Relu,
+    l3: QLinear,
+}
+
+impl BenchNet {
+    fn new<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        din: usize,
+        hidden: usize,
+        classes: usize,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        let qcfg = QuantConfig::paper_cnn();
+        BenchNet {
+            l1: QLinear::new(rng, din, hidden, qcfg, Arc::clone(control)),
+            r1: Relu::new(),
+            l2: QLinear::new(rng, hidden, hidden, qcfg, Arc::clone(control)),
+            r2: Relu::new(),
+            l3: QLinear::new(rng, hidden, classes, qcfg, Arc::clone(control)),
+        }
+    }
+
+    fn caches(&self) -> [&WeightTermCache; 3] {
+        [
+            self.l1.weight_cache(),
+            self.l2.weight_cache(),
+            self.l3.weight_cache(),
+        ]
+    }
+
+    fn set_cache_enabled(&self, enabled: bool) {
+        for c in self.caches() {
+            c.set_enabled(enabled);
+        }
+    }
+}
+
+impl Layer for BenchNet {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let h = self.r1.forward(&self.l1.forward(x, mode), mode);
+        let h = self.r2.forward(&self.l2.forward(&h, mode), mode);
+        self.l3.forward(&h, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.r2.backward(&self.l3.backward(grad_out));
+        let g = self.r1.backward(&self.l2.backward(&g));
+        self.l1.backward(&g)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.l1.visit_params(visitor);
+        self.l2.visit_params(visitor);
+        self.l3.visit_params(visitor);
+    }
+
+    fn describe(&self) -> String {
+        "cache-bench-mlp".to_string()
+    }
+}
+
+/// Runs the A/B: identical nets, data and spec grids; only the caches'
+/// enabled flag differs. Returns `[uncached, cached]`.
+pub fn cache_speedup(cfg: RunConfig) -> Vec<CacheRow> {
+    let (din, hidden, classes, batch, steps, eval_batches) = if cfg.fast {
+        (32, 64, 4, 16, 10, 2)
+    } else {
+        (128, 256, 10, 32, 40, 8)
+    };
+    let specs = vec![
+        SubModelSpec::new(4, 1),
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(12, 2),
+        SubModelSpec::new(16, 3),
+    ];
+
+    let mut rows: Vec<CacheRow> = Vec::new();
+    for cached in [false, true] {
+        let control = Arc::new(ResolutionControl::default());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut net = BenchNet::new(&mut rng, din, hidden, classes, &control);
+        net.set_cache_enabled(cached);
+        let mut tc = TrainerConfig::new(specs.clone());
+        tc.lr = 0.05;
+        let mut trainer = MultiResTrainer::new(tc, Arc::clone(&control));
+
+        let x = init::uniform(&mut rng, &[batch, din], 0.0, 1.0);
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            trainer.train_step(&mut net, &x, &labels);
+        }
+        let train_wall_s = t0.elapsed().as_secs_f64();
+
+        let eval_data: Vec<(Tensor, Vec<usize>)> = (0..eval_batches)
+            .map(|_| {
+                (
+                    init::uniform(&mut rng, &[batch, din], 0.0, 1.0),
+                    labels.clone(),
+                )
+            })
+            .collect();
+        let t1 = Instant::now();
+        trainer.evaluate_all(&mut net, &eval_data);
+        let eval_wall_s = t1.elapsed().as_secs_f64();
+
+        rows.push(CacheRow {
+            mode: if cached { "cached" } else { "uncached" }.to_string(),
+            specs: specs.len(),
+            steps,
+            train_wall_s,
+            per_step_ms: train_wall_s * 1e3 / steps as f64,
+            eval_wall_s,
+            hits: net.caches().iter().map(|c| c.hits()).sum(),
+            misses: net.caches().iter().map(|c| c.misses()).sum(),
+            train_speedup: 1.0,
+            eval_speedup: 1.0,
+        });
+    }
+    let (base_step, base_eval) = (rows[0].per_step_ms, rows[0].eval_wall_s);
+    rows[1].train_speedup = base_step / rows[1].per_step_ms;
+    rows[1].eval_speedup = base_eval / rows[1].eval_wall_s;
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_mode_encodes_once_per_step() {
+        let rows = cache_speedup(RunConfig {
+            fast: true,
+            seed: 0,
+        });
+        assert_eq!(rows.len(), 2);
+        let uncached = &rows[0];
+        let cached = &rows[1];
+        assert_eq!((uncached.hits, uncached.misses), (0, 0));
+        // 3 layers × (10 steps + 1 eval refill) encodes; everything else hits.
+        assert_eq!(
+            cached.misses,
+            3 * (uncached.steps as u64 + 1),
+            "one encode per layer per optimizer step (plus the post-step eval fill)"
+        );
+        assert!(cached.hits > cached.misses);
+    }
+}

@@ -24,10 +24,12 @@
 //! | `table2`/`table3`/`laconic` | MAC cost & energy | [`hw_exp`] |
 //! | `fig26`/`table4` | system latency/efficiency & accelerator table | [`hw_exp`] |
 //! | `telemetry` | tracing/metrics overhead on the trainer | [`telemetry_exp`] |
+//! | `cache` | weight-term cache A/B (encode once, truncate per α) | [`cache_exp`] |
 
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cache_exp;
 pub mod hw_exp;
 pub mod quant_exp;
 pub mod report;

@@ -146,6 +146,7 @@ impl Checkpoint {
                         });
                     } else {
                         p.value.data_mut().copy_from_slice(&rec.data);
+                        p.bump_version();
                     }
                 }
             }

@@ -15,6 +15,9 @@
 //! * [`QConv2d`] / [`QLinear`] — quantization-aware layers: full-precision
 //!   master weights, learnable PACT clips, a `UQ → SDR → TQ` forward and a
 //!   straight-through backward (Algorithm 1 steps 1–7);
+//! * [`WeightTermCache`] — the reusable weight-term cache behind those
+//!   layers: the canonical term sequence is encoded once per optimizer step
+//!   and every sub-model resolution is served by prefix truncation (§4.1);
 //! * [`MultiResTrainer`] — the teacher–student joint-optimization loop
 //!   (Algorithm 1 steps 8–9) together with evaluation helpers;
 //! * [`training`] also provides the baselines the paper compares against:
@@ -41,6 +44,7 @@ pub mod policy;
 pub mod qlayers;
 pub mod spec;
 pub mod training;
+pub mod wcache;
 
 pub use checkpoint::Checkpoint;
 pub use control::ResolutionControl;
@@ -51,3 +55,4 @@ pub use qlayers::{
 };
 pub use spec::{Resolution, SubModelSpec};
 pub use training::{EvalResult, MultiResTrainer, StepStats, TrainerConfig};
+pub use wcache::WeightTermCache;

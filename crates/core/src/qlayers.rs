@@ -13,6 +13,7 @@
 //!    master weights (no quantization in the backward pass), routing
 //!    saturation gradients to the clip parameters (PACT).
 
+use crate::wcache::WeightTermCache;
 use crate::{Resolution, ResolutionControl};
 use mri_nn::{Layer, Mode, Param};
 use mri_quant::uq::{pact_clip_grad, ste_mask, QuantRange};
@@ -190,21 +191,23 @@ impl Quantizers {
                     QuantRange::Symmetric => UniformQuantizer::symmetric(self.qcfg.data_bits, clip),
                     QuantRange::Unsigned => UniformQuantizer::unsigned(self.qcfg.data_bits, clip),
                 };
-                let transform: Box<dyn Fn(i64) -> i64> = match res {
+                let levels = uq.levels();
+                let scale = uq.scale();
+                let lut: Vec<f32> = match res {
                     Resolution::Tq { beta, .. } => {
                         let tq = GroupTermQuantizer::new(1, beta, self.qcfg.encoding);
-                        Box::new(move |v| tq.quantize_i64(&[v]).values[0])
+                        (-levels..=levels)
+                            .map(|v| tq.quantize_one(v) as f32 * scale)
+                            .collect()
                     }
                     Resolution::UqShared { data_bits, .. } => {
                         let shift = self.qcfg.data_bits.saturating_sub(data_bits);
-                        Box::new(move |v| truncate_low_bits(v, shift))
+                        (-levels..=levels)
+                            .map(|v| truncate_low_bits(v, shift) as f32 * scale)
+                            .collect()
                     }
                     Resolution::Full => unreachable!(),
                 };
-                let levels = uq.levels();
-                let lut: Vec<f32> = (-levels..=levels)
-                    .map(|v| transform(v) as f32 * uq.scale())
-                    .collect();
                 let off = levels;
                 let mut values = Tensor::zeros(x.dims());
                 let mut ste = Tensor::zeros(x.dims());
@@ -266,6 +269,7 @@ pub struct QConv2d {
     in_channels: usize,
     out_channels: usize,
     cache: Option<QConvCache>,
+    wcache: WeightTermCache,
 }
 
 struct QConvCache {
@@ -305,6 +309,7 @@ impl QConv2d {
             in_channels,
             out_channels,
             cache: None,
+            wcache: WeightTermCache::new(),
         }
     }
 
@@ -316,15 +321,22 @@ impl QConv2d {
     /// The weights as quantized under the currently active resolution —
     /// what the hardware would actually store and compute with.
     pub fn quantized_weight(&self) -> Tensor {
-        let q = Quantizers { qcfg: self.qcfg };
         let row_len = self.in_channels * self.cfg.kernel.0 * self.cfg.kernel.1;
-        q.quantize_weights(
-            &self.weight.value,
-            clip_value(&self.w_clip),
-            self.control.resolution(),
-            row_len,
-        )
-        .values
+        self.wcache
+            .quantize(
+                &self.weight.value,
+                self.weight.version(),
+                clip_value(&self.w_clip),
+                self.control.resolution(),
+                self.qcfg,
+                row_len,
+            )
+            .values
+    }
+
+    /// The layer's reusable weight-term cache (stats and A/B toggling).
+    pub fn weight_cache(&self) -> &WeightTermCache {
+        &self.wcache
     }
 }
 
@@ -339,7 +351,14 @@ impl Layer for QConv2d {
         let q = Quantizers { qcfg: self.qcfg };
         let row_len = self.in_channels * self.cfg.kernel.0 * self.cfg.kernel.1;
 
-        let wq = q.quantize_weights(&self.weight.value, clip_value(&self.w_clip), res, row_len);
+        let wq = self.wcache.quantize(
+            &self.weight.value,
+            self.weight.version(),
+            clip_value(&self.w_clip),
+            res,
+            self.qcfg,
+            row_len,
+        );
         let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
 
         let dims = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
@@ -433,6 +452,7 @@ pub struct QLinear {
     in_features: usize,
     out_features: usize,
     cache: Option<QLinearCache>,
+    wcache: WeightTermCache,
 }
 
 struct QLinearCache {
@@ -467,6 +487,7 @@ impl QLinear {
             in_features,
             out_features,
             cache: None,
+            wcache: WeightTermCache::new(),
         }
     }
 
@@ -477,14 +498,21 @@ impl QLinear {
 
     /// The weights as quantized under the currently active resolution.
     pub fn quantized_weight(&self) -> Tensor {
-        let q = Quantizers { qcfg: self.qcfg };
-        q.quantize_weights(
-            &self.weight.value,
-            clip_value(&self.w_clip),
-            self.control.resolution(),
-            self.in_features,
-        )
-        .values
+        self.wcache
+            .quantize(
+                &self.weight.value,
+                self.weight.version(),
+                clip_value(&self.w_clip),
+                self.control.resolution(),
+                self.qcfg,
+                self.in_features,
+            )
+            .values
+    }
+
+    /// The layer's reusable weight-term cache (stats and A/B toggling).
+    pub fn weight_cache(&self) -> &WeightTermCache {
+        &self.wcache
     }
 }
 
@@ -493,10 +521,12 @@ impl Layer for QLinear {
         assert_eq!(x.dim(1), self.in_features, "qlinear input width mismatch");
         let res = self.control.resolution();
         let q = Quantizers { qcfg: self.qcfg };
-        let wq = q.quantize_weights(
+        let wq = self.wcache.quantize(
             &self.weight.value,
+            self.weight.version(),
             clip_value(&self.w_clip),
             res,
+            self.qcfg,
             self.in_features,
         );
         let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
@@ -757,6 +787,7 @@ pub struct QDepthwiseConv2d {
     control: Arc<ResolutionControl>,
     channels: usize,
     cache: Option<QDwCache>,
+    wcache: WeightTermCache,
 }
 
 struct QDwCache {
@@ -788,12 +819,18 @@ impl QDepthwiseConv2d {
             control,
             channels,
             cache: None,
+            wcache: WeightTermCache::new(),
         }
     }
 
     /// Immutable access to the master weights (`[C, KH, KW]`).
     pub fn master_weight(&self) -> &Tensor {
         &self.weight.value
+    }
+
+    /// The layer's reusable weight-term cache (stats and A/B toggling).
+    pub fn weight_cache(&self) -> &WeightTermCache {
+        &self.wcache
     }
 }
 
@@ -804,7 +841,14 @@ impl Layer for QDepthwiseConv2d {
         let q = Quantizers { qcfg: self.qcfg };
         let (kh, kw) = self.cfg.kernel;
         // One TQ group per channel filter (k = kh*kw values).
-        let wq = q.quantize_weights(&self.weight.value, clip_value(&self.w_clip), res, kh * kw);
+        let wq = self.wcache.quantize(
+            &self.weight.value,
+            self.weight.version(),
+            clip_value(&self.w_clip),
+            res,
+            self.qcfg,
+            kh * kw,
+        );
         let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
 
         let mut y = mri_tensor::conv::depthwise_forward(&xq.values, &wq.values, self.cfg);

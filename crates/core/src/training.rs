@@ -353,6 +353,12 @@ pub fn evaluate_spec(
 
 /// Evaluates the model under an arbitrary resolution, tagging the result
 /// with `spec` for reporting.
+///
+/// The evaluation's term-pair cost is measured as the before/after delta of
+/// the control's monotone counter — **not** by resetting it. A control built
+/// with [`ResolutionControl::bound`] registers the *same* atomic cells in a
+/// telemetry registry, so a reset here would silently zero the session-wide
+/// totals out from under every other reader.
 pub fn evaluate_resolution(
     model: &mut dyn Layer,
     control: &ResolutionControl,
@@ -361,7 +367,7 @@ pub fn evaluate_resolution(
     spec: SubModelSpec,
 ) -> EvalResult {
     control.set_resolution(res);
-    control.reset_counters();
+    let pairs_before = control.term_pairs();
     let mut correct_weighted = 0.0f64;
     let mut loss_sum = 0.0f64;
     let mut n_total = 0usize;
@@ -373,7 +379,7 @@ pub fn evaluate_resolution(
         loss_sum += f64::from(l) * labels.len() as f64;
         n_total += labels.len();
     }
-    let term_pairs = control.term_pairs();
+    let term_pairs = control.term_pairs() - pairs_before;
     EvalResult {
         spec,
         accuracy: if n_total == 0 {
@@ -498,6 +504,86 @@ mod tests {
         for w in results.windows(2) {
             assert!(w[0].term_pairs <= w[1].term_pairs, "γ ordering violated");
         }
+    }
+
+    #[test]
+    fn evaluation_preserves_bound_registry_totals() {
+        // Regression: `evaluate_resolution` used to reset the control's
+        // counters, but a bound control shares its atomic cells with a
+        // telemetry registry — the reset wiped the session-wide totals.
+        let registry = mri_telemetry::Registry::new();
+        let control = Arc::new(ResolutionControl::bound(
+            Resolution::Tq { alpha: 8, beta: 2 },
+            &registry,
+            "control",
+        ));
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = toy_model(&mut rng, &control);
+        let (x, labels) = toy_data(&mut rng, 8);
+        let batches = vec![(x, labels)];
+        let spec = SubModelSpec::new(8, 2);
+
+        let r1 = evaluate_spec(&mut model, &control, spec, &batches);
+        assert!(r1.term_pairs > 0);
+        let total_after_first = registry.counter("control.term_pairs").get();
+        assert!(total_after_first >= r1.term_pairs);
+
+        let r2 = evaluate_spec(&mut model, &control, spec, &batches);
+        assert_eq!(
+            r2.term_pairs, r1.term_pairs,
+            "per-evaluation cost must be a stable delta"
+        );
+        assert_eq!(
+            registry.counter("control.term_pairs").get(),
+            total_after_first + r2.term_pairs,
+            "evaluation must never zero the bound registry's totals"
+        );
+    }
+
+    #[test]
+    fn algorithm1_step_encodes_weights_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let control = Arc::new(ResolutionControl::default());
+        let mut lin = QLinear::new(
+            &mut rng,
+            8,
+            2,
+            QuantConfig::paper_cnn(),
+            Arc::clone(&control),
+        );
+        let mut cfg = TrainerConfig::new(specs());
+        cfg.lr = 0.05;
+        let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+        let (x, labels) = toy_data(&mut rng, 16);
+
+        // Per step: the teacher pass encodes (the previous step's optimizer
+        // bump staled the entry), the student pass hits.
+        trainer.train_step(&mut lin, &x, &labels);
+        assert_eq!(
+            (lin.weight_cache().misses(), lin.weight_cache().hits()),
+            (1, 1),
+            "teacher fills, student reuses"
+        );
+        for _ in 0..5 {
+            trainer.train_step(&mut lin, &x, &labels);
+        }
+        assert_eq!(
+            lin.weight_cache().misses(),
+            6,
+            "exactly one weight encode per Algorithm-1 step"
+        );
+        assert_eq!(lin.weight_cache().hits(), 6);
+
+        // A full evaluate_all across all three specs after a step costs one
+        // more encode (the step staled the entry); the rest prefix-truncate.
+        let batches = vec![(x, labels)];
+        trainer.evaluate_all(&mut lin, &batches);
+        assert_eq!(
+            lin.weight_cache().misses(),
+            7,
+            "three-spec evaluation re-encodes once"
+        );
+        assert_eq!(lin.weight_cache().hits(), 8);
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Reusable weight-term cache: encode once per step, truncate per resolution.
+//!
+//! The paper's central storage insight (§4.1, Fig. 7/17) is that the term
+//! sequence of the *largest* sub-model contains every smaller sub-model as a
+//! prefix. Training (Algorithm 1) and multi-spec evaluation exploit none of
+//! that if each forward pass re-runs `UQ → SDR → sort → truncate` from the
+//! master weights: the teacher pass, the student pass and every
+//! `evaluate_all` spec redo identical work on identical weights.
+//!
+//! [`WeightTermCache`] fixes this. Per layer it stores, keyed on the weight
+//! [`Param::version`](mri_nn::Param::version) and the PACT clip:
+//!
+//! * one [`MultiResSlice`] per weight row — the canonical term sequence,
+//!   encoded **once** with an unbounded budget so *any* configured `α` is
+//!   served by prefix truncation (no re-encode, no re-sort);
+//! * the straight-through mask and PACT saturation signs, which depend only
+//!   on the master weights and the clip — never on `α` — so a cache hit
+//!   reuses them verbatim.
+//!
+//! A miss (first use, optimizer step, clip change) re-encodes in parallel
+//! across row chunks; a hit is a per-row prefix walk plus two tensor clones.
+//! Served values are bit-identical to
+//! [`GroupTermQuantizer::quantize_slice`](mri_quant::GroupTermQuantizer::quantize_slice)
+//! at every budget because the tail-group scaling `ceil(α·t/g)` is monotone
+//! in `α` (property-tested in `crates/quant/tests/properties.rs`).
+//!
+//! Global accounting lands in the `quant.cache.hits` / `quant.cache.misses`
+//! counters and the `quant.cache.fill.ns` histogram (live in both telemetry
+//! feature modes); each instance additionally keeps exact local hit/miss
+//! counters for tests and the cache benchmark.
+
+use crate::qlayers::{fake_quantize_weights, QuantConfig, QuantizedTensor};
+use crate::Resolution;
+use mri_quant::uq::{pact_clip_grad, ste_mask, QuantRange};
+use mri_quant::{MultiResSlice, UniformQuantizer};
+use mri_telemetry::{Counter, Histogram};
+use mri_tensor::Tensor;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Minimum number of weight rows per worker before a cache fill
+/// parallelises (mirrors the `matmul` kernel's policy).
+const PAR_ROWS_PER_THREAD: usize = 16;
+
+/// Workspace-wide cache accounting, registered lazily in the global
+/// telemetry registry. Counters and histograms are plain shared atomics, so
+/// they work with or without the `telemetry` cargo feature.
+struct GlobalStats {
+    hits: Counter,
+    misses: Counter,
+    fill_ns: Histogram,
+}
+
+fn global_stats() -> &'static GlobalStats {
+    static STATS: OnceLock<GlobalStats> = OnceLock::new();
+    STATS.get_or_init(|| {
+        let reg = mri_telemetry::global();
+        GlobalStats {
+            hits: reg.counter("quant.cache.hits"),
+            misses: reg.counter("quant.cache.misses"),
+            fill_ns: reg.histogram("quant.cache.fill.ns"),
+        }
+    })
+}
+
+/// One filled cache generation: everything derivable from a fixed
+/// (weights, clip) pair that the TQ forward path needs.
+struct CacheEntry {
+    /// [`mri_nn::Param::version`] of the weights at fill time.
+    weight_version: u64,
+    /// PACT clip value at fill time (bit-compared; clips are small positive
+    /// floats, so bit equality is value equality).
+    clip_bits: u32,
+    /// Row/group layout the terms were encoded under.
+    row_len: usize,
+    /// UQ dequantization scale at the meta bitwidth.
+    scale: f32,
+    /// Canonical term sequence per weight row, encoded with an unbounded
+    /// budget: serves any `α` by prefix truncation.
+    rows: Vec<MultiResSlice>,
+    /// Straight-through mask (α-independent).
+    ste: Tensor,
+    /// PACT saturation signs (α-independent).
+    sat: Tensor,
+}
+
+/// Per-layer reusable weight-term cache. See the [module docs](self).
+///
+/// The cache is interior-mutable (`&self` serves and fills) so layers can
+/// answer `quantized_weight(&self)` without `&mut`; concurrent readers share
+/// the filled entry through an [`Arc`].
+pub struct WeightTermCache {
+    entry: RwLock<Option<Arc<CacheEntry>>>,
+    enabled: AtomicBool,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl Default for WeightTermCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeightTermCache {
+    /// Creates an empty, enabled cache.
+    pub fn new() -> Self {
+        WeightTermCache {
+            entry: RwLock::new(None),
+            enabled: AtomicBool::new(true),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// Turns the cache on or off. Disabled, [`WeightTermCache::quantize`]
+    /// falls through to the direct re-encoding path (the benchmark's A/B
+    /// switch); the stored entry is dropped.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            *self.entry.write() = None;
+        }
+    }
+
+    /// Whether the cache currently serves entries.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Exact number of TQ-weight requests this instance served from the
+    /// stored term sequence.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Exact number of TQ-weight requests this instance (re-)encoded for.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Drops the stored entry (next TQ request re-encodes).
+    pub fn invalidate(&self) {
+        *self.entry.write() = None;
+    }
+
+    /// Quantizes `w` under `res` exactly like
+    /// [`fake_quantize_weights`], serving `Resolution::Tq` from the cached
+    /// term sequence when `weight_version`, `clip` and `row_len` still match
+    /// the stored entry, and re-encoding (in parallel across row chunks)
+    /// otherwise.
+    ///
+    /// `Resolution::Full` and `Resolution::UqShared` bypass the cache: the
+    /// former is a clone, the latter is a cheap per-value bit truncation
+    /// with no term sequence to reuse.
+    pub fn quantize(
+        &self,
+        w: &Tensor,
+        weight_version: u64,
+        clip: f32,
+        res: Resolution,
+        qcfg: QuantConfig,
+        row_len: usize,
+    ) -> QuantizedTensor {
+        let Resolution::Tq { alpha, .. } = res else {
+            return fake_quantize_weights(w, clip, res, qcfg, row_len);
+        };
+        if !self.is_enabled() {
+            return fake_quantize_weights(w, clip, res, qcfg, row_len);
+        }
+
+        let clip_bits = clip.to_bits();
+        {
+            let guard = self.entry.read();
+            if let Some(entry) = guard.as_ref() {
+                if entry.weight_version == weight_version
+                    && entry.clip_bits == clip_bits
+                    && entry.row_len == row_len
+                    && entry.ste.dims() == w.dims()
+                {
+                    let entry = Arc::clone(entry);
+                    drop(guard);
+                    self.hits.inc();
+                    global_stats().hits.inc();
+                    return serve(&entry, alpha, w.dims());
+                }
+            }
+        }
+
+        // Miss: encode outside any lock (fills are the expensive path), then
+        // publish. A racing filler of the same generation merely overwrites
+        // with an identical entry.
+        self.misses.inc();
+        global_stats().misses.inc();
+        let start = Instant::now();
+        let entry = Arc::new(fill(w, weight_version, clip_bits, clip, qcfg, row_len));
+        global_stats()
+            .fill_ns
+            .record(start.elapsed().as_nanos() as u64);
+        let out = serve(&entry, alpha, w.dims());
+        *self.entry.write() = Some(entry);
+        out
+    }
+}
+
+/// Reconstructs the fake-quantized tensor for `alpha` from a filled entry.
+fn serve(entry: &CacheEntry, alpha: usize, dims: &[usize]) -> QuantizedTensor {
+    let mut values = Tensor::zeros(dims);
+    let out = values.data_mut();
+    let mut off = 0;
+    for row in &entry.rows {
+        row.write_scaled(alpha, entry.scale, &mut out[off..off + row.len()]);
+        off += row.len();
+    }
+    QuantizedTensor {
+        values,
+        ste: entry.ste.clone(),
+        sat: entry.sat.clone(),
+    }
+}
+
+/// Encodes every weight row's full term sequence plus the α-independent
+/// STE/saturation masks, splitting row chunks over scoped threads when the
+/// tensor is large enough to amortise thread startup.
+fn fill(
+    w: &Tensor,
+    weight_version: u64,
+    clip_bits: u32,
+    clip: f32,
+    qcfg: QuantConfig,
+    row_len: usize,
+) -> CacheEntry {
+    let data = w.data();
+    let row_len = row_len.max(1);
+    let n_rows = data.len().div_ceil(row_len);
+    let scale = UniformQuantizer::symmetric(qcfg.weight_bits, clip).scale();
+
+    let mut rows: Vec<Option<MultiResSlice>> = vec![None; n_rows];
+    let mut ste = vec![0.0f32; data.len()];
+    let mut sat = vec![0.0f32; data.len()];
+
+    let threads = available_threads();
+    if n_rows >= threads * PAR_ROWS_PER_THREAD && threads > 1 && data.len() > 1 << 14 {
+        let rows_per = n_rows.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (((chunk, slots), ste_chunk), sat_chunk) in data
+                .chunks(rows_per * row_len)
+                .zip(rows.chunks_mut(rows_per))
+                .zip(ste.chunks_mut(rows_per * row_len))
+                .zip(sat.chunks_mut(rows_per * row_len))
+            {
+                scope.spawn(move |_| {
+                    encode_rows(chunk, slots, ste_chunk, sat_chunk, clip, qcfg, row_len);
+                });
+            }
+        })
+        .expect("weight-term cache fill worker panicked");
+    } else {
+        encode_rows(data, &mut rows, &mut ste, &mut sat, clip, qcfg, row_len);
+    }
+
+    CacheEntry {
+        weight_version,
+        clip_bits,
+        row_len,
+        scale,
+        rows: rows.into_iter().map(|r| r.expect("row encoded")).collect(),
+        ste: Tensor::from_vec(ste, w.dims()),
+        sat: Tensor::from_vec(sat, w.dims()),
+    }
+}
+
+/// Encodes one contiguous run of weight rows: UQ to integers, one unbounded
+/// [`MultiResSlice`] per row, then the element-wise STE/saturation masks.
+fn encode_rows(
+    data: &[f32],
+    slots: &mut [Option<MultiResSlice>],
+    ste: &mut [f32],
+    sat: &mut [f32],
+    clip: f32,
+    qcfg: QuantConfig,
+    row_len: usize,
+) {
+    let uq = UniformQuantizer::symmetric(qcfg.weight_bits, clip);
+    let mut ints: Vec<i64> = Vec::with_capacity(row_len);
+    for (row, slot) in data.chunks(row_len).zip(slots.iter_mut()) {
+        ints.clear();
+        ints.extend(row.iter().map(|&x| uq.quantize(x)));
+        *slot = Some(MultiResSlice::encode(
+            &ints,
+            qcfg.group_size,
+            usize::MAX,
+            qcfg.encoding,
+        ));
+    }
+    for ((s, d), &x) in ste.iter_mut().zip(sat.iter_mut()).zip(data.iter()) {
+        *s = ste_mask(x, clip, QuantRange::Symmetric);
+        *d = pact_clip_grad(x, clip, QuantRange::Symmetric, 1.0);
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mri_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn direct(
+        w: &Tensor,
+        clip: f32,
+        alpha: usize,
+        qcfg: QuantConfig,
+        row_len: usize,
+    ) -> QuantizedTensor {
+        fake_quantize_weights(w, clip, Resolution::Tq { alpha, beta: 2 }, qcfg, row_len)
+    }
+
+    #[test]
+    fn one_fill_serves_every_alpha_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = init::uniform(&mut rng, &[6, 24], -1.0, 1.0);
+        let qcfg = QuantConfig::paper_cnn();
+        let cache = WeightTermCache::new();
+        for alpha in [1, 2, 5, 16, 40] {
+            let res = Resolution::Tq { alpha, beta: 2 };
+            let got = cache.quantize(&w, 7, 1.0, res, qcfg, 24);
+            let want = direct(&w, 1.0, alpha, qcfg, 24);
+            assert_eq!(got.values.data(), want.values.data(), "alpha {alpha}");
+            assert_eq!(got.ste.data(), want.ste.data(), "ste at alpha {alpha}");
+            assert_eq!(got.sat.data(), want.sat.data(), "sat at alpha {alpha}");
+        }
+        assert_eq!(cache.misses(), 1, "one encode must serve every alpha");
+        assert_eq!(cache.hits(), 4);
+    }
+
+    #[test]
+    fn ragged_tail_row_is_served_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = init::uniform(&mut rng, &[35], -1.0, 1.0);
+        let qcfg = QuantConfig::paper_cnn();
+        let cache = WeightTermCache::new();
+        // row_len 10 over 35 values: rows of 10, 10, 10 and a tail of 5.
+        let res = Resolution::Tq { alpha: 6, beta: 2 };
+        let got = cache.quantize(&w, 0, 0.8, res, qcfg, 10);
+        let want = direct(&w, 0.8, 6, qcfg, 10);
+        assert_eq!(got.values.data(), want.values.data());
+    }
+
+    #[test]
+    fn version_or_clip_change_forces_refill() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = init::uniform(&mut rng, &[4, 16], -1.0, 1.0);
+        let qcfg = QuantConfig::paper_cnn();
+        let res = Resolution::Tq { alpha: 8, beta: 2 };
+        let cache = WeightTermCache::new();
+        cache.quantize(&w, 0, 1.0, res, qcfg, 16);
+        cache.quantize(&w, 0, 1.0, res, qcfg, 16);
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        cache.quantize(&w, 1, 1.0, res, qcfg, 16); // optimizer bumped
+        assert_eq!(cache.misses(), 2, "stale version must refill");
+        cache.quantize(&w, 1, 0.5, res, qcfg, 16); // PACT clip moved
+        assert_eq!(cache.misses(), 3, "clip change must refill");
+        let want = direct(&w, 0.5, 8, qcfg, 16);
+        let got = cache.quantize(&w, 1, 0.5, res, qcfg, 16);
+        assert_eq!(got.values.data(), want.values.data());
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn full_and_uq_shared_bypass_the_cache() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = init::uniform(&mut rng, &[4, 16], -1.0, 1.0);
+        let qcfg = QuantConfig::paper_cnn();
+        let cache = WeightTermCache::new();
+        let full = cache.quantize(&w, 0, 1.0, Resolution::Full, qcfg, 16);
+        assert_eq!(full.values.data(), w.data());
+        let uq = Resolution::UqShared {
+            weight_bits: 4,
+            data_bits: 4,
+        };
+        let got = cache.quantize(&w, 0, 1.0, uq, qcfg, 16);
+        let want = fake_quantize_weights(&w, 1.0, uq, qcfg, 16);
+        assert_eq!(got.values.data(), want.values.data());
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (0, 0),
+            "bypass paths never count"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_re_encodes_every_time() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = init::uniform(&mut rng, &[4, 16], -1.0, 1.0);
+        let qcfg = QuantConfig::paper_cnn();
+        let res = Resolution::Tq { alpha: 8, beta: 2 };
+        let cache = WeightTermCache::new();
+        cache.set_enabled(false);
+        let got = cache.quantize(&w, 0, 1.0, res, qcfg, 16);
+        cache.quantize(&w, 0, 1.0, res, qcfg, 16);
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(
+            got.values.data(),
+            direct(&w, 1.0, 8, qcfg, 16).values.data()
+        );
+        cache.set_enabled(true);
+        cache.quantize(&w, 0, 1.0, res, qcfg, 16);
+        assert_eq!(cache.misses(), 1, "re-enabling starts cold");
+    }
+
+    #[test]
+    fn parallel_fill_matches_serial_path() {
+        // 512 rows x 64 values crosses the size and row-count thresholds on
+        // any multi-core box; on a single core it degrades to the serial
+        // branch, which this equality still covers.
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = init::uniform(&mut rng, &[512, 64], -1.0, 1.0);
+        let qcfg = QuantConfig::paper_cnn();
+        let res = Resolution::Tq { alpha: 9, beta: 2 };
+        let cache = WeightTermCache::new();
+        let got = cache.quantize(&w, 0, 1.0, res, qcfg, 64);
+        let want = direct(&w, 1.0, 9, qcfg, 64);
+        assert_eq!(got.values.data(), want.values.data());
+        assert_eq!(got.ste.data(), want.ste.data());
+        assert_eq!(got.sat.data(), want.sat.data());
+    }
+
+    #[test]
+    fn global_counters_observe_cache_traffic() {
+        let stats = global_stats();
+        let (h0, m0) = (stats.hits.get(), stats.misses.get());
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = init::uniform(&mut rng, &[2, 16], -1.0, 1.0);
+        let cache = WeightTermCache::new();
+        let res = Resolution::Tq { alpha: 4, beta: 1 };
+        cache.quantize(&w, 0, 1.0, res, QuantConfig::paper_cnn(), 16);
+        cache.quantize(&w, 0, 1.0, res, QuantConfig::paper_cnn(), 16);
+        // Deltas are lower bounds: other tests hit their own caches concurrently.
+        assert!(stats.misses.get() >= m0 + 1);
+        assert!(stats.hits.get() >= h0 + 1);
+    }
+}

@@ -7,9 +7,7 @@
 //! masters before the optimizer step (straight-through estimation). Data
 //! entering each recurrent layer is quantized with the active `β`.
 
-use mri_core::{
-    fake_quantize_data, fake_quantize_weights, QLinear, QuantConfig, ResolutionControl,
-};
+use mri_core::{fake_quantize_data, QLinear, QuantConfig, ResolutionControl, WeightTermCache};
 use mri_nn::{Dropout, Embedding, Layer, Lstm, Mode, Param};
 use mri_tensor::Tensor;
 use rand::Rng;
@@ -28,6 +26,9 @@ pub struct LstmLm {
     qcfg: QuantConfig,
     control: Arc<ResolutionControl>,
     state: Option<FwdState>,
+    /// One reusable weight-term cache per rank-2 gate weight, indexed in
+    /// visit order over both cells.
+    gate_caches: Vec<WeightTermCache>,
 }
 
 struct FwdState {
@@ -57,7 +58,7 @@ impl LstmLm {
         qcfg: QuantConfig,
         control: &Arc<ResolutionControl>,
     ) -> Self {
-        LstmLm {
+        let mut lm = LstmLm {
             emb: Embedding::new(rng, vocab, emb_dim),
             lstm1: Lstm::new(rng, emb_dim, hidden),
             lstm2: Lstm::new(rng, hidden, hidden),
@@ -69,7 +70,25 @@ impl LstmLm {
             qcfg,
             control: Arc::clone(control),
             state: None,
+            gate_caches: Vec::new(),
+        };
+        let mut rank2 = 0usize;
+        for lstm in [&mut lm.lstm1, &mut lm.lstm2] {
+            lstm.visit_params(&mut |p| {
+                if p.value.shape().rank() == 2 {
+                    rank2 += 1;
+                }
+            });
         }
+        lm.gate_caches = (0..rank2).map(|_| WeightTermCache::new()).collect();
+        lm
+    }
+
+    /// The per-gate reusable weight-term caches (visit order over both
+    /// cells' rank-2 weights); the decoder head's cache lives on
+    /// [`QLinear::weight_cache`].
+    pub fn weight_caches(&self) -> &[WeightTermCache] {
+        &self.gate_caches
     }
 
     /// Vocabulary size.
@@ -89,15 +108,28 @@ impl LstmLm {
         let w_clip = self.w_clip.value.data()[0].max(1e-3);
         let x_clip = self.x_clip.value.data()[0].max(1e-3);
 
-        // Swap fake-quantized weights into both LSTM cells.
+        // Swap fake-quantized weights into both LSTM cells, serving each
+        // gate from its term cache (swapping and restoring the masters does
+        // not bump the version, so the entries stay valid across passes).
         let mut saved = Vec::new();
         let mut stes = Vec::new();
         let mut sats = Vec::new();
+        let qcfg = self.qcfg;
+        let caches = &self.gate_caches;
+        let mut cache_idx = 0usize;
         for lstm in [&mut self.lstm1, &mut self.lstm2] {
             lstm.visit_params(&mut |p| {
                 if p.value.shape().rank() == 2 {
                     let row_len = p.value.dim(1);
-                    let fq = fake_quantize_weights(&p.value, w_clip, res, self.qcfg, row_len);
+                    let fq = caches[cache_idx].quantize(
+                        &p.value,
+                        p.version(),
+                        w_clip,
+                        res,
+                        qcfg,
+                        row_len,
+                    );
+                    cache_idx += 1;
                     saved.push(std::mem::replace(&mut p.value, fq.values));
                     stes.push(fq.ste);
                     sats.push(fq.sat);
@@ -340,6 +372,45 @@ mod tests {
         assert!(
             after < before - 0.05,
             "cross-entropy should drop: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn gate_caches_hit_across_passes_and_refill_after_step() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let control = ctl();
+        let mut lm = tiny_lm(&mut rng, &control);
+        let n_gates = lm.weight_caches().len() as u64;
+        assert!(
+            n_gates >= 4,
+            "two cells must expose at least 4 gate weights"
+        );
+        let ids: Vec<usize> = (0..8).collect();
+
+        let sums = |lm: &LstmLm| {
+            let h: u64 = lm.weight_caches().iter().map(|c| c.hits()).sum();
+            let m: u64 = lm.weight_caches().iter().map(|c| c.misses()).sum();
+            (h, m)
+        };
+        lm.forward(&ids, 2, 4, Mode::Eval);
+        assert_eq!(sums(&lm), (0, n_gates), "first pass fills every gate");
+        lm.forward(&ids, 2, 4, Mode::Eval);
+        assert_eq!(
+            sums(&lm),
+            (n_gates, n_gates),
+            "same weights + clip must hit"
+        );
+
+        let logits = lm.forward(&ids, 2, 4, Mode::Train);
+        let (_, g) = mri_nn::loss::cross_entropy(&logits, &[1usize; 8]);
+        lm.backward(&g);
+        let mut opt = mri_nn::Sgd::new(0.1, 0.0, 0.0);
+        opt.step(|f| lm.visit_params(f));
+        lm.forward(&ids, 2, 4, Mode::Eval);
+        assert_eq!(
+            sums(&lm),
+            (2 * n_gates, 2 * n_gates),
+            "an optimizer step must force exactly one refill per gate"
         );
     }
 

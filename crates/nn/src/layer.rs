@@ -32,6 +32,8 @@ pub struct Param {
     pub grad: Tensor,
     /// Whether weight decay applies (disabled for biases, norms, clips).
     pub decay: bool,
+    /// Monotone value-version counter; see [`Param::version`].
+    version: u64,
 }
 
 impl Param {
@@ -42,6 +44,7 @@ impl Param {
             value,
             grad,
             decay: true,
+            version: 0,
         }
     }
 
@@ -52,7 +55,25 @@ impl Param {
             value,
             grad,
             decay: false,
+            version: 0,
         }
+    }
+
+    /// The parameter's value version: a monotone counter bumped by every
+    /// tracked mutation of `value` — optimizer steps ([`crate::Sgd::step`])
+    /// and checkpoint restores. Derived caches (e.g. quantized weight-term
+    /// caches) key on this to detect staleness without comparing tensors.
+    ///
+    /// Writing through `value.data_mut()` directly does **not** bump the
+    /// version; code that mutates a parameter out-of-band must call
+    /// [`Param::bump_version`] itself.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Records that `value` changed (invalidates version-keyed caches).
+    pub fn bump_version(&mut self) {
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Clears the accumulated gradient.

@@ -81,6 +81,7 @@ impl Sgd {
                 *vv = momentum * *vv + g + decay * *w;
                 *w -= lr * *vv;
             }
+            p.bump_version();
             idx += 1;
         });
     }
@@ -197,6 +198,17 @@ mod tests {
             opt.step(|f| f(&mut p));
         }
         assert!(p.value.data()[0] < 0.7);
+    }
+
+    #[test]
+    fn step_bumps_param_version() {
+        let mut p = quadratic_param(1.0);
+        assert_eq!(p.version(), 0);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        p.grad.data_mut()[0] = 1.0;
+        opt.step(|f| f(&mut p));
+        opt.step(|f| f(&mut p));
+        assert_eq!(p.version(), 2, "each optimizer step must bump the version");
     }
 
     #[test]

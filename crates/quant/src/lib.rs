@@ -46,5 +46,5 @@ mod term;
 
 pub use sdr::SdrEncoding;
 pub use term::{term_sum, GroupTerm, Term};
-pub use tq::{GroupTermQuantizer, MultiResGroup, QuantizedGroup};
+pub use tq::{GroupTermQuantizer, MultiResGroup, MultiResSlice, QuantizedGroup};
 pub use uq::{QuantRange, UniformQuantizer};

@@ -43,6 +43,18 @@ pub fn group_terms(values: &[i64], encoding: SdrEncoding) -> Vec<GroupTerm> {
     terms
 }
 
+/// The effective term budget of a (possibly partial) group of `chunk_len`
+/// values under a per-`group_size` budget: full groups get the budget as-is,
+/// tails get it scaled proportionally (rounding up), exactly as
+/// [`GroupTermQuantizer::quantize_slice`] has always done.
+fn scaled_budget(budget: usize, group_size: usize, chunk_len: usize) -> usize {
+    if chunk_len == group_size {
+        budget
+    } else {
+        budget.saturating_mul(chunk_len).div_ceil(group_size)
+    }
+}
+
 /// Result of term-quantizing one group of values.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuantizedGroup {
@@ -151,36 +163,76 @@ impl GroupTermQuantizer {
     /// Term-quantizes a whole slice, group by group, writing quantized
     /// integers into a new vector. The final partial group (if any) is
     /// quantized with a proportionally scaled budget.
+    ///
+    /// This is the values-only hot path: unlike [`GroupTermQuantizer::quantize_i64`]
+    /// it never materialises kept/dropped term vectors.
     pub fn quantize_slice(&self, values: &[i64]) -> Vec<i64> {
-        let mut out = Vec::with_capacity(values.len());
-        for chunk in values.chunks(self.group_size) {
-            if chunk.len() == self.group_size {
-                out.extend(self.quantize_i64(chunk).values);
-            } else {
-                // Partial tail group: scale the budget to the chunk size.
-                let b = (self.budget * chunk.len()).div_ceil(self.group_size);
-                let q = GroupTermQuantizer::new(chunk.len(), b, self.encoding);
-                out.extend(q.quantize_i64(chunk).values);
-            }
-        }
+        let mut out = vec![0i64; values.len()];
+        self.quantize_slice_into(values, &mut out);
         out
+    }
+
+    /// Values-only slice quantization into a caller-provided buffer (no
+    /// per-group allocations beyond the pooled term scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != values.len()`.
+    pub fn quantize_slice_into(&self, values: &[i64], out: &mut [i64]) {
+        assert_eq!(out.len(), values.len(), "output length mismatch");
+        for (chunk, out_chunk) in values
+            .chunks(self.group_size)
+            .zip(out.chunks_mut(self.group_size))
+        {
+            let b = scaled_budget(self.budget, self.group_size, chunk.len());
+            quantize_group_into(chunk, b, self.encoding, out_chunk);
+        }
+    }
+
+    /// Term-quantizes a single value with `g = 1` semantics, returning just
+    /// the reconstructed integer (the data-TQ lookup-table builder's path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size != 1`.
+    pub fn quantize_one(&self, value: i64) -> i64 {
+        assert_eq!(self.group_size, 1, "quantize_one requires group size 1");
+        let mut out = [0i64; 1];
+        quantize_group_into(&[value], self.budget, self.encoding, &mut out);
+        out[0]
     }
 
     /// Total number of kept terms across a slice (the real, not budgeted,
     /// term count — used for term-pair accounting).
+    ///
+    /// Counting requires one SDR encode per group; when a
+    /// [`MultiResSlice`] for the same values is already cached, prefer
+    /// [`MultiResSlice::kept_terms_at`], which answers from the stored term
+    /// sequence without re-encoding.
     pub fn kept_terms_in_slice(&self, values: &[i64]) -> usize {
         let mut n = 0;
         for chunk in values.chunks(self.group_size) {
-            let b = if chunk.len() == self.group_size {
-                self.budget
-            } else {
-                (self.budget * chunk.len()).div_ceil(self.group_size)
-            };
+            let b = scaled_budget(self.budget, self.group_size, chunk.len());
             let terms = group_terms(chunk, self.encoding);
             n += b.min(terms.len());
         }
         n
     }
+}
+
+/// Values-only term quantization of one group: pools the group's terms,
+/// keeps the leading `budget`, and accumulates the reconstruction directly
+/// into `out` — no kept/dropped vectors are built.
+fn quantize_group_into(values: &[i64], budget: usize, encoding: SdrEncoding, out: &mut [i64]) {
+    debug_assert_eq!(values.len(), out.len());
+    let start = crate::tele::tq_group_start();
+    let terms = group_terms(values, encoding);
+    let cut = budget.min(terms.len());
+    out.fill(0);
+    for t in &terms[..cut] {
+        out[t.index] += t.term.value();
+    }
+    crate::tele::note_tq_group(cut, terms.len() - cut, start);
 }
 
 /// A multi-resolution weight group: the canonical term sequence of the
@@ -284,16 +336,16 @@ impl MultiResGroup {
     /// Panics if `budgets` is not strictly increasing.
     pub fn increments(&self, budgets: &[usize]) -> Vec<&[GroupTerm]> {
         let mut out = Vec::with_capacity(budgets.len());
-        let mut prev = 0usize;
+        let mut prev: Option<usize> = None;
         for &b in budgets {
             assert!(
-                b > prev || (prev == 0 && b == 0),
+                prev.is_none_or(|p| b > p),
                 "budgets must be strictly increasing"
             );
-            let lo = prev.min(self.terms.len());
+            let lo = prev.unwrap_or(0).min(self.terms.len());
             let hi = b.min(self.terms.len());
             out.push(&self.terms[lo..hi]);
-            prev = b;
+            prev = Some(b);
         }
         out
     }
@@ -305,6 +357,215 @@ impl MultiResGroup {
             && self.terms_at(small) == &self.terms_at(large)[..small.min(self.terms.len())]
     }
 }
+
+/// The canonical term sequences of a whole *slice* of values, grouped like
+/// [`GroupTermQuantizer::quantize_slice`] groups them, encoded **once** at
+/// the largest budget and served at any smaller budget by prefix truncation.
+///
+/// This is [`MultiResGroup`] scaled from one group to a weight row: the
+/// in-memory form of the paper's §4.1/Fig. 17 term reuse, and the payload of
+/// the training-time weight-term cache. For every `alpha <= max_alpha`,
+/// [`MultiResSlice::values_at`] is bit-identical to
+/// `GroupTermQuantizer::new(group_size, alpha, encoding).quantize_slice(..)`
+/// on the original values — no re-encode, no re-sort. Partial tail groups
+/// carry the same proportionally scaled budget as the direct path.
+///
+/// # Examples
+///
+/// ```
+/// use mri_quant::{GroupTermQuantizer, MultiResSlice, SdrEncoding};
+///
+/// let values = [21, 6, 17, 11, 3, 3];
+/// let cached = MultiResSlice::encode(&values, 4, usize::MAX, SdrEncoding::Unsigned);
+/// let direct = GroupTermQuantizer::new(4, 4, SdrEncoding::Unsigned).quantize_slice(&values);
+/// assert_eq!(cached.values_at(4), direct);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiResSlice {
+    /// Per-group canonical term sequences, concatenated in group order.
+    terms: Vec<GroupTerm>,
+    /// Cumulative term counts: group `i` owns `ends[i-1]..ends[i]` (with
+    /// `ends[-1] = 0`).
+    ends: Vec<u32>,
+    /// Number of encoded values.
+    len: usize,
+    /// The grouping `g` (groups never span `group_size` boundaries).
+    group_size: usize,
+    /// The budget the slice was encoded at; larger budgets cannot be served.
+    max_alpha: usize,
+    /// The encoding the values were expanded with.
+    encoding: SdrEncoding,
+}
+
+impl MultiResSlice {
+    /// Encodes a slice once at `max_alpha` terms per full group (tails
+    /// scaled). Pass `usize::MAX` to store every term, which lets the slice
+    /// serve *any* budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`.
+    pub fn encode(
+        values: &[i64],
+        group_size: usize,
+        max_alpha: usize,
+        encoding: SdrEncoding,
+    ) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        let mut terms = Vec::new();
+        let mut ends = Vec::with_capacity(values.len().div_ceil(group_size));
+        for chunk in values.chunks(group_size) {
+            let budget = scaled_budget(max_alpha, group_size, chunk.len());
+            let mut group = group_terms(chunk, encoding);
+            group.truncate(budget);
+            terms.extend_from_slice(&group);
+            ends.push(terms.len() as u32);
+        }
+        MultiResSlice {
+            terms,
+            ends,
+            len: values.len(),
+            group_size,
+            max_alpha,
+            encoding,
+        }
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the slice holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The grouping `g` the slice was encoded with.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The budget the slice was encoded at (upper bound on servable `α`).
+    pub fn max_alpha(&self) -> usize {
+        self.max_alpha
+    }
+
+    /// The encoding the values were expanded with.
+    pub fn encoding(&self) -> SdrEncoding {
+        self.encoding
+    }
+
+    /// Total number of stored terms.
+    pub fn stored_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates `(group_value_range, group_terms)` pairs.
+    fn groups(&self) -> impl Iterator<Item = (usize, &[GroupTerm])> {
+        self.ends.iter().enumerate().map(move |(g, &end)| {
+            let start = if g == 0 { 0 } else { self.ends[g - 1] as usize };
+            let lo = g * self.group_size;
+            let glen = self.group_size.min(self.len - lo);
+            (glen, &self.terms[start..end as usize])
+        })
+    }
+
+    /// Reconstructs the quantized integers at budget `alpha` by prefix
+    /// truncation of every group's stored sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha` (the prefix property only runs
+    /// downward; re-encode to serve a larger budget).
+    pub fn values_at(&self, alpha: usize) -> Vec<i64> {
+        let mut out = vec![0i64; self.len];
+        self.values_at_into(alpha, &mut out);
+        out
+    }
+
+    /// [`MultiResSlice::values_at`] into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha` or `out.len() != len()`.
+    pub fn values_at_into(&self, alpha: usize, out: &mut [i64]) {
+        assert!(
+            alpha <= self.max_alpha,
+            "budget {alpha} exceeds encoded {}",
+            self.max_alpha
+        );
+        assert_eq!(out.len(), self.len, "output length mismatch");
+        out.fill(0);
+        let mut lo = 0usize;
+        for (glen, terms) in self.groups() {
+            let keep = scaled_budget(alpha, self.group_size, glen).min(terms.len());
+            for t in &terms[..keep] {
+                out[lo + t.index] += t.term.value();
+            }
+            lo += glen;
+        }
+    }
+
+    /// Writes `values_at(alpha)[i] as f32 * scale` into `out` — the
+    /// fake-quantization serving path, fused so no intermediate integer
+    /// buffer is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha` or `out.len() != len()`.
+    pub fn write_scaled(&self, alpha: usize, scale: f32, out: &mut [f32]) {
+        assert!(
+            alpha <= self.max_alpha,
+            "budget {alpha} exceeds encoded {}",
+            self.max_alpha
+        );
+        assert_eq!(out.len(), self.len, "output length mismatch");
+        let mut stack = [0i64; MAX_GROUP_STACK];
+        let mut heap = Vec::new();
+        let mut lo = 0usize;
+        for (glen, terms) in self.groups() {
+            let keep = scaled_budget(alpha, self.group_size, glen).min(terms.len());
+            let ints: &mut [i64] = if glen <= MAX_GROUP_STACK {
+                &mut stack[..glen]
+            } else {
+                heap.resize(glen, 0);
+                &mut heap[..glen]
+            };
+            ints.fill(0);
+            for t in &terms[..keep] {
+                ints[t.index] += t.term.value();
+            }
+            for (o, &v) in out[lo..lo + glen].iter_mut().zip(ints.iter()) {
+                *o = v as f32 * scale;
+            }
+            lo += glen;
+        }
+    }
+
+    /// The number of terms actually kept at budget `alpha` (the real, not
+    /// budgeted, count) — [`GroupTermQuantizer::kept_terms_in_slice`]
+    /// answered from the cache, without re-encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha`.
+    pub fn kept_terms_at(&self, alpha: usize) -> usize {
+        assert!(
+            alpha <= self.max_alpha,
+            "budget {alpha} exceeds encoded {}",
+            self.max_alpha
+        );
+        self.groups()
+            .map(|(glen, terms)| scaled_budget(alpha, self.group_size, glen).min(terms.len()))
+            .sum()
+    }
+}
+
+/// Stack buffer size for group reconstruction in [`MultiResSlice::write_scaled`];
+/// groups at or below this size (all of the paper's settings use `g = 16`)
+/// reconstruct without heap allocation.
+const MAX_GROUP_STACK: usize = 32;
 
 /// Average TQ quantization error (RMSE) for groups drawn from `samples`,
 /// used to reproduce Fig. 5(b).
@@ -580,5 +841,93 @@ mod tests {
     #[should_panic(expected = "group length mismatch")]
     fn wrong_group_length_panics() {
         GroupTermQuantizer::new(4, 8, SdrEncoding::Naf).quantize_i64(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn increments_reject_repeated_zero_budgets() {
+        // [0, 0, 4] is not strictly increasing; the old assert let the
+        // repeated zero through and produced duplicate empty increments.
+        let g = MultiResGroup::from_values(&PAPER_GROUP, 8, SdrEncoding::Unsigned);
+        let _ = g.increments(&[0, 0, 4]);
+    }
+
+    #[test]
+    fn increments_allow_leading_zero_budget() {
+        let g = MultiResGroup::from_values(&PAPER_GROUP, 8, SdrEncoding::Unsigned);
+        let incs = g.increments(&[0, 4, 8]);
+        assert!(incs[0].is_empty());
+        assert_eq!(incs[1].len(), 4);
+        assert_eq!(incs[2].len(), 4);
+    }
+
+    #[test]
+    fn multires_slice_matches_direct_quantize_at_every_budget() {
+        // Two full groups plus a partial tail of 3.
+        let values: Vec<i64> = vec![21, 6, 17, 11, -13, 5, 0, 30, 7, -7, 1];
+        for encoding in [
+            SdrEncoding::Unsigned,
+            SdrEncoding::Naf,
+            SdrEncoding::Booth,
+            SdrEncoding::Booth4,
+        ] {
+            let slice = MultiResSlice::encode(&values, 4, usize::MAX, encoding);
+            for alpha in 0..=12 {
+                let direct = GroupTermQuantizer::new(4, alpha, encoding).quantize_slice(&values);
+                assert_eq!(
+                    slice.values_at(alpha),
+                    direct,
+                    "α = {alpha}, {encoding:?} diverged"
+                );
+                assert_eq!(
+                    slice.kept_terms_at(alpha),
+                    GroupTermQuantizer::new(4, alpha, encoding).kept_terms_in_slice(&values),
+                    "kept-term count at α = {alpha}, {encoding:?} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multires_slice_truncated_encode_serves_up_to_max_alpha() {
+        let values: Vec<i64> = vec![21, 6, 17, 11, 3, 3];
+        let slice = MultiResSlice::encode(&values, 4, 6, SdrEncoding::Unsigned);
+        for alpha in 0..=6 {
+            let direct =
+                GroupTermQuantizer::new(4, alpha, SdrEncoding::Unsigned).quantize_slice(&values);
+            assert_eq!(slice.values_at(alpha), direct, "α = {alpha}");
+        }
+        assert_eq!(slice.max_alpha(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds encoded")]
+    fn multires_slice_rejects_budget_above_encoded() {
+        let slice = MultiResSlice::encode(&[21, 6, 17, 11], 4, 4, SdrEncoding::Unsigned);
+        let _ = slice.values_at(5);
+    }
+
+    #[test]
+    fn multires_slice_write_scaled_matches_values_at() {
+        let values: Vec<i64> = (-20..21).collect();
+        let slice = MultiResSlice::encode(&values, 16, usize::MAX, SdrEncoding::Naf);
+        let mut scaled = vec![0.0f32; values.len()];
+        slice.write_scaled(7, 0.25, &mut scaled);
+        let expect: Vec<f32> = slice
+            .values_at(7)
+            .iter()
+            .map(|&v| v as f32 * 0.25)
+            .collect();
+        assert_eq!(scaled, expect);
+    }
+
+    #[test]
+    fn quantize_one_matches_group_path() {
+        for encoding in [SdrEncoding::Unsigned, SdrEncoding::Naf] {
+            let q = GroupTermQuantizer::new(1, 2, encoding);
+            for v in -40..=40 {
+                assert_eq!(q.quantize_one(v), q.quantize_i64(&[v]).values[0]);
+            }
+        }
     }
 }

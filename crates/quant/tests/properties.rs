@@ -118,3 +118,62 @@ proptest! {
         }
     }
 }
+
+use mri_quant::MultiResSlice;
+
+proptest! {
+    /// The reusable-term cache invariant: a slice encoded once (at any
+    /// sufficient max budget) and served by prefix truncation is
+    /// bit-identical to re-running the direct group quantizer at every
+    /// budget — across encodings, group sizes (including ragged tails) and
+    /// the whole budget range. This is what lets the weight-term cache in
+    /// `mri-core` serve every sub-model from one encode.
+    #[test]
+    fn prefix_truncation_matches_direct_quantization(
+        vals in prop::collection::vec(-127i64..=127, 1..40),
+        group_size in 1usize..20,
+        enc_idx in 0usize..4,
+    ) {
+        let encoding = [
+            SdrEncoding::Unsigned,
+            SdrEncoding::Naf,
+            SdrEncoding::Booth,
+            SdrEncoding::Booth4,
+        ][enc_idx];
+        let slice = MultiResSlice::encode(&vals, group_size, usize::MAX, encoding);
+        for alpha in 0..=(group_size * 9) {
+            let q = GroupTermQuantizer::new(group_size, alpha, encoding);
+            prop_assert_eq!(
+                slice.values_at(alpha),
+                q.quantize_slice(&vals),
+                "alpha {} g {} enc {:?}", alpha, group_size, encoding
+            );
+            prop_assert_eq!(
+                slice.kept_terms_at(alpha),
+                q.kept_terms_in_slice(&vals),
+                "kept terms at alpha {}", alpha
+            );
+        }
+    }
+
+    /// Encoding at a finite max budget still serves every budget up to it
+    /// exactly, and the scaled serve path agrees with values_at.
+    #[test]
+    fn truncated_encode_serves_its_whole_range(
+        vals in prop::collection::vec(-63i64..=63, 1..24),
+        group_size in 1usize..12,
+        max_alpha in 1usize..16,
+    ) {
+        let slice = MultiResSlice::encode(&vals, group_size, max_alpha, SdrEncoding::Naf);
+        for alpha in 0..=max_alpha {
+            let q = GroupTermQuantizer::new(group_size, alpha, SdrEncoding::Naf);
+            prop_assert_eq!(slice.values_at(alpha), q.quantize_slice(&vals));
+            let mut scaled = vec![0.0f32; vals.len()];
+            slice.write_scaled(alpha, 0.5, &mut scaled);
+            let direct = q.quantize_slice(&vals);
+            for (s, d) in scaled.iter().zip(direct.iter()) {
+                prop_assert_eq!(*s, *d as f32 * 0.5);
+            }
+        }
+    }
+}
