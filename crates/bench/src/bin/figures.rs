@@ -37,7 +37,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|verify|summary|all> [--fast] [--seed N]");
+        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|qsite|verify|summary|all> [--fast] [--seed N]");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -106,6 +106,9 @@ fn main() {
     }
     if want("cache") {
         run_cache(cfg);
+    }
+    if want("qsite") {
+        run_qsite(cfg);
     }
     if want("summary") {
         let claims = mri_bench::summary::check_claims(std::path::Path::new("results"));
@@ -223,6 +226,36 @@ fn run_cache(cfg: RunConfig) {
         &table,
     );
     write_json("cache", &rows);
+}
+
+fn run_qsite(cfg: RunConfig) {
+    let rows = mri_bench::qsite_exp::eval_path_speedup(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.path.clone(),
+                r.forwards.to_string(),
+                format!("{:.3}s", r.wall_s),
+                format!("{:.3}ms", r.per_forward_ms),
+                r.masks_built.to_string(),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "QSite eval path: mask-free forwards vs train-mode forwards",
+        &[
+            "path",
+            "forwards",
+            "wall",
+            "per forward",
+            "masks built",
+            "speedup",
+        ],
+        &table,
+    );
+    write_json("qsite", &rows);
 }
 
 fn run_ablation_strategy(cfg: RunConfig) {

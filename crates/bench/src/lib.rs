@@ -25,12 +25,14 @@
 //! | `fig26`/`table4` | system latency/efficiency & accelerator table | [`hw_exp`] |
 //! | `telemetry` | tracing/metrics overhead on the trainer | [`telemetry_exp`] |
 //! | `cache` | weight-term cache A/B (encode once, truncate per α) | [`cache_exp`] |
+//! | `qsite` | mask-free eval path vs train-mode forwards | [`qsite_exp`] |
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod cache_exp;
 pub mod hw_exp;
+pub mod qsite_exp;
 pub mod quant_exp;
 pub mod report;
 pub mod summary;

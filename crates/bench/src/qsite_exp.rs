@@ -1,0 +1,191 @@
+//! QSite eval-path benchmark: train-mode vs eval-mode (mask-free) forwards.
+//!
+//! Since the QSite refactor, `Mode::Eval` forwards through the quantized
+//! layers produce *values only*: no straight-through or PACT-saturation
+//! tensor is allocated anywhere in the pass, and the weight-term cache
+//! serves entries without materialising its lazy masks. This experiment
+//! measures what that buys on the inference side — per-forward wall-clock of
+//! the two data flows on an identical net, plus a full `evaluate_all` sweep
+//! (which rides the eval path for every spec) — and records the
+//! thread-local mask-build counter as proof the eval rows allocated none.
+
+use crate::RunConfig;
+use mri_core::{
+    masks_built_on_this_thread, MultiResTrainer, QLinear, QuantConfig, Resolution,
+    ResolutionControl, SubModelSpec, TrainerConfig,
+};
+use mri_nn::{Layer, Mode, Param, Relu};
+use mri_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One timed row of the eval-path experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct QsiteRow {
+    /// `"train-forward"`, `"eval-forward"` or `"evaluate_all"`.
+    pub path: String,
+    /// Number of forward passes timed.
+    pub forwards: usize,
+    /// Wall-clock of the loop, seconds.
+    pub wall_s: f64,
+    /// Wall-clock per forward pass, milliseconds.
+    pub per_forward_ms: f64,
+    /// STE/saturation mask tensors built on this thread during the loop
+    /// (must be 0 for the eval rows).
+    pub masks_built: u64,
+    /// Per-forward speedup vs the train-mode row (1.0 for that row).
+    pub speedup: f64,
+}
+
+/// The same three-layer quantized MLP the cache benchmark uses.
+struct QsiteNet {
+    l1: QLinear,
+    r1: Relu,
+    l2: QLinear,
+    r2: Relu,
+    l3: QLinear,
+}
+
+impl QsiteNet {
+    fn new<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        din: usize,
+        hidden: usize,
+        classes: usize,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        let qcfg = QuantConfig::paper_cnn();
+        QsiteNet {
+            l1: QLinear::new(rng, din, hidden, qcfg, Arc::clone(control)),
+            r1: Relu::new(),
+            l2: QLinear::new(rng, hidden, hidden, qcfg, Arc::clone(control)),
+            r2: Relu::new(),
+            l3: QLinear::new(rng, hidden, classes, qcfg, Arc::clone(control)),
+        }
+    }
+}
+
+impl Layer for QsiteNet {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let h = self.r1.forward(&self.l1.forward(x, mode), mode);
+        let h = self.r2.forward(&self.l2.forward(&h, mode), mode);
+        self.l3.forward(&h, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.r2.backward(&self.l3.backward(grad_out));
+        let g = self.r1.backward(&self.l2.backward(&g));
+        self.l1.backward(&g)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.l1.visit_params(visitor);
+        self.l2.visit_params(visitor);
+        self.l3.visit_params(visitor);
+    }
+
+    fn describe(&self) -> String {
+        "qsite-bench-mlp".to_string()
+    }
+}
+
+/// Times train-mode forwards against eval-mode forwards on one net at a TQ
+/// resolution, then a multi-spec `evaluate_all`. Returns
+/// `[train-forward, eval-forward, evaluate_all]`.
+pub fn eval_path_speedup(cfg: RunConfig) -> Vec<QsiteRow> {
+    let (din, hidden, classes, batch, reps, eval_batches) = if cfg.fast {
+        (32, 64, 4, 16, 20, 2)
+    } else {
+        (128, 256, 10, 32, 100, 8)
+    };
+    let control = Arc::new(ResolutionControl::new(Resolution::Tq {
+        alpha: 12,
+        beta: 2,
+    }));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut net = QsiteNet::new(&mut rng, din, hidden, classes, &control);
+    let x = init::uniform(&mut rng, &[batch, din], 0.0, 1.0);
+
+    // Warm every layer's weight-term cache so both paths time cache hits.
+    net.forward(&x, Mode::Eval);
+
+    let mut rows: Vec<QsiteRow> = Vec::new();
+    for (label, mode) in [("train-forward", Mode::Train), ("eval-forward", Mode::Eval)] {
+        let m0 = masks_built_on_this_thread();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            net.forward(&x, mode);
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        rows.push(QsiteRow {
+            path: label.to_string(),
+            forwards: reps,
+            wall_s,
+            per_forward_ms: wall_s * 1e3 / reps as f64,
+            masks_built: masks_built_on_this_thread() - m0,
+            speedup: 1.0,
+        });
+    }
+
+    let specs = vec![
+        SubModelSpec::new(4, 1),
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(16, 3),
+    ];
+    let n_specs = specs.len();
+    let trainer = MultiResTrainer::new(TrainerConfig::new(specs), Arc::clone(&control));
+    let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+    let eval_data: Vec<(Tensor, Vec<usize>)> = (0..eval_batches)
+        .map(|_| {
+            (
+                init::uniform(&mut rng, &[batch, din], 0.0, 1.0),
+                labels.clone(),
+            )
+        })
+        .collect();
+    let m0 = masks_built_on_this_thread();
+    let t0 = Instant::now();
+    trainer.evaluate_all(&mut net, &eval_data);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let forwards = eval_batches * n_specs;
+    rows.push(QsiteRow {
+        path: "evaluate_all".to_string(),
+        forwards,
+        wall_s,
+        per_forward_ms: wall_s * 1e3 / forwards as f64,
+        masks_built: masks_built_on_this_thread() - m0,
+        speedup: 1.0,
+    });
+
+    let base = rows[0].per_forward_ms;
+    for row in rows.iter_mut().skip(1) {
+        row.speedup = base / row.per_forward_ms;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_rows_build_no_masks() {
+        let rows = eval_path_speedup(RunConfig {
+            fast: true,
+            seed: 0,
+        });
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows[0].masks_built > 0,
+            "train-mode forwards must build gradient masks"
+        );
+        assert_eq!(rows[1].masks_built, 0, "eval forwards must be mask-free");
+        assert_eq!(
+            rows[2].masks_built, 0,
+            "evaluate_all must ride the mask-free path"
+        );
+    }
+}

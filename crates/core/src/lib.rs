@@ -12,6 +12,11 @@
 //! * [`ResolutionControl`] — a shared handle that flips every quantized
 //!   layer in a model to a new resolution at once and accounts term-pair
 //!   multiplications (the paper's x-axis in Figs. 19/21/22/23/24);
+//! * [`QParamSite`] / [`QActSite`] — the quantization *sites*: one owns a
+//!   master weight, its PACT clip, the term cache and the straight-through
+//!   backward fold; the other owns a data clip and the fake-quantize
+//!   forward. Every quantized layer in the workspace (conv, linear,
+//!   depthwise, the LSTM gates) is built from these two pieces;
 //! * [`QConv2d`] / [`QLinear`] — quantization-aware layers: full-precision
 //!   master weights, learnable PACT clips, a `UQ → SDR → TQ` forward and a
 //!   straight-through backward (Algorithm 1 steps 1–7);
@@ -42,6 +47,7 @@ pub mod checkpoint;
 pub mod control;
 pub mod policy;
 pub mod qlayers;
+pub mod qsite;
 pub mod spec;
 pub mod training;
 pub mod wcache;
@@ -53,6 +59,7 @@ pub use qlayers::{
     fake_quantize_data, fake_quantize_weights, QConv2d, QDepthwiseConv2d, QLinear, QuantConfig,
     QuantizedTensor,
 };
+pub use qsite::{masks_built_on_this_thread, QActSite, QParamSite, QuantMasks, CLIP_FLOOR};
 pub use spec::{Resolution, SubModelSpec};
 pub use training::{EvalResult, MultiResTrainer, StepStats, TrainerConfig};
 pub use wcache::WeightTermCache;

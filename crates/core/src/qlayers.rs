@@ -12,16 +12,25 @@
 //! 5. on backward, pass gradients straight through the quantizers to the
 //!    master weights (no quantization in the backward pass), routing
 //!    saturation gradients to the clip parameters (PACT).
+//!
+//! Steps 1–3 and 5 are owned by the quantization *sites* of
+//! [`crate::qsite`]: each layer is a [`QParamSite`] (master weight + clip +
+//! term cache + backward fold) plus a [`QActSite`] (data clip + fake
+//! quantize) wired around its compute kernel. This module keeps the layer
+//! shells, the free-function quantizers ([`fake_quantize_weights`],
+//! [`fake_quantize_data`]) and the term-pair cost model.
 
-use crate::wcache::WeightTermCache;
+use crate::qsite::{QActSite, QParamSite, QuantMasks};
 use crate::{Resolution, ResolutionControl};
 use mri_nn::{Layer, Mode, Param};
-use mri_quant::uq::{pact_clip_grad, ste_mask, QuantRange};
+use mri_quant::dq::{truncate_low_bits, DataLut};
+use mri_quant::uq::QuantRange;
 use mri_quant::{GroupTermQuantizer, SdrEncoding, UniformQuantizer};
 use mri_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dCfg};
 use mri_tensor::reduce::sum_except_channel;
 use mri_tensor::{init, ops, Tensor};
 use rand::Rng;
+use std::borrow::Cow;
 use std::sync::Arc;
 
 /// Static quantization configuration shared by all quantized layers of a
@@ -78,30 +87,43 @@ impl QuantConfig {
     }
 }
 
-/// Internal helper performing the weight/data quantization for one layer.
-struct Quantizers {
-    qcfg: QuantConfig,
-}
-
-/// Result of fake-quantizing a tensor: the quantize-dequantized values plus
-/// the straight-through mask and PACT saturation signs needed by backward.
+/// Result of fake-quantizing a tensor: the quantize-dequantized values plus,
+/// in training mode, the gradient masks backward needs.
 ///
-/// Exposed publicly so models with bespoke weight handling (e.g. the
-/// quantized LSTM in `mri-models`) can reuse the exact Algorithm-1 forward
-/// quantization path of [`QConv2d`]/[`QLinear`].
+/// Exposed publicly so models with bespoke weight handling can reuse the
+/// exact Algorithm-1 forward quantization path of [`QConv2d`]/[`QLinear`].
 pub struct QuantizedTensor {
     /// Fake-quantized values (same shape as the input).
     pub values: Tensor,
-    /// 1 where the straight-through gradient passes, 0 where it saturated.
-    pub ste: Tensor,
-    /// PACT clip-gradient signs (±1 where saturated, 0 elsewhere).
-    pub sat: Tensor,
+    /// Straight-through / PACT saturation masks; `None` when produced by an
+    /// eval-mode (values-only) quantization.
+    pub masks: Option<QuantMasks>,
+}
+
+impl QuantizedTensor {
+    /// The straight-through mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this tensor was quantized without masks (eval mode).
+    pub fn ste(&self) -> &Tensor {
+        &self.masks.as_ref().expect("quantized without masks").ste
+    }
+
+    /// The PACT saturation signs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this tensor was quantized without masks (eval mode).
+    pub fn sat(&self) -> &Tensor {
+        &self.masks.as_ref().expect("quantized without masks").sat
+    }
 }
 
 /// Fake-quantizes a weight tensor under `res` exactly as [`QConv2d`] /
 /// [`QLinear`] do: symmetric UQ at the meta bitwidth with clip `clip`,
 /// then group TQ with groups laid along rows of length `row_len` (groups
-/// never cross rows).
+/// never cross rows). Always attaches gradient masks.
 pub fn fake_quantize_weights(
     w: &Tensor,
     clip: f32,
@@ -109,135 +131,118 @@ pub fn fake_quantize_weights(
     qcfg: QuantConfig,
     row_len: usize,
 ) -> QuantizedTensor {
-    Quantizers { qcfg }.quantize_weights(w, clip, res, row_len)
+    quantize_weights_with(w, clip, res, qcfg, row_len, true)
 }
 
 /// Fake-quantizes a data tensor under `res`: UQ at the meta data bitwidth
 /// with clip `clip` (range per `qcfg.data_range`), then per-value TQ with
-/// the active `β`.
+/// the active `β`. Always attaches gradient masks.
 pub fn fake_quantize_data(
     x: &Tensor,
     clip: f32,
     res: Resolution,
     qcfg: QuantConfig,
 ) -> QuantizedTensor {
-    Quantizers { qcfg }.quantize_data(x, clip, res)
+    QuantizedTensor {
+        values: quantize_data_values(x, clip, res, qcfg).into_owned(),
+        masks: Some(data_masks(x, clip, res, qcfg)),
+    }
 }
 
-impl Quantizers {
-    /// Quantizes weights under `res`, grouping along the trailing axis in
-    /// row chunks of `row_len` (so groups never cross filters / output rows).
-    fn quantize_weights(
-        &self,
-        w: &Tensor,
-        clip: f32,
-        res: Resolution,
-        row_len: usize,
-    ) -> QuantizedTensor {
-        match res {
-            Resolution::Full => QuantizedTensor {
-                values: w.clone(),
-                ste: Tensor::ones(w.dims()),
-                sat: Tensor::zeros(w.dims()),
-            },
-            Resolution::Tq { alpha, .. } => {
-                let uq = UniformQuantizer::symmetric(self.qcfg.weight_bits, clip);
-                let tq = GroupTermQuantizer::new(self.qcfg.group_size, alpha, self.qcfg.encoding);
-                let mut values = Tensor::zeros(w.dims());
-                let mut ste = Tensor::zeros(w.dims());
-                let mut sat = Tensor::zeros(w.dims());
-                let scale = uq.scale();
-                for (r, row) in w.data().chunks(row_len).enumerate() {
-                    let ints: Vec<i64> = row.iter().map(|&x| uq.quantize(x)).collect();
-                    let tqd = tq.quantize_slice(&ints);
-                    for (i, (&q, &x)) in tqd.iter().zip(row.iter()).enumerate() {
-                        let idx = r * row_len + i;
-                        values.data_mut()[idx] = q as f32 * scale;
-                        ste.data_mut()[idx] = ste_mask(x, clip, QuantRange::Symmetric);
-                        sat.data_mut()[idx] = pact_clip_grad(x, clip, QuantRange::Symmetric, 1.0);
-                    }
-                }
-                QuantizedTensor { values, ste, sat }
-            }
-            Resolution::UqShared { weight_bits, .. } => {
-                let uq = UniformQuantizer::symmetric(self.qcfg.weight_bits, clip);
-                let shift = self.qcfg.weight_bits.saturating_sub(weight_bits);
-                let scale = uq.scale();
-                let mut values = Tensor::zeros(w.dims());
-                let mut ste = Tensor::zeros(w.dims());
-                let mut sat = Tensor::zeros(w.dims());
-                for (i, &x) in w.data().iter().enumerate() {
-                    let q = truncate_low_bits(uq.quantize(x), shift);
-                    values.data_mut()[i] = q as f32 * scale;
-                    ste.data_mut()[i] = ste_mask(x, clip, QuantRange::Symmetric);
-                    sat.data_mut()[i] = pact_clip_grad(x, clip, QuantRange::Symmetric, 1.0);
-                }
-                QuantizedTensor { values, ste, sat }
-            }
-        }
+/// [`fake_quantize_weights`] with mask construction gated on `want_masks` —
+/// the eval path of the sites and the weight-term cache bypass.
+pub(crate) fn quantize_weights_with(
+    w: &Tensor,
+    clip: f32,
+    res: Resolution,
+    qcfg: QuantConfig,
+    row_len: usize,
+    want_masks: bool,
+) -> QuantizedTensor {
+    QuantizedTensor {
+        values: quantize_weight_values(w, clip, res, qcfg, row_len),
+        masks: want_masks.then(|| weight_masks(w, clip, res)),
     }
+}
 
-    /// Quantizes data under `res` with a per-integer lookup table (`g = 1`).
-    fn quantize_data(&self, x: &Tensor, clip: f32, res: Resolution) -> QuantizedTensor {
-        match res {
-            Resolution::Full => QuantizedTensor {
-                values: x.clone(),
-                ste: Tensor::ones(x.dims()),
-                sat: Tensor::zeros(x.dims()),
-            },
-            Resolution::Tq { .. } | Resolution::UqShared { .. } => {
-                // Both branches share the LUT mechanism; pick the transform.
-                let uq = match self.qcfg.data_range {
-                    QuantRange::Symmetric => UniformQuantizer::symmetric(self.qcfg.data_bits, clip),
-                    QuantRange::Unsigned => UniformQuantizer::unsigned(self.qcfg.data_bits, clip),
-                };
-                let levels = uq.levels();
-                let scale = uq.scale();
-                let lut: Vec<f32> = match res {
-                    Resolution::Tq { beta, .. } => {
-                        let tq = GroupTermQuantizer::new(1, beta, self.qcfg.encoding);
-                        (-levels..=levels)
-                            .map(|v| tq.quantize_one(v) as f32 * scale)
-                            .collect()
-                    }
-                    Resolution::UqShared { data_bits, .. } => {
-                        let shift = self.qcfg.data_bits.saturating_sub(data_bits);
-                        (-levels..=levels)
-                            .map(|v| truncate_low_bits(v, shift) as f32 * scale)
-                            .collect()
-                    }
-                    Resolution::Full => unreachable!(),
-                };
-                let off = levels;
-                let mut values = Tensor::zeros(x.dims());
-                let mut ste = Tensor::zeros(x.dims());
-                let mut sat = Tensor::zeros(x.dims());
-                for (i, &v) in x.data().iter().enumerate() {
-                    let q = uq.quantize(v);
-                    values.data_mut()[i] = lut[(q + off) as usize];
-                    ste.data_mut()[i] = ste_mask(v, clip, self.qcfg.data_range);
-                    sat.data_mut()[i] = pact_clip_grad(v, clip, self.qcfg.data_range, 1.0);
+/// The values half of a weight fake-quantization (no mask allocation).
+fn quantize_weight_values(
+    w: &Tensor,
+    clip: f32,
+    res: Resolution,
+    qcfg: QuantConfig,
+    row_len: usize,
+) -> Tensor {
+    match res {
+        Resolution::Full => w.clone(),
+        Resolution::Tq { alpha, .. } => {
+            let uq = UniformQuantizer::symmetric(qcfg.weight_bits, clip);
+            let tq = GroupTermQuantizer::new(qcfg.group_size, alpha, qcfg.encoding);
+            let scale = uq.scale();
+            let mut values = Tensor::zeros(w.dims());
+            for (r, row) in w.data().chunks(row_len).enumerate() {
+                let ints: Vec<i64> = row.iter().map(|&x| uq.quantize(x)).collect();
+                let tqd = tq.quantize_slice(&ints);
+                for (i, &q) in tqd.iter().enumerate() {
+                    values.data_mut()[r * row_len + i] = q as f32 * scale;
                 }
-                QuantizedTensor { values, ste, sat }
             }
+            values
+        }
+        Resolution::UqShared { weight_bits, .. } => {
+            let uq = UniformQuantizer::symmetric(qcfg.weight_bits, clip);
+            let shift = qcfg.weight_bits.saturating_sub(weight_bits);
+            let scale = uq.scale();
+            let mut values = Tensor::zeros(w.dims());
+            for (i, &x) in w.data().iter().enumerate() {
+                values.data_mut()[i] = truncate_low_bits(uq.quantize(x), shift) as f32 * scale;
+            }
+            values
         }
     }
 }
 
-/// Zeroes the low `shift` bits of an integer level, sign-magnitude style —
-/// the "leading bit positions" truncation of Fig. 2(b).
-fn truncate_low_bits(v: i64, shift: u32) -> i64 {
-    let mag = (v.unsigned_abs() >> shift) << shift;
-    if v < 0 {
-        -(mag as i64)
-    } else {
-        mag as i64
+/// The gradient masks of a weight fake-quantization (`α`-independent).
+pub(crate) fn weight_masks(w: &Tensor, clip: f32, res: Resolution) -> QuantMasks {
+    match res {
+        Resolution::Full => QuantMasks::identity(w.dims()),
+        _ => QuantMasks::pact(w, clip, QuantRange::Symmetric),
+    }
+}
+
+/// The values half of a data fake-quantization. `Resolution::Full` is a
+/// borrow — no tensor is allocated at all.
+pub(crate) fn quantize_data_values<'a>(
+    x: &'a Tensor,
+    clip: f32,
+    res: Resolution,
+    qcfg: QuantConfig,
+) -> Cow<'a, Tensor> {
+    let lut = match res {
+        Resolution::Full => return Cow::Borrowed(x),
+        Resolution::Tq { beta, .. } => {
+            DataLut::term_quantized(qcfg.data_bits, clip, qcfg.data_range, beta, qcfg.encoding)
+        }
+        Resolution::UqShared { data_bits, .. } => {
+            DataLut::bit_truncated(qcfg.data_bits, clip, qcfg.data_range, data_bits)
+        }
+    };
+    let mut values = Tensor::zeros(x.dims());
+    lut.quantize_into(x.data(), values.data_mut());
+    Cow::Owned(values)
+}
+
+/// The gradient masks of a data fake-quantization (`β`-independent).
+pub(crate) fn data_masks(x: &Tensor, clip: f32, res: Resolution, qcfg: QuantConfig) -> QuantMasks {
+    match res {
+        Resolution::Full => QuantMasks::identity(x.dims()),
+        _ => QuantMasks::pact(x, clip, qcfg.data_range),
     }
 }
 
 /// Counts the term pairs a dot product of length `k` costs per output
 /// element under `res` (full groups of `g`, tail scaled).
-fn term_pairs_per_dot(res: Resolution, k: usize, g: usize, meta_bits: u32) -> u64 {
+pub(crate) fn term_pairs_per_dot(res: Resolution, k: usize, g: usize, meta_bits: u32) -> u64 {
     match res {
         Resolution::Tq { alpha, beta } => {
             let full = k / g;
@@ -259,27 +264,22 @@ fn term_pairs_per_dot(res: Resolution, k: usize, g: usize, meta_bits: u32) -> u6
 /// Quantization-aware 2-D convolution (the multi-resolution counterpart of
 /// [`mri_nn::Conv2d`]).
 pub struct QConv2d {
-    weight: Param,
+    wsite: QParamSite,
     bias: Param,
-    w_clip: Param,
-    x_clip: Param,
+    xsite: QActSite,
     cfg: Conv2dCfg,
-    qcfg: QuantConfig,
     control: Arc<ResolutionControl>,
     in_channels: usize,
     out_channels: usize,
     cache: Option<QConvCache>,
-    wcache: WeightTermCache,
 }
 
 struct QConvCache {
     cols_q: Tensor,
     input_dims: (usize, usize, usize, usize),
     w_q: Tensor,
-    w_ste: Tensor,
-    w_sat: Tensor,
-    x_ste: Tensor,
-    x_sat: Tensor,
+    w_masks: QuantMasks,
+    x_masks: QuantMasks,
 }
 
 impl QConv2d {
@@ -295,93 +295,61 @@ impl QConv2d {
         let (kh, kw) = cfg.kernel;
         let fan_in = in_channels * kh * kw;
         QConv2d {
-            weight: Param::new(init::kaiming_normal(
-                rng,
-                &[out_channels, in_channels, kh, kw],
+            wsite: QParamSite::new(
+                init::kaiming_normal(rng, &[out_channels, in_channels, kh, kw], fan_in),
+                qcfg,
                 fan_in,
-            )),
+            ),
             bias: Param::new_no_decay(Tensor::zeros(&[out_channels])),
-            w_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
-            x_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
+            xsite: QActSite::new(qcfg),
             cfg,
-            qcfg,
             control,
             in_channels,
             out_channels,
             cache: None,
-            wcache: WeightTermCache::new(),
         }
     }
 
     /// Immutable access to the master (full-precision) weights.
     pub fn master_weight(&self) -> &Tensor {
-        &self.weight.value
+        self.wsite.master()
     }
 
     /// The weights as quantized under the currently active resolution —
     /// what the hardware would actually store and compute with.
     pub fn quantized_weight(&self) -> Tensor {
-        let row_len = self.in_channels * self.cfg.kernel.0 * self.cfg.kernel.1;
-        self.wcache
-            .quantize(
-                &self.weight.value,
-                self.weight.version(),
-                clip_value(&self.w_clip),
-                self.control.resolution(),
-                self.qcfg,
-                row_len,
-            )
-            .values
+        self.wsite.quantized_values(self.control.resolution())
     }
 
     /// The layer's reusable weight-term cache (stats and A/B toggling).
     pub fn weight_cache(&self) -> &WeightTermCache {
-        &self.wcache
+        self.wsite.cache()
     }
 }
 
-fn clip_value(p: &Param) -> f32 {
-    p.value.data()[0].max(1e-3)
-}
+use crate::wcache::WeightTermCache;
 
 impl Layer for QConv2d {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.dim(1), self.in_channels, "qconv input channel mismatch");
         let res = self.control.resolution();
-        let q = Quantizers { qcfg: self.qcfg };
-        let row_len = self.in_channels * self.cfg.kernel.0 * self.cfg.kernel.1;
-
-        let wq = self.wcache.quantize(
-            &self.weight.value,
-            self.weight.version(),
-            clip_value(&self.w_clip),
-            res,
-            self.qcfg,
-            row_len,
-        );
-        let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
+        let wq = self.wsite.quantize(res, mode);
+        let (xv, x_masks) = self.xsite.quantize(x, res, mode);
 
         let dims = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-        let (mut y, cols_q) = conv2d_forward(&xq.values, &wq.values, self.cfg);
+        let (mut y, cols_q) = conv2d_forward(xv.as_ref(), &wq.values, self.cfg);
         y.add_channel_bias_inplace(&self.bias.value);
 
         // Accounting: every output element is a length-row_len dot product.
-        let out_elems = (y.len()) as u64;
-        self.control.add_term_pairs(
-            out_elems
-                * term_pairs_per_dot(res, row_len, self.qcfg.group_size, self.qcfg.weight_bits),
-        );
-        self.control.add_value_macs(out_elems * row_len as u64);
+        self.wsite.account(&self.control, res, y.len() as u64);
 
         if mode.is_train() {
             self.cache = Some(QConvCache {
                 cols_q,
                 input_dims: dims,
                 w_q: wq.values,
-                w_ste: wq.ste,
-                w_sat: wq.sat,
-                x_ste: xq.ste,
-                x_sat: xq.sat,
+                w_masks: wq.masks.expect("train-mode quantization carries masks"),
+                x_masks: x_masks.expect("train-mode quantization carries masks"),
             });
         }
         y
@@ -398,36 +366,20 @@ impl Layer for QConv2d {
         );
 
         // Straight-through to the master weights; saturated part to clips.
-        self.weight.accumulate(&(&gw_q * &cache.w_ste));
-        let wclip_g: f32 = gw_q
-            .data()
-            .iter()
-            .zip(cache.w_sat.data())
-            .map(|(&g, &s)| g * s)
-            .sum();
-        self.w_clip.grad.data_mut()[0] += wclip_g;
-
+        self.wsite.fold_backward(&gw_q, &cache.w_masks);
         self.bias.accumulate(&sum_except_channel(grad_out));
-
-        let gx = &gx_q * &cache.x_ste;
-        let xclip_g: f32 = gx_q
-            .data()
-            .iter()
-            .zip(cache.x_sat.data())
-            .map(|(&g, &s)| g * s)
-            .sum();
-        self.x_clip.grad.data_mut()[0] += xclip_g;
-        gx
+        self.xsite.fold_backward(&gx_q, &cache.x_masks)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
-        visitor(&mut self.weight);
+        self.wsite.visit_weight(visitor);
         visitor(&mut self.bias);
-        visitor(&mut self.w_clip);
-        visitor(&mut self.x_clip);
+        self.wsite.visit_clip(visitor);
+        self.xsite.visit_clip(visitor);
     }
 
     fn describe(&self) -> String {
+        let qcfg = self.wsite.config();
         format!(
             "qconv2d({}->{}, {}x{}/{}, b={}, g={})",
             self.in_channels,
@@ -435,33 +387,28 @@ impl Layer for QConv2d {
             self.cfg.kernel.0,
             self.cfg.kernel.1,
             self.cfg.stride.0,
-            self.qcfg.weight_bits,
-            self.qcfg.group_size
+            qcfg.weight_bits,
+            qcfg.group_size
         )
     }
 }
 
 /// Quantization-aware fully connected layer.
 pub struct QLinear {
-    weight: Param,
+    wsite: QParamSite,
     bias: Param,
-    w_clip: Param,
-    x_clip: Param,
-    qcfg: QuantConfig,
+    xsite: QActSite,
     control: Arc<ResolutionControl>,
     in_features: usize,
     out_features: usize,
     cache: Option<QLinearCache>,
-    wcache: WeightTermCache,
 }
 
 struct QLinearCache {
     x_q: Tensor,
     w_q: Tensor,
-    w_ste: Tensor,
-    w_sat: Tensor,
-    x_ste: Tensor,
-    x_sat: Tensor,
+    w_masks: QuantMasks,
+    x_masks: QuantMasks,
 }
 
 impl QLinear {
@@ -474,45 +421,33 @@ impl QLinear {
         control: Arc<ResolutionControl>,
     ) -> Self {
         QLinear {
-            weight: Param::new(init::kaiming_normal(
-                rng,
-                &[out_features, in_features],
+            wsite: QParamSite::new(
+                init::kaiming_normal(rng, &[out_features, in_features], in_features),
+                qcfg,
                 in_features,
-            )),
+            ),
             bias: Param::new_no_decay(Tensor::zeros(&[out_features])),
-            w_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
-            x_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
-            qcfg,
+            xsite: QActSite::new(qcfg),
             control,
             in_features,
             out_features,
             cache: None,
-            wcache: WeightTermCache::new(),
         }
     }
 
     /// Immutable access to the master (full-precision) weights.
     pub fn master_weight(&self) -> &Tensor {
-        &self.weight.value
+        self.wsite.master()
     }
 
     /// The weights as quantized under the currently active resolution.
     pub fn quantized_weight(&self) -> Tensor {
-        self.wcache
-            .quantize(
-                &self.weight.value,
-                self.weight.version(),
-                clip_value(&self.w_clip),
-                self.control.resolution(),
-                self.qcfg,
-                self.in_features,
-            )
-            .values
+        self.wsite.quantized_values(self.control.resolution())
     }
 
     /// The layer's reusable weight-term cache (stats and A/B toggling).
     pub fn weight_cache(&self) -> &WeightTermCache {
-        &self.wcache
+        self.wsite.cache()
     }
 }
 
@@ -520,41 +455,20 @@ impl Layer for QLinear {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.dim(1), self.in_features, "qlinear input width mismatch");
         let res = self.control.resolution();
-        let q = Quantizers { qcfg: self.qcfg };
-        let wq = self.wcache.quantize(
-            &self.weight.value,
-            self.weight.version(),
-            clip_value(&self.w_clip),
-            res,
-            self.qcfg,
-            self.in_features,
-        );
-        let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
+        let wq = self.wsite.quantize(res, mode);
+        let (xv, x_masks) = self.xsite.quantize(x, res, mode);
 
-        let mut y = ops::matmul_bt(&xq.values, &wq.values);
+        let mut y = ops::matmul_bt(xv.as_ref(), &wq.values);
         y.add_channel_bias_inplace(&self.bias.value);
 
-        let out_elems = y.len() as u64;
-        self.control.add_term_pairs(
-            out_elems
-                * term_pairs_per_dot(
-                    res,
-                    self.in_features,
-                    self.qcfg.group_size,
-                    self.qcfg.weight_bits,
-                ),
-        );
-        self.control
-            .add_value_macs(out_elems * self.in_features as u64);
+        self.wsite.account(&self.control, res, y.len() as u64);
 
         if mode.is_train() {
             self.cache = Some(QLinearCache {
-                x_q: xq.values,
+                x_q: xv.into_owned(),
                 w_q: wq.values,
-                w_ste: wq.ste,
-                w_sat: wq.sat,
-                x_ste: xq.ste,
-                x_sat: xq.sat,
+                w_masks: wq.masks.expect("train-mode quantization carries masks"),
+                x_masks: x_masks.expect("train-mode quantization carries masks"),
             });
         }
         y
@@ -565,39 +479,24 @@ impl Layer for QLinear {
         let gw_q = ops::matmul_at(grad_out, &cache.x_q);
         let gx_q = ops::matmul(grad_out, &cache.w_q);
 
-        self.weight.accumulate(&(&gw_q * &cache.w_ste));
-        let wclip_g: f32 = gw_q
-            .data()
-            .iter()
-            .zip(cache.w_sat.data())
-            .map(|(&g, &s)| g * s)
-            .sum();
-        self.w_clip.grad.data_mut()[0] += wclip_g;
-
+        self.wsite.fold_backward(&gw_q, &cache.w_masks);
         self.bias.accumulate(&sum_except_channel(grad_out));
-
-        let gx = &gx_q * &cache.x_ste;
-        let xclip_g: f32 = gx_q
-            .data()
-            .iter()
-            .zip(cache.x_sat.data())
-            .map(|(&g, &s)| g * s)
-            .sum();
-        self.x_clip.grad.data_mut()[0] += xclip_g;
-        gx
+        self.xsite.fold_backward(&gx_q, &cache.x_masks)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
-        visitor(&mut self.weight);
+        self.wsite.visit_weight(visitor);
         visitor(&mut self.bias);
-        visitor(&mut self.w_clip);
-        visitor(&mut self.x_clip);
+        self.wsite.visit_clip(visitor);
+        self.xsite.visit_clip(visitor);
     }
 
     fn describe(&self) -> String {
         format!(
             "qlinear({}->{}, b={})",
-            self.in_features, self.out_features, self.qcfg.weight_bits
+            self.in_features,
+            self.out_features,
+            self.wsite.config().weight_bits
         )
     }
 }
@@ -778,25 +677,20 @@ mod tests {
 /// channel (KH·KW values, a partial TQ group with proportionally scaled
 /// budget), matching how the systolic mapping treats depthwise layers.
 pub struct QDepthwiseConv2d {
-    weight: Param,
+    wsite: QParamSite,
     bias: Param,
-    w_clip: Param,
-    x_clip: Param,
+    xsite: QActSite,
     cfg: Conv2dCfg,
-    qcfg: QuantConfig,
     control: Arc<ResolutionControl>,
     channels: usize,
     cache: Option<QDwCache>,
-    wcache: WeightTermCache,
 }
 
 struct QDwCache {
     x_q: Tensor,
     w_q: Tensor,
-    w_ste: Tensor,
-    w_sat: Tensor,
-    x_ste: Tensor,
-    x_sat: Tensor,
+    w_masks: QuantMasks,
+    x_masks: QuantMasks,
 }
 
 impl QDepthwiseConv2d {
@@ -810,27 +704,28 @@ impl QDepthwiseConv2d {
     ) -> Self {
         let (kh, kw) = cfg.kernel;
         QDepthwiseConv2d {
-            weight: Param::new(init::kaiming_normal(rng, &[channels, kh, kw], kh * kw)),
+            wsite: QParamSite::new(
+                init::kaiming_normal(rng, &[channels, kh, kw], kh * kw),
+                qcfg,
+                kh * kw,
+            ),
             bias: Param::new_no_decay(Tensor::zeros(&[channels])),
-            w_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
-            x_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
+            xsite: QActSite::new(qcfg),
             cfg,
-            qcfg,
             control,
             channels,
             cache: None,
-            wcache: WeightTermCache::new(),
         }
     }
 
     /// Immutable access to the master weights (`[C, KH, KW]`).
     pub fn master_weight(&self) -> &Tensor {
-        &self.weight.value
+        self.wsite.master()
     }
 
     /// The layer's reusable weight-term cache (stats and A/B toggling).
     pub fn weight_cache(&self) -> &WeightTermCache {
-        &self.wcache
+        self.wsite.cache()
     }
 }
 
@@ -838,37 +733,21 @@ impl Layer for QDepthwiseConv2d {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.dim(1), self.channels, "qdepthwise channel mismatch");
         let res = self.control.resolution();
-        let q = Quantizers { qcfg: self.qcfg };
-        let (kh, kw) = self.cfg.kernel;
         // One TQ group per channel filter (k = kh*kw values).
-        let wq = self.wcache.quantize(
-            &self.weight.value,
-            self.weight.version(),
-            clip_value(&self.w_clip),
-            res,
-            self.qcfg,
-            kh * kw,
-        );
-        let xq = q.quantize_data(x, clip_value(&self.x_clip), res);
+        let wq = self.wsite.quantize(res, mode);
+        let (xv, x_masks) = self.xsite.quantize(x, res, mode);
 
-        let mut y = mri_tensor::conv::depthwise_forward(&xq.values, &wq.values, self.cfg);
+        let mut y = mri_tensor::conv::depthwise_forward(xv.as_ref(), &wq.values, self.cfg);
         y.add_channel_bias_inplace(&self.bias.value);
 
-        let out_elems = y.len() as u64;
-        self.control.add_term_pairs(
-            out_elems
-                * term_pairs_per_dot(res, kh * kw, self.qcfg.group_size, self.qcfg.weight_bits),
-        );
-        self.control.add_value_macs(out_elems * (kh * kw) as u64);
+        self.wsite.account(&self.control, res, y.len() as u64);
 
         if mode.is_train() {
             self.cache = Some(QDwCache {
-                x_q: xq.values,
+                x_q: xv.into_owned(),
                 w_q: wq.values,
-                w_ste: wq.ste,
-                w_sat: wq.sat,
-                x_ste: xq.ste,
-                x_sat: xq.sat,
+                w_masks: wq.masks.expect("train-mode quantization carries masks"),
+                x_masks: x_masks.expect("train-mode quantization carries masks"),
             });
         }
         y
@@ -878,31 +757,16 @@ impl Layer for QDepthwiseConv2d {
         let cache = self.cache.as_ref().expect("backward before forward");
         let (gx_q, gw_q) =
             mri_tensor::conv::depthwise_backward(grad_out, &cache.x_q, &cache.w_q, self.cfg);
-        self.weight.accumulate(&(&gw_q * &cache.w_ste));
-        let wclip_g: f32 = gw_q
-            .data()
-            .iter()
-            .zip(cache.w_sat.data())
-            .map(|(&g, &s)| g * s)
-            .sum();
-        self.w_clip.grad.data_mut()[0] += wclip_g;
+        self.wsite.fold_backward(&gw_q, &cache.w_masks);
         self.bias.accumulate(&sum_except_channel(grad_out));
-        let gx = &gx_q * &cache.x_ste;
-        let xclip_g: f32 = gx_q
-            .data()
-            .iter()
-            .zip(cache.x_sat.data())
-            .map(|(&g, &s)| g * s)
-            .sum();
-        self.x_clip.grad.data_mut()[0] += xclip_g;
-        gx
+        self.xsite.fold_backward(&gx_q, &cache.x_masks)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
-        visitor(&mut self.weight);
+        self.wsite.visit_weight(visitor);
         visitor(&mut self.bias);
-        visitor(&mut self.w_clip);
-        visitor(&mut self.x_clip);
+        self.wsite.visit_clip(visitor);
+        self.xsite.visit_clip(visitor);
     }
 
     fn describe(&self) -> String {
@@ -985,5 +849,58 @@ mod depthwise_tests {
             last = l;
         }
         assert!(last < first.unwrap(), "loss {first:?} -> {last}");
+    }
+
+    #[test]
+    fn qdepthwise_gradcheck_full_resolution() {
+        // At Resolution::Full the quantizers are identities and the masks
+        // pass everything, so the site-folded weight gradient must match
+        // finite differences of the 0.5·‖y‖² loss exactly.
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Arc::new(ResolutionControl::new(Resolution::Full));
+        let mut dw = QDepthwiseConv2d::new(
+            &mut rng,
+            2,
+            Conv2dCfg::same(3),
+            QuantConfig::paper_cnn(),
+            Arc::clone(&c),
+        );
+        let x = init::uniform(&mut rng, &[2, 2, 4, 4], 0.0, 1.0);
+        dw.visit_params(&mut |p| p.zero_grad());
+        let y = dw.forward(&x, Mode::Train);
+        dw.backward(&y);
+        let mut grads = Vec::new();
+        dw.visit_params(&mut |p| grads.push(p.grad.clone()));
+        let g_w = grads[0].clone();
+
+        // The master weight is the only rank-3 parameter of the layer.
+        let nudge = |dw: &mut QDepthwiseConv2d, idx: usize, delta: f32| {
+            dw.visit_params(&mut |p| {
+                if p.value.dims().len() == 3 {
+                    p.value.data_mut()[idx] += delta;
+                }
+            });
+        };
+        let eps = 1e-2;
+        for idx in [0usize, 4, 9, 17] {
+            let loss_at = |delta: f32, dw: &mut QDepthwiseConv2d| {
+                nudge(dw, idx, delta);
+                let l: f32 = dw
+                    .forward(&x, Mode::Eval)
+                    .data()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+                    * 0.5;
+                nudge(dw, idx, -delta);
+                l
+            };
+            let num = (loss_at(eps, &mut dw) - loss_at(-eps, &mut dw)) / (2.0 * eps);
+            assert!(
+                (num - g_w.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "weight grad {idx}: numeric {num} vs analytic {}",
+                g_w.data()[idx]
+            );
+        }
     }
 }

@@ -1,0 +1,390 @@
+//! Quantization sites: the single home of the Algorithm-1 parameter and
+//! activation quantization contract.
+//!
+//! Every quantized layer in the workspace — conv, linear, depthwise and the
+//! LSTM gates — used to re-implement the same three responsibilities inline:
+//! quantize a master weight under the active [`Resolution`], fake-quantize
+//! an activation tensor, and fold the straight-through / PACT clip gradients
+//! back on backward. This module extracts them into two small owning types:
+//!
+//! * [`QParamSite`] — owns a master-precision weight [`Param`], its PACT
+//!   clip, and a [`WeightTermCache`] keyed on the weight version and clip.
+//!   Forward produces the fake-quantized values (plus gradient masks only in
+//!   training mode); backward folds the raw quantized-weight gradient into
+//!   the master via the STE mask and routes the saturated part to the clip.
+//!   It also owns the layer's term-pair / value-MAC accounting, since the
+//!   per-dot cost is a function of its row length and config.
+//! * [`QActSite`] — owns a data PACT clip. Forward fake-quantizes an
+//!   activation tensor (borrowing it untouched at `Resolution::Full`);
+//!   backward masks the incoming gradient and feeds the clip.
+//!
+//! # Train vs eval data flow
+//!
+//! The gradient masks ([`QuantMasks`]) exist **only** for backward. Both
+//! sites therefore consult [`Mode::is_train`]: in `Eval` (and `Calibrate`)
+//! the quantizers produce values only — no STE or saturation tensor is
+//! allocated or filled anywhere on the path, and a full-resolution
+//! activation pass is a plain borrow. Every mask construction funnels
+//! through [`QuantMasks::identity`] / [`QuantMasks::pact`], which maintain
+//! the global `quant.masks.built` counter and a per-thread count
+//! ([`masks_built_on_this_thread`]) so tests can assert the eval path
+//! allocates exactly zero masks.
+
+use crate::qlayers::{
+    data_masks, quantize_data_values, term_pairs_per_dot, QuantConfig, QuantizedTensor,
+};
+use crate::wcache::WeightTermCache;
+use crate::{Resolution, ResolutionControl};
+use mri_nn::{Mode, Param};
+use mri_quant::uq::{pact_clip_grad, ste_mask, QuantRange};
+use mri_telemetry::Counter;
+use mri_tensor::Tensor;
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Lower bound applied to every learnable PACT clip before quantizing.
+///
+/// The saturation gradient can drive a clip toward zero; flooring it keeps
+/// the UQ scale finite. This is the single source of truth for the floor —
+/// sites apply it in [`QParamSite::clip_value`] / [`QActSite::clip_value`].
+pub const CLIP_FLOOR: f32 = 1e-3;
+
+fn masks_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| mri_telemetry::global().counter("quant.masks.built"))
+}
+
+thread_local! {
+    static MASKS_BUILT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`QuantMasks`] constructed on the calling thread since it
+/// started. Mask builds always happen on the thread that runs the forward
+/// pass, so a before/after delta of zero proves a code path is mask-free
+/// even while other tests run concurrently.
+pub fn masks_built_on_this_thread() -> u64 {
+    MASKS_BUILT.with(|c| c.get())
+}
+
+/// The gradient masks of one fake-quantization: the straight-through pass
+/// mask and the PACT saturation signs. Produced only by training-mode
+/// forwards; consumed exactly once by the matching backward fold.
+#[derive(Clone)]
+pub struct QuantMasks {
+    /// 1 where the straight-through gradient passes, 0 where it saturated.
+    pub ste: Tensor,
+    /// PACT clip-gradient signs (±1 where saturated, 0 elsewhere).
+    pub sat: Tensor,
+}
+
+impl QuantMasks {
+    fn record_build() {
+        masks_counter().inc();
+        MASKS_BUILT.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Masks for an identity (full-resolution) quantization: pass every
+    /// gradient, saturate nothing.
+    pub fn identity(dims: &[usize]) -> Self {
+        Self::record_build();
+        QuantMasks {
+            ste: Tensor::ones(dims),
+            sat: Tensor::zeros(dims),
+        }
+    }
+
+    /// Masks for a PACT-clipped quantization of `x` at `clip` over `range`.
+    pub fn pact(x: &Tensor, clip: f32, range: QuantRange) -> Self {
+        Self::record_build();
+        let mut ste = vec![0.0f32; x.len()];
+        let mut sat = vec![0.0f32; x.len()];
+        for ((s, d), &v) in ste.iter_mut().zip(sat.iter_mut()).zip(x.data().iter()) {
+            *s = ste_mask(v, clip, range);
+            *d = pact_clip_grad(v, clip, range, 1.0);
+        }
+        QuantMasks {
+            ste: Tensor::from_vec(ste, x.dims()),
+            sat: Tensor::from_vec(sat, x.dims()),
+        }
+    }
+}
+
+/// A quantized-parameter site: master weight, PACT clip, reusable term
+/// cache, and the backward fold. See the [module docs](self).
+pub struct QParamSite {
+    weight: Param,
+    clip: Param,
+    cache: WeightTermCache,
+    qcfg: QuantConfig,
+    row_len: usize,
+}
+
+impl QParamSite {
+    /// Wraps `weight` as a decayed master parameter with a fresh clip (at
+    /// `qcfg.init_weight_clip`) and an empty term cache. TQ groups are laid
+    /// along rows of `row_len` values (groups never cross rows).
+    pub fn new(weight: Tensor, qcfg: QuantConfig, row_len: usize) -> Self {
+        QParamSite {
+            weight: Param::new(weight),
+            clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
+            cache: WeightTermCache::new(),
+            qcfg,
+            row_len,
+        }
+    }
+
+    /// Immutable access to the master (full-precision) weights.
+    pub fn master(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The current clip, floored at [`CLIP_FLOOR`].
+    pub fn clip_value(&self) -> f32 {
+        self.clip.value.data()[0].max(CLIP_FLOOR)
+    }
+
+    /// The site's reusable weight-term cache (stats and A/B toggling).
+    pub fn cache(&self) -> &WeightTermCache {
+        &self.cache
+    }
+
+    /// TQ row/group layout length.
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// The site's static quantization configuration.
+    pub fn config(&self) -> QuantConfig {
+        self.qcfg
+    }
+
+    /// Fake-quantizes the master weights under `res`, served from the term
+    /// cache when valid. Masks are attached only when `mode` is training.
+    pub fn quantize(&self, res: Resolution, mode: Mode) -> QuantizedTensor {
+        self.cache.quantize(
+            &self.weight.value,
+            self.weight.version(),
+            self.clip_value(),
+            res,
+            self.qcfg,
+            self.row_len,
+            mode.is_train(),
+        )
+    }
+
+    /// The quantized values under `res` — what the hardware would actually
+    /// store and compute with. Never builds masks.
+    pub fn quantized_values(&self, res: Resolution) -> Tensor {
+        self.cache
+            .quantize(
+                &self.weight.value,
+                self.weight.version(),
+                self.clip_value(),
+                res,
+                self.qcfg,
+                self.row_len,
+                false,
+            )
+            .values
+    }
+
+    /// The Algorithm-1 backward fold: the raw gradient `gw_q` with respect
+    /// to the *quantized* weights is passed straight through to the master
+    /// via the STE mask, and its saturated component accumulates into the
+    /// clip gradient.
+    pub fn fold_backward(&mut self, gw_q: &Tensor, masks: &QuantMasks) {
+        self.weight.accumulate(&(gw_q * &masks.ste));
+        let clip_g: f32 = gw_q
+            .data()
+            .iter()
+            .zip(masks.sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum();
+        self.clip.grad.data_mut()[0] += clip_g;
+    }
+
+    /// Charges `control` for `out_elems` dot products of this site's row
+    /// length under `res` (term pairs and value MACs).
+    pub fn account(&self, control: &ResolutionControl, res: Resolution, out_elems: u64) {
+        control.add_term_pairs(
+            out_elems
+                * term_pairs_per_dot(
+                    res,
+                    self.row_len,
+                    self.qcfg.group_size,
+                    self.qcfg.weight_bits,
+                ),
+        );
+        control.add_value_macs(out_elems * self.row_len as u64);
+    }
+
+    /// Visits the master weight parameter.
+    pub fn visit_weight(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+    }
+
+    /// Visits the clip parameter.
+    pub fn visit_clip(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.clip);
+    }
+}
+
+/// A quantized-activation site: data PACT clip plus the fake-quantize
+/// forward and gradient fold. See the [module docs](self).
+pub struct QActSite {
+    clip: Param,
+    qcfg: QuantConfig,
+}
+
+impl QActSite {
+    /// Creates a site with a fresh clip at `qcfg.init_data_clip`.
+    pub fn new(qcfg: QuantConfig) -> Self {
+        QActSite {
+            clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
+            qcfg,
+        }
+    }
+
+    /// The current clip, floored at [`CLIP_FLOOR`].
+    pub fn clip_value(&self) -> f32 {
+        self.clip.value.data()[0].max(CLIP_FLOOR)
+    }
+
+    /// The site's static quantization configuration.
+    pub fn config(&self) -> QuantConfig {
+        self.qcfg
+    }
+
+    /// Fake-quantizes `x` under `res`. At `Resolution::Full` the values are
+    /// a borrow of `x` (no copy); masks are built only when `mode` is
+    /// training.
+    pub fn quantize<'a>(
+        &self,
+        x: &'a Tensor,
+        res: Resolution,
+        mode: Mode,
+    ) -> (Cow<'a, Tensor>, Option<QuantMasks>) {
+        let clip = self.clip_value();
+        let values = quantize_data_values(x, clip, res, self.qcfg);
+        let masks = mode.is_train().then(|| data_masks(x, clip, res, self.qcfg));
+        (values, masks)
+    }
+
+    /// Masks the incoming gradient `gx_q` through the STE mask (returning
+    /// the input gradient) and accumulates the saturated component into the
+    /// clip gradient.
+    pub fn fold_backward(&mut self, gx_q: &Tensor, masks: &QuantMasks) -> Tensor {
+        let clip_g: f32 = gx_q
+            .data()
+            .iter()
+            .zip(masks.sat.data())
+            .map(|(&g, &s)| g * s)
+            .sum();
+        self.clip.grad.data_mut()[0] += clip_g;
+        gx_q * &masks.ste
+    }
+
+    /// Visits the clip parameter.
+    pub fn visit_clip(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.clip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qlayers::QLinear;
+    use mri_nn::Layer;
+    use mri_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn eval_and_calibrate_forwards_build_no_masks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = Arc::new(ResolutionControl::new(Resolution::Full));
+        let mut lin = QLinear::new(&mut rng, 16, 4, QuantConfig::paper_cnn(), Arc::clone(&c));
+        let x = init::uniform(&mut rng, &[3, 16], 0.0, 1.0);
+
+        let before = masks_built_on_this_thread();
+        lin.forward(&x, Mode::Eval); // full resolution: borrow, no masks
+        c.set_resolution(Resolution::Tq { alpha: 8, beta: 2 });
+        lin.forward(&x, Mode::Eval); // cache miss, values only
+        lin.forward(&x, Mode::Eval); // cache hit, values only
+        c.set_resolution(Resolution::UqShared {
+            weight_bits: 4,
+            data_bits: 4,
+        });
+        lin.forward(&x, Mode::Calibrate); // bypass path, values only
+        assert_eq!(
+            masks_built_on_this_thread(),
+            before,
+            "eval/calibrate forwards must not allocate STE/saturation masks"
+        );
+
+        lin.forward(&x, Mode::Train);
+        assert!(
+            masks_built_on_this_thread() > before,
+            "training forwards must build gradient masks"
+        );
+    }
+
+    #[test]
+    fn param_site_fold_applies_ste_and_clip_routing() {
+        let w = Tensor::from_vec(vec![0.5, -2.0, 2.0, 0.1], &[1, 4]);
+        let mut site = QParamSite::new(w, QuantConfig::paper_cnn(), 4);
+        // clip = 1.0: elements 1 and 2 saturate (signs -1 and +1).
+        let q = site.quantize(Resolution::Tq { alpha: 8, beta: 2 }, Mode::Train);
+        let masks = q.masks.expect("train quantize carries masks");
+        let gw = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 4]);
+        site.fold_backward(&gw, &masks);
+
+        let mut grads = Vec::new();
+        site.visit_weight(&mut |p| grads.push(p.grad.clone()));
+        assert_eq!(grads[0].data(), &[1.0, 0.0, 0.0, 1.0]);
+        let mut clip_g = 0.0;
+        site.visit_clip(&mut |p| clip_g = p.grad.data()[0]);
+        assert_eq!(clip_g, 0.0, "symmetric saturation signs cancel");
+    }
+
+    #[test]
+    fn act_site_borrows_input_at_full_resolution() {
+        let site = QActSite::new(QuantConfig::paper_cnn());
+        let x = Tensor::from_vec(vec![0.1, 0.7, 3.0], &[1, 3]);
+        let (v, m) = site.quantize(&x, Resolution::Full, Mode::Eval);
+        assert!(matches!(v, Cow::Borrowed(_)), "full eval must borrow");
+        assert!(m.is_none());
+        let (v, m) = site.quantize(&x, Resolution::Full, Mode::Train);
+        assert!(matches!(v, Cow::Borrowed(_)), "full train still borrows");
+        assert!(m.is_some(), "training builds identity masks");
+    }
+
+    #[test]
+    fn clip_floor_bounds_collapsed_clips() {
+        let mut site = QActSite::new(QuantConfig::paper_8bit());
+        site.visit_clip(&mut |p| p.value.data_mut()[0] = -0.5);
+        assert_eq!(site.clip_value(), CLIP_FLOOR);
+        let w = Tensor::from_vec(vec![0.3; 8], &[2, 4]);
+        let mut wsite = QParamSite::new(w, QuantConfig::paper_8bit(), 4);
+        wsite.visit_clip(&mut |p| p.value.data_mut()[0] = 0.0);
+        assert_eq!(wsite.clip_value(), CLIP_FLOOR);
+    }
+
+    #[test]
+    fn act_site_fold_masks_gradient_and_feeds_clip() {
+        let mut qcfg = QuantConfig::paper_cnn();
+        qcfg.init_data_clip = 1.0;
+        let mut site = QActSite::new(qcfg);
+        let x = Tensor::from_vec(vec![0.2, 0.8, 1.5, 3.0], &[1, 4]);
+        let (_, masks) = site.quantize(&x, Resolution::Tq { alpha: 8, beta: 2 }, Mode::Train);
+        let masks = masks.unwrap();
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let gx = site.fold_backward(&g, &masks);
+        assert_eq!(gx.data(), &[1.0, 2.0, 0.0, 0.0], "saturated grads blocked");
+        let mut clip_g = 0.0;
+        site.visit_clip(&mut |p| clip_g = p.grad.data()[0]);
+        assert_eq!(clip_g, 7.0, "saturated upstream grads feed the clip");
+    }
+}

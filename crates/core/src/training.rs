@@ -317,8 +317,11 @@ impl MultiResTrainer {
 }
 
 /// Recalibrates batch-normalisation running statistics for one resolution
-/// by running training-mode forward passes (gradients untouched, outputs
-/// discarded).
+/// by running [`Mode::Calibrate`] forward passes: batch-norm uses batch
+/// statistics and updates its running estimates exactly as in training, but
+/// the pass is otherwise inference-shaped — deterministic (no dropout), no
+/// backward caches, and the quantized layers skip gradient-mask
+/// construction entirely (outputs discarded, gradients untouched).
 ///
 /// Shared-weight multi-configuration models need this because every
 /// resolution shifts the activation distributions: the running statistics
@@ -337,7 +340,7 @@ pub fn calibrate_batchnorm(
 ) {
     control.set_resolution(res);
     for x in batches {
-        let _ = model.forward(x, Mode::Train);
+        let _ = model.forward(x, Mode::Calibrate);
     }
 }
 

@@ -13,12 +13,15 @@
 //! * one [`MultiResSlice`] per weight row — the canonical term sequence,
 //!   encoded **once** with an unbounded budget so *any* configured `α` is
 //!   served by prefix truncation (no re-encode, no re-sort);
-//! * the straight-through mask and PACT saturation signs, which depend only
-//!   on the master weights and the clip — never on `α` — so a cache hit
-//!   reuses them verbatim.
+//! * lazily, the straight-through mask and PACT saturation signs
+//!   ([`QuantMasks`]), which depend only on the master weights and the clip
+//!   — never on `α`. They are built at most once per entry, and **only when
+//!   a training-mode forward asks for them** (`want_masks`): evaluation and
+//!   calibration serve values with zero mask allocations.
 //!
 //! A miss (first use, optimizer step, clip change) re-encodes in parallel
-//! across row chunks; a hit is a per-row prefix walk plus two tensor clones.
+//! across row chunks; a hit is a per-row prefix walk plus — in training —
+//! one mask clone.
 //! Served values are bit-identical to
 //! [`GroupTermQuantizer::quantize_slice`](mri_quant::GroupTermQuantizer::quantize_slice)
 //! at every budget because the tail-group scaling `ceil(α·t/g)` is monotone
@@ -29,9 +32,10 @@
 //! feature modes); each instance additionally keeps exact local hit/miss
 //! counters for tests and the cache benchmark.
 
-use crate::qlayers::{fake_quantize_weights, QuantConfig, QuantizedTensor};
+use crate::qlayers::{quantize_weights_with, QuantConfig, QuantizedTensor};
+use crate::qsite::QuantMasks;
 use crate::Resolution;
-use mri_quant::uq::{pact_clip_grad, ste_mask, QuantRange};
+use mri_quant::uq::QuantRange;
 use mri_quant::{MultiResSlice, UniformQuantizer};
 use mri_telemetry::{Counter, Histogram};
 use mri_tensor::Tensor;
@@ -75,15 +79,25 @@ struct CacheEntry {
     clip_bits: u32,
     /// Row/group layout the terms were encoded under.
     row_len: usize,
+    /// Tensor shape the entry was filled for.
+    dims: Vec<usize>,
     /// UQ dequantization scale at the meta bitwidth.
     scale: f32,
     /// Canonical term sequence per weight row, encoded with an unbounded
     /// budget: serves any `α` by prefix truncation.
     rows: Vec<MultiResSlice>,
-    /// Straight-through mask (α-independent).
-    ste: Tensor,
-    /// PACT saturation signs (α-independent).
-    sat: Tensor,
+    /// STE/saturation masks (α-independent), built lazily on the first
+    /// training-mode request against this entry. Eval-only traffic never
+    /// initialises this.
+    masks: OnceLock<QuantMasks>,
+}
+
+impl CacheEntry {
+    /// The entry's gradient masks, built at most once per generation.
+    fn masks(&self, w: &Tensor, clip: f32) -> &QuantMasks {
+        self.masks
+            .get_or_init(|| QuantMasks::pact(w, clip, QuantRange::Symmetric))
+    }
 }
 
 /// Per-layer reusable weight-term cache. See the [module docs](self).
@@ -147,14 +161,20 @@ impl WeightTermCache {
     }
 
     /// Quantizes `w` under `res` exactly like
-    /// [`fake_quantize_weights`], serving `Resolution::Tq` from the cached
-    /// term sequence when `weight_version`, `clip` and `row_len` still match
-    /// the stored entry, and re-encoding (in parallel across row chunks)
-    /// otherwise.
+    /// [`crate::qlayers::fake_quantize_weights`], serving `Resolution::Tq`
+    /// from the cached term sequence when `weight_version`, `clip` and
+    /// `row_len` still match the stored entry, and re-encoding (in parallel
+    /// across row chunks) otherwise.
+    ///
+    /// `want_masks` selects the training data flow: with it, the result
+    /// carries the STE/saturation masks (built lazily, once per entry);
+    /// without it — the eval path — the result is values-only and no mask
+    /// tensor is ever allocated.
     ///
     /// `Resolution::Full` and `Resolution::UqShared` bypass the cache: the
     /// former is a clone, the latter is a cheap per-value bit truncation
     /// with no term sequence to reuse.
+    #[allow(clippy::too_many_arguments)] // the invalidation key spelled out
     pub fn quantize(
         &self,
         w: &Tensor,
@@ -163,12 +183,13 @@ impl WeightTermCache {
         res: Resolution,
         qcfg: QuantConfig,
         row_len: usize,
+        want_masks: bool,
     ) -> QuantizedTensor {
         let Resolution::Tq { alpha, .. } = res else {
-            return fake_quantize_weights(w, clip, res, qcfg, row_len);
+            return quantize_weights_with(w, clip, res, qcfg, row_len, want_masks);
         };
         if !self.is_enabled() {
-            return fake_quantize_weights(w, clip, res, qcfg, row_len);
+            return quantize_weights_with(w, clip, res, qcfg, row_len, want_masks);
         }
 
         let clip_bits = clip.to_bits();
@@ -178,13 +199,13 @@ impl WeightTermCache {
                 if entry.weight_version == weight_version
                     && entry.clip_bits == clip_bits
                     && entry.row_len == row_len
-                    && entry.ste.dims() == w.dims()
+                    && entry.dims == w.dims()
                 {
                     let entry = Arc::clone(entry);
                     drop(guard);
                     self.hits.inc();
                     global_stats().hits.inc();
-                    return serve(&entry, alpha, w.dims());
+                    return serve(&entry, alpha, want_masks, w, clip);
                 }
             }
         }
@@ -199,15 +220,21 @@ impl WeightTermCache {
         global_stats()
             .fill_ns
             .record(start.elapsed().as_nanos() as u64);
-        let out = serve(&entry, alpha, w.dims());
+        let out = serve(&entry, alpha, want_masks, w, clip);
         *self.entry.write() = Some(entry);
         out
     }
 }
 
 /// Reconstructs the fake-quantized tensor for `alpha` from a filled entry.
-fn serve(entry: &CacheEntry, alpha: usize, dims: &[usize]) -> QuantizedTensor {
-    let mut values = Tensor::zeros(dims);
+fn serve(
+    entry: &CacheEntry,
+    alpha: usize,
+    want_masks: bool,
+    w: &Tensor,
+    clip: f32,
+) -> QuantizedTensor {
+    let mut values = Tensor::zeros(&entry.dims);
     let out = values.data_mut();
     let mut off = 0;
     for row in &entry.rows {
@@ -216,14 +243,14 @@ fn serve(entry: &CacheEntry, alpha: usize, dims: &[usize]) -> QuantizedTensor {
     }
     QuantizedTensor {
         values,
-        ste: entry.ste.clone(),
-        sat: entry.sat.clone(),
+        masks: want_masks.then(|| entry.masks(w, clip).clone()),
     }
 }
 
-/// Encodes every weight row's full term sequence plus the α-independent
-/// STE/saturation masks, splitting row chunks over scoped threads when the
-/// tensor is large enough to amortise thread startup.
+/// Encodes every weight row's full term sequence, splitting row chunks over
+/// scoped threads when the tensor is large enough to amortise thread
+/// startup. Masks are *not* built here — they materialise lazily on the
+/// first training-mode request (see [`CacheEntry::masks`]).
 fn fill(
     w: &Tensor,
     weight_version: u64,
@@ -238,47 +265,41 @@ fn fill(
     let scale = UniformQuantizer::symmetric(qcfg.weight_bits, clip).scale();
 
     let mut rows: Vec<Option<MultiResSlice>> = vec![None; n_rows];
-    let mut ste = vec![0.0f32; data.len()];
-    let mut sat = vec![0.0f32; data.len()];
 
     let threads = available_threads();
     if n_rows >= threads * PAR_ROWS_PER_THREAD && threads > 1 && data.len() > 1 << 14 {
         let rows_per = n_rows.div_ceil(threads);
         crossbeam::thread::scope(|scope| {
-            for (((chunk, slots), ste_chunk), sat_chunk) in data
+            for (chunk, slots) in data
                 .chunks(rows_per * row_len)
                 .zip(rows.chunks_mut(rows_per))
-                .zip(ste.chunks_mut(rows_per * row_len))
-                .zip(sat.chunks_mut(rows_per * row_len))
             {
                 scope.spawn(move |_| {
-                    encode_rows(chunk, slots, ste_chunk, sat_chunk, clip, qcfg, row_len);
+                    encode_rows(chunk, slots, clip, qcfg, row_len);
                 });
             }
         })
         .expect("weight-term cache fill worker panicked");
     } else {
-        encode_rows(data, &mut rows, &mut ste, &mut sat, clip, qcfg, row_len);
+        encode_rows(data, &mut rows, clip, qcfg, row_len);
     }
 
     CacheEntry {
         weight_version,
         clip_bits,
         row_len,
+        dims: w.dims().to_vec(),
         scale,
         rows: rows.into_iter().map(|r| r.expect("row encoded")).collect(),
-        ste: Tensor::from_vec(ste, w.dims()),
-        sat: Tensor::from_vec(sat, w.dims()),
+        masks: OnceLock::new(),
     }
 }
 
 /// Encodes one contiguous run of weight rows: UQ to integers, one unbounded
-/// [`MultiResSlice`] per row, then the element-wise STE/saturation masks.
+/// [`MultiResSlice`] per row.
 fn encode_rows(
     data: &[f32],
     slots: &mut [Option<MultiResSlice>],
-    ste: &mut [f32],
-    sat: &mut [f32],
     clip: f32,
     qcfg: QuantConfig,
     row_len: usize,
@@ -295,10 +316,6 @@ fn encode_rows(
             qcfg.encoding,
         ));
     }
-    for ((s, d), &x) in ste.iter_mut().zip(sat.iter_mut()).zip(data.iter()) {
-        *s = ste_mask(x, clip, QuantRange::Symmetric);
-        *d = pact_clip_grad(x, clip, QuantRange::Symmetric, 1.0);
-    }
 }
 
 fn available_threads() -> usize {
@@ -310,6 +327,8 @@ fn available_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qlayers::fake_quantize_weights;
+    use crate::qsite::masks_built_on_this_thread;
     use mri_tensor::init;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -332,11 +351,11 @@ mod tests {
         let cache = WeightTermCache::new();
         for alpha in [1, 2, 5, 16, 40] {
             let res = Resolution::Tq { alpha, beta: 2 };
-            let got = cache.quantize(&w, 7, 1.0, res, qcfg, 24);
+            let got = cache.quantize(&w, 7, 1.0, res, qcfg, 24, true);
             let want = direct(&w, 1.0, alpha, qcfg, 24);
             assert_eq!(got.values.data(), want.values.data(), "alpha {alpha}");
-            assert_eq!(got.ste.data(), want.ste.data(), "ste at alpha {alpha}");
-            assert_eq!(got.sat.data(), want.sat.data(), "sat at alpha {alpha}");
+            assert_eq!(got.ste().data(), want.ste().data(), "ste at alpha {alpha}");
+            assert_eq!(got.sat().data(), want.sat().data(), "sat at alpha {alpha}");
         }
         assert_eq!(cache.misses(), 1, "one encode must serve every alpha");
         assert_eq!(cache.hits(), 4);
@@ -350,7 +369,7 @@ mod tests {
         let cache = WeightTermCache::new();
         // row_len 10 over 35 values: rows of 10, 10, 10 and a tail of 5.
         let res = Resolution::Tq { alpha: 6, beta: 2 };
-        let got = cache.quantize(&w, 0, 0.8, res, qcfg, 10);
+        let got = cache.quantize(&w, 0, 0.8, res, qcfg, 10, false);
         let want = direct(&w, 0.8, 6, qcfg, 10);
         assert_eq!(got.values.data(), want.values.data());
     }
@@ -362,15 +381,15 @@ mod tests {
         let qcfg = QuantConfig::paper_cnn();
         let res = Resolution::Tq { alpha: 8, beta: 2 };
         let cache = WeightTermCache::new();
-        cache.quantize(&w, 0, 1.0, res, qcfg, 16);
-        cache.quantize(&w, 0, 1.0, res, qcfg, 16);
+        cache.quantize(&w, 0, 1.0, res, qcfg, 16, true);
+        cache.quantize(&w, 0, 1.0, res, qcfg, 16, true);
         assert_eq!((cache.misses(), cache.hits()), (1, 1));
-        cache.quantize(&w, 1, 1.0, res, qcfg, 16); // optimizer bumped
+        cache.quantize(&w, 1, 1.0, res, qcfg, 16, true); // optimizer bumped
         assert_eq!(cache.misses(), 2, "stale version must refill");
-        cache.quantize(&w, 1, 0.5, res, qcfg, 16); // PACT clip moved
+        cache.quantize(&w, 1, 0.5, res, qcfg, 16, true); // PACT clip moved
         assert_eq!(cache.misses(), 3, "clip change must refill");
         let want = direct(&w, 0.5, 8, qcfg, 16);
-        let got = cache.quantize(&w, 1, 0.5, res, qcfg, 16);
+        let got = cache.quantize(&w, 1, 0.5, res, qcfg, 16, true);
         assert_eq!(got.values.data(), want.values.data());
         assert_eq!(cache.hits(), 2);
     }
@@ -381,13 +400,13 @@ mod tests {
         let w = init::uniform(&mut rng, &[4, 16], -1.0, 1.0);
         let qcfg = QuantConfig::paper_cnn();
         let cache = WeightTermCache::new();
-        let full = cache.quantize(&w, 0, 1.0, Resolution::Full, qcfg, 16);
+        let full = cache.quantize(&w, 0, 1.0, Resolution::Full, qcfg, 16, false);
         assert_eq!(full.values.data(), w.data());
         let uq = Resolution::UqShared {
             weight_bits: 4,
             data_bits: 4,
         };
-        let got = cache.quantize(&w, 0, 1.0, uq, qcfg, 16);
+        let got = cache.quantize(&w, 0, 1.0, uq, qcfg, 16, false);
         let want = fake_quantize_weights(&w, 1.0, uq, qcfg, 16);
         assert_eq!(got.values.data(), want.values.data());
         assert_eq!(
@@ -405,15 +424,15 @@ mod tests {
         let res = Resolution::Tq { alpha: 8, beta: 2 };
         let cache = WeightTermCache::new();
         cache.set_enabled(false);
-        let got = cache.quantize(&w, 0, 1.0, res, qcfg, 16);
-        cache.quantize(&w, 0, 1.0, res, qcfg, 16);
+        let got = cache.quantize(&w, 0, 1.0, res, qcfg, 16, false);
+        cache.quantize(&w, 0, 1.0, res, qcfg, 16, false);
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
         assert_eq!(
             got.values.data(),
             direct(&w, 1.0, 8, qcfg, 16).values.data()
         );
         cache.set_enabled(true);
-        cache.quantize(&w, 0, 1.0, res, qcfg, 16);
+        cache.quantize(&w, 0, 1.0, res, qcfg, 16, false);
         assert_eq!(cache.misses(), 1, "re-enabling starts cold");
     }
 
@@ -427,11 +446,44 @@ mod tests {
         let qcfg = QuantConfig::paper_cnn();
         let res = Resolution::Tq { alpha: 9, beta: 2 };
         let cache = WeightTermCache::new();
-        let got = cache.quantize(&w, 0, 1.0, res, qcfg, 64);
+        let got = cache.quantize(&w, 0, 1.0, res, qcfg, 64, true);
         let want = direct(&w, 1.0, 9, qcfg, 64);
         assert_eq!(got.values.data(), want.values.data());
-        assert_eq!(got.ste.data(), want.ste.data());
-        assert_eq!(got.sat.data(), want.sat.data());
+        assert_eq!(got.ste().data(), want.ste().data());
+        assert_eq!(got.sat().data(), want.sat().data());
+    }
+
+    #[test]
+    fn masks_build_lazily_and_once_per_entry() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = init::uniform(&mut rng, &[4, 16], -1.0, 1.0);
+        let qcfg = QuantConfig::paper_cnn();
+        let res = Resolution::Tq { alpha: 8, beta: 2 };
+        let cache = WeightTermCache::new();
+
+        // Eval-style request fills the entry without touching masks.
+        let before = masks_built_on_this_thread();
+        let evald = cache.quantize(&w, 0, 1.0, res, qcfg, 16, false);
+        assert!(evald.masks.is_none());
+        assert_eq!(
+            masks_built_on_this_thread(),
+            before,
+            "values-only serve must not allocate masks"
+        );
+
+        // First training request builds them; the second reuses them.
+        let t1 = cache.quantize(&w, 0, 1.0, res, qcfg, 16, true);
+        assert!(t1.masks.is_some());
+        let after_first = masks_built_on_this_thread();
+        assert_eq!(after_first, before + 1, "hit must lazily build masks once");
+        let t2 = cache.quantize(&w, 0, 1.0, res, qcfg, 16, true);
+        assert_eq!(t2.ste().data(), t1.ste().data());
+        assert_eq!(
+            masks_built_on_this_thread(),
+            after_first,
+            "second training hit must reuse the entry's masks"
+        );
+        assert_eq!((cache.misses(), cache.hits()), (1, 2));
     }
 
     #[test]
@@ -442,8 +494,8 @@ mod tests {
         let w = init::uniform(&mut rng, &[2, 16], -1.0, 1.0);
         let cache = WeightTermCache::new();
         let res = Resolution::Tq { alpha: 4, beta: 1 };
-        cache.quantize(&w, 0, 1.0, res, QuantConfig::paper_cnn(), 16);
-        cache.quantize(&w, 0, 1.0, res, QuantConfig::paper_cnn(), 16);
+        cache.quantize(&w, 0, 1.0, res, QuantConfig::paper_cnn(), 16, false);
+        cache.quantize(&w, 0, 1.0, res, QuantConfig::paper_cnn(), 16, false);
         // Deltas are lower bounds: other tests hit their own caches concurrently.
         assert!(stats.misses.get() >= m0 + 1);
         assert!(stats.hits.get() >= h0 + 1);

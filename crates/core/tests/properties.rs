@@ -1,12 +1,48 @@
 //! Property-based tests for the quantization-aware layers and the
 //! multi-resolution invariants at the model level.
 
-use mri_core::{fake_quantize_data, fake_quantize_weights, QuantConfig, Resolution};
-use mri_tensor::Tensor;
+use mri_core::{
+    fake_quantize_data, fake_quantize_weights, QConv2d, QDepthwiseConv2d, QLinear, QuantConfig,
+    Resolution, ResolutionControl,
+};
+use mri_nn::{Layer, Lstm, LstmCore, Mode};
+use mri_tensor::conv::{conv2d_forward, depthwise_forward, Conv2dCfg};
+use mri_tensor::{ops, Tensor};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
 
 fn tensor_strategy(len: usize, lo: f32, hi: f32) -> impl Strategy<Value = Tensor> {
     prop::collection::vec(lo..hi, len).prop_map(move |v| Tensor::from_vec(v, &[len]))
+}
+
+fn tensor_nd(dims: &'static [usize], lo: f32, hi: f32) -> impl Strategy<Value = Tensor> {
+    let len: usize = dims.iter().product();
+    prop::collection::vec(lo..hi, len).prop_map(move |v| Tensor::from_vec(v, dims))
+}
+
+/// The three resolution families every layer kind must agree on.
+const RESOLUTIONS: [Resolution; 3] = [
+    Resolution::Full,
+    Resolution::UqShared {
+        weight_bits: 4,
+        data_bits: 4,
+    },
+    Resolution::Tq { alpha: 8, beta: 2 },
+];
+
+/// Replaces a layer's master weight (the first visited parameter) so the
+/// site quantizes a proptest-generated tensor instead of the seeded init.
+fn set_master(layer: &mut dyn Layer, w: &Tensor) {
+    let mut first = true;
+    layer.visit_params(&mut |p| {
+        if first {
+            assert_eq!(p.value.len(), w.len(), "master weight length mismatch");
+            p.value = w.clone();
+            first = false;
+        }
+    });
 }
 
 proptest! {
@@ -39,8 +75,8 @@ proptest! {
         let fq = fake_quantize_weights(&w, clip, Resolution::Tq { alpha: 20, beta: 2 }, qcfg, 16);
         for i in 0..16 {
             let x = w.data()[i];
-            let ste = fq.ste.data()[i];
-            let sat = fq.sat.data()[i];
+            let ste = fq.ste().data()[i];
+            let sat = fq.sat().data()[i];
             if x.abs() < clip {
                 prop_assert_eq!(ste, 1.0);
                 prop_assert_eq!(sat, 0.0);
@@ -121,6 +157,157 @@ proptest! {
                 };
                 prop_assert_eq!(s, expected, "bits {}", bits);
             }
+        }
+    }
+}
+
+// Layer-level bit-identity: the QSite-refactored layers must produce exactly
+// the outputs of the reference composition "fake-quantize both operands,
+// then run the plain kernel" — the pre-refactor forward — at every
+// resolution family, in both eval (mask-free) and train data flows.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn qlinear_matches_reference_composition(
+        w in tensor_nd(&[3, 8], -0.9, 0.9),
+        x in tensor_nd(&[2, 8], 0.0, 3.9),
+    ) {
+        let qcfg = QuantConfig::paper_cnn();
+        for res in RESOLUTIONS {
+            let ctl = Arc::new(ResolutionControl::new(res));
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut lin = QLinear::new(&mut rng, 8, 3, qcfg, ctl);
+            set_master(&mut lin, &w);
+
+            let wq = fake_quantize_weights(&w, qcfg.init_weight_clip, res, qcfg, 8);
+            let xq = fake_quantize_data(&x, qcfg.init_data_clip, res, qcfg);
+            let want = ops::matmul_bt(&xq.values, &wq.values); // bias is zero
+
+            let eval = lin.forward(&x, Mode::Eval);
+            prop_assert_eq!(eval.data(), want.data(), "eval path at {:?}", res);
+            let train = lin.forward(&x, Mode::Train);
+            prop_assert_eq!(train.data(), want.data(), "train path at {:?}", res);
+        }
+    }
+
+    #[test]
+    fn qlinear_backward_matches_ste_formulas(
+        w in tensor_nd(&[3, 8], -1.3, 1.3),
+        x in tensor_nd(&[2, 8], 0.0, 4.5),
+    ) {
+        // Ranges deliberately exceed the clips so saturation terms fire.
+        let qcfg = QuantConfig::paper_cnn();
+        for res in RESOLUTIONS {
+            let ctl = Arc::new(ResolutionControl::new(res));
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut lin = QLinear::new(&mut rng, 8, 3, qcfg, ctl);
+            set_master(&mut lin, &w);
+            lin.visit_params(&mut |p| p.zero_grad());
+
+            let y = lin.forward(&x, Mode::Train);
+            let gx = lin.backward(&y);
+
+            let wq = fake_quantize_weights(&w, qcfg.init_weight_clip, res, qcfg, 8);
+            let xq = fake_quantize_data(&x, qcfg.init_data_clip, res, qcfg);
+            let gw_q = ops::matmul_at(&y, &xq.values);
+            let gx_q = ops::matmul(&y, &wq.values);
+            let want_gw = &gw_q * wq.ste();
+            let want_gx = &gx_q * xq.ste();
+            let want_wclip: f32 =
+                gw_q.data().iter().zip(wq.sat().data()).map(|(&g, &s)| g * s).sum();
+            let want_xclip: f32 =
+                gx_q.data().iter().zip(xq.sat().data()).map(|(&g, &s)| g * s).sum();
+
+            let mut grads = Vec::new();
+            lin.visit_params(&mut |p| grads.push(p.grad.clone()));
+            // Param order: weight, bias, w_clip, x_clip.
+            prop_assert_eq!(grads[0].data(), want_gw.data(), "weight grad at {:?}", res);
+            prop_assert_eq!(grads[2].data()[0], want_wclip, "w clip grad at {:?}", res);
+            prop_assert_eq!(grads[3].data()[0], want_xclip, "x clip grad at {:?}", res);
+            prop_assert_eq!(gx.data(), want_gx.data(), "input grad at {:?}", res);
+        }
+    }
+
+    #[test]
+    fn qconv_matches_reference_composition(
+        w in tensor_nd(&[3, 2, 3, 3], -0.9, 0.9),
+        x in tensor_nd(&[1, 2, 4, 4], 0.0, 3.9),
+    ) {
+        let qcfg = QuantConfig::paper_cnn();
+        let cfg = Conv2dCfg::same(3);
+        for res in RESOLUTIONS {
+            let ctl = Arc::new(ResolutionControl::new(res));
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut conv = QConv2d::new(&mut rng, 2, 3, cfg, qcfg, ctl);
+            set_master(&mut conv, &w);
+
+            let wq = fake_quantize_weights(&w, qcfg.init_weight_clip, res, qcfg, 18);
+            let xq = fake_quantize_data(&x, qcfg.init_data_clip, res, qcfg);
+            let (want, _) = conv2d_forward(&xq.values, &wq.values, cfg);
+
+            let eval = conv.forward(&x, Mode::Eval);
+            prop_assert_eq!(eval.data(), want.data(), "eval path at {:?}", res);
+            let train = conv.forward(&x, Mode::Train);
+            prop_assert_eq!(train.data(), want.data(), "train path at {:?}", res);
+        }
+    }
+
+    #[test]
+    fn qdepthwise_matches_reference_composition(
+        w in tensor_nd(&[2, 3, 3], -0.9, 0.9),
+        x in tensor_nd(&[1, 2, 4, 4], 0.0, 3.9),
+    ) {
+        let qcfg = QuantConfig::paper_cnn();
+        let cfg = Conv2dCfg::same(3);
+        for res in RESOLUTIONS {
+            let ctl = Arc::new(ResolutionControl::new(res));
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut dw = QDepthwiseConv2d::new(&mut rng, 2, cfg, qcfg, ctl);
+            set_master(&mut dw, &w);
+
+            let wq = fake_quantize_weights(&w, qcfg.init_weight_clip, res, qcfg, 9);
+            let xq = fake_quantize_data(&x, qcfg.init_data_clip, res, qcfg);
+            let want = depthwise_forward(&xq.values, &wq.values, cfg);
+
+            let eval = dw.forward(&x, Mode::Eval);
+            prop_assert_eq!(eval.data(), want.data(), "eval path at {:?}", res);
+            let train = dw.forward(&x, Mode::Train);
+            prop_assert_eq!(train.data(), want.data(), "train path at {:?}", res);
+        }
+    }
+
+    /// The LSTM gate path: running the weight-agnostic core against
+    /// externally quantized gate matrices (the QSite data flow) is
+    /// bit-identical to the pre-refactor "swap quantized weights into the
+    /// cell, run, restore" dance.
+    #[test]
+    fn lstm_core_matches_swapped_wrapper(
+        wi in tensor_nd(&[8, 3], -0.9, 0.9),
+        wh in tensor_nd(&[8, 2], -0.9, 0.9),
+        x in tensor_nd(&[2, 2, 3], -1.0, 1.0),
+    ) {
+        let qcfg = QuantConfig::paper_8bit();
+        for res in RESOLUTIONS {
+            let wqi = fake_quantize_weights(&wi, qcfg.init_weight_clip, res, qcfg, 3);
+            let wqh = fake_quantize_weights(&wh, qcfg.init_weight_clip, res, qcfg, 2);
+
+            // Pre-refactor emulation: quantized values swapped into the cell.
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut lstm = Lstm::new(&mut rng, 3, 2);
+            lstm.visit_params(&mut |p| {
+                if p.value.dims() == [8, 3] {
+                    p.value = wqi.values.clone();
+                } else if p.value.dims() == [8, 2] {
+                    p.value = wqh.values.clone();
+                }
+            });
+            let want = lstm.forward(&x);
+
+            // Post-refactor data flow: weights stay external to the core.
+            let mut core = LstmCore::new(3, 2);
+            let got = core.forward(&x, &wqi.values, &wqh.values);
+            prop_assert_eq!(got.data(), want.data(), "at {:?}", res);
         }
     }
 }

@@ -1,46 +1,83 @@
 //! A two-layer quantized LSTM language model (the WikiText-2 experiment).
 //!
 //! Weight quantization follows Algorithm 1 exactly — symmetric UQ at the
-//! meta bitwidth with a learnable clip, then group TQ at the active budget —
-//! implemented by temporarily swapping fake-quantized weights into the LSTM
-//! cells for the forward/backward pair and restoring the full-precision
-//! masters before the optimizer step (straight-through estimation). Data
-//! entering each recurrent layer is quantized with the active `β`.
+//! meta bitwidth with a learnable clip, then group TQ at the active budget.
+//! Each recurrent cell pairs two [`QParamSite`]s (the
+//! input-to-hidden and hidden-to-hidden gate matrices, each with its own
+//! PACT clip and reusable weight-term cache) feeding an [`LstmCore`] that
+//! runs the gate math against externally supplied — here quantized —
+//! weights. Data entering each recurrent layer passes through a
+//! [`QActSite`]. The sites own the straight-through backward fold, so the
+//! model never swaps weights in and out of the cells and the masters are
+//! untouched by any forward pass.
 
-use mri_core::{fake_quantize_data, QLinear, QuantConfig, ResolutionControl, WeightTermCache};
-use mri_nn::{Dropout, Embedding, Layer, Lstm, Mode, Param};
-use mri_tensor::Tensor;
+use mri_core::{
+    QActSite, QLinear, QParamSite, QuantConfig, QuantMasks, ResolutionControl, WeightTermCache,
+};
+use mri_nn::{Dropout, Embedding, Layer, LstmCore, Mode, Param};
+use mri_tensor::{init, Tensor};
 use rand::Rng;
 use std::sync::Arc;
+
+/// One quantized LSTM layer: gate weights as quantization sites around a
+/// weight-agnostic recurrent core.
+struct QLstmCell {
+    w_ih: QParamSite,
+    w_hh: QParamSite,
+    core: LstmCore,
+}
+
+impl QLstmCell {
+    /// Matches `mri_nn::Lstm::new`'s initialisation draws exactly (Xavier on
+    /// both gate matrices, forget-gate bias at 1), so a quantized model seeds
+    /// identically to its unquantized twin.
+    fn new<R: Rng + ?Sized>(rng: &mut R, input: usize, hidden: usize, qcfg: QuantConfig) -> Self {
+        let w_ih = init::xavier_uniform(rng, &[4 * hidden, input], input, hidden);
+        let w_hh = init::xavier_uniform(rng, &[4 * hidden, hidden], hidden, hidden);
+        QLstmCell {
+            w_ih: QParamSite::new(w_ih, qcfg, input),
+            w_hh: QParamSite::new(w_hh, qcfg, hidden),
+            core: LstmCore::new(input, hidden),
+        }
+    }
+
+    fn visit_weights(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.w_ih.visit_weight(visitor);
+        self.w_hh.visit_weight(visitor);
+        self.core.visit_params(visitor);
+    }
+
+    fn visit_clips(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.w_ih.visit_clip(visitor);
+        self.w_hh.visit_clip(visitor);
+    }
+}
 
 /// A quantized 2-layer LSTM language model.
 pub struct LstmLm {
     emb: Embedding,
-    lstm1: Lstm,
-    lstm2: Lstm,
+    cell1: QLstmCell,
+    cell2: QLstmCell,
     drop1: Dropout,
     drop2: Dropout,
     head: QLinear,
-    w_clip: Param,
-    x_clip: Param,
-    qcfg: QuantConfig,
+    x1: QActSite,
+    x2: QActSite,
     control: Arc<ResolutionControl>,
     state: Option<FwdState>,
-    /// One reusable weight-term cache per rank-2 gate weight, indexed in
-    /// visit order over both cells.
-    gate_caches: Vec<WeightTermCache>,
 }
 
 struct FwdState {
     steps: usize,
     batch: usize,
-    saved_weights: Vec<Tensor>,
-    weight_ste: Vec<Tensor>,
-    weight_sat: Vec<Tensor>,
-    e_ste: Tensor,
-    e_sat: Tensor,
-    h1_ste: Tensor,
-    h1_sat: Tensor,
+    /// Quantized gate weights in order cell1.ih, cell1.hh, cell2.ih, cell2.hh
+    /// (the core's backward recomputes `dx`/`dh` against the same values the
+    /// forward multiplied by).
+    w_q: [Tensor; 4],
+    /// Gate STE/saturation masks, same order.
+    w_masks: [QuantMasks; 4],
+    e_masks: QuantMasks,
+    h1_masks: QuantMasks,
     hidden: usize,
     emb_dim: usize,
 }
@@ -58,37 +95,30 @@ impl LstmLm {
         qcfg: QuantConfig,
         control: &Arc<ResolutionControl>,
     ) -> Self {
-        let mut lm = LstmLm {
+        LstmLm {
             emb: Embedding::new(rng, vocab, emb_dim),
-            lstm1: Lstm::new(rng, emb_dim, hidden),
-            lstm2: Lstm::new(rng, hidden, hidden),
+            cell1: QLstmCell::new(rng, emb_dim, hidden, qcfg),
+            cell2: QLstmCell::new(rng, hidden, hidden, qcfg),
             drop1: Dropout::new(dropout, 11),
             drop2: Dropout::new(dropout, 13),
             head: QLinear::new(rng, hidden, vocab, qcfg, Arc::clone(control)),
-            w_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_weight_clip])),
-            x_clip: Param::new_no_decay(Tensor::from_slice(&[qcfg.init_data_clip])),
-            qcfg,
+            x1: QActSite::new(qcfg),
+            x2: QActSite::new(qcfg),
             control: Arc::clone(control),
             state: None,
-            gate_caches: Vec::new(),
-        };
-        let mut rank2 = 0usize;
-        for lstm in [&mut lm.lstm1, &mut lm.lstm2] {
-            lstm.visit_params(&mut |p| {
-                if p.value.shape().rank() == 2 {
-                    rank2 += 1;
-                }
-            });
         }
-        lm.gate_caches = (0..rank2).map(|_| WeightTermCache::new()).collect();
-        lm
     }
 
-    /// The per-gate reusable weight-term caches (visit order over both
-    /// cells' rank-2 weights); the decoder head's cache lives on
+    /// The per-gate reusable weight-term caches, in order cell1.ih,
+    /// cell1.hh, cell2.ih, cell2.hh; the decoder head's cache lives on
     /// [`QLinear::weight_cache`].
-    pub fn weight_caches(&self) -> &[WeightTermCache] {
-        &self.gate_caches
+    pub fn weight_caches(&self) -> Vec<&WeightTermCache> {
+        vec![
+            self.cell1.w_ih.cache(),
+            self.cell1.w_hh.cache(),
+            self.cell2.w_ih.cache(),
+            self.cell2.w_hh.cache(),
+        ]
     }
 
     /// Vocabulary size.
@@ -105,79 +135,60 @@ impl LstmLm {
     pub fn forward(&mut self, ids: &[usize], steps: usize, batch: usize, mode: Mode) -> Tensor {
         assert_eq!(ids.len(), steps * batch, "token count mismatch");
         let res = self.control.resolution();
-        let w_clip = self.w_clip.value.data()[0].max(1e-3);
-        let x_clip = self.x_clip.value.data()[0].max(1e-3);
 
-        // Swap fake-quantized weights into both LSTM cells, serving each
-        // gate from its term cache (swapping and restoring the masters does
-        // not bump the version, so the entries stay valid across passes).
-        let mut saved = Vec::new();
-        let mut stes = Vec::new();
-        let mut sats = Vec::new();
-        let qcfg = self.qcfg;
-        let caches = &self.gate_caches;
-        let mut cache_idx = 0usize;
-        for lstm in [&mut self.lstm1, &mut self.lstm2] {
-            lstm.visit_params(&mut |p| {
-                if p.value.shape().rank() == 2 {
-                    let row_len = p.value.dim(1);
-                    let fq = caches[cache_idx].quantize(
-                        &p.value,
-                        p.version(),
-                        w_clip,
-                        res,
-                        qcfg,
-                        row_len,
-                    );
-                    cache_idx += 1;
-                    saved.push(std::mem::replace(&mut p.value, fq.values));
-                    stes.push(fq.ste);
-                    sats.push(fq.sat);
-                }
-            });
-        }
+        // Quantize every gate matrix through its site; each is served from
+        // its term cache, and in eval mode no masks are materialised.
+        let q1i = self.cell1.w_ih.quantize(res, mode);
+        let q1h = self.cell1.w_hh.quantize(res, mode);
+        let q2i = self.cell2.w_ih.quantize(res, mode);
+        let q2h = self.cell2.w_hh.quantize(res, mode);
 
         let emb_dim = self.emb.dim();
-        let hidden = self.lstm1.hidden_size();
+        let hidden = self.cell1.core.hidden_size();
 
         let e = self.emb.forward(ids); // [steps*batch, emb]
-        let eq = fake_quantize_data(&e, x_clip, res, self.qcfg);
-        let e_dropped = self.drop1.forward(&eq.values, mode);
-        let h1 = self
-            .lstm1
-            .forward(&e_dropped.reshape(&[steps, batch, emb_dim]));
+        let (eq, e_masks) = self.x1.quantize(&e, res, mode);
+        let e_dropped = self.drop1.forward(eq.as_ref(), mode);
+        let h1 = self.cell1.core.forward(
+            &e_dropped.reshape(&[steps, batch, emb_dim]),
+            &q1i.values,
+            &q1h.values,
+        );
         let h1_flat = h1.reshape(&[steps * batch, hidden]);
-        let h1q = fake_quantize_data(&h1_flat, x_clip, res, self.qcfg);
-        let h1_dropped = self.drop2.forward(&h1q.values, mode);
-        let h2 = self
-            .lstm2
-            .forward(&h1_dropped.reshape(&[steps, batch, hidden]));
+        let (h1q, h1_masks) = self.x2.quantize(&h1_flat, res, mode);
+        let h1_dropped = self.drop2.forward(h1q.as_ref(), mode);
+        let h2 = self.cell2.core.forward(
+            &h1_dropped.reshape(&[steps, batch, hidden]),
+            &q2i.values,
+            &q2h.values,
+        );
         let h2_flat = h2.reshape(&[steps * batch, hidden]);
         let logits = self.head.forward(&h2_flat, mode);
 
         if mode.is_train() {
+            let expect = "train-mode quantization carries masks";
             self.state = Some(FwdState {
                 steps,
                 batch,
-                saved_weights: saved,
-                weight_ste: stes,
-                weight_sat: sats,
-                e_ste: eq.ste,
-                e_sat: eq.sat,
-                h1_ste: h1q.ste,
-                h1_sat: h1q.sat,
+                w_q: [q1i.values, q1h.values, q2i.values, q2h.values],
+                w_masks: [
+                    q1i.masks.expect(expect),
+                    q1h.masks.expect(expect),
+                    q2i.masks.expect(expect),
+                    q2h.masks.expect(expect),
+                ],
+                e_masks: e_masks.expect(expect),
+                h1_masks: h1_masks.expect(expect),
                 hidden,
                 emb_dim,
             });
-        } else {
-            // Restore the master weights immediately in eval mode.
-            self.restore_weights(saved);
         }
         logits
     }
 
-    /// Backward pass from the logits gradient; accumulates gradients into
-    /// the full-precision masters (STE) and restores them.
+    /// Backward pass from the logits gradient; the sites fold the quantized
+    /// gate gradients straight through to the full-precision masters (STE)
+    /// and route saturation to the per-gate PACT clips.
     ///
     /// # Panics
     ///
@@ -185,76 +196,44 @@ impl LstmLm {
     pub fn backward(&mut self, grad_logits: &Tensor) {
         let st = self.state.take().expect("backward before forward");
         let g_h2 = self.head.backward(grad_logits);
-        let g_h1d = self
-            .lstm2
-            .backward(&g_h2.reshape(&[st.steps, st.batch, st.hidden]))
-            .reshape_into(&[st.steps * st.batch, st.hidden]);
-        let g_h1q = self.drop2.backward(&g_h1d);
-        // STE through the h1 data quantizer + PACT to the shared x clip.
-        let g_h1 = &g_h1q * &st.h1_ste;
-        self.x_clip.grad.data_mut()[0] += g_h1q
-            .data()
-            .iter()
-            .zip(st.h1_sat.data())
-            .map(|(&g, &s)| g * s)
-            .sum::<f32>();
-        let g_ed = self
-            .lstm1
-            .backward(&g_h1.reshape(&[st.steps, st.batch, st.hidden]))
-            .reshape_into(&[st.steps * st.batch, st.emb_dim]);
-        let g_eq = self.drop1.backward(&g_ed);
-        let g_e = &g_eq * &st.e_ste;
-        self.x_clip.grad.data_mut()[0] += g_eq
-            .data()
-            .iter()
-            .zip(st.e_sat.data())
-            .map(|(&g, &s)| g * s)
-            .sum::<f32>();
+        let (g_h1d, gw2i, gw2h) = self.cell2.core.backward(
+            &g_h2.reshape(&[st.steps, st.batch, st.hidden]),
+            &st.w_q[2],
+            &st.w_q[3],
+        );
+        self.cell2.w_ih.fold_backward(&gw2i, &st.w_masks[2]);
+        self.cell2.w_hh.fold_backward(&gw2h, &st.w_masks[3]);
+        let g_h1q = self
+            .drop2
+            .backward(&g_h1d.reshape_into(&[st.steps * st.batch, st.hidden]));
+        let g_h1 = self.x2.fold_backward(&g_h1q, &st.h1_masks);
+        let (g_ed, gw1i, gw1h) = self.cell1.core.backward(
+            &g_h1.reshape(&[st.steps, st.batch, st.hidden]),
+            &st.w_q[0],
+            &st.w_q[1],
+        );
+        self.cell1.w_ih.fold_backward(&gw1i, &st.w_masks[0]);
+        self.cell1.w_hh.fold_backward(&gw1h, &st.w_masks[1]);
+        let g_eq = self
+            .drop1
+            .backward(&g_ed.reshape_into(&[st.steps * st.batch, st.emb_dim]));
+        let g_e = self.x1.fold_backward(&g_eq, &st.e_masks);
         self.emb.backward(&g_e);
-
-        // STE on the LSTM weight gradients + PACT to the shared w clip,
-        // then restore the full-precision masters.
-        let mut idx = 0usize;
-        let mut wclip_grad = 0.0f32;
-        for lstm in [&mut self.lstm1, &mut self.lstm2] {
-            lstm.visit_params(&mut |p| {
-                if p.value.shape().rank() == 2 {
-                    wclip_grad += p
-                        .grad
-                        .data()
-                        .iter()
-                        .zip(st.weight_sat[idx].data())
-                        .map(|(&g, &s)| g * s)
-                        .sum::<f32>();
-                    let masked = &p.grad * &st.weight_ste[idx];
-                    p.grad = masked;
-                    idx += 1;
-                }
-            });
-        }
-        self.w_clip.grad.data_mut()[0] += wclip_grad;
-        self.restore_weights(st.saved_weights);
     }
 
-    fn restore_weights(&mut self, saved: Vec<Tensor>) {
-        let mut it = saved.into_iter();
-        for lstm in [&mut self.lstm1, &mut self.lstm2] {
-            lstm.visit_params(&mut |p| {
-                if p.value.shape().rank() == 2 {
-                    p.value = it.next().expect("saved weight count mismatch");
-                }
-            });
-        }
-    }
-
-    /// Visits every trainable parameter.
+    /// Visits every trainable parameter. Weights lead (embedding, both
+    /// cells' gates and biases, decoder head) and the quantizer clips —
+    /// per-gate weight clips, then the two data clips — trail, preserving
+    /// the seed-era weight ordering for checkpoints.
     pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         self.emb.visit_params(visitor);
-        self.lstm1.visit_params(visitor);
-        self.lstm2.visit_params(visitor);
+        self.cell1.visit_weights(visitor);
+        self.cell2.visit_weights(visitor);
         self.head.visit_params(visitor);
-        visitor(&mut self.w_clip);
-        visitor(&mut self.x_clip);
+        self.cell1.visit_clips(visitor);
+        self.cell2.visit_clips(visitor);
+        self.x1.visit_clip(visitor);
+        self.x2.visit_clip(visitor);
     }
 
     /// Zeroes all gradients.
@@ -315,34 +294,36 @@ mod tests {
     }
 
     #[test]
-    fn weights_restored_after_eval_forward() {
+    fn masters_untouched_by_eval_forward() {
         let mut rng = StdRng::seed_from_u64(1);
         let control = ctl();
         let mut lm = tiny_lm(&mut rng, &control);
         let mut before = Vec::new();
-        lm.lstm1.visit_params(&mut |p| before.push(p.value.clone()));
+        lm.cell1
+            .visit_weights(&mut |p| before.push(p.value.clone()));
         let ids: Vec<usize> = (0..8).collect();
         lm.forward(&ids, 2, 4, Mode::Eval);
         let mut after = Vec::new();
-        lm.lstm1.visit_params(&mut |p| after.push(p.value.clone()));
+        lm.cell1.visit_weights(&mut |p| after.push(p.value.clone()));
         for (b, a) in before.iter().zip(after.iter()) {
-            assert_eq!(b.data(), a.data(), "weights must be restored after eval");
+            assert_eq!(b.data(), a.data(), "masters must survive eval untouched");
         }
     }
 
     #[test]
-    fn weights_restored_after_train_step() {
+    fn masters_untouched_by_train_pass() {
         let mut rng = StdRng::seed_from_u64(2);
         let control = ctl();
         let mut lm = tiny_lm(&mut rng, &control);
         let mut before = Vec::new();
-        lm.lstm2.visit_params(&mut |p| before.push(p.value.clone()));
+        lm.cell2
+            .visit_weights(&mut |p| before.push(p.value.clone()));
         let ids: Vec<usize> = (0..8).collect();
         let logits = lm.forward(&ids, 2, 4, Mode::Train);
         let (_, g) = mri_nn::loss::cross_entropy(&logits, &[1usize; 8]);
         lm.backward(&g);
         let mut after = Vec::new();
-        lm.lstm2.visit_params(&mut |p| after.push(p.value.clone()));
+        lm.cell2.visit_weights(&mut |p| after.push(p.value.clone()));
         for (b, a) in before.iter().zip(after.iter()) {
             assert_eq!(b.data(), a.data());
         }
@@ -381,10 +362,7 @@ mod tests {
         let control = ctl();
         let mut lm = tiny_lm(&mut rng, &control);
         let n_gates = lm.weight_caches().len() as u64;
-        assert!(
-            n_gates >= 4,
-            "two cells must expose at least 4 gate weights"
-        );
+        assert_eq!(n_gates, 4, "two cells expose four gate weights");
         let ids: Vec<usize> = (0..8).collect();
 
         let sums = |lm: &LstmLm| {
@@ -415,6 +393,56 @@ mod tests {
     }
 
     #[test]
+    fn lstm_gate_gradcheck_full_resolution() {
+        // At Resolution::Full the sites' quantizers are identities, so the
+        // gradient folded into a gate master must match finite differences
+        // of the cross-entropy loss through two recurrent layers.
+        let mut rng = StdRng::seed_from_u64(6);
+        let control = Arc::new(ResolutionControl::new(Resolution::Full));
+        let mut lm = LstmLm::new(
+            &mut rng,
+            16,
+            8,
+            12,
+            0.0,
+            QuantConfig::paper_8bit(),
+            &control,
+        );
+        let ids: Vec<usize> = (0..8).map(|i| (i * 3) % 16).collect();
+        let targets: Vec<usize> = (0..8).map(|i| (i * 5 + 1) % 16).collect();
+        lm.zero_grad();
+        let logits = lm.forward(&ids, 2, 4, Mode::Train);
+        let (_, g) = mri_nn::loss::cross_entropy(&logits, &targets);
+        lm.backward(&g);
+        let mut g_w = None;
+        lm.cell1
+            .w_ih
+            .visit_weight(&mut |p| g_w = Some(p.grad.clone()));
+        let g_w = g_w.unwrap();
+
+        let eps = 1e-2;
+        for idx in [0usize, 7, 33, 90] {
+            let loss_at = |delta: f32, lm: &mut LstmLm| {
+                lm.cell1
+                    .w_ih
+                    .visit_weight(&mut |p| p.value.data_mut()[idx] += delta);
+                let logits = lm.forward(&ids, 2, 4, Mode::Eval);
+                let (l, _) = mri_nn::loss::cross_entropy(&logits, &targets);
+                lm.cell1
+                    .w_ih
+                    .visit_weight(&mut |p| p.value.data_mut()[idx] -= delta);
+                l
+            };
+            let num = (loss_at(eps, &mut lm) - loss_at(-eps, &mut lm)) / (2.0 * eps);
+            assert!(
+                (num - g_w.data()[idx]).abs() < 0.05 * (1.0 + num.abs()),
+                "gate grad {idx}: numeric {num} vs analytic {}",
+                g_w.data()[idx]
+            );
+        }
+    }
+
+    #[test]
     fn resolution_switch_changes_outputs_deterministically() {
         // The same instance serves every sub-model: switching the shared
         // control changes the logits, and evaluating twice at the same
@@ -436,13 +464,7 @@ mod tests {
         // The underlying weight quantization error is strongly monotone in α
         // (the logit-level deviation of an *untrained* net is not a reliable
         // proxy, so we assert at the weight level).
-        let mut w = None;
-        lm.lstm1.visit_params(&mut |p| {
-            if w.is_none() && p.value.shape().rank() == 2 {
-                w = Some(p.value.clone());
-            }
-        });
-        let w = w.unwrap();
+        let w = lm.cell1.w_ih.master().clone();
         let qcfg = mri_core::QuantConfig::paper_8bit();
         let row = w.dim(1);
         let e4 = (&mri_core::fake_quantize_weights(

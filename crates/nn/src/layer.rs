@@ -13,12 +13,24 @@ pub enum Mode {
     Train,
     /// Inference: deterministic, running statistics, no caching required.
     Eval,
+    /// Statistics calibration: batch-norm uses batch statistics and updates
+    /// its running estimates exactly as in training, but the pass is
+    /// otherwise inference-shaped — deterministic (no dropout), no backward
+    /// caching, and quantized layers skip gradient-mask construction.
+    Calibrate,
 }
 
 impl Mode {
-    /// True in training mode.
+    /// True in training mode: layers must cache for backward and quantized
+    /// layers must produce straight-through/saturation masks.
     pub fn is_train(self) -> bool {
         matches!(self, Mode::Train)
+    }
+
+    /// True when batch-norm should use batch statistics and fold them into
+    /// its running estimates ([`Mode::Train`] and [`Mode::Calibrate`]).
+    pub fn updates_bn_stats(self) -> bool {
+        matches!(self, Mode::Train | Mode::Calibrate)
     }
 }
 
@@ -260,5 +272,9 @@ mod tests {
     fn mode_flags() {
         assert!(Mode::Train.is_train());
         assert!(!Mode::Eval.is_train());
+        assert!(!Mode::Calibrate.is_train());
+        assert!(Mode::Train.updates_bn_stats());
+        assert!(Mode::Calibrate.updates_bn_stats());
+        assert!(!Mode::Eval.updates_bn_stats());
     }
 }

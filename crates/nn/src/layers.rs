@@ -249,7 +249,7 @@ impl Layer for BatchNorm2d {
 
         let bank = self.active_bank();
         for ch in 0..c {
-            let (mean, var) = if mode.is_train() {
+            let (mean, var) = if mode.updates_bn_stats() {
                 let mut mean = 0.0f32;
                 for b in 0..n {
                     let base = (b * c + ch) * h * w;

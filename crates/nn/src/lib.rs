@@ -36,5 +36,5 @@ pub use layer::{Layer, Mode, Param, Sequential};
 pub use layers::{
     BatchNorm2d, BnBankSelector, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
 };
-pub use lstm::{Embedding, Lstm};
+pub use lstm::{Embedding, Lstm, LstmCore};
 pub use optim::{clip_grad_norm, LrSchedule, Sgd};

@@ -78,15 +78,18 @@ impl Embedding {
     }
 }
 
-/// One LSTM layer processing a whole `[T, N, I]` sequence, with full BPTT.
+/// The LSTM cell machinery with the weight matrices factored *out*: gate
+/// math, per-sequence state and BPTT over caller-provided `[4H, I]` /
+/// `[4H, H]` weight tensors.
+///
+/// Owning no weights makes the core reusable by layers whose effective
+/// weights are derived per pass — the quantized language model runs it on
+/// fake-quantized gate weights while the masters stay untouched. The gate
+/// biases stay inside the core (they are never quantized).
 ///
 /// Gate order in the stacked weight matrices is `(input, forget, cell,
 /// output)`. Initial states default to zero.
-pub struct Lstm {
-    /// Input-to-hidden weights `[4H, I]`.
-    w_ih: Param,
-    /// Hidden-to-hidden weights `[4H, H]`.
-    w_hh: Param,
+pub struct LstmCore {
     /// Gate biases `[4H]` (forget-gate slice initialised to 1).
     bias: Param,
     input_size: usize,
@@ -102,30 +105,15 @@ struct LstmCache {
     tanh_c: Vec<Tensor>,     // tanh(c_t) per step
 }
 
-impl Lstm {
-    /// Creates an LSTM layer with Xavier-uniform weights.
-    pub fn new<R: Rng + ?Sized>(rng: &mut R, input_size: usize, hidden_size: usize) -> Self {
-        let h4 = 4 * hidden_size;
-        let w_ih = Param::new(init::xavier_uniform(
-            rng,
-            &[h4, input_size],
-            input_size,
-            hidden_size,
-        ));
-        let w_hh = Param::new(init::xavier_uniform(
-            rng,
-            &[h4, hidden_size],
-            hidden_size,
-            hidden_size,
-        ));
-        let mut b = Tensor::zeros(&[h4]);
-        // Forget-gate bias = 1 helps early training remember.
+impl LstmCore {
+    /// Creates a weightless LSTM core (deterministic: only the bias, with
+    /// the forget-gate slice at 1 to help early training remember).
+    pub fn new(input_size: usize, hidden_size: usize) -> Self {
+        let mut b = Tensor::zeros(&[4 * hidden_size]);
         for i in hidden_size..2 * hidden_size {
             b.data_mut()[i] = 1.0;
         }
-        Lstm {
-            w_ih,
-            w_hh,
+        LstmCore {
             bias: Param::new_no_decay(b),
             input_size,
             hidden_size,
@@ -143,12 +131,13 @@ impl Lstm {
         self.input_size
     }
 
-    /// Runs the sequence `[T, N, I]`, returning all hidden states `[T, N, H]`.
+    /// Runs the sequence `[T, N, I]` with gate weights `w_ih: [4H, I]` and
+    /// `w_hh: [4H, H]`, returning all hidden states `[T, N, H]`.
     ///
     /// # Panics
     ///
     /// Panics if the input is not rank 3 with width `I`.
-    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+    pub fn forward(&mut self, x: &Tensor, w_ih: &Tensor, w_hh: &Tensor) -> Tensor {
         assert_eq!(x.shape().rank(), 3, "lstm expects [T, N, I]");
         assert_eq!(x.dim(2), self.input_size, "lstm input width mismatch");
         let (t_len, n, _) = (x.dim(0), x.dim(1), x.dim(2));
@@ -169,8 +158,8 @@ impl Lstm {
             let c_prev = cache.cs[t].clone();
 
             // pre = xt W_ihᵀ + h_prev W_hhᵀ + b : [N, 4H]
-            let mut pre = ops::matmul_bt(&xt, &self.w_ih.value);
-            pre.axpy(1.0, &ops::matmul_bt(&h_prev, &self.w_hh.value));
+            let mut pre = ops::matmul_bt(&xt, w_ih);
+            pre.axpy(1.0, &ops::matmul_bt(&h_prev, w_hh));
             pre.add_channel_bias_inplace(&self.bias.value);
 
             let mut gi = Tensor::zeros(&[n, h]);
@@ -209,13 +198,21 @@ impl Lstm {
         Tensor::stack(&outputs)
     }
 
-    /// Backpropagates through time given `grad_out: [T, N, H]`, accumulating
-    /// weight gradients and returning the input gradient `[T, N, I]`.
+    /// Backpropagates through time given `grad_out: [T, N, H]` and the same
+    /// weights as the preceding [`LstmCore::forward`]. Accumulates the bias
+    /// gradient internally and returns `(dx, gw_ih, gw_hh)` — the input
+    /// gradient `[T, N, I]` and the *raw* weight gradients, for the caller
+    /// to fold into whatever parameters the weights were derived from.
     ///
     /// # Panics
     ///
     /// Panics if called before `forward`.
-    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    pub fn backward(
+        &mut self,
+        grad_out: &Tensor,
+        w_ih: &Tensor,
+        w_hh: &Tensor,
+    ) -> (Tensor, Tensor, Tensor) {
         let cache = self.cache.take().expect("backward before forward");
         let t_len = cache.xs.len();
         let n = cache.xs[0].dim(0);
@@ -225,6 +222,8 @@ impl Lstm {
         let mut dh_next = Tensor::zeros(&[n, h]);
         let mut dc_next = Tensor::zeros(&[n, h]);
         let mut dxs = vec![Tensor::zeros(&[n, self.input_size]); t_len];
+        let mut gw_ih = Tensor::zeros(&[4 * h, self.input_size]);
+        let mut gw_hh = Tensor::zeros(&[4 * h, h]);
 
         for t in (0..t_len).rev() {
             let [gi, gf, gg, go] = &cache.gates[t];
@@ -263,25 +262,98 @@ impl Lstm {
                 }
             }
 
-            // Parameter gradients: dW_ih += dpreᵀ x, dW_hh += dpreᵀ h_prev.
-            self.w_ih.accumulate(&ops::matmul_at(&dpre, xt));
-            self.w_hh.accumulate(&ops::matmul_at(&dpre, h_prev));
+            // Weight gradients: dW_ih += dpreᵀ x, dW_hh += dpreᵀ h_prev.
+            gw_ih.axpy(1.0, &ops::matmul_at(&dpre, xt));
+            gw_hh.axpy(1.0, &ops::matmul_at(&dpre, h_prev));
             self.bias
                 .accumulate(&mri_tensor::reduce::sum_except_channel(&dpre));
 
             // Input and recurrent gradients.
-            dxs[t] = ops::matmul(&dpre, &self.w_ih.value);
-            dh_next = ops::matmul(&dpre, &self.w_hh.value);
+            dxs[t] = ops::matmul(&dpre, w_ih);
+            dh_next = ops::matmul(&dpre, w_hh);
             dc_next = dc_prev;
         }
-        Tensor::stack(&dxs)
+        (Tensor::stack(&dxs), gw_ih, gw_hh)
+    }
+
+    /// Visits the bias parameter.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.bias);
+    }
+}
+
+/// One LSTM layer processing a whole `[T, N, I]` sequence, with full BPTT:
+/// an [`LstmCore`] plus owned full-precision weight matrices.
+pub struct Lstm {
+    /// Input-to-hidden weights `[4H, I]`.
+    w_ih: Param,
+    /// Hidden-to-hidden weights `[4H, H]`.
+    w_hh: Param,
+    core: LstmCore,
+}
+
+impl Lstm {
+    /// Creates an LSTM layer with Xavier-uniform weights.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, input_size: usize, hidden_size: usize) -> Self {
+        let h4 = 4 * hidden_size;
+        let w_ih = Param::new(init::xavier_uniform(
+            rng,
+            &[h4, input_size],
+            input_size,
+            hidden_size,
+        ));
+        let w_hh = Param::new(init::xavier_uniform(
+            rng,
+            &[h4, hidden_size],
+            hidden_size,
+            hidden_size,
+        ));
+        Lstm {
+            w_ih,
+            w_hh,
+            core: LstmCore::new(input_size, hidden_size),
+        }
+    }
+
+    /// Hidden state width `H`.
+    pub fn hidden_size(&self) -> usize {
+        self.core.hidden_size()
+    }
+
+    /// Input width `I`.
+    pub fn input_size(&self) -> usize {
+        self.core.input_size()
+    }
+
+    /// Runs the sequence `[T, N, I]`, returning all hidden states `[T, N, H]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank 3 with width `I`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.core.forward(x, &self.w_ih.value, &self.w_hh.value)
+    }
+
+    /// Backpropagates through time given `grad_out: [T, N, H]`, accumulating
+    /// weight gradients and returning the input gradient `[T, N, I]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (dx, gw_ih, gw_hh) = self
+            .core
+            .backward(grad_out, &self.w_ih.value, &self.w_hh.value);
+        self.w_ih.accumulate(&gw_ih);
+        self.w_hh.accumulate(&gw_hh);
+        dx
     }
 
     /// Visits the three parameter tensors in a deterministic order.
     pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.w_ih);
         visitor(&mut self.w_hh);
-        visitor(&mut self.bias);
+        self.core.visit_params(visitor);
     }
 }
 
@@ -376,6 +448,25 @@ mod tests {
             "numeric {num} vs analytic {}",
             g_wih.data()[idx]
         );
+    }
+
+    #[test]
+    fn core_with_external_weights_matches_wrapper() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lstm = Lstm::new(&mut rng, 3, 4);
+        let x = init::normal(&mut rng, &[5, 2, 3], 0.0, 1.0);
+        let w_ih = lstm.w_ih.value.clone();
+        let w_hh = lstm.w_hh.value.clone();
+        let y = lstm.forward(&x);
+        let mut core = LstmCore::new(3, 4);
+        let y2 = core.forward(&x, &w_ih, &w_hh);
+        assert_eq!(y.data(), y2.data());
+
+        let dx_w = lstm.backward(&y.clone());
+        let (dx, gw_ih, gw_hh) = core.backward(&y2.clone(), &w_ih, &w_hh);
+        assert_eq!(dx.data(), dx_w.data());
+        assert_eq!(gw_ih.data(), lstm.w_ih.grad.data());
+        assert_eq!(gw_hh.data(), lstm.w_hh.grad.data());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Values-only data quantization: a per-integer-level lookup table.
+//!
+//! Data (activations) are quantized per value — UQ to an integer level at
+//! the meta bitwidth, then either per-value term truncation (`β` budget) or
+//! plain low-bit truncation for shared-scale UQ sub-models. Because the UQ
+//! output is a small integer range, the whole post-UQ transform collapses
+//! into one table indexed by the level: [`DataLut`] builds that table once
+//! per (clip, resolution) pair and then maps each element with a clamp, a
+//! round and a load.
+//!
+//! This module deliberately produces **values only**. The straight-through
+//! and PACT saturation masks needed by training are a separate concern
+//! (`mri-core`'s `QActSite`), so inference-style callers never pay for mask
+//! tensors they would immediately drop.
+
+use crate::uq::QuantRange;
+use crate::{GroupTermQuantizer, SdrEncoding, UniformQuantizer};
+
+/// Zeroes the low `shift` bits of an integer level, sign-magnitude style —
+/// the "leading bit positions" truncation of Fig. 2(b).
+pub fn truncate_low_bits(v: i64, shift: u32) -> i64 {
+    let mag = (v.unsigned_abs() >> shift) << shift;
+    if v < 0 {
+        -(mag as i64)
+    } else {
+        mag as i64
+    }
+}
+
+/// Quantize-dequantize lookup table over every integer level of a
+/// [`UniformQuantizer`].
+///
+/// The table always spans `-levels ..= levels`; unsigned quantizers simply
+/// never index the negative half.
+pub struct DataLut {
+    uq: UniformQuantizer,
+    lut: Vec<f32>,
+    off: i64,
+}
+
+impl DataLut {
+    fn from_level_map(uq: UniformQuantizer, f: impl Fn(i64) -> i64) -> Self {
+        let levels = uq.levels();
+        let scale = uq.scale();
+        let lut = (-levels..=levels).map(|v| f(v) as f32 * scale).collect();
+        DataLut {
+            uq,
+            lut,
+            off: levels,
+        }
+    }
+
+    /// LUT for per-value term quantization: UQ at `bits`/`clip` over `range`,
+    /// then keep the leading `beta` terms of each value (group size 1).
+    pub fn term_quantized(
+        bits: u32,
+        clip: f32,
+        range: QuantRange,
+        beta: usize,
+        encoding: SdrEncoding,
+    ) -> Self {
+        let uq = match range {
+            QuantRange::Symmetric => UniformQuantizer::symmetric(bits, clip),
+            QuantRange::Unsigned => UniformQuantizer::unsigned(bits, clip),
+        };
+        let tq = GroupTermQuantizer::new(1, beta, encoding);
+        Self::from_level_map(uq, |v| tq.quantize_one(v))
+    }
+
+    /// LUT for shared-scale UQ sub-models: UQ at the meta `bits`, then keep
+    /// only the `kept_bits` leading bit positions of each level.
+    pub fn bit_truncated(bits: u32, clip: f32, range: QuantRange, kept_bits: u32) -> Self {
+        let uq = match range {
+            QuantRange::Symmetric => UniformQuantizer::symmetric(bits, clip),
+            QuantRange::Unsigned => UniformQuantizer::unsigned(bits, clip),
+        };
+        let shift = bits.saturating_sub(kept_bits);
+        Self::from_level_map(uq, |v| truncate_low_bits(v, shift))
+    }
+
+    /// Fake-quantizes one value through the table.
+    pub fn quantize_one(&self, v: f32) -> f32 {
+        self.lut[(self.uq.quantize(v) + self.off) as usize]
+    }
+
+    /// Fake-quantizes `src` into `dst` (same length) through the table.
+    pub fn quantize_into(&self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "data LUT length mismatch");
+        for (d, &v) in dst.iter_mut().zip(src.iter()) {
+            *d = self.lut[(self.uq.quantize(v) + self.off) as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_low_bits_is_sign_symmetric() {
+        for v in -40i64..=40 {
+            for shift in 0..5 {
+                assert_eq!(truncate_low_bits(-v, shift), -truncate_low_bits(v, shift));
+                assert!(truncate_low_bits(v, shift).abs() <= v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn term_lut_matches_direct_tq() {
+        let bits = 5;
+        let clip = 1.0;
+        let lut = DataLut::term_quantized(bits, clip, QuantRange::Symmetric, 2, SdrEncoding::Naf);
+        let uq = UniformQuantizer::symmetric(bits, clip);
+        let tq = GroupTermQuantizer::new(1, 2, SdrEncoding::Naf);
+        for i in 0..100 {
+            let v = -1.2 + 0.024 * i as f32;
+            let want = tq.quantize_one(uq.quantize(v)) as f32 * uq.scale();
+            assert_eq!(lut.quantize_one(v), want, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn bit_truncated_lut_matches_direct_truncation() {
+        let bits = 5;
+        let clip = 4.0;
+        let lut = DataLut::bit_truncated(bits, clip, QuantRange::Unsigned, 2);
+        let uq = UniformQuantizer::unsigned(bits, clip);
+        for i in 0..100 {
+            let v = 0.05 * i as f32;
+            let want = truncate_low_bits(uq.quantize(v), 3) as f32 * uq.scale();
+            assert_eq!(lut.quantize_one(v), want, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn quantize_into_matches_quantize_one() {
+        let lut = DataLut::term_quantized(8, 1.0, QuantRange::Symmetric, 3, SdrEncoding::Naf);
+        let src: Vec<f32> = (0..64).map(|i| -1.5 + 0.05 * i as f32).collect();
+        let mut dst = vec![0.0f32; src.len()];
+        lut.quantize_into(&src, &mut dst);
+        for (i, (&d, &s)) in dst.iter().zip(src.iter()).enumerate() {
+            assert_eq!(d, lut.quantize_one(s), "index {i}");
+        }
+    }
+}

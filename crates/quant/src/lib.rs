@@ -11,6 +11,8 @@
 //!   recoding;
 //! * [`uq`] — uniform quantization with symmetric (weights) and unsigned
 //!   (activations) ranges plus PACT-style clipping;
+//! * [`dq`] — values-only data quantization through per-level lookup
+//!   tables (term-quantized or bit-truncated), for mask-free eval paths;
 //! * [`lq`] — logarithmic quantization (round to one power of two);
 //! * [`tq`] — **term quantization**: keep the leading `α` terms across a
 //!   group of `g` values ([`GroupTermQuantizer`]), and the nested
@@ -35,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dq;
 pub mod lq;
 pub mod sdr;
 pub mod storage;

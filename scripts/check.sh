@@ -29,6 +29,9 @@ cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -
 echo "== cargo clippy (--no-default-features: tracing compiled out)"
 cargo clippy --workspace --lib "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" --no-default-features -- -D warnings
 
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
+
 echo "== cargo test"
 cargo test --workspace -q "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
 
