@@ -819,7 +819,7 @@ pub fn table1(cfg: RunConfig) -> Vec<Table1Row> {
 /// difficulty.
 pub fn dynamic_policy(cfg: RunConfig) -> Vec<AccuracyPoint> {
     use mri_core::ConfidenceLadder;
-    use std::sync::atomic::AtomicUsize;
+    use mri_sync::atomic::AtomicUsize;
     let scale = CnnScale::of(cfg);
     let specs = if cfg.fast {
         cnn_specs()[..3].to_vec()

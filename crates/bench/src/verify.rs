@@ -98,6 +98,8 @@ pub fn verify_fake_quant(seed: u64, trials: usize) -> VerifyReport {
             .map(|_| (rng.random::<f32>() - 0.5) * 2.5)
             .collect();
         let w = Tensor::from_vec(data, &[rows, row_len]);
+        // lint: allow(qsite-bypass) — this harness *is* the cross-check of
+        // the site-mediated path against the direct quantizer.
         let fq = fake_quantize_weights(&w, clip, Resolution::Tq { alpha, beta: 2 }, qcfg, row_len);
         let uq = UniformQuantizer::symmetric(qcfg.weight_bits, clip);
         let tq = GroupTermQuantizer::new(qcfg.group_size, alpha, qcfg.encoding);

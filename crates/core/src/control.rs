@@ -1,8 +1,8 @@
 //! Shared resolution control and term-pair accounting.
 
 use crate::Resolution;
+use mri_sync::RwLock;
 use mri_telemetry::{Counter, Registry};
-use parking_lot::RwLock;
 
 /// A handle shared by every quantized layer of one model.
 ///

@@ -157,9 +157,11 @@ impl ConfidenceLadder {
             }
             samples_per_rung.push(active.len());
             if let Some(sel) = &self.banks.selector {
+                // ordering: isolated mode switch read back by the same
+                // thread's forward pass below.
                 sel.store(
                     self.banks.bank_of_rung[rung],
-                    std::sync::atomic::Ordering::Relaxed,
+                    mri_sync::atomic::Ordering::Relaxed,
                 );
             }
             control.set_resolution(spec.resolution());

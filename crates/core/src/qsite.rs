@@ -37,11 +37,11 @@ use crate::wcache::WeightTermCache;
 use crate::{Resolution, ResolutionControl};
 use mri_nn::{Mode, Param};
 use mri_quant::uq::{pact_clip_grad, ste_mask, QuantRange};
+#[cfg(not(loom))]
 use mri_telemetry::Counter;
 use mri_tensor::Tensor;
 use std::borrow::Cow;
 use std::cell::Cell;
-use std::sync::OnceLock;
 
 /// Lower bound applied to every learnable PACT clip before quantizing.
 ///
@@ -50,8 +50,14 @@ use std::sync::OnceLock;
 /// sites apply it in [`QParamSite::clip_value`] / [`QActSite::clip_value`].
 pub const CLIP_FLOOR: f32 = 1e-3;
 
+/// Compiled out under `--cfg loom`: the counter lives in a process-wide
+/// static whose initialisation would escape a model's schedule; loom models
+/// count builds via the thread-local below instead.
+#[cfg(not(loom))]
 fn masks_counter() -> &'static Counter {
-    static C: OnceLock<Counter> = OnceLock::new();
+    // lint: allow(raw-sync) — `static` initialisers must be const and loom's
+    // cells are not; loom models count builds via the thread-local below.
+    static C: std::sync::OnceLock<Counter> = std::sync::OnceLock::new();
     C.get_or_init(|| mri_telemetry::global().counter("quant.masks.built"))
 }
 
@@ -80,6 +86,7 @@ pub struct QuantMasks {
 
 impl QuantMasks {
     fn record_build() {
+        #[cfg(not(loom))]
         masks_counter().inc();
         MASKS_BUILT.with(|c| c.set(c.get() + 1));
     }

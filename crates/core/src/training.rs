@@ -164,7 +164,9 @@ impl MultiResTrainer {
 
     fn select_bank(&self, index: usize) {
         if let Some(sel) = &self.bank_selector {
-            sel.store(index, std::sync::atomic::Ordering::Relaxed);
+            // ordering: isolated mode switch read back by the same thread's
+            // forward pass; no other memory is published through it.
+            sel.store(index, mri_sync::atomic::Ordering::Relaxed);
         }
     }
 

@@ -37,11 +37,13 @@ use crate::qsite::QuantMasks;
 use crate::Resolution;
 use mri_quant::uq::QuantRange;
 use mri_quant::{MultiResSlice, UniformQuantizer};
-use mri_telemetry::{Counter, Histogram};
+use mri_sync::atomic::{AtomicBool, Ordering};
+use mri_sync::{Arc, OnceLock, RwLock};
+use mri_telemetry::Counter;
+#[cfg(not(loom))]
+use mri_telemetry::Histogram;
 use mri_tensor::Tensor;
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+#[cfg(not(loom))]
 use std::time::Instant;
 
 /// Minimum number of weight rows per worker before a cache fill
@@ -51,14 +53,23 @@ const PAR_ROWS_PER_THREAD: usize = 16;
 /// Workspace-wide cache accounting, registered lazily in the global
 /// telemetry registry. Counters and histograms are plain shared atomics, so
 /// they work with or without the `telemetry` cargo feature.
+///
+/// Compiled out under `--cfg loom`: the stats live in a process-wide static
+/// whose initialisation would escape the model's schedule (and real loom
+/// primitives cannot exist outside a model at all). Loom tests assert on the
+/// per-instance counters instead.
+#[cfg(not(loom))]
 struct GlobalStats {
     hits: Counter,
     misses: Counter,
     fill_ns: Histogram,
 }
 
+#[cfg(not(loom))]
 fn global_stats() -> &'static GlobalStats {
-    static STATS: OnceLock<GlobalStats> = OnceLock::new();
+    // lint: allow(raw-sync) — `static` initialisers must be const and loom's
+    // cells are not; loom models assert on per-instance counters instead.
+    static STATS: std::sync::OnceLock<GlobalStats> = std::sync::OnceLock::new();
     STATS.get_or_init(|| {
         let reg = mri_telemetry::global();
         GlobalStats {
@@ -133,6 +144,10 @@ impl WeightTermCache {
     /// falls through to the direct re-encoding path (the benchmark's A/B
     /// switch); the stored entry is dropped.
     pub fn set_enabled(&self, enabled: bool) {
+        // ordering: standalone A/B switch — entry publication is fully
+        // synchronised by the `entry` RwLock, so the flag itself carries no
+        // payload; a racing `quantize` seeing the old value is benign (it
+        // either re-encodes once more or serves a still-valid entry).
         self.enabled.store(enabled, Ordering::Relaxed);
         if !enabled {
             *self.entry.write() = None;
@@ -141,6 +156,7 @@ impl WeightTermCache {
 
     /// Whether the cache currently serves entries.
     pub fn is_enabled(&self) -> bool {
+        // ordering: see `set_enabled`.
         self.enabled.load(Ordering::Relaxed)
     }
 
@@ -204,6 +220,7 @@ impl WeightTermCache {
                     let entry = Arc::clone(entry);
                     drop(guard);
                     self.hits.inc();
+                    #[cfg(not(loom))]
                     global_stats().hits.inc();
                     return serve(&entry, alpha, want_masks, w, clip);
                 }
@@ -214,9 +231,15 @@ impl WeightTermCache {
         // publish. A racing filler of the same generation merely overwrites
         // with an identical entry.
         self.misses.inc();
+        #[cfg(not(loom))]
         global_stats().misses.inc();
+        // lint: allow(timing) — the fill-cost histogram is part of the
+        // cache's always-on accounting contract (live in both telemetry
+        // feature modes), so it cannot ride on `mri_telemetry::maybe_now`.
+        #[cfg(not(loom))]
         let start = Instant::now();
         let entry = Arc::new(fill(w, weight_version, clip_bits, clip, qcfg, row_len));
+        #[cfg(not(loom))]
         global_stats()
             .fill_ns
             .record(start.elapsed().as_nanos() as u64);
@@ -269,17 +292,17 @@ fn fill(
     let threads = available_threads();
     if n_rows >= threads * PAR_ROWS_PER_THREAD && threads > 1 && data.len() > 1 << 14 {
         let rows_per = n_rows.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        // Worker panics propagate out of `scope` after all threads joined.
+        mri_sync::thread::scope(|scope| {
             for (chunk, slots) in data
                 .chunks(rows_per * row_len)
                 .zip(rows.chunks_mut(rows_per))
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     encode_rows(chunk, slots, clip, qcfg, row_len);
                 });
             }
-        })
-        .expect("weight-term cache fill worker panicked");
+        });
     } else {
         encode_rows(data, &mut rows, clip, qcfg, row_len);
     }
@@ -497,7 +520,7 @@ mod tests {
         cache.quantize(&w, 0, 1.0, res, QuantConfig::paper_cnn(), 16, false);
         cache.quantize(&w, 0, 1.0, res, QuantConfig::paper_cnn(), 16, false);
         // Deltas are lower bounds: other tests hit their own caches concurrently.
-        assert!(stats.misses.get() >= m0 + 1);
-        assert!(stats.hits.get() >= h0 + 1);
+        assert!(stats.misses.get() > m0);
+        assert!(stats.hits.get() > h0);
     }
 }

@@ -1,0 +1,187 @@
+//! Loom model checks for the weight-term cache.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p mri-core --test
+//! loom_wcache`. Under `--cfg loom` the cache compiles its global-static
+//! accounting out (see `wcache.rs`), so every interleaving of a model is
+//! replayable; the assertions here ride on per-instance counters, returned
+//! values and the per-thread mask-build tally.
+#![cfg(loom)]
+
+use mri_core::qlayers::QuantConfig;
+use mri_core::{masks_built_on_this_thread, Resolution, WeightTermCache};
+use mri_sync::Arc;
+use mri_tensor::Tensor;
+
+const ROW_LEN: usize = 8;
+
+fn weights() -> Tensor {
+    // Small and fixed: stays under the parallel-fill threshold, so the only
+    // threads in the model are the ones the test spawns.
+    let vals: Vec<f32> = (0..16).map(|i| (i as f32 - 7.5) / 8.0).collect();
+    Tensor::from_vec(vals, &[2, ROW_LEN])
+}
+
+fn res() -> Resolution {
+    Resolution::Tq { alpha: 4, beta: 2 }
+}
+
+/// The values any correct serve must produce for `weights()` — computed
+/// once outside the model from a private, uncontended cache.
+fn expected_values() -> Vec<f32> {
+    let cache = WeightTermCache::new();
+    let out = cache.quantize(
+        &weights(),
+        0,
+        1.0,
+        res(),
+        QuantConfig::paper_cnn(),
+        ROW_LEN,
+        false,
+    );
+    out.values.data().to_vec()
+}
+
+/// A fill racing a `Param::version` bump (the optimizer-step hazard): one
+/// thread quantizes at version 0 while another quantizes at version 1.
+/// Whatever the interleaving, both must receive bit-exact values, and the
+/// cache must keep serving bit-exact values afterwards.
+#[test]
+fn racing_version_bump_serves_exact_values() {
+    let expected = expected_values();
+    loom::model(move || {
+        let cache = Arc::new(WeightTermCache::new());
+        let handles: Vec<_> = [0u64, 1]
+            .into_iter()
+            .map(|version| {
+                let cache = Arc::clone(&cache);
+                let expected = expected.clone();
+                loom::thread::spawn(move || {
+                    let out = cache.quantize(
+                        &weights(),
+                        version,
+                        1.0,
+                        res(),
+                        QuantConfig::paper_cnn(),
+                        ROW_LEN,
+                        false,
+                    );
+                    assert_eq!(
+                        out.values.data(),
+                        &expected[..],
+                        "version {version} served corrupt values"
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Both versions encoded (distinct keys can never hit each other).
+        assert_eq!(cache.misses(), 2);
+        // The survivor entry — whichever version won the publish race —
+        // still serves exact values at its own version.
+        let after = cache.quantize(
+            &weights(),
+            1,
+            1.0,
+            res(),
+            QuantConfig::paper_cnn(),
+            ROW_LEN,
+            false,
+        );
+        assert_eq!(after.values.data(), &expected[..]);
+    });
+}
+
+/// Invalidation racing a reader: the reader either re-encodes or serves the
+/// still-valid entry, but never observes a torn state.
+#[test]
+fn invalidate_racing_a_reader_is_safe() {
+    let expected = expected_values();
+    loom::model(move || {
+        let cache = Arc::new(WeightTermCache::new());
+        // Warm the entry inside the model, before the race.
+        cache.quantize(
+            &weights(),
+            0,
+            1.0,
+            res(),
+            QuantConfig::paper_cnn(),
+            ROW_LEN,
+            false,
+        );
+        let invalidator = {
+            let cache = Arc::clone(&cache);
+            loom::thread::spawn(move || cache.invalidate())
+        };
+        let reader = {
+            let cache = Arc::clone(&cache);
+            let expected = expected.clone();
+            loom::thread::spawn(move || {
+                let out = cache.quantize(
+                    &weights(),
+                    0,
+                    1.0,
+                    res(),
+                    QuantConfig::paper_cnn(),
+                    ROW_LEN,
+                    false,
+                );
+                assert_eq!(out.values.data(), &expected[..]);
+            })
+        };
+        invalidator.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+/// First-use mask construction: two training-mode hits race on a filled
+/// entry; the `OnceLock` must run the build exactly once (summed across
+/// threads) and hand both the same masks.
+#[test]
+fn lazy_masks_build_exactly_once_across_threads() {
+    loom::model(|| {
+        // The model's main closure runs on the test thread, which survives
+        // across explored executions — count its builds as a delta.
+        let main_before = masks_built_on_this_thread();
+        let cache = Arc::new(WeightTermCache::new());
+        // Fill values-only: masks must stay unbuilt.
+        cache.quantize(
+            &weights(),
+            0,
+            1.0,
+            res(),
+            QuantConfig::paper_cnn(),
+            ROW_LEN,
+            false,
+        );
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                loom::thread::spawn(move || {
+                    let out = cache.quantize(
+                        &weights(),
+                        0,
+                        1.0,
+                        res(),
+                        QuantConfig::paper_cnn(),
+                        ROW_LEN,
+                        true,
+                    );
+                    assert!(out.masks.is_some(), "training serve must carry masks");
+                    // Fresh loom threads start at zero, so this is exactly
+                    // the number of builds this thread performed.
+                    masks_built_on_this_thread()
+                })
+            })
+            .collect();
+        let built: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(
+            built + (masks_built_on_this_thread() - main_before),
+            1,
+            "racing training hits must build the entry's masks exactly once"
+        );
+        assert_eq!(cache.misses(), 1, "mask construction must not refill");
+        assert_eq!(cache.hits(), 2);
+    });
+}

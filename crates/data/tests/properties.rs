@@ -79,11 +79,11 @@ proptest! {
     fn detection_targets_match_boxes(seed in 0u64..200) {
         let mut ds = ShapesDetection::new(seed, 32, 4);
         let (_, t, boxes) = ds.batch(3);
-        for b in 0..3 {
+        for (b, gt) in boxes.iter().enumerate() {
             let marked = (0..16)
                 .filter(|&i| t.data()[b * 8 * 16 + i] > 0.5)
                 .count();
-            prop_assert_eq!(marked, boxes[b].len());
+            prop_assert_eq!(marked, gt.len());
         }
     }
 }

@@ -170,7 +170,7 @@ impl Layer for Conv2d {
 /// statistics; giving each configuration its own running-stat bank —
 /// selected through this handle — removes the need for post-hoc
 /// recalibration. The affine parameters (γ, β) remain shared.
-pub type BnBankSelector = std::sync::Arc<std::sync::atomic::AtomicUsize>;
+pub type BnBankSelector = mri_sync::Arc<mri_sync::atomic::AtomicUsize>;
 
 /// Batch normalisation over the channel axis of `[N, C, H, W]` tensors,
 /// optionally with multiple switchable running-statistic banks.
@@ -231,7 +231,9 @@ impl BatchNorm2d {
 
     fn active_bank(&self) -> usize {
         match &self.selector {
-            Some(s) => s.load(std::sync::atomic::Ordering::Relaxed) % self.banks.len(),
+            // ordering: the selector is an isolated mode switch — forward
+            // passes only read the index, no other memory rides on it.
+            Some(s) => s.load(mri_sync::atomic::Ordering::Relaxed) % self.banks.len(),
             None => 0,
         }
     }

@@ -15,6 +15,8 @@
 #[cfg(feature = "telemetry")]
 mod active {
     use mri_telemetry::{Counter, Histogram};
+    // lint: allow(raw-sync) — `static` initialisers must be const and loom's
+    // cells are not; the hooks are pure metric handles, never model-checked.
     use std::sync::OnceLock;
 
     pub struct Hooks {
@@ -50,6 +52,8 @@ mod active {
             let v = t.get();
             t.set(v.wrapping_add(1));
             v.is_multiple_of(super::SAMPLE_STRIDE)
+                // lint: allow(timing) — this *is* the sampled clock source
+                // the kernels' latency instrumentation is built on.
                 .then(std::time::Instant::now)
         })
     }
@@ -126,7 +130,7 @@ mod tests {
         assert_eq!(out.kept.len(), 8);
 
         // Deltas are lower bounds: other tests may quantize concurrently.
-        assert!(reg.counter("quant.tq.groups").get() >= groups_before + 1);
+        assert!(reg.counter("quant.tq.groups").get() > groups_before);
         assert!(reg.counter("quant.tq.terms_kept").get() >= kept_before + 8);
         assert!(reg.counter("quant.tq.terms_dropped").get() >= dropped_before + 2);
         assert!(reg.counter("quant.sdr.values_encoded").get() >= values_before + 4);

@@ -1,0 +1,15 @@
+//! Atomic types, re-exported from std or loom depending on `cfg(loom)`.
+//!
+//! The `xtask lint` rule `ordering-comment` requires every `Ordering::`
+//! choice at a call site to carry a `// ordering:` justification; the rule
+//! applies to this crate too.
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{
+    fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+};
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{
+    fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+};

@@ -1,0 +1,99 @@
+//! `mri-sync`: the workspace's only doorway to synchronisation primitives.
+//!
+//! Every atomic, lock, once-cell and scoped thread in the workspace is
+//! declared through this crate instead of `std::sync` / `parking_lot` /
+//! `std::thread` directly (`xtask lint` rule `raw-sync` enforces it). In a
+//! normal build the shim is zero-cost — the types *are* the std /
+//! `parking_lot` types, re-exported. Under `RUSTFLAGS="--cfg loom"` they
+//! compile to [`loom`](https://docs.rs/loom) model-checking types instead,
+//! so the concurrency tests in `crates/sync/tests/`,
+//! `crates/telemetry/tests/` and `crates/core/tests/` can exhaustively
+//! explore thread interleavings of the real production code paths: the
+//! weight-term cache fill/invalidation handoff, lazy mask construction and
+//! the telemetry counter registry.
+//!
+//! # What is shimmed
+//!
+//! * [`atomic`] — the atomic integer/bool types plus [`atomic::Ordering`].
+//! * [`Mutex`] / [`RwLock`] — `parking_lot`-style (guards returned
+//!   directly, no poisoning) in normal builds, loom-checked under
+//!   `cfg(loom)`.
+//! * [`OnceLock`] — `std::sync::OnceLock` normally; under loom a
+//!   double-checked lock built from loom primitives so first-use
+//!   initialisation races are model-checked.
+//! * [`thread::scope`] — `std::thread::scope` normally; a join-on-exit
+//!   wrapper over `loom::thread::spawn` under loom.
+//! * [`Arc`] — `std::sync::Arc` / `loom::sync::Arc`.
+//!
+//! # What stays on std
+//!
+//! `static` items cannot hold loom types (their constructors are not
+//! `const`), so process-wide singletons — the global telemetry registry and
+//! the lazily-bound global metric handles — remain `std::sync::OnceLock`
+//! with a `// lint: allow(raw-sync)` escape. Loom models must initialise
+//! any such static they touch on the model's main thread *before* spawning
+//! model threads; see `DESIGN.md` §10.
+
+pub mod atomic;
+mod lock;
+mod once;
+pub mod thread;
+
+pub use lock::{Mutex, RwLock};
+pub use once::OnceLock;
+
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+#[cfg(loom)]
+pub use loom::sync::Arc;
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::atomic::{AtomicU64, Ordering};
+    use super::{Mutex, OnceLock, RwLock};
+
+    #[test]
+    fn shim_types_are_std_types_in_normal_builds() {
+        // The whole point of the shim: zero-cost outside `cfg(loom)`.
+        fn assert_same<T: 'static>(_: &T) -> std::any::TypeId {
+            std::any::TypeId::of::<T>()
+        }
+        let a = AtomicU64::new(0);
+        assert_eq!(
+            assert_same(&a),
+            std::any::TypeId::of::<std::sync::atomic::AtomicU64>()
+        );
+        let o: OnceLock<u32> = OnceLock::new();
+        assert_eq!(
+            assert_same(&o),
+            std::any::TypeId::of::<std::sync::OnceLock<u32>>()
+        );
+    }
+
+    #[test]
+    fn locks_expose_parking_lot_style_guards() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.read().len(), 3);
+    }
+
+    #[test]
+    fn scope_joins_workers_before_returning() {
+        let c = AtomicU64::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                // ordering: counting only; no other memory is published.
+                s.spawn(|| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // ordering: scope join is the synchronisation edge.
+        assert_eq!(c.load(Ordering::Relaxed), 4);
+    }
+}

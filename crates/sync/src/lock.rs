@@ -1,0 +1,49 @@
+//! Mutual-exclusion primitives with a `parking_lot`-style API: `lock()` /
+//! `read()` / `write()` return guards directly and there is no poisoning.
+//!
+//! Normal builds re-export `parking_lot` types unchanged. Under
+//! `cfg(loom)` the same API is provided by thin wrappers over
+//! `loom::sync::{Mutex, RwLock}` (whose std-style `Result` guards are
+//! unwrapped — a poisoned lock inside a loom model is already a failed
+//! model).
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, RwLock};
+
+#[cfg(loom)]
+pub use loom_impl::{Mutex, RwLock};
+
+#[cfg(loom)]
+mod loom_impl {
+    /// `parking_lot::Mutex`-shaped wrapper over the loom mutex.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(loom::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(loom::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> loom::sync::MutexGuard<'_, T> {
+            self.0.lock().expect("loom mutex poisoned")
+        }
+    }
+
+    /// `parking_lot::RwLock`-shaped wrapper over the loom rwlock.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T>(loom::sync::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        pub fn new(value: T) -> Self {
+            RwLock(loom::sync::RwLock::new(value))
+        }
+
+        pub fn read(&self) -> loom::sync::RwLockReadGuard<'_, T> {
+            self.0.read().expect("loom rwlock poisoned")
+        }
+
+        pub fn write(&self) -> loom::sync::RwLockWriteGuard<'_, T> {
+            self.0.write().expect("loom rwlock poisoned")
+        }
+    }
+}

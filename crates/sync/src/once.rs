@@ -1,0 +1,92 @@
+//! Lazily-initialised cells: `std::sync::OnceLock` in normal builds, a
+//! loom-checked double-checked lock under `cfg(loom)`.
+//!
+//! The loom implementation is deliberately the *textbook* double-checked
+//! pattern — an `AtomicBool` fast path over a mutex-guarded write — because
+//! that is exactly the shape of the lazy initialisation this workspace
+//! relies on (the weight-term cache's per-entry gradient masks, lazily
+//! bound global metric handles). The loom test
+//! `crates/sync/tests/loom_primitives.rs` exhaustively checks that the
+//! initialiser runs at most once and that every reader observes the fully
+//! written value.
+
+#[cfg(not(loom))]
+pub use std::sync::OnceLock;
+
+#[cfg(loom)]
+pub use loom_impl::OnceLock;
+
+#[cfg(loom)]
+mod loom_impl {
+    use loom::cell::UnsafeCell;
+    use loom::sync::atomic::{AtomicBool, Ordering};
+    use loom::sync::Mutex;
+
+    /// Subset of the `std::sync::OnceLock` API used by this workspace,
+    /// built from loom primitives so initialisation races are
+    /// model-checked.
+    pub struct OnceLock<T> {
+        /// True only after `value` holds a fully constructed `T`.
+        ready: AtomicBool,
+        /// Serialises initialisers; the fast path never touches it.
+        init: Mutex<()>,
+        value: UnsafeCell<Option<T>>,
+    }
+
+    // SAFETY: `value` is written exactly once, before `ready` is released;
+    // afterwards all access is shared-read. `T: Send` covers the write from
+    // an arbitrary thread, `T: Sync` the shared reads.
+    unsafe impl<T: Send + Sync> Sync for OnceLock<T> {}
+    // SAFETY: moving the cell moves the (at most one) `T` with it.
+    unsafe impl<T: Send> Send for OnceLock<T> {}
+
+    impl<T> Default for OnceLock<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> OnceLock<T> {
+        pub fn new() -> Self {
+            OnceLock {
+                ready: AtomicBool::new(false),
+                init: Mutex::new(()),
+                value: UnsafeCell::new(None),
+            }
+        }
+
+        pub fn get(&self) -> Option<&T> {
+            // ordering: acquire pairs with the release store in
+            // `get_or_init`; it makes the initialiser's write to `value`
+            // visible before `ready` reads true.
+            if self.ready.load(Ordering::Acquire) {
+                let ptr = self.value.with(|p| p);
+                // SAFETY: `ready` is only set after `value` is written, and
+                // `value` is never written again, so the shared read cannot
+                // race a write.
+                unsafe { (*ptr).as_ref() }
+            } else {
+                None
+            }
+        }
+
+        pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+            if self.get().is_none() {
+                let _guard = self.init.lock().expect("once-lock init mutex poisoned");
+                // ordering: relaxed is enough under the mutex — only one
+                // initialiser can be here, and it (re)reads its own store.
+                if !self.ready.load(Ordering::Relaxed) {
+                    let v = f();
+                    // SAFETY: `ready` is false and we hold the init mutex:
+                    // no other thread reads (fast path rejects) or writes
+                    // (mutex excludes) `value` concurrently.
+                    self.value.with_mut(|p| unsafe { *p = Some(v) });
+                    // ordering: release publishes the completed write of
+                    // `value` to every future acquire load of `ready`.
+                    self.ready.store(true, Ordering::Release);
+                }
+            }
+            self.get().expect("once-lock initialised above")
+        }
+    }
+}

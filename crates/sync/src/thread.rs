@@ -1,0 +1,81 @@
+//! Threads: `std::thread` scoped spawning normally, loom threads under
+//! `cfg(loom)`.
+//!
+//! Call sites use the std 1.63 scoped-thread shape:
+//!
+//! ```
+//! let total = mri_sync::atomic::AtomicU64::new(0);
+//! mri_sync::thread::scope(|s| {
+//!     // ordering: counting only; the scope join publishes the result.
+//!     s.spawn(|| total.fetch_add(1, mri_sync::atomic::Ordering::Relaxed));
+//! });
+//! ```
+//!
+//! Under loom the same API is emulated on `loom::thread::spawn`: every
+//! spawned closure is joined before `scope` returns (also on panic), which
+//! is the property that makes the borrow-shortening below sound.
+
+#[cfg(not(loom))]
+pub use std::thread::{scope, spawn, yield_now, JoinHandle, Scope};
+
+#[cfg(loom)]
+pub use loom_impl::{scope, Scope};
+
+#[cfg(loom)]
+pub use loom::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(loom)]
+mod loom_impl {
+    use std::cell::RefCell;
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Scoped-spawn handle mirroring the subset of `std::thread::Scope`
+    /// the workspace uses (`spawn` with a borrowed closure).
+    pub struct Scope<'scope, 'env: 'scope> {
+        handles: RefCell<Vec<loom::thread::JoinHandle<()>>>,
+        _scope: PhantomData<&'scope mut &'scope ()>,
+        _env: PhantomData<&'env mut &'env ()>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F>(&'scope self, f: F)
+        where
+            F: FnOnce() + Send + 'scope,
+        {
+            let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+            // SAFETY: `scope` joins every spawned thread before it returns,
+            // including when the body panics, so the closure (and anything
+            // it borrows from 'scope/'env) outlives the thread running it.
+            let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+            self.handles.borrow_mut().push(loom::thread::spawn(boxed));
+        }
+    }
+
+    /// Loom-mode `std::thread::scope`: runs `f`, then joins every thread it
+    /// spawned; worker panics (or a panicking body) fail the surrounding
+    /// loom model.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        let s = Scope {
+            handles: RefCell::new(Vec::new()),
+            _scope: PhantomData,
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+        let mut worker_panicked = false;
+        // The 'scope unification keeps a shared borrow of `s` alive here,
+        // so the handles leave through the RefCell rather than by moving.
+        let handles = std::mem::take(&mut *s.handles.borrow_mut());
+        for handle in handles {
+            worker_panicked |= handle.join().is_err();
+        }
+        match result {
+            Err(body_panic) => resume_unwind(body_panic),
+            Ok(_) if worker_panicked => panic!("scoped worker thread panicked"),
+            Ok(v) => v,
+        }
+    }
+}

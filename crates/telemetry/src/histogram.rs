@@ -7,9 +7,9 @@
 //! the *upper bound* of the bucket containing the requested rank, which makes
 //! them monotone in `p` and at most 2x above the true value.
 
+use mri_sync::atomic::{AtomicU64, Ordering};
+use mri_sync::Arc;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 const BUCKETS: usize = 65;
 
@@ -73,6 +73,10 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let i = bucket_index(v);
+        // ordering: the five cells are deliberately not updated atomically
+        // as a group — readers take a snapshot-free view and `percentile`
+        // already tolerates `count` running ahead of the bucket array, so
+        // each RMW only needs to be individually exact.
         self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         self.inner.sum.fetch_add(v, Ordering::Relaxed);
@@ -93,11 +97,13 @@ impl Histogram {
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
+        // ordering: monitoring read; staleness is acceptable.
         self.inner.count.load(Ordering::Relaxed)
     }
 
     /// Wrapping sum of recorded values.
     pub fn sum(&self) -> u64 {
+        // ordering: monitoring read; staleness is acceptable.
         self.inner.sum.load(Ordering::Relaxed)
     }
 
@@ -116,12 +122,14 @@ impl Histogram {
         if self.count() == 0 {
             0
         } else {
+            // ordering: monitoring read; staleness is acceptable.
             self.inner.min.load(Ordering::Relaxed)
         }
     }
 
     /// Exact maximum recorded value (0 when empty).
     pub fn max(&self) -> u64 {
+        // ordering: monitoring read; staleness is acceptable.
         self.inner.max.load(Ordering::Relaxed)
     }
 
@@ -138,6 +146,8 @@ impl Histogram {
         let rank = ((p / 100.0) * count as f64).ceil().clamp(1.0, count as f64) as u64;
         let mut seen = 0u64;
         for i in 0..BUCKETS {
+            // ordering: snapshot-free scan; the fallback below covers racing
+            // writers that leave `count` ahead of the bucket array.
             seen += self.inner.buckets[i].load(Ordering::Relaxed);
             if seen >= rank {
                 return bucket_upper_bound(i);

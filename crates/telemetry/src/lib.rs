@@ -45,8 +45,12 @@ pub use registry::Registry;
 pub use span::{current_depth, SpanGuard};
 pub use summary::Summary;
 
+// lint: allow(raw-sync) — process-wide singleton: `static` initialisers
+// must be const, and loom's cells are not; loom models build their own
+// `Registry` instead of going through `global()`.
 use std::sync::OnceLock;
 
+// lint: allow(raw-sync) — see the `use` above.
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
 
 /// The process-wide registry. Created on first use.

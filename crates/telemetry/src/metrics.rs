@@ -5,16 +5,26 @@
 //! one object, like `ResolutionControl`'s per-instance totals) or be bound
 //! into a [`crate::Registry`] under a name so they appear in summaries.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use mri_sync::atomic::{AtomicU64, Ordering};
+use mri_sync::Arc;
 
 /// A monotonically increasing event count (resettable).
 ///
 /// All operations use relaxed atomics: counts are exact, but no ordering is
 /// implied with respect to other memory operations.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Counter {
     cell: Arc<AtomicU64>,
+}
+
+// Manual impl: loom's atomics don't implement `Default`, so the usual
+// `#[derive(Default)]` would not compile under `--cfg loom`.
+impl Default for Counter {
+    fn default() -> Self {
+        Self {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Counter {
@@ -32,17 +42,22 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: pure event count — exactness comes from the RMW, and no
+        // other memory is published alongside the value.
         self.cell.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: monitoring read; a slightly stale count is acceptable.
         self.cell.load(Ordering::Relaxed)
     }
 
     /// Resets to zero, returning the value at the moment of the swap.
     pub fn reset(&self) -> u64 {
+        // ordering: the swap is atomic, so no increment is lost; readers
+        // racing the reset see either the old or the new epoch.
         self.cell.swap(0, Ordering::Relaxed)
     }
 
@@ -53,9 +68,18 @@ impl Counter {
 }
 
 /// A last-value-wins measurement (stored as `f64` bits in an atomic).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Gauge {
     bits: Arc<AtomicU64>,
+}
+
+// Manual impl: loom's atomics don't implement `Default` (see `Counter`).
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: Arc::new(AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Gauge {
@@ -67,12 +91,15 @@ impl Gauge {
     /// Stores a new value.
     #[inline]
     pub fn set(&self, v: f64) {
+        // ordering: last-write-wins by design; the gauge carries no
+        // happens-before obligations.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Last stored value (`0.0` if never set).
     #[inline]
     pub fn get(&self) -> f64 {
+        // ordering: monitoring read; staleness is acceptable.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }

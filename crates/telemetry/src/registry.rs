@@ -12,12 +12,12 @@ use crate::histogram::Histogram;
 use crate::metrics::{Counter, Gauge};
 use crate::span::SpanGuard;
 use crate::summary::Summary;
-use parking_lot::{Mutex, RwLock};
+use mri_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use mri_sync::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 struct JsonlSink {
@@ -125,11 +125,14 @@ impl Registry {
     /// Sets the event sampling stride: emit every `stride`-th event, `0`
     /// disables event emission (metrics still accumulate).
     pub fn set_sampling(&self, stride: u64) {
+        // ordering: standalone configuration knob; emitters may observe the
+        // old stride for a few events, which sampling tolerates by design.
         self.sampling.store(stride, Ordering::Relaxed);
     }
 
     /// Current sampling stride.
     pub fn sampling(&self) -> u64 {
+        // ordering: see `set_sampling`.
         self.sampling.load(Ordering::Relaxed)
     }
 
@@ -140,6 +143,9 @@ impl Registry {
     #[inline]
     pub fn events_enabled(&self) -> bool {
         if cfg!(feature = "telemetry") {
+            // ordering: `sink_open` is only a fast-path hint — `emit`
+            // re-checks the sink under its mutex, which provides the real
+            // happens-before edge for the `JsonlSink` contents.
             self.sink_open.load(Ordering::Relaxed) && self.sampling() != 0
         } else {
             false
@@ -164,6 +170,8 @@ impl Registry {
             writer: BufWriter::new(file),
             path: path.to_path_buf(),
         });
+        // ordering: both are hints/counters — the sink itself was published
+        // under the mutex above, which emitters re-acquire before writing.
         self.seq.store(0, Ordering::Relaxed);
         self.sink_open.store(true, Ordering::Relaxed);
         Ok(())
@@ -179,6 +187,8 @@ impl Registry {
 
     /// Flushes and closes the sink, returning the path it was writing to.
     pub fn close_sink(&self) -> io::Result<Option<PathBuf>> {
+        // ordering: hint only; racing emitters that still see `true` find
+        // `None` under the mutex below and write nothing.
         self.sink_open.store(false, Ordering::Relaxed);
         let mut guard = self.sink.lock();
         match guard.take() {
@@ -198,6 +208,8 @@ impl Registry {
         if !self.events_enabled() {
             return false;
         }
+        // ordering: sequence numbers only need to be unique/exact, which the
+        // RMW guarantees; emission order is fixed by the sink mutex below.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let stride = self.sampling();
         if stride == 0 || !seq.is_multiple_of(stride) {

@@ -1,0 +1,92 @@
+//! Loom model checks for the telemetry registry.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p mri-telemetry --test
+//! loom_registry`. The models use a locally-constructed [`Registry`] (not
+//! the process-wide `global()`): statics initialise outside the model's
+//! schedule and would make executions non-replayable.
+#![cfg(loom)]
+
+use mri_sync::Arc;
+use mri_telemetry::{Counter, Registry};
+
+/// Two threads race `Registry::counter` on the same name: whatever the
+/// interleaving of the read-miss/write-entry window, both must end up with
+/// handles onto the *same* cell, and no increment may be lost.
+#[test]
+fn racing_counter_registration_converges_on_one_cell() {
+    loom::model(|| {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                loom::thread::spawn(move || {
+                    let c = reg.counter("model.shared");
+                    c.inc();
+                    c
+                })
+            })
+            .collect();
+        let counters: Vec<Counter> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(
+            counters[0].same_cell(&counters[1]),
+            "racing registrations must converge on one cell"
+        );
+        assert_eq!(
+            reg.counter("model.shared").get(),
+            2,
+            "an increment was lost in the registration race"
+        );
+    });
+}
+
+/// `register_counter` racing a reader: the reader sees either the fresh
+/// default cell or the externally bound one — never a torn state — and the
+/// binding is in place once both threads joined.
+#[test]
+fn register_counter_handoff_is_atomic() {
+    loom::model(|| {
+        let reg = Arc::new(Registry::new());
+        let external = Counter::new();
+        external.add(10);
+
+        let binder = {
+            let reg = Arc::clone(&reg);
+            let external = external.clone();
+            loom::thread::spawn(move || {
+                reg.register_counter("control.total", &external);
+            })
+        };
+        let reader = {
+            let reg = Arc::clone(&reg);
+            loom::thread::spawn(move || reg.counter("control.total").get())
+        };
+        let seen = reader.join().unwrap();
+        binder.join().unwrap();
+        assert!(
+            seen == 0 || seen == 10,
+            "reader saw a torn registration: {seen}"
+        );
+        assert!(
+            reg.counter("control.total").same_cell(&external),
+            "binding must be in place after both threads joined"
+        );
+    });
+}
+
+/// Concurrent increments through independently obtained handles are exact.
+#[test]
+fn concurrent_increments_are_exact() {
+    loom::model(|| {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let reg = Arc::clone(&reg);
+                loom::thread::spawn(move || reg.counter("model.hits").add(i + 1))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("model.hits").get(), 3);
+    });
+}

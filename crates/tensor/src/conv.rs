@@ -534,7 +534,7 @@ mod depthwise_tests {
     #[test]
     fn depthwise_strided_shapes() {
         let cfg = Conv2dCfg::new(3, 2, 1);
-        let input = Tensor::from_vec(arange(1 * 2 * 7 * 7), &[1, 2, 7, 7]);
+        let input = Tensor::from_vec(arange(2 * 7 * 7), &[1, 2, 7, 7]);
         let weight = Tensor::from_vec(arange(2 * 9), &[2, 3, 3]);
         let out = depthwise_forward(&input, &weight, cfg);
         assert_eq!(out.dims(), &[1, 2, 4, 4]);

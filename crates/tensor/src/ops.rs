@@ -9,8 +9,8 @@ const PAR_ROWS_PER_THREAD: usize = 16;
 /// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
 ///
 /// The kernel is a cache-blocked triple loop (ikj order) and splits the
-/// output rows over `crossbeam` scoped threads when the problem is large
-/// enough to amortise thread startup.
+/// output rows over scoped threads (`mri_sync::thread::scope`) when the
+/// problem is large enough to amortise thread startup.
 ///
 /// # Panics
 ///
@@ -38,15 +38,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let a_data = a.data();
         let b_data = b.data();
         let rows_per = m.div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        // Worker panics propagate out of `scope` after all threads joined.
+        mri_sync::thread::scope(|scope| {
             for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
                 let row0 = t * rows_per;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     matmul_rows(a_data, b_data, chunk, row0, k, n);
                 });
             }
-        })
-        .expect("matmul worker thread panicked");
+        });
     } else {
         matmul_rows(a.data(), b.data(), &mut out, 0, k, n);
     }

@@ -1,0 +1,20 @@
+// Fixture: one violation of each escapable kind, every one carrying a
+// `lint: allow(...)` escape. Expected: zero findings.
+
+// lint: allow(raw-sync) — fixture demonstrating the escape hatch.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    let c = AtomicU64::new(0);
+    // lint: allow(ordering-comment) — escape instead of a justification.
+    c.store(1, Ordering::Relaxed);
+    // lint: allow(timing) — fixture clock read.
+    let t = std::time::Instant::now();
+    // lint: allow(qsite-bypass) — fixture direct call.
+    let q = fake_quantize_weights(&w(), 1.0, res(), cfg(), 16);
+    // lint: allow(safety-comment) — fixture without an invariant.
+    let x: u32 = unsafe { std::mem::transmute(1i32) };
+    // lint: allow(float-eq) — fixture exact comparison.
+    let b = 0.5 == f(&q);
+    let _ = (c, t, x, b);
+}

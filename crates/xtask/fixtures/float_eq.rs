@@ -1,0 +1,16 @@
+// Fixture: exact float comparisons in (what the test presents as) a quant
+// kernel. Expected: two `float-eq` findings — the `==` and the `!=` — and
+// none for the integer comparison or the `<=` range check.
+
+fn quantize(x: f32, n: usize) -> f32 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x != 1.5f32 && n == 0 {
+        return 1.0;
+    }
+    if x <= 0.5 {
+        return 0.5;
+    }
+    x
+}

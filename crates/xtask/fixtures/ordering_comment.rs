@@ -1,0 +1,17 @@
+// Fixture: atomic ordering choices with and without an `// ordering:`
+// justification. Expected: one `ordering-comment` finding on the lone
+// load. The store is justified, the fetch_add directly under it shares the
+// justification (documented-as-a-group rule), and the `use` and
+// `cmp::Ordering` lines are always exempt.
+
+use mri_sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    let c = AtomicU64::new(0);
+    // ordering: relaxed is fine, the value is only read by this thread.
+    c.store(1, Ordering::Relaxed);
+    c.fetch_add(1, Ordering::Relaxed);
+
+    let _ = c.load(Ordering::Relaxed);
+    let _ = 1.cmp(&2) == std::cmp::Ordering::Less;
+}

@@ -1,0 +1,17 @@
+// Fixture: a production call to a raw quantization entry point.
+// Expected: one `qsite-bypass` finding on the call in `forward`; the
+// import and the call inside the `#[cfg(test)]` module stay clean.
+
+use mri_core::fake_quantize_weights;
+
+fn forward(w: &Tensor) -> Tensor {
+    fake_quantize_weights(w, 1.0, res(), cfg(), 16).values
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cross_check() {
+        let _ = fake_quantize_weights(&w(), 1.0, res(), cfg(), 16);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: names a raw std::sync primitive outside mri-sync.
+// Expected: one `raw-sync` finding on the `use` line.
+
+use std::sync::atomic::AtomicU64;
+
+fn main() {
+    let c = AtomicU64::new(0);
+    let _ = c;
+}

@@ -1,0 +1,10 @@
+// Fixture: an `unsafe` block with no `SAFETY:` comment.
+// Expected: one `safety-comment` finding on the undocumented block; the
+// documented one below stays clean.
+
+fn main() {
+    let x: u32 = unsafe { std::mem::transmute(1i32) };
+    // SAFETY: i32 and u32 have identical size and alignment.
+    let y: u32 = unsafe { std::mem::transmute(2i32) };
+    let _ = (x, y);
+}

@@ -1,0 +1,8 @@
+// Fixture: a direct clock read outside the telemetry crate.
+// Expected: one `timing` finding; the string literal must not add one.
+
+fn main() {
+    let t = std::time::Instant::now();
+    let msg = "Instant::now inside a string is invisible to the lint";
+    let _ = (t, msg);
+}

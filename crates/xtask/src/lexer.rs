@@ -1,0 +1,231 @@
+//! A comment-aware line lexer for Rust sources.
+//!
+//! The lint rules need two views of every line: the *code* on it (with
+//! string/char literal contents blanked, so `"Ordering::Relaxed"` in a
+//! message cannot trip a rule) and the *comments* on it (so escape hatches
+//! and `// ordering:` justifications can be recognised). A full AST parser
+//! is the wrong tool — `syn` and friends drop comments entirely — so this
+//! module splits the two streams lexically: line comments, nested block
+//! comments, plain/raw/byte strings, char literals vs. lifetimes.
+
+/// One source line, split into its code and comment content.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code content with string and char literal *contents* blanked out
+    /// (delimiters retained, so token adjacency is preserved).
+    pub code: String,
+    /// Comment content on the line, `//`/`/*` markers stripped; multiple
+    /// comments on one line are concatenated.
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line holds no code (blank or comment-only).
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    /// Inside `/* ... */`; Rust block comments nest, so track the depth.
+    Block(usize),
+    Str,
+    /// Inside `r##"..."##`; the payload is the number of `#`s.
+    RawStr(usize),
+}
+
+/// Splits `src` into per-line code and comment streams.
+pub fn split_lines(src: &str) -> Vec<Line> {
+    let mut out: Vec<Line> = Vec::new();
+    let mut state = State::Code;
+
+    for raw in src.lines() {
+        let mut line = Line::default();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        let n = chars.len();
+
+        while i < n {
+            match state {
+                State::Block(depth) => {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        state = State::Block(depth + 1);
+                        line.comment.push_str("/*");
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else {
+                        line.comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if chars[i] == '\\' {
+                        i += 2; // skip the escaped char (possibly the quote)
+                    } else if chars[i] == '"' {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1; // blank string contents
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if chars[i] == '"'
+                        && i + hashes < n
+                        && chars[i + 1..=i + hashes].iter().all(|&c| c == '#')
+                    {
+                        line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else if chars[i] == '"' && hashes == 0 {
+                        line.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = chars[i];
+                    if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                        // Line comment: the rest of the line, markers stripped.
+                        let text: String = chars[i + 2..].iter().collect();
+                        line.comment.push_str(text.trim_start_matches(['/', '!']));
+                        i = n;
+                    } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        state = State::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    } else if c == 'r' && is_raw_string_start(&chars, i) {
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while j < n && chars[j] == '#' {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        line.code.push('r');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                        line.code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else if c == '\'' {
+                        // Char literal vs. lifetime: a literal is '\x', or
+                        // 'c' with a closing quote right after one char.
+                        if i + 1 < n && chars[i + 1] == '\\' {
+                            line.code.push_str("''");
+                            let mut j = i + 2;
+                            while j < n && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            i = (j + 1).min(n);
+                        } else if i + 2 < n && chars[i + 2] == '\'' {
+                            line.code.push_str("''");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep it (it is code).
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// True when the `r` at `chars[i]` starts a raw string (`r"`, `r#"`, ...),
+/// as opposed to an identifier that merely contains `r`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r` must not continue an identifier (`for`, `ptr`, `Err`...).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_split_from_code() {
+        let lines = split_lines("let x = 1; // ordering: because\nlet y = 2;");
+        assert_eq!(lines[0].code.trim(), "let x = 1;");
+        assert!(lines[0].comment.contains("ordering: because"));
+        assert!(lines[1].comment.is_empty());
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = split_lines(r#"emit("Ordering::Relaxed is fine in text");"#);
+        assert!(!lines[0].code.contains("Ordering::Relaxed"));
+        assert!(lines[0].code.contains("emit(\""));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lines = split_lines("let s = r#\"Instant::now inside\"#; let t = 1;");
+        assert!(!lines[0].code.contains("Instant::now"));
+        assert!(lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let src = "a /* outer /* inner */ still comment */ b\nc /* open\nclosing */ d";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert!(lines[0].comment.contains("inner"));
+        assert_eq!(lines[1].code.trim(), "c");
+        assert!(lines[2].code.contains('d'));
+        assert!(lines[2].comment.contains("closing"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let lines = split_lines("let c = '='; fn f<'a>(x: &'a str) {}");
+        assert!(!lines[0].code.contains("'='"));
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let lines = split_lines(r"let c = '\''; let x = 1;");
+        assert!(lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn comment_only_detection() {
+        let lines = split_lines("// just a comment\nlet x = 1;\n");
+        assert!(lines[0].is_comment_only());
+        assert!(!lines[1].is_comment_only());
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace maintenance tasks — currently the repo-specific lint pass.
+//!
+//! `cargo run -p xtask -- lint` walks every Rust source in the workspace
+//! and enforces the project's concurrency and quantization discipline (see
+//! [`rules`] for the rule table). The pass is lexical on purpose: half the
+//! rules key on *comments* (`// ordering:` justifications, `// SAFETY:`
+//! invariants, `lint: allow(...)` escapes), which an AST parser would
+//! discard, and a dependency-free lexer keeps offline builds trivial.
+
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod rules;
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (the name `lint: allow(...)` escapes use).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(rel: &str, line: usize, rule: &'static str, message: String) -> Self {
+        Finding {
+            rel: rel.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.rel, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Outcome of a workspace pass.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations, ordered by path then line.
+    pub findings: Vec<Finding>,
+    /// Rust sources inspected.
+    pub files_checked: usize,
+}
+
+impl LintReport {
+    /// Whether the workspace is clean.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints one source file given as a string; `rel` decides path-scoped
+/// rules (e.g. `float-eq` only fires under the quant kernel crates).
+pub fn check_source(rel: &str, src: &str) -> Vec<Finding> {
+    rules::check_lines(rel, &lexer::split_lines(src))
+}
+
+/// Directories never descended into: build output, VCS state, experiment
+/// artefacts, and the lint fixtures (which violate the rules on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "fixtures", "node_modules"];
+
+/// Walks `root` and lints every `.rs` file.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&path)?;
+        report.findings.extend(check_source(&rel, &src));
+        report.files_checked += 1;
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

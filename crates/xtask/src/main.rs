@@ -1,0 +1,56 @@
+//! `cargo run -p xtask -- lint [--root PATH]`
+//!
+//! Exits 0 when the workspace is clean, 1 with one `path:line: [rule]
+//! message` diagnostic per finding otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root PATH]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match args {
+        [] => {
+            // Compiled in-tree, so the manifest dir locates the workspace.
+            let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            p.pop(); // crates/
+            p.pop(); // workspace root
+            p
+        }
+        [flag, path] if flag == "--root" => PathBuf::from(path),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root PATH]");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match xtask::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if report.clean() {
+        println!("xtask lint: clean ({} files)", report.files_checked);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} finding(s) in {} files",
+            report.findings.len(),
+            report.files_checked
+        );
+        ExitCode::FAILURE
+    }
+}

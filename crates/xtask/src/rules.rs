@@ -1,0 +1,440 @@
+//! The six repo-specific lint rules.
+//!
+//! Every rule works on the lexed `{code, comment}` line pairs from
+//! [`crate::lexer`], so string literals can never trip a rule and comments
+//! can always satisfy one. A finding is suppressed by a
+//! `lint: allow(<rule>)` escape in the comments *attached* to the line:
+//! the line's own comment, plus comments collected walking upward through
+//! comment-only lines and statement continuations (a code line ending in
+//! `;` or `}` closes the previous statement and stops the walk).
+//!
+//! | rule              | requirement                                              |
+//! |-------------------|----------------------------------------------------------|
+//! | `raw-sync`        | no `std::sync`/`parking_lot`/`crossbeam` primitives      |
+//! |                   | outside `mri-sync` (so loom can substitute them)          |
+//! | `ordering-comment`| every atomic `Ordering::` choice carries an `ordering:`  |
+//! |                   | justification comment                                     |
+//! | `timing`          | no `Instant::now`/`SystemTime::now` outside the          |
+//! |                   | telemetry clock source and the measurement harness        |
+//! | `float-eq`        | no `==`/`!=` against float literals in quant kernels     |
+//! | `qsite-bypass`    | no direct `fake_quantize_*` calls outside `mri-core`:    |
+//! |                   | production code goes through `QParamSite`/`QActSite`      |
+//! | `safety-comment`  | every `unsafe` carries a `SAFETY:` comment               |
+
+use crate::lexer::Line;
+use crate::Finding;
+
+/// Raw synchronisation primitives that must be reached through `mri-sync`
+/// (qualified paths only: an escaped `use` line then covers bare-name uses).
+const RAW_SYNC_PATTERNS: &[&str] = &[
+    "std::sync::atomic",
+    "std::sync::OnceLock",
+    "std::sync::Mutex",
+    "std::sync::RwLock",
+    "std::sync::Condvar",
+    "std::sync::Barrier",
+    "parking_lot::",
+    "crossbeam",
+];
+
+/// Quantization entry points that bypass the `QParamSite`/`QActSite`
+/// mediation layer. The trailing `(` keeps re-exports and imports clean.
+const QSITE_PATTERNS: &[&str] = &["fake_quantize_weights(", "fake_quantize_data("];
+
+/// Runs every rule over one lexed file and filters escaped findings.
+pub fn check_lines(rel: &str, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    raw_sync(rel, lines, &mut findings);
+    ordering_comment(rel, lines, &mut findings);
+    timing(rel, lines, &mut findings);
+    float_eq(rel, lines, &mut findings);
+    qsite_bypass(rel, lines, &mut findings);
+    safety_comment(rel, lines, &mut findings);
+    findings.retain(|f| !is_escaped(lines, f.line - 1, f.rule));
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn in_dir(rel: &str, dir: &str) -> bool {
+    rel.starts_with(dir)
+}
+
+/// True when the path has a `tests` or `benches` component (integration
+/// tests and benchmarks, at the root or inside a crate).
+fn in_test_dir(rel: &str) -> bool {
+    rel.split('/').any(|seg| seg == "tests" || seg == "benches")
+}
+
+// ---------------------------------------------------------------- raw-sync
+
+fn raw_sync(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    // mri-sync is the one place allowed to name the raw primitives.
+    if in_dir(rel, "crates/sync/") {
+        return;
+    }
+    for (i, line) in lines.iter().enumerate() {
+        for pat in RAW_SYNC_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Finding::new(
+                    rel,
+                    i + 1,
+                    "raw-sync",
+                    format!("`{pat}` outside mri-sync; use the mri_sync re-export so loom can substitute it"),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------- ordering-comment
+
+/// True when `code` names an atomic memory ordering (`std::cmp::Ordering`
+/// is exempt — it is not a concurrency decision).
+fn ordering_site(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("Ordering::") {
+        let abs = from + pos;
+        if !code[..abs].ends_with("cmp::") {
+            return true;
+        }
+        from = abs + "Ordering::".len();
+    }
+    false
+}
+
+fn ordering_comment(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if !ordering_site(&line.code) {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        // A justification covers a *run* of consecutive ordering sites (a
+        // read-modify-write group documented once, above its first line).
+        let mut j = i;
+        let justified = loop {
+            if attached_comments(lines, j).contains("ordering:") {
+                break true;
+            }
+            if j > 0 && ordering_site(&lines[j - 1].code) {
+                j -= 1;
+            } else {
+                break false;
+            }
+        };
+        if !justified {
+            out.push(Finding::new(
+                rel,
+                i + 1,
+                "ordering-comment",
+                "atomic `Ordering::` choice without an `// ordering:` justification".to_string(),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------ timing
+
+fn timing(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    // The telemetry crate is the sampled clock source; the bench crate is
+    // the measurement harness — wall-clock reads are their whole point.
+    if in_dir(rel, "crates/telemetry/") || in_dir(rel, "crates/bench/") {
+        return;
+    }
+    for (i, line) in lines.iter().enumerate() {
+        if line.code.contains("Instant::now") || line.code.contains("SystemTime::now") {
+            out.push(Finding::new(
+                rel,
+                i + 1,
+                "timing",
+                "direct clock read outside telemetry; use mri_telemetry::maybe_now so sampling and the simulator's virtual clock stay in charge".to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- float-eq
+
+/// True when `tok` (suffix `f32`/`f64` allowed) is a float literal.
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok
+        .strip_suffix("f32")
+        .or_else(|| tok.strip_suffix("f64"))
+        .unwrap_or(tok)
+        .trim_end_matches('_');
+    !tok.is_empty()
+        && tok.starts_with(|c: char| c.is_ascii_digit())
+        && tok.contains('.')
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '_')
+}
+
+/// True when the line compares against a float literal with `==`/`!=`.
+fn float_eq_site(code: &str) -> bool {
+    let b = code.as_bytes();
+    for i in 0..b.len().saturating_sub(1) {
+        if !matches!((b[i], b[i + 1]), (b'=', b'=') | (b'!', b'=')) {
+            continue;
+        }
+        // Skip compound operators (`<=`, `>=`, `+=`, `===`-like runs...).
+        if i > 0
+            && matches!(
+                b[i - 1],
+                b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+            )
+        {
+            continue;
+        }
+        if b.get(i + 2) == Some(&b'=') {
+            continue;
+        }
+        let left = code[..i]
+            .trim_end()
+            .rsplit(|c: char| !(c.is_alphanumeric() || c == '.' || c == '_'))
+            .next()
+            .unwrap_or("");
+        let right = code[i + 2..]
+            .trim_start()
+            .trim_start_matches('-')
+            .split(|c: char| !(c.is_alphanumeric() || c == '.' || c == '_'))
+            .next()
+            .unwrap_or("");
+        if is_float_literal(left) || is_float_literal(right) {
+            return true;
+        }
+    }
+    false
+}
+
+fn float_eq(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    // Scoped to the quantization kernels, where exact float comparison is
+    // the classic source of resolution-dependent drift. Their unit tests
+    // are exempt: pinning bit-exact served values is the point there.
+    if !(in_dir(rel, "crates/quant/src/") || in_dir(rel, "crates/core/src/")) {
+        return;
+    }
+    let test_region = test_regions(lines);
+    for (i, line) in lines.iter().enumerate() {
+        if !test_region[i] && float_eq_site(&line.code) {
+            out.push(Finding::new(
+                rel,
+                i + 1,
+                "float-eq",
+                "exact float comparison in a quant kernel; compare integers or use an epsilon"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------ qsite-bypass
+
+fn qsite_bypass(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    // mri-core owns the entry points; tests and benches cross-check the
+    // direct path against the sites on purpose.
+    if in_dir(rel, "crates/core/") || in_test_dir(rel) {
+        return;
+    }
+    let test_region = test_regions(lines);
+    for (i, line) in lines.iter().enumerate() {
+        if test_region[i] {
+            continue;
+        }
+        for pat in QSITE_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Finding::new(
+                    rel,
+                    i + 1,
+                    "qsite-bypass",
+                    format!("direct `{}...)` call; production code quantizes through QParamSite/QActSite so counters and caching stay accurate", pat),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- safety-comment
+
+fn safety_comment(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (i, line) in lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        if !attached_comments(lines, i).contains("SAFETY:") {
+            out.push(Finding::new(
+                rel,
+                i + 1,
+                "safety-comment",
+                "`unsafe` without a `// SAFETY:` comment stating the invariant".to_string(),
+            ));
+        }
+    }
+}
+
+/// True when `word` occurs in `code` with identifier boundaries.
+fn has_word(code: &str, word: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let abs = from + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !code[abs + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = abs + word.len();
+    }
+    false
+}
+
+// ------------------------------------------------------- shared machinery
+
+/// Comments attached to line `idx` (0-based): its own comment, plus the
+/// comments collected walking upward through comment-only lines and
+/// statement continuations. A code line ending in `;` or `}` closes the
+/// previous statement; a fully blank line detaches a comment block.
+pub fn attached_comments(lines: &[Line], idx: usize) -> String {
+    let mut out = lines[idx].comment.clone();
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        let code = l.code.trim();
+        if code.is_empty() && l.comment.trim().is_empty() {
+            break; // blank line
+        }
+        if code.ends_with(';') || code.ends_with('}') {
+            break; // previous statement
+        }
+        out.push('\n');
+        out.push_str(&l.comment);
+    }
+    out
+}
+
+/// Whether line `idx` carries a `lint: allow(<rule>)` escape.
+fn is_escaped(lines: &[Line], idx: usize, rule: &str) -> bool {
+    attached_comments(lines, idx).contains(&format!("lint: allow({rule})"))
+}
+
+/// Per-line flags: true inside a `#[cfg(test)] mod ... { ... }` region,
+/// tracked by brace depth over the code stream (string/char contents are
+/// already blanked, so their braces cannot skew the count).
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut region_floor: Option<i64> = None;
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.trim();
+        if region_floor.is_some() {
+            flags[i] = true;
+        }
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test && !code.is_empty() {
+            if code.starts_with("mod ") || code.starts_with("pub mod ") {
+                region_floor = Some(depth);
+            }
+            if !code.starts_with("#[") {
+                pending_cfg_test = false;
+            }
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(floor) = region_floor {
+            if depth <= floor {
+                region_floor = None;
+            }
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_lines;
+
+    #[test]
+    fn cmp_ordering_is_exempt() {
+        assert!(!ordering_site(
+            "a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)"
+        ));
+        assert!(ordering_site("x.load(Ordering::Relaxed)"));
+        assert!(ordering_site("mri_sync::atomic::Ordering::SeqCst"));
+    }
+
+    #[test]
+    fn ordering_run_shares_one_justification() {
+        let src = "\
+// ordering: group documented once.
+a.fetch_add(1, Ordering::Relaxed);
+b.fetch_add(1, Ordering::Relaxed);
+c.fetch_add(1, Ordering::Relaxed);
+
+d.load(Ordering::Relaxed);
+";
+        let f = check_lines("crates/nn/src/x.rs", &split_lines(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+        assert_eq!(f[0].rule, "ordering-comment");
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(is_float_literal("0.5"));
+        assert!(is_float_literal("1.25f32"));
+        assert!(!is_float_literal("5"));
+        assert!(!is_float_literal("x.abs"));
+        assert!(float_eq_site("if x == 0.0 {"));
+        assert!(float_eq_site("if 1.5f32 != y {"));
+        assert!(!float_eq_site("if n == 0 {"));
+        assert!(!float_eq_site("if x <= 0.5 {"));
+        assert!(!float_eq_site("let f = |x| x == y;"));
+    }
+
+    #[test]
+    fn escapes_suppress_findings() {
+        let src = "\
+// lint: allow(timing) — demo of the escape hatch.
+let t = std::time::Instant::now();
+";
+        assert!(check_lines("crates/nn/src/x.rs", &split_lines(src)).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "\
+fn prod() { fake_quantize_weights(&w, c, r, q, 8); }
+
+#[cfg(test)]
+mod tests {
+    fn t() { fake_quantize_weights(&w, c, r, q, 8); }
+}
+
+fn prod2() { fake_quantize_data(&x, c, r, q); }
+";
+        let f = check_lines("crates/nn/src/x.rs", &split_lines(src));
+        let qs: Vec<_> = f.iter().filter(|f| f.rule == "qsite-bypass").collect();
+        assert_eq!(qs.len(), 2, "{qs:?}");
+        assert_eq!(qs[0].line, 1);
+        assert_eq!(qs[1].line, 8);
+    }
+}

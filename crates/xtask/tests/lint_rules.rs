@@ -1,0 +1,113 @@
+//! Every fixture under `fixtures/` must trip exactly its rule, the
+//! all-escaped fixture must stay silent, path scoping must hold, and the
+//! real workspace must be clean.
+
+use std::path::PathBuf;
+use xtask::{check_source, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// Runs the fixture as if it lived at `rel` and asserts the findings hit
+/// exactly `expected` = [(rule, line)].
+fn expect(name: &str, rel: &str, expected: &[(&str, usize)]) {
+    let findings = check_source(rel, &fixture(name));
+    let got: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got, expected,
+        "{name} as {rel}: wrong findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn raw_sync_fixture_fires() {
+    expect("raw_sync.rs", "crates/nn/src/fx.rs", &[("raw-sync", 4)]);
+}
+
+#[test]
+fn raw_sync_is_legal_inside_mri_sync() {
+    expect("raw_sync.rs", "crates/sync/src/fx.rs", &[]);
+}
+
+#[test]
+fn ordering_comment_fixture_fires_on_unjustified_line_only() {
+    expect(
+        "ordering_comment.rs",
+        "crates/nn/src/fx.rs",
+        &[("ordering-comment", 15)],
+    );
+}
+
+#[test]
+fn timing_fixture_fires_outside_telemetry_and_bench() {
+    expect("timing.rs", "crates/nn/src/fx.rs", &[("timing", 5)]);
+    expect("timing.rs", "crates/telemetry/src/fx.rs", &[]);
+    expect("timing.rs", "crates/bench/src/fx.rs", &[]);
+}
+
+#[test]
+fn float_eq_fixture_fires_in_quant_kernels_only() {
+    expect(
+        "float_eq.rs",
+        "crates/quant/src/fx.rs",
+        &[("float-eq", 6), ("float-eq", 9)],
+    );
+    expect(
+        "float_eq.rs",
+        "crates/core/src/fx.rs",
+        &[("float-eq", 6), ("float-eq", 9)],
+    );
+    expect("float_eq.rs", "crates/nn/src/fx.rs", &[]);
+}
+
+#[test]
+fn qsite_fixture_fires_in_production_code_only() {
+    expect(
+        "qsite_bypass.rs",
+        "crates/nn/src/fx.rs",
+        &[("qsite-bypass", 8)],
+    );
+    // mri-core owns the entry points; tests cross-check on purpose.
+    expect("qsite_bypass.rs", "crates/core/src/fx.rs", &[]);
+    expect("qsite_bypass.rs", "tests/fx.rs", &[]);
+    expect("qsite_bypass.rs", "crates/nn/tests/fx.rs", &[]);
+}
+
+#[test]
+fn safety_comment_fixture_fires_on_undocumented_block_only() {
+    expect(
+        "safety_comment.rs",
+        "crates/nn/src/fx.rs",
+        &[("safety-comment", 6)],
+    );
+}
+
+#[test]
+fn escaped_fixture_is_silent_under_every_rule_scope() {
+    // quant/src puts all six rules in scope at once.
+    expect("escaped.rs", "crates/quant/src/fx.rs", &[]);
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = xtask::lint_workspace(&root).expect("walking the workspace");
+    assert!(
+        report.files_checked > 50,
+        "walker found only {} files — wrong root?",
+        report.files_checked
+    );
+    let render: Vec<String> = report.findings.iter().map(Finding::to_string).collect();
+    assert!(
+        report.clean(),
+        "workspace has lint findings:\n{}",
+        render.join("\n")
+    );
+}

@@ -13,10 +13,10 @@ use multi_resolution_inference::core::{
 use multi_resolution_inference::data::SyntheticImages;
 use multi_resolution_inference::models::MiniResNet;
 use multi_resolution_inference::nn::BnBankSelector;
+use multi_resolution_inference::sync::atomic::AtomicUsize;
+use multi_resolution_inference::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::AtomicUsize;
-use std::sync::Arc;
 
 fn main() {
     let classes = 10;

@@ -16,6 +16,9 @@
 //! * [`models`] — reference CNN/LSTM/detector models.
 //! * [`telemetry`] — workspace-wide metrics registry, spans and JSONL
 //!   event streaming (see the "Observability" section of the README).
+//! * [`sync`] — the workspace's synchronisation shim (atomics, locks,
+//!   scoped threads); what library types like [`nn::BnBankSelector`] are
+//!   built from.
 //!
 //! # Examples
 //!
@@ -34,5 +37,6 @@ pub use mri_hw as hw;
 pub use mri_models as models;
 pub use mri_nn as nn;
 pub use mri_quant as quant;
+pub use mri_sync as sync;
 pub use mri_telemetry as telemetry;
 pub use mri_tensor as tensor;
