@@ -1,0 +1,106 @@
+//! The `mri-bench` binary: perf-trajectory entry point.
+//!
+//! ```text
+//! mri-bench trajectory [--fast] [--seed N] [--out DIR]
+//! ```
+//!
+//! Runs the pinned probe suite ([`mri_bench::trajectory`]) with the
+//! tracking allocator installed, appends one record to the repo-root
+//! `BENCH_kernels.json` / `BENCH_eval.json` ledgers, and exports the run's
+//! scope tree as `results/telemetry/trajectory.{profile.json,flame.txt}`.
+//!
+//! Exit codes: 0 on success, 2 on usage or I/O errors.
+
+use mri_bench::report::print_table;
+use mri_bench::trajectory::{self, TrajectoryRecord};
+use mri_bench::RunConfig;
+use std::path::PathBuf;
+
+// The allocator belongs to the binary, not the library: installing it here
+// makes every probe's alloc/peak columns live without imposing the
+// accounting on library consumers.
+#[global_allocator]
+static ALLOC: mri_telemetry::TrackingAllocator = mri_telemetry::TrackingAllocator::new();
+
+/// Repo root: this file lives at `crates/bench/src/bin/`, so the manifest
+/// dir's grandparent is the workspace root where the ledgers live.
+fn repo_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("trajectory") {
+        eprintln!("usage: mri-bench trajectory [--fast] [--seed N] [--out DIR]");
+        std::process::exit(2);
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let seed = flag_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let out = flag_value(&args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(repo_root);
+    let cfg = RunConfig { fast, seed };
+
+    let (kernels, evals, profile) = trajectory::run_trajectory(cfg);
+    print_record("kernel probes", &kernels);
+    print_record("eval probes", &evals);
+
+    for (file, record) in [
+        ("BENCH_kernels.json", &kernels),
+        ("BENCH_eval.json", &evals),
+    ] {
+        let path = out.join(file);
+        if let Err(e) = trajectory::append_record(&path, record) {
+            eprintln!("mri-bench: append {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("  -> appended record to {}", path.display());
+    }
+
+    match profile.write_dir(out.join("results/telemetry"), "trajectory") {
+        Ok((json, flame)) => {
+            println!("  -> wrote {}", json.display());
+            println!("  -> wrote {}", flame.display());
+        }
+        Err(e) => {
+            eprintln!("mri-bench: write profile: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+}
+
+fn print_record(title: &str, record: &TrajectoryRecord) {
+    let rows: Vec<Vec<String>> = record
+        .probes
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                p.iters.to_string(),
+                format!("{:.3}ms", p.wall_ns as f64 / 1e6),
+                format!("{:.1}KiB", p.alloc_bytes as f64 / 1024.0),
+                p.alloc_count.to_string(),
+                format!("{:.1}KiB", p.peak_bytes as f64 / 1024.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Perf trajectory: {title} (rev {}, host {}, mode {})",
+            record.git_rev, record.host, record.mode
+        ),
+        &["probe", "iters", "best wall", "alloc", "allocs", "peak"],
+        &rows,
+    );
+}

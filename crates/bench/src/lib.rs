@@ -26,6 +26,11 @@
 //! | `telemetry` | tracing/metrics overhead on the trainer | [`telemetry_exp`] |
 //! | `cache` | weight-term cache A/B (encode once, truncate per α) | [`cache_exp`] |
 //! | `qsite` | mask-free eval path vs train-mode forwards | [`qsite_exp`] |
+//!
+//! The `mri-bench` binary additionally runs the perf-trajectory probe
+//! suite ([`trajectory`]): `mri-bench trajectory --fast` appends one
+//! schema-versioned record to the repo-root `BENCH_kernels.json` /
+//! `BENCH_eval.json` ledgers and exports a flamegraph; see DESIGN.md §11.
 
 #![warn(missing_docs)]
 
@@ -38,6 +43,7 @@ pub mod report;
 pub mod summary;
 pub mod telemetry_exp;
 pub mod train_exp;
+pub mod trajectory;
 pub mod verify;
 
 /// Shared experiment configuration.

@@ -1,17 +1,21 @@
 //! Telemetry overhead harness: the acceptance experiment for the
 //! `mri-telemetry` layer.
 //!
-//! Runs the same 50-step Algorithm-1 trainer loop under three telemetry
+//! Runs the same 50-step Algorithm-1 trainer loop under four telemetry
 //! modes and reports wall-clock per mode:
 //!
-//! * `events-off` — no JSONL sink, sampling 0: counters/gauges/histograms
-//!   still update (they always do), spans and events are skipped;
+//! * `events-off` — no JSONL sink, sampling 0, profiler disabled:
+//!   counters/gauges/histograms still update (they always do), spans,
+//!   events and `prof_scope!` guards are skipped;
+//! * `prof-on` — like `events-off` but with [`mri_telemetry::prof`] scope
+//!   recording enabled: isolates the profiler's own cost;
 //! * `events-sampled` — JSONL sink open, 1-in-8 event sampling;
 //! * `events-full` — JSONL sink open, every event written.
 //!
 //! Build the crate with `--no-default-features` to additionally compile the
-//! tracing tier out; the same three rows then measure the pure-metrics
-//! floor. The acceptance bar is `events-off` within 2% of that floor.
+//! tracing tier out; the same rows then measure the pure-metrics floor.
+//! The acceptance bars are `events-off` within 2% of that floor and
+//! `prof-on` within 5% of `events-off` (DESIGN.md §11).
 
 use crate::train_exp::CnnScale;
 use crate::RunConfig;
@@ -66,7 +70,7 @@ fn timed_run(scale: CnnScale, seed: u64) -> f64 {
 
 /// Times the 50-step trainer loop under each telemetry mode (best of
 /// `reps`), streaming events of the sink-open modes to `sink`; restores
-/// the global registry to events-off afterwards.
+/// the global registry to events-off (profiler re-enabled) afterwards.
 pub fn trainer_overhead(cfg: RunConfig, sink: &std::path::Path) -> Vec<OverheadRow> {
     let scale = CnnScale {
         steps: OVERHEAD_STEPS,
@@ -81,16 +85,19 @@ pub fn trainer_overhead(cfg: RunConfig, sink: &std::path::Path) -> Vec<OverheadR
     // Warm-up run (allocator, caches) before anything is timed.
     timed_run(scale, cfg.seed);
 
-    let modes: [(&str, u64, bool); 3] = [
-        ("events-off", 0, false),
-        ("events-sampled", 8, true),
-        ("events-full", 1, true),
+    // (mode, sampling, sink open, profiler scopes enabled)
+    let modes: [(&str, u64, bool, bool); 4] = [
+        ("events-off", 0, false, false),
+        ("prof-on", 0, false, true),
+        ("events-sampled", 8, true, true),
+        ("events-full", 1, true, true),
     ];
     let mut walls = Vec::new();
-    for &(name, sampling, open_sink) in &modes {
+    for &(name, sampling, open_sink, prof_on) in &modes {
         if open_sink {
             reg.open_jsonl(sink).expect("open bench telemetry sink");
         }
+        mri_telemetry::prof::set_enabled(prof_on);
         reg.set_sampling(sampling);
         let best = (0..reps)
             .map(|r| timed_run(scale, cfg.seed + r as u64))
@@ -102,6 +109,7 @@ pub fn trainer_overhead(cfg: RunConfig, sink: &std::path::Path) -> Vec<OverheadR
         walls.push((name, best));
     }
     reg.set_sampling(1);
+    mri_telemetry::prof::set_enabled(true);
 
     let baseline = walls[0].1;
     walls
@@ -126,9 +134,11 @@ mod tests {
         let sink = std::env::temp_dir().join("mri_bench_telemetry_test_events.jsonl");
         let rows = trainer_overhead(RunConfig::fast(), &sink);
         let _ = std::fs::remove_file(&sink);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].mode, "events-off");
+        assert_eq!(rows[1].mode, "prof-on");
         assert_eq!(rows[0].overhead_pct, 0.0);
+        assert!(mri_telemetry::prof::is_enabled());
         for r in &rows {
             assert!(r.wall_s > 0.0, "{r:?}");
             assert_eq!(r.steps, OVERHEAD_STEPS);

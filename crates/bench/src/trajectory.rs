@@ -1,0 +1,411 @@
+//! Perf-trajectory probes: a pinned suite of small, deterministic workloads
+//! whose wall-clock and allocation profile is appended to the repo-root
+//! `BENCH_kernels.json` / `BENCH_eval.json` ledgers on every
+//! `mri-bench trajectory` run. `cargo run -p xtask -- perf-check` compares
+//! the newest record against its predecessor and fails CI outside the
+//! tolerance bands (see DESIGN.md §11).
+//!
+//! Probe sizing: every workload stays below the kernels' parallel-dispatch
+//! thresholds so the whole probe runs on the calling thread — the
+//! [`mri_telemetry::alloc`] counters are per-thread and would otherwise
+//! miss worker-side allocations.
+
+use crate::RunConfig;
+use mri_core::{
+    MultiResTrainer, QLinear, QuantConfig, Resolution, ResolutionControl, SubModelSpec,
+    TrainerConfig, WeightTermCache,
+};
+use mri_hw::{MmacSystem, NetworkWorkload, SystemConfig};
+use mri_nn::{Layer, Mode, Param, Relu};
+use mri_tensor::{init, ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version stamped into every [`TrajectoryRecord`] and ledger file; bump on
+/// any breaking change to the shapes below.
+pub const TRAJECTORY_SCHEMA_VERSION: u32 = 1;
+
+/// One probe's measurements within a [`TrajectoryRecord`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Probe name (stable across runs; the perf-check join key).
+    pub name: String,
+    /// Timed iterations (after one untimed warm-up).
+    pub iters: u64,
+    /// Best (minimum) single-iteration wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Bytes allocated during the best iteration (0 without the tracking
+    /// allocator or the `telemetry` feature).
+    pub alloc_bytes: u64,
+    /// Allocations during the best iteration.
+    pub alloc_count: u64,
+    /// Largest growth of live heap bytes above the level at probe entry,
+    /// max over iterations (from the profiler's peak window).
+    pub peak_bytes: u64,
+}
+
+/// One `mri-bench trajectory` run: a timestamped, git-pinned row of probes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryRecord {
+    /// [`TRAJECTORY_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// `git rev-parse --short HEAD`, or `"unknown"` outside a work tree.
+    pub git_rev: String,
+    /// Seconds since the Unix epoch at record time.
+    pub unix_ts: u64,
+    /// Hostname; perf-check only compares records from the same host.
+    pub host: String,
+    /// `"fast"` or `"full"` (perf-check only compares like with like).
+    pub mode: String,
+    /// The pinned probe suite.
+    pub probes: Vec<ProbeRecord>,
+}
+
+/// On-disk shape of `BENCH_kernels.json` / `BENCH_eval.json`: an
+/// append-only list of [`TrajectoryRecord`]s, oldest first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryFile {
+    /// [`TRAJECTORY_SCHEMA_VERSION`] of the records within.
+    pub schema_version: u32,
+    /// All recorded runs, oldest first.
+    pub records: Vec<TrajectoryRecord>,
+}
+
+impl TrajectoryFile {
+    fn empty() -> Self {
+        TrajectoryFile {
+            schema_version: TRAJECTORY_SCHEMA_VERSION,
+            records: Vec::new(),
+        }
+    }
+}
+
+/// Times `body` `iters` times (plus one untimed warm-up) under a profiler
+/// scope named `name`, returning the best-iteration measurements.
+fn run_probe(name: &'static str, iters: u64, mut body: impl FnMut()) -> ProbeRecord {
+    body();
+    let mut best_wall = u64::MAX;
+    let mut best_bytes = 0u64;
+    let mut best_count = 0u64;
+    for _ in 0..iters {
+        let a0 = mri_telemetry::alloc::thread_stats();
+        let t0 = Instant::now();
+        {
+            let _probe_prof = mri_telemetry::prof_scope!(name);
+            body();
+        }
+        let wall = t0.elapsed().as_nanos() as u64;
+        let a1 = mri_telemetry::alloc::thread_stats();
+        if wall < best_wall {
+            best_wall = wall;
+            best_bytes = a1.alloc_bytes.saturating_sub(a0.alloc_bytes);
+            best_count = a1.alloc_count.saturating_sub(a0.alloc_count);
+        }
+    }
+    ProbeRecord {
+        name: name.to_string(),
+        iters,
+        wall_ns: best_wall,
+        alloc_bytes: best_bytes,
+        alloc_count: best_count,
+        peak_bytes: 0, // filled from the profile snapshot by the caller
+    }
+}
+
+/// Copies each probe's `peak_bytes` out of the profiler snapshot (the probe
+/// scope is always top-level, so its name is its path).
+fn fill_peaks(probes: &mut [ProbeRecord], profile: &mri_telemetry::Profile) {
+    for p in probes {
+        if let Some(node) = profile.find(&p.name) {
+            p.peak_bytes = node.peak_bytes;
+        }
+    }
+}
+
+/// A three-layer quantized MLP for the trainer probes, sized so every
+/// matmul stays on the calling thread.
+struct ProbeNet {
+    l1: QLinear,
+    r1: Relu,
+    l2: QLinear,
+    r2: Relu,
+    l3: QLinear,
+}
+
+impl ProbeNet {
+    fn new(
+        rng: &mut StdRng,
+        din: usize,
+        hidden: usize,
+        classes: usize,
+    ) -> (Self, Arc<ResolutionControl>) {
+        let control = Arc::new(ResolutionControl::default());
+        let qcfg = QuantConfig::paper_cnn();
+        let net = ProbeNet {
+            l1: QLinear::new(rng, din, hidden, qcfg, Arc::clone(&control)),
+            r1: Relu::new(),
+            l2: QLinear::new(rng, hidden, hidden, qcfg, Arc::clone(&control)),
+            r2: Relu::new(),
+            l3: QLinear::new(rng, hidden, classes, qcfg, Arc::clone(&control)),
+        };
+        (net, control)
+    }
+}
+
+impl Layer for ProbeNet {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let h = self.r1.forward(&self.l1.forward(x, mode), mode);
+        let h = self.r2.forward(&self.l2.forward(&h, mode), mode);
+        self.l3.forward(&h, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.r2.backward(&self.l3.backward(grad_out));
+        let g = self.r1.backward(&self.l2.backward(&g));
+        self.l1.backward(&g)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.l1.visit_params(visitor);
+        self.l2.visit_params(visitor);
+        self.l3.visit_params(visitor);
+    }
+
+    fn describe(&self) -> String {
+        "trajectory-probe-mlp".to_string()
+    }
+}
+
+/// The kernel-level probe suite (→ `BENCH_kernels.json`): weight-term cache
+/// fill, dense matmul, conv2d forward+backward, and a full mMAC system run.
+pub fn kernel_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
+    let (fill_iters, mm_iters, conv_iters, hw_iters) = if cfg.fast {
+        (8, 24, 8, 8)
+    } else {
+        (32, 96, 32, 32)
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut probes = Vec::new();
+
+    // 64×128 = 8 Ki values: below the cache's parallel-fill threshold.
+    let w = init::uniform(&mut rng, &[64, 128], -0.5, 0.5);
+    let cache = WeightTermCache::new();
+    let qcfg = QuantConfig::paper_cnn();
+    probes.push(run_probe("cache_fill", fill_iters, || {
+        cache.invalidate();
+        let q = cache.quantize(
+            &w,
+            1,
+            0.5,
+            Resolution::Tq { alpha: 12, beta: 2 },
+            qcfg,
+            128,
+            false,
+        );
+        std::hint::black_box(&q);
+    }));
+
+    // 32×64×32 = 64 Ki MACs: at the serial/parallel boundary, always serial.
+    let a = init::uniform(&mut rng, &[32, 64], -1.0, 1.0);
+    let b = init::uniform(&mut rng, &[64, 32], -1.0, 1.0);
+    probes.push(run_probe("matmul", mm_iters, || {
+        let c = ops::matmul(&a, &b);
+        std::hint::black_box(&c);
+    }));
+
+    let input = init::uniform(&mut rng, &[2, 8, 12, 12], -1.0, 1.0);
+    let weight = init::uniform(&mut rng, &[8, 8, 3, 3], -0.5, 0.5);
+    let ccfg = mri_tensor::conv::Conv2dCfg::same(3);
+    probes.push(run_probe("conv2d", conv_iters, || {
+        let (out, cols) = mri_tensor::conv::conv2d_forward(&input, &weight, ccfg);
+        let (gx, gw) =
+            mri_tensor::conv::conv2d_backward(&out, &cols, &weight, (2, 8, 12, 12), ccfg);
+        std::hint::black_box((&gx, &gw));
+    }));
+
+    let sys = MmacSystem::new(SystemConfig::paper_vc707());
+    let net = NetworkWorkload::resnet18();
+    probes.push(run_probe("hw_sim", hw_iters, || {
+        let report = sys.run(&net, 12, 2);
+        std::hint::black_box(&report);
+    }));
+
+    probes
+}
+
+/// The trainer-level probe suite (→ `BENCH_eval.json`): one Algorithm-1
+/// train step and one 4-spec `evaluate_all` on a small quantized MLP.
+pub fn eval_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
+    let (step_iters, eval_iters) = if cfg.fast { (6, 4) } else { (24, 12) };
+    let (din, hidden, classes, batch) = (32, 48, 4, 8);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (mut net, control) = ProbeNet::new(&mut rng, din, hidden, classes);
+    let specs = vec![
+        SubModelSpec::new(4, 1),
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(12, 2),
+        SubModelSpec::new(16, 3),
+    ];
+    let mut tc = TrainerConfig::new(specs);
+    tc.lr = 0.05;
+    tc.seed = cfg.seed;
+    let mut trainer = MultiResTrainer::new(tc, Arc::clone(&control));
+
+    let x = init::uniform(&mut rng, &[batch, din], 0.0, 1.0);
+    let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+    let mut probes = Vec::new();
+    probes.push(run_probe("train_step", step_iters, || {
+        trainer.train_step(&mut net, &x, &labels);
+    }));
+
+    let eval_data = vec![(x.clone(), labels.clone()), (x.clone(), labels.clone())];
+    probes.push(run_probe("evaluate_all_4spec", eval_iters, || {
+        let reports = trainer.evaluate_all(&mut net, &eval_data);
+        std::hint::black_box(&reports);
+    }));
+    probes
+}
+
+/// Runs both probe suites, stamps them into [`TrajectoryRecord`]s, and
+/// returns `(kernels, eval, profile)` — the profile is the merged scope
+/// tree covering the whole run, for flamegraph export.
+pub fn run_trajectory(
+    cfg: RunConfig,
+) -> (TrajectoryRecord, TrajectoryRecord, mri_telemetry::Profile) {
+    mri_telemetry::prof::reset();
+    let mut kernels = kernel_probes(cfg);
+    let mut evals = eval_probes(cfg);
+    let profile = mri_telemetry::prof::snapshot();
+    fill_peaks(&mut kernels, &profile);
+    fill_peaks(&mut evals, &profile);
+    let stamp = |probes: Vec<ProbeRecord>| TrajectoryRecord {
+        schema_version: TRAJECTORY_SCHEMA_VERSION,
+        git_rev: git_rev(),
+        unix_ts: unix_ts(),
+        host: hostname(),
+        mode: if cfg.fast { "fast" } else { "full" }.to_string(),
+        probes,
+    };
+    (stamp(kernels), stamp(evals), profile)
+}
+
+/// Appends `record` to the ledger at `path` (created when missing),
+/// preserving existing records. A ledger whose schema version differs is
+/// left untouched and an error is returned instead.
+pub fn append_record(path: &Path, record: &TrajectoryRecord) -> std::io::Result<()> {
+    let mut file = match std::fs::read_to_string(path) {
+        Ok(body) => serde_json::from_str::<TrajectoryFile>(&body)
+            .map_err(|e| std::io::Error::other(format!("parse {}: {e}", path.display())))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => TrajectoryFile::empty(),
+        Err(e) => return Err(e),
+    };
+    if file.schema_version != TRAJECTORY_SCHEMA_VERSION {
+        return Err(std::io::Error::other(format!(
+            "{}: ledger schema v{} != current v{TRAJECTORY_SCHEMA_VERSION}",
+            path.display(),
+            file.schema_version
+        )));
+    }
+    file.records.push(record.clone());
+    let body = serde_json::to_string_pretty(&file).map_err(std::io::Error::other)?;
+    std::fs::write(path, body)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_ts() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn hostname() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            std::process::Command::new("hostname")
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_record(rev: &str) -> TrajectoryRecord {
+        TrajectoryRecord {
+            schema_version: TRAJECTORY_SCHEMA_VERSION,
+            git_rev: rev.to_string(),
+            unix_ts: 1,
+            host: "test".to_string(),
+            mode: "fast".to_string(),
+            probes: vec![ProbeRecord {
+                name: "matmul".to_string(),
+                iters: 1,
+                wall_ns: 1000,
+                alloc_bytes: 64,
+                alloc_count: 1,
+                peak_bytes: 64,
+            }],
+        }
+    }
+
+    #[test]
+    fn append_record_creates_then_extends_ledger() {
+        let path = std::env::temp_dir().join("mri_bench_trajectory_test_ledger.json");
+        let _ = std::fs::remove_file(&path);
+        append_record(&path, &dummy_record("aaa")).unwrap();
+        append_record(&path, &dummy_record("bbb")).unwrap();
+        let file: TrajectoryFile =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(file.schema_version, TRAJECTORY_SCHEMA_VERSION);
+        assert_eq!(file.records.len(), 2);
+        assert_eq!(file.records[0].git_rev, "aaa");
+        assert_eq!(file.records[1].git_rev, "bbb");
+    }
+
+    #[test]
+    fn append_record_rejects_foreign_schema() {
+        let path = std::env::temp_dir().join("mri_bench_trajectory_test_schema.json");
+        std::fs::write(&path, r#"{"schema_version": 999, "records": []}"#).unwrap();
+        let err = append_record(&path, &dummy_record("ccc")).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(err.to_string().contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn probe_suites_cover_the_pinned_names() {
+        let cfg = RunConfig::fast();
+        let (kernels, evals, _profile) = run_trajectory(cfg);
+        let names: Vec<&str> = kernels.probes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["cache_fill", "matmul", "conv2d", "hw_sim"]);
+        let names: Vec<&str> = evals.probes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["train_step", "evaluate_all_4spec"]);
+        for p in kernels.probes.iter().chain(&evals.probes) {
+            assert!(p.wall_ns > 0 && p.wall_ns < u64::MAX, "{p:?}");
+            assert!(p.iters > 0);
+        }
+        assert_eq!(kernels.mode, "fast");
+    }
+}

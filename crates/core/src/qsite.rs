@@ -169,6 +169,7 @@ impl QParamSite {
     /// Fake-quantizes the master weights under `res`, served from the term
     /// cache when valid. Masks are attached only when `mode` is training.
     pub fn quantize(&self, res: Resolution, mode: Mode) -> QuantizedTensor {
+        let _prof = mri_telemetry::prof_scope!("qsite.weights");
         self.cache.quantize(
             &self.weight.value,
             self.weight.version(),
@@ -272,6 +273,7 @@ impl QActSite {
         res: Resolution,
         mode: Mode,
     ) -> (Cow<'a, Tensor>, Option<QuantMasks>) {
+        let _prof = mri_telemetry::prof_scope!("qsite.act");
         let clip = self.clip_value();
         let values = quantize_data_values(x, clip, res, self.qcfg);
         let masks = mode.is_train().then(|| data_masks(x, clip, res, self.qcfg));

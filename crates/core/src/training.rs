@@ -203,22 +203,32 @@ impl MultiResTrainer {
     /// Panics on label/batch mismatches.
     pub fn train_step(&mut self, model: &mut dyn Layer, x: &Tensor, labels: &[usize]) -> StepStats {
         let _step_span = mri_telemetry::span("train.step");
+        let _step_prof = mri_telemetry::prof_scope!("train.step");
         model.visit_params(&mut |p| p.zero_grad());
 
         // Teacher pass (steps 2-3, 6-9 for the teacher path).
         let teacher = self.teacher_spec();
         self.select_bank(self.cfg.specs.len() - 1);
         self.control.set_resolution(teacher.resolution());
-        let t_logits = model.forward(x, Mode::Train);
+        let t_logits = {
+            let _prof = mri_telemetry::prof_scope!("train.forward");
+            model.forward(x, Mode::Train)
+        };
         let (teacher_loss, t_grad) = cross_entropy(&t_logits, labels);
-        model.backward(&t_grad);
+        {
+            let _prof = mri_telemetry::prof_scope!("train.backward");
+            model.backward(&t_grad);
+        }
 
         // Student pass (steps 4-5, 6-9 for the student path). The teacher
         // logits act as constant soft labels.
         let (student_idx, student) = self.draw_student();
         self.select_bank(student_idx);
         self.control.set_resolution(student.resolution());
-        let s_logits = model.forward(x, Mode::Train);
+        let s_logits = {
+            let _prof = mri_telemetry::prof_scope!("train.forward");
+            model.forward(x, Mode::Train)
+        };
         let (student_loss, s_grad) = distillation_loss(
             &s_logits,
             &t_logits,
@@ -226,11 +236,17 @@ impl MultiResTrainer {
             self.cfg.kd_lambda,
             self.cfg.kd_temperature,
         );
-        model.backward(&s_grad);
+        {
+            let _prof = mri_telemetry::prof_scope!("train.backward");
+            model.backward(&s_grad);
+        }
 
         // Step 9: apply the accumulated gradients to the master weights.
         let optim_start = mri_telemetry::maybe_now();
-        self.optimizer.step(|f| model.visit_params(f));
+        {
+            let _prof = mri_telemetry::prof_scope!("train.sgd");
+            self.optimizer.step(|f| model.visit_params(f));
+        }
         self.tele.optim_ns.record_elapsed_ns(optim_start);
 
         self.tele.steps.inc();
@@ -306,6 +322,7 @@ impl MultiResTrainer {
         model: &mut dyn Layer,
         batches: &[(Tensor, Vec<usize>)],
     ) -> Vec<EvalResult> {
+        let _prof = mri_telemetry::prof_scope!("eval.evaluate_all");
         self.cfg
             .specs
             .iter()
@@ -371,6 +388,7 @@ pub fn evaluate_resolution(
     batches: &[(Tensor, Vec<usize>)],
     spec: SubModelSpec,
 ) -> EvalResult {
+    let _prof = mri_telemetry::prof_scope!("eval.resolution");
     control.set_resolution(res);
     let pairs_before = control.term_pairs();
     let mut correct_weighted = 0.0f64;

@@ -222,6 +222,7 @@ impl WeightTermCache {
                     self.hits.inc();
                     #[cfg(not(loom))]
                     global_stats().hits.inc();
+                    let _prof = mri_telemetry::prof_scope!("wcache.serve");
                     return serve(&entry, alpha, want_masks, w, clip);
                 }
             }
@@ -238,12 +239,18 @@ impl WeightTermCache {
         // feature modes), so it cannot ride on `mri_telemetry::maybe_now`.
         #[cfg(not(loom))]
         let start = Instant::now();
-        let entry = Arc::new(fill(w, weight_version, clip_bits, clip, qcfg, row_len));
+        let entry = {
+            let _prof = mri_telemetry::prof_scope!("wcache.fill");
+            Arc::new(fill(w, weight_version, clip_bits, clip, qcfg, row_len))
+        };
         #[cfg(not(loom))]
         global_stats()
             .fill_ns
             .record(start.elapsed().as_nanos() as u64);
-        let out = serve(&entry, alpha, want_masks, w, clip);
+        let out = {
+            let _prof = mri_telemetry::prof_scope!("wcache.serve");
+            serve(&entry, alpha, want_masks, w, clip)
+        };
         *self.entry.write() = Some(entry);
         out
     }

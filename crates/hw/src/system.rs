@@ -413,9 +413,13 @@ impl MmacSystem {
 
     /// Runs a whole network at budgets `(alpha, beta)`.
     pub fn run(&self, net: &NetworkWorkload, alpha: usize, beta: usize) -> SystemReport {
+        #[cfg(feature = "telemetry")]
+        let _prof = mri_telemetry::prof_scope!("hw.run");
         let mut cycles = 0u64;
         let mut mem_bits = 0u64;
         for layer in &net.layers {
+            #[cfg(feature = "telemetry")]
+            let _layer_prof = mri_telemetry::prof_scope!("hw.layer");
             cycles += self.layer_cycles(layer, alpha, beta);
             mem_bits += self.layer_mem_bits(layer, alpha, beta);
         }

@@ -1,0 +1,240 @@
+//! Thread-local heap accounting for the profiler: a [`TrackingAllocator`]
+//! that binaries opt into with `#[global_allocator]`, charging every
+//! allocation to per-thread counters that [`crate::prof`] scopes snapshot
+//! on enter/exit.
+//!
+//! Accounting model and caveats (see DESIGN.md §11):
+//!
+//! * Counters are **per thread**. A scope only sees allocations made on its
+//!   own thread; work fanned out to `mri_sync::thread::scope` workers is
+//!   charged to those workers' (unscoped) counters, not to the parent
+//!   scope. Trajectory probes are therefore sized below the kernels'
+//!   parallel thresholds.
+//! * `peak_live_bytes` tracks the high-water mark of *live heap bytes
+//!   allocated through this allocator on this thread* — not process RSS:
+//!   no allocator slack, no stacks, no other threads.
+//! * The hooks never allocate and use [`std::thread::LocalKey::try_with`],
+//!   so allocations during thread teardown (TLS destructors) are safe —
+//!   they simply go uncounted.
+//!
+//! Without the `telemetry` feature (or under loom) the allocator is a pure
+//! pass-through to [`System`] and every stat reads zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Snapshot of this thread's allocation counters since thread start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Total bytes allocated (monotone).
+    pub alloc_bytes: u64,
+    /// Number of allocations (monotone; a realloc counts as one).
+    pub alloc_count: u64,
+    /// Total bytes freed (monotone).
+    pub free_bytes: u64,
+    /// Currently live heap bytes (`alloc_bytes - free_bytes`, saturating).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`; [`crate::prof`] scopes rewind this
+    /// to measure per-scope peaks (see `begin_peak_window`).
+    pub peak_live_bytes: u64,
+}
+
+#[cfg(all(feature = "telemetry", not(loom)))]
+thread_local! {
+    static STATS: std::cell::Cell<AllocStats> = const {
+        std::cell::Cell::new(AllocStats {
+            alloc_bytes: 0,
+            alloc_count: 0,
+            free_bytes: 0,
+            live_bytes: 0,
+            peak_live_bytes: 0,
+        })
+    };
+}
+
+/// This thread's counters. All-zero when the `telemetry` feature is off, no
+/// [`TrackingAllocator`] is installed, or the thread is tearing down.
+pub fn thread_stats() -> AllocStats {
+    #[cfg(all(feature = "telemetry", not(loom)))]
+    {
+        STATS.try_with(std::cell::Cell::get).unwrap_or_default()
+    }
+    #[cfg(not(all(feature = "telemetry", not(loom))))]
+    {
+        AllocStats::default()
+    }
+}
+
+/// Rewinds the peak-tracking high-water mark to the current live count so a
+/// scope can measure its own peak, returning the previous mark for
+/// [`end_peak_window`] to restore.
+#[cfg(all(feature = "telemetry", not(loom)))]
+pub(crate) fn begin_peak_window() -> u64 {
+    STATS
+        .try_with(|s| {
+            let mut v = s.get();
+            let saved = v.peak_live_bytes;
+            v.peak_live_bytes = v.live_bytes;
+            s.set(v);
+            saved
+        })
+        .unwrap_or_default()
+}
+
+/// Ends a peak window: returns the peak observed since the matching
+/// [`begin_peak_window`] and restores the mark to the larger of the saved
+/// and observed values (so enclosing windows still see the true peak).
+#[cfg(all(feature = "telemetry", not(loom)))]
+pub(crate) fn end_peak_window(saved: u64) -> u64 {
+    STATS
+        .try_with(|s| {
+            let mut v = s.get();
+            let window_peak = v.peak_live_bytes;
+            v.peak_live_bytes = saved.max(window_peak);
+            s.set(v);
+            window_peak
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(all(feature = "telemetry", not(loom)))]
+fn on_alloc(bytes: u64) {
+    // `try_with` + `Cell`: no allocation, no reentrancy, safe during TLS
+    // teardown (where the access simply fails and the event is dropped).
+    let _ = STATS.try_with(|s| {
+        let mut v = s.get();
+        v.alloc_bytes += bytes;
+        v.alloc_count += 1;
+        v.live_bytes += bytes;
+        if v.live_bytes > v.peak_live_bytes {
+            v.peak_live_bytes = v.live_bytes;
+        }
+        s.set(v);
+    });
+}
+
+#[cfg(all(feature = "telemetry", not(loom)))]
+fn on_free(bytes: u64) {
+    let _ = STATS.try_with(|s| {
+        let mut v = s.get();
+        v.free_bytes += bytes;
+        // Cross-thread frees (Arc drops, channel hand-offs) can free more
+        // than this thread allocated; saturate rather than wrap.
+        v.live_bytes = v.live_bytes.saturating_sub(bytes);
+        s.set(v);
+    });
+}
+
+/// A [`System`]-delegating allocator that feeds the per-thread counters.
+///
+/// Install it in a binary (not the library — allocator choice belongs to
+/// the final artifact) with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: mri_telemetry::alloc::TrackingAllocator =
+///     mri_telemetry::alloc::TrackingAllocator::new();
+/// ```
+#[derive(Debug, Default)]
+pub struct TrackingAllocator;
+
+impl TrackingAllocator {
+    /// Const constructor for `static` installation sites.
+    pub const fn new() -> Self {
+        TrackingAllocator
+    }
+}
+
+// SAFETY: every method delegates to `System` with the caller's exact
+// arguments, so the GlobalAlloc contract (layout fidelity, pointer
+// validity) is inherited unchanged; the counter hooks touch only
+// thread-local `Cell`s and never allocate or unwind.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        let p = unsafe { System.alloc(layout) };
+        #[cfg(all(feature = "telemetry", not(loom)))]
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    // SAFETY: see the impl-level comment — pure delegation to `System`.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        let p = unsafe { System.alloc_zeroed(layout) };
+        #[cfg(all(feature = "telemetry", not(loom)))]
+        if !p.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    // SAFETY: see the impl-level comment — pure delegation to `System`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; caller guarantees `ptr` came from
+        // this allocator with this layout.
+        unsafe { System.dealloc(ptr, layout) };
+        #[cfg(all(feature = "telemetry", not(loom)))]
+        on_free(layout.size() as u64);
+    }
+
+    // SAFETY: see the impl-level comment — pure delegation to `System`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded verbatim; caller guarantees `ptr`/`layout`
+        // match a prior allocation and `new_size` is non-zero.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        #[cfg(all(feature = "telemetry", not(loom)))]
+        if !p.is_null() {
+            // Modeled as free(old) + alloc(new); counts as one allocation.
+            on_free(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+#[cfg(all(test, feature = "telemetry", not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_alloc_free_roundtrip_updates_counters() {
+        let a = TrackingAllocator::new();
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        let base = thread_stats();
+        // SAFETY: valid non-zero layout; the pointer is freed below with
+        // the same layout.
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        let mid = thread_stats();
+        assert_eq!(mid.alloc_bytes - base.alloc_bytes, 256);
+        assert_eq!(mid.alloc_count - base.alloc_count, 1);
+        assert_eq!(mid.live_bytes, base.live_bytes + 256);
+        assert!(mid.peak_live_bytes >= mid.live_bytes);
+        // SAFETY: `p` was allocated above with `layout`.
+        unsafe { a.dealloc(p, layout) };
+        let end = thread_stats();
+        assert_eq!(end.free_bytes - base.free_bytes, 256);
+        assert_eq!(end.live_bytes, base.live_bytes);
+    }
+
+    #[test]
+    fn peak_windows_nest_and_restore() {
+        let a = TrackingAllocator::new();
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        let saved = begin_peak_window();
+        assert_eq!(thread_stats().peak_live_bytes, thread_stats().live_bytes);
+        // SAFETY: valid non-zero layout; freed below with the same layout.
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        // SAFETY: `p` was allocated above with `layout`.
+        unsafe { a.dealloc(p, layout) };
+        let base_live = thread_stats().live_bytes;
+        let window_peak = end_peak_window(saved);
+        // The window saw the transient 1 KiB spike even though it is freed.
+        assert!(window_peak >= base_live + 1024);
+        // The restored mark covers both the saved and the in-window peak.
+        assert!(thread_stats().peak_live_bytes >= window_peak.max(saved));
+    }
+}

@@ -3,9 +3,11 @@
 //! Values land in 65 power-of-two buckets: bucket 0 holds the value `0`,
 //! bucket `i` (1..=64) holds `[2^(i-1), 2^i - 1]` (bucket 64's upper bound
 //! saturates at `u64::MAX`). Recording is a handful of relaxed atomic ops,
-//! so histograms are safe to touch from hot paths. Percentile queries return
-//! the *upper bound* of the bucket containing the requested rank, which makes
-//! them monotone in `p` and at most 2x above the true value.
+//! so histograms are safe to touch from hot paths. Percentile queries find
+//! the bucket containing the requested rank and interpolate linearly inside
+//! it (observations assumed uniform within a bucket), clamped to the exact
+//! observed `[min, max]`; the result is monotone in `p` and off by at most
+//! one bucket width.
 
 use mri_sync::atomic::{AtomicU64, Ordering};
 use mri_sync::Arc;
@@ -46,6 +48,14 @@ fn bucket_upper_bound(i: usize) -> u64 {
         0 => 0,
         64 => u64::MAX,
         i => (1u64 << i) - 1,
+    }
+}
+
+/// Smallest value that lands in bucket `i`.
+fn bucket_lower_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        i => 1u64 << (i - 1),
     }
 }
 
@@ -133,11 +143,13 @@ impl Histogram {
         self.inner.max.load(Ordering::Relaxed)
     }
 
-    /// Upper bound of the bucket holding the `p`-th percentile observation
-    /// (`p` in 0..=100; 0 when empty).
+    /// Estimate of the `p`-th percentile observation (`p` in 0..=100; 0 when
+    /// empty): linear interpolation within the bucket holding the requested
+    /// rank, clamped to the exact observed `[min, max]`.
     ///
-    /// Monotone in `p`; concurrent writers make the answer approximate in the
-    /// usual snapshot-free sense.
+    /// Monotone in `p`; a single-sample histogram reports the sample exactly
+    /// at every percentile. Concurrent writers make the answer approximate in
+    /// the usual snapshot-free sense.
     pub fn percentile(&self, p: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -148,9 +160,19 @@ impl Histogram {
         for i in 0..BUCKETS {
             // ordering: snapshot-free scan; the fallback below covers racing
             // writers that leave `count` ahead of the bucket array.
-            seen += self.inner.buckets[i].load(Ordering::Relaxed);
+            let in_bucket = self.inner.buckets[i].load(Ordering::Relaxed);
+            seen += in_bucket;
             if seen >= rank {
-                return bucket_upper_bound(i);
+                // Rank position among this bucket's own observations, assumed
+                // uniformly spread over [lo, hi].
+                let lo = bucket_lower_bound(i);
+                let hi = bucket_upper_bound(i);
+                let pos = (rank - (seen - in_bucket)) as f64 / in_bucket as f64;
+                let est = (lo as f64 + (hi - lo) as f64 * pos) as u64;
+                let (mn, mx) = (self.min(), self.max());
+                // Racing writers can leave min/max momentarily inconsistent
+                // with the bucket array; skip the clamp rather than panic.
+                return if mn <= mx { est.clamp(mn, mx) } else { est };
             }
         }
         // Racing writers may leave `count` ahead of the bucket array; fall
@@ -236,14 +258,15 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_monotone_and_bucket_exact() {
+    fn percentiles_are_monotone_and_interpolated() {
         let h = Histogram::new();
         for v in 1..=1000u64 {
             h.record(v);
         }
-        // Buckets 1..=8 hold values 1..=255; bucket 9 holds 256..=511 so the
-        // cumulative count first reaches rank 500 there.
-        assert_eq!(h.percentile(50.0), 511);
+        // Rank 500 lands in bucket 9 (256..=511) at position 245 of its 256
+        // observations; interpolation recovers the true median instead of the
+        // bucket bound 511.
+        assert_eq!(h.percentile(50.0), 500);
         let ps: Vec<u64> = [0.0, 10.0, 50.0, 90.0, 99.0, 100.0]
             .iter()
             .map(|&p| h.percentile(p))
@@ -256,6 +279,43 @@ mod tests {
         assert_eq!(h.max(), 1000);
         assert_eq!(h.sum(), 500_500);
         assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let h = Histogram::new();
+        h.record(100);
+        // The min/max clamp collapses every percentile of a one-sample
+        // histogram onto the sample itself, not its bucket's bounds (64/127).
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 100, "p{p}");
+        }
+        let s = h.summary();
+        assert_eq!((s.min, s.p50, s.p99, s.max), (100, 100, 100, 100));
+    }
+
+    #[test]
+    fn interpolation_stays_within_bucket_and_range() {
+        let h = Histogram::new();
+        // 10 observations spread over bucket 7 (64..=127).
+        for v in [64u64, 70, 80, 90, 100, 105, 110, 115, 120, 127] {
+            h.record(v);
+        }
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
+            let got = h.percentile(p);
+            assert!((64..=127).contains(&got), "p{p} = {got} escaped bucket 7");
+        }
+        assert_eq!(h.percentile(100.0), 127);
+        assert_eq!(h.percentile(0.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn empty_summary_is_all_zeros() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!((s.min, s.p50, s.p90, s.p99, s.max), (0, 0, 0, 0, 0));
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   readings, [`Registry::events_enabled`] is a compile-time `false`, and
 //!   guarded call sites fold away.
 //!
+//! A third tier, **profiling** — the [`prof`] span-tree profiler plus the
+//! [`alloc`] tracking allocator — attributes wall time and heap traffic to
+//! a hierarchy of [`prof_scope!`] scopes (see DESIGN.md §11). Like tracing
+//! it compiles to nothing without the `telemetry` feature.
+//!
 //! Artifacts land under `results/telemetry/` by convention:
 //! `events.jsonl` (one [`EventRecord`] per line) and `summary.json` /
 //! `summary.txt` (a [`Summary`] snapshot).
@@ -31,17 +36,21 @@
 //! assert!(summary.counters["train.steps"] >= 1);
 //! ```
 
+pub mod alloc;
 mod event;
 mod histogram;
 mod metrics;
+pub mod prof;
 mod registry;
 mod span;
 mod summary;
 
+pub use alloc::{AllocStats, TrackingAllocator};
 pub use event::{Event, EventRecord};
 pub use histogram::{Histogram, HistogramSummary};
 pub use metrics::{Counter, Gauge};
-pub use registry::Registry;
+pub use prof::{Profile, ProfileNode};
+pub use registry::{Registry, SinkGuard};
 pub use span::{current_depth, SpanGuard};
 pub use summary::Summary;
 

@@ -1,0 +1,719 @@
+//! `mri-prof`: a hierarchical span-tree profiler with wall-time and
+//! allocation attribution.
+//!
+//! [`ProfGuard::enter`] (or the [`crate::prof_scope!`] macro) opens a scope
+//! under the innermost scope already open on the calling thread, building a
+//! per-thread call tree keyed by `&'static str` scope names. Closing a
+//! scope (guard drop) charges it with:
+//!
+//! * wall time (`total_ns`, with `self_ns = total - child` derived at
+//!   snapshot time),
+//! * call count,
+//! * allocation deltas from [`crate::alloc`]'s thread counters — bytes and
+//!   counts allocated, bytes freed, and the peak live-byte growth over the
+//!   scope (meaningful only in binaries that install the
+//!   [`crate::alloc::TrackingAllocator`]).
+//!
+//! Threads buffer their trees locally (no shared state on the per-scope
+//! path) and merge into a process-wide tree — guarded by an
+//! [`mri_sync::Mutex`] — when the scope stack unwinds to empty after a
+//! batch of closes, at thread exit (TLS destructor), or on
+//! [`flush_thread`]/[`snapshot`]. [`snapshot`] returns a schema-versioned
+//! [`Profile`] exportable as JSON or collapsed-stack flamegraph text
+//! (`flamegraph.pl` / inferno compatible).
+//!
+//! With the `telemetry` feature off — or under loom, whose models must not
+//! see foreign thread-locals — [`ProfGuard`] is a dropless zero-sized type
+//! and every function is an inert stub, so instrumented call sites fold
+//! away entirely.
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version stamped into every exported [`Profile`]; bump on any breaking
+/// change to the node schema below.
+pub const PROFILE_SCHEMA_VERSION: u32 = 1;
+
+/// Aggregated statistics for one scope in the merged tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    /// Scope name as passed to `prof_scope!`.
+    pub name: String,
+    /// Times the scope was entered.
+    pub calls: u64,
+    /// Wall nanoseconds between enter and drop, summed over calls.
+    pub total_ns: u64,
+    /// `total_ns` minus time attributed to child scopes.
+    pub self_ns: u64,
+    /// Bytes allocated on the scope's thread while it was innermost-or-open.
+    pub alloc_bytes: u64,
+    /// Allocation count over the same window.
+    pub alloc_count: u64,
+    /// Bytes freed over the same window.
+    pub free_bytes: u64,
+    /// Largest single-call growth of live heap bytes above the level at
+    /// scope entry (max over calls, not a sum).
+    pub peak_bytes: u64,
+    /// Child scopes, sorted by descending `total_ns` then name.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Only the noop tier snapshots an empty tree; the active tier always
+    /// builds its root from the merged per-thread trees.
+    #[cfg(not(all(feature = "telemetry", not(loom))))]
+    fn empty_root() -> Self {
+        ProfileNode {
+            name: "root".to_string(),
+            calls: 0,
+            total_ns: 0,
+            self_ns: 0,
+            alloc_bytes: 0,
+            alloc_count: 0,
+            free_bytes: 0,
+            peak_bytes: 0,
+            children: Vec::new(),
+        }
+    }
+}
+
+/// A schema-versioned snapshot of the merged profile tree. The synthetic
+/// `root` node carries no stats of its own; top-level scopes are its
+/// children.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    pub schema_version: u32,
+    pub root: ProfileNode,
+}
+
+impl Profile {
+    /// Collapsed-stack flamegraph text: one `a;b;c self_ns` line per scope
+    /// with nonzero self time, suitable for `flamegraph.pl` or inferno.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for child in &self.root.children {
+            collapse_into(child, "", &mut out);
+        }
+        out
+    }
+
+    /// Writes `{stem}.profile.json` and `{stem}.flame.txt` under `dir`
+    /// (created if needed), returning the two paths.
+    pub fn write_dir(&self, dir: impl AsRef<Path>, stem: &str) -> io::Result<(PathBuf, PathBuf)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{stem}.profile.json"));
+        let flame_path = dir.join(format!("{stem}.flame.txt"));
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        std::fs::write(&json_path, json)?;
+        std::fs::write(&flame_path, self.collapsed())?;
+        Ok((json_path, flame_path))
+    }
+
+    /// Total wall time attributed to top-level scopes.
+    pub fn total_ns(&self) -> u64 {
+        self.root.children.iter().map(|c| c.total_ns).sum()
+    }
+
+    /// Looks up a node by `;`-separated scope path rooted at a top-level
+    /// scope, e.g. `"train.step;train.forward"`.
+    pub fn find(&self, path: &str) -> Option<&ProfileNode> {
+        let mut node = &self.root;
+        for part in path.split(';') {
+            node = node.children.iter().find(|c| c.name == part)?;
+        }
+        Some(node)
+    }
+}
+
+fn collapse_into(node: &ProfileNode, prefix: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    let path = if prefix.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{prefix};{}", node.name)
+    };
+    if node.self_ns > 0 {
+        let _ = writeln!(out, "{path} {}", node.self_ns);
+    }
+    for c in &node.children {
+        collapse_into(c, &path, out);
+    }
+}
+
+/// Opens a profiler scope named by a `&'static str` literal, evaluating to
+/// a guard that closes the scope when dropped. Bind it to a *named* local —
+/// the xtask `span-binding` lint rejects `let _ =`, which would end the
+/// scope on the same line:
+///
+/// ```
+/// let _prof = mri_telemetry::prof_scope!("train.forward");
+/// ```
+#[macro_export]
+macro_rules! prof_scope {
+    ($name:expr) => {
+        $crate::prof::ProfGuard::enter($name)
+    };
+}
+
+#[cfg(all(feature = "telemetry", not(loom)))]
+mod active {
+    use super::{Profile, ProfileNode, PROFILE_SCHEMA_VERSION};
+    use crate::alloc;
+    use mri_sync::atomic::{AtomicBool, Ordering};
+    use mri_sync::Mutex;
+    use std::cell::RefCell;
+    use std::marker::PhantomData;
+    use std::time::Instant;
+
+    /// Close this many scopes (with the stack fully unwound) before pushing
+    /// the thread-local tree into the merged global; batching keeps the
+    /// merge mutex off the per-scope path.
+    const FLUSH_EVERY: u64 = 64;
+
+    const ROOT: usize = 0;
+
+    struct Node {
+        name: &'static str,
+        parent: usize,
+        children: Vec<usize>,
+        calls: u64,
+        total_ns: u64,
+        child_ns: u64,
+        alloc_bytes: u64,
+        alloc_count: u64,
+        free_bytes: u64,
+        peak_bytes: u64,
+    }
+
+    impl Node {
+        fn new(name: &'static str, parent: usize) -> Self {
+            Node {
+                name,
+                parent,
+                children: Vec::new(),
+                calls: 0,
+                total_ns: 0,
+                child_ns: 0,
+                alloc_bytes: 0,
+                alloc_count: 0,
+                free_bytes: 0,
+                peak_bytes: 0,
+            }
+        }
+
+        fn clear(&mut self) {
+            self.calls = 0;
+            self.total_ns = 0;
+            self.child_ns = 0;
+            self.alloc_bytes = 0;
+            self.alloc_count = 0;
+            self.free_bytes = 0;
+            self.peak_bytes = 0;
+        }
+    }
+
+    struct LocalTree {
+        /// Index 0 is the synthetic root; nodes are never removed, so guard
+        /// indices stay valid across flushes and resets.
+        nodes: Vec<Node>,
+        /// Indices of currently-open scopes, innermost last. An explicit
+        /// stack (rather than a cursor) keeps the tree consistent when
+        /// guards drop out of order.
+        open: Vec<usize>,
+        closed_since_flush: u64,
+    }
+
+    impl LocalTree {
+        fn new() -> Self {
+            LocalTree {
+                nodes: vec![Node::new("root", ROOT)],
+                open: Vec::new(),
+                closed_since_flush: 0,
+            }
+        }
+
+        fn current(&self) -> usize {
+            self.open.last().copied().unwrap_or(ROOT)
+        }
+
+        fn child_of_current(&mut self, name: &'static str) -> usize {
+            let parent = self.current();
+            let children = &self.nodes[parent].children;
+            if let Some(&c) = children.iter().find(|&&c| self.nodes[c].name == name) {
+                return c;
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(Node::new(name, parent));
+            self.nodes[parent].children.push(idx);
+            idx
+        }
+
+        fn flush_into_global(&mut self) {
+            if subtree_is_zero(self, ROOT) {
+                return;
+            }
+            let mut merged = profiler().lock();
+            merge_rec(self, ROOT, &mut merged, ROOT);
+            for n in &mut self.nodes {
+                n.clear();
+            }
+            self.closed_since_flush = 0;
+        }
+    }
+
+    impl Drop for LocalTree {
+        fn drop(&mut self) {
+            // Thread exit: push whatever this thread still buffers, so
+            // short-lived workers (e.g. `mri_sync::thread::scope` fills)
+            // contribute to the merged tree without explicit flush calls.
+            self.flush_into_global();
+        }
+    }
+
+    fn subtree_is_zero(tree: &LocalTree, i: usize) -> bool {
+        let n = &tree.nodes[i];
+        n.calls == 0 && n.total_ns == 0 && n.children.iter().all(|&c| subtree_is_zero(tree, c))
+    }
+
+    fn merge_rec(local: &LocalTree, li: usize, merged: &mut MergedTree, mi: usize) {
+        {
+            let ln = &local.nodes[li];
+            let mn = &mut merged.nodes[mi];
+            mn.calls += ln.calls;
+            mn.total_ns += ln.total_ns;
+            mn.child_ns += ln.child_ns;
+            mn.alloc_bytes += ln.alloc_bytes;
+            mn.alloc_count += ln.alloc_count;
+            mn.free_bytes += ln.free_bytes;
+            mn.peak_bytes = mn.peak_bytes.max(ln.peak_bytes);
+        }
+        for ci in 0..local.nodes[li].children.len() {
+            let lc = local.nodes[li].children[ci];
+            if subtree_is_zero(local, lc) {
+                continue;
+            }
+            let mc = merged.child(mi, local.nodes[lc].name);
+            merge_rec(local, lc, merged, mc);
+        }
+    }
+
+    struct MergedNode {
+        name: &'static str,
+        children: Vec<usize>,
+        calls: u64,
+        total_ns: u64,
+        child_ns: u64,
+        alloc_bytes: u64,
+        alloc_count: u64,
+        free_bytes: u64,
+        peak_bytes: u64,
+    }
+
+    struct MergedTree {
+        nodes: Vec<MergedNode>,
+    }
+
+    impl MergedTree {
+        fn new() -> Self {
+            MergedTree {
+                nodes: vec![MergedNode::new("root")],
+            }
+        }
+
+        fn child(&mut self, parent: usize, name: &'static str) -> usize {
+            let children = &self.nodes[parent].children;
+            if let Some(&c) = children.iter().find(|&&c| self.nodes[c].name == name) {
+                return c;
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(MergedNode::new(name));
+            self.nodes[parent].children.push(idx);
+            idx
+        }
+    }
+
+    impl MergedNode {
+        fn new(name: &'static str) -> Self {
+            MergedNode {
+                name,
+                children: Vec::new(),
+                calls: 0,
+                total_ns: 0,
+                child_ns: 0,
+                alloc_bytes: 0,
+                alloc_count: 0,
+                free_bytes: 0,
+                peak_bytes: 0,
+            }
+        }
+    }
+
+    thread_local! {
+        static TREE: RefCell<LocalTree> = RefCell::new(LocalTree::new());
+    }
+
+    // lint: allow(raw-sync) — process-wide singleton: `static` initialisers
+    // must be const, and this module is compiled out under loom (see the
+    // cfg on `mod active`), so loom models never observe it.
+    use std::sync::OnceLock;
+
+    // lint: allow(raw-sync) — see the `use` above.
+    static PROFILER: OnceLock<Mutex<MergedTree>> = OnceLock::new();
+
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    fn profiler() -> &'static Mutex<MergedTree> {
+        PROFILER.get_or_init(|| Mutex::new(MergedTree::new()))
+    }
+
+    /// RAII profiler scope; see the module docs. `!Send` on purpose — a
+    /// scope belongs to the thread that opened it.
+    pub struct ProfGuard {
+        active: Option<ActiveScope>,
+        _not_send: PhantomData<*const ()>,
+    }
+
+    struct ActiveScope {
+        node: usize,
+        start: Instant,
+        base: alloc::AllocStats,
+        saved_peak: u64,
+    }
+
+    impl ProfGuard {
+        /// Opens a scope named `name` under this thread's innermost open
+        /// scope. Prefer the [`crate::prof_scope!`] macro.
+        pub fn enter(name: &'static str) -> Self {
+            // ordering: on/off hint; a guard observing a stale value merely
+            // records (or skips) one extra scope.
+            if !ENABLED.load(Ordering::Relaxed) {
+                return ProfGuard {
+                    active: None,
+                    _not_send: PhantomData,
+                };
+            }
+            let node = TREE.with(|t| {
+                let mut t = t.borrow_mut();
+                let node = t.child_of_current(name);
+                t.nodes[node].calls += 1;
+                t.open.push(node);
+                node
+            });
+            let base = alloc::thread_stats();
+            let saved_peak = alloc::begin_peak_window();
+            ProfGuard {
+                active: Some(ActiveScope {
+                    node,
+                    start: Instant::now(),
+                    base,
+                    saved_peak,
+                }),
+                _not_send: PhantomData,
+            }
+        }
+    }
+
+    impl Drop for ProfGuard {
+        fn drop(&mut self) {
+            let Some(scope) = self.active.take() else {
+                return;
+            };
+            let ns = crate::histogram::saturating_ns(scope.start.elapsed());
+            let now = alloc::thread_stats();
+            let window_peak = alloc::end_peak_window(scope.saved_peak);
+            let _ = TREE.try_with(|t| {
+                let mut t = t.borrow_mut();
+                let n = scope.node;
+                t.nodes[n].total_ns += ns;
+                t.nodes[n].alloc_bytes += now.alloc_bytes.saturating_sub(scope.base.alloc_bytes);
+                t.nodes[n].alloc_count += now.alloc_count.saturating_sub(scope.base.alloc_count);
+                t.nodes[n].free_bytes += now.free_bytes.saturating_sub(scope.base.free_bytes);
+                let growth = window_peak.saturating_sub(scope.base.live_bytes);
+                t.nodes[n].peak_bytes = t.nodes[n].peak_bytes.max(growth);
+                let parent = t.nodes[n].parent;
+                if parent != n {
+                    t.nodes[parent].child_ns += ns;
+                }
+                // Remove *this* scope from the open stack wherever it sits,
+                // so a guard dropped out of order cannot leave the cursor
+                // pointing at an already-closed scope.
+                if let Some(pos) = t.open.iter().rposition(|&o| o == n) {
+                    t.open.remove(pos);
+                }
+                t.closed_since_flush += 1;
+                if t.open.is_empty() && t.closed_since_flush >= FLUSH_EVERY {
+                    t.flush_into_global();
+                }
+            });
+        }
+    }
+
+    /// Enables or disables scope recording process-wide (default: on).
+    /// Guards opened while disabled are inert for their whole lifetime.
+    pub fn set_enabled(on: bool) {
+        // ordering: standalone on/off hint; see `ProfGuard::enter`.
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether scope recording is currently enabled.
+    pub fn is_enabled() -> bool {
+        // ordering: see `set_enabled`.
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Pushes this thread's locally-buffered tree into the merged global.
+    /// Runs automatically at thread exit and at the start of [`snapshot`].
+    pub fn flush_thread() {
+        let _ = TREE.try_with(|t| t.borrow_mut().flush_into_global());
+    }
+
+    /// Snapshot of the merged tree. The calling thread is flushed first;
+    /// other *live* threads contribute what they have already flushed
+    /// (their remainder arrives when their stacks unwind or they exit).
+    pub fn snapshot() -> Profile {
+        flush_thread();
+        let merged = profiler().lock();
+        Profile {
+            schema_version: PROFILE_SCHEMA_VERSION,
+            root: build(&merged, ROOT),
+        }
+    }
+
+    fn build(m: &MergedTree, i: usize) -> ProfileNode {
+        let n = &m.nodes[i];
+        let mut children: Vec<ProfileNode> = n.children.iter().map(|&c| build(m, c)).collect();
+        children.sort_by(|a, b| {
+            b.total_ns
+                .cmp(&a.total_ns)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        ProfileNode {
+            name: n.name.to_string(),
+            calls: n.calls,
+            total_ns: n.total_ns,
+            self_ns: n.total_ns.saturating_sub(n.child_ns),
+            alloc_bytes: n.alloc_bytes,
+            alloc_count: n.alloc_count,
+            free_bytes: n.free_bytes,
+            peak_bytes: n.peak_bytes,
+            children,
+        }
+    }
+
+    /// Clears the merged tree and the calling thread's local buffer.
+    /// Other threads' unflushed buffers still merge when they unwind.
+    pub fn reset() {
+        let _ = TREE.try_with(|t| {
+            let mut t = t.borrow_mut();
+            for n in &mut t.nodes {
+                n.clear();
+            }
+            t.closed_since_flush = 0;
+        });
+        let mut merged = profiler().lock();
+        *merged = MergedTree::new();
+    }
+}
+
+#[cfg(all(feature = "telemetry", not(loom)))]
+pub use active::{flush_thread, is_enabled, reset, set_enabled, snapshot, ProfGuard};
+
+#[cfg(not(all(feature = "telemetry", not(loom))))]
+mod noop {
+    use super::{Profile, ProfileNode, PROFILE_SCHEMA_VERSION};
+
+    /// Dropless zero-sized stand-in: with the `telemetry` feature off (or
+    /// under loom) `prof_scope!` constructs this unit struct, which the
+    /// optimiser erases entirely.
+    pub struct ProfGuard;
+
+    impl ProfGuard {
+        /// Inert; see [`ProfGuard`].
+        #[inline(always)]
+        pub fn enter(_name: &'static str) -> Self {
+            ProfGuard
+        }
+    }
+
+    /// No-op without the `telemetry` feature.
+    #[inline(always)]
+    pub fn set_enabled(_on: bool) {}
+
+    /// Always `false` without the `telemetry` feature.
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    /// No-op without the `telemetry` feature.
+    #[inline(always)]
+    pub fn flush_thread() {}
+
+    /// No-op without the `telemetry` feature.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Always the empty profile without the `telemetry` feature.
+    pub fn snapshot() -> Profile {
+        Profile {
+            schema_version: PROFILE_SCHEMA_VERSION,
+            root: ProfileNode::empty_root(),
+        }
+    }
+}
+
+#[cfg(not(all(feature = "telemetry", not(loom))))]
+pub use noop::{flush_thread, is_enabled, reset, set_enabled, snapshot, ProfGuard};
+
+#[cfg(test)]
+mod tests {
+    #[cfg(all(feature = "telemetry", not(loom)))]
+    mod active {
+        use super::super::*;
+        use std::time::Duration;
+
+        // Serialises the prof tests: they share one process-wide merged
+        // tree, and the harness runs tests on parallel threads.
+        static TEST_LOCK: mri_sync::Mutex<()> = mri_sync::Mutex::new(());
+
+        #[test]
+        fn tree_attributes_self_and_child_time() {
+            let _serial = TEST_LOCK.lock();
+            {
+                let _outer = prof_scope!("t.prof.basic.outer");
+                std::thread::sleep(Duration::from_millis(2));
+                {
+                    let _inner = prof_scope!("t.prof.basic.inner");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+            let p = snapshot();
+            assert_eq!(p.schema_version, PROFILE_SCHEMA_VERSION);
+            let outer = p.find("t.prof.basic.outer").unwrap();
+            let inner = p.find("t.prof.basic.outer;t.prof.basic.inner").unwrap();
+            assert_eq!(outer.calls, 1);
+            assert_eq!(inner.calls, 1);
+            assert!(outer.total_ns >= inner.total_ns);
+            assert!(outer.self_ns >= 2_000_000, "outer self {}", outer.self_ns);
+            assert!(outer.self_ns <= outer.total_ns);
+            assert!(p
+                .collapsed()
+                .contains("t.prof.basic.outer;t.prof.basic.inner"));
+        }
+
+        #[test]
+        fn out_of_order_guard_drop_keeps_the_cursor_sane() {
+            let _serial = TEST_LOCK.lock();
+            let a = ProfGuard::enter("t.prof.ooo.outer");
+            let b = ProfGuard::enter("t.prof.ooo.inner");
+            // Outer guard dropped while the inner is still open.
+            drop(a);
+            drop(b);
+            {
+                let _after = prof_scope!("t.prof.ooo.after");
+            }
+            let p = snapshot();
+            let outer = p.find("t.prof.ooo.outer").unwrap();
+            assert_eq!(outer.calls, 1);
+            assert_eq!(
+                p.find("t.prof.ooo.outer;t.prof.ooo.inner").unwrap().calls,
+                1
+            );
+            // The cursor unwound to the root: the new scope is top-level,
+            // not nested under either closed scope.
+            assert!(p.find("t.prof.ooo.after").is_some());
+            assert!(p.find("t.prof.ooo.outer;t.prof.ooo.after").is_none());
+        }
+
+        #[test]
+        fn worker_threads_merge_at_exit() {
+            let _serial = TEST_LOCK.lock();
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..10 {
+                            let _outer = prof_scope!("t.prof.merge.outer");
+                            let _inner = prof_scope!("t.prof.merge.inner");
+                        }
+                        // TLS destructor flushes on thread exit; guards here
+                        // dropped 40 closes < FLUSH_EVERY per thread, so the
+                        // destructor path is what this test exercises.
+                    });
+                }
+            });
+            let p = snapshot();
+            let outer = p.find("t.prof.merge.outer").unwrap();
+            assert_eq!(outer.calls, 40);
+            assert_eq!(outer.children.len(), 1);
+            assert_eq!(outer.children[0].calls, 40);
+            assert!(outer.total_ns >= outer.children[0].total_ns);
+        }
+
+        #[test]
+        fn disabled_profiler_records_nothing() {
+            let _serial = TEST_LOCK.lock();
+            assert!(is_enabled());
+            set_enabled(false);
+            {
+                let _g = prof_scope!("t.prof.disabled");
+            }
+            set_enabled(true);
+            assert!(snapshot().find("t.prof.disabled").is_none());
+        }
+
+        #[test]
+        fn reset_clears_merged_and_local_state() {
+            let _serial = TEST_LOCK.lock();
+            {
+                let _g = prof_scope!("t.prof.reset.before");
+            }
+            assert!(snapshot().find("t.prof.reset.before").is_some());
+            reset();
+            assert!(snapshot().find("t.prof.reset.before").is_none());
+            {
+                let _g = prof_scope!("t.prof.reset.after");
+            }
+            let p = snapshot();
+            assert!(p.find("t.prof.reset.after").is_some());
+            assert!(p.find("t.prof.reset.before").is_none());
+        }
+
+        #[test]
+        fn write_dir_exports_json_and_flame() {
+            let _serial = TEST_LOCK.lock();
+            {
+                let _g = prof_scope!("t.prof.export");
+            }
+            let p = snapshot();
+            let dir = std::env::temp_dir().join(format!("mri-prof-{}", std::process::id()));
+            let (json_path, flame_path) = p.write_dir(&dir, "t").unwrap();
+            let parsed: Profile =
+                serde_json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+            assert_eq!(parsed.schema_version, PROFILE_SCHEMA_VERSION);
+            assert!(parsed.find("t.prof.export").is_some());
+            assert!(flame_path.exists());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[cfg(not(all(feature = "telemetry", not(loom))))]
+    mod noop {
+        use super::super::*;
+
+        #[test]
+        fn guard_is_zero_sized_and_dropless() {
+            assert_eq!(std::mem::size_of::<ProfGuard>(), 0);
+            assert!(!std::mem::needs_drop::<ProfGuard>());
+            {
+                let _g = prof_scope!("compiled.out");
+            }
+            assert!(!is_enabled());
+            let p = snapshot();
+            assert_eq!(p.schema_version, PROFILE_SCHEMA_VERSION);
+            assert!(p.root.children.is_empty());
+            assert_eq!(p.collapsed(), "");
+        }
+    }
+}

@@ -25,6 +25,27 @@ struct JsonlSink {
     path: PathBuf,
 }
 
+/// RAII flush guard returned by [`Registry::open_jsonl_guarded`].
+///
+/// Dropping the guard flushes the sink's buffered lines to disk — including
+/// during panic unwinding, so a bench or test that dies mid-run still leaves
+/// its emitted events on disk. Dropping does *not* close the sink; call
+/// [`Registry::close_sink`] on the success path for the final
+/// flush-and-close (which also surfaces write errors the guard must
+/// swallow).
+#[must_use = "bind the guard to a named local; dropping it immediately flushes nothing useful"]
+pub struct SinkGuard<'a> {
+    registry: &'a Registry,
+}
+
+impl Drop for SinkGuard<'_> {
+    fn drop(&mut self) {
+        // Errors cannot propagate out of drop (and panicking here would
+        // abort an unwind in progress); `close_sink` reports them instead.
+        let _ = self.registry.flush();
+    }
+}
+
 /// A collection of named counters, gauges and histograms plus an optional
 /// JSONL event sink.
 ///
@@ -175,6 +196,14 @@ impl Registry {
         self.seq.store(0, Ordering::Relaxed);
         self.sink_open.store(true, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Like [`Registry::open_jsonl`], but returns a [`SinkGuard`] that
+    /// flushes the sink when dropped — including during a panic — so
+    /// buffered event lines survive a harness dying mid-run.
+    pub fn open_jsonl_guarded(&self, path: impl AsRef<Path>) -> io::Result<SinkGuard<'_>> {
+        self.open_jsonl(path)?;
+        Ok(SinkGuard { registry: self })
     }
 
     /// Flushes the sink, if open.
@@ -342,6 +371,28 @@ mod tests {
         reg.set_sampling(0);
         assert!(!reg.events_enabled());
         assert!(!reg.emit(Event::new("test", "t")));
+        reg.close_sink().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sink_guard_flushes_buffered_events_on_panic() {
+        let reg = Registry::new();
+        let path = temp_path("panic-guard");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _sink = reg.open_jsonl_guarded(&path).unwrap();
+            assert!(reg.emit(Event::new("test", "before-panic").int("i", 1)));
+            panic!("harness died mid-run");
+        }));
+        assert!(result.is_err());
+        // The guard's drop ran during unwinding and flushed the BufWriter:
+        // the emitted line reached disk even though the sink never closed.
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            body.contains("before-panic"),
+            "buffered line lost: {body:?}"
+        );
         reg.close_sink().unwrap();
         std::fs::remove_file(&path).ok();
     }

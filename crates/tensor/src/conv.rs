@@ -165,6 +165,7 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, cfg: Conv2d
 ///
 /// Panics on rank or channel mismatches.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> (Tensor, Tensor) {
+    let _prof = mri_telemetry::prof_scope!("tensor.conv2d_forward");
     assert_eq!(input.shape().rank(), 4, "conv2d input must be [N, C, H, W]");
     assert_eq!(
         weight.shape().rank(),
@@ -211,6 +212,7 @@ pub fn conv2d_backward(
     input_dims: (usize, usize, usize, usize),
     cfg: Conv2dCfg,
 ) -> (Tensor, Tensor) {
+    let _prof = mri_telemetry::prof_scope!("tensor.conv2d_backward");
     let (n, c, h, w) = input_dims;
     let (o, _, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     let (ho, wo) = cfg.out_size(h, w);
@@ -388,6 +390,7 @@ mod tests {
 ///
 /// Panics on rank or channel mismatches.
 pub fn depthwise_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> Tensor {
+    let _prof = mri_telemetry::prof_scope!("tensor.depthwise_forward");
     assert_eq!(
         input.shape().rank(),
         4,
@@ -452,6 +455,7 @@ pub fn depthwise_backward(
     weight: &Tensor,
     cfg: Conv2dCfg,
 ) -> (Tensor, Tensor) {
+    let _prof = mri_telemetry::prof_scope!("tensor.depthwise_backward");
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (kh, kw) = cfg.kernel;
     let (sh, sw) = cfg.stride;

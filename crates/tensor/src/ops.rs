@@ -26,6 +26,7 @@ const PAR_ROWS_PER_THREAD: usize = 16;
 /// assert_eq!(ops::matmul(&a, &b).data(), &[19.0, 22.0, 43.0, 50.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let _prof = mri_telemetry::prof_scope!("tensor.matmul");
     assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2");
     assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2");
     let (m, k) = (a.dim(0), a.dim(1));
@@ -78,6 +79,7 @@ fn matmul_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usiz
 ///
 /// Panics if either input is not rank 2 or the `k` dimensions disagree.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let _prof = mri_telemetry::prof_scope!("tensor.matmul_bt");
     assert_eq!(a.shape().rank(), 2, "matmul_bt lhs must be rank 2");
     assert_eq!(b.shape().rank(), 2, "matmul_bt rhs must be rank 2");
     let (m, k) = (a.dim(0), a.dim(1));
@@ -106,6 +108,7 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if either input is not rank 2 or the `k` dimensions disagree.
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    let _prof = mri_telemetry::prof_scope!("tensor.matmul_at");
     assert_eq!(a.shape().rank(), 2, "matmul_at lhs must be rank 2");
     assert_eq!(b.shape().rank(), 2, "matmul_at rhs must be rank 2");
     let (k, m) = (a.dim(0), a.dim(1));

@@ -16,5 +16,7 @@ fn main() {
     let x: u32 = unsafe { std::mem::transmute(1i32) };
     // lint: allow(float-eq) — fixture exact comparison.
     let b = 0.5 == f(&q);
+    // lint: allow(span-binding) — fixture unbound guard.
+    mri_telemetry::span("escaped.bare");
     let _ = (c, t, x, b);
 }

@@ -1,0 +1,21 @@
+// Fixture for the span-binding rule: profiler/span guards must be bound
+// to a *named* local. `let _ =` (and a bare statement) drop the guard on
+// the same line, silently closing the scope before the work it covers.
+
+fn good() {
+    let _prof = mri_telemetry::prof_scope!("good.scope");
+    let _span = mri_telemetry::span("good.span");
+}
+
+fn bad_wildcard() {
+    let _ = mri_telemetry::prof_scope!("bad.wildcard");
+}
+
+fn bad_bare_statement() {
+    mri_telemetry::span("bad.bare");
+}
+
+fn bad_wildcard_multiline() {
+    let _ =
+        mri_telemetry::prof_scope!("bad.multiline");
+}

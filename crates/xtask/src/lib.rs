@@ -1,4 +1,5 @@
-//! Workspace maintenance tasks — currently the repo-specific lint pass.
+//! Workspace maintenance tasks: the repo-specific lint pass and the
+//! perf-trajectory regression gate.
 //!
 //! `cargo run -p xtask -- lint` walks every Rust source in the workspace
 //! and enforces the project's concurrency and quantization discipline (see
@@ -6,10 +7,18 @@
 //! rules key on *comments* (`// ordering:` justifications, `// SAFETY:`
 //! invariants, `lint: allow(...)` escapes), which an AST parser would
 //! discard, and a dependency-free lexer keeps offline builds trivial.
+//!
+//! `cargo run -p xtask -- perf-check` compares the newest record in each
+//! `BENCH_*.json` ledger against its predecessor and fails on wall-time or
+//! allocation regressions (see [`perf`] and DESIGN.md §11). The ledgers
+//! are parsed with the built-in [`json`] reader, keeping the crate
+//! dependency-free.
 
 use std::path::{Path, PathBuf};
 
+pub mod json;
 pub mod lexer;
+pub mod perf;
 pub mod rules;
 
 /// One lint violation.

@@ -1,34 +1,106 @@
-//! `cargo run -p xtask -- lint [--root PATH]`
+//! `cargo run -p xtask -- <lint|perf-check> [--root PATH]`
 //!
-//! Exits 0 when the workspace is clean, 1 with one `path:line: [rule]
-//! message` diagnostic per finding otherwise.
+//! `lint` exits 0 when the workspace is clean, 1 with one `path:line:
+//! [rule] message` diagnostic per finding otherwise. `perf-check` (extra
+//! flags: `--wall-tol F`, `--alloc-tol F`) exits 0 when the newest
+//! `BENCH_*.json` records are within tolerance of their predecessors, 1 on
+//! a regression, 2 on unusable ledgers or bad usage.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: cargo run -p xtask -- <lint|perf-check> [--root PATH] [--wall-tol F] [--alloc-tol F]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("perf-check") => perf_check(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root PATH]");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint(args: &[String]) -> ExitCode {
-    let root = match args {
-        [] => {
+/// Workspace root: `--root PATH` if given, else located from the manifest
+/// dir (compiled in-tree). `None` on bad flags.
+fn parse_root(args: &[String]) -> Option<PathBuf> {
+    match args.iter().position(|a| a == "--root") {
+        None => {
             // Compiled in-tree, so the manifest dir locates the workspace.
             let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
             p.pop(); // crates/
             p.pop(); // workspace root
-            p
+            Some(p)
         }
+        Some(i) => args.get(i + 1).map(PathBuf::from),
+    }
+}
+
+fn parse_tol(args: &[String], flag: &str, default: f64) -> Option<f64> {
+    match args.iter().position(|a| a == flag) {
+        None => Some(default),
+        Some(i) => args.get(i + 1).and_then(|v| v.parse().ok()),
+    }
+}
+
+fn perf_check(args: &[String]) -> ExitCode {
+    let known = ["--root", "--wall-tol", "--alloc-tol"];
+    let flags_ok = args.iter().step_by(2).all(|a| known.contains(&a.as_str()));
+    let (Some(root), Some(wall_tol), Some(alloc_tol), true) = (
+        parse_root(args),
+        parse_tol(args, "--wall-tol", xtask::perf::DEFAULT_WALL_TOL),
+        parse_tol(args, "--alloc-tol", xtask::perf::DEFAULT_ALLOC_TOL),
+        flags_ok,
+    ) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let mut failed = false;
+    for ledger in ["BENCH_kernels.json", "BENCH_eval.json"] {
+        let path = root.join(ledger);
+        println!("perf-check: {ledger} (wall ≤ {wall_tol}x, alloc ≤ {alloc_tol}x)");
+        match xtask::perf::check_ledger(&path, wall_tol, alloc_tol) {
+            Err(e) => {
+                eprintln!("xtask perf-check: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(outcome) => {
+                if let Some(reason) = &outcome.skipped {
+                    println!("  skipped: {reason}");
+                    continue;
+                }
+                if let Some((prev, new)) = &outcome.compared {
+                    println!("  comparing {new} against {prev}");
+                }
+                print!("{}", xtask::perf::render_deltas(&outcome.deltas));
+                if !outcome.ok() {
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        println!("xtask perf-check: REGRESSION — see the delta tables above");
+        ExitCode::FAILURE
+    } else {
+        println!("xtask perf-check: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = match args {
+        [] => match parse_root(args) {
+            Some(p) => p,
+            None => return ExitCode::from(2),
+        },
         [flag, path] if flag == "--root" => PathBuf::from(path),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--root PATH]");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };

@@ -1,0 +1,359 @@
+//! `cargo run -p xtask -- perf-check`: the perf-trajectory regression gate.
+//!
+//! Reads a `BENCH_*.json` ledger (written by `mri-bench trajectory`, see
+//! `crates/bench/src/trajectory.rs` and DESIGN.md §11), pairs the newest
+//! record with the most recent *comparable* predecessor — same `host` and
+//! `mode`, so CI runners never race laptops and fast runs never gate full
+//! runs — and fails when any probe regresses outside the tolerance bands:
+//! best-iteration wall time beyond `wall_tol`× the predecessor, or
+//! allocated bytes beyond `alloc_tol`×. A per-probe delta table is printed
+//! either way; a ledger with no comparable predecessor passes with a
+//! notice (the first record on a new host must be appendable).
+
+use crate::json::{self, Value};
+use std::path::Path;
+
+/// Ledger schema this checker understands (mirrors
+/// `mri_bench::trajectory::TRAJECTORY_SCHEMA_VERSION`).
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// Default wall-time regression band: fail beyond 1.5× the predecessor.
+/// Wide on purpose — best-of-N on shared CI hardware still jitters.
+pub const DEFAULT_WALL_TOL: f64 = 1.5;
+
+/// Default allocated-bytes regression band: fail beyond 1.25×. Allocation
+/// counts are near-deterministic, so the band is tighter than wall time.
+pub const DEFAULT_ALLOC_TOL: f64 = 1.25;
+
+/// One probe's new-vs-previous comparison.
+#[derive(Debug, Clone)]
+pub struct ProbeDelta {
+    /// Probe name.
+    pub name: String,
+    /// Predecessor best-iteration wall time, nanoseconds.
+    pub wall_prev_ns: u64,
+    /// Newest best-iteration wall time, nanoseconds.
+    pub wall_new_ns: u64,
+    /// Predecessor allocated bytes (best iteration).
+    pub alloc_prev: u64,
+    /// Newest allocated bytes (best iteration).
+    pub alloc_new: u64,
+    /// `wall_new / wall_prev`; 1.0 when the predecessor reads zero.
+    pub wall_ratio: f64,
+    /// `alloc_new / alloc_prev`; 1.0 when either side reads zero (an
+    /// allocation column is all-zero when the tracking allocator or the
+    /// `telemetry` feature was off for that run — not comparable).
+    pub alloc_ratio: f64,
+    /// Whether this probe breaches a tolerance band.
+    pub regressed: bool,
+}
+
+/// Outcome of checking one ledger file.
+#[derive(Debug, Clone)]
+pub struct LedgerOutcome {
+    /// `(predecessor, newest)` git revisions when a comparison happened.
+    pub compared: Option<(String, String)>,
+    /// Per-probe deltas (empty when the check was skipped).
+    pub deltas: Vec<ProbeDelta>,
+    /// `Some(reason)` when no comparison was possible (single record, or
+    /// no predecessor from the same host+mode); counts as a pass.
+    pub skipped: Option<String>,
+}
+
+impl LedgerOutcome {
+    /// Whether the ledger passes the gate.
+    pub fn ok(&self) -> bool {
+        self.deltas.iter().all(|d| !d.regressed)
+    }
+}
+
+/// One probe row pulled out of a record.
+#[derive(Debug, Clone)]
+struct Probe {
+    name: String,
+    wall_ns: u64,
+    alloc_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Record {
+    git_rev: String,
+    host: String,
+    mode: String,
+    probes: Vec<Probe>,
+}
+
+fn field_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("record is missing string field `{key}`"))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("record is missing integer field `{key}`"))
+}
+
+fn parse_ledger(src: &str, origin: &str) -> Result<Vec<Record>, String> {
+    let doc = json::parse(src).map_err(|e| format!("{origin}: {e}"))?;
+    let schema = field_u64(&doc, "schema_version").map_err(|e| format!("{origin}: {e}"))?;
+    if schema != LEDGER_SCHEMA_VERSION {
+        return Err(format!(
+            "{origin}: ledger schema v{schema} != supported v{LEDGER_SCHEMA_VERSION}"
+        ));
+    }
+    let records = doc
+        .get("records")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{origin}: missing `records` array"))?;
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let origin = format!("{origin}: records[{i}]");
+            let probes = r
+                .get("probes")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{origin}: missing `probes` array"))?
+                .iter()
+                .map(|p| {
+                    Ok(Probe {
+                        name: field_str(p, "name")?,
+                        wall_ns: field_u64(p, "wall_ns")?,
+                        alloc_bytes: field_u64(p, "alloc_bytes")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()
+                .map_err(|e: String| format!("{origin}: {e}"))?;
+            Ok(Record {
+                git_rev: field_str(r, "git_rev").map_err(|e| format!("{origin}: {e}"))?,
+                host: field_str(r, "host").map_err(|e| format!("{origin}: {e}"))?,
+                mode: field_str(r, "mode").map_err(|e| format!("{origin}: {e}"))?,
+                probes,
+            })
+        })
+        .collect()
+}
+
+/// Checks one ledger's newest record against its most recent same-host,
+/// same-mode predecessor. `Err` means the ledger itself is unusable
+/// (unreadable, unparsable, or empty) — distinct from a failing gate.
+pub fn check_ledger_str(
+    src: &str,
+    origin: &str,
+    wall_tol: f64,
+    alloc_tol: f64,
+) -> Result<LedgerOutcome, String> {
+    let records = parse_ledger(src, origin)?;
+    let newest = records
+        .last()
+        .ok_or_else(|| format!("{origin}: ledger has no records"))?;
+    let prev = records[..records.len() - 1]
+        .iter()
+        .rev()
+        .find(|r| r.host == newest.host && r.mode == newest.mode);
+    let Some(prev) = prev else {
+        return Ok(LedgerOutcome {
+            compared: None,
+            deltas: Vec::new(),
+            skipped: Some(format!(
+                "no earlier record from host `{}` in `{}` mode — nothing to compare",
+                newest.host, newest.mode
+            )),
+        });
+    };
+
+    let mut deltas = Vec::new();
+    for probe in &newest.probes {
+        let Some(old) = prev.probes.iter().find(|p| p.name == probe.name) else {
+            continue; // new probe: no baseline yet
+        };
+        let wall_ratio = if old.wall_ns == 0 {
+            1.0
+        } else {
+            probe.wall_ns as f64 / old.wall_ns as f64
+        };
+        let alloc_ratio = if old.alloc_bytes == 0 || probe.alloc_bytes == 0 {
+            1.0
+        } else {
+            probe.alloc_bytes as f64 / old.alloc_bytes as f64
+        };
+        deltas.push(ProbeDelta {
+            name: probe.name.clone(),
+            wall_prev_ns: old.wall_ns,
+            wall_new_ns: probe.wall_ns,
+            alloc_prev: old.alloc_bytes,
+            alloc_new: probe.alloc_bytes,
+            wall_ratio,
+            alloc_ratio,
+            regressed: wall_ratio > wall_tol || alloc_ratio > alloc_tol,
+        });
+    }
+    Ok(LedgerOutcome {
+        compared: Some((prev.git_rev.clone(), newest.git_rev.clone())),
+        deltas,
+        skipped: None,
+    })
+}
+
+/// File-reading wrapper around [`check_ledger_str`].
+pub fn check_ledger(path: &Path, wall_tol: f64, alloc_tol: f64) -> Result<LedgerOutcome, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e} (run `mri-bench trajectory` first)", path.display()))?;
+    check_ledger_str(&src, &path.display().to_string(), wall_tol, alloc_tol)
+}
+
+/// Renders the per-probe delta table (always printed, pass or fail).
+pub fn render_deltas(deltas: &[ProbeDelta]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<20} {:>12} {:>12} {:>7}  {:>12} {:>12} {:>7}  {}\n",
+        "probe", "wall prev", "wall new", "ratio", "alloc prev", "alloc new", "ratio", "verdict"
+    ));
+    for d in deltas {
+        out.push_str(&format!(
+            "  {:<20} {:>10}ns {:>10}ns {:>6.2}x  {:>11}B {:>11}B {:>6.2}x  {}\n",
+            d.name,
+            d.wall_prev_ns,
+            d.wall_new_ns,
+            d.wall_ratio,
+            d.alloc_prev,
+            d.alloc_new,
+            d.alloc_ratio,
+            if d.regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(records: &[(&str, &str, &str, u64, u64)]) -> String {
+        // (git_rev, host, mode, matmul_wall, matmul_alloc)
+        let recs: Vec<String> = records
+            .iter()
+            .map(|(rev, host, mode, wall, alloc)| {
+                format!(
+                    r#"{{"schema_version": 1, "git_rev": "{rev}", "unix_ts": 0,
+                        "host": "{host}", "mode": "{mode}",
+                        "probes": [{{"name": "matmul", "iters": 8, "wall_ns": {wall},
+                                     "alloc_bytes": {alloc}, "alloc_count": 4,
+                                     "peak_bytes": 0}}]}}"#
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"schema_version": 1, "records": [{}]}}"#,
+            recs.join(",")
+        )
+    }
+
+    #[test]
+    fn single_record_passes_with_notice() {
+        let src = ledger(&[("aaa", "ci", "fast", 1000, 64)]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(out.ok());
+        assert!(out.skipped.is_some());
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let src = ledger(&[
+            ("aaa", "ci", "fast", 1000, 64),
+            ("bbb", "ci", "fast", 1000, 64),
+        ]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(out.skipped.is_none());
+        assert!(out.ok(), "{:?}", out.deltas);
+        assert_eq!(out.deltas.len(), 1);
+    }
+
+    #[test]
+    fn degraded_wall_time_fails() {
+        let src = ledger(&[
+            ("aaa", "ci", "fast", 1000, 64),
+            ("bbb", "ci", "fast", 1501, 64),
+        ]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(!out.ok());
+        assert!(out.deltas[0].regressed);
+        assert!(render_deltas(&out.deltas).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn degraded_allocations_fail() {
+        let src = ledger(&[
+            ("aaa", "ci", "fast", 1000, 1000),
+            ("bbb", "ci", "fast", 1000, 1300),
+        ]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(!out.ok());
+    }
+
+    #[test]
+    fn improvement_and_jitter_inside_the_band_pass() {
+        let src = ledger(&[
+            ("aaa", "ci", "fast", 1000, 100),
+            ("bbb", "ci", "fast", 1400, 90),
+        ]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(out.ok(), "{:?}", out.deltas);
+    }
+
+    #[test]
+    fn foreign_host_or_mode_is_skipped() {
+        let src = ledger(&[
+            ("aaa", "laptop", "fast", 10, 64),
+            ("bbb", "ci", "fast", 99999, 64),
+        ]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(out.ok());
+        assert!(out.skipped.is_some());
+
+        let src = ledger(&[
+            ("aaa", "ci", "full", 10, 64),
+            ("bbb", "ci", "fast", 99999, 64),
+        ]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(out.skipped.is_some());
+    }
+
+    #[test]
+    fn comparison_reaches_past_foreign_records() {
+        let src = ledger(&[
+            ("aaa", "ci", "fast", 1000, 64),
+            ("mid", "laptop", "fast", 1, 1),
+            ("bbb", "ci", "fast", 1600, 64),
+        ]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(out.skipped.is_none());
+        assert!(!out.ok(), "regression vs the same-host record two back");
+    }
+
+    #[test]
+    fn zero_alloc_columns_are_not_compared() {
+        // Tracking allocator off in the old run: alloc 0 → only wall gates.
+        let src = ledger(&[
+            ("aaa", "ci", "fast", 1000, 0),
+            ("bbb", "ci", "fast", 1000, 777),
+        ]);
+        let out = check_ledger_str(&src, "test", 1.5, 1.25).unwrap();
+        assert!(out.ok(), "{:?}", out.deltas);
+    }
+
+    #[test]
+    fn unusable_ledgers_are_hard_errors() {
+        assert!(check_ledger_str("", "t", 1.5, 1.25).is_err());
+        assert!(check_ledger_str("{}", "t", 1.5, 1.25).is_err());
+        assert!(
+            check_ledger_str(r#"{"schema_version": 2, "records": []}"#, "t", 1.5, 1.25).is_err()
+        );
+        assert!(
+            check_ledger_str(r#"{"schema_version": 1, "records": []}"#, "t", 1.5, 1.25).is_err()
+        );
+    }
+}

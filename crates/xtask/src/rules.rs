@@ -1,4 +1,4 @@
-//! The six repo-specific lint rules.
+//! The seven repo-specific lint rules.
 //!
 //! Every rule works on the lexed `{code, comment}` line pairs from
 //! [`crate::lexer`], so string literals can never trip a rule and comments
@@ -20,6 +20,8 @@
 //! | `qsite-bypass`    | no direct `fake_quantize_*` calls outside `mri-core`:    |
 //! |                   | production code goes through `QParamSite`/`QActSite`      |
 //! | `safety-comment`  | every `unsafe` carries a `SAFETY:` comment               |
+//! | `span-binding`    | every `prof_scope!`/`span(` guard is bound to a *named*  |
+//! |                   | local (`let _ =` / bare statements drop it immediately)   |
 
 use crate::lexer::Line;
 use crate::Finding;
@@ -50,6 +52,7 @@ pub fn check_lines(rel: &str, lines: &[Line]) -> Vec<Finding> {
     float_eq(rel, lines, &mut findings);
     qsite_bypass(rel, lines, &mut findings);
     safety_comment(rel, lines, &mut findings);
+    span_binding(rel, lines, &mut findings);
     findings.retain(|f| !is_escaped(lines, f.line - 1, f.rule));
     findings.sort_by_key(|f| f.line);
     findings
@@ -298,6 +301,98 @@ fn has_word(code: &str, word: &str) -> bool {
     false
 }
 
+// ------------------------------------------------------------ span-binding
+
+/// Guard-producing call sites: the profiler scope macro and the telemetry
+/// span openers (path form `::span(` and method form `.span(`). String
+/// literal contents are blanked by the lexer, so scope *names* can never
+/// match these.
+const GUARD_PATTERNS: &[&str] = &["prof_scope!(", "::span(", ".span("];
+
+fn span_binding(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    // The telemetry crate defines the guards (and its tests exercise raw
+    // enter/drop behaviour on purpose).
+    if in_dir(rel, "crates/telemetry/src/") {
+        return;
+    }
+    for (i, line) in lines.iter().enumerate() {
+        if !GUARD_PATTERNS.iter().any(|p| line.code.contains(p)) {
+            continue;
+        }
+        let stmt = lines[statement_start(lines, i)].code.trim_start();
+        // Imports and item definitions are not call sites.
+        if stmt.starts_with("use ") || stmt.starts_with("pub use ") || has_word(stmt, "fn") {
+            continue;
+        }
+        let binding = stmt.strip_prefix("let ").map(|rest| {
+            rest.split(['=', ':'])
+                .next()
+                .unwrap_or("")
+                .trim()
+                .trim_start_matches("mut ")
+                .trim()
+                .to_string()
+        });
+        match binding.as_deref() {
+            Some("_") => out.push(Finding::new(
+                rel,
+                i + 1,
+                "span-binding",
+                "scope guard bound to `let _` is dropped on this line; bind it to a named local (`let _scope = ...`)".to_string(),
+            )),
+            Some(_) => {}
+            // A guard-producing call without `let` only *drops* the guard
+            // when the statement ends in `;` — a tail expression returns it.
+            None if statement_ends_with_semi(lines, i) => out.push(Finding::new(
+                rel,
+                i + 1,
+                "span-binding",
+                "scope guard in a bare statement is dropped at the `;`; bind it to a named local (`let _scope = ...`)".to_string(),
+            )),
+            None => {}
+        }
+    }
+}
+
+/// Whether the statement containing line `idx` terminates in `;` (walking
+/// downward through continuation lines).
+fn statement_ends_with_semi(lines: &[Line], idx: usize) -> bool {
+    let mut i = idx;
+    loop {
+        let code = lines[i].code.trim();
+        if code.ends_with(';') {
+            return true;
+        }
+        if code.is_empty() || code.ends_with('{') || code.ends_with('}') {
+            return false;
+        }
+        i += 1;
+        if i >= lines.len() {
+            return false;
+        }
+    }
+}
+
+/// First line (0-based) of the statement containing line `idx`: walks
+/// upward while the previous line leaves a statement open (no terminating
+/// `;`/`{`/`}`, no attribute `]`, not blank).
+fn statement_start(lines: &[Line], idx: usize) -> usize {
+    let mut i = idx;
+    while i > 0 {
+        let prev = lines[i - 1].code.trim();
+        if prev.is_empty()
+            || prev.ends_with(';')
+            || prev.ends_with('{')
+            || prev.ends_with('}')
+            || prev.ends_with(']')
+        {
+            break;
+        }
+        i -= 1;
+    }
+    i
+}
+
 // ------------------------------------------------------- shared machinery
 
 /// Comments attached to line `idx` (0-based): its own comment, plus the
@@ -417,6 +512,48 @@ d.load(Ordering::Relaxed);
 let t = std::time::Instant::now();
 ";
         assert!(check_lines("crates/nn/src/x.rs", &split_lines(src)).is_empty());
+    }
+
+    #[test]
+    fn span_binding_accepts_named_and_rejects_wildcard_and_bare() {
+        let src = "\
+fn f() {
+    let _prof = mri_telemetry::prof_scope!(\"a\");
+    let _ = mri_telemetry::prof_scope!(\"b\");
+    mri_telemetry::span(\"c\");
+    let guard = reg.span(\"d\");
+}
+";
+        let f = check_lines("crates/nn/src/x.rs", &split_lines(src));
+        let got: Vec<usize> = f
+            .iter()
+            .filter(|f| f.rule == "span-binding")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(got, [3, 4], "{f:?}");
+    }
+
+    #[test]
+    fn span_binding_walks_multiline_statements_and_skips_items() {
+        let src = "\
+use mri_telemetry::prof_scope;
+fn f() {
+    let _ =
+        mri_telemetry::prof_scope!(\"a\");
+}
+pub fn span(name: &str) -> SpanGuard<'static> {
+    global().span(name)
+}
+";
+        let f = check_lines("crates/nn/src/x.rs", &split_lines(src));
+        let got: Vec<usize> = f
+            .iter()
+            .filter(|f| f.rule == "span-binding")
+            .map(|f| f.line)
+            .collect();
+        // Line 4 fires (wildcard binding on line 3); the `use` and the fn
+        // body forwarding call are exempt.
+        assert_eq!(got, [4], "{f:?}");
     }
 
     #[test]

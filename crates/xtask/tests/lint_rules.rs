@@ -88,6 +88,21 @@ fn safety_comment_fixture_fires_on_undocumented_block_only() {
 }
 
 #[test]
+fn span_binding_fixture_fires_on_unbound_guards_only() {
+    expect(
+        "span_binding.rs",
+        "crates/nn/src/fx.rs",
+        &[
+            ("span-binding", 11),
+            ("span-binding", 15),
+            ("span-binding", 20),
+        ],
+    );
+    // The telemetry crate defines the guards and is exempt.
+    expect("span_binding.rs", "crates/telemetry/src/fx.rs", &[]);
+}
+
+#[test]
 fn escaped_fixture_is_silent_under_every_rule_scope() {
     // quant/src puts all six rules in scope at once.
     expect("escaped.rs", "crates/quant/src/fx.rs", &[]);

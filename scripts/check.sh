@@ -30,6 +30,9 @@ cargo fmt --all -- --check
 echo "== xtask lint (repo-specific rules: see crates/xtask/src/rules.rs)"
 cargo run -q -p xtask "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- lint
 
+echo "== xtask perf-check (BENCH_*.json perf-trajectory gates)"
+cargo run -q -p xtask "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- perf-check
+
 echo "== cargo clippy (default features)"
 cargo clippy --workspace --all-targets "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- -D warnings
 
@@ -41,6 +44,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps "${CARGO_FLAGS[@]+"${
 
 echo "== cargo test"
 cargo test --workspace -q "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
+
+echo "== cargo test (mri-telemetry, --no-default-features: noop tier)"
+cargo test -q -p mri-telemetry --no-default-features "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}"
 
 # Loom model checks: exhaustive interleaving exploration of the concurrency
 # primitives and their call sites (see DESIGN.md §10). `loom` is a
