@@ -37,7 +37,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|qsite|verify|summary|all> [--fast] [--seed N]");
+        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|qsite|packed|verify|summary|all> [--fast] [--seed N]");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -109,6 +109,9 @@ fn main() {
     }
     if want("qsite") {
         run_qsite(cfg);
+    }
+    if want("packed") {
+        run_packed(cfg);
     }
     if want("summary") {
         let claims = mri_bench::summary::check_claims(std::path::Path::new("results"));
@@ -256,6 +259,38 @@ fn run_qsite(cfg: RunConfig) {
         &table,
     );
     write_json("qsite", &rows);
+}
+
+fn run_packed(cfg: RunConfig) {
+    let rows = mri_bench::packed_exp::packed_eval_speedup(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.specs.to_string(),
+                r.forwards.to_string(),
+                format!("{:.3}s", r.eval_wall_s),
+                format!("{:.2}ms", r.per_eval_ms),
+                r.weights_built.to_string(),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Packed serving: shift-add kernels on the term store vs dequantize + dense",
+        &[
+            "mode",
+            "specs",
+            "forwards",
+            "wall",
+            "per eval_all",
+            "weights built",
+            "speedup",
+        ],
+        &table,
+    );
+    write_json("packed", &rows);
 }
 
 fn run_ablation_strategy(cfg: RunConfig) {

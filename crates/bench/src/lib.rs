@@ -26,6 +26,7 @@
 //! | `telemetry` | tracing/metrics overhead on the trainer | [`telemetry_exp`] |
 //! | `cache` | weight-term cache A/B (encode once, truncate per α) | [`cache_exp`] |
 //! | `qsite` | mask-free eval path vs train-mode forwards | [`qsite_exp`] |
+//! | `packed` | packed shift-add serving vs dequantize + dense eval | [`packed_exp`] |
 //!
 //! The `mri-bench` binary additionally runs the perf-trajectory probe
 //! suite ([`trajectory`]): `mri-bench trajectory --fast` appends one
@@ -37,6 +38,7 @@
 pub mod ablation;
 pub mod cache_exp;
 pub mod hw_exp;
+pub mod packed_exp;
 pub mod qsite_exp;
 pub mod quant_exp;
 pub mod report;

@@ -1,0 +1,190 @@
+//! Packed serving benchmark: multi-spec evaluation with the zero-copy
+//! packed read path enabled vs the dequantize + dense fallback.
+//!
+//! Both modes share the same per-layer [`WeightTermCache`] (one encode per
+//! weight version); the A/B isolates the *read* path. Packed mode serves
+//! every sub-model straight from the nibble store with shift-add kernels —
+//! the `weights built` column (from
+//! [`mri_core::weight_tensors_built_on_this_thread`]) must read zero —
+//! while the fallback dequantizes one f32 weight tensor per layer forward.
+
+use crate::RunConfig;
+use mri_core::{
+    weight_tensors_built_on_this_thread, MultiResTrainer, QConv2d, QLinear, QuantConfig,
+    ResolutionControl, SubModelSpec, TrainerConfig, WeightTermCache,
+};
+use mri_nn::{Flatten, Layer, Mode, Param, Relu};
+use mri_tensor::conv::Conv2dCfg;
+use mri_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One A/B row of the packed-serving benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct PackedRow {
+    /// `"packed"` or `"dequantize"`.
+    pub mode: String,
+    /// Sub-model specs evaluated per `evaluate_all`.
+    pub specs: usize,
+    /// Total eval forwards timed (repeats × specs × batches).
+    pub forwards: usize,
+    /// Wall-clock of the timed evaluation loop, seconds.
+    pub eval_wall_s: f64,
+    /// Wall-clock per `evaluate_all`, milliseconds.
+    pub per_eval_ms: f64,
+    /// f32 weight tensors materialized during the timed loop (0 = the
+    /// packed zero-copy contract held).
+    pub weights_built: u64,
+    /// `evaluate_all` speedup vs the dequantize row (1.0 for that row).
+    pub speedup: f64,
+}
+
+/// A conv → relu → flatten → linear classifier with direct handles on both
+/// quantized layers' weight caches (exercises the packed GEMM on the
+/// im2col path and the packed linear matmul).
+struct PackedNet {
+    conv: QConv2d,
+    relu: Relu,
+    flat: Flatten,
+    lin: QLinear,
+}
+
+impl PackedNet {
+    fn new<R: rand::Rng + ?Sized>(
+        rng: &mut R,
+        cin: usize,
+        cout: usize,
+        side: usize,
+        classes: usize,
+        control: &Arc<ResolutionControl>,
+    ) -> Self {
+        let qcfg = QuantConfig::paper_cnn();
+        PackedNet {
+            conv: QConv2d::new(
+                rng,
+                cin,
+                cout,
+                Conv2dCfg::same(3),
+                qcfg,
+                Arc::clone(control),
+            ),
+            relu: Relu::new(),
+            flat: Flatten::new(),
+            lin: QLinear::new(rng, cout * side * side, classes, qcfg, Arc::clone(control)),
+        }
+    }
+
+    fn caches(&self) -> [&WeightTermCache; 2] {
+        [self.conv.weight_cache(), self.lin.weight_cache()]
+    }
+
+    fn set_packed_eval(&self, packed: bool) {
+        for c in self.caches() {
+            c.set_packed_eval(packed);
+        }
+    }
+}
+
+impl Layer for PackedNet {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let h = self.relu.forward(&self.conv.forward(x, mode), mode);
+        self.lin.forward(&self.flat.forward(&h, mode), mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.flat.backward(&self.lin.backward(grad_out));
+        self.conv.backward(&self.relu.backward(&g))
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.conv.visit_params(visitor);
+        self.lin.visit_params(visitor);
+    }
+
+    fn describe(&self) -> String {
+        "packed-bench-convnet".to_string()
+    }
+}
+
+/// Runs the A/B: identical nets, data and spec grids; only the caches'
+/// packed-eval flag differs. Returns `[dequantize, packed]`.
+pub fn packed_eval_speedup(cfg: RunConfig) -> Vec<PackedRow> {
+    let (cin, cout, side, batch, classes, repeats, eval_batches) = if cfg.fast {
+        (3, 8, 10, 8, 4, 3, 2)
+    } else {
+        (3, 16, 14, 16, 10, 10, 4)
+    };
+    let specs = vec![
+        SubModelSpec::new(4, 1),
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(12, 2),
+        SubModelSpec::new(16, 3),
+    ];
+
+    let mut rows: Vec<PackedRow> = Vec::new();
+    for packed in [false, true] {
+        let control = Arc::new(ResolutionControl::default());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut net = PackedNet::new(&mut rng, cin, cout, side, classes, &control);
+        net.set_packed_eval(packed);
+        let trainer = MultiResTrainer::new(TrainerConfig::new(specs.clone()), Arc::clone(&control));
+
+        let labels: Vec<usize> = (0..batch).map(|i| i % classes).collect();
+        let eval_data: Vec<(Tensor, Vec<usize>)> = (0..eval_batches)
+            .map(|_| {
+                (
+                    init::uniform(&mut rng, &[batch, cin, side, side], 0.0, 1.0),
+                    labels.clone(),
+                )
+            })
+            .collect();
+
+        // Warm the term caches so the timed loop measures the read path,
+        // not the one-off encode.
+        trainer.evaluate_all(&mut net, &eval_data[..1]);
+
+        let built0 = weight_tensors_built_on_this_thread();
+        let t0 = Instant::now();
+        for _ in 0..repeats {
+            trainer.evaluate_all(&mut net, &eval_data);
+        }
+        let eval_wall_s = t0.elapsed().as_secs_f64();
+        let weights_built = weight_tensors_built_on_this_thread() - built0;
+
+        rows.push(PackedRow {
+            mode: if packed { "packed" } else { "dequantize" }.to_string(),
+            specs: specs.len(),
+            forwards: repeats * specs.len() * eval_batches,
+            eval_wall_s,
+            per_eval_ms: eval_wall_s * 1e3 / repeats as f64,
+            weights_built,
+            speedup: 1.0,
+        });
+    }
+    rows[1].speedup = rows[0].per_eval_ms / rows[1].per_eval_ms;
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_mode_materializes_zero_weight_tensors() {
+        let rows = packed_eval_speedup(RunConfig {
+            fast: true,
+            seed: 0,
+        });
+        assert_eq!(rows.len(), 2);
+        let dequantize = &rows[0];
+        let packed = &rows[1];
+        assert_eq!(packed.weights_built, 0, "the zero-copy serving contract");
+        // The fallback dequantizes one tensor per quantized layer per forward.
+        assert_eq!(dequantize.weights_built, 2 * dequantize.forwards as u64);
+        assert_eq!(packed.forwards, dequantize.forwards);
+        assert!(packed.speedup > 0.0);
+    }
+}

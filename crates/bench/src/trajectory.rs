@@ -17,6 +17,8 @@ use mri_core::{
 };
 use mri_hw::{MmacSystem, NetworkWorkload, SystemConfig};
 use mri_nn::{Layer, Mode, Param, Relu};
+use mri_quant::packed::matmul_bt_packed;
+use mri_quant::{PackedTermStore, SdrEncoding};
 use mri_tensor::{init, ops, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -181,12 +183,13 @@ impl Layer for ProbeNet {
 }
 
 /// The kernel-level probe suite (→ `BENCH_kernels.json`): weight-term cache
-/// fill, dense matmul, conv2d forward+backward, and a full mMAC system run.
+/// fill, dense matmul, conv2d forward+backward, a full mMAC system run, and
+/// the packed shift-add serving kernels (row dot and eval matmul).
 pub fn kernel_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
-    let (fill_iters, mm_iters, conv_iters, hw_iters) = if cfg.fast {
-        (8, 24, 8, 8)
+    let (fill_iters, mm_iters, conv_iters, hw_iters, pd_iters, pm_iters) = if cfg.fast {
+        (8, 24, 8, 8, 32, 16)
     } else {
-        (32, 96, 32, 32)
+        (32, 96, 32, 32, 128, 64)
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut probes = Vec::new();
@@ -232,6 +235,32 @@ pub fn kernel_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
     probes.push(run_probe("hw_sim", hw_iters, || {
         let report = sys.run(&net, 12, 2);
         std::hint::black_box(&report);
+    }));
+
+    // Packed shift-add kernels — the zero-copy eval serving path. 32 rows of
+    // 64 weights (2 Ki values): well below any parallel threshold; the
+    // stores are built once so the probe times only the nibble-walk kernels.
+    let rows: Vec<PackedTermStore> = (0..32)
+        .map(|r| {
+            let ints: Vec<i64> = (0..64)
+                .map(|i| (((r * 64 + i) * 37) % 255) as i64 - 127)
+                .collect();
+            PackedTermStore::encode(&ints, 16, usize::MAX, SdrEncoding::Naf)
+                .expect("i8-range integers fit the packed format")
+        })
+        .collect();
+    let xd = init::uniform(&mut rng, &[24, 64], -1.0, 1.0);
+    probes.push(run_probe("packed_dot", pd_iters, || {
+        let mut acc = 0.0f32;
+        for row in &rows {
+            acc += row.dot_scaled(12, 0.031_25, &xd.data()[..64]);
+        }
+        std::hint::black_box(acc);
+    }));
+    probes.push(run_probe("packed_matmul_eval", pm_iters, || {
+        let mut out = vec![0.0f32; 24 * 32];
+        matmul_bt_packed(xd.data(), 24, 64, &rows, 12, 0.031_25, &mut out);
+        std::hint::black_box(&out);
     }));
 
     probes
@@ -399,7 +428,17 @@ mod tests {
         let cfg = RunConfig::fast();
         let (kernels, evals, _profile) = run_trajectory(cfg);
         let names: Vec<&str> = kernels.probes.iter().map(|p| p.name.as_str()).collect();
-        assert_eq!(names, ["cache_fill", "matmul", "conv2d", "hw_sim"]);
+        assert_eq!(
+            names,
+            [
+                "cache_fill",
+                "matmul",
+                "conv2d",
+                "hw_sim",
+                "packed_dot",
+                "packed_matmul_eval"
+            ]
+        );
         let names: Vec<&str> = evals.probes.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(names, ["train_step", "evaluate_all_4spec"]);
         for p in kernels.probes.iter().chain(&evals.probes) {

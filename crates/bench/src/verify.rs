@@ -155,7 +155,7 @@ pub fn verify_storage(seed: u64, trials: usize) -> VerifyReport {
         let group = MultiResGroup::from_values(&vals, max_budget, SdrEncoding::Naf);
         match MultiResStorage::store(&group, &budgets, 16) {
             Err(e) => rep.fail(format!("trial {t}: store failed: {e}")),
-            Ok(mut st) => {
+            Ok(st) => {
                 for &b in &budgets {
                     if st.values_at(b) != group.values_at(b) {
                         rep.fail(format!("trial {t}: budget {b} mismatch"));

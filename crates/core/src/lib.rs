@@ -22,7 +22,11 @@
 //!   straight-through backward (Algorithm 1 steps 1–7);
 //! * [`WeightTermCache`] — the reusable weight-term cache behind those
 //!   layers: the canonical term sequence is encoded once per optimizer step
-//!   and every sub-model resolution is served by prefix truncation (§4.1);
+//!   into packed stores ([`mri_quant::PackedTermStore`]) and every
+//!   sub-model resolution is served by prefix truncation (§4.1). Eval
+//!   forwards read it zero-copy through [`PackedWeights`] and compute with
+//!   shift-add kernels — no per-spec f32 weight tensor is materialized
+//!   (provable via [`weight_tensors_built_on_this_thread`]);
 //! * [`MultiResTrainer`] — the teacher–student joint-optimization loop
 //!   (Algorithm 1 steps 8–9) together with evaluation helpers;
 //! * [`training`] also provides the baselines the paper compares against:
@@ -62,4 +66,4 @@ pub use qlayers::{
 pub use qsite::{masks_built_on_this_thread, QActSite, QParamSite, QuantMasks, CLIP_FLOOR};
 pub use spec::{Resolution, SubModelSpec};
 pub use training::{EvalResult, MultiResTrainer, StepStats, TrainerConfig};
-pub use wcache::WeightTermCache;
+pub use wcache::{weight_tensors_built_on_this_thread, PackedWeights, WeightTermCache};

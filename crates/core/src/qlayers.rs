@@ -24,9 +24,13 @@ use crate::qsite::{QActSite, QParamSite, QuantMasks};
 use crate::{Resolution, ResolutionControl};
 use mri_nn::{Layer, Mode, Param};
 use mri_quant::dq::{truncate_low_bits, DataLut};
+use mri_quant::packed::{matmul_bt_packed, matmul_packed_lhs};
 use mri_quant::uq::QuantRange;
 use mri_quant::{GroupTermQuantizer, SdrEncoding, UniformQuantizer};
-use mri_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dCfg};
+use mri_tensor::conv::{
+    conv2d_backward, conv2d_forward, depthwise_forward, depthwise_forward_with, gemm_to_nchw,
+    im2col, Conv2dCfg,
+};
 use mri_tensor::reduce::sum_except_channel;
 use mri_tensor::{init, ops, Tensor};
 use rand::Rng;
@@ -166,6 +170,10 @@ pub(crate) fn quantize_weights_with(
 }
 
 /// The values half of a weight fake-quantization (no mask allocation).
+///
+/// Every arm materializes a fresh f32 tensor, so the build is tallied for
+/// [`crate::wcache::weight_tensors_built_on_this_thread`] — the packed
+/// serving path is proven zero-materialization by never reaching here.
 fn quantize_weight_values(
     w: &Tensor,
     clip: f32,
@@ -173,6 +181,7 @@ fn quantize_weight_values(
     qcfg: QuantConfig,
     row_len: usize,
 ) -> Tensor {
+    crate::wcache::record_weight_tensor_build();
     match res {
         Resolution::Full => w.clone(),
         Resolution::Tq { alpha, .. } => {
@@ -333,17 +342,12 @@ impl Layer for QConv2d {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.dim(1), self.in_channels, "qconv input channel mismatch");
         let res = self.control.resolution();
-        let wq = self.wsite.quantize(res, mode);
         let (xv, x_masks) = self.xsite.quantize(x, res, mode);
 
-        let dims = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-        let (mut y, cols_q) = conv2d_forward(xv.as_ref(), &wq.values, self.cfg);
-        y.add_channel_bias_inplace(&self.bias.value);
-
-        // Accounting: every output element is a length-row_len dot product.
-        self.wsite.account(&self.control, res, y.len() as u64);
-
-        if mode.is_train() {
+        let mut y = if mode.is_train() {
+            let wq = self.wsite.quantize(res, mode);
+            let dims = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+            let (y, cols_q) = conv2d_forward(xv.as_ref(), &wq.values, self.cfg);
             self.cache = Some(QConvCache {
                 cols_q,
                 input_dims: dims,
@@ -351,7 +355,40 @@ impl Layer for QConv2d {
                 w_masks: wq.masks.expect("train-mode quantization carries masks"),
                 x_masks: x_masks.expect("train-mode quantization carries masks"),
             });
-        }
+            y
+        } else if let Some(pw) = self.wsite.packed(res) {
+            // Serving route: im2col, then the packed-lhs GEMM straight on
+            // the term nibbles — the same product `conv2d_forward` computes
+            // over the dequantized filters, which are never materialized.
+            let _prof = mri_telemetry::prof_scope!("qconv.packed");
+            let (n, h, w) = (x.dim(0), x.dim(2), x.dim(3));
+            let (ho, wo) = self.cfg.out_size(h, w);
+            let cols = im2col(xv.as_ref(), self.cfg);
+            let (k, ncols) = (cols.dim(0), cols.dim(1));
+            let mut prod = vec![0.0f32; self.out_channels * ncols];
+            matmul_packed_lhs(
+                pw.rows(),
+                pw.alpha(),
+                pw.scale(),
+                cols.data(),
+                k,
+                ncols,
+                &mut prod,
+            );
+            gemm_to_nchw(
+                &Tensor::from_vec(prod, &[self.out_channels, ncols]),
+                n,
+                ho,
+                wo,
+            )
+        } else {
+            let wq = self.wsite.quantize(res, mode);
+            conv2d_forward(xv.as_ref(), &wq.values, self.cfg).0
+        };
+        y.add_channel_bias_inplace(&self.bias.value);
+
+        // Accounting: every output element is a length-row_len dot product.
+        self.wsite.account(&self.control, res, y.len() as u64);
         y
     }
 
@@ -455,22 +492,42 @@ impl Layer for QLinear {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.dim(1), self.in_features, "qlinear input width mismatch");
         let res = self.control.resolution();
-        let wq = self.wsite.quantize(res, mode);
         let (xv, x_masks) = self.xsite.quantize(x, res, mode);
 
-        let mut y = ops::matmul_bt(xv.as_ref(), &wq.values);
-        y.add_channel_bias_inplace(&self.bias.value);
-
-        self.wsite.account(&self.control, res, y.len() as u64);
-
-        if mode.is_train() {
+        let mut y = if mode.is_train() {
+            let wq = self.wsite.quantize(res, mode);
+            let y = ops::matmul_bt(xv.as_ref(), &wq.values);
             self.cache = Some(QLinearCache {
                 x_q: xv.into_owned(),
                 w_q: wq.values,
                 w_masks: wq.masks.expect("train-mode quantization carries masks"),
                 x_masks: x_masks.expect("train-mode quantization carries masks"),
             });
-        }
+            y
+        } else if let Some(pw) = self.wsite.packed(res) {
+            // Serving route: shift-add GEMM straight on the packed terms —
+            // bit-identical to `matmul_bt` over the dequantized weight
+            // tensor, which is never materialized.
+            let _prof = mri_telemetry::prof_scope!("qlinear.packed");
+            let m = xv.dim(0);
+            let mut out = vec![0.0f32; m * self.out_features];
+            matmul_bt_packed(
+                xv.as_ref().data(),
+                m,
+                self.in_features,
+                pw.rows(),
+                pw.alpha(),
+                pw.scale(),
+                &mut out,
+            );
+            Tensor::from_vec(out, &[m, self.out_features])
+        } else {
+            let wq = self.wsite.quantize(res, mode);
+            ops::matmul_bt(xv.as_ref(), &wq.values)
+        };
+        y.add_channel_bias_inplace(&self.bias.value);
+
+        self.wsite.account(&self.control, res, y.len() as u64);
         y
     }
 
@@ -733,23 +790,34 @@ impl Layer for QDepthwiseConv2d {
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(x.dim(1), self.channels, "qdepthwise channel mismatch");
         let res = self.control.resolution();
-        // One TQ group per channel filter (k = kh*kw values).
-        let wq = self.wsite.quantize(res, mode);
         let (xv, x_masks) = self.xsite.quantize(x, res, mode);
 
-        let mut y = mri_tensor::conv::depthwise_forward(xv.as_ref(), &wq.values, self.cfg);
-        y.add_channel_bias_inplace(&self.bias.value);
-
-        self.wsite.account(&self.control, res, y.len() as u64);
-
-        if mode.is_train() {
+        // One TQ group per channel filter (k = kh*kw values).
+        let mut y = if mode.is_train() {
+            let wq = self.wsite.quantize(res, mode);
+            let y = depthwise_forward(xv.as_ref(), &wq.values, self.cfg);
             self.cache = Some(QDwCache {
                 x_q: xv.into_owned(),
                 w_q: wq.values,
                 w_masks: wq.masks.expect("train-mode quantization carries masks"),
                 x_masks: x_masks.expect("train-mode quantization carries masks"),
             });
-        }
+            y
+        } else if let Some(pw) = self.wsite.packed(res) {
+            // Serving route: each channel's packed store is decoded once
+            // into the reused `kh·kw` scratch kernel — a per-channel filter
+            // buffer, never a full weight tensor.
+            let (alpha, scale) = (pw.alpha(), pw.scale());
+            depthwise_forward_with(xv.as_ref(), self.channels, self.cfg, |ci, ker| {
+                pw.rows()[ci].write_scaled(alpha, scale, ker)
+            })
+        } else {
+            let wq = self.wsite.quantize(res, mode);
+            depthwise_forward(xv.as_ref(), &wq.values, self.cfg)
+        };
+        y.add_channel_bias_inplace(&self.bias.value);
+
+        self.wsite.account(&self.control, res, y.len() as u64);
         y
     }
 

@@ -181,6 +181,23 @@ impl QParamSite {
         )
     }
 
+    /// The zero-copy packed serving handle for `res` — the site's eval
+    /// forward route. `None` when the packed path does not apply (non-TQ
+    /// resolution, disabled cache, or packed eval toggled off via
+    /// [`WeightTermCache::set_packed_eval`]); callers then fall back to
+    /// [`QParamSite::quantize`], which materializes the f32 tensor.
+    pub fn packed(&self, res: Resolution) -> Option<crate::wcache::PackedWeights> {
+        let _prof = mri_telemetry::prof_scope!("qsite.weights");
+        self.cache.packed(
+            &self.weight.value,
+            self.weight.version(),
+            self.clip_value(),
+            res,
+            self.qcfg,
+            self.row_len,
+        )
+    }
+
     /// The quantized values under `res` — what the hardware would actually
     /// store and compute with. Never builds masks.
     pub fn quantized_values(&self, res: Resolution) -> Tensor {

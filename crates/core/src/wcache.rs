@@ -10,9 +10,11 @@
 //! [`WeightTermCache`] fixes this. Per layer it stores, keyed on the weight
 //! [`Param::version`](mri_nn::Param::version) and the PACT clip:
 //!
-//! * one [`MultiResSlice`] per weight row — the canonical term sequence,
-//!   encoded **once** with an unbounded budget so *any* configured `α` is
-//!   served by prefix truncation (no re-encode, no re-sort);
+//! * one [`PackedTermStore`] per weight row — the canonical term sequence in
+//!   the paper's packed wire format (4-bit exponent/sign nibbles plus a byte
+//!   index memory, §5.4), encoded **once** with an unbounded budget so *any*
+//!   configured `α` is served by prefix truncation (no re-encode, no
+//!   re-sort, no bytes moved);
 //! * lazily, the straight-through mask and PACT saturation signs
 //!   ([`QuantMasks`]), which depend only on the master weights and the clip
 //!   — never on `α`. They are built at most once per entry, and **only when
@@ -22,6 +24,14 @@
 //! A miss (first use, optimizer step, clip change) re-encodes in parallel
 //! across row chunks; a hit is a per-row prefix walk plus — in training —
 //! one mask clone.
+//!
+//! The packed rows are also the *serving* representation: eval-mode layer
+//! forwards obtain a zero-copy [`PackedWeights`] handle via
+//! [`WeightTermCache::packed`] and run the shift-add kernels
+//! ([`mri_quant::packed`]) straight on the nibbles — no per-spec f32 weight
+//! tensor exists on that path (asserted through
+//! [`weight_tensors_built_on_this_thread`]). Training, backward and the
+//! bypass resolutions keep the materialized-f32 route.
 //! Served values are bit-identical to
 //! [`GroupTermQuantizer::quantize_slice`](mri_quant::GroupTermQuantizer::quantize_slice)
 //! at every budget because the tail-group scaling `ceil(α·t/g)` is monotone
@@ -36,15 +46,34 @@ use crate::qlayers::{quantize_weights_with, QuantConfig, QuantizedTensor};
 use crate::qsite::QuantMasks;
 use crate::Resolution;
 use mri_quant::uq::QuantRange;
-use mri_quant::{MultiResSlice, UniformQuantizer};
+use mri_quant::{MultiResSlice, PackedTermStore, UniformQuantizer};
 use mri_sync::atomic::{AtomicBool, Ordering};
 use mri_sync::{Arc, OnceLock, RwLock};
 use mri_telemetry::Counter;
 #[cfg(not(loom))]
 use mri_telemetry::Histogram;
 use mri_tensor::Tensor;
+use std::cell::Cell;
 #[cfg(not(loom))]
 use std::time::Instant;
+
+thread_local! {
+    static WEIGHT_TENSORS_BUILT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of dequantized f32 weight tensors materialized on the calling
+/// thread since it started (cache serves and direct re-encodes alike).
+/// Weight tensors are always built on the thread that runs the forward
+/// pass, so a before/after delta of zero proves a code path computed
+/// directly on the packed terms.
+pub fn weight_tensors_built_on_this_thread() -> u64 {
+    WEIGHT_TENSORS_BUILT.with(|c| c.get())
+}
+
+/// Tallies one f32 weight-tensor materialization on this thread.
+pub(crate) fn record_weight_tensor_build() {
+    WEIGHT_TENSORS_BUILT.with(|c| c.set(c.get() + 1));
+}
 
 /// Minimum number of weight rows per worker before a cache fill
 /// parallelises (mirrors the `matmul` kernel's policy).
@@ -94,9 +123,11 @@ struct CacheEntry {
     dims: Vec<usize>,
     /// UQ dequantization scale at the meta bitwidth.
     scale: f32,
-    /// Canonical term sequence per weight row, encoded with an unbounded
-    /// budget: serves any `α` by prefix truncation.
-    rows: Vec<MultiResSlice>,
+    /// Canonical term sequence per weight row in the packed wire format,
+    /// encoded with an unbounded budget: serves any `α` by prefix
+    /// truncation, and computes without dequantizing at all through
+    /// [`PackedWeights`].
+    rows: Vec<PackedTermStore>,
     /// STE/saturation masks (α-independent), built lazily on the first
     /// training-mode request against this entry. Eval-only traffic never
     /// initialises this.
@@ -119,8 +150,47 @@ impl CacheEntry {
 pub struct WeightTermCache {
     entry: RwLock<Option<Arc<CacheEntry>>>,
     enabled: AtomicBool,
+    packed_eval: AtomicBool,
     hits: Counter,
     misses: Counter,
+}
+
+/// A zero-copy handle onto a filled cache generation for one resolution:
+/// the packed term rows, the budget to truncate them at and the row scale —
+/// everything the shift-add kernels need, with no f32 weight tensor in
+/// sight. Cheap to clone (one `Arc` bump); reads are `&self` all the way
+/// down, so one handle can serve concurrent tenants.
+#[derive(Clone)]
+pub struct PackedWeights {
+    entry: Arc<CacheEntry>,
+    alpha: usize,
+}
+
+impl PackedWeights {
+    /// The packed term store of every weight row, in row order.
+    pub fn rows(&self) -> &[PackedTermStore] {
+        &self.entry.rows
+    }
+
+    /// The term budget `α` the handle serves at.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// The UQ dequantization scale shared by every row.
+    pub fn scale(&self) -> f32 {
+        self.entry.scale
+    }
+
+    /// The weight tensor shape the rows were encoded from.
+    pub fn dims(&self) -> &[usize] {
+        &self.entry.dims
+    }
+
+    /// The row/group layout length the terms were encoded under.
+    pub fn row_len(&self) -> usize {
+        self.entry.row_len
+    }
 }
 
 impl Default for WeightTermCache {
@@ -135,9 +205,27 @@ impl WeightTermCache {
         WeightTermCache {
             entry: RwLock::new(None),
             enabled: AtomicBool::new(true),
+            packed_eval: AtomicBool::new(true),
             hits: Counter::new(),
             misses: Counter::new(),
         }
+    }
+
+    /// Turns the packed eval serving path on or off. Off,
+    /// [`WeightTermCache::packed`] always returns `None`, so eval forwards
+    /// fall back to dequantizing the cached terms into an f32 tensor and
+    /// running the dense kernels (the packed benchmark's A/B switch). The
+    /// stored entry is unaffected — the toggle only selects how it is read.
+    pub fn set_packed_eval(&self, enabled: bool) {
+        // ordering: standalone A/B switch with no payload to publish; see
+        // `set_enabled`.
+        self.packed_eval.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether eval forwards serve the packed shift-add path.
+    pub fn packed_eval_enabled(&self) -> bool {
+        // ordering: see `set_packed_eval`.
+        self.packed_eval.load(Ordering::Relaxed)
     }
 
     /// Turns the cache on or off. Disabled, [`WeightTermCache::quantize`]
@@ -254,9 +342,80 @@ impl WeightTermCache {
         *self.entry.write() = Some(entry);
         out
     }
+
+    /// The zero-copy packed serving handle for `res` — the eval-forward
+    /// counterpart of [`WeightTermCache::quantize`] that never materializes
+    /// an f32 weight tensor. Returns `None` whenever the packed path does
+    /// not apply and the caller must fall back to the dequantize route:
+    /// non-TQ resolutions (`Full` is a clone, `UqShared` has no term
+    /// sequence), a disabled cache, or packed eval toggled off.
+    ///
+    /// Key semantics match `quantize` exactly: a handle is served from the
+    /// stored entry when `weight_version`, `clip` and `row_len` still match
+    /// (a hit), and a miss re-encodes and publishes a fresh entry. Both
+    /// paths land in the same hit/miss counters, and the entry is shared
+    /// with the f32 route — hardware simulation and software serving read
+    /// the same packed bytes.
+    #[allow(clippy::too_many_arguments)] // the invalidation key spelled out
+    pub fn packed(
+        &self,
+        w: &Tensor,
+        weight_version: u64,
+        clip: f32,
+        res: Resolution,
+        qcfg: QuantConfig,
+        row_len: usize,
+    ) -> Option<PackedWeights> {
+        let Resolution::Tq { alpha, .. } = res else {
+            return None;
+        };
+        if !self.is_enabled() || !self.packed_eval_enabled() {
+            return None;
+        }
+
+        let clip_bits = clip.to_bits();
+        {
+            let guard = self.entry.read();
+            if let Some(entry) = guard.as_ref() {
+                if entry.weight_version == weight_version
+                    && entry.clip_bits == clip_bits
+                    && entry.row_len == row_len
+                    && entry.dims == w.dims()
+                {
+                    let entry = Arc::clone(entry);
+                    drop(guard);
+                    self.hits.inc();
+                    #[cfg(not(loom))]
+                    global_stats().hits.inc();
+                    return Some(PackedWeights { entry, alpha });
+                }
+            }
+        }
+
+        self.misses.inc();
+        #[cfg(not(loom))]
+        global_stats().misses.inc();
+        // lint: allow(timing) — see `quantize`: the fill-cost histogram is
+        // part of the cache's always-on accounting contract.
+        #[cfg(not(loom))]
+        let start = Instant::now();
+        let entry = {
+            let _prof = mri_telemetry::prof_scope!("wcache.fill");
+            Arc::new(fill(w, weight_version, clip_bits, clip, qcfg, row_len))
+        };
+        #[cfg(not(loom))]
+        global_stats()
+            .fill_ns
+            .record(start.elapsed().as_nanos() as u64);
+        *self.entry.write() = Some(Arc::clone(&entry));
+        Some(PackedWeights { entry, alpha })
+    }
 }
 
-/// Reconstructs the fake-quantized tensor for `alpha` from a filled entry.
+/// Reconstructs the fake-quantized tensor for `alpha` from a filled entry —
+/// the dequantize route (training forwards, `quantized_values`, and eval
+/// with packed serving toggled off). Decodes the packed rows by shift-add,
+/// bit-identical to the historical `GroupTerm`-array walk.
 fn serve(
     entry: &CacheEntry,
     alpha: usize,
@@ -264,6 +423,7 @@ fn serve(
     w: &Tensor,
     clip: f32,
 ) -> QuantizedTensor {
+    record_weight_tensor_build();
     let mut values = Tensor::zeros(&entry.dims);
     let out = values.data_mut();
     let mut off = 0;
@@ -294,7 +454,7 @@ fn fill(
     let n_rows = data.len().div_ceil(row_len);
     let scale = UniformQuantizer::symmetric(qcfg.weight_bits, clip).scale();
 
-    let mut rows: Vec<Option<MultiResSlice>> = vec![None; n_rows];
+    let mut rows: Vec<Option<PackedTermStore>> = vec![None; n_rows];
 
     let threads = available_threads();
     if n_rows >= threads * PAR_ROWS_PER_THREAD && threads > 1 && data.len() > 1 << 14 {
@@ -326,10 +486,10 @@ fn fill(
 }
 
 /// Encodes one contiguous run of weight rows: UQ to integers, one unbounded
-/// [`MultiResSlice`] per row.
+/// packed store per row.
 fn encode_rows(
     data: &[f32],
-    slots: &mut [Option<MultiResSlice>],
+    slots: &mut [Option<PackedTermStore>],
     clip: f32,
     qcfg: QuantConfig,
     row_len: usize,
@@ -339,12 +499,14 @@ fn encode_rows(
     for (row, slot) in data.chunks(row_len).zip(slots.iter_mut()) {
         ints.clear();
         ints.extend(row.iter().map(|&x| uq.quantize(x)));
-        *slot = Some(MultiResSlice::encode(
-            &ints,
-            qcfg.group_size,
-            usize::MAX,
-            qcfg.encoding,
-        ));
+        let slice = MultiResSlice::encode(&ints, qcfg.group_size, usize::MAX, qcfg.encoding);
+        // Symmetric UQ at `weight_bits <= 8` keeps every integer within i8
+        // range, whose largest term exponent is 7 under all four encodings —
+        // within the packed 3-bit exponent field by construction.
+        *slot = Some(
+            PackedTermStore::from_slice(&slice)
+                .expect("weight exponents fit the packed 4-bit format (weight_bits <= 8)"),
+        );
     }
 }
 

@@ -1,0 +1,165 @@
+//! The packed serving contract: eval-mode forwards of every quantized layer
+//! run shift-add kernels straight on the packed term stores —
+//! bit-identical to the dequantize + dense route (the A/B toggled via
+//! `WeightTermCache::set_packed_eval`) while materializing zero f32
+//! weight tensors (counter-asserted).
+
+use mri_core::{
+    weight_tensors_built_on_this_thread, QConv2d, QDepthwiseConv2d, QLinear, QuantConfig,
+    Resolution, ResolutionControl,
+};
+use mri_nn::{Layer, Mode};
+use mri_tensor::conv::Conv2dCfg;
+use mri_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const SPECS: [(usize, usize); 4] = [(4, 1), (8, 2), (12, 2), (16, 3)];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn qlinear_packed_eval_is_bit_identical_to_dense() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let c = Arc::new(ResolutionControl::new(Resolution::Full));
+    let mut lin = QLinear::new(&mut rng, 40, 6, QuantConfig::paper_cnn(), Arc::clone(&c));
+    let x = init::uniform(&mut rng, &[3, 40], 0.0, 1.0);
+    for (alpha, beta) in SPECS {
+        c.set_resolution(Resolution::Tq { alpha, beta });
+        let packed = lin.forward(&x, Mode::Eval);
+        lin.weight_cache().set_packed_eval(false);
+        let dense = lin.forward(&x, Mode::Eval);
+        lin.weight_cache().set_packed_eval(true);
+        assert_eq!(bits(&packed), bits(&dense), "α={alpha} β={beta}");
+    }
+}
+
+#[test]
+fn qconv_packed_eval_is_bit_identical_to_dense() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let c = Arc::new(ResolutionControl::new(Resolution::Tq { alpha: 8, beta: 2 }));
+    let mut conv = QConv2d::new(
+        &mut rng,
+        3,
+        8,
+        Conv2dCfg::same(3),
+        QuantConfig::paper_cnn(),
+        Arc::clone(&c),
+    );
+    let x = init::uniform(&mut rng, &[2, 3, 9, 9], 0.0, 1.0);
+    for (alpha, beta) in SPECS {
+        c.set_resolution(Resolution::Tq { alpha, beta });
+        let packed = conv.forward(&x, Mode::Eval);
+        conv.weight_cache().set_packed_eval(false);
+        let dense = conv.forward(&x, Mode::Eval);
+        conv.weight_cache().set_packed_eval(true);
+        assert_eq!(bits(&packed), bits(&dense), "α={alpha} β={beta}");
+    }
+}
+
+#[test]
+fn qdepthwise_packed_eval_is_bit_identical_to_dense() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let c = Arc::new(ResolutionControl::new(Resolution::Tq { alpha: 8, beta: 2 }));
+    let mut dw = QDepthwiseConv2d::new(
+        &mut rng,
+        5,
+        Conv2dCfg::same(3),
+        QuantConfig::paper_cnn(),
+        Arc::clone(&c),
+    );
+    let x = init::uniform(&mut rng, &[2, 5, 7, 7], 0.0, 1.0);
+    for (alpha, beta) in SPECS {
+        c.set_resolution(Resolution::Tq { alpha, beta });
+        let packed = dw.forward(&x, Mode::Eval);
+        dw.weight_cache().set_packed_eval(false);
+        let dense = dw.forward(&x, Mode::Eval);
+        dw.weight_cache().set_packed_eval(true);
+        assert_eq!(bits(&packed), bits(&dense), "α={alpha} β={beta}");
+    }
+}
+
+#[test]
+fn packed_eval_works_under_the_8bit_config_too() {
+    // paper_8bit drives the largest integers (|int| ≤ 127, exponent 7) —
+    // the edge of the packed 4-bit term format.
+    let mut rng = StdRng::seed_from_u64(3);
+    let c = Arc::new(ResolutionControl::new(Resolution::Tq { alpha: 8, beta: 2 }));
+    let mut lin = QLinear::new(&mut rng, 32, 4, QuantConfig::paper_8bit(), Arc::clone(&c));
+    let x = init::uniform(&mut rng, &[2, 32], -1.0, 1.0);
+    for (alpha, beta) in SPECS {
+        c.set_resolution(Resolution::Tq { alpha, beta });
+        let packed = lin.forward(&x, Mode::Eval);
+        lin.weight_cache().set_packed_eval(false);
+        let dense = lin.forward(&x, Mode::Eval);
+        lin.weight_cache().set_packed_eval(true);
+        assert_eq!(bits(&packed), bits(&dense), "α={alpha} β={beta}");
+    }
+}
+
+#[test]
+fn packed_eval_forwards_materialize_zero_weight_tensors() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let c = Arc::new(ResolutionControl::new(Resolution::Tq {
+        alpha: 16,
+        beta: 3,
+    }));
+    let qcfg = QuantConfig::paper_cnn();
+    let mut conv = QConv2d::new(&mut rng, 2, 4, Conv2dCfg::same(3), qcfg, Arc::clone(&c));
+    let mut dw = QDepthwiseConv2d::new(&mut rng, 4, Conv2dCfg::same(3), qcfg, Arc::clone(&c));
+    let mut lin = QLinear::new(&mut rng, 4 * 6 * 6, 3, qcfg, Arc::clone(&c));
+    let x = init::uniform(&mut rng, &[2, 2, 6, 6], 0.0, 1.0);
+
+    fn run(conv: &mut QConv2d, dw: &mut QDepthwiseConv2d, lin: &mut QLinear, x: &Tensor) -> Tensor {
+        let y = conv.forward(x, Mode::Eval);
+        let y = dw.forward(&y, Mode::Eval);
+        let y = y.reshape(&[2, 4 * 6 * 6]);
+        lin.forward(&y, Mode::Eval)
+    }
+
+    // Across all four sub-model specs — cold fills included — the packed
+    // route must never dequantize a weight tensor.
+    let before = weight_tensors_built_on_this_thread();
+    for (alpha, beta) in SPECS {
+        c.set_resolution(Resolution::Tq { alpha, beta });
+        run(&mut conv, &mut dw, &mut lin, &x);
+    }
+    assert_eq!(
+        weight_tensors_built_on_this_thread(),
+        before,
+        "packed eval forwards must materialize zero f32 weight tensors"
+    );
+
+    // Sanity: the dense fallback does materialize (one per layer forward).
+    conv.weight_cache().set_packed_eval(false);
+    dw.weight_cache().set_packed_eval(false);
+    lin.weight_cache().set_packed_eval(false);
+    let before = weight_tensors_built_on_this_thread();
+    run(&mut conv, &mut dw, &mut lin, &x);
+    assert_eq!(
+        weight_tensors_built_on_this_thread(),
+        before + 3,
+        "the dequantize route materializes one weight tensor per layer"
+    );
+}
+
+#[test]
+fn packed_toggle_and_disabled_cache_fall_back_cleanly() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let c = Arc::new(ResolutionControl::new(Resolution::Tq { alpha: 8, beta: 2 }));
+    let mut lin = QLinear::new(&mut rng, 16, 4, QuantConfig::paper_cnn(), Arc::clone(&c));
+    let x = init::uniform(&mut rng, &[2, 16], 0.0, 1.0);
+    let y_packed = lin.forward(&x, Mode::Eval);
+    // Disabled cache: packed() must decline and the direct path serve.
+    lin.weight_cache().set_enabled(false);
+    let y_direct = lin.forward(&x, Mode::Eval);
+    lin.weight_cache().set_enabled(true);
+    assert_eq!(bits(&y_packed), bits(&y_direct));
+    // Full resolution is not a packed-servable resolution.
+    c.set_resolution(Resolution::Full);
+    let y_full = lin.forward(&x, Mode::Eval);
+    assert_eq!(y_full.dims(), &[2, 4]);
+}

@@ -20,7 +20,13 @@
 //!   model spawn sub-models at any budget by prefix truncation;
 //! * [`storage`] — the packed 4-bit term format, the separate index memory
 //!   and the two-term-increment layout of the paper's §5.4, with memory
-//!   access accounting.
+//!   access accounting;
+//! * [`packed`] — the zero-copy serving representation built on that format:
+//!   [`PackedTermStore`] holds one row's nibbles/indices in increment order,
+//!   every resolution is a pointer/length slice of the same bytes, and the
+//!   shift-add kernels ([`packed::matmul_bt_packed`],
+//!   [`packed::matmul_packed_lhs`]) compute on the nibbles directly —
+//!   bit-identical to the f32 dequantize path without materializing it.
 //!
 //! # Examples
 //!
@@ -39,6 +45,7 @@
 
 pub mod dq;
 pub mod lq;
+pub mod packed;
 pub mod sdr;
 pub mod storage;
 pub(crate) mod tele;
@@ -47,6 +54,7 @@ pub mod uq;
 
 mod term;
 
+pub use packed::{PackedSlice, PackedTermStore};
 pub use sdr::SdrEncoding;
 pub use term::{term_sum, GroupTerm, Term};
 pub use tq::{GroupTermQuantizer, MultiResGroup, MultiResSlice, QuantizedGroup};

@@ -1,0 +1,772 @@
+//! The zero-copy packed serving representation (paper §5.4, Figs. 16–18).
+//!
+//! [`PackedTermStore`] is the deployment twin of
+//! [`MultiResSlice`]: the same per-group canonical term
+//! sequences, but held in the paper's wire format — a 4-bit
+//! exponent/sign nibble per term ([`pack_term`] layout, two terms per byte)
+//! plus a byte-wide index memory — laid out in increment order, so *every*
+//! resolution is a prefix of the same bytes. Serving a coarser sub-model is a
+//! pure pointer/length change ([`PackedSlice`]), never a re-encode and never
+//! an allocation.
+//!
+//! The store is read-only after construction: all read paths take `&self`
+//! (access tallies live on an atomic cell through `mri-sync`), so one store
+//! can serve concurrent tenants at different resolutions.
+//!
+//! The kernels at the bottom ([`PackedTermStore::dot_scaled`],
+//! [`matmul_bt_packed`], [`matmul_packed_lhs`]) compute directly on the
+//! nibbles: each group's integers are rebuilt by accumulating `±(1 << e)` in
+//! `i64` (a shift and an add per term — no multiplier), and the uniform
+//! quantization scale is folded in as the per-element `v as f32 * scale` the
+//! f32 dequantize path has always used, in the same element order. That makes
+//! every kernel bit-identical to "materialize the f32 weight tensor, then run
+//! the dense GEMM" for finite inputs — the property the proptests pin — while
+//! materializing nothing.
+
+use crate::storage::{pack_term, unpack_term, PackTermError};
+use crate::tq::{scaled_budget, MAX_GROUP_STACK};
+use crate::{GroupTerm, MultiResSlice, SdrEncoding};
+use mri_sync::atomic::{AtomicU64, Ordering};
+
+/// Largest group size the byte-wide index memory can address.
+pub const MAX_PACKED_GROUP: usize = 256;
+
+/// A read-only packed multi-resolution term store for one weight row.
+///
+/// Layout: terms sit in per-group canonical (= increment) order; each group
+/// starts on a byte boundary (groups with an odd term count carry one unused
+/// pad nibble, mirroring the word alignment of the hardware term memory), so
+/// any group × budget view is a plain subslice of the nibble and index
+/// memories.
+#[derive(Debug)]
+pub struct PackedTermStore {
+    /// Term memory: two 4-bit `[sign | e2 e1 e0]` nibbles per byte, low
+    /// nibble first.
+    nibbles: Vec<u8>,
+    /// Index memory: the owning value's position within its group, one byte
+    /// per term slot (slot-aligned with `nibbles`, including pad slots).
+    indices: Vec<u8>,
+    /// First term slot of each group (always even: groups are byte-aligned).
+    starts: Vec<u32>,
+    /// Stored (un-padded) term count of each group.
+    counts: Vec<u32>,
+    /// Number of encoded values.
+    len: usize,
+    /// The grouping `g`.
+    group_size: usize,
+    /// The budget the terms were stored at; larger budgets cannot be served.
+    max_alpha: usize,
+    /// The encoding the values were expanded with.
+    encoding: SdrEncoding,
+    /// Terms decoded by read paths since the last reset.
+    term_reads: AtomicU64,
+}
+
+impl Clone for PackedTermStore {
+    fn clone(&self) -> Self {
+        PackedTermStore {
+            nibbles: self.nibbles.clone(),
+            indices: self.indices.clone(),
+            starts: self.starts.clone(),
+            counts: self.counts.clone(),
+            len: self.len,
+            group_size: self.group_size,
+            max_alpha: self.max_alpha,
+            encoding: self.encoding,
+            // ordering: Relaxed — monotonic statistic with no payload; the
+            // clone snapshots whatever tally the source has reached.
+            term_reads: AtomicU64::new(self.term_reads.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PackedTermStore {
+    /// Encodes a slice of quantized integers once at `max_alpha` terms per
+    /// full group (tails scaled, like
+    /// [`MultiResSlice::encode`]). Pass
+    /// `usize::MAX` to store every term and serve *any* budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackTermError`] when a term exponent exceeds the 3-bit
+    /// packed field (values within `i8` range always fit, for all four
+    /// encodings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or exceeds [`MAX_PACKED_GROUP`].
+    pub fn encode(
+        values: &[i64],
+        group_size: usize,
+        max_alpha: usize,
+        encoding: SdrEncoding,
+    ) -> Result<Self, PackTermError> {
+        Self::from_slice(&MultiResSlice::encode(
+            values, group_size, max_alpha, encoding,
+        ))
+    }
+
+    /// Packs an already-encoded [`MultiResSlice`] into the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackTermError`] when a term exponent exceeds the 3-bit
+    /// packed field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice's group size exceeds [`MAX_PACKED_GROUP`] (the
+    /// index memory is one byte per term).
+    pub fn from_slice(slice: &MultiResSlice) -> Result<Self, PackTermError> {
+        let group_size = slice.group_size();
+        assert!(
+            group_size <= MAX_PACKED_GROUP,
+            "group size {group_size} exceeds the byte-wide index memory"
+        );
+        let n_groups = slice.len().div_ceil(group_size.max(1));
+        let mut nibbles = Vec::with_capacity(slice.stored_terms() / 2 + n_groups);
+        let mut indices = Vec::with_capacity(slice.stored_terms() + n_groups);
+        let mut starts = Vec::with_capacity(n_groups);
+        let mut counts = Vec::with_capacity(n_groups);
+        let mut slot = 0u32;
+        for (_glen, terms) in slice.groups() {
+            starts.push(slot);
+            counts.push(terms.len() as u32);
+            for gt in terms {
+                let nib = pack_term(gt.term)?;
+                if slot.is_multiple_of(2) {
+                    nibbles.push(nib);
+                } else {
+                    let last = nibbles.last_mut().expect("odd slot follows a pushed byte");
+                    *last |= nib << 4;
+                }
+                indices.push(gt.index as u8);
+                slot += 1;
+            }
+            if !slot.is_multiple_of(2) {
+                // Pad to the byte boundary so the next group starts aligned;
+                // the pad slot is never read (reads stop at `counts`).
+                indices.push(0);
+                slot += 1;
+            }
+        }
+        Ok(PackedTermStore {
+            nibbles,
+            indices,
+            starts,
+            counts,
+            len: slice.len(),
+            group_size,
+            max_alpha: slice.max_alpha(),
+            encoding: slice.encoding(),
+            term_reads: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of encoded values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the store holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The grouping `g` the store was encoded with.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The budget the store was encoded at (upper bound on servable `α`).
+    pub fn max_alpha(&self) -> usize {
+        self.max_alpha
+    }
+
+    /// The encoding the values were expanded with.
+    pub fn encoding(&self) -> SdrEncoding {
+        self.encoding
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of stored (un-padded) terms.
+    pub fn stored_terms(&self) -> usize {
+        self.counts.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Bytes held by the packed memories (nibbles + indices + group table) —
+    /// the whole multi-resolution footprint, shared by every budget.
+    pub fn packed_bytes(&self) -> usize {
+        self.nibbles.len() + self.indices.len() + 4 * (self.starts.len() + self.counts.len())
+    }
+
+    /// Terms decoded by `&self` read paths since the last reset.
+    pub fn term_reads(&self) -> u64 {
+        // ordering: Relaxed — monotonic statistic, read in isolation.
+        self.term_reads.load(Ordering::Relaxed)
+    }
+
+    /// Resets the read tally.
+    pub fn reset_term_reads(&self) {
+        // ordering: Relaxed — counter reset carries no payload to publish.
+        self.term_reads.store(0, Ordering::Relaxed)
+    }
+
+    /// The zero-copy truncated view of one group at budget `alpha`: the
+    /// nibble/index prefix the sub-model reads. Lowering `alpha` only
+    /// shortens `len` — the pointers do not move and nothing is allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= num_groups()` or `alpha > max_alpha()`.
+    pub fn group_slice(&self, group: usize, alpha: usize) -> PackedSlice<'_> {
+        assert!(
+            alpha <= self.max_alpha,
+            "budget {alpha} exceeds encoded {}",
+            self.max_alpha
+        );
+        let lo = group * self.group_size;
+        let glen = self.group_size.min(self.len - lo);
+        let keep = scaled_budget(alpha, self.group_size, glen).min(self.counts[group] as usize);
+        let start = self.starts[group] as usize;
+        PackedSlice {
+            nibbles: &self.nibbles[start / 2..(start + keep).div_ceil(2)],
+            indices: &self.indices[start..start + keep],
+            len: keep,
+        }
+    }
+
+    /// Walks every group at budget `alpha`, handing the callback the group's
+    /// value offset, its value count and its truncated [`PackedSlice`].
+    /// Tallies the decoded terms once per walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha()`.
+    pub fn for_each_group(&self, alpha: usize, mut f: impl FnMut(usize, usize, PackedSlice<'_>)) {
+        assert!(
+            alpha <= self.max_alpha,
+            "budget {alpha} exceeds encoded {}",
+            self.max_alpha
+        );
+        let mut served = 0u64;
+        let mut lo = 0usize;
+        for g in 0..self.counts.len() {
+            let glen = self.group_size.min(self.len - lo);
+            let keep = scaled_budget(alpha, self.group_size, glen).min(self.counts[g] as usize);
+            let start = self.starts[g] as usize;
+            served += keep as u64;
+            f(
+                lo,
+                glen,
+                PackedSlice {
+                    nibbles: &self.nibbles[start / 2..(start + keep).div_ceil(2)],
+                    indices: &self.indices[start..start + keep],
+                    len: keep,
+                },
+            );
+            lo += glen;
+        }
+        // ordering: Relaxed — pure event counting on immutable bytes; one
+        // coarse add per walk keeps the hot path free of per-term atomics.
+        self.term_reads.fetch_add(served, Ordering::Relaxed);
+    }
+
+    /// Reconstructs the quantized integers at budget `alpha` into `out` by
+    /// shift-add accumulation of `±(1 << e)` straight from the nibbles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha()` or `out.len() != len()`.
+    pub fn values_at_into(&self, alpha: usize, out: &mut [i64]) {
+        assert_eq!(out.len(), self.len, "output length mismatch");
+        out.fill(0);
+        self.for_each_group(alpha, |lo, glen, slice| {
+            slice.accumulate_into(&mut out[lo..lo + glen]);
+        });
+    }
+
+    /// [`Self::values_at_into`] into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha()`.
+    pub fn values_at(&self, alpha: usize) -> Vec<i64> {
+        let mut out = vec![0i64; self.len];
+        self.values_at_into(alpha, &mut out);
+        out
+    }
+
+    /// Writes `values_at(alpha)[i] as f32 * scale` into `out` — bit-identical
+    /// to [`MultiResSlice::write_scaled`] on the same terms, decoded from the
+    /// packed bytes instead of a `GroupTerm` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha()` or `out.len() != len()`.
+    pub fn write_scaled(&self, alpha: usize, scale: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len, "output length mismatch");
+        self.for_each_group(alpha, |lo, glen, slice| {
+            let mut stack = [0i64; MAX_GROUP_STACK];
+            let mut heap = Vec::new();
+            let ints: &mut [i64] = if glen <= MAX_GROUP_STACK {
+                &mut stack[..glen]
+            } else {
+                heap.resize(glen, 0);
+                &mut heap[..glen]
+            };
+            slice.accumulate_into(ints);
+            for (o, &v) in out[lo..lo + glen].iter_mut().zip(ints.iter()) {
+                *o = v as f32 * scale;
+            }
+        });
+    }
+
+    /// The number of terms actually served at budget `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha()`.
+    pub fn kept_terms_at(&self, alpha: usize) -> usize {
+        let mut kept = 0usize;
+        self.for_each_group(alpha, |_, _, slice| kept += slice.len());
+        kept
+    }
+
+    /// Multiplier-free dot product against `x` at budget `alpha`: group
+    /// integers are rebuilt by i64 shift-adds, then folded with `x` and the
+    /// row scale in value order — bit-identical (for finite `x`) to
+    /// dequantizing the row to f32 and running the dense dot, because zeroed
+    /// positions contribute an exact `±0.0` there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha > max_alpha()` or `x.len() != len()`.
+    pub fn dot_scaled(&self, alpha: usize, scale: f32, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.len, "input length mismatch");
+        let mut acc = 0.0f32;
+        self.for_each_group(alpha, |lo, glen, slice| {
+            let group = GroupValues::decode(&slice, glen);
+            for (jj, v) in group.nonzero() {
+                acc += x[lo + jj] * (v as f32 * scale);
+            }
+        });
+        acc
+    }
+}
+
+/// A borrowed, budget-truncated view into a store's packed memories: the
+/// prefix of one group's term nibbles and indices. Truncation to a coarser
+/// resolution only shrinks `len`; the slices are never copied.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedSlice<'a> {
+    nibbles: &'a [u8],
+    indices: &'a [u8],
+    len: usize,
+}
+
+impl<'a> PackedSlice<'a> {
+    /// Number of terms in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw nibble bytes backing the view (two terms per byte).
+    pub fn nibble_bytes(&self) -> &'a [u8] {
+        self.nibbles
+    }
+
+    /// The raw index bytes backing the view.
+    pub fn index_bytes(&self) -> &'a [u8] {
+        self.indices
+    }
+
+    /// Decodes the view's terms in stored (increment) order.
+    pub fn terms(&self) -> impl Iterator<Item = GroupTerm> + 'a {
+        let nibbles = self.nibbles;
+        self.indices.iter().enumerate().map(move |(s, &idx)| {
+            let byte = nibbles[s / 2];
+            let nib = if s.is_multiple_of(2) {
+                byte & 0x0F
+            } else {
+                byte >> 4
+            };
+            GroupTerm::new(unpack_term(nib), idx as usize)
+        })
+    }
+
+    /// Shift-add accumulation: `out[index] += ±(1 << exponent)` per term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term index is out of bounds for `out`.
+    pub fn accumulate_into(&self, out: &mut [i64]) {
+        for gt in self.terms() {
+            out[gt.index] += gt.term.value();
+        }
+    }
+}
+
+/// One decoded group held in stack buffers: the rebuilt integers of up to
+/// [`MAX_GROUP_STACK`] values, exposed as the ascending `(position, value)`
+/// run of its non-zeros. The kernels walk this run so truncated-away weights
+/// cost nothing.
+struct GroupValues {
+    ints: [i64; MAX_GROUP_STACK],
+    spill: Vec<i64>,
+    glen: usize,
+}
+
+impl GroupValues {
+    fn decode(slice: &PackedSlice<'_>, glen: usize) -> Self {
+        let mut g = GroupValues {
+            ints: [0i64; MAX_GROUP_STACK],
+            spill: Vec::new(),
+            glen,
+        };
+        if glen <= MAX_GROUP_STACK {
+            slice.accumulate_into(&mut g.ints[..glen]);
+        } else {
+            g.spill.resize(glen, 0);
+            slice.accumulate_into(&mut g.spill);
+        }
+        g
+    }
+
+    /// Ascending `(position, value)` pairs of the non-zero reconstructions.
+    fn nonzero(&self) -> impl Iterator<Item = (usize, i64)> + '_ {
+        let vals: &[i64] = if self.glen <= MAX_GROUP_STACK {
+            &self.ints[..self.glen]
+        } else {
+            &self.spill
+        };
+        vals.iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0)
+            .map(|(j, &v)| (j, v))
+    }
+}
+
+/// Packed GEMM for the linear eval path: `out[m, n] = x[m, k] · Wᵀ`, where
+/// `W`'s `n` rows live as packed stores of length `k`. Row weights are
+/// rebuilt group-by-group with i64 shift-adds (each row decoded once, not
+/// once per batch element) and folded into the accumulators in the same
+/// element order as the dense `matmul_bt` over the dequantized tensor, so the
+/// result is bit-identical to the f32 path for finite `x` — with no `[n, k]`
+/// f32 weight tensor ever materialized.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from `k`, `alpha` exceeds a row's
+/// `max_alpha`, or the buffer sizes do not match `m·k` / `m·n`.
+pub fn matmul_bt_packed(
+    x: &[f32],
+    m: usize,
+    k: usize,
+    rows: &[PackedTermStore],
+    alpha: usize,
+    scale: f32,
+    out: &mut [f32],
+) {
+    let n = rows.len();
+    assert_eq!(x.len(), m * k, "input buffer mismatch");
+    assert_eq!(out.len(), m * n, "output buffer mismatch");
+    out.fill(0.0);
+    for (j, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), k, "row {j} length != k");
+        row.for_each_group(alpha, |lo, glen, slice| {
+            let group = GroupValues::decode(&slice, glen);
+            // Materialize the sparse run once per group, then sweep the
+            // batch: the decode cost is amortized over all `m` inputs.
+            let mut run = [(0usize, 0.0f32); MAX_GROUP_STACK];
+            let mut spill: Vec<(usize, f32)> = Vec::new();
+            let mut nnz = 0usize;
+            for (jj, v) in group.nonzero() {
+                let entry = (jj, v as f32 * scale);
+                if nnz < MAX_GROUP_STACK {
+                    run[nnz] = entry;
+                } else {
+                    spill.push(entry);
+                }
+                nnz += 1;
+            }
+            let head = &run[..nnz.min(MAX_GROUP_STACK)];
+            for i in 0..m {
+                let xrow = &x[i * k + lo..i * k + lo + glen];
+                let o = &mut out[i * n + j];
+                for &(jj, w) in head.iter().chain(spill.iter()) {
+                    *o += xrow[jj] * w;
+                }
+            }
+        });
+    }
+}
+
+/// Packed GEMM for the im2col conv eval path: `out[rows.len(), n] = W · b`,
+/// where each packed store is one flattened filter row of length `k` and
+/// `b` is the `[k, n]` column matrix. Element order matches the dense
+/// `matmul` over the dequantized weights (which skips zero `a` entries), so
+/// the product is bit-identical to the f32 path for finite `b`.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from `k`, `alpha` exceeds a row's
+/// `max_alpha`, or the buffer sizes do not match `k·n` / `rows.len()·n`.
+pub fn matmul_packed_lhs(
+    rows: &[PackedTermStore],
+    alpha: usize,
+    scale: f32,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(b.len(), k * n, "rhs buffer mismatch");
+    assert_eq!(out.len(), rows.len() * n, "output buffer mismatch");
+    out.fill(0.0);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), k, "row {i} length != k");
+        let out_row = &mut out[i * n..(i + 1) * n];
+        row.for_each_group(alpha, |lo, glen, slice| {
+            let group = GroupValues::decode(&slice, glen);
+            for (jj, v) in group.nonzero() {
+                let av = v as f32 * scale;
+                let brow = &b[(lo + jj) * n..(lo + jj + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupTermQuantizer;
+
+    const ENCODINGS: [SdrEncoding; 4] = [
+        SdrEncoding::Unsigned,
+        SdrEncoding::Naf,
+        SdrEncoding::Booth,
+        SdrEncoding::Booth4,
+    ];
+
+    fn sample_values(n: usize) -> Vec<i64> {
+        // Deterministic mix of signs and magnitudes within i8 range.
+        (0..n).map(|i| ((i * 37 + 11) % 255) as i64 - 127).collect()
+    }
+
+    #[test]
+    fn values_round_trip_all_encodings_and_budgets() {
+        for enc in ENCODINGS {
+            let vals = sample_values(50); // 3 full groups of 16 + a tail of 2
+            let st = PackedTermStore::encode(&vals, 16, usize::MAX, enc).unwrap();
+            let slice = MultiResSlice::encode(&vals, 16, usize::MAX, enc);
+            for alpha in 0..=24 {
+                assert_eq!(
+                    st.values_at(alpha),
+                    slice.values_at(alpha),
+                    "{enc:?} α={alpha}"
+                );
+            }
+            let q = GroupTermQuantizer::new(16, 8, enc);
+            assert_eq!(st.values_at(8), q.quantize_slice(&vals), "{enc:?} direct");
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_pure_length_change() {
+        let vals = sample_values(16);
+        let st = PackedTermStore::encode(&vals, 16, usize::MAX, SdrEncoding::Naf).unwrap();
+        let fine = st.group_slice(0, 12);
+        let coarse = st.group_slice(0, 4);
+        // Same backing pointers, shorter view: no bytes moved, none copied.
+        assert_eq!(fine.nibble_bytes().as_ptr(), coarse.nibble_bytes().as_ptr());
+        assert_eq!(fine.index_bytes().as_ptr(), coarse.index_bytes().as_ptr());
+        assert_eq!(coarse.len(), 4);
+        assert!(coarse.len() < fine.len());
+        // The coarse view is a prefix of the fine one.
+        let fine_terms: Vec<_> = fine.terms().collect();
+        let coarse_terms: Vec<_> = coarse.terms().collect();
+        assert_eq!(&fine_terms[..coarse_terms.len()], &coarse_terms[..]);
+    }
+
+    #[test]
+    fn odd_group_counts_stay_byte_aligned() {
+        // group_size 4 with budget-limited tails forces odd per-group term
+        // counts; every group must still start on a byte boundary.
+        let vals = sample_values(13);
+        let st = PackedTermStore::encode(&vals, 4, 3, SdrEncoding::Unsigned).unwrap();
+        for g in 0..st.num_groups() {
+            let s = st.group_slice(g, 3);
+            assert!(s.len() <= 3);
+        }
+        let slice = MultiResSlice::encode(&vals, 4, 3, SdrEncoding::Unsigned);
+        for alpha in 0..=3 {
+            assert_eq!(st.values_at(alpha), slice.values_at(alpha));
+        }
+    }
+
+    #[test]
+    fn write_scaled_is_bit_identical_to_slice_path() {
+        for enc in ENCODINGS {
+            let vals = sample_values(40);
+            let st = PackedTermStore::encode(&vals, 16, usize::MAX, enc).unwrap();
+            let slice = MultiResSlice::encode(&vals, 16, usize::MAX, enc);
+            let scale = 0.031_25f32;
+            for alpha in [0, 1, 4, 8, 12, 16] {
+                let mut a = vec![0.0f32; vals.len()];
+                let mut b = vec![0.0f32; vals.len()];
+                st.write_scaled(alpha, scale, &mut a);
+                slice.write_scaled(alpha, scale, &mut b);
+                let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb, "{enc:?} α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_bit_identical_to_dense_dequantized_dot() {
+        for enc in ENCODINGS {
+            let vals = sample_values(50);
+            let st = PackedTermStore::encode(&vals, 16, usize::MAX, enc).unwrap();
+            let scale = 0.007_8f32;
+            let x: Vec<f32> = (0..vals.len())
+                .map(|i| (i as f32 * 0.37 - 9.0) * 0.25)
+                .collect();
+            for alpha in [0, 2, 5, 8, 16] {
+                let mut w = vec![0.0f32; vals.len()];
+                st.write_scaled(alpha, scale, &mut w);
+                let mut dense = 0.0f32;
+                for (xv, wv) in x.iter().zip(w.iter()) {
+                    dense += xv * wv;
+                }
+                let packed = st.dot_scaled(alpha, scale, &x);
+                assert_eq!(packed.to_bits(), dense.to_bits(), "{enc:?} α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_bt_packed_matches_dense_reference() {
+        let (m, k, nr) = (3, 40, 5);
+        let scale = 0.015_625f32;
+        let alpha = 6;
+        let rows: Vec<PackedTermStore> = (0..nr)
+            .map(|r| {
+                let vals: Vec<i64> = sample_values(k).iter().map(|v| v + r as i64).collect();
+                PackedTermStore::encode(&vals, 16, usize::MAX, SdrEncoding::Naf).unwrap()
+            })
+            .collect();
+        let x: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.5 - 3.0).collect();
+        // Dense reference: dequantize each row, then the matmul_bt loop nest.
+        let mut w = vec![0.0f32; nr * k];
+        for (r, row) in rows.iter().enumerate() {
+            row.write_scaled(alpha, scale, &mut w[r * k..(r + 1) * k]);
+        }
+        let mut dense = vec![0.0f32; m * nr];
+        for i in 0..m {
+            for j in 0..nr {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += x[i * k + p] * w[j * k + p];
+                }
+                dense[i * nr + j] = acc;
+            }
+        }
+        let mut packed = vec![0.0f32; m * nr];
+        matmul_bt_packed(&x, m, k, &rows, alpha, scale, &mut packed);
+        let pb: Vec<u32> = packed.iter().map(|v| v.to_bits()).collect();
+        let db: Vec<u32> = dense.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, db);
+    }
+
+    #[test]
+    fn matmul_packed_lhs_matches_dense_reference() {
+        let (nr, k, n) = (4, 33, 7);
+        let scale = 0.062_5f32;
+        let alpha = 5;
+        let rows: Vec<PackedTermStore> = (0..nr)
+            .map(|r| {
+                let vals: Vec<i64> = sample_values(k).iter().map(|v| v - r as i64).collect();
+                PackedTermStore::encode(&vals, 16, usize::MAX, SdrEncoding::Booth).unwrap()
+            })
+            .collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 * 0.3 - 1.5).collect();
+        // Dense reference: dequantize, then the matmul loop nest (zero-skip
+        // on the lhs entry, like `mri_tensor::ops::matmul`).
+        let mut w = vec![0.0f32; nr * k];
+        for (r, row) in rows.iter().enumerate() {
+            row.write_scaled(alpha, scale, &mut w[r * k..(r + 1) * k]);
+        }
+        let mut dense = vec![0.0f32; nr * n];
+        for i in 0..nr {
+            for p in 0..k {
+                let av = w[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    dense[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        let mut packed = vec![0.0f32; nr * n];
+        matmul_packed_lhs(&rows, alpha, scale, &b, k, n, &mut packed);
+        let pb: Vec<u32> = packed.iter().map(|v| v.to_bits()).collect();
+        let db: Vec<u32> = dense.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, db);
+    }
+
+    #[test]
+    fn read_paths_take_shared_references_and_tally() {
+        let vals = sample_values(32);
+        let st = PackedTermStore::encode(&vals, 16, usize::MAX, SdrEncoding::Naf).unwrap();
+        let shared: &PackedTermStore = &st;
+        shared.reset_term_reads();
+        let _ = shared.values_at(4);
+        let four = shared.term_reads();
+        shared.reset_term_reads();
+        let _ = shared.values_at(16);
+        let sixteen = shared.term_reads();
+        assert!(
+            0 < four && four < sixteen,
+            "coarser budgets must touch fewer terms ({four} vs {sixteen})"
+        );
+    }
+
+    #[test]
+    fn kept_terms_match_slice_accounting() {
+        let vals = sample_values(50);
+        let st = PackedTermStore::encode(&vals, 16, usize::MAX, SdrEncoding::Booth4).unwrap();
+        let slice = MultiResSlice::encode(&vals, 16, usize::MAX, SdrEncoding::Booth4);
+        for alpha in [0, 1, 3, 8, 20] {
+            assert_eq!(st.kept_terms_at(alpha), slice.kept_terms_at(alpha));
+        }
+        assert_eq!(st.stored_terms(), slice.stored_terms());
+    }
+
+    #[test]
+    fn packed_footprint_is_a_fraction_of_the_term_array() {
+        let vals = sample_values(256);
+        let st = PackedTermStore::encode(&vals, 16, usize::MAX, SdrEncoding::Naf).unwrap();
+        let term_array_bytes = st.stored_terms() * std::mem::size_of::<GroupTerm>();
+        assert!(
+            st.packed_bytes() * 4 < term_array_bytes,
+            "packed {}B should be well under the {}B GroupTerm array",
+            st.packed_bytes(),
+            term_array_bytes
+        );
+    }
+}

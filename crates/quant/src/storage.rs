@@ -7,6 +7,7 @@
 //! only a prefix of the memory entries.
 
 use crate::{GroupTerm, MultiResGroup, Term};
+use mri_sync::atomic::{AtomicU64, Ordering};
 use std::error::Error;
 use std::fmt;
 
@@ -88,12 +89,27 @@ pub fn bits_per_weight(g: usize, alpha: usize) -> f64 {
 /// A word-addressable memory holding packed fields, counting accesses.
 ///
 /// The width models the physical memory port; reading a range of bits costs
-/// one access per touched entry.
-#[derive(Debug, Clone)]
+/// one access per touched entry. The counter lives on an atomic cell so the
+/// whole read path is `&self`: concurrent sub-model loads share one storage
+/// without any lock (the bit image itself is immutable after construction).
+#[derive(Debug)]
 pub struct PackedMemory {
     bits: Vec<bool>,
     entry_bits: usize,
-    accesses: u64,
+    accesses: AtomicU64,
+}
+
+impl Clone for PackedMemory {
+    fn clone(&self) -> Self {
+        PackedMemory {
+            bits: self.bits.clone(),
+            entry_bits: self.entry_bits,
+            // ordering: Relaxed — the counter is a monotonic statistic with
+            // no other memory it publishes; a clone snapshots whatever tally
+            // the source has reached.
+            accesses: AtomicU64::new(self.accesses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl PackedMemory {
@@ -107,7 +123,7 @@ impl PackedMemory {
         PackedMemory {
             bits: Vec::new(),
             entry_bits,
-            accesses: 0,
+            accesses: AtomicU64::new(0),
         }
     }
 
@@ -123,7 +139,7 @@ impl PackedMemory {
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
-    pub fn read_field(&mut self, bit_offset: usize, width: usize) -> u64 {
+    pub fn read_field(&self, bit_offset: usize, width: usize) -> u64 {
         assert!(bit_offset + width <= self.bits.len(), "read out of bounds");
         let first_entry = bit_offset / self.entry_bits;
         let last_entry = if width == 0 {
@@ -131,7 +147,10 @@ impl PackedMemory {
         } else {
             (bit_offset + width - 1) / self.entry_bits
         };
-        self.accesses += (last_entry - first_entry + 1) as u64;
+        // ordering: Relaxed — pure event counting; nothing synchronizes on
+        // the tally and the bits being read are immutable.
+        self.accesses
+            .fetch_add((last_entry - first_entry + 1) as u64, Ordering::Relaxed);
         let mut v = 0u64;
         for i in 0..width {
             if self.bits[bit_offset + i] {
@@ -143,12 +162,14 @@ impl PackedMemory {
 
     /// Number of entry accesses performed so far.
     pub fn accesses(&self) -> u64 {
-        self.accesses
+        // ordering: Relaxed — monotonic statistic, read in isolation.
+        self.accesses.load(Ordering::Relaxed)
     }
 
     /// Resets the access counter.
-    pub fn reset_accesses(&mut self) {
-        self.accesses = 0;
+    pub fn reset_accesses(&self) {
+        // ordering: Relaxed — counter reset carries no payload to publish.
+        self.accesses.store(0, Ordering::Relaxed);
     }
 
     /// Total stored bits.
@@ -219,10 +240,12 @@ impl MultiResStorage {
     /// Loads the terms of the sub-model at `budget`, counting memory
     /// accesses on both memories.
     ///
-    /// # Panics
-    ///
-    /// Panics if `budget` exceeds the stored maximum budget.
-    pub fn load_budget(&mut self, budget: usize) -> Vec<GroupTerm> {
+    /// A `budget` beyond the stored maximum is clamped to the full stored
+    /// sequence: truncation serving never over-reads, it simply stops at the
+    /// end of the term memory. This mirrors the prefix semantics of
+    /// [`MultiResSlice::values_at`](crate::MultiResSlice::values_at), where a
+    /// larger-than-stored budget also yields the finest stored sub-model.
+    pub fn load_budget(&self, budget: usize) -> Vec<GroupTerm> {
         let n = budget.min(self.stored_terms);
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
@@ -241,7 +264,10 @@ impl MultiResStorage {
     }
 
     /// Reconstructs the sub-model's values at `budget`.
-    pub fn values_at(&mut self, budget: usize) -> Vec<i64> {
+    ///
+    /// Like [`load_budget`](Self::load_budget), an over-budget request is
+    /// clamped to the stored maximum.
+    pub fn values_at(&self, budget: usize) -> Vec<i64> {
         let mut vals = vec![0i64; self.group_size];
         for gt in self.load_budget(budget) {
             vals[gt.index] += gt.term.value();
@@ -255,7 +281,7 @@ impl MultiResStorage {
     }
 
     /// Resets both access counters.
-    pub fn reset_accesses(&mut self) {
+    pub fn reset_accesses(&self) {
         self.term_mem.reset_accesses();
         self.index_mem.reset_accesses();
     }
@@ -320,16 +346,40 @@ mod tests {
     #[test]
     fn storage_round_trips_paper_group() {
         let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
-        let mut st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
+        let st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
         assert_eq!(st.values_at(2), vec![16, 0, 16, 0]);
         assert_eq!(st.values_at(4), vec![20, 0, 16, 8]);
         assert_eq!(st.values_at(8), vec![21, 6, 16, 10]);
     }
 
     #[test]
+    fn over_budget_load_clamps_to_stored_terms() {
+        // Regression for the read contract: the docs used to promise a panic
+        // while the code clamped. Clamping is the documented behavior now —
+        // an over-budget read serves the finest stored sub-model.
+        let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
+        let st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
+        assert_eq!(st.load_budget(usize::MAX).len(), st.load_budget(8).len());
+        assert_eq!(st.values_at(100), st.values_at(8));
+    }
+
+    #[test]
+    fn reads_are_shared_reference_only() {
+        // The read path takes `&self`: a shared borrow may both load and
+        // reset counters (satisfied at compile time, pinned here so the
+        // signature never regresses to `&mut`).
+        let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
+        let st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
+        let shared: &MultiResStorage = &st;
+        shared.reset_accesses();
+        let _ = shared.values_at(4);
+        assert!(shared.total_accesses() > 0);
+    }
+
+    #[test]
     fn lower_budgets_touch_fewer_entries() {
         let g = MultiResGroup::from_values(&[21, 6, 17, 11], 8, SdrEncoding::Unsigned);
-        let mut st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
+        let st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).unwrap();
         st.load_budget(2);
         let low = st.total_accesses();
         st.reset_accesses();
@@ -353,6 +403,7 @@ mod tests {
     #[test]
     fn packed_memory_counts_entry_spanning_reads() {
         let mut m = PackedMemory::new(8);
+        // Reads below go through `&m`; only `push_field` needs `&mut`.
         m.push_field(0xABCD, 16);
         // A 4-bit read inside one entry: 1 access.
         m.read_field(0, 4);

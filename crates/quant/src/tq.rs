@@ -47,7 +47,7 @@ pub fn group_terms(values: &[i64], encoding: SdrEncoding) -> Vec<GroupTerm> {
 /// values under a per-`group_size` budget: full groups get the budget as-is,
 /// tails get it scaled proportionally (rounding up), exactly as
 /// [`GroupTermQuantizer::quantize_slice`] has always done.
-fn scaled_budget(budget: usize, group_size: usize, chunk_len: usize) -> usize {
+pub(crate) fn scaled_budget(budget: usize, group_size: usize, chunk_len: usize) -> usize {
     if chunk_len == group_size {
         budget
     } else {
@@ -462,7 +462,7 @@ impl MultiResSlice {
     }
 
     /// Iterates `(group_value_range, group_terms)` pairs.
-    fn groups(&self) -> impl Iterator<Item = (usize, &[GroupTerm])> {
+    pub(crate) fn groups(&self) -> impl Iterator<Item = (usize, &[GroupTerm])> {
         self.ends.iter().enumerate().map(move |(g, &end)| {
             let start = if g == 0 { 0 } else { self.ends[g - 1] as usize };
             let lo = g * self.group_size;
@@ -565,7 +565,7 @@ impl MultiResSlice {
 /// Stack buffer size for group reconstruction in [`MultiResSlice::write_scaled`];
 /// groups at or below this size (all of the paper's settings use `g = 16`)
 /// reconstruct without heap allocation.
-const MAX_GROUP_STACK: usize = 32;
+pub(crate) const MAX_GROUP_STACK: usize = 32;
 
 /// Average TQ quantization error (RMSE) for groups drawn from `samples`,
 /// used to reproduce Fig. 5(b).

@@ -63,7 +63,7 @@ proptest! {
     fn storage_round_trip(vals in prop::collection::vec(-127i64..=127, 8)) {
         let budgets = [2usize, 5, 9, 14];
         let g = MultiResGroup::from_values(&vals, 14, SdrEncoding::Naf);
-        let mut st = MultiResStorage::store(&g, &budgets, 16).unwrap();
+        let st = MultiResStorage::store(&g, &budgets, 16).unwrap();
         for &b in &budgets {
             prop_assert_eq!(st.values_at(b), g.values_at(b));
         }
@@ -119,7 +119,7 @@ proptest! {
     }
 }
 
-use mri_quant::MultiResSlice;
+use mri_quant::{MultiResSlice, PackedTermStore};
 
 proptest! {
     /// The reusable-term cache invariant: a slice encoded once (at any
@@ -154,6 +154,71 @@ proptest! {
                 "kept terms at alpha {}", alpha
             );
         }
+    }
+
+    /// The packed wire format is a lossless twin of the `GroupTerm`-array
+    /// slice: reconstructed integers, scaled f32 serves (bit-for-bit) and
+    /// term accounting all agree across every encoding, group layout
+    /// (ragged tails included) and the whole budget range. This is what
+    /// lets the weight-term cache hold *only* the packed bytes.
+    #[test]
+    fn packed_store_is_bit_identical_to_slice(
+        vals in prop::collection::vec(-127i64..=127, 1..40),
+        group_size in 1usize..20,
+        enc_idx in 0usize..4,
+    ) {
+        let encoding = [
+            SdrEncoding::Unsigned,
+            SdrEncoding::Naf,
+            SdrEncoding::Booth,
+            SdrEncoding::Booth4,
+        ][enc_idx];
+        let slice = MultiResSlice::encode(&vals, group_size, usize::MAX, encoding);
+        let st = PackedTermStore::from_slice(&slice).unwrap();
+        for alpha in 0..=(group_size * 9) {
+            prop_assert_eq!(
+                st.values_at(alpha),
+                slice.values_at(alpha),
+                "alpha {} g {} enc {:?}", alpha, group_size, encoding
+            );
+            prop_assert_eq!(st.kept_terms_at(alpha), slice.kept_terms_at(alpha));
+            let mut packed = vec![0.0f32; vals.len()];
+            let mut dense = vec![0.0f32; vals.len()];
+            st.write_scaled(alpha, 0.25, &mut packed);
+            slice.write_scaled(alpha, 0.25, &mut dense);
+            let pb: Vec<u32> = packed.iter().map(|v| v.to_bits()).collect();
+            let db: Vec<u32> = dense.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(pb, db, "scaled serve at alpha {}", alpha);
+        }
+    }
+
+    /// The shift-add dot kernel never diverges from "dequantize the row,
+    /// then run the dense dot" — bit-for-bit, for any finite input, at any
+    /// budget, under every encoding.
+    #[test]
+    fn packed_dot_is_bit_identical_to_dense_dot(
+        pairs in prop::collection::vec((-127i64..=127, -4.0f32..4.0), 1..40),
+        enc_idx in 0usize..4,
+        alpha in 0usize..24,
+    ) {
+        let encoding = [
+            SdrEncoding::Unsigned,
+            SdrEncoding::Naf,
+            SdrEncoding::Booth,
+            SdrEncoding::Booth4,
+        ][enc_idx];
+        let vals: Vec<i64> = pairs.iter().map(|&(v, _)| v).collect();
+        let x: Vec<f32> = pairs.iter().map(|&(_, v)| v).collect();
+        let scale = 0.031_25f32;
+        let st = PackedTermStore::encode(&vals, 16, usize::MAX, encoding).unwrap();
+        let mut w = vec![0.0f32; vals.len()];
+        st.write_scaled(alpha, scale, &mut w);
+        let mut dense = 0.0f32;
+        for (xv, wv) in x.iter().zip(w.iter()) {
+            dense += xv * wv;
+        }
+        let packed = st.dot_scaled(alpha, scale, &x);
+        prop_assert_eq!(packed.to_bits(), dense.to_bits(), "{:?} alpha {}", encoding, alpha);
     }
 
     /// Encoding at a finite max budget still serves every budget up to it

@@ -182,8 +182,21 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> (Tenso
     let w2 = weight.reshape(&[o, c * kh * kw]);
     // [O, CKK] x [CKK, N*Ho*Wo] = [O, N*Ho*Wo]
     let prod = ops::matmul(&w2, &cols);
+    (gemm_to_nchw(&prod, n, ho, wo), cols)
+}
 
-    // Rearrange [O, N, Ho, Wo] -> [N, O, Ho, Wo].
+/// Rearranges an im2col GEMM product `[O, N·H_out·W_out]` into the NCHW
+/// output `[N, O, H_out, W_out]` — the tail of [`conv2d_forward`], exposed
+/// so alternative GEMM producers (e.g. term-native packed kernels) can share
+/// the exact same placement.
+///
+/// # Panics
+///
+/// Panics if `prod` is not rank 2 or its column count is not `n · ho · wo`.
+pub fn gemm_to_nchw(prod: &Tensor, n: usize, ho: usize, wo: usize) -> Tensor {
+    assert_eq!(prod.shape().rank(), 2, "gemm_to_nchw expects [O, N*Ho*Wo]");
+    let o = prod.dim(0);
+    assert_eq!(prod.dim(1), n * ho * wo, "gemm_to_nchw column mismatch");
     let mut out = vec![0.0f32; n * o * ho * wo];
     let pd = prod.data();
     let hw = ho * wo;
@@ -194,7 +207,7 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> (Tenso
             dst.copy_from_slice(src);
         }
     }
-    (Tensor::from_vec(out, &[n, o, ho, wo]), cols)
+    Tensor::from_vec(out, &[n, o, ho, wo])
 }
 
 /// Backward 2-D convolution.
@@ -409,8 +422,6 @@ pub fn depthwise_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> Ten
         "weight kernel does not match cfg"
     );
     let (kh, kw) = cfg.kernel;
-    let (sh, sw) = cfg.stride;
-    let (ph, pw) = cfg.padding;
     let (ho, wo) = cfg.out_size(h, w);
 
     let mut out = vec![0.0f32; n * c * ho * wo];
@@ -421,24 +432,82 @@ pub fn depthwise_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> Ten
             let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
             let ker = &wd[ci * kh * kw..(ci + 1) * kh * kw];
             let dst = &mut out[(b * c + ci) * ho * wo..(b * c + ci + 1) * ho * wo];
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let mut acc = 0.0f32;
-                    for ky in 0..kh {
-                        let iy = (oy * sh + ky) as isize - ph as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * sw + kx) as isize - pw as isize;
-                            if ix >= 0 && ix < w as isize {
-                                acc += img[iy as usize * w + ix as usize] * ker[ky * kw + kx];
-                            }
-                        }
+            depthwise_channel(img, ker, dst, (h, w), (ho, wo), cfg);
+        }
+    }
+    Tensor::from_vec(out, &[n, c, ho, wo])
+}
+
+/// One channel of [`depthwise_forward`]: convolves `img` (`h × w`) with
+/// `ker` (`kh × kw`) into `dst` (`ho × wo`).
+fn depthwise_channel(
+    img: &[f32],
+    ker: &[f32],
+    dst: &mut [f32],
+    (h, w): (usize, usize),
+    (ho, wo): (usize, usize),
+    cfg: Conv2dCfg,
+) {
+    let (kh, kw) = cfg.kernel;
+    let (sh, sw) = cfg.stride;
+    let (ph, pw) = cfg.padding;
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let mut acc = 0.0f32;
+            for ky in 0..kh {
+                let iy = (oy * sh + ky) as isize - ph as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kx in 0..kw {
+                    let ix = (ox * sw + kx) as isize - pw as isize;
+                    if ix >= 0 && ix < w as isize {
+                        acc += img[iy as usize * w + ix as usize] * ker[ky * kw + kx];
                     }
-                    dst[oy * wo + ox] = acc;
                 }
             }
+            dst[oy * wo + ox] = acc;
+        }
+    }
+}
+
+/// [`depthwise_forward`] with the filters supplied per channel instead of as
+/// one `[C, KH, KW]` tensor: `fill(ci, buf)` must write channel `ci`'s
+/// `kh·kw` filter taps into `buf`. Each channel's filter is requested exactly
+/// once and applied across the whole batch, so a producer that decodes
+/// filters from a packed term store never materialises the full weight
+/// tensor. Output placement and per-pixel accumulation order match
+/// [`depthwise_forward`] exactly.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn depthwise_forward_with(
+    input: &Tensor,
+    channels: usize,
+    cfg: Conv2dCfg,
+    mut fill: impl FnMut(usize, &mut [f32]),
+) -> Tensor {
+    let _prof = mri_telemetry::prof_scope!("tensor.depthwise_forward");
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "depthwise input must be [N, C, H, W]"
+    );
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    assert_eq!(channels, c, "depthwise channel mismatch");
+    let (kh, kw) = cfg.kernel;
+    let (ho, wo) = cfg.out_size(h, w);
+
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    let data = input.data();
+    let mut ker = vec![0.0f32; kh * kw];
+    for ci in 0..c {
+        fill(ci, &mut ker);
+        for b in 0..n {
+            let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+            let dst = &mut out[(b * c + ci) * ho * wo..(b * c + ci + 1) * ho * wo];
+            depthwise_channel(img, &ker, dst, (h, w), (ho, wo), cfg);
         }
     }
     Tensor::from_vec(out, &[n, c, ho, wo])

@@ -2,9 +2,22 @@
 
 use crate::Tensor;
 
-/// Minimum number of output rows per worker thread before `matmul`
+/// Minimum number of output rows per worker thread before a GEMM
 /// parallelises across threads.
 const PAR_ROWS_PER_THREAD: usize = 16;
+
+/// Shared row-split policy for the three GEMM kernels: `Some(rows_per)`
+/// when splitting `m` output rows over scoped threads is worth it — every
+/// worker gets a meaningful chunk and the multiply count (`mults`)
+/// amortises thread startup. `None` means run the serial kernel.
+fn row_split(m: usize, mults: usize) -> Option<usize> {
+    let threads = available_threads();
+    if m >= threads * PAR_ROWS_PER_THREAD && threads > 1 && mults > 1 << 16 {
+        Some(m.div_ceil(threads))
+    } else {
+        None
+    }
+}
 
 /// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
 ///
@@ -34,11 +47,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
 
     let mut out = vec![0.0f32; m * n];
-    let threads = available_threads();
-    if m >= threads * PAR_ROWS_PER_THREAD && threads > 1 && m * n * k > 1 << 16 {
+    if let Some(rows_per) = row_split(m, m * n * k) {
         let a_data = a.data();
         let b_data = b.data();
-        let rows_per = m.div_ceil(threads);
         // Worker panics propagate out of `scope` after all threads joined.
         mri_sync::thread::scope(|scope| {
             for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
@@ -75,6 +86,10 @@ fn matmul_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usiz
 
 /// `a × bᵀ` without materialising the transpose: `[m, k] × [n, k]ᵀ → [m, n]`.
 ///
+/// Splits output rows over scoped threads under the same policy as
+/// [`matmul`] — the backward-pass GEMMs used to stay serial no matter how
+/// large the gradient product was.
+///
 /// # Panics
 ///
 /// Panics if either input is not rank 2 or the `k` dimensions disagree.
@@ -88,21 +103,46 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let a_data = a.data();
     let b_data = b.data();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b_data[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a_row[p] * b_row[p];
+    if let Some(rows_per) = row_split(m, m * n * k) {
+        // Worker panics propagate out of `scope` after all threads joined.
+        mri_sync::thread::scope(|scope| {
+            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let row0 = t * rows_per;
+                scope.spawn(move || {
+                    matmul_bt_rows(a_data, b_data, chunk, row0, k, n);
+                });
             }
-            out[i * n + j] = acc;
-        }
+        });
+    } else {
+        matmul_bt_rows(a_data, b_data, &mut out, 0, k, n);
     }
     Tensor::from_vec(out, &[m, n])
 }
 
+/// Computes rows `[row0, row0 + chunk_rows)` of `a × bᵀ` into `out_chunk`.
+fn matmul_bt_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out_chunk.len() / n.max(1);
+    for r in 0..rows {
+        let i = row0 + r;
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out_chunk[r * n..(r + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            *o = acc;
+        }
+    }
+}
+
 /// `aᵀ × b` without materialising the transpose: `[k, m]ᵀ × [k, n] → [m, n]`.
+///
+/// Splits output rows over scoped threads under the same policy as
+/// [`matmul`]; each worker walks the full `k` extent so per-element
+/// accumulation order (and thus the result, bit for bit) matches the serial
+/// kernel.
 ///
 /// # Panics
 ///
@@ -117,20 +157,47 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let a_data = a.data();
     let b_data = b.data();
     let mut out = vec![0.0f32; m * n];
+    if let Some(rows_per) = row_split(m, m * n * k) {
+        // Worker panics propagate out of `scope` after all threads joined.
+        mri_sync::thread::scope(|scope| {
+            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let row0 = t * rows_per;
+                scope.spawn(move || {
+                    matmul_at_rows(a_data, b_data, chunk, row0, k, m, n);
+                });
+            }
+        });
+    } else {
+        matmul_at_rows(a_data, b_data, &mut out, 0, k, m, n);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Computes rows `[row0, row0 + chunk_rows)` of `aᵀ × b` into `out_chunk`.
+fn matmul_at_rows(
+    a: &[f32],
+    b: &[f32],
+    out_chunk: &mut [f32],
+    row0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let rows = out_chunk.len() / n.max(1);
     for p in 0..k {
-        let a_row = &a_data[p * m..(p + 1) * m];
-        let b_row = &b_data[p * n..(p + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for r in 0..rows {
+            let av = a_row[row0 + r];
             if av == 0.0 {
                 continue;
             }
-            let out_row = &mut out[i * n..(i + 1) * n];
+            let out_row = &mut out_chunk[r * n..(r + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += av * bv;
             }
         }
     }
-    Tensor::from_vec(out, &[m, n])
 }
 
 /// Dot product of two equal-length 1-D tensors.
@@ -212,6 +279,30 @@ mod tests {
         let a = Tensor::from_vec((0..m * k).map(|x| (x % 7) as f32 - 3.0).collect(), &[m, k]);
         let b = Tensor::from_vec((0..k * n).map(|x| (x % 5) as f32 - 2.0).collect(), &[k, n]);
         assert_close(matmul(&a, &b).data(), naive_matmul(&a, &b).data(), 1e-3);
+    }
+
+    #[test]
+    fn matmul_bt_parallel_path_matches_naive() {
+        // Same sizing as `matmul_parallel_path_matches_naive`: enough output
+        // rows and multiplies to cross `row_split` on multi-core hosts.
+        let m = 256;
+        let k = 40;
+        let n = 40;
+        let a = Tensor::from_vec((0..m * k).map(|x| (x % 7) as f32 - 3.0).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..n * k).map(|x| (x % 5) as f32 - 2.0).collect(), &[n, k]);
+        let expected = naive_matmul(&a, &b.transpose());
+        assert_close(matmul_bt(&a, &b).data(), expected.data(), 1e-3);
+    }
+
+    #[test]
+    fn matmul_at_parallel_path_matches_naive() {
+        let m = 256;
+        let k = 40;
+        let n = 40;
+        let a = Tensor::from_vec((0..k * m).map(|x| (x % 7) as f32 - 3.0).collect(), &[k, m]);
+        let b = Tensor::from_vec((0..k * n).map(|x| (x % 5) as f32 - 2.0).collect(), &[k, n]);
+        let expected = naive_matmul(&a.transpose(), &b);
+        assert_close(matmul_at(&a, &b).data(), expected.data(), 1e-3);
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn main() {
     }
 
     // --- §5.4: packed 4-bit storage with memory-access accounting.
-    let mut storage = MultiResStorage::store(&group, &[2, 4, 6, 8], 16).expect("5-bit terms pack");
+    let storage = MultiResStorage::store(&group, &[2, 4, 6, 8], 16).expect("5-bit terms pack");
     for budget in [2usize, 8] {
         storage.reset_accesses();
         let vals = storage.values_at(budget);

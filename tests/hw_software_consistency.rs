@@ -87,6 +87,66 @@ fn single_cell_and_array_agree() {
     }
 }
 
+/// The serving contract of Fig. 9 end to end: the mMAC simulator and the
+/// packed software kernel read from the *same* term store. The weights the
+/// hardware loads at budget α are exactly the store's α-truncated values,
+/// and the integer MAC result equals the packed shift-add dot bit for bit.
+#[test]
+fn mmac_and_packed_store_agree_from_the_same_terms() {
+    use multi_resolution_inference::quant::PackedTermStore;
+
+    let w: Vec<i64> = (0..16).map(|i| ((i * 9) % 31) as i64 - 15).collect();
+    // Signed powers of two: exact under NAF data quantization at any β ≥ 1,
+    // so the comparison isolates the weight path.
+    let x: Vec<i64> = (0..16)
+        .map(|i| (1i64 << (i % 3)) * if i % 2 == 0 { 1 } else { -1 })
+        .collect();
+    let st = PackedTermStore::encode(&w, 16, usize::MAX, SdrEncoding::Naf).unwrap();
+
+    for (alpha, beta) in [(4usize, 1usize), (8, 2), (12, 2), (16, 3)] {
+        let mut mac = Mmac::new(16, alpha, beta, SdrEncoding::Naf);
+        let (wq, xq) = mac.quantized_operands(&w, &x);
+        assert_eq!(
+            wq,
+            st.values_at(alpha),
+            "(α={alpha}) the hardware must load the store's α-truncated weights"
+        );
+        assert_eq!(xq, x, "(β={beta}) single-term data is exact at every β");
+
+        let hw = mac.group_mac(&w, &x, 0);
+        let x_f32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let sw = st.dot_scaled(alpha, 1.0, &x_f32);
+        assert_eq!(
+            sw, hw.value as f32,
+            "(α={alpha}, β={beta}) packed shift-add dot vs mMAC"
+        );
+    }
+}
+
+/// The hardware weight load and the packed store agree under every encoding
+/// the workspace configures, not just NAF.
+#[test]
+fn packed_store_matches_hardware_weight_load_for_every_encoding() {
+    use multi_resolution_inference::quant::PackedTermStore;
+
+    let w: Vec<i64> = (0..32).map(|i| ((i * 23) % 255) as i64 - 127).collect();
+    for encoding in [
+        SdrEncoding::Unsigned,
+        SdrEncoding::Naf,
+        SdrEncoding::Booth,
+        SdrEncoding::Booth4,
+    ] {
+        let st = PackedTermStore::encode(&w, 16, usize::MAX, encoding).unwrap();
+        for alpha in [0usize, 4, 8, 16, 24] {
+            let mac = Mmac::new(16, alpha, 2, encoding);
+            let (wq0, _) = mac.quantized_operands(&w[..16], &[0i64; 16]);
+            let (wq1, _) = mac.quantized_operands(&w[16..], &[0i64; 16]);
+            let all: Vec<i64> = wq0.into_iter().chain(wq1).collect();
+            assert_eq!(all, st.values_at(alpha), "{encoding:?} α={alpha}");
+        }
+    }
+}
+
 /// Switching the resolution at runtime changes cost monotonically without
 /// ever changing *which* terms are stored — the nesting invariant end to end.
 #[test]

@@ -1,0 +1,152 @@
+//! End-to-end packed serving: `MultiResTrainer::evaluate_all` across the
+//! paper's four sub-model specs runs entirely on packed term stores —
+//! zero per-spec f32 weight tensors are materialized (counter-asserted),
+//! and the answers are bit-identical to the dequantize + dense route.
+
+use multi_resolution_inference::core::{
+    weight_tensors_built_on_this_thread, MultiResTrainer, QConv2d, QLinear, QuantConfig,
+    Resolution, ResolutionControl, SubModelSpec, TrainerConfig,
+};
+use multi_resolution_inference::nn::{Flatten, Layer, Mode, Relu, Sequential};
+use multi_resolution_inference::tensor::conv::Conv2dCfg;
+use multi_resolution_inference::tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const SPECS: [(usize, usize); 4] = [(4, 1), (8, 2), (12, 2), (16, 3)];
+
+fn specs() -> Vec<SubModelSpec> {
+    SPECS
+        .iter()
+        .map(|&(alpha, beta)| SubModelSpec::new(alpha, beta))
+        .collect()
+}
+
+/// A small conv → relu → flatten → linear classifier with every quantized
+/// layer listening to one shared `ResolutionControl`.
+fn build_model(
+    rng: &mut StdRng,
+    control: &Arc<ResolutionControl>,
+) -> (Sequential, Arc<ResolutionControl>) {
+    let qcfg = QuantConfig::paper_cnn();
+    let mut model = Sequential::new();
+    model.push(QConv2d::new(
+        rng,
+        1,
+        4,
+        Conv2dCfg::same(3),
+        qcfg,
+        Arc::clone(control),
+    ));
+    model.push(Relu::new());
+    model.push(Flatten::new());
+    model.push(QLinear::new(rng, 4 * 8 * 8, 3, qcfg, Arc::clone(control)));
+    (model, Arc::clone(control))
+}
+
+fn batches(rng: &mut StdRng) -> Vec<(Tensor, Vec<usize>)> {
+    (0..2)
+        .map(|_| {
+            let x = init::uniform(rng, &[6, 1, 8, 8], 0.0, 1.0);
+            let labels: Vec<usize> = (0..6).map(|i| i % 3).collect();
+            (x, labels)
+        })
+        .collect()
+}
+
+/// The acceptance criterion of the packed serving representation: spawning
+/// all four sub-models for evaluation — cold cache fills included — never
+/// dequantizes a weight tensor. Resolution truncation is a pointer/length
+/// change on the shared packed store, and the shift-add kernels consume the
+/// nibbles directly.
+#[test]
+fn evaluate_all_four_specs_materializes_zero_weight_tensors() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let control = Arc::new(ResolutionControl::new(Resolution::Full));
+    let (mut model, _) = build_model(&mut rng, &control);
+    let trainer = MultiResTrainer::new(TrainerConfig::new(specs()), Arc::clone(&control));
+    let data = batches(&mut rng);
+
+    let before = weight_tensors_built_on_this_thread();
+    let results = trainer.evaluate_all(&mut model, &data);
+    assert_eq!(results.len(), SPECS.len());
+    for (r, &(alpha, beta)) in results.iter().zip(SPECS.iter()) {
+        assert_eq!(r.spec.alpha, alpha, "spec order preserved");
+        assert_eq!(r.spec.beta, beta);
+        assert!(r.accuracy >= 0.0 && r.accuracy <= 1.0);
+    }
+    assert_eq!(
+        weight_tensors_built_on_this_thread(),
+        before,
+        "evaluate_all across 4 specs must materialize zero f32 weight tensors"
+    );
+}
+
+/// The packed route answers exactly what the dequantize + dense route
+/// answers, spec by spec, through a whole model forward.
+#[test]
+fn packed_and_dense_model_forwards_are_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let control = Arc::new(ResolutionControl::new(Resolution::Full));
+    let qcfg = QuantConfig::paper_cnn();
+    let mut conv = QConv2d::new(
+        &mut rng,
+        1,
+        4,
+        Conv2dCfg::same(3),
+        qcfg,
+        Arc::clone(&control),
+    );
+    let mut relu = Relu::new();
+    let mut flat = Flatten::new();
+    let mut lin = QLinear::new(&mut rng, 4 * 8 * 8, 3, qcfg, Arc::clone(&control));
+    let x = init::uniform(&mut rng, &[4, 1, 8, 8], 0.0, 1.0);
+
+    let forward = |conv: &mut QConv2d, lin: &mut QLinear, relu: &mut Relu, flat: &mut Flatten| {
+        let y = conv.forward(&x, Mode::Eval);
+        let y = relu.forward(&y, Mode::Eval);
+        let y = flat.forward(&y, Mode::Eval);
+        lin.forward(&y, Mode::Eval)
+    };
+
+    for (alpha, beta) in SPECS {
+        control.set_resolution(Resolution::Tq { alpha, beta });
+        let packed = forward(&mut conv, &mut lin, &mut relu, &mut flat);
+        conv.weight_cache().set_packed_eval(false);
+        lin.weight_cache().set_packed_eval(false);
+        let dense = forward(&mut conv, &mut lin, &mut relu, &mut flat);
+        conv.weight_cache().set_packed_eval(true);
+        lin.weight_cache().set_packed_eval(true);
+        let pb: Vec<u32> = packed.data().iter().map(|v| v.to_bits()).collect();
+        let db: Vec<u32> = dense.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, db, "α={alpha} β={beta}");
+    }
+}
+
+/// Training still runs the straight-through f32 path (it must — backward
+/// needs the dequantized weights), so a train step materializes weight
+/// tensors while the packed eval immediately after does not.
+#[test]
+fn train_materializes_but_eval_does_not() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let control = Arc::new(ResolutionControl::new(Resolution::Full));
+    let (mut model, _) = build_model(&mut rng, &control);
+    let mut trainer = MultiResTrainer::new(TrainerConfig::new(specs()), Arc::clone(&control));
+    let data = batches(&mut rng);
+
+    let before = weight_tensors_built_on_this_thread();
+    trainer.train_step(&mut model, &data[0].0, &data[0].1);
+    assert!(
+        weight_tensors_built_on_this_thread() > before,
+        "the train path keeps the straight-through f32 route"
+    );
+
+    let before = weight_tensors_built_on_this_thread();
+    trainer.evaluate_all(&mut model, &data);
+    assert_eq!(
+        weight_tensors_built_on_this_thread(),
+        before,
+        "eval after training serves from the refreshed packed stores"
+    );
+}

@@ -82,7 +82,7 @@ fn section54_storage_accounting() {
 #[test]
 fn fig17_increment_layout_round_trips_through_memory() {
     let g = MultiResGroup::from_values(&PAPER_GROUP, 8, SdrEncoding::Unsigned);
-    let mut st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).expect("packs");
+    let st = MultiResStorage::store(&g, &[2, 4, 6, 8], 16).expect("packs");
     for budget in [2usize, 4, 6, 8] {
         assert_eq!(st.values_at(budget), g.values_at(budget));
     }
