@@ -37,7 +37,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|qsite|packed|verify|summary|all> [--fast] [--seed N]");
+        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|qsite|packed|pool|verify|summary|all> [--fast] [--seed N]");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -112,6 +112,9 @@ fn main() {
     }
     if want("packed") {
         run_packed(cfg);
+    }
+    if want("pool") {
+        run_pool(cfg);
     }
     if want("summary") {
         let claims = mri_bench::summary::check_claims(std::path::Path::new("results"));
@@ -188,6 +191,7 @@ fn run_telemetry(cfg: RunConfig) {
         &table,
     );
     write_json("telemetry", &rows);
+    mri_telemetry::sample_pool_stats();
     let summary_path = mri_telemetry::global()
         .summary()
         .write_dir(dir)
@@ -291,6 +295,29 @@ fn run_packed(cfg: RunConfig) {
         &table,
     );
     write_json("packed", &rows);
+}
+
+fn run_pool(cfg: RunConfig) {
+    let rows = mri_bench::pool_exp::pool_scaling(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.lanes.to_string(),
+                r.workers.to_string(),
+                format!("{:.3}ms", r.matmul_ms),
+                format!("{:.3}ms", r.conv2d_ms),
+                format!("{:.2}x", r.speedup),
+                if r.bits_identical { "identical" } else { "DIVERGED" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Worker-pool scaling: pooled GEMM + conv2d at 1/2/4/8 lanes",
+        &["lanes", "workers", "matmul", "conv2d fwd+bwd", "speedup", "bits"],
+        &table,
+    );
+    write_json("pool", &rows);
 }
 
 fn run_ablation_strategy(cfg: RunConfig) {

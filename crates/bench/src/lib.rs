@@ -27,6 +27,7 @@
 //! | `cache` | weight-term cache A/B (encode once, truncate per α) | [`cache_exp`] |
 //! | `qsite` | mask-free eval path vs train-mode forwards | [`qsite_exp`] |
 //! | `packed` | packed shift-add serving vs dequantize + dense eval | [`packed_exp`] |
+//! | `pool` | worker-pool scaling (1/2/4/8 lanes, bit-identity check) | [`pool_exp`] |
 //!
 //! The `mri-bench` binary additionally runs the perf-trajectory probe
 //! suite ([`trajectory`]): `mri-bench trajectory --fast` appends one
@@ -39,6 +40,7 @@ pub mod ablation;
 pub mod cache_exp;
 pub mod hw_exp;
 pub mod packed_exp;
+pub mod pool_exp;
 pub mod qsite_exp;
 pub mod quant_exp;
 pub mod report;

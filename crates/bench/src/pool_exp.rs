@@ -1,0 +1,138 @@
+//! Worker-pool scaling benchmark: the pooled kernel substrate at 1, 2, 4
+//! and 8 lanes.
+//!
+//! Every row runs the *same* dense GEMM and conv2d forward/backward
+//! workload under a [`mri_sync::pool::with_pool`] override — `workers + 1`
+//! lanes, the participating caller included — so the table isolates the
+//! pool's scaling behaviour from the `MRI_THREADS` environment. The
+//! `bits` column cross-checks the determinism contract (DESIGN.md §13):
+//! every lane count must reproduce the 1-lane reference bit-for-bit.
+//! On a single-core host the wall columns are flat (the substrate's wins
+//! there come from the blocked microkernels, which every row shares);
+//! speedups only appear when the host has cores to scale onto.
+
+use crate::RunConfig;
+use mri_sync::pool::{with_pool, Pool};
+use mri_sync::Arc;
+use mri_tensor::{conv, ops, Tensor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One lane-count row of the pool-scaling table.
+#[derive(Debug, Clone, Serialize)]
+pub struct PoolRow {
+    /// Total execution lanes (pool workers + the participating caller).
+    pub lanes: usize,
+    /// Pool worker threads behind the lanes.
+    pub workers: usize,
+    /// Wall-clock per dense `matmul` call, milliseconds.
+    pub matmul_ms: f64,
+    /// Wall-clock per conv2d forward+backward pair, milliseconds.
+    pub conv2d_ms: f64,
+    /// Combined-wall speedup vs the 1-lane row (1.0 for that row).
+    pub speedup: f64,
+    /// Outputs bit-identical to the 1-lane reference.
+    pub bits_identical: bool,
+}
+
+fn pattern(len: usize, stride: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| (((i * stride + 5) % 97) as f32 - 48.0) * 0.031_25)
+        .collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs the GEMM + conv workload at 1/2/4/8 lanes and returns one row per
+/// lane count, speedups normalised to the 1-lane row.
+pub fn pool_scaling(cfg: RunConfig) -> Vec<PoolRow> {
+    let (mkn, conv_side, repeats) = if cfg.fast { (96, 12, 2) } else { (192, 24, 5) };
+
+    let a = Tensor::from_vec(pattern(mkn * mkn, 3), &[mkn, mkn]);
+    let b = Tensor::from_vec(pattern(mkn * mkn, 7), &[mkn, mkn]);
+    let dims = (4usize, 16usize, conv_side, conv_side);
+    let input = Tensor::from_vec(
+        pattern(dims.0 * dims.1 * dims.2 * dims.3, 11),
+        &[dims.0, dims.1, dims.2, dims.3],
+    );
+    let weight = Tensor::from_vec(pattern(16 * 16 * 3 * 3, 13), &[16, 16, 3, 3]);
+    let ccfg = conv::Conv2dCfg::same(3);
+
+    let mut rows: Vec<PoolRow> = Vec::new();
+    let mut reference: Option<(Vec<u32>, Vec<u32>)> = None;
+    for lanes in [1usize, 2, 4, 8] {
+        let pool = Arc::new(Pool::with_workers(lanes - 1));
+        let (matmul_ms, conv2d_ms, got) = with_pool(&pool, || {
+            // Warm-up pass keeps first-touch costs out of the timed loop.
+            let warm = ops::matmul(&a, &b);
+            let (warm_out, warm_cols) = conv::conv2d_forward(&input, &weight, ccfg);
+            let _ = conv::conv2d_backward(&warm_out, &warm_cols, &weight, dims, ccfg);
+
+            let t0 = Instant::now();
+            let mut out = warm;
+            for _ in 0..repeats {
+                out = ops::matmul(&a, &b);
+            }
+            let matmul_ms = t0.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+
+            let t1 = Instant::now();
+            let mut gx = out.clone();
+            for _ in 0..repeats {
+                let (o, cols) = conv::conv2d_forward(&input, &weight, ccfg);
+                gx = conv::conv2d_backward(&o, &cols, &weight, dims, ccfg).0;
+            }
+            let conv2d_ms = t1.elapsed().as_secs_f64() * 1e3 / repeats as f64;
+
+            (matmul_ms, conv2d_ms, (bits(&out), bits(&gx)))
+        });
+
+        let bits_identical = match &reference {
+            None => {
+                reference = Some(got);
+                true
+            }
+            Some(want) => want == &got,
+        };
+        rows.push(PoolRow {
+            lanes,
+            workers: lanes - 1,
+            matmul_ms,
+            conv2d_ms,
+            speedup: 1.0,
+            bits_identical,
+        });
+    }
+    let base = rows[0].matmul_ms + rows[0].conv2d_ms;
+    for row in &mut rows {
+        row.speedup = base / (row.matmul_ms + row.conv2d_ms);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_lane_count_reproduces_the_reference_bits() {
+        let rows = pool_scaling(RunConfig {
+            fast: true,
+            seed: 0,
+        });
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows.iter().map(|r| r.lanes).collect::<Vec<_>>(),
+            vec![1, 2, 4, 8]
+        );
+        for row in &rows {
+            assert!(
+                row.bits_identical,
+                "lanes={} diverged from the 1-lane reference",
+                row.lanes
+            );
+            assert!(row.speedup > 0.0);
+        }
+    }
+}

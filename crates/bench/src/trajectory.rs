@@ -5,10 +5,15 @@
 //! the newest record against its predecessor and fails CI outside the
 //! tolerance bands (see DESIGN.md §11).
 //!
-//! Probe sizing: every workload stays below the kernels' parallel-dispatch
-//! thresholds so the whole probe runs on the calling thread — the
-//! [`mri_telemetry::alloc`] counters are per-thread and would otherwise
-//! miss worker-side allocations.
+//! Probe sizing: the original probes stay below the kernels'
+//! parallel-dispatch thresholds so the whole probe runs on the calling
+//! thread — the [`mri_telemetry::alloc`] counters are per-thread and would
+//! otherwise miss worker-side allocations. The `*_large` / `*_pool` probes
+//! added with the worker pool deliberately cross those thresholds to track
+//! the pooled + blocked kernels; their `alloc_*` columns cover only the
+//! calling thread (worker-side allocations are unattributed), which is
+//! still deterministic because chunk boundaries are thread-count
+//! independent.
 
 use crate::RunConfig;
 use mri_core::{
@@ -191,6 +196,7 @@ pub fn kernel_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
     } else {
         (32, 96, 32, 32, 128, 64)
     };
+    let (mml_iters, cb_iters, pmp_iters) = if cfg.fast { (6, 4, 8) } else { (24, 16, 32) };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut probes = Vec::new();
 
@@ -220,6 +226,20 @@ pub fn kernel_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
         std::hint::black_box(&c);
     }));
 
+    // 96×128×96 ≈ 1.2 Mi MACs per GEMM: over the pool-dispatch threshold,
+    // so this probe tracks the pooled + register-blocked kernels across all
+    // three layouts (A·B, A·Bᵀ, Aᵀ·B).
+    let al = init::uniform(&mut rng, &[96, 128], -1.0, 1.0);
+    let bl = init::uniform(&mut rng, &[128, 96], -1.0, 1.0);
+    let blt = init::uniform(&mut rng, &[96, 128], -1.0, 1.0);
+    let alt = init::uniform(&mut rng, &[128, 96], -1.0, 1.0);
+    probes.push(run_probe("matmul_large", mml_iters, || {
+        let c = ops::matmul(&al, &bl);
+        let cbt = ops::matmul_bt(&al, &blt);
+        let cat = ops::matmul_at(&alt, &bl);
+        std::hint::black_box((&c, &cbt, &cat));
+    }));
+
     let input = init::uniform(&mut rng, &[2, 8, 12, 12], -1.0, 1.0);
     let weight = init::uniform(&mut rng, &[8, 8, 3, 3], -0.5, 0.5);
     let ccfg = mri_tensor::conv::Conv2dCfg::same(3);
@@ -227,6 +247,25 @@ pub fn kernel_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
         let (out, cols) = mri_tensor::conv::conv2d_forward(&input, &weight, ccfg);
         let (gx, gw) =
             mri_tensor::conv::conv2d_backward(&out, &cols, &weight, (2, 8, 12, 12), ccfg);
+        std::hint::black_box((&gx, &gw));
+    }));
+
+    // Backward-heavy conv sized over the GEMM pool threshold (4×16×16×16
+    // activations, 16×16×3×3 weights → ≈4.7 Mi MACs in the two backward
+    // GEMMs + col2im): isolates the conv2d_backward path the training loop
+    // spends most of its time in.
+    let big_in = init::uniform(&mut rng, &[4, 16, 16, 16], -1.0, 1.0);
+    let big_w = init::uniform(&mut rng, &[16, 16, 3, 3], -0.5, 0.5);
+    let big_cfg = mri_tensor::conv::Conv2dCfg::same(3);
+    let (big_out, big_cols) = mri_tensor::conv::conv2d_forward(&big_in, &big_w, big_cfg);
+    probes.push(run_probe("conv2d_backward", cb_iters, || {
+        let (gx, gw) = mri_tensor::conv::conv2d_backward(
+            &big_out,
+            &big_cols,
+            &big_w,
+            (4, 16, 16, 16),
+            big_cfg,
+        );
         std::hint::black_box((&gx, &gw));
     }));
 
@@ -260,6 +299,26 @@ pub fn kernel_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
     probes.push(run_probe("packed_matmul_eval", pm_iters, || {
         let mut out = vec![0.0f32; 24 * 32];
         matmul_bt_packed(xd.data(), 24, 64, &rows, 12, 0.031_25, &mut out);
+        std::hint::black_box(&out);
+    }));
+
+    // Pool-scale packed GEMM: 48×128 activations against 64 packed weight
+    // rows (≈0.4 Mi effective term-MACs) — crosses the packed kernels'
+    // pool-dispatch threshold so the trajectory tracks the parallel
+    // shift-add path.
+    let pool_rows: Vec<PackedTermStore> = (0..64)
+        .map(|r| {
+            let ints: Vec<i64> = (0..128)
+                .map(|i| (((r * 128 + i) * 53) % 255) as i64 - 127)
+                .collect();
+            PackedTermStore::encode(&ints, 16, usize::MAX, SdrEncoding::Naf)
+                .expect("i8-range integers fit the packed format")
+        })
+        .collect();
+    let xp = init::uniform(&mut rng, &[48, 128], -1.0, 1.0);
+    probes.push(run_probe("packed_matmul_pool", pmp_iters, || {
+        let mut out = vec![0.0f32; 48 * 64];
+        matmul_bt_packed(xp.data(), 48, 128, &pool_rows, 12, 0.031_25, &mut out);
         std::hint::black_box(&out);
     }));
 
@@ -433,10 +492,13 @@ mod tests {
             [
                 "cache_fill",
                 "matmul",
+                "matmul_large",
                 "conv2d",
+                "conv2d_backward",
                 "hw_sim",
                 "packed_dot",
-                "packed_matmul_eval"
+                "packed_matmul_eval",
+                "packed_matmul_pool"
             ]
         );
         let names: Vec<&str> = evals.probes.iter().map(|p| p.name.as_str()).collect();

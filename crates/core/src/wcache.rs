@@ -75,9 +75,10 @@ pub(crate) fn record_weight_tensor_build() {
     WEIGHT_TENSORS_BUILT.with(|c| c.set(c.get() + 1));
 }
 
-/// Minimum number of weight rows per worker before a cache fill
-/// parallelises (mirrors the `matmul` kernel's policy).
-const PAR_ROWS_PER_THREAD: usize = 16;
+/// Weight rows per pooled fill job. Fixed — never derived from the lane
+/// count — mirroring the `matmul` kernel's grain policy, so work
+/// partitioning is identical at every `MRI_THREADS` setting.
+const PAR_FILL_GRAIN_ROWS: usize = 16;
 
 /// Workspace-wide cache accounting, registered lazily in the global
 /// telemetry registry. Counters and histograms are plain shared atomics, so
@@ -437,10 +438,11 @@ fn serve(
     }
 }
 
-/// Encodes every weight row's full term sequence, splitting row chunks over
-/// scoped threads when the tensor is large enough to amortise thread
-/// startup. Masks are *not* built here — they materialise lazily on the
-/// first training-mode request (see [`CacheEntry::masks`]).
+/// Encodes every weight row's full term sequence, dispatching fixed-size row
+/// blocks over the persistent [`mri_sync::pool`] when the tensor is large
+/// enough to amortise the queueing cost. Masks are *not* built here — they
+/// materialise lazily on the first training-mode request (see
+/// [`CacheEntry::masks`]).
 fn fill(
     w: &Tensor,
     weight_version: u64,
@@ -456,16 +458,15 @@ fn fill(
 
     let mut rows: Vec<Option<PackedTermStore>> = vec![None; n_rows];
 
-    let threads = available_threads();
-    if n_rows >= threads * PAR_ROWS_PER_THREAD && threads > 1 && data.len() > 1 << 14 {
-        let rows_per = n_rows.div_ceil(threads);
-        // Worker panics propagate out of `scope` after all threads joined.
-        mri_sync::thread::scope(|scope| {
+    if mri_sync::pool::lanes() > 1 && n_rows >= 2 * PAR_FILL_GRAIN_ROWS && data.len() > 1 << 14 {
+        // Worker panics propagate out of `scope` after the job group drains.
+        mri_sync::pool::scope(|s| {
             for (chunk, slots) in data
-                .chunks(rows_per * row_len)
-                .zip(rows.chunks_mut(rows_per))
+                .chunks(PAR_FILL_GRAIN_ROWS * row_len)
+                .zip(rows.chunks_mut(PAR_FILL_GRAIN_ROWS))
             {
-                scope.spawn(move || {
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("wcache.fill.chunk");
                     encode_rows(chunk, slots, clip, qcfg, row_len);
                 });
             }
@@ -508,12 +509,6 @@ fn encode_rows(
                 .expect("weight exponents fit the packed 4-bit format (weight_bits <= 8)"),
         );
     }
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 #[cfg(test)]

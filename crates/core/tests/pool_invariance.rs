@@ -1,0 +1,155 @@
+//! Thread-count invariance: the determinism contract of DESIGN.md §13,
+//! pinned bit-for-bit.
+//!
+//! Every parallel kernel must produce *identical* f32 bit patterns no matter
+//! how many pool lanes execute it — `MRI_THREADS=1`, `2`, `4` and beyond are
+//! required to be indistinguishable. Rather than re-exec the test binary per
+//! environment value, each case runs the kernels under
+//! [`mri_sync::pool::with_pool`] overrides at 0, 1 and 3 workers (= 1, 2
+//! and 4 lanes, the caller included), which exercises the same dispatch
+//! paths the env variable selects, plus the serial fallback.
+#![cfg(not(loom))]
+
+use mri_quant::packed::{matmul_bt_packed, matmul_packed_lhs};
+use mri_quant::{PackedTermStore, SdrEncoding};
+use mri_sync::pool::{with_pool, Pool};
+use mri_sync::Arc;
+use mri_tensor::{conv, ops, Tensor};
+
+/// Worker counts under test: 1, 2 and 4 total lanes.
+const WORKER_COUNTS: [usize; 3] = [0, 1, 3];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn bits_of(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Deterministic pseudo-random fill with explicit zeros (the dense kernels
+/// have zero-skip paths worth covering).
+fn pattern(len: usize, stride: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let q = ((i * stride + 7) % 103) as i64 - 51;
+            if q % 11 == 0 {
+                0.0
+            } else {
+                q as f32 * 0.062_5
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn dense_gemms_are_bit_identical_across_lane_counts() {
+    // 96×128×96 crosses the matmul pool threshold (>2^16 MACs, ≥32 rows).
+    let (m, k, n) = (96, 128, 96);
+    let a = Tensor::from_vec(pattern(m * k, 3), &[m, k]);
+    let b = Tensor::from_vec(pattern(k * n, 5), &[k, n]);
+    let bt = b.transpose();
+    let at = a.transpose();
+
+    let mut reference: Option<(Vec<u32>, Vec<u32>, Vec<u32>)> = None;
+    for workers in WORKER_COUNTS {
+        let pool = Arc::new(Pool::with_workers(workers));
+        let got = with_pool(&pool, || {
+            (
+                bits(&ops::matmul(&a, &b)),
+                bits(&ops::matmul_bt(&a, &bt)),
+                bits(&ops::matmul_at(&at, &b)),
+            )
+        });
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(want, &got, "workers={workers}"),
+        }
+    }
+}
+
+#[test]
+fn conv2d_forward_and_backward_are_bit_identical_across_lane_counts() {
+    // 4×16×16×16 with a 3×3 'same' kernel crosses the conv GEMM and
+    // im2col/col2im pool thresholds.
+    let dims = (4usize, 16usize, 16usize, 16usize);
+    let input = Tensor::from_vec(
+        pattern(dims.0 * dims.1 * dims.2 * dims.3, 7),
+        &[dims.0, dims.1, dims.2, dims.3],
+    );
+    let weight = Tensor::from_vec(pattern(16 * 16 * 3 * 3, 11), &[16, 16, 3, 3]);
+    let cfg = conv::Conv2dCfg::same(3);
+
+    let mut reference: Option<(Vec<u32>, Vec<u32>, Vec<u32>)> = None;
+    for workers in WORKER_COUNTS {
+        let pool = Arc::new(Pool::with_workers(workers));
+        let got = with_pool(&pool, || {
+            let (out, cols) = conv::conv2d_forward(&input, &weight, cfg);
+            let (gx, gw) = conv::conv2d_backward(&out, &cols, &weight, dims, cfg);
+            (bits(&out), bits(&gx), bits(&gw))
+        });
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(want, &got, "workers={workers}"),
+        }
+    }
+}
+
+#[test]
+fn packed_gemms_are_bit_identical_across_lane_counts() {
+    // 64 packed weight rows of 128 values against a 48-row batch: over the
+    // packed kernels' pool threshold.
+    let (m, k) = (48usize, 128usize);
+    let rows: Vec<PackedTermStore> = (0..64)
+        .map(|r| {
+            let ints: Vec<i64> = (0..k)
+                .map(|i| (((r * k + i) * 53) % 255) as i64 - 127)
+                .collect();
+            PackedTermStore::encode(&ints, 16, usize::MAX, SdrEncoding::Naf)
+                .expect("i8-range integers fit the packed format")
+        })
+        .collect();
+    let x = pattern(m * k, 3);
+    let n_cols = 96usize;
+    let b = pattern(k * n_cols, 5);
+
+    let mut reference: Option<(Vec<u32>, Vec<u32>)> = None;
+    for workers in WORKER_COUNTS {
+        let pool = Arc::new(Pool::with_workers(workers));
+        let got = with_pool(&pool, || {
+            let mut out_bt = vec![0.0f32; m * rows.len()];
+            matmul_bt_packed(&x, m, k, &rows, 12, 0.031_25, &mut out_bt);
+            let mut out_lhs = vec![0.0f32; rows.len() * n_cols];
+            matmul_packed_lhs(&rows, 12, 0.031_25, &b, k, n_cols, &mut out_lhs);
+            (bits_of(&out_bt), bits_of(&out_lhs))
+        });
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(want, &got, "workers={workers}"),
+        }
+    }
+}
+
+#[test]
+fn batchnorm_train_step_is_bit_identical_across_lane_counts() {
+    use mri_nn::{BatchNorm2d, Layer, Mode};
+
+    // 8×16×24×24 crosses the batch-norm pool threshold (≈74 Ki elements).
+    let x = Tensor::from_vec(pattern(8 * 16 * 24 * 24, 13), &[8, 16, 24, 24]);
+    let grad = Tensor::from_vec(pattern(8 * 16 * 24 * 24, 17), &[8, 16, 24, 24]);
+
+    let mut reference: Option<(Vec<u32>, Vec<u32>)> = None;
+    for workers in WORKER_COUNTS {
+        let pool = Arc::new(Pool::with_workers(workers));
+        let got = with_pool(&pool, || {
+            let mut bn = BatchNorm2d::new(16);
+            let y = bn.forward(&x, Mode::Train);
+            let gx = bn.backward(&grad);
+            (bits(&y), bits(&gx))
+        });
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(want, &got, "workers={workers}"),
+        }
+    }
+}

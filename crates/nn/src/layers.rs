@@ -2,6 +2,7 @@
 //! pooling, flatten and dropout.
 
 use crate::{Layer, Mode, Param};
+use mri_sync::pool;
 use mri_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dCfg};
 use mri_tensor::pool::{
     global_avgpool, global_avgpool_backward, maxpool2d, maxpool2d_backward, MaxPoolOutput,
@@ -10,6 +11,21 @@ use mri_tensor::reduce::sum_except_channel;
 use mri_tensor::{init, ops, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Channels per pooled batch-norm statistics job. Fixed — never derived from
+/// the lane count — so chunk boundaries and f32 accumulation order are
+/// identical at every `MRI_THREADS` setting.
+const BN_CH_GRAIN: usize = 8;
+
+/// `(batch, channel)` planes per pooled batch-norm normalise job.
+const BN_PLANE_GRAIN: usize = 4;
+
+/// Minimum element-work before batch-norm dispatches over the pool.
+const BN_PAR_MIN_ELEMS: usize = 1 << 16;
+
+fn bn_use_pool(units: usize, elems: usize) -> bool {
+    pool::lanes() > 1 && units >= 2 && elems > BN_PAR_MIN_ELEMS
+}
 
 /// Fully connected layer: `y = x Wᵀ + b` with `W: [out, in]`.
 pub struct Linear {
@@ -250,44 +266,76 @@ impl Layer for BatchNorm2d {
         let mut inv_std_v = vec![0.0f32; c];
 
         let bank = self.active_bank();
-        for ch in 0..c {
-            let (mean, var) = if mode.updates_bn_stats() {
-                let mut mean = 0.0f32;
-                for b in 0..n {
-                    let base = (b * c + ch) * h * w;
-                    mean += x.data()[base..base + h * w].iter().sum::<f32>();
-                }
-                mean /= per_c;
-                let mut var = 0.0f32;
-                for b in 0..n {
-                    let base = (b * c + ch) * h * w;
-                    var += x.data()[base..base + h * w]
-                        .iter()
-                        .map(|v| (v - mean).powi(2))
-                        .sum::<f32>();
-                }
-                var /= per_c;
-                let (rm, rv) = &mut self.banks[bank];
+        let hw = h * w;
+        let data = x.data();
+
+        // Pass 1: per-channel statistics. Channels are independent, so the
+        // stats sweep dispatches channel blocks over the pool; the running
+        // bank update stays on the calling thread (it mutates `self`).
+        let (means, vars) = if mode.updates_bn_stats() {
+            let mut means = vec![0.0f32; c];
+            let mut vars = vec![0.0f32; c];
+            if bn_use_pool(c, n * c * hw) {
+                pool::scope(|s| {
+                    for (t, (mc, vc)) in means
+                        .chunks_mut(BN_CH_GRAIN)
+                        .zip(vars.chunks_mut(BN_CH_GRAIN))
+                        .enumerate()
+                    {
+                        let ch0 = t * BN_CH_GRAIN;
+                        s.spawn(move || {
+                            bn_stats_block(data, mc, vc, ch0, n, c, hw, per_c);
+                        });
+                    }
+                });
+            } else {
+                bn_stats_block(data, &mut means, &mut vars, 0, n, c, hw, per_c);
+            }
+            let (rm, rv) = &mut self.banks[bank];
+            for ch in 0..c {
                 let m0 = rm.value.data()[ch];
                 let v0 = rv.value.data()[ch];
-                rm.value.data_mut()[ch] = (1.0 - self.momentum) * m0 + self.momentum * mean;
-                rv.value.data_mut()[ch] = (1.0 - self.momentum) * v0 + self.momentum * var;
-                (mean, var)
+                rm.value.data_mut()[ch] =
+                    (1.0 - self.momentum) * m0 + self.momentum * means[ch];
+                rv.value.data_mut()[ch] = (1.0 - self.momentum) * v0 + self.momentum * vars[ch];
+            }
+            (means, vars)
+        } else {
+            let (rm, rv) = &self.banks[bank];
+            (rm.value.data().to_vec(), rv.value.data().to_vec())
+        };
+        for ch in 0..c {
+            inv_std_v[ch] = 1.0 / (vars[ch] + self.eps).sqrt();
+        }
+
+        // Pass 2: normalise. Each `(batch, channel)` plane is written once
+        // with no cross-element accumulation, so plane blocks dispatch over
+        // the pool with bit-identical results at any worker count.
+        {
+            let gamma = self.gamma.value.data();
+            let beta = self.beta.value.data();
+            let y_d = y.data_mut();
+            let xh_d = x_hat.data_mut();
+            if bn_use_pool(n * c, n * c * hw) {
+                pool::scope(|s| {
+                    for (t, (yb, xb)) in y_d
+                        .chunks_mut(BN_PLANE_GRAIN * hw)
+                        .zip(xh_d.chunks_mut(BN_PLANE_GRAIN * hw))
+                        .enumerate()
+                    {
+                        let bc0 = t * BN_PLANE_GRAIN;
+                        let (means, inv_std) = (&means, &inv_std_v);
+                        s.spawn(move || {
+                            bn_normalize_block(
+                                data, yb, xb, bc0, c, hw, means, inv_std, gamma, beta,
+                            );
+                        });
+                    }
+                });
             } else {
-                let (rm, rv) = &self.banks[bank];
-                (rm.value.data()[ch], rv.value.data()[ch])
-            };
-            let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_std_v[ch] = inv_std;
-            let g = self.gamma.value.data()[ch];
-            let bta = self.beta.value.data()[ch];
-            for b in 0..n {
-                let base = (b * c + ch) * h * w;
-                for s in 0..h * w {
-                    let xh = (x.data()[base + s] - mean) * inv_std;
-                    x_hat.data_mut()[base + s] = xh;
-                    y.data_mut()[base + s] = g * xh + bta;
-                }
+                bn_normalize_block(
+                    data, y_d, xh_d, 0, c, hw, &means, &inv_std_v, gamma, beta,
+                );
             }
         }
         if mode.is_train() {
@@ -303,35 +351,54 @@ impl Layer for BatchNorm2d {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cached.as_ref().expect("backward before forward");
         let (n, c, h, w) = cache.dims;
-        let per_c = (n * h * w) as f32;
+        let hw = h * w;
+        let per_c = (n * hw) as f32;
         let mut gx = Tensor::zeros(&[n, c, h, w]);
         let mut dgamma = vec![0.0f32; c];
         let mut dbeta = vec![0.0f32; c];
+        let go = grad_out.data();
+        let xh = cache.x_hat.data();
 
-        for ch in 0..c {
-            let mut sum_dy = 0.0f32;
-            let mut sum_dy_xhat = 0.0f32;
-            for b in 0..n {
-                let base = (b * c + ch) * h * w;
-                for s in 0..h * w {
-                    let dy = grad_out.data()[base + s];
-                    sum_dy += dy;
-                    sum_dy_xhat += dy * cache.x_hat.data()[base + s];
+        // Pass 1: per-channel gradient sums, channel blocks over the pool.
+        if bn_use_pool(c, n * c * hw) {
+            pool::scope(|s| {
+                for (t, (dg, db)) in dgamma
+                    .chunks_mut(BN_CH_GRAIN)
+                    .zip(dbeta.chunks_mut(BN_CH_GRAIN))
+                    .enumerate()
+                {
+                    let ch0 = t * BN_CH_GRAIN;
+                    s.spawn(move || {
+                        bn_grad_sums_block(go, xh, dg, db, ch0, n, c, hw);
+                    });
                 }
-            }
-            dgamma[ch] = sum_dy_xhat;
-            dbeta[ch] = sum_dy;
-            let g = self.gamma.value.data()[ch];
-            let inv_std = cache.inv_std[ch];
-            let mean_dy = sum_dy / per_c;
-            let mean_dy_xhat = sum_dy_xhat / per_c;
-            for b in 0..n {
-                let base = (b * c + ch) * h * w;
-                for s in 0..h * w {
-                    let dy = grad_out.data()[base + s];
-                    let xh = cache.x_hat.data()[base + s];
-                    gx.data_mut()[base + s] = g * inv_std * (dy - mean_dy - xh * mean_dy_xhat);
-                }
+            });
+        } else {
+            bn_grad_sums_block(go, xh, &mut dgamma, &mut dbeta, 0, n, c, hw);
+        }
+
+        // Pass 2: input-gradient planes, written once each with no
+        // accumulation — plane blocks over the pool.
+        {
+            let gamma = self.gamma.value.data();
+            let inv_std = &cache.inv_std;
+            let gx_d = gx.data_mut();
+            if bn_use_pool(n * c, n * c * hw) {
+                pool::scope(|s| {
+                    for (t, gb) in gx_d.chunks_mut(BN_PLANE_GRAIN * hw).enumerate() {
+                        let bc0 = t * BN_PLANE_GRAIN;
+                        let (dgamma, dbeta) = (&dgamma, &dbeta);
+                        s.spawn(move || {
+                            bn_input_grad_block(
+                                go, xh, gb, bc0, c, hw, per_c, gamma, inv_std, dgamma, dbeta,
+                            );
+                        });
+                    }
+                });
+            } else {
+                bn_input_grad_block(
+                    go, xh, gx_d, 0, c, hw, per_c, gamma, inv_std, &dgamma, &dbeta,
+                );
             }
         }
         self.gamma.accumulate(&Tensor::from_vec(dgamma, &[c]));
@@ -354,6 +421,140 @@ impl Layer for BatchNorm2d {
             self.channels,
             self.banks.len()
         )
+    }
+}
+
+/// Per-channel batch mean and variance for the channels `ch0..` covering the
+/// output chunks. Batch contributions accumulate in ascending `b` order —
+/// exactly the serial chain, so pooled dispatch cannot perturb the stats.
+#[allow(clippy::too_many_arguments)]
+fn bn_stats_block(
+    data: &[f32],
+    mean_chunk: &mut [f32],
+    var_chunk: &mut [f32],
+    ch0: usize,
+    n: usize,
+    c: usize,
+    hw: usize,
+    per_c: f32,
+) {
+    for (u, (mo, vo)) in mean_chunk.iter_mut().zip(var_chunk.iter_mut()).enumerate() {
+        let ch = ch0 + u;
+        let mut mean = 0.0f32;
+        for b in 0..n {
+            let base = (b * c + ch) * hw;
+            mean += data[base..base + hw].iter().sum::<f32>();
+        }
+        mean /= per_c;
+        let mut var = 0.0f32;
+        for b in 0..n {
+            let base = (b * c + ch) * hw;
+            var += data[base..base + hw]
+                .iter()
+                .map(|v| (v - mean).powi(2))
+                .sum::<f32>();
+        }
+        var /= per_c;
+        *mo = mean;
+        *vo = var;
+    }
+}
+
+/// Normalises whole `(batch, channel)` planes starting at `bc0`; each output
+/// element is computed and written exactly once.
+#[allow(clippy::too_many_arguments)]
+fn bn_normalize_block(
+    data: &[f32],
+    y_block: &mut [f32],
+    xh_block: &mut [f32],
+    bc0: usize,
+    c: usize,
+    hw: usize,
+    means: &[f32],
+    inv_std: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+) {
+    if hw == 0 {
+        return;
+    }
+    for (u, (yp, xp)) in y_block
+        .chunks_mut(hw)
+        .zip(xh_block.chunks_mut(hw))
+        .enumerate()
+    {
+        let bc = bc0 + u;
+        let ch = bc % c;
+        let base = bc * hw;
+        let (mean, is, g, bta) = (means[ch], inv_std[ch], gamma[ch], beta[ch]);
+        for s in 0..hw {
+            let v = (data[base + s] - mean) * is;
+            xp[s] = v;
+            yp[s] = g * v + bta;
+        }
+    }
+}
+
+/// Per-channel `Σdy` / `Σdy·x̂` gradient sums for channels `ch0..`, in the
+/// serial `b`-ascending, `s`-ascending accumulation order.
+#[allow(clippy::too_many_arguments)]
+fn bn_grad_sums_block(
+    go: &[f32],
+    xh: &[f32],
+    dg_chunk: &mut [f32],
+    db_chunk: &mut [f32],
+    ch0: usize,
+    n: usize,
+    c: usize,
+    hw: usize,
+) {
+    for (u, (dg, db)) in dg_chunk.iter_mut().zip(db_chunk.iter_mut()).enumerate() {
+        let ch = ch0 + u;
+        let mut sum_dy = 0.0f32;
+        let mut sum_dy_xhat = 0.0f32;
+        for b in 0..n {
+            let base = (b * c + ch) * hw;
+            for s in 0..hw {
+                let dy = go[base + s];
+                sum_dy += dy;
+                sum_dy_xhat += dy * xh[base + s];
+            }
+        }
+        *dg = sum_dy_xhat;
+        *db = sum_dy;
+    }
+}
+
+/// Input-gradient planes starting at `bc0`; one write per element, using the
+/// per-channel sums computed by [`bn_grad_sums_block`].
+#[allow(clippy::too_many_arguments)]
+fn bn_input_grad_block(
+    go: &[f32],
+    xh: &[f32],
+    gx_block: &mut [f32],
+    bc0: usize,
+    c: usize,
+    hw: usize,
+    per_c: f32,
+    gamma: &[f32],
+    inv_std: &[f32],
+    sum_dy_xhat: &[f32],
+    sum_dy: &[f32],
+) {
+    if hw == 0 {
+        return;
+    }
+    for (u, gp) in gx_block.chunks_mut(hw).enumerate() {
+        let bc = bc0 + u;
+        let ch = bc % c;
+        let base = bc * hw;
+        let g = gamma[ch];
+        let is = inv_std[ch];
+        let mean_dy = sum_dy[ch] / per_c;
+        let mean_dy_xhat = sum_dy_xhat[ch] / per_c;
+        for s in 0..hw {
+            gp[s] = g * is * (go[base + s] - mean_dy - xh[base + s] * mean_dy_xhat);
+        }
     }
 }
 

@@ -27,6 +27,19 @@ use crate::storage::{pack_term, unpack_term, PackTermError};
 use crate::tq::{scaled_budget, MAX_GROUP_STACK};
 use crate::{GroupTerm, MultiResSlice, SdrEncoding};
 use mri_sync::atomic::{AtomicU64, Ordering};
+use mri_sync::pool;
+
+/// Weight rows (output columns) per pooled [`matmul_bt_packed`] job. Fixed —
+/// never derived from the lane count — so work partitioning cannot perturb
+/// results.
+const PAR_GRAIN_COLS: usize = 8;
+
+/// Output rows per pooled [`matmul_packed_lhs`] job.
+const PAR_GRAIN_ROWS: usize = 8;
+
+/// Minimum `m·k·n` work product before pooled dispatch pays for the queueing
+/// overhead; below it both kernels stay on the calling thread.
+const PAR_MIN_WORK: usize = 1 << 16;
 
 /// Largest group size the byte-wide index memory can address.
 pub const MAX_PACKED_GROUP: usize = 256;
@@ -464,6 +477,12 @@ impl GroupValues {
 /// result is bit-identical to the f32 path for finite `x` — with no `[n, k]`
 /// f32 weight tensor ever materialized.
 ///
+/// Each weight row `j` produces output column `j` independently, so large
+/// problems dispatch fixed blocks of `PAR_GRAIN_COLS` rows over
+/// [`mri_sync::pool`]. Every column is accumulated in a dense local buffer in
+/// the serial element order and scattered once, so the result does not depend
+/// on the worker count.
+///
 /// # Panics
 ///
 /// Panics if a row's length differs from `k`, `alpha` exceeds a row's
@@ -480,35 +499,81 @@ pub fn matmul_bt_packed(
     let n = rows.len();
     assert_eq!(x.len(), m * k, "input buffer mismatch");
     assert_eq!(out.len(), m * n, "output buffer mismatch");
-    out.fill(0.0);
+    // Validate every row before any job is spawned: shape panics should fire
+    // on the calling thread, not ride out of a worker.
     for (j, row) in rows.iter().enumerate() {
         assert_eq!(row.len(), k, "row {j} length != k");
-        row.for_each_group(alpha, |lo, glen, slice| {
-            let group = GroupValues::decode(&slice, glen);
-            // Materialize the sparse run once per group, then sweep the
-            // batch: the decode cost is amortized over all `m` inputs.
-            let mut run = [(0usize, 0.0f32); MAX_GROUP_STACK];
-            let mut spill: Vec<(usize, f32)> = Vec::new();
-            let mut nnz = 0usize;
-            for (jj, v) in group.nonzero() {
-                let entry = (jj, v as f32 * scale);
-                if nnz < MAX_GROUP_STACK {
-                    run[nnz] = entry;
-                } else {
-                    spill.push(entry);
-                }
-                nnz += 1;
-            }
-            let head = &run[..nnz.min(MAX_GROUP_STACK)];
-            for i in 0..m {
-                let xrow = &x[i * k + lo..i * k + lo + glen];
-                let o = &mut out[i * n + j];
-                for &(jj, w) in head.iter().chain(spill.iter()) {
-                    *o += xrow[jj] * w;
-                }
+    }
+    out.fill(0.0);
+    if pool::lanes() > 1 && n >= 2 * PAR_GRAIN_COLS && m * k * n > PAR_MIN_WORK {
+        let optr = pool::SendPtr::new(out.as_mut_ptr());
+        pool::scope(|s| {
+            for (t, chunk) in rows.chunks(PAR_GRAIN_COLS).enumerate() {
+                let j0 = t * PAR_GRAIN_COLS;
+                s.spawn(move || {
+                    let mut col = vec![0.0f32; m];
+                    for (u, row) in chunk.iter().enumerate() {
+                        let j = j0 + u;
+                        col.fill(0.0);
+                        bt_packed_col(x, k, row, alpha, scale, &mut col);
+                        for (i, &v) in col.iter().enumerate() {
+                            // SAFETY: this job exclusively owns output column
+                            // `j` — jobs cover disjoint `j` ranges — and the
+                            // enclosing scope joins every job before `out` is
+                            // observed again.
+                            unsafe { *optr.as_ptr().add(i * n + j) = v };
+                        }
+                    }
+                });
             }
         });
+    } else {
+        let mut col = vec![0.0f32; m];
+        for (j, row) in rows.iter().enumerate() {
+            col.fill(0.0);
+            bt_packed_col(x, k, row, alpha, scale, &mut col);
+            for (i, &v) in col.iter().enumerate() {
+                out[i * n + j] = v;
+            }
+        }
     }
+}
+
+/// Accumulates one packed weight row against every input row: on return
+/// `col[i]` holds `x[i, ..] · row` (length-`m` buffer, zeroed by the caller).
+/// Group and non-zero order match the dense `matmul_bt` accumulation chain.
+fn bt_packed_col(
+    x: &[f32],
+    k: usize,
+    row: &PackedTermStore,
+    alpha: usize,
+    scale: f32,
+    col: &mut [f32],
+) {
+    row.for_each_group(alpha, |lo, glen, slice| {
+        let group = GroupValues::decode(&slice, glen);
+        // Materialize the sparse run once per group, then sweep the
+        // batch: the decode cost is amortized over all `m` inputs.
+        let mut run = [(0usize, 0.0f32); MAX_GROUP_STACK];
+        let mut spill: Vec<(usize, f32)> = Vec::new();
+        let mut nnz = 0usize;
+        for (jj, v) in group.nonzero() {
+            let entry = (jj, v as f32 * scale);
+            if nnz < MAX_GROUP_STACK {
+                run[nnz] = entry;
+            } else {
+                spill.push(entry);
+            }
+            nnz += 1;
+        }
+        let head = &run[..nnz.min(MAX_GROUP_STACK)];
+        for (i, o) in col.iter_mut().enumerate() {
+            let xrow = &x[i * k + lo..i * k + lo + glen];
+            for &(jj, w) in head.iter().chain(spill.iter()) {
+                *o += xrow[jj] * w;
+            }
+        }
+    });
 }
 
 /// Packed GEMM for the im2col conv eval path: `out[rows.len(), n] = W · b`,
@@ -516,6 +581,10 @@ pub fn matmul_bt_packed(
 /// `b` is the `[k, n]` column matrix. Element order matches the dense
 /// `matmul` over the dequantized weights (which skips zero `a` entries), so
 /// the product is bit-identical to the f32 path for finite `b`.
+///
+/// Output rows are disjoint per filter, so large problems dispatch fixed
+/// blocks of `PAR_GRAIN_ROWS` rows over [`mri_sync::pool`]; both branches
+/// run the same per-row worker, keeping results worker-count independent.
 ///
 /// # Panics
 ///
@@ -532,10 +601,40 @@ pub fn matmul_packed_lhs(
 ) {
     assert_eq!(b.len(), k * n, "rhs buffer mismatch");
     assert_eq!(out.len(), rows.len() * n, "output buffer mismatch");
-    out.fill(0.0);
     for (i, row) in rows.iter().enumerate() {
         assert_eq!(row.len(), k, "row {i} length != k");
-        let out_row = &mut out[i * n..(i + 1) * n];
+    }
+    out.fill(0.0);
+    // Degenerate width: nothing to compute, and `chunks_mut(0)` would panic.
+    if n == 0 {
+        return;
+    }
+    if pool::lanes() > 1 && rows.len() >= 2 * PAR_GRAIN_ROWS && rows.len() * k * n > PAR_MIN_WORK {
+        pool::scope(|s| {
+            for (t, chunk) in out.chunks_mut(PAR_GRAIN_ROWS * n).enumerate() {
+                let i0 = t * PAR_GRAIN_ROWS;
+                let row_block = &rows[i0..i0 + chunk.len() / n];
+                s.spawn(move || {
+                    lhs_packed_rows(row_block, alpha, scale, b, n, chunk);
+                });
+            }
+        });
+    } else {
+        lhs_packed_rows(rows, alpha, scale, b, n, out);
+    }
+}
+
+/// Multiplies a block of packed filter rows against `b`, one output row per
+/// filter; `out_chunk` covers exactly `rows.len()` rows of width `n`.
+fn lhs_packed_rows(
+    rows: &[PackedTermStore],
+    alpha: usize,
+    scale: f32,
+    b: &[f32],
+    n: usize,
+    out_chunk: &mut [f32],
+) {
+    for (row, out_row) in rows.iter().zip(out_chunk.chunks_mut(n)) {
         row.for_each_group(alpha, |lo, glen, slice| {
             let group = GroupValues::decode(&slice, glen);
             for (jj, v) in group.nonzero() {

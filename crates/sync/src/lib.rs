@@ -15,14 +15,17 @@
 //! # What is shimmed
 //!
 //! * [`atomic`] — the atomic integer/bool types plus [`atomic::Ordering`].
-//! * [`Mutex`] / [`RwLock`] — `parking_lot`-style (guards returned
-//!   directly, no poisoning) in normal builds, loom-checked under
-//!   `cfg(loom)`.
+//! * [`Mutex`] / [`RwLock`] / [`Condvar`] — `parking_lot`-style (guards
+//!   returned directly, no poisoning; consume-style condvar `wait`) in
+//!   normal builds, loom-checked under `cfg(loom)`.
 //! * [`OnceLock`] — `std::sync::OnceLock` normally; under loom a
 //!   double-checked lock built from loom primitives so first-use
 //!   initialisation races are model-checked.
 //! * [`thread::scope`] — `std::thread::scope` normally; a join-on-exit
 //!   wrapper over `loom::thread::spawn` under loom.
+//! * [`pool`] — the persistent worker pool every hot kernel dispatches
+//!   through (`pool::scope` / `pool::parallel_for`); built entirely from
+//!   the primitives above, so explicit pools are loom-checkable.
 //! * [`Arc`] — `std::sync::Arc` / `loom::sync::Arc`.
 //!
 //! # What stays on std
@@ -37,9 +40,10 @@
 pub mod atomic;
 mod lock;
 mod once;
+pub mod pool;
 pub mod thread;
 
-pub use lock::{Mutex, RwLock};
+pub use lock::{Condvar, Mutex, RwLock};
 pub use once::OnceLock;
 
 #[cfg(not(loom))]

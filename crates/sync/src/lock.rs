@@ -6,12 +6,54 @@
 //! `loom::sync::{Mutex, RwLock}` (whose std-style `Result` guards are
 //! unwrapped — a poisoned lock inside a loom model is already a failed
 //! model).
+//!
+//! [`Condvar`] is shimmed with a *consume-style* `wait`: the guard goes in
+//! and the re-acquired guard comes out, which is the one shape expressible
+//! over both parking_lot (`wait(&mut guard)`) and loom/std
+//! (`wait(guard) -> LockResult<guard>`) without naming guard types at call
+//! sites.
 
 #[cfg(not(loom))]
 pub use parking_lot::{Mutex, RwLock};
 
+#[cfg(not(loom))]
+pub use std_impl::Condvar;
+
 #[cfg(loom)]
-pub use loom_impl::{Mutex, RwLock};
+pub use loom_impl::{Condvar, Mutex, RwLock};
+
+#[cfg(not(loom))]
+mod std_impl {
+    /// Condition variable over [`super::Mutex`]; see the module docs for
+    /// the `wait` calling convention.
+    #[derive(Debug, Default)]
+    pub struct Condvar(parking_lot::Condvar);
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar(parking_lot::Condvar::new())
+        }
+
+        /// Atomically releases `guard`, blocks until notified, re-acquires
+        /// the lock and returns the guard. Spurious wakeups are possible;
+        /// callers loop on their predicate.
+        pub fn wait<'a, T>(
+            &self,
+            mut guard: parking_lot::MutexGuard<'a, T>,
+        ) -> parking_lot::MutexGuard<'a, T> {
+            self.0.wait(&mut guard);
+            guard
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}
 
 #[cfg(loom)]
 mod loom_impl {
@@ -44,6 +86,34 @@ mod loom_impl {
 
         pub fn write(&self) -> loom::sync::RwLockWriteGuard<'_, T> {
             self.0.write().expect("loom rwlock poisoned")
+        }
+    }
+
+    /// Consume-style condvar over the loom mutex; see the module docs.
+    #[derive(Debug, Default)]
+    pub struct Condvar(loom::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(loom::sync::Condvar::new())
+        }
+
+        /// Atomically releases `guard`, blocks until notified, re-acquires
+        /// the lock and returns the guard. Spurious wakeups are possible;
+        /// callers loop on their predicate.
+        pub fn wait<'a, T>(
+            &self,
+            guard: loom::sync::MutexGuard<'a, T>,
+        ) -> loom::sync::MutexGuard<'a, T> {
+            self.0.wait(guard).expect("loom condvar poisoned")
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
         }
     }
 }

@@ -1,0 +1,641 @@
+//! A persistent worker pool with deterministic blocked-range dispatch —
+//! the substrate every hot kernel in the workspace runs on (DESIGN.md §13).
+//!
+//! # Why not per-call scoped threads
+//!
+//! The GEMM/conv/cache kernels used to spawn and join OS threads on every
+//! large call (`mri_sync::thread::scope`), paying thread start-up latency
+//! per GEMM and re-reading `available_parallelism` each time. The pool
+//! spawns its workers once (lazily, on first parallel dispatch) and hands
+//! them jobs through a mutex-protected queue + condvar.
+//!
+//! # Determinism contract
+//!
+//! Parallel kernels must produce bit-identical f32 results at every
+//! `MRI_THREADS` setting. The pool's side of the contract: a
+//! [`Pool::parallel_for`] range is partitioned into *fixed-size* grains —
+//! chunk boundaries depend only on `(range, grain)`, never on the worker
+//! count — and with zero workers the whole range runs inline on the
+//! caller. The caller's side: each index's outputs must be computed
+//! independently of how the range is partitioned (all accumulation for one
+//! output element happens inside a single grain). Under that contract,
+//! which worker executes which grain — the only thing scheduling decides —
+//! cannot affect results.
+//!
+//! # Blocking and panics
+//!
+//! [`Pool::scope`] mirrors `std::thread::scope`: jobs may borrow from the
+//! caller's stack, every spawned job is guaranteed to have finished when
+//! `scope` returns, and the first job panic is resumed on the caller after
+//! the group drains. While a scope waits, the calling thread *participates*
+//! — it pops and executes queued jobs itself — so a zero-worker pool is
+//! simply a serial loop and nested scopes cannot deadlock on a full queue.
+//!
+//! # Loom
+//!
+//! The pool is built exclusively from `mri-sync` primitives, so explicit
+//! [`Pool`] instances are model-checked under `RUSTFLAGS="--cfg loom"`
+//! (`crates/sync/tests/loom_pool.rs`: submit/steal/shutdown, panic
+//! propagation, no lost wakeups). The *global* pool lives in a process-wide
+//! static, which loom cannot model; under `cfg(loom)` the free functions
+//! ([`scope`], [`parallel_for`]) therefore dispatch onto a fresh
+//! zero-worker pool, i.e. run inline on the model thread.
+
+use crate::atomic::{AtomicU64, Ordering};
+use crate::lock::{Condvar, Mutex};
+use crate::thread;
+use crate::Arc;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A queued job with its lifetime erased; see the `SAFETY` note in
+/// [`Scope::spawn`] for why the erasure is sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Join-group bookkeeping shared by one [`Pool::scope`] call.
+struct GroupState {
+    /// Jobs spawned into the scope that have not finished executing.
+    remaining: usize,
+    /// First panic payload captured from a job, resumed by `scope`.
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+struct Group {
+    state: Mutex<GroupState>,
+    /// Signalled (under the `state` lock) when `remaining` reaches zero.
+    done: Condvar,
+}
+
+impl Group {
+    fn new() -> Self {
+        Group {
+            state: Mutex::new(GroupState {
+                remaining: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+/// One unit of queued work: the job plus the group it reports back to.
+struct Task {
+    group: Arc<Group>,
+    run: Job,
+}
+
+impl Task {
+    /// Runs the job, capturing a panic into the group instead of unwinding
+    /// the executing thread, then retires the task. Notifying under the
+    /// group lock closes the decrement→notify window: a `scope` waiter
+    /// holds that same lock from its `remaining` check into `wait`, so the
+    /// wakeup cannot be lost.
+    fn execute(self) {
+        let Task { group, run } = self;
+        let result = catch_unwind(AssertUnwindSafe(run));
+        let mut g = group.state.lock();
+        if let Err(payload) = result {
+            if g.panic.is_none() {
+                g.panic = Some(payload);
+            }
+        }
+        g.remaining -= 1;
+        if g.remaining == 0 {
+            group.done.notify_all();
+        }
+    }
+}
+
+struct QueueState {
+    queue: VecDeque<Task>,
+    /// Set once by `Pool::drop`; workers exit when the queue is drained.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when a task is queued or shutdown begins.
+    work: Condvar,
+    /// Jobs executed over the pool's lifetime (stats; includes jobs run
+    /// inline on zero-worker pools and by participating scope callers).
+    jobs_run: AtomicU64,
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    break Some(t);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work.wait(st);
+            }
+        };
+        match task {
+            Some(t) => t.execute(),
+            // Shutdown observed on an empty queue: every queued task has
+            // been popped (here or by a participant), so exiting cannot
+            // strand work.
+            None => return,
+        }
+    }
+}
+
+/// A persistent worker pool. Most code uses the process-global pool via the
+/// free functions [`scope`] / [`parallel_for`] / [`lanes`]; explicit
+/// instances exist for loom models and the thread-count-invariance tests
+/// (via [`with_pool`]).
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `workers` OS worker threads. `0` is valid and
+    /// means every job runs inline on the thread that spawns it.
+    pub fn with_workers(workers: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            jobs_run: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads (the pool's lane count is `workers() + 1`:
+    /// the caller participates).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs executed over the pool's lifetime.
+    pub fn jobs_run(&self) -> u64 {
+        // ordering: stats-only counter; no other memory depends on it.
+        self.shared.jobs_run.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with a [`Scope`] whose spawned jobs may borrow from the
+    /// enclosing stack frame (`'env`). Every job has finished when `scope`
+    /// returns; the first panic — from the body or any job — is resumed on
+    /// the caller after the group drains.
+    pub fn scope<'env, F, T>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        let group = Arc::new(Group::new());
+        let scope = Scope {
+            pool: self,
+            group: Arc::clone(&group),
+            _scope: PhantomData,
+            _env: PhantomData,
+        };
+        let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Participate: execute queued jobs (ours or a sibling scope's) on
+        // this thread until our group drains. Only when the queue is empty
+        // while jobs are still pending — i.e. workers have them in flight —
+        // does the caller block on the condvar.
+        loop {
+            if scope.group.state.lock().remaining == 0 {
+                break;
+            }
+            let task = {
+                let mut st = self.shared.state.lock();
+                st.queue.pop_front()
+            };
+            match task {
+                Some(t) => t.execute(),
+                None => {
+                    let mut g = scope.group.state.lock();
+                    while g.remaining > 0 {
+                        g = scope.group.done.wait(g);
+                    }
+                    break;
+                }
+            }
+        }
+        let job_panic = group.state.lock().panic.take();
+        match body {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = job_panic {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    /// Splits `range` into fixed-size `grain` chunks and runs `f` on each,
+    /// in parallel when the pool has workers. Chunk boundaries depend only
+    /// on `(range, grain)` — never on the worker count — which is the
+    /// pool's half of the determinism contract (see the module docs).
+    pub fn parallel_for<F>(&self, range: Range<usize>, grain: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let grain = grain.max(1);
+        if range.is_empty() {
+            return;
+        }
+        if self.workers == 0 || range.end - range.start <= grain {
+            f(range);
+            return;
+        }
+        self.scope(|s| {
+            let f = &f;
+            let mut lo = range.start;
+            while lo < range.end {
+                let hi = (lo + grain).min(range.end);
+                s.spawn(move || f(lo..hi));
+                lo = hi;
+            }
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawn handle passed to [`Pool::scope`] closures; mirrors the
+/// `std::thread::Scope` shape the workspace already uses.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope Pool,
+    group: Arc<Group>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queues `f` for the pool's workers — or runs it inline when the pool
+    /// has none, which keeps zero-worker dispatch allocation-free and
+    /// strictly serial. Inline panics are captured into the group exactly
+    /// like queued ones, so sibling jobs spawned after a panicking job
+    /// still run and the payload is resumed by `scope` after the drain.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        // ordering: stats-only counter; no other memory depends on it.
+        self.pool.shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+        if self.pool.workers == 0 {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut g = self.group.state.lock();
+                if g.panic.is_none() {
+                    g.panic = Some(payload);
+                }
+            }
+            return;
+        }
+        self.group.state.lock().remaining += 1;
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `Pool::scope` does not return until this group's
+        // `remaining` count reaches zero — every spawned job has been
+        // executed (by a worker or by the scope's own thread while
+        // participating), including when the body or a sibling job panics.
+        // The job therefore never outlives the 'scope/'env borrows it
+        // captures, so erasing its lifetime to 'static for queue storage
+        // is sound. This is the same argument as `thread::loom_impl`.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        let task = Task {
+            group: Arc::clone(&self.group),
+            run: job,
+        };
+        {
+            let mut st = self.pool.shared.state.lock();
+            st.queue.push_back(task);
+        }
+        self.pool.shared.work.notify_one();
+    }
+}
+
+/// A `*mut T` that can cross into pool jobs, for kernels whose parallel
+/// units write *strided* (non-contiguous, therefore non-`chunks_mut`-able)
+/// but provably disjoint regions of one output buffer — e.g. per-column
+/// writes into a row-major matrix. Construction is safe; every dereference
+/// of [`SendPtr::as_ptr`] remains `unsafe` and must argue disjointness.
+#[derive(Clone, Copy, Debug)]
+pub struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Wraps `ptr` for transfer into pool jobs.
+    pub fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// The raw pointer back. Dereferencing is on the caller: jobs must
+    /// write disjoint offsets and the buffer must outlive the scope.
+    pub fn as_ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: a `SendPtr` is a plain address. Sending it to a pool job is
+// sound because `Pool::scope` joins every job before returning, so the
+// pointee outlives all uses; aliasing discipline (disjoint writes) is
+// asserted by each `unsafe` dereference site, not here.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: `&SendPtr` only exposes the address by value (`as_ptr`); see the
+// `Send` justification above for the pointee discipline.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(not(loom))]
+mod runtime {
+    use super::Pool;
+    use crate::Arc;
+    use std::cell::RefCell;
+
+    // lint: allow(raw-sync) — `static` initialisers must be const and
+    // loom's cells are not; this module is compiled out under `cfg(loom)`
+    // (the free functions dispatch onto fresh zero-worker pools there).
+    use std::sync::OnceLock;
+
+    // lint: allow(raw-sync) — see the `use` above.
+    static LANES: OnceLock<usize> = OnceLock::new();
+    // lint: allow(raw-sync) — see the `use` above.
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+    /// The configured lane count: `MRI_THREADS` when set to a positive
+    /// integer, else `available_parallelism`. Read once per process.
+    pub fn configured_lanes() -> usize {
+        *LANES.get_or_init(|| {
+            let detected = || {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            };
+            match std::env::var("MRI_THREADS") {
+                Ok(v) => v
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(detected),
+                Err(_) => detected(),
+            }
+        })
+    }
+
+    /// The process-global pool: `lanes - 1` workers (the caller is the
+    /// remaining lane), spawned on first use.
+    pub fn global() -> &'static Pool {
+        GLOBAL.get_or_init(|| Pool::with_workers(configured_lanes() - 1))
+    }
+
+    std::thread_local! {
+        /// Per-thread pool override stack pushed by [`super::with_pool`] —
+        /// how the invariance tests pin 1/2/4-lane dispatch without racing
+        /// on the process environment.
+        static OVERRIDE: RefCell<Vec<Arc<Pool>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub fn current_override() -> Option<Arc<Pool>> {
+        OVERRIDE.with(|o| o.borrow().last().cloned())
+    }
+
+    /// Jobs executed by the global pool so far; 0 while it is unspawned.
+    pub fn global_jobs_run() -> u64 {
+        GLOBAL.get().map(|p| p.jobs_run()).unwrap_or(0)
+    }
+
+    pub fn push_override(pool: Arc<Pool>) {
+        OVERRIDE.with(|o| o.borrow_mut().push(pool));
+    }
+
+    pub fn pop_override() {
+        OVERRIDE.with(|o| {
+            o.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with every [`scope`] / [`parallel_for`] / [`lanes`] call *on
+/// this thread* dispatching to `pool` instead of the global pool. Used by
+/// the thread-count-invariance tests; nests (innermost wins) and restores
+/// on unwind.
+#[cfg(not(loom))]
+pub fn with_pool<T>(pool: &Arc<Pool>, f: impl FnOnce() -> T) -> T {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            runtime::pop_override();
+        }
+    }
+    runtime::push_override(Arc::clone(pool));
+    let _restore = Restore;
+    f()
+}
+
+/// Total execution lanes for parallel kernels: the active override pool's
+/// lanes, else the global configuration (`MRI_THREADS` /
+/// `available_parallelism`). Kernels stay serial when this is 1.
+#[cfg(not(loom))]
+pub fn lanes() -> usize {
+    match runtime::current_override() {
+        Some(p) => p.workers() + 1,
+        None => runtime::configured_lanes(),
+    }
+}
+
+/// Jobs executed by the process-global pool since start — the stats surface
+/// the telemetry layer samples into its `pool.jobs` gauge (mri-sync cannot
+/// depend on mri-telemetry, so the binding lives on the telemetry side).
+#[cfg(not(loom))]
+pub fn global_jobs_run() -> u64 {
+    runtime::global_jobs_run()
+}
+
+/// Loom builds model explicit [`Pool`] instances only; the global free
+/// functions run serial so kernel thresholds never parallelise inside a
+/// foreign model.
+#[cfg(loom)]
+pub fn lanes() -> usize {
+    1
+}
+
+/// [`Pool::scope`] on this thread's dispatch pool (override, else global).
+#[cfg(not(loom))]
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    match runtime::current_override() {
+        Some(p) => p.scope(f),
+        None => runtime::global().scope(f),
+    }
+}
+
+/// Loom-mode [`scope`]: a fresh zero-worker pool, i.e. inline execution on
+/// the model thread.
+#[cfg(loom)]
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+{
+    Pool::with_workers(0).scope(f)
+}
+
+/// [`Pool::parallel_for`] on this thread's dispatch pool (override, else
+/// global).
+#[cfg(not(loom))]
+pub fn parallel_for<F>(range: Range<usize>, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    match runtime::current_override() {
+        Some(p) => p.parallel_for(range, grain, f),
+        None => runtime::global().parallel_for(range, grain, f),
+    }
+}
+
+/// Loom-mode [`parallel_for`]: inline on the model thread.
+#[cfg(loom)]
+pub fn parallel_for<F>(range: Range<usize>, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    Pool::with_workers(0).parallel_for(range, grain, f);
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = Pool::with_workers(0);
+        let mut acc = vec![0u32; 10];
+        pool.scope(|s| {
+            for (i, slot) in acc.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u32);
+            }
+        });
+        assert_eq!(acc, (0..10).collect::<Vec<u32>>());
+        assert_eq!(pool.jobs_run(), 10);
+    }
+
+    #[test]
+    fn pooled_scope_joins_all_jobs() {
+        let pool = Pool::with_workers(3);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                // ordering: counting only; the scope join publishes.
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        // ordering: scope join is the synchronisation edge.
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn parallel_for_covers_range_once_per_index() {
+        for workers in [0, 1, 3] {
+            let pool = Pool::with_workers(workers);
+            let cells: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            let cells_ref = &cells;
+            pool.parallel_for(0..100, 7, move |r| {
+                for i in r {
+                    // ordering: counting only; the join publishes.
+                    cells_ref[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            for (i, c) in cells.iter().enumerate() {
+                // ordering: read after the parallel_for join.
+                assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn job_panic_propagates_after_group_drains() {
+        for workers in [0, 2] {
+            let pool = Pool::with_workers(workers);
+            let survivors = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    s.spawn(|| panic!("job boom"));
+                    for _ in 0..8 {
+                        // ordering: counting only; the scope join publishes.
+                        s.spawn(|| {
+                            survivors.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }));
+            assert!(result.is_err(), "workers {workers}");
+            // Sibling jobs are not cancelled by a panic.
+            // ordering: read after the scope join inside catch_unwind.
+            assert_eq!(survivors.load(Ordering::Relaxed), 8);
+        }
+    }
+
+    #[test]
+    fn with_pool_overrides_free_dispatch() {
+        let two = Arc::new(Pool::with_workers(1));
+        let before = lanes();
+        with_pool(&two, || {
+            assert_eq!(lanes(), 2);
+            let total = AtomicUsize::new(0);
+            parallel_for(0..40, 4, |r| {
+                // ordering: counting only; the join publishes.
+                total.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            // ordering: read after the parallel_for join.
+            assert_eq!(total.load(Ordering::Relaxed), 40);
+        });
+        assert_eq!(lanes(), before);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_draining_queue() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = Pool::with_workers(2);
+            pool.scope(|s| {
+                for _ in 0..32 {
+                    let hits = Arc::clone(&hits);
+                    // ordering: counting only; drop/join publishes.
+                    s.spawn(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        // ordering: read after the pool's drop joined its workers.
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+}

@@ -93,6 +93,16 @@ pub fn emit(event: Event) -> bool {
     global().emit(event)
 }
 
+/// Samples the worker pool's process-global stats into the `pool.lanes` and
+/// `pool.jobs` gauges of the global registry. `mri-sync` cannot depend on
+/// this crate (it sits below it), so the binding lives here; call before
+/// snapshotting a [`Summary`] to capture current pool activity.
+#[cfg(not(loom))]
+pub fn sample_pool_stats() {
+    gauge("pool.lanes").set(mri_sync::pool::lanes() as f64);
+    gauge("pool.jobs").set(mri_sync::pool::global_jobs_run() as f64);
+}
+
 /// `Some(Instant::now())` when the `telemetry` feature is compiled in,
 /// `None` otherwise — pair with [`Histogram::record_elapsed_ns`] so manual
 /// timing sites cost nothing in untraced builds.

@@ -7,6 +7,19 @@
 //! * output: `[N, C_out, H_out, W_out]`
 
 use crate::{ops, Tensor};
+use mri_sync::pool;
+
+/// Minimum element count before the im2col/col2im/depthwise loops dispatch
+/// to the worker pool; below it the per-job overhead beats the win.
+const PAR_MIN_ELEMS: usize = 1 << 16;
+
+/// Shared dispatch policy for the unfold/fold/depthwise kernels: pool when
+/// extra lanes exist, there are at least two independent units (channels,
+/// batch images) to hand out, and the touched element count amortises
+/// dispatch overhead.
+fn use_pool(units: usize, elems: usize) -> bool {
+    pool::lanes() > 1 && units >= 2 && elems > PAR_MIN_ELEMS
+}
 
 /// Static configuration of one 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,8 +81,6 @@ pub fn im2col(input: &Tensor, cfg: Conv2dCfg) -> Tensor {
     assert_eq!(input.shape().rank(), 4, "im2col expects [N, C, H, W]");
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (kh, kw) = cfg.kernel;
-    let (sh, sw) = cfg.stride;
-    let (ph, pw) = cfg.padding;
     let (ho, wo) = cfg.out_size(h, w);
 
     let rows = c * kh * kw;
@@ -77,20 +88,67 @@ pub fn im2col(input: &Tensor, cfg: Conv2dCfg) -> Tensor {
     let mut out = vec![0.0f32; rows * cols];
     let data = input.data();
 
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = (ci * kh + ki) * kw + kj;
-                let out_row = &mut out[row * cols..(row + 1) * cols];
-                for b in 0..n {
-                    let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
-                    for oy in 0..ho {
-                        let iy = (oy * sh + ki) as isize - ph as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
+    // The kh·kw rows of one input channel form one contiguous block of the
+    // output, so channels are natural disjoint pool jobs.
+    let per_ci = kh * kw * cols;
+    if use_pool(c, rows * cols) {
+        // Job panics propagate out of `scope` after the group drains.
+        pool::scope(|s| {
+            for (ci, block) in out.chunks_mut(per_ci).enumerate() {
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.im2col.chunk");
+                    im2col_channel(data, block, ci, (n, c, h, w), (ho, wo), cfg);
+                });
+            }
+        });
+    } else {
+        for (ci, block) in out.chunks_mut(per_ci.max(1)).enumerate() {
+            im2col_channel(data, block, ci, (n, c, h, w), (ho, wo), cfg);
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Unfolds input channel `ci` into its `kh·kw` rows of the im2col matrix
+/// (`block`), for the whole batch.
+fn im2col_channel(
+    data: &[f32],
+    block: &mut [f32],
+    ci: usize,
+    (n, c, h, w): (usize, usize, usize, usize),
+    (ho, wo): (usize, usize),
+    cfg: Conv2dCfg,
+) {
+    let (kh, kw) = cfg.kernel;
+    let (sh, sw) = cfg.stride;
+    let (ph, pw) = cfg.padding;
+    let cols = n * ho * wo;
+    for ki in 0..kh {
+        for kj in 0..kw {
+            let row = ki * kw + kj;
+            let out_row = &mut block[row * cols..(row + 1) * cols];
+            for b in 0..n {
+                let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+                for oy in 0..ho {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = &img[iy as usize * w..(iy as usize + 1) * w];
+                    let dst = &mut out_row[(b * ho + oy) * wo..(b * ho + oy + 1) * wo];
+                    if sw == 1 {
+                        // Unit stride: the in-bounds ox range
+                        // (ix = ox + kj - pw ∈ [0, w)) is one contiguous
+                        // run on both sides — a straight copy; the padded
+                        // remainder keeps its pre-zeroed value exactly as
+                        // the per-element loop would leave it.
+                        let lo = pw.saturating_sub(kj);
+                        let hi = (w + pw).saturating_sub(kj).min(wo);
+                        if lo < hi {
+                            let src0 = lo + kj - pw;
+                            dst[lo..hi].copy_from_slice(&src_row[src0..src0 + (hi - lo)]);
                         }
-                        let src_row = &img[iy as usize * w..(iy as usize + 1) * w];
-                        let dst = &mut out_row[(b * ho + oy) * wo..(b * ho + oy + 1) * wo];
+                    } else {
                         for ox in 0..wo {
                             let ix = (ox * sw + kj) as isize - pw as isize;
                             if ix >= 0 && ix < w as isize {
@@ -102,7 +160,6 @@ pub fn im2col(input: &Tensor, cfg: Conv2dCfg) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
 }
 
 /// Folds an `im2col` matrix back onto the input, accumulating overlaps.
@@ -115,8 +172,6 @@ pub fn im2col(input: &Tensor, cfg: Conv2dCfg) -> Tensor {
 /// an input of shape `[n, c, h, w]` under `cfg`.
 pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, cfg: Conv2dCfg) -> Tensor {
     let (kh, kw) = cfg.kernel;
-    let (sh, sw) = cfg.stride;
-    let (ph, pw) = cfg.padding;
     let (ho, wo) = cfg.out_size(h, w);
     assert_eq!(
         cols.dims(),
@@ -126,21 +181,74 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, cfg: Conv2d
 
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.data();
-    let width = n * ho * wo;
 
+    // Batch images are contiguous `c·h·w` blocks of the output and overlap
+    // accumulation never crosses them, so they are the pool's disjoint
+    // units. Within one image the (ci, ki, kj, oy, ox) walk matches the
+    // old ci-outer nest element-for-element — each gradient pixel belongs
+    // to exactly one (b, ci) image, so hoisting `b` outermost reorders
+    // nothing within any element's accumulation chain.
+    let per_b = c * h * w;
+    if use_pool(n, c * kh * kw * n * ho * wo) {
+        // Job panics propagate out of `scope` after the group drains.
+        pool::scope(|s| {
+            for (b, img_block) in out.chunks_mut(per_b).enumerate() {
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.col2im.chunk");
+                    col2im_batch(data, img_block, b, (n, c, h, w), (ho, wo), cfg);
+                });
+            }
+        });
+    } else {
+        for (b, img_block) in out.chunks_mut(per_b.max(1)).enumerate() {
+            col2im_batch(data, img_block, b, (n, c, h, w), (ho, wo), cfg);
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// Folds batch image `b`'s gradient columns back onto `img_block`
+/// (`[c, h, w]`), accumulating receptive-field overlaps.
+fn col2im_batch(
+    data: &[f32],
+    img_block: &mut [f32],
+    b: usize,
+    (n, c, h, w): (usize, usize, usize, usize),
+    (ho, wo): (usize, usize),
+    cfg: Conv2dCfg,
+) {
+    let (kh, kw) = cfg.kernel;
+    let (sh, sw) = cfg.stride;
+    let (ph, pw) = cfg.padding;
+    let width = n * ho * wo;
     for ci in 0..c {
+        let img = &mut img_block[ci * h * w..(ci + 1) * h * w];
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
                 let src_row = &data[row * width..(row + 1) * width];
-                for b in 0..n {
-                    let img = &mut out[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
-                    for oy in 0..ho {
-                        let iy = (oy * sh + ki) as isize - ph as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
+                for oy in 0..ho {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = &src_row[(b * ho + oy) * wo..(b * ho + oy + 1) * wo];
+                    if sw == 1 {
+                        // Unit stride: the in-bounds ox range is contiguous
+                        // on both sides (see `im2col_channel`); adds still
+                        // run in ascending-ox order, each gradient pixel
+                        // touched at most once per (ki, kj, oy), so the
+                        // accumulation order is unchanged.
+                        let lo = pw.saturating_sub(kj);
+                        let hi = (w + pw).saturating_sub(kj).min(wo);
+                        if lo < hi {
+                            let base = iy as usize * w + lo + kj - pw;
+                            let dst = &mut img[base..base + (hi - lo)];
+                            for (d, &s) in dst.iter_mut().zip(&src[lo..hi]) {
+                                *d += s;
+                            }
                         }
-                        let src = &src_row[(b * ho + oy) * wo..(b * ho + oy + 1) * wo];
+                    } else {
                         for ox in 0..wo {
                             let ix = (ox * sw + kj) as isize - pw as isize;
                             if ix >= 0 && ix < w as isize {
@@ -152,7 +260,6 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, cfg: Conv2d
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, h, w])
 }
 
 /// Forward 2-D convolution.
@@ -427,12 +534,33 @@ pub fn depthwise_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> Ten
     let mut out = vec![0.0f32; n * c * ho * wo];
     let data = input.data();
     let wd = weight.data();
-    for b in 0..n {
-        for ci in 0..c {
-            let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
-            let ker = &wd[ci * kh * kw..(ci + 1) * kh * kw];
-            let dst = &mut out[(b * c + ci) * ho * wo..(b * c + ci + 1) * ho * wo];
-            depthwise_channel(img, ker, dst, (h, w), (ho, wo), cfg);
+    // Each (batch, channel) output plane is independent; hand the pool
+    // fixed groups of DW_GRAIN planes.
+    const DW_GRAIN: usize = 4;
+    if use_pool(n * c, n * c * ho * wo * kh * kw) {
+        // Job panics propagate out of `scope` after the group drains.
+        pool::scope(|s| {
+            for (t, planes) in out.chunks_mut(DW_GRAIN * ho * wo).enumerate() {
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.depthwise.chunk");
+                    for (u, dst) in planes.chunks_mut(ho * wo).enumerate() {
+                        let bc = t * DW_GRAIN + u;
+                        let (b, ci) = (bc / c, bc % c);
+                        let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+                        let ker = &wd[ci * kh * kw..(ci + 1) * kh * kw];
+                        depthwise_channel(img, ker, dst, (h, w), (ho, wo), cfg);
+                    }
+                });
+            }
+        });
+    } else {
+        for b in 0..n {
+            for ci in 0..c {
+                let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
+                let ker = &wd[ci * kh * kw..(ci + 1) * kh * kw];
+                let dst = &mut out[(b * c + ci) * ho * wo..(b * c + ci + 1) * ho * wo];
+                depthwise_channel(img, ker, dst, (h, w), (ho, wo), cfg);
+            }
         }
     }
     Tensor::from_vec(out, &[n, c, ho, wo])

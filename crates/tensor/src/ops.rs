@@ -1,29 +1,48 @@
 //! Matrix multiplication and related linear-algebra kernels.
+//!
+//! All three GEMM layouts dispatch through the persistent worker pool
+//! (`mri_sync::pool`, DESIGN.md §13) and share one bit-order contract:
+//! every output element accumulates its products in ascending-`p` order in
+//! a single f32 chain, exactly like the scalar reference loop. The blocked
+//! microkernels get their speed from processing `JB` output columns per
+//! strip — `JB` *independent* chains advancing together (instruction
+//! parallelism + one store per element) — never from reordering any single
+//! element's chain. That is what keeps results bit-identical across
+//! `MRI_THREADS` settings and bit-identical to the packed shift-add
+//! serving kernels (`mri-quant`), which walk terms in the same ascending
+//! weight-index order.
 
 use crate::Tensor;
+use mri_sync::pool;
 
-/// Minimum number of output rows per worker thread before a GEMM
-/// parallelises across threads.
-const PAR_ROWS_PER_THREAD: usize = 16;
+/// Output rows per pool job. Fixed — never derived from the lane count —
+/// so chunk boundaries (and therefore which serial kernel invocation
+/// computes each element) are identical at every `MRI_THREADS` setting.
+pub(crate) const PAR_GRAIN_ROWS: usize = 16;
 
-/// Shared row-split policy for the three GEMM kernels: `Some(rows_per)`
-/// when splitting `m` output rows over scoped threads is worth it — every
-/// worker gets a meaningful chunk and the multiply count (`mults`)
-/// amortises thread startup. `None` means run the serial kernel.
-fn row_split(m: usize, mults: usize) -> Option<usize> {
-    let threads = available_threads();
-    if m >= threads * PAR_ROWS_PER_THREAD && threads > 1 && mults > 1 << 16 {
-        Some(m.div_ceil(threads))
-    } else {
-        None
-    }
+/// Minimum multiply count before a GEMM dispatches to the pool.
+pub(crate) const PAR_MIN_MULTS: usize = 1 << 16;
+
+/// Column-strip width of the blocked microkernels: the number of output
+/// accumulators held in registers while `p` sweeps the depth. Each
+/// accumulator is its own dependency chain receiving one add per `p` step,
+/// so the strip must be wide enough to cover the FPU's add latency with
+/// independent work — 16 lanes (four 4-wide vectors) keeps the ports busy
+/// on the SSE2 baseline without spilling.
+const JB: usize = 16;
+
+/// Shared dispatch policy for the three GEMM kernels: pool the `m` output
+/// rows when extra lanes exist, there are at least two row grains to hand
+/// out, and the multiply count amortises dispatch overhead.
+fn use_pool(m: usize, mults: usize) -> bool {
+    pool::lanes() > 1 && m >= 2 * PAR_GRAIN_ROWS && mults > PAR_MIN_MULTS
 }
 
 /// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
 ///
-/// The kernel is a cache-blocked triple loop (ikj order) and splits the
-/// output rows over scoped threads (`mri_sync::thread::scope`) when the
-/// problem is large enough to amortise thread startup.
+/// Dispatches fixed-size row chunks to the worker pool when the problem is
+/// large enough (see `use_pool`); each chunk runs the blocked ikj
+/// microkernel `matmul_rows`.
 ///
 /// # Panics
 ///
@@ -47,48 +66,83 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
 
     let mut out = vec![0.0f32; m * n];
-    if let Some(rows_per) = row_split(m, m * n * k) {
-        let a_data = a.data();
-        let b_data = b.data();
-        // Worker panics propagate out of `scope` after all threads joined.
-        mri_sync::thread::scope(|scope| {
-            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
-                let row0 = t * rows_per;
-                scope.spawn(move || {
+    let a_data = a.data();
+    let b_data = b.data();
+    if use_pool(m, m * n * k) {
+        // Job panics propagate out of `scope` after the group drains.
+        pool::scope(|s| {
+            for (t, chunk) in out.chunks_mut(PAR_GRAIN_ROWS * n).enumerate() {
+                let row0 = t * PAR_GRAIN_ROWS;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.matmul.chunk");
                     matmul_rows(a_data, b_data, chunk, row0, k, n);
                 });
             }
         });
     } else {
-        matmul_rows(a.data(), b.data(), &mut out, 0, k, n);
+        matmul_rows(a_data, b_data, &mut out, 0, k, n);
     }
     Tensor::from_vec(out, &[m, n])
 }
 
 /// Computes rows `[row0, row0 + chunk_rows)` of the product into `out_chunk`.
+///
+/// Blocked ikj microkernel: for each output row, columns advance in strips
+/// of [`JB`] accumulators held in registers while `p` sweeps the depth.
+/// Zero `a` elements skip a whole strip-row of multiplies at one branch per
+/// `p` (quantized nets are full of exact zeros); skipping is bit-neutral
+/// because an accumulator that starts at `+0.0` can never become `-0.0`
+/// and `x + ±0.0 == x` for every other `x`.
 fn matmul_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
-    let rows = out_chunk.len() / n.max(1);
+    if n == 0 || out_chunk.is_empty() {
+        return;
+    }
+    let rows = out_chunk.len() / n;
     for r in 0..rows {
-        let i = row0 + r;
-        let a_row = &a[i * k..(i + 1) * k];
+        let a_row = &a[(row0 + r) * k..][..k];
         let out_row = &mut out_chunk[r * n..(r + 1) * n];
+        gemm_row(a_row, b, out_row, n);
+    }
+}
+
+/// One output row of `a_row × b` (`b` row-major `[k, n]`): columns advance
+/// in strips of [`JB`] register accumulators while `p` sweeps the depth,
+/// reading `b` rows at unit stride. Shared by [`matmul_rows`] and the
+/// lhs-packed [`matmul_at_rows`].
+fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], n: usize) {
+    let mut j0 = 0;
+    while j0 + JB <= n {
+        let mut acc = [0.0f32; JB];
         for (p, &av) in a_row.iter().enumerate() {
             if av == 0.0 {
                 continue;
             }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
+            let bs = &b[p * n + j0..][..JB];
+            for (l, &bv) in bs.iter().enumerate() {
+                acc[l] += av * bv;
             }
         }
+        out_row[j0..j0 + JB].copy_from_slice(&acc);
+        j0 += JB;
+    }
+    for j in j0..n {
+        let mut acc = 0.0f32;
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            acc += av * b[p * n + j];
+        }
+        out_row[j] = acc;
     }
 }
 
 /// `a × bᵀ` without materialising the transpose: `[m, k] × [n, k]ᵀ → [m, n]`.
 ///
-/// Splits output rows over scoped threads under the same policy as
-/// [`matmul`] — the backward-pass GEMMs used to stay serial no matter how
-/// large the gradient product was.
+/// Pool dispatch and bit-order contract as for [`matmul`]. The strip of
+/// `JB` simultaneous dot products is what broke the old kernel's
+/// single-accumulator latency chain — one fused multiply per cycle needs
+/// several independent adds in flight.
 ///
 /// # Panics
 ///
@@ -103,12 +157,13 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let a_data = a.data();
     let b_data = b.data();
     let mut out = vec![0.0f32; m * n];
-    if let Some(rows_per) = row_split(m, m * n * k) {
-        // Worker panics propagate out of `scope` after all threads joined.
-        mri_sync::thread::scope(|scope| {
-            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
-                let row0 = t * rows_per;
-                scope.spawn(move || {
+    if use_pool(m, m * n * k) {
+        // Job panics propagate out of `scope` after the group drains.
+        pool::scope(|s| {
+            for (t, chunk) in out.chunks_mut(PAR_GRAIN_ROWS * n).enumerate() {
+                let row0 = t * PAR_GRAIN_ROWS;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.matmul_bt.chunk");
                     matmul_bt_rows(a_data, b_data, chunk, row0, k, n);
                 });
             }
@@ -120,29 +175,60 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Computes rows `[row0, row0 + chunk_rows)` of `a × bᵀ` into `out_chunk`.
+///
+/// Strips run outermost: each strip of [`JB`] `b` rows is transposed once
+/// into a contiguous `k × JB` tile (`tile[p·JB + l] = b[(j0 + l)·k + p]`)
+/// and reused by every `a` row of the chunk, so the gather cost is
+/// amortised over the row block and the inner loop reads the tile at unit
+/// stride — the same vectorisable shape as the [`matmul`] microkernel.
+/// Per-element accumulation order is unchanged from the scalar kernel
+/// (ascending `p`, no zero-skip, exactly `k` adds per element).
 fn matmul_bt_rows(a: &[f32], b: &[f32], out_chunk: &mut [f32], row0: usize, k: usize, n: usize) {
-    let rows = out_chunk.len() / n.max(1);
-    for r in 0..rows {
-        let i = row0 + r;
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out_chunk[r * n..(r + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
+    if n == 0 || out_chunk.is_empty() {
+        return;
+    }
+    let rows = out_chunk.len() / n;
+    // One tile allocation per kernel invocation, reused across strips.
+    let mut tile = vec![0.0f32; k * JB];
+    let mut j0 = 0;
+    while j0 + JB <= n {
+        for l in 0..JB {
+            let b_row = &b[(j0 + l) * k..][..k];
+            for (p, &bv) in b_row.iter().enumerate() {
+                tile[p * JB + l] = bv;
+            }
+        }
+        for r in 0..rows {
+            let a_row = &a[(row0 + r) * k..][..k];
+            let mut acc = [0.0f32; JB];
+            for (p, &av) in a_row.iter().enumerate() {
+                let ts = &tile[p * JB..][..JB];
+                for (l, &tv) in ts.iter().enumerate() {
+                    acc[l] += av * tv;
+                }
+            }
+            out_chunk[r * n + j0..r * n + j0 + JB].copy_from_slice(&acc);
+        }
+        j0 += JB;
+    }
+    for j in j0..n {
+        let b_row = &b[j * k..][..k];
+        for r in 0..rows {
+            let a_row = &a[(row0 + r) * k..][..k];
             let mut acc = 0.0f32;
             for p in 0..k {
                 acc += a_row[p] * b_row[p];
             }
-            *o = acc;
+            out_chunk[r * n + j] = acc;
         }
     }
 }
 
 /// `aᵀ × b` without materialising the transpose: `[k, m]ᵀ × [k, n] → [m, n]`.
 ///
-/// Splits output rows over scoped threads under the same policy as
-/// [`matmul`]; each worker walks the full `k` extent so per-element
-/// accumulation order (and thus the result, bit for bit) matches the serial
-/// kernel.
+/// Pool dispatch and bit-order contract as for [`matmul`]; the microkernel
+/// walks `a` down its `m`-strided columns, so per-element order is the
+/// same ascending-`p` chain the old pkj kernel produced.
 ///
 /// # Panics
 ///
@@ -157,12 +243,13 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let a_data = a.data();
     let b_data = b.data();
     let mut out = vec![0.0f32; m * n];
-    if let Some(rows_per) = row_split(m, m * n * k) {
-        // Worker panics propagate out of `scope` after all threads joined.
-        mri_sync::thread::scope(|scope| {
-            for (t, chunk) in out.chunks_mut(rows_per * n).enumerate() {
-                let row0 = t * rows_per;
-                scope.spawn(move || {
+    if use_pool(m, m * n * k) {
+        // Job panics propagate out of `scope` after the group drains.
+        pool::scope(|s| {
+            for (t, chunk) in out.chunks_mut(PAR_GRAIN_ROWS * n).enumerate() {
+                let row0 = t * PAR_GRAIN_ROWS;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.matmul_at.chunk");
                     matmul_at_rows(a_data, b_data, chunk, row0, k, m, n);
                 });
             }
@@ -174,6 +261,13 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Computes rows `[row0, row0 + chunk_rows)` of `aᵀ × b` into `out_chunk`.
+///
+/// `a`'s columns are packed [`PAR_GRAIN_ROWS`] rows at a time into a
+/// row-major scratch block (`packed[r·k + p] = a[p·m + i]`) so the strip
+/// microkernel reads the lhs at unit stride like [`matmul_rows`] does; the
+/// block is one allocation per invocation, reused across row blocks.
+/// Per-element chains are the same ascending-`p` order the strided kernel
+/// produced.
 fn matmul_at_rows(
     a: &[f32],
     b: &[f32],
@@ -183,20 +277,25 @@ fn matmul_at_rows(
     m: usize,
     n: usize,
 ) {
-    let rows = out_chunk.len() / n.max(1);
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for r in 0..rows {
-            let av = a_row[row0 + r];
-            if av == 0.0 {
-                continue;
-            }
-            let out_row = &mut out_chunk[r * n..(r + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
+    if n == 0 || out_chunk.is_empty() {
+        return;
+    }
+    let rows = out_chunk.len() / n;
+    let mut packed = vec![0.0f32; PAR_GRAIN_ROWS.min(rows) * k];
+    let mut r0 = 0;
+    while r0 < rows {
+        let block = PAR_GRAIN_ROWS.min(rows - r0);
+        for (p, a_row) in a.chunks(m).enumerate().take(k) {
+            for r in 0..block {
+                packed[r * k + p] = a_row[row0 + r0 + r];
             }
         }
+        for r in 0..block {
+            let a_row = &packed[r * k..][..k];
+            let out_row = &mut out_chunk[(r0 + r) * n..(r0 + r + 1) * n];
+            gemm_row(a_row, b, out_row, n);
+        }
+        r0 += block;
     }
 }
 
@@ -212,13 +311,6 @@ pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
         .zip(b.data().iter())
         .map(|(x, y)| x * y)
         .sum()
-}
-
-/// Number of worker threads to use for parallel kernels.
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -272,7 +364,8 @@ mod tests {
 
     #[test]
     fn matmul_parallel_path_matches_naive() {
-        // Large enough to cross the parallel threshold on multi-core hosts.
+        // Large enough to cross the pool-dispatch threshold on multi-lane
+        // hosts.
         let m = 256;
         let k = 40;
         let n = 40;
@@ -284,7 +377,8 @@ mod tests {
     #[test]
     fn matmul_bt_parallel_path_matches_naive() {
         // Same sizing as `matmul_parallel_path_matches_naive`: enough output
-        // rows and multiplies to cross `row_split` on multi-core hosts.
+        // rows and multiplies to cross the pool threshold on multi-lane
+        // hosts.
         let m = 256;
         let k = 40;
         let n = 40;
@@ -319,6 +413,64 @@ mod tests {
         let b = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
         let expected = matmul(&a.transpose(), &b);
         assert_close(matmul_at(&a, &b).data(), expected.data(), 1e-5);
+    }
+
+    /// The bit-order contract: the blocked microkernels must equal a plain
+    /// per-element ascending-`p` chain bit for bit, at strip-remainder
+    /// widths too (n = 19 exercises one full strip + 3 remainder columns).
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_ordered_reference() {
+        let (m, k, n) = (13, 21, 19);
+        let mut seed = 7u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Quantized-flavoured values with plenty of exact zeros.
+            (((seed >> 33) % 9) as f32 - 4.0) * 0.25
+        };
+        let a = Tensor::from_vec((0..m * k).map(|_| next()).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|_| next()).collect(), &[k, n]);
+
+        let mut reference = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+                reference[i * n + j] = acc;
+            }
+        }
+        let bits = |xs: &[f32]| xs.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        assert_eq!(bits(matmul(&a, &b).data()), bits(&reference));
+        assert_eq!(bits(matmul_bt(&a, &b.transpose()).data()), bits(&reference));
+        assert_eq!(bits(matmul_at(&a.transpose(), &b).data()), bits(&reference));
+    }
+
+    /// Degenerate-shape regression: `n == 0` (and `m == 0`) GEMMs used to
+    /// lean on an `n.max(1)` division inside the row workers; they must
+    /// return empty tensors of the right shape without touching the
+    /// kernels.
+    #[test]
+    fn degenerate_empty_dims_return_empty_outputs() {
+        let cases = [
+            matmul(&Tensor::zeros(&[4, 3]), &Tensor::zeros(&[3, 0])),
+            matmul(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[3, 5])),
+            matmul(&Tensor::zeros(&[4, 0]), &Tensor::zeros(&[0, 5])),
+            matmul_bt(&Tensor::zeros(&[4, 3]), &Tensor::zeros(&[0, 3])),
+            matmul_at(&Tensor::zeros(&[3, 0]), &Tensor::zeros(&[3, 5])),
+        ];
+        let shapes = [[4, 0], [0, 5], [4, 5], [4, 0], [0, 5]];
+        for (t, want) in cases.iter().zip(shapes) {
+            assert_eq!([t.dim(0), t.dim(1)], want);
+            if want == [4, 5] {
+                // k == 0: a defined, all-zero product.
+                assert!(t.data().iter().all(|&v| v == 0.0));
+            } else {
+                assert!(t.data().is_empty());
+            }
+        }
     }
 
     #[test]

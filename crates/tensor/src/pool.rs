@@ -1,6 +1,24 @@
 //! Max and average pooling with backward passes.
+//!
+//! Large inputs dispatch over [`mri_sync::pool`] in fixed-size blocks of
+//! `BC_GRAIN` `(batch, channel)` planes. Every plane is computed by the same
+//! worker function in both the pooled and the serial branch, and each output
+//! element is written exactly once, so results are bit-identical regardless
+//! of the worker count.
 
 use crate::Tensor;
+use mri_sync::pool;
+
+/// Planes per pooled job. Fixed (never derived from the lane count) so chunk
+/// boundaries — and thus f32 behaviour — do not depend on `MRI_THREADS`.
+const BC_GRAIN: usize = 4;
+
+/// Minimum element-work before pooled dispatch is worth the queueing cost.
+const PAR_MIN_ELEMS: usize = 1 << 16;
+
+fn use_pool(units: usize, elems: usize) -> bool {
+    pool::lanes() > 1 && units >= 2 && elems > PAR_MIN_ELEMS
+}
 
 /// Result of a max-pooling forward pass.
 ///
@@ -25,11 +43,61 @@ pub fn maxpool2d(input: &Tensor, window: usize, stride: usize) -> MaxPoolOutput 
     assert!(h >= window && w >= window, "pool window larger than input");
     let ho = (h - window) / stride + 1;
     let wo = (w - window) / stride + 1;
-    let mut out = vec![0.0f32; n * c * ho * wo];
-    let mut argmax = vec![0usize; n * c * ho * wo];
+    let plane = ho * wo;
+    let mut out = vec![0.0f32; n * c * plane];
+    let mut argmax = vec![0usize; n * c * plane];
     let data = input.data();
-    for bc in 0..n * c {
-        let img_off = bc * h * w;
+    if use_pool(n * c, n * c * plane * window * window) {
+        pool::scope(|s| {
+            for (t, (ob, ab)) in out
+                .chunks_mut(BC_GRAIN * plane)
+                .zip(argmax.chunks_mut(BC_GRAIN * plane))
+                .enumerate()
+            {
+                let bc0 = t * BC_GRAIN;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.maxpool.chunk");
+                    maxpool_block(data, ob, ab, bc0, (h, w), (ho, wo), window, stride);
+                });
+            }
+        });
+    } else {
+        maxpool_block(
+            data,
+            &mut out,
+            &mut argmax,
+            0,
+            (h, w),
+            (ho, wo),
+            window,
+            stride,
+        );
+    }
+    MaxPoolOutput {
+        output: Tensor::from_vec(out, &[n, c, ho, wo]),
+        argmax,
+    }
+}
+
+/// Max-pools a block of whole `(batch, channel)` planes starting at `bc0`.
+#[allow(clippy::too_many_arguments)]
+fn maxpool_block(
+    data: &[f32],
+    out_block: &mut [f32],
+    arg_block: &mut [usize],
+    bc0: usize,
+    (h, w): (usize, usize),
+    (ho, wo): (usize, usize),
+    window: usize,
+    stride: usize,
+) {
+    let plane = ho * wo;
+    for (u, (out_plane, arg_plane)) in out_block
+        .chunks_mut(plane)
+        .zip(arg_block.chunks_mut(plane))
+        .enumerate()
+    {
+        let img_off = (bc0 + u) * h * w;
         for oy in 0..ho {
             for ox in 0..wo {
                 let mut best = f32::NEG_INFINITY;
@@ -43,20 +111,18 @@ pub fn maxpool2d(input: &Tensor, window: usize, stride: usize) -> MaxPoolOutput 
                         }
                     }
                 }
-                let o = (bc * ho + oy) * wo + ox;
-                out[o] = best;
-                argmax[o] = best_idx;
+                out_plane[oy * wo + ox] = best;
+                arg_plane[oy * wo + ox] = best_idx;
             }
         }
-    }
-    MaxPoolOutput {
-        output: Tensor::from_vec(out, &[n, c, ho, wo]),
-        argmax,
     }
 }
 
 /// Backward pass of [`maxpool2d`]: routes each output gradient to the input
 /// position that won the max.
+///
+/// Stays serial: the argmax scatter may hit the same input index from many
+/// output positions, so the writes are not disjoint.
 ///
 /// # Panics
 ///
@@ -87,13 +153,33 @@ pub fn global_avgpool(input: &Tensor) -> Tensor {
         "global_avgpool expects [N, C, H, W]"
     );
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
-    let hw = (h * w) as f32;
+    let hw = h * w;
     let mut out = vec![0.0f32; n * c];
-    for bc in 0..n * c {
-        let s: f32 = input.data()[bc * h * w..(bc + 1) * h * w].iter().sum();
-        out[bc] = s / hw;
+    let data = input.data();
+    if use_pool(n * c, n * c * hw) {
+        pool::scope(|s| {
+            for (t, ob) in out.chunks_mut(BC_GRAIN).enumerate() {
+                let bc0 = t * BC_GRAIN;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.gap.chunk");
+                    global_avg_block(data, ob, bc0, hw);
+                });
+            }
+        });
+    } else {
+        global_avg_block(data, &mut out, 0, hw);
     }
     Tensor::from_vec(out, &[n, c])
+}
+
+/// Averages whole `(batch, channel)` planes starting at `bc0` into
+/// `out_block`, one output scalar per plane.
+fn global_avg_block(data: &[f32], out_block: &mut [f32], bc0: usize, hw: usize) {
+    for (u, o) in out_block.iter_mut().enumerate() {
+        let base = (bc0 + u) * hw;
+        let s: f32 = data[base..base + hw].iter().sum();
+        *o = s / hw as f32;
+    }
 }
 
 /// Backward pass of [`global_avgpool`]: spreads each gradient uniformly over
@@ -127,11 +213,41 @@ pub fn avgpool2d(input: &Tensor, window: usize, stride: usize) -> Tensor {
     assert!(h >= window && w >= window, "pool window larger than input");
     let ho = (h - window) / stride + 1;
     let wo = (w - window) / stride + 1;
-    let inv = 1.0 / (window * window) as f32;
-    let mut out = vec![0.0f32; n * c * ho * wo];
+    let plane = ho * wo;
+    let mut out = vec![0.0f32; n * c * plane];
     let data = input.data();
-    for bc in 0..n * c {
-        let img_off = bc * h * w;
+    if use_pool(n * c, n * c * plane * window * window) {
+        pool::scope(|s| {
+            for (t, ob) in out.chunks_mut(BC_GRAIN * plane).enumerate() {
+                let bc0 = t * BC_GRAIN;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.avgpool.chunk");
+                    avgpool_block(data, ob, bc0, (h, w), (ho, wo), window, stride);
+                });
+            }
+        });
+    } else {
+        avgpool_block(data, &mut out, 0, (h, w), (ho, wo), window, stride);
+    }
+    Tensor::from_vec(out, &[n, c, ho, wo])
+}
+
+/// Average-pools a block of whole `(batch, channel)` planes starting at
+/// `bc0`. The window accumulation runs in `(ky, kx)` ascending order in both
+/// dispatch branches.
+fn avgpool_block(
+    data: &[f32],
+    out_block: &mut [f32],
+    bc0: usize,
+    (h, w): (usize, usize),
+    (ho, wo): (usize, usize),
+    window: usize,
+    stride: usize,
+) {
+    let plane = ho * wo;
+    let inv = 1.0 / (window * window) as f32;
+    for (u, out_plane) in out_block.chunks_mut(plane).enumerate() {
+        let img_off = (bc0 + u) * h * w;
         for oy in 0..ho {
             for ox in 0..wo {
                 let mut acc = 0.0;
@@ -140,11 +256,10 @@ pub fn avgpool2d(input: &Tensor, window: usize, stride: usize) -> Tensor {
                         acc += data[img_off + (oy * stride + ky) * w + (ox * stride + kx)];
                     }
                 }
-                out[(bc * ho + oy) * wo + ox] = acc * inv;
+                out_plane[oy * wo + ox] = acc * inv;
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, ho, wo])
 }
 
 #[cfg(test)]
@@ -201,5 +316,33 @@ mod tests {
         let out = maxpool2d(&input, 2, 1);
         assert_eq!(out.output.dims(), &[1, 1, 2, 2]);
         assert_eq!(out.output.data(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn pooled_dispatch_matches_serial_bits() {
+        // Big enough to cross PAR_MIN_ELEMS with a 3x3 window so the pooled
+        // branch is exercised whenever lanes > 1; the override pins the
+        // serial reference regardless of MRI_THREADS.
+        let len = 4 * 8 * 24 * 24;
+        let vals: Vec<f32> = (0..len)
+            .map(|i| ((i * 37) % 101) as f32 * 0.25 - 12.5)
+            .collect();
+        let input = Tensor::from_vec(vals, &[4, 8, 24, 24]);
+        let serial_pool = mri_sync::Arc::new(pool::Pool::with_workers(0));
+        let (s_max, s_avg, s_gap) = pool::with_pool(&serial_pool, || {
+            (
+                maxpool2d(&input, 3, 2),
+                avgpool2d(&input, 3, 2),
+                global_avgpool(&input),
+            )
+        });
+        let p_max = maxpool2d(&input, 3, 2);
+        let p_avg = avgpool2d(&input, 3, 2);
+        let p_gap = global_avgpool(&input);
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&s_max.output), bits(&p_max.output));
+        assert_eq!(s_max.argmax, p_max.argmax);
+        assert_eq!(bits(&s_avg), bits(&p_avg));
+        assert_eq!(bits(&s_gap), bits(&p_gap));
     }
 }

@@ -1,6 +1,27 @@
 //! Reductions, softmax and related row-wise transforms.
+//!
+//! The row-wise transforms dispatch over [`mri_sync::pool`] in fixed-size
+//! row blocks once the element count justifies it. Chunk boundaries depend
+//! only on the shape (never the lane count) and every row is produced by the
+//! same worker function in both branches, so results are bit-identical
+//! regardless of `MRI_THREADS`.
 
 use crate::Tensor;
+use mri_sync::pool;
+
+/// Rows per pooled softmax/log-softmax job; fixed so chunking — and thus f32
+/// behaviour — is independent of the worker count.
+const ROW_GRAIN: usize = 16;
+
+/// Channels per pooled [`sum_except_channel`] job.
+const CH_GRAIN: usize = 8;
+
+/// Minimum element-work before pooled dispatch is worth the queueing cost.
+const PAR_MIN_ELEMS: usize = 1 << 16;
+
+fn use_pool(units: usize, elems: usize) -> bool {
+    pool::lanes() > 1 && units >= 2 && elems > PAR_MIN_ELEMS
+}
 
 /// Row-wise softmax of a `[N, C]` tensor.
 ///
@@ -23,20 +44,42 @@ pub fn softmax(logits: &Tensor) -> Tensor {
     assert_eq!(logits.shape().rank(), 2, "softmax expects [N, C]");
     let (n, c) = (logits.dim(0), logits.dim(1));
     let mut out = vec![0.0f32; n * c];
-    for i in 0..n {
-        let row = &logits.data()[i * c..(i + 1) * c];
+    let data = logits.data();
+    if use_pool(n, n * c) {
+        pool::scope(|s| {
+            for (t, chunk) in out.chunks_mut(ROW_GRAIN * c).enumerate() {
+                let i0 = t * ROW_GRAIN;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.softmax.chunk");
+                    softmax_rows(data, chunk, i0, c);
+                });
+            }
+        });
+    } else {
+        softmax_rows(data, &mut out, 0, c);
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Softmax of the rows `i0..` covering `out_chunk`; each row reads
+/// `data[(i0 + u) * c ..]` and is fully independent of its neighbours.
+fn softmax_rows(data: &[f32], out_chunk: &mut [f32], i0: usize, c: usize) {
+    if c == 0 {
+        return;
+    }
+    for (u, out_row) in out_chunk.chunks_mut(c).enumerate() {
+        let row = &data[(i0 + u) * c..(i0 + u + 1) * c];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut denom = 0.0;
         for (j, &v) in row.iter().enumerate() {
             let e = (v - m).exp();
-            out[i * c + j] = e;
+            out_row[j] = e;
             denom += e;
         }
-        for j in 0..c {
-            out[i * c + j] /= denom;
+        for o in out_row.iter_mut() {
+            *o /= denom;
         }
     }
-    Tensor::from_vec(out, &[n, c])
 }
 
 /// Row-wise softmax with a temperature: `softmax(logits / t)`.
@@ -60,15 +103,36 @@ pub fn log_softmax(logits: &Tensor) -> Tensor {
     assert_eq!(logits.shape().rank(), 2, "log_softmax expects [N, C]");
     let (n, c) = (logits.dim(0), logits.dim(1));
     let mut out = vec![0.0f32; n * c];
-    for i in 0..n {
-        let row = &logits.data()[i * c..(i + 1) * c];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
-        for j in 0..c {
-            out[i * c + j] = row[j] - lse;
-        }
+    let data = logits.data();
+    if use_pool(n, n * c) {
+        pool::scope(|s| {
+            for (t, chunk) in out.chunks_mut(ROW_GRAIN * c).enumerate() {
+                let i0 = t * ROW_GRAIN;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.logsoftmax.chunk");
+                    log_softmax_rows(data, chunk, i0, c);
+                });
+            }
+        });
+    } else {
+        log_softmax_rows(data, &mut out, 0, c);
     }
     Tensor::from_vec(out, &[n, c])
+}
+
+/// Log-softmax of the rows `i0..` covering `out_chunk`.
+fn log_softmax_rows(data: &[f32], out_chunk: &mut [f32], i0: usize, c: usize) {
+    if c == 0 {
+        return;
+    }
+    for (u, out_row) in out_chunk.chunks_mut(c).enumerate() {
+        let row = &data[(i0 + u) * c..(i0 + u + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+        for (o, &v) in out_row.iter_mut().zip(row.iter()) {
+            *o = v - lse;
+        }
+    }
 }
 
 /// Row-wise argmax of a `[N, C]` tensor: the predicted class per row.
@@ -94,6 +158,10 @@ pub fn argmax_rows(t: &Tensor) -> Vec<usize> {
 /// Sums a `[N, C, ...]` tensor over all axes except the channel axis (axis 1),
 /// producing a `[C]` tensor. Used for bias gradients.
 ///
+/// Channels are independent outputs, so large inputs dispatch channel blocks
+/// over the pool; within a channel the batch contributions accumulate in
+/// ascending `b` order in both branches, preserving the serial f32 sum order.
+///
 /// # Panics
 ///
 /// Panics if the input has rank < 2.
@@ -106,13 +174,35 @@ pub fn sum_except_channel(t: &Tensor) -> Tensor {
     let c = t.dim(1);
     let spatial: usize = t.dims()[2..].iter().product();
     let mut out = vec![0.0f32; c];
-    for b in 0..n {
-        for ch in 0..c {
-            let base = (b * c + ch) * spatial;
-            out[ch] += t.data()[base..base + spatial].iter().sum::<f32>();
-        }
+    let data = t.data();
+    if use_pool(c, n * c * spatial) {
+        pool::scope(|s| {
+            for (t_idx, chunk) in out.chunks_mut(CH_GRAIN).enumerate() {
+                let ch0 = t_idx * CH_GRAIN;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.bias_sum.chunk");
+                    sum_channels(data, chunk, ch0, n, c, spatial);
+                });
+            }
+        });
+    } else {
+        sum_channels(data, &mut out, 0, n, c, spatial);
     }
     Tensor::from_vec(out, &[c])
+}
+
+/// Sums all-but-channel axes for channels `ch0..` covering `out_chunk`,
+/// accumulating batch blocks in ascending `b` order per channel.
+fn sum_channels(data: &[f32], out_chunk: &mut [f32], ch0: usize, n: usize, c: usize, spatial: usize) {
+    for (u, o) in out_chunk.iter_mut().enumerate() {
+        let ch = ch0 + u;
+        let mut acc = 0.0f32;
+        for b in 0..n {
+            let base = (b * c + ch) * spatial;
+            acc += data[base..base + spatial].iter().sum::<f32>();
+        }
+        *o = acc;
+    }
 }
 
 /// Classification accuracy of logits `[N, C]` against integer labels.
@@ -202,5 +292,25 @@ mod tests {
         let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let s = sum_except_channel(&t);
         assert_eq!(s.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn pooled_dispatch_matches_serial_bits() {
+        // 256 rows x 512 cols crosses PAR_MIN_ELEMS; the with_pool override
+        // pins a serial reference regardless of MRI_THREADS.
+        let (n, c) = (256, 512);
+        let vals: Vec<f32> = (0..n * c)
+            .map(|i| ((i * 31) % 97) as f32 * 0.125 - 6.0)
+            .collect();
+        let t = Tensor::from_vec(vals, &[n, c]);
+        let t4 = t.reshape(&[16, 16, 16, 32]);
+        let serial_pool = mri_sync::Arc::new(pool::Pool::with_workers(0));
+        let (s_sm, s_ls, s_sum) = pool::with_pool(&serial_pool, || {
+            (softmax(&t), log_softmax(&t), sum_except_channel(&t4))
+        });
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&s_sm), bits(&softmax(&t)));
+        assert_eq!(bits(&s_ls), bits(&log_softmax(&t)));
+        assert_eq!(bits(&s_sum), bits(&sum_except_channel(&t4)));
     }
 }

@@ -18,5 +18,9 @@ fn main() {
     let b = 0.5 == f(&q);
     // lint: allow(span-binding) — fixture unbound guard.
     mri_telemetry::span("escaped.bare");
+    // lint: allow(pool-discipline) — fixture per-call scope.
+    mri_sync::thread::scope(|s| {
+        s.spawn(|| {});
+    });
     let _ = (c, t, x, b);
 }

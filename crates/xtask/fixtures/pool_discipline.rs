@@ -1,0 +1,30 @@
+// Fixture: per-call scoped threads in a kernel hot path.
+// Expected: one `pool-discipline` finding on the scope call; the escaped
+// call and the test-module call stay silent.
+
+fn hot_kernel(out: &mut [f32]) {
+    mri_sync::thread::scope(|s| {
+        for chunk in out.chunks_mut(4) {
+            s.spawn(move || chunk.fill(1.0));
+        }
+    });
+}
+
+fn escaped_kernel(out: &mut [f32]) {
+    // lint: allow(pool-discipline) — fixture demonstrating the escape.
+    mri_sync::thread::scope(|s| {
+        for chunk in out.chunks_mut(4) {
+            s.spawn(move || chunk.fill(2.0));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_are_fine_in_tests() {
+        mri_sync::thread::scope(|s| {
+            s.spawn(|| {});
+        });
+    }
+}

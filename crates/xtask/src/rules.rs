@@ -1,4 +1,4 @@
-//! The seven repo-specific lint rules.
+//! The eight repo-specific lint rules.
 //!
 //! Every rule works on the lexed `{code, comment}` line pairs from
 //! [`crate::lexer`], so string literals can never trip a rule and comments
@@ -22,6 +22,8 @@
 //! | `safety-comment`  | every `unsafe` carries a `SAFETY:` comment               |
 //! | `span-binding`    | every `prof_scope!`/`span(` guard is bound to a *named*  |
 //! |                   | local (`let _ =` / bare statements drop it immediately)   |
+//! | `pool-discipline` | no per-call `thread::scope` in kernel hot paths          |
+//! |                   | (tensor/quant/core/nn src); dispatch via `mri_sync::pool` |
 
 use crate::lexer::Line;
 use crate::Finding;
@@ -53,6 +55,7 @@ pub fn check_lines(rel: &str, lines: &[Line]) -> Vec<Finding> {
     qsite_bypass(rel, lines, &mut findings);
     safety_comment(rel, lines, &mut findings);
     span_binding(rel, lines, &mut findings);
+    pool_discipline(rel, lines, &mut findings);
     findings.retain(|f| !is_escaped(lines, f.line - 1, f.rule));
     findings.sort_by_key(|f| f.line);
     findings
@@ -391,6 +394,36 @@ fn statement_start(lines: &[Line], idx: usize) -> usize {
         i -= 1;
     }
     i
+}
+
+// --------------------------------------------------------- pool-discipline
+
+/// Crates whose `src/` trees are kernel hot paths: parallel dispatch there
+/// goes through the persistent worker pool, never per-call scoped threads
+/// (which pay thread start-up latency on every kernel invocation — the
+/// regression the pool exists to prevent).
+const POOL_DISCIPLINE_DIRS: &[&str] = &[
+    "crates/tensor/src/",
+    "crates/quant/src/",
+    "crates/core/src/",
+    "crates/nn/src/",
+];
+
+fn pool_discipline(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    if !POOL_DISCIPLINE_DIRS.iter().any(|d| in_dir(rel, d)) {
+        return;
+    }
+    let test_region = test_regions(lines);
+    for (i, line) in lines.iter().enumerate() {
+        if !test_region[i] && line.code.contains("thread::scope(") {
+            out.push(Finding::new(
+                rel,
+                i + 1,
+                "pool-discipline",
+                "per-call `thread::scope` in a kernel hot path; dispatch through the persistent worker pool (`mri_sync::pool::scope` / `parallel_for`) instead".to_string(),
+            ));
+        }
+    }
 }
 
 // ------------------------------------------------------- shared machinery

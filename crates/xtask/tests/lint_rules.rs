@@ -103,8 +103,24 @@ fn span_binding_fixture_fires_on_unbound_guards_only() {
 }
 
 #[test]
+fn pool_discipline_fixture_fires_in_kernel_hot_paths_only() {
+    for rel in [
+        "crates/tensor/src/fx.rs",
+        "crates/quant/src/fx.rs",
+        "crates/core/src/fx.rs",
+        "crates/nn/src/fx.rs",
+    ] {
+        expect("pool_discipline.rs", rel, &[("pool-discipline", 6)]);
+    }
+    // Non-kernel crates, the pool's own crate, and test trees are exempt.
+    expect("pool_discipline.rs", "crates/sync/src/fx.rs", &[]);
+    expect("pool_discipline.rs", "crates/bench/src/fx.rs", &[]);
+    expect("pool_discipline.rs", "crates/tensor/tests/fx.rs", &[]);
+}
+
+#[test]
 fn escaped_fixture_is_silent_under_every_rule_scope() {
-    // quant/src puts all six rules in scope at once.
+    // quant/src puts every escapable rule in scope at once.
     expect("escaped.rs", "crates/quant/src/fx.rs", &[]);
 }
 

@@ -64,7 +64,7 @@ echo "== loom model checks (--cfg loom)"
 if ! loom_available; then
     echo "skipped: --offline and loom is not vendored"
 else
-    for target in "mri-sync loom_primitives" "mri-telemetry loom_registry" "mri-core loom_wcache"; do
+    for target in "mri-sync loom_primitives" "mri-sync loom_pool" "mri-telemetry loom_registry" "mri-core loom_wcache"; do
         set -- $target
         RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
             cargo test -q "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -p "$1" --test "$2"
