@@ -37,7 +37,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|qsite|packed|pool|verify|summary|all> [--fast] [--seed N]");
+        eprintln!("usage: figures <fig5a|fig5b|fig19|fig20|fig21|fig22|table1|fig23|fig24|table2|table3|laconic|fig26|table4|ablation_strategy|ablation_kd|ablation_encoding|dynamic|telemetry|cache|qsite|packed|pool|frozen|verify|summary|all> [--fast] [--seed N]");
         std::process::exit(2);
     }
     let all = wanted.contains(&"all");
@@ -115,6 +115,9 @@ fn main() {
     }
     if want("pool") {
         run_pool(cfg);
+    }
+    if want("frozen") {
+        run_frozen(cfg);
     }
     if want("summary") {
         let claims = mri_bench::summary::check_claims(std::path::Path::new("results"));
@@ -308,16 +311,60 @@ fn run_pool(cfg: RunConfig) {
                 format!("{:.3}ms", r.matmul_ms),
                 format!("{:.3}ms", r.conv2d_ms),
                 format!("{:.2}x", r.speedup),
-                if r.bits_identical { "identical" } else { "DIVERGED" }.to_string(),
+                if r.bits_identical {
+                    "identical"
+                } else {
+                    "DIVERGED"
+                }
+                .to_string(),
             ]
         })
         .collect();
     print_table(
         "Worker-pool scaling: pooled GEMM + conv2d at 1/2/4/8 lanes",
-        &["lanes", "workers", "matmul", "conv2d fwd+bwd", "speedup", "bits"],
+        &[
+            "lanes",
+            "workers",
+            "matmul",
+            "conv2d fwd+bwd",
+            "speedup",
+            "bits",
+        ],
         &table,
     );
     write_json("pool", &rows);
+}
+
+fn run_frozen(cfg: RunConfig) {
+    let rows = mri_bench::frozen_exp::frozen_eval_speedup(cfg);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.specs.to_string(),
+                r.forwards.to_string(),
+                format!("{:.3}s", r.eval_wall_s),
+                format!("{:.3}ms", r.per_forward_ms),
+                r.weights_built.to_string(),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print_table(
+        "Frozen serving: read-only execution plans vs legacy Mode::Eval forwards",
+        &[
+            "mode",
+            "specs",
+            "forwards",
+            "wall",
+            "per forward",
+            "weights built",
+            "speedup",
+        ],
+        &table,
+    );
+    write_json("frozen", &rows);
 }
 
 fn run_ablation_strategy(cfg: RunConfig) {

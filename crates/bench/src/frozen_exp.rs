@@ -1,0 +1,203 @@
+//! Frozen serving benchmark: the read-only [`FrozenModel`] plan on a reused
+//! workspace vs the legacy mutable `Mode::Eval` forward, over the 4-spec
+//! grid.
+//!
+//! Both arms serve the identical trained weights; the A/B isolates the
+//! execution engine. The frozen arm carries no mode dispatch, no cache
+//! probing and no per-forward tensor allocations, and its `weights built`
+//! column (from [`mri_core::weight_tensors_built_on_this_thread`]) must
+//! read zero — the plan references the packed term stores directly.
+
+use crate::RunConfig;
+use mri_core::{
+    weight_tensors_built_on_this_thread, FrozenModel, QConv2d, QLinear, QuantConfig,
+    ResolutionControl, SubModelSpec, Workspace,
+};
+use mri_nn::{Flatten, Layer, MaxPool2d, Mode, Relu, Sequential};
+use mri_tensor::conv::Conv2dCfg;
+use mri_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One A/B row of the frozen-serving benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct FrozenRow {
+    /// `"legacy-eval"` or `"frozen"`.
+    pub mode: String,
+    /// Sub-model specs in the grid.
+    pub specs: usize,
+    /// Total forwards timed (repeats × specs × batches).
+    pub forwards: usize,
+    /// Wall-clock of the timed serving loop, seconds.
+    pub eval_wall_s: f64,
+    /// Wall-clock per forward, milliseconds.
+    pub per_forward_ms: f64,
+    /// f32 weight tensors materialized during the timed loop (0 = the
+    /// frozen plan served straight from the packed stores).
+    pub weights_built: u64,
+    /// Speedup vs the legacy-eval row (1.0 for that row).
+    pub speedup: f64,
+}
+
+fn spec_grid() -> Vec<SubModelSpec> {
+    vec![
+        SubModelSpec::new(4, 1),
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(12, 2),
+        SubModelSpec::new(16, 3),
+    ]
+}
+
+fn build_net(
+    rng: &mut StdRng,
+    cin: usize,
+    cout: usize,
+    side: usize,
+    classes: usize,
+    control: &Arc<ResolutionControl>,
+) -> Sequential {
+    let qcfg = QuantConfig::paper_cnn();
+    let mut net = Sequential::new();
+    net.push(QConv2d::new(
+        rng,
+        cin,
+        cout,
+        Conv2dCfg::same(3),
+        qcfg,
+        Arc::clone(control),
+    ));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2));
+    net.push(Flatten::new());
+    net.push(QLinear::new(
+        rng,
+        cout * (side / 2) * (side / 2),
+        classes,
+        qcfg,
+        Arc::clone(control),
+    ));
+    net
+}
+
+/// Runs the A/B: one net, one spec grid, two execution engines. Returns
+/// `[legacy-eval, frozen]`.
+pub fn frozen_eval_speedup(cfg: RunConfig) -> Vec<FrozenRow> {
+    let (cin, cout, side, batch, classes, repeats, eval_batches) = if cfg.fast {
+        (3, 8, 10, 8, 4, 3, 2)
+    } else {
+        (3, 16, 14, 16, 10, 10, 4)
+    };
+    let specs = spec_grid();
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut net = build_net(&mut rng, cin, cout, side, classes, &control);
+    let batches: Vec<Tensor> = (0..eval_batches)
+        .map(|_| init::uniform(&mut rng, &[batch, cin, side, side], 0.0, 1.0))
+        .collect();
+
+    // Warm every per-spec term cache once so both arms time the read path.
+    for spec in &specs {
+        control.set_resolution(spec.resolution());
+        // lint: allow(frozen-discipline) — warm-up for the legacy A/B arm.
+        let _ = net.forward(&batches[0], Mode::Eval);
+    }
+
+    let mut rows: Vec<FrozenRow> = Vec::new();
+
+    let built0 = weight_tensors_built_on_this_thread();
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for spec in &specs {
+            control.set_resolution(spec.resolution());
+            for x in &batches {
+                // lint: allow(frozen-discipline) — the legacy arm of the A/B.
+                let out = net.forward(x, Mode::Eval);
+                std::hint::black_box(out.data().first());
+            }
+        }
+    }
+    let legacy_wall = t0.elapsed().as_secs_f64();
+    let legacy_built = weight_tensors_built_on_this_thread() - built0;
+
+    let forwards = repeats * specs.len() * eval_batches;
+    rows.push(FrozenRow {
+        mode: "legacy-eval".to_string(),
+        specs: specs.len(),
+        forwards,
+        eval_wall_s: legacy_wall,
+        per_forward_ms: legacy_wall * 1e3 / forwards as f64,
+        weights_built: legacy_built,
+        speedup: 1.0,
+    });
+
+    let frozen = FrozenModel::freeze(&net, &specs).expect("bench net freezes");
+    let mut ws = Workspace::new();
+    // Warm-up pass sizes the workspace arena outside the timed loop.
+    for i in 0..specs.len() {
+        let _ = frozen.run(i, &batches[0], &mut ws);
+    }
+    let built0 = weight_tensors_built_on_this_thread();
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        for i in 0..specs.len() {
+            for x in &batches {
+                let (out, _) = frozen.run(i, x, &mut ws);
+                std::hint::black_box(out.first());
+            }
+        }
+    }
+    let frozen_wall = t0.elapsed().as_secs_f64();
+    let frozen_built = weight_tensors_built_on_this_thread() - built0;
+
+    rows.push(FrozenRow {
+        mode: "frozen".to_string(),
+        specs: specs.len(),
+        forwards,
+        eval_wall_s: frozen_wall,
+        per_forward_ms: frozen_wall * 1e3 / forwards as f64,
+        weights_built: frozen_built,
+        speedup: legacy_wall / frozen_wall,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_arm_is_bit_identical_and_materializes_no_weights() {
+        let cfg = RunConfig {
+            fast: true,
+            seed: 7,
+        };
+        let rows = frozen_eval_speedup(cfg);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mode, "legacy-eval");
+        assert_eq!(rows[1].mode, "frozen");
+        assert_eq!(rows[1].weights_built, 0, "frozen zero-copy contract");
+        assert_eq!(rows[0].forwards, rows[1].forwards);
+        assert!(rows[1].speedup > 0.0);
+
+        // Bit-identity of the two arms on a fresh net.
+        let specs = spec_grid();
+        let control = Arc::new(ResolutionControl::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = build_net(&mut rng, 3, 4, 6, 3, &control);
+        let x = init::uniform(&mut rng, &[2, 3, 6, 6], 0.0, 1.0);
+        let frozen = FrozenModel::freeze(&net, &specs).expect("net freezes");
+        let mut ws = Workspace::new();
+        for (i, spec) in specs.iter().enumerate() {
+            control.set_resolution(spec.resolution());
+            // lint: allow(frozen-discipline) — legacy reference arm.
+            let want = net.forward(&x, Mode::Eval);
+            let (got, _) = frozen.run(i, &x, &mut ws);
+            for (a, b) in got.iter().zip(want.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "spec {spec}");
+            }
+        }
+    }
+}

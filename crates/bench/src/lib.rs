@@ -28,6 +28,7 @@
 //! | `qsite` | mask-free eval path vs train-mode forwards | [`qsite_exp`] |
 //! | `packed` | packed shift-add serving vs dequantize + dense eval | [`packed_exp`] |
 //! | `pool` | worker-pool scaling (1/2/4/8 lanes, bit-identity check) | [`pool_exp`] |
+//! | `frozen` | frozen execution plans vs legacy `Mode::Eval` forwards | [`frozen_exp`] |
 //!
 //! The `mri-bench` binary additionally runs the perf-trajectory probe
 //! suite ([`trajectory`]): `mri-bench trajectory --fast` appends one
@@ -38,6 +39,7 @@
 
 pub mod ablation;
 pub mod cache_exp;
+pub mod frozen_exp;
 pub mod hw_exp;
 pub mod packed_exp;
 pub mod pool_exp;

@@ -110,6 +110,7 @@ pub fn eval_path_speedup(cfg: RunConfig) -> Vec<QsiteRow> {
     let x = init::uniform(&mut rng, &[batch, din], 0.0, 1.0);
 
     // Warm every layer's weight-term cache so both paths time cache hits.
+    // lint: allow(frozen-discipline) — warm-up for the legacy A/B arms.
     net.forward(&x, Mode::Eval);
 
     let mut rows: Vec<QsiteRow> = Vec::new();

@@ -17,13 +17,14 @@
 
 use crate::RunConfig;
 use mri_core::{
-    MultiResTrainer, QLinear, QuantConfig, Resolution, ResolutionControl, SubModelSpec,
-    TrainerConfig, WeightTermCache,
+    FrozenModel, MultiResTrainer, QLinear, QuantConfig, Resolution, ResolutionControl,
+    SubModelSpec, TrainerConfig, WeightTermCache, Workspace,
 };
 use mri_hw::{MmacSystem, NetworkWorkload, SystemConfig};
-use mri_nn::{Layer, Mode, Param, Relu};
+use mri_nn::{FreezeError, FreezeSink, Layer, Mode, Param, Relu};
 use mri_quant::packed::matmul_bt_packed;
 use mri_quant::{PackedTermStore, SdrEncoding};
+use mri_sync::pool::Pool;
 use mri_tensor::{init, ops, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -185,6 +186,14 @@ impl Layer for ProbeNet {
     fn describe(&self) -> String {
         "trajectory-probe-mlp".to_string()
     }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        self.l1.freeze_into(sink)?;
+        self.r1.freeze_into(sink)?;
+        self.l2.freeze_into(sink)?;
+        self.r2.freeze_into(sink)?;
+        self.l3.freeze_into(sink)
+    }
 }
 
 /// The kernel-level probe suite (→ `BENCH_kernels.json`): weight-term cache
@@ -329,6 +338,7 @@ pub fn kernel_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
 /// train step and one 4-spec `evaluate_all` on a small quantized MLP.
 pub fn eval_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
     let (step_iters, eval_iters) = if cfg.fast { (6, 4) } else { (24, 12) };
+    let (ff_iters, fc_iters) = if cfg.fast { (16, 8) } else { (64, 32) };
     let (din, hidden, classes, batch) = (32, 48, 4, 8);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let (mut net, control) = ProbeNet::new(&mut rng, din, hidden, classes);
@@ -338,7 +348,7 @@ pub fn eval_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
         SubModelSpec::new(12, 2),
         SubModelSpec::new(16, 3),
     ];
-    let mut tc = TrainerConfig::new(specs);
+    let mut tc = TrainerConfig::new(specs.clone());
     tc.lr = 0.05;
     tc.seed = cfg.seed;
     let mut trainer = MultiResTrainer::new(tc, Arc::clone(&control));
@@ -354,6 +364,36 @@ pub fn eval_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
     probes.push(run_probe("evaluate_all_4spec", eval_iters, || {
         let reports = trainer.evaluate_all(&mut net, &eval_data);
         std::hint::black_box(&reports);
+    }));
+
+    // Frozen serving probes: the read-only plan built once from the probe
+    // net, serving the whole spec grid from reused workspace arenas. The
+    // sequential probe tracks the shared-nothing forward path; the
+    // concurrent probe adds 2 pool workers with per-request workspaces (its
+    // alloc columns cover only the calling thread, like the `*_pool`
+    // kernel probes).
+    let frozen = std::sync::Arc::new(FrozenModel::freeze(&net, &specs).expect("probe net freezes"));
+    let mut ws = Workspace::new();
+    probes.push(run_probe("frozen_forward", ff_iters, || {
+        for i in 0..specs.len() {
+            let (out, _) = frozen.run(i, &x, &mut ws);
+            std::hint::black_box(out.first());
+        }
+    }));
+
+    let pool = Pool::with_workers(2);
+    let mut lanes: Vec<Workspace> = (0..specs.len()).map(|_| Workspace::new()).collect();
+    probes.push(run_probe("frozen_concurrent_4spec", fc_iters, || {
+        pool.scope(|s| {
+            for (i, ws) in lanes.iter_mut().enumerate() {
+                let frozen = &frozen;
+                let x = &x;
+                s.spawn(move || {
+                    let (out, _) = frozen.run(i, x, ws);
+                    std::hint::black_box(out.first());
+                });
+            }
+        });
     }));
     probes
 }
@@ -502,7 +542,15 @@ mod tests {
             ]
         );
         let names: Vec<&str> = evals.probes.iter().map(|p| p.name.as_str()).collect();
-        assert_eq!(names, ["train_step", "evaluate_all_4spec"]);
+        assert_eq!(
+            names,
+            [
+                "train_step",
+                "evaluate_all_4spec",
+                "frozen_forward",
+                "frozen_concurrent_4spec"
+            ]
+        );
         for p in kernels.probes.iter().chain(&evals.probes) {
             assert!(p.wall_ns > 0 && p.wall_ns < u64::MAX, "{p:?}");
             assert!(p.iters > 0);

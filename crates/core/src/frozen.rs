@@ -1,0 +1,954 @@
+//! The frozen serving path: a read-only, `Send + Sync` execution engine.
+//!
+//! Training objects ([`QConv2d`], [`QLinear`], …) carry mutable caches, lazy
+//! mask cells and counters that make them unusable as a shared artifact for
+//! a concurrent server. [`FrozenModel::freeze`] walks a trained model once
+//! (via [`mri_nn::Layer::freeze_into`]) and extracts everything inference
+//! needs into an immutable plan:
+//!
+//! * per-layer [`PackedWeights`] handles — `Arc`s into the weight-term
+//!   cache's packed stores, one per sub-model spec, resolved once at freeze
+//!   time so serving never touches the cache again;
+//! * per-spec data-quantization LUTs ([`DataLut`]) folded from the trained
+//!   PACT clips;
+//! * batch-norm parameters folded to `(mean, 1/√(var+ε))` per statistic
+//!   bank;
+//! * bias vectors, pool geometries and the residual-block bracket
+//!   structure.
+//!
+//! Inference is [`FrozenModel::run`]: `&self`, so an `Arc<FrozenModel>` can
+//! serve concurrent requests at *different* α/β budgets from the worker
+//! pool with zero locks. All scratch lives in an explicit per-call
+//! [`Workspace`] arena of grow-only buffers — after the first call on a
+//! given shape, a run performs **zero heap allocations** (pinned by a
+//! `TrackingAllocator` test).
+//!
+//! Every kernel invoked here is the exact routine the legacy `Mode::Eval`
+//! forward uses (same GEMMs, same LUT construction, same per-element BN and
+//! pooling arithmetic), so frozen outputs are bit-identical to the mutable
+//! path — also pinned by tests.
+
+use crate::qlayers::{term_pairs_per_dot, QConv2d, QDepthwiseConv2d, QLinear};
+use crate::qsite::{QActSite, QParamSite};
+use crate::spec::{Resolution, SubModelSpec};
+use crate::wcache::PackedWeights;
+use mri_nn::{BnFreeze, FreezeError, FreezeSink, Layer};
+use mri_quant::dq::DataLut;
+use mri_quant::packed::{matmul_bt_packed_scratch, matmul_packed_lhs};
+use mri_tensor::conv::{depthwise_forward_with_into, gemm_to_nchw_into, im2col_into, Conv2dCfg};
+use mri_tensor::pool::{global_avgpool_into, maxpool2d_values_into};
+use mri_tensor::Tensor;
+use std::any::Any;
+
+/// The shape of an activation flowing through a frozen plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActShape {
+    /// Feature maps `[N, C, H, W]`.
+    Nchw(usize, usize, usize, usize),
+    /// A matrix `[N, F]` (post-flatten / post-pool / logits).
+    Nf(usize, usize),
+}
+
+impl ActShape {
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        match *self {
+            ActShape::Nchw(n, c, h, w) => n * c * h * w,
+            ActShape::Nf(n, f) => n * f,
+        }
+    }
+
+    /// Whether the activation holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shape as tensor dims.
+    pub fn dims(&self) -> Vec<usize> {
+        match *self {
+            ActShape::Nchw(n, c, h, w) => vec![n, c, h, w],
+            ActShape::Nf(n, f) => vec![n, f],
+        }
+    }
+}
+
+/// Per-spec serving state of one quantized layer: the packed term rows at
+/// the spec's α, the data LUT folded from the trained clip at the spec's β,
+/// and the term-pair cost of one output element.
+struct SpecWeights {
+    packed: PackedWeights,
+    lut: DataLut,
+    tp_per_out: u64,
+}
+
+struct ConvPlan {
+    cfg: Conv2dCfg,
+    in_channels: usize,
+    out_channels: usize,
+    row_len: usize,
+    bias: Vec<f32>,
+    per_spec: Vec<SpecWeights>,
+}
+
+struct LinPlan {
+    in_features: usize,
+    out_features: usize,
+    bias: Vec<f32>,
+    per_spec: Vec<SpecWeights>,
+}
+
+struct DwPlan {
+    cfg: Conv2dCfg,
+    channels: usize,
+    row_len: usize,
+    bias: Vec<f32>,
+    per_spec: Vec<SpecWeights>,
+}
+
+/// Batch-norm with `(mean, 1/√(var+ε))` folded per statistic bank; γ/β are
+/// shared across banks exactly as in training.
+struct BnPlan {
+    channels: usize,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    banks: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+enum FrozenOp {
+    Conv(ConvPlan),
+    Linear(LinPlan),
+    Depthwise(DwPlan),
+    BatchNorm(BnPlan),
+    Relu,
+    MaxPool { window: usize, stride: usize },
+    GlobalAvgPool,
+    Flatten,
+    Identity,
+    BeginBlock,
+    BeginShortcut,
+    EndBlock { relu_after_add: bool },
+}
+
+/// A read-only, `Send + Sync` serving representation of a trained model.
+///
+/// Built once with [`FrozenModel::freeze`]; thereafter every request is
+/// [`FrozenModel::run`] through a caller-owned [`Workspace`]. See the
+/// [module docs](self) for the design.
+pub struct FrozenModel {
+    ops: Vec<FrozenOp>,
+    specs: Vec<SubModelSpec>,
+}
+
+impl std::fmt::Debug for FrozenModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenModel")
+            .field("ops", &self.ops.len())
+            .field("specs", &self.specs)
+            .finish()
+    }
+}
+
+// The serving representation must be shareable across pool threads.
+fn _frozen_is_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<FrozenModel>();
+    check::<Workspace>();
+}
+
+/// One entry of [`FrozenModel::geometry`]: the GEMM dimensions of a compute
+/// layer, for hardware-simulator ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenLayerGeom {
+    /// Human-readable layer label, e.g. `conv2d(3->16, 3x3)`.
+    pub name: String,
+    /// Dot-product length (one weight row).
+    pub k: usize,
+    /// Output rows (output channels / features).
+    pub m: usize,
+    /// Output columns (spatial positions × batch, or batch rows).
+    pub n: usize,
+}
+
+impl FrozenModel {
+    /// Builds the frozen plan for `model` at each of `specs`.
+    ///
+    /// Resolves every layer's [`PackedWeights`] per spec (warming the weight
+    /// term cache exactly as the first legacy eval forward would) and folds
+    /// clips and BN statistics. The model is only borrowed; training can
+    /// continue afterwards — the frozen plan keeps serving the snapshot it
+    /// was built from.
+    ///
+    /// Fails with [`FreezeError`] if the model contains a layer without a
+    /// frozen representation, a spec is not term-quantized, or a weight
+    /// cache declines to serve packed rows (packed eval disabled).
+    pub fn freeze(model: &dyn Layer, specs: &[SubModelSpec]) -> Result<Self, FreezeError> {
+        if specs.is_empty() {
+            return Err(FreezeError::Build("no sub-model specs to freeze".into()));
+        }
+        let mut builder = PlanBuilder {
+            specs,
+            ops: Vec::new(),
+            depth: 0,
+        };
+        model.freeze_into(&mut builder)?;
+        if builder.depth != 0 {
+            return Err(FreezeError::Build("unbalanced residual brackets".into()));
+        }
+        Ok(FrozenModel {
+            ops: builder.ops,
+            specs: specs.to_vec(),
+        })
+    }
+
+    /// The sub-model specs this plan serves, in `spec_idx` order.
+    pub fn specs(&self) -> &[SubModelSpec] {
+        &self.specs
+    }
+
+    /// Runs the model at `specs()[spec_idx]` on `input`, using `ws` for all
+    /// scratch. Returns the output activation (borrowed from the workspace)
+    /// and its shape.
+    ///
+    /// `&self` and lock-free: one `Arc<FrozenModel>` serves any number of
+    /// concurrent callers, each with its own workspace. Term-pair /
+    /// value-MAC tallies accumulate in the workspace (see
+    /// [`Workspace::drain_counters`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec_idx` is out of range or the input shape does not
+    /// match the plan (wrong channel count, non-rank-2/4 input).
+    pub fn run<'w>(
+        &self,
+        spec_idx: usize,
+        input: &Tensor,
+        ws: &'w mut Workspace,
+    ) -> (&'w [f32], ActShape) {
+        assert!(spec_idx < self.specs.len(), "spec index out of range");
+        let mut shape = match input.dims() {
+            &[n, c, h, w] => ActShape::Nchw(n, c, h, w),
+            &[n, f] => ActShape::Nf(n, f),
+            other => panic!("frozen run expects rank-2 or rank-4 input, got {other:?}"),
+        };
+        grow(&mut ws.cur, shape.len());
+        ws.cur[..shape.len()].copy_from_slice(input.data());
+
+        for op in &self.ops {
+            shape = self.step(op, spec_idx, shape, ws);
+        }
+        ws.out_shape = Some(shape);
+        (&ws.cur[..shape.len()], shape)
+    }
+
+    /// [`FrozenModel::run`], materializing the output as a tensor (one
+    /// allocation; evaluation convenience — the serving path uses `run`).
+    pub fn run_tensor(&self, spec_idx: usize, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (out, shape) = self.run(spec_idx, input, ws);
+        Tensor::from_vec(out.to_vec(), &shape.dims())
+    }
+
+    /// The GEMM geometry of every compute layer for a rank-4 input of the
+    /// given dims — what a hardware simulator ingests as its workload.
+    pub fn geometry(&self, input: (usize, usize, usize, usize)) -> Vec<FrozenLayerGeom> {
+        let (n, c, h, w) = input;
+        let mut shape = ActShape::Nchw(n, c, h, w);
+        let mut out = Vec::new();
+        let mut stack: Vec<(ActShape, Option<ActShape>)> = Vec::new();
+        for op in &self.ops {
+            shape = match op {
+                FrozenOp::Conv(p) => {
+                    let (bn, _, ih, iw) = expect_nchw(shape);
+                    let (ho, wo) = p.cfg.out_size(ih, iw);
+                    out.push(FrozenLayerGeom {
+                        name: format!(
+                            "conv2d({}->{}, {}x{})",
+                            p.in_channels, p.out_channels, p.cfg.kernel.0, p.cfg.kernel.1
+                        ),
+                        k: p.row_len,
+                        m: p.out_channels,
+                        n: bn * ho * wo,
+                    });
+                    ActShape::Nchw(bn, p.out_channels, ho, wo)
+                }
+                FrozenOp::Depthwise(p) => {
+                    let (bn, _, ih, iw) = expect_nchw(shape);
+                    let (ho, wo) = p.cfg.out_size(ih, iw);
+                    out.push(FrozenLayerGeom {
+                        name: format!(
+                            "depthwise({}ch, {}x{})",
+                            p.channels, p.cfg.kernel.0, p.cfg.kernel.1
+                        ),
+                        k: p.row_len,
+                        m: p.channels,
+                        n: bn * ho * wo,
+                    });
+                    ActShape::Nchw(bn, p.channels, ho, wo)
+                }
+                FrozenOp::Linear(p) => {
+                    let rows = match shape {
+                        ActShape::Nf(m, _) => m,
+                        ActShape::Nchw(bn, ..) => bn,
+                    };
+                    out.push(FrozenLayerGeom {
+                        name: format!("linear({}->{})", p.in_features, p.out_features),
+                        k: p.in_features,
+                        m: p.out_features,
+                        n: rows,
+                    });
+                    ActShape::Nf(rows, p.out_features)
+                }
+                _ => self.shape_after(op, shape, &mut stack),
+            };
+        }
+        out
+    }
+
+    /// Shape evolution of the structural (non-GEMM) ops, shared by
+    /// [`FrozenModel::geometry`].
+    fn shape_after(
+        &self,
+        op: &FrozenOp,
+        shape: ActShape,
+        stack: &mut Vec<(ActShape, Option<ActShape>)>,
+    ) -> ActShape {
+        match op {
+            FrozenOp::MaxPool { window, stride } => {
+                let (n, c, h, w) = expect_nchw(shape);
+                ActShape::Nchw(n, c, (h - window) / stride + 1, (w - window) / stride + 1)
+            }
+            FrozenOp::GlobalAvgPool => {
+                let (n, c, _, _) = expect_nchw(shape);
+                ActShape::Nf(n, c)
+            }
+            FrozenOp::Flatten => match shape {
+                ActShape::Nchw(n, c, h, w) => ActShape::Nf(n, c * h * w),
+                nf => nf,
+            },
+            FrozenOp::BeginBlock => {
+                stack.push((shape, None));
+                shape
+            }
+            FrozenOp::BeginShortcut => {
+                let frame = stack.last_mut().expect("shortcut outside block");
+                frame.1 = Some(shape);
+                frame.0
+            }
+            FrozenOp::EndBlock { .. } => {
+                stack.pop().expect("end outside block");
+                shape
+            }
+            _ => shape,
+        }
+    }
+
+    /// Executes one op. Structural ops mutate in place; compute ops write
+    /// into `ws.nxt` and swap.
+    fn step(
+        &self,
+        op: &FrozenOp,
+        spec_idx: usize,
+        shape: ActShape,
+        ws: &mut Workspace,
+    ) -> ActShape {
+        match op {
+            FrozenOp::Conv(p) => {
+                let (n, c, h, w) = expect_nchw(shape);
+                assert_eq!(c, p.in_channels, "frozen conv channel mismatch");
+                let sw = &p.per_spec[spec_idx];
+                let len = shape.len();
+                grow(&mut ws.qbuf, len);
+                sw.lut.quantize_into(&ws.cur[..len], &mut ws.qbuf[..len]);
+
+                let (ho, wo) = p.cfg.out_size(h, w);
+                let ncols = n * ho * wo;
+                let k = p.row_len;
+                grow(&mut ws.cols, k * ncols);
+                im2col_into(
+                    &ws.qbuf[..len],
+                    (n, c, h, w),
+                    p.cfg,
+                    &mut ws.cols[..k * ncols],
+                );
+
+                grow(&mut ws.gemm, p.out_channels * ncols);
+                matmul_packed_lhs(
+                    sw.packed.rows(),
+                    sw.packed.alpha(),
+                    sw.packed.scale(),
+                    &ws.cols[..k * ncols],
+                    k,
+                    ncols,
+                    &mut ws.gemm[..p.out_channels * ncols],
+                );
+
+                let out_len = n * p.out_channels * ho * wo;
+                grow(&mut ws.nxt, out_len);
+                gemm_to_nchw_into(
+                    &ws.gemm[..p.out_channels * ncols],
+                    p.out_channels,
+                    n,
+                    ho,
+                    wo,
+                    &mut ws.nxt[..out_len],
+                );
+                add_channel_bias(&mut ws.nxt[..out_len], &p.bias, n, p.out_channels, ho * wo);
+                ws.term_pairs += out_len as u64 * sw.tp_per_out;
+                ws.value_macs += out_len as u64 * p.row_len as u64;
+                std::mem::swap(&mut ws.cur, &mut ws.nxt);
+                ActShape::Nchw(n, p.out_channels, ho, wo)
+            }
+            FrozenOp::Linear(p) => {
+                let (m, f) = match shape {
+                    ActShape::Nf(m, f) => (m, f),
+                    _ => panic!("frozen linear expects [N, F] input"),
+                };
+                assert_eq!(f, p.in_features, "frozen linear width mismatch");
+                let sw = &p.per_spec[spec_idx];
+                let len = shape.len();
+                grow(&mut ws.qbuf, len);
+                sw.lut.quantize_into(&ws.cur[..len], &mut ws.qbuf[..len]);
+
+                let out_len = m * p.out_features;
+                grow(&mut ws.nxt, out_len);
+                matmul_bt_packed_scratch(
+                    &ws.qbuf[..len],
+                    m,
+                    p.in_features,
+                    sw.packed.rows(),
+                    sw.packed.alpha(),
+                    sw.packed.scale(),
+                    &mut ws.col,
+                    &mut ws.nxt[..out_len],
+                );
+                add_channel_bias(&mut ws.nxt[..out_len], &p.bias, m, p.out_features, 1);
+                ws.term_pairs += out_len as u64 * sw.tp_per_out;
+                ws.value_macs += out_len as u64 * p.in_features as u64;
+                std::mem::swap(&mut ws.cur, &mut ws.nxt);
+                ActShape::Nf(m, p.out_features)
+            }
+            FrozenOp::Depthwise(p) => {
+                let (n, c, h, w) = expect_nchw(shape);
+                assert_eq!(c, p.channels, "frozen depthwise channel mismatch");
+                let sw = &p.per_spec[spec_idx];
+                let len = shape.len();
+                grow(&mut ws.qbuf, len);
+                sw.lut.quantize_into(&ws.cur[..len], &mut ws.qbuf[..len]);
+
+                let (ho, wo) = p.cfg.out_size(h, w);
+                let out_len = n * c * ho * wo;
+                grow(&mut ws.nxt, out_len);
+                grow(&mut ws.ker, p.row_len);
+                let (alpha, scale) = (sw.packed.alpha(), sw.packed.scale());
+                let rows = sw.packed.rows();
+                depthwise_forward_with_into(
+                    &ws.qbuf[..len],
+                    (n, c, h, w),
+                    p.cfg,
+                    &mut ws.ker[..p.row_len],
+                    &mut ws.nxt[..out_len],
+                    |ci, ker| rows[ci].write_scaled(alpha, scale, ker),
+                );
+                add_channel_bias(&mut ws.nxt[..out_len], &p.bias, n, c, ho * wo);
+                ws.term_pairs += out_len as u64 * sw.tp_per_out;
+                ws.value_macs += out_len as u64 * p.row_len as u64;
+                std::mem::swap(&mut ws.cur, &mut ws.nxt);
+                ActShape::Nchw(n, c, ho, wo)
+            }
+            FrozenOp::BatchNorm(p) => {
+                let (n, c, h, w) = expect_nchw(shape);
+                assert_eq!(c, p.channels, "frozen batchnorm channel mismatch");
+                // Bank selection mirrors the trainer: spec index modulo the
+                // bank count (bank 0 for unbanked layers).
+                let (means, inv_std) = &p.banks[spec_idx % p.banks.len()];
+                let hw = h * w;
+                let cur = &mut ws.cur[..shape.len()];
+                for bc in 0..n * c {
+                    let ch = bc % c;
+                    let base = bc * hw;
+                    let (mean, is, g, bta) = (means[ch], inv_std[ch], p.gamma[ch], p.beta[ch]);
+                    for s in 0..hw {
+                        let v = (cur[base + s] - mean) * is;
+                        cur[base + s] = g * v + bta;
+                    }
+                }
+                shape
+            }
+            FrozenOp::Relu => {
+                for v in &mut ws.cur[..shape.len()] {
+                    *v = v.max(0.0);
+                }
+                shape
+            }
+            FrozenOp::MaxPool { window, stride } => {
+                let (n, c, h, w) = expect_nchw(shape);
+                let ho = (h - window) / stride + 1;
+                let wo = (w - window) / stride + 1;
+                let out_len = n * c * ho * wo;
+                grow(&mut ws.nxt, out_len);
+                grow_usize(&mut ws.arg, out_len);
+                maxpool2d_values_into(
+                    &ws.cur[..shape.len()],
+                    (n, c, h, w),
+                    *window,
+                    *stride,
+                    &mut ws.arg[..out_len],
+                    &mut ws.nxt[..out_len],
+                );
+                std::mem::swap(&mut ws.cur, &mut ws.nxt);
+                ActShape::Nchw(n, c, ho, wo)
+            }
+            FrozenOp::GlobalAvgPool => {
+                let (n, c, h, w) = expect_nchw(shape);
+                grow(&mut ws.nxt, n * c);
+                global_avgpool_into(&ws.cur[..shape.len()], (n, c, h, w), &mut ws.nxt[..n * c]);
+                std::mem::swap(&mut ws.cur, &mut ws.nxt);
+                ActShape::Nf(n, c)
+            }
+            FrozenOp::Flatten => match shape {
+                ActShape::Nchw(n, c, h, w) => ActShape::Nf(n, c * h * w),
+                nf => nf,
+            },
+            FrozenOp::Identity => shape,
+            FrozenOp::BeginBlock => {
+                let len = shape.len();
+                if ws.frame_top == ws.frames.len() {
+                    ws.frames.push(BlockFrame {
+                        input: Vec::new(),
+                        input_shape: shape,
+                        main: Vec::new(),
+                        main_shape: None,
+                    });
+                }
+                let top = ws.frame_top;
+                ws.frame_top += 1;
+                let frame = &mut ws.frames[top];
+                grow(&mut frame.input, len);
+                frame.input[..len].copy_from_slice(&ws.cur[..len]);
+                frame.input_shape = shape;
+                frame.main_shape = None;
+                shape
+            }
+            FrozenOp::BeginShortcut => {
+                assert!(ws.frame_top > 0, "shortcut outside residual block");
+                let len = shape.len();
+                let top = ws.frame_top - 1;
+                let frame = &mut ws.frames[top];
+                grow(&mut frame.main, len);
+                frame.main[..len].copy_from_slice(&ws.cur[..len]);
+                frame.main_shape = Some(shape);
+                let in_shape = frame.input_shape;
+                let in_len = in_shape.len();
+                // Restore the saved block input as the live activation for
+                // the shortcut branch.
+                grow(&mut ws.cur, in_len);
+                ws.cur[..in_len].copy_from_slice(&ws.frames[top].input[..in_len]);
+                in_shape
+            }
+            FrozenOp::EndBlock { relu_after_add } => {
+                assert!(ws.frame_top > 0, "block end without begin");
+                let len = shape.len();
+                ws.frame_top -= 1;
+                let frame = &ws.frames[ws.frame_top];
+                // `main + shortcut`, matching the legacy operand order; f32
+                // addition is commutative bitwise for non-NaN values, but we
+                // keep the order anyway.
+                match frame.main_shape {
+                    Some(ms) => {
+                        assert_eq!(ms, shape, "residual branch shape mismatch");
+                        for (dst, &m) in ws.cur[..len].iter_mut().zip(&frame.main[..len]) {
+                            #[allow(clippy::assign_op_pattern)]
+                            {
+                                *dst = m + *dst;
+                            }
+                        }
+                    }
+                    None => {
+                        assert_eq!(frame.input_shape, shape, "residual skip shape mismatch");
+                        for (dst, &x) in ws.cur[..len].iter_mut().zip(&frame.input[..len]) {
+                            *dst += x;
+                        }
+                    }
+                }
+                if *relu_after_add {
+                    for v in &mut ws.cur[..len] {
+                        *v = v.max(0.0);
+                    }
+                }
+                shape
+            }
+        }
+    }
+}
+
+fn expect_nchw(shape: ActShape) -> (usize, usize, usize, usize) {
+    match shape {
+        ActShape::Nchw(n, c, h, w) => (n, c, h, w),
+        _ => panic!("frozen op expects [N, C, H, W] input"),
+    }
+}
+
+/// Replicates `Tensor::add_channel_bias_inplace` on a raw slice: per batch
+/// row, per channel, the bias is added to every spatial element.
+fn add_channel_bias(data: &mut [f32], bias: &[f32], n: usize, c: usize, spatial: usize) {
+    debug_assert_eq!(data.len(), n * c * spatial);
+    debug_assert_eq!(bias.len(), c);
+    for (chunk, &bv) in data.chunks_mut(spatial).zip(bias.iter().cycle()) {
+        for v in chunk {
+            *v += bv;
+        }
+    }
+}
+
+/// Grow-only resize: never shrinks, reuses capacity across calls.
+fn grow(v: &mut Vec<f32>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
+}
+
+fn grow_usize(v: &mut Vec<usize>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0);
+    }
+}
+
+/// One residual-block scratch frame: the saved block input and (for
+/// projection shortcuts) the stashed main-branch output.
+struct BlockFrame {
+    input: Vec<f32>,
+    input_shape: ActShape,
+    main: Vec<f32>,
+    main_shape: Option<ActShape>,
+}
+
+/// Per-call scratch arena for [`FrozenModel::run`]: grow-only activation
+/// ping-pong buffers, the quantize / im2col / GEMM scratch, and a
+/// residual-block frame stack. Reuse one workspace per serving thread;
+/// after the first call on a given shape, runs allocate nothing.
+#[derive(Default)]
+pub struct Workspace {
+    cur: Vec<f32>,
+    nxt: Vec<f32>,
+    qbuf: Vec<f32>,
+    cols: Vec<f32>,
+    col: Vec<f32>,
+    gemm: Vec<f32>,
+    ker: Vec<f32>,
+    arg: Vec<usize>,
+    frames: Vec<BlockFrame>,
+    frame_top: usize,
+    out_shape: Option<ActShape>,
+    term_pairs: u64,
+    value_macs: u64,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers are sized by the first run.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// The last run's output (empty before any run).
+    pub fn output(&self) -> &[f32] {
+        match self.out_shape {
+            Some(s) => &self.cur[..s.len()],
+            None => &[],
+        }
+    }
+
+    /// The last run's output shape.
+    pub fn output_shape(&self) -> Option<ActShape> {
+        self.out_shape
+    }
+
+    /// Returns and resets the `(term_pairs, value_macs)` accumulated by
+    /// runs since the last drain — the same tallies the legacy forward
+    /// pushes into [`crate::ResolutionControl`].
+    pub fn drain_counters(&mut self) -> (u64, u64) {
+        let out = (self.term_pairs, self.value_macs);
+        self.term_pairs = 0;
+        self.value_macs = 0;
+        out
+    }
+}
+
+/// The [`FreezeSink`] that assembles a [`FrozenModel`] from a layer walk.
+struct PlanBuilder<'s> {
+    specs: &'s [SubModelSpec],
+    ops: Vec<FrozenOp>,
+    depth: usize,
+}
+
+impl PlanBuilder<'_> {
+    /// Resolves the per-spec packed weights, data LUT and cost model for
+    /// one quantized layer.
+    fn spec_weights(
+        &self,
+        wsite: &QParamSite,
+        xsite: &QActSite,
+    ) -> Result<Vec<SpecWeights>, FreezeError> {
+        let qcfg = xsite.config();
+        let wcfg = wsite.config();
+        self.specs
+            .iter()
+            .map(|spec| {
+                let res = spec.resolution();
+                let beta = match res {
+                    Resolution::Tq { beta, .. } => beta,
+                    other => {
+                        return Err(FreezeError::Build(format!(
+                            "frozen serving requires term-quantized specs, got {}",
+                            other.label()
+                        )))
+                    }
+                };
+                let packed = wsite.packed(res).ok_or_else(|| {
+                    FreezeError::Build(format!(
+                        "weight cache declined packed rows at {}",
+                        res.label()
+                    ))
+                })?;
+                // The exact LUT the legacy eval data quantization builds.
+                let lut = DataLut::term_quantized(
+                    qcfg.data_bits,
+                    xsite.clip_value(),
+                    qcfg.data_range,
+                    beta,
+                    qcfg.encoding,
+                );
+                let tp_per_out =
+                    term_pairs_per_dot(res, wsite.row_len(), wcfg.group_size, wcfg.weight_bits);
+                Ok(SpecWeights {
+                    packed,
+                    lut,
+                    tp_per_out,
+                })
+            })
+            .collect()
+    }
+}
+
+impl FreezeSink for PlanBuilder<'_> {
+    fn quantized(&mut self, layer: &dyn Any) -> Result<(), FreezeError> {
+        if let Some(qc) = layer.downcast_ref::<QConv2d>() {
+            let (wsite, xsite, bias, cfg, in_channels, out_channels) = qc.freeze_parts();
+            self.ops.push(FrozenOp::Conv(ConvPlan {
+                cfg,
+                in_channels,
+                out_channels,
+                row_len: wsite.row_len(),
+                bias: bias.to_vec(),
+                per_spec: self.spec_weights(wsite, xsite)?,
+            }));
+            Ok(())
+        } else if let Some(ql) = layer.downcast_ref::<QLinear>() {
+            let (wsite, xsite, bias, in_features, out_features) = ql.freeze_parts();
+            self.ops.push(FrozenOp::Linear(LinPlan {
+                in_features,
+                out_features,
+                bias: bias.to_vec(),
+                per_spec: self.spec_weights(wsite, xsite)?,
+            }));
+            Ok(())
+        } else if let Some(qd) = layer.downcast_ref::<QDepthwiseConv2d>() {
+            let (wsite, xsite, bias, cfg, channels) = qd.freeze_parts();
+            self.ops.push(FrozenOp::Depthwise(DwPlan {
+                cfg,
+                channels,
+                row_len: wsite.row_len(),
+                bias: bias.to_vec(),
+                per_spec: self.spec_weights(wsite, xsite)?,
+            }));
+            Ok(())
+        } else {
+            Err(FreezeError::Unsupported(
+                "unrecognized quantized layer".into(),
+            ))
+        }
+    }
+
+    fn batchnorm(&mut self, bn: BnFreeze<'_>) -> Result<(), FreezeError> {
+        let banks = bn
+            .banks
+            .iter()
+            .map(|(rm, rv)| {
+                let means = rm.to_vec();
+                // Folded exactly as the eval forward computes it per call:
+                // inv_std[ch] = 1 / sqrt(var[ch] + eps).
+                let inv_std = rv.iter().map(|&v| 1.0 / (v + bn.eps).sqrt()).collect();
+                (means, inv_std)
+            })
+            .collect();
+        self.ops.push(FrozenOp::BatchNorm(BnPlan {
+            channels: bn.channels,
+            gamma: bn.gamma.to_vec(),
+            beta: bn.beta.to_vec(),
+            banks,
+        }));
+        Ok(())
+    }
+
+    fn relu(&mut self) -> Result<(), FreezeError> {
+        self.ops.push(FrozenOp::Relu);
+        Ok(())
+    }
+
+    fn maxpool(&mut self, window: usize, stride: usize) -> Result<(), FreezeError> {
+        self.ops.push(FrozenOp::MaxPool { window, stride });
+        Ok(())
+    }
+
+    fn global_avg_pool(&mut self) -> Result<(), FreezeError> {
+        self.ops.push(FrozenOp::GlobalAvgPool);
+        Ok(())
+    }
+
+    fn flatten(&mut self) -> Result<(), FreezeError> {
+        self.ops.push(FrozenOp::Flatten);
+        Ok(())
+    }
+
+    fn identity(&mut self) -> Result<(), FreezeError> {
+        self.ops.push(FrozenOp::Identity);
+        Ok(())
+    }
+
+    fn begin_block(&mut self) -> Result<(), FreezeError> {
+        self.depth += 1;
+        self.ops.push(FrozenOp::BeginBlock);
+        Ok(())
+    }
+
+    fn begin_shortcut(&mut self) -> Result<(), FreezeError> {
+        if self.depth == 0 {
+            return Err(FreezeError::Build("shortcut outside block".into()));
+        }
+        self.ops.push(FrozenOp::BeginShortcut);
+        Ok(())
+    }
+
+    fn end_block(&mut self, relu_after_add: bool) -> Result<(), FreezeError> {
+        if self.depth == 0 {
+            return Err(FreezeError::Build("block end without begin".into()));
+        }
+        self.depth -= 1;
+        self.ops.push(FrozenOp::EndBlock { relu_after_add });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QuantConfig, ResolutionControl};
+    use mri_nn::{Mode, Relu, Sequential};
+    use mri_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn specs4() -> Vec<SubModelSpec> {
+        vec![
+            SubModelSpec::new(4, 1),
+            SubModelSpec::new(8, 2),
+            SubModelSpec::new(12, 2),
+            SubModelSpec::new(16, 3),
+        ]
+    }
+
+    fn mlp(control: &Arc<ResolutionControl>) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Sequential::new();
+        net.push(QLinear::new(
+            &mut rng,
+            32,
+            16,
+            QuantConfig::paper_cnn(),
+            Arc::clone(control),
+        ));
+        net.push(Relu::new());
+        net.push(QLinear::new(
+            &mut rng,
+            16,
+            4,
+            QuantConfig::paper_cnn(),
+            Arc::clone(control),
+        ));
+        net
+    }
+
+    #[test]
+    fn frozen_mlp_matches_legacy_eval_bits() {
+        let specs = specs4();
+        let control = Arc::new(ResolutionControl::new(specs[0].resolution()));
+        let mut net = mlp(&control);
+        let frozen = FrozenModel::freeze(&net, &specs).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = init::uniform(&mut rng, &[3, 32], 0.0, 1.0);
+        let mut ws = Workspace::new();
+        for (i, spec) in specs.iter().enumerate() {
+            control.set_resolution(spec.resolution());
+            let legacy = net.forward(&x, Mode::Eval);
+            let (out, shape) = frozen.run(i, &x, &mut ws);
+            assert_eq!(shape, ActShape::Nf(3, 4));
+            let legacy_bits: Vec<u32> = legacy.data().iter().map(|v| v.to_bits()).collect();
+            let frozen_bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(legacy_bits, frozen_bits, "spec {i} diverged");
+        }
+    }
+
+    #[test]
+    fn frozen_counters_match_legacy_accounting() {
+        let specs = specs4();
+        let control = Arc::new(ResolutionControl::new(specs[1].resolution()));
+        let mut net = mlp(&control);
+        let frozen = FrozenModel::freeze(&net, &specs).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = init::uniform(&mut rng, &[2, 32], 0.0, 1.0);
+
+        control.reset_counters();
+        net.forward(&x, Mode::Eval);
+        let legacy = (control.term_pairs(), control.value_macs());
+
+        let mut ws = Workspace::new();
+        frozen.run(1, &x, &mut ws);
+        assert_eq!(ws.drain_counters(), legacy);
+        assert_eq!(ws.drain_counters(), (0, 0), "drain must reset");
+    }
+
+    #[test]
+    fn freeze_rejects_untrained_full_spec_and_unknown_layers() {
+        let control = Arc::new(ResolutionControl::new(Resolution::Full));
+        let net = mlp(&control);
+        let err = FrozenModel::freeze(&net, &[]).unwrap_err();
+        assert!(matches!(err, FreezeError::Build(_)));
+
+        struct Opaque;
+        impl Layer for Opaque {
+            fn forward(&mut self, x: &Tensor, _m: Mode) -> Tensor {
+                x.clone()
+            }
+            fn backward(&mut self, g: &Tensor) -> Tensor {
+                g.clone()
+            }
+        }
+        let mut net2 = Sequential::new();
+        net2.push(Opaque);
+        let err = FrozenModel::freeze(&net2, &specs4()).unwrap_err();
+        assert!(matches!(err, FreezeError::Unsupported(_)));
+    }
+
+    #[test]
+    fn geometry_reports_gemm_dims() {
+        let specs = specs4();
+        let control = Arc::new(ResolutionControl::new(specs[0].resolution()));
+        let net = mlp(&control);
+        let frozen = FrozenModel::freeze(&net, &specs).unwrap();
+        let geom = frozen.geometry((1, 1, 1, 32));
+        // Rank-4 input flows into the first linear as its batch dim; the
+        // MLP test only checks the layer list and k/m fields.
+        assert_eq!(geom.len(), 2);
+        assert_eq!((geom[0].k, geom[0].m), (32, 16));
+        assert_eq!((geom[1].k, geom[1].m), (16, 4));
+    }
+}

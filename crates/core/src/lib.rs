@@ -27,6 +27,11 @@
 //!   forwards read it zero-copy through [`PackedWeights`] and compute with
 //!   shift-add kernels — no per-spec f32 weight tensor is materialized
 //!   (provable via [`weight_tensors_built_on_this_thread`]);
+//! * [`FrozenModel`] — the read-only, `Send + Sync` serving engine: a
+//!   trained model frozen once into per-layer execution plans (packed term
+//!   rows per spec, folded clips and BN statistics) and run lock-free
+//!   through per-call [`Workspace`] arenas with zero steady-state heap
+//!   allocations;
 //! * [`MultiResTrainer`] — the teacher–student joint-optimization loop
 //!   (Algorithm 1 steps 8–9) together with evaluation helpers;
 //! * [`training`] also provides the baselines the paper compares against:
@@ -49,6 +54,7 @@
 
 pub mod checkpoint;
 pub mod control;
+pub mod frozen;
 pub mod policy;
 pub mod qlayers;
 pub mod qsite;
@@ -58,6 +64,7 @@ pub mod wcache;
 
 pub use checkpoint::Checkpoint;
 pub use control::ResolutionControl;
+pub use frozen::{ActShape, FrozenLayerGeom, FrozenModel, Workspace};
 pub use policy::{ConfidenceLadder, LatencyPolicy};
 pub use qlayers::{
     fake_quantize_data, fake_quantize_weights, QConv2d, QDepthwiseConv2d, QLinear, QuantConfig,

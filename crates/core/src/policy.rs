@@ -166,6 +166,8 @@ impl ConfidenceLadder {
             }
             control.set_resolution(spec.resolution());
             let sub = Tensor::stack(&active.iter().map(|&i| x.index_axis0(i)).collect::<Vec<_>>());
+            // lint: allow(frozen-discipline) — the cascade re-batches live
+            // per rung over a `&mut dyn Layer`; freezing it is future work.
             let logits = model.forward(&sub, Mode::Eval);
             let probs = softmax(&logits);
             let c = logits.dim(1);

@@ -334,6 +334,19 @@ impl QConv2d {
     pub fn weight_cache(&self) -> &WeightTermCache {
         self.wsite.cache()
     }
+
+    /// Freeze-time access to the layer's sites and geometry (same crate:
+    /// `frozen` builds execution plans from these).
+    pub(crate) fn freeze_parts(&self) -> (&QParamSite, &QActSite, &[f32], Conv2dCfg, usize, usize) {
+        (
+            &self.wsite,
+            &self.xsite,
+            self.bias.value.data(),
+            self.cfg,
+            self.in_channels,
+            self.out_channels,
+        )
+    }
 }
 
 use crate::wcache::WeightTermCache;
@@ -428,6 +441,10 @@ impl Layer for QConv2d {
             qcfg.group_size
         )
     }
+
+    fn freeze_into(&self, sink: &mut dyn mri_nn::FreezeSink) -> Result<(), mri_nn::FreezeError> {
+        sink.quantized(self)
+    }
 }
 
 /// Quantization-aware fully connected layer.
@@ -485,6 +502,17 @@ impl QLinear {
     /// The layer's reusable weight-term cache (stats and A/B toggling).
     pub fn weight_cache(&self) -> &WeightTermCache {
         self.wsite.cache()
+    }
+
+    /// Freeze-time access to the layer's sites and geometry.
+    pub(crate) fn freeze_parts(&self) -> (&QParamSite, &QActSite, &[f32], usize, usize) {
+        (
+            &self.wsite,
+            &self.xsite,
+            self.bias.value.data(),
+            self.in_features,
+            self.out_features,
+        )
     }
 }
 
@@ -555,6 +583,10 @@ impl Layer for QLinear {
             self.out_features,
             self.wsite.config().weight_bits
         )
+    }
+
+    fn freeze_into(&self, sink: &mut dyn mri_nn::FreezeSink) -> Result<(), mri_nn::FreezeError> {
+        sink.quantized(self)
     }
 }
 
@@ -784,6 +816,17 @@ impl QDepthwiseConv2d {
     pub fn weight_cache(&self) -> &WeightTermCache {
         self.wsite.cache()
     }
+
+    /// Freeze-time access to the layer's sites and geometry.
+    pub(crate) fn freeze_parts(&self) -> (&QParamSite, &QActSite, &[f32], Conv2dCfg, usize) {
+        (
+            &self.wsite,
+            &self.xsite,
+            self.bias.value.data(),
+            self.cfg,
+            self.channels,
+        )
+    }
 }
 
 impl Layer for QDepthwiseConv2d {
@@ -842,6 +885,10 @@ impl Layer for QDepthwiseConv2d {
             "qdepthwise({}ch, {}x{}/{})",
             self.channels, self.cfg.kernel.0, self.cfg.kernel.1, self.cfg.stride.0
         )
+    }
+
+    fn freeze_into(&self, sink: &mut dyn mri_nn::FreezeSink) -> Result<(), mri_nn::FreezeError> {
+        sink.quantized(self)
     }
 }
 

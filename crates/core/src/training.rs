@@ -14,6 +14,7 @@
 //!    in the backward pass — the quantized layers use straight-through
 //!    estimators.
 
+use crate::frozen::{FrozenModel, Workspace};
 use crate::{Resolution, ResolutionControl, SubModelSpec};
 use mri_nn::loss::{cross_entropy, distillation_loss};
 use mri_nn::{Layer, Mode, Sgd};
@@ -317,21 +318,46 @@ impl MultiResTrainer {
 
     /// Evaluates every configured sub-model on a dataset, reporting
     /// accuracy and the term-pair count of one full pass (Fig. 19's axes).
+    ///
+    /// The model is frozen once into a read-only [`FrozenModel`] plan and
+    /// every spec is served from it through a reused [`Workspace`] — the
+    /// mutable forward (and its cache/mask machinery) never runs. Models
+    /// containing layers without a frozen representation fall back to the
+    /// legacy `Mode::Eval` path.
     pub fn evaluate_all(
         &self,
         model: &mut dyn Layer,
         batches: &[(Tensor, Vec<usize>)],
     ) -> Vec<EvalResult> {
         let _prof = mri_telemetry::prof_scope!("eval.evaluate_all");
-        self.cfg
-            .specs
-            .iter()
-            .enumerate()
-            .map(|(i, &spec)| {
-                self.select_bank(i);
-                evaluate_spec(model, &self.control, spec, batches)
-            })
-            .collect()
+        match FrozenModel::freeze(&*model, &self.cfg.specs) {
+            Ok(frozen) => {
+                let mut ws = Workspace::new();
+                self.cfg
+                    .specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        // Kept for parity with the legacy path: frozen BN
+                        // plans select their bank by spec index internally,
+                        // but external observers may read the selector.
+                        self.select_bank(i);
+                        evaluate_frozen_spec(&frozen, i, &self.control, batches, &mut ws)
+                    })
+                    .collect()
+            }
+            // lint: allow(frozen-discipline) — legacy fallback for unfreezable models.
+            Err(_) => self
+                .cfg
+                .specs
+                .iter()
+                .enumerate()
+                .map(|(i, &spec)| {
+                    self.select_bank(i);
+                    evaluate_spec(model, &self.control, spec, batches)
+                })
+                .collect(),
+        }
     }
 }
 
@@ -360,6 +386,55 @@ pub fn calibrate_batchnorm(
     control.set_resolution(res);
     for x in batches {
         let _ = model.forward(x, Mode::Calibrate);
+    }
+}
+
+/// Evaluates one sub-model of a [`FrozenModel`] plan on a dataset, using
+/// `ws` for all scratch.
+///
+/// Mirrors [`evaluate_spec`] exactly — same accuracy/loss reductions and
+/// the same term-pair accounting (the workspace tallies are drained into
+/// the shared control after every batch, so the before/after delta
+/// reported here matches the legacy forward's bill bit for bit).
+pub fn evaluate_frozen_spec(
+    frozen: &FrozenModel,
+    spec_idx: usize,
+    control: &ResolutionControl,
+    batches: &[(Tensor, Vec<usize>)],
+    ws: &mut Workspace,
+) -> EvalResult {
+    let _prof = mri_telemetry::prof_scope!("eval.frozen_spec");
+    let spec = frozen.specs()[spec_idx];
+    control.set_resolution(spec.resolution());
+    let pairs_before = control.term_pairs();
+    let mut correct_weighted = 0.0f64;
+    let mut loss_sum = 0.0f64;
+    let mut n_total = 0usize;
+    for (x, labels) in batches {
+        let logits = frozen.run_tensor(spec_idx, x, ws);
+        let (tp, vm) = ws.drain_counters();
+        control.add_term_pairs(tp);
+        control.add_value_macs(vm);
+        let acc = accuracy(&logits, labels);
+        let (l, _) = cross_entropy(&logits, labels);
+        correct_weighted += f64::from(acc) * labels.len() as f64;
+        loss_sum += f64::from(l) * labels.len() as f64;
+        n_total += labels.len();
+    }
+    let term_pairs = control.term_pairs() - pairs_before;
+    EvalResult {
+        spec,
+        accuracy: if n_total == 0 {
+            0.0
+        } else {
+            (correct_weighted / n_total as f64) as f32
+        },
+        term_pairs,
+        loss: if n_total == 0 {
+            0.0
+        } else {
+            (loss_sum / n_total as f64) as f32
+        },
     }
 }
 
@@ -607,6 +682,41 @@ mod tests {
             "three-spec evaluation re-encodes once"
         );
         assert_eq!(lin.weight_cache().hits(), 8);
+    }
+
+    #[test]
+    fn evaluate_all_serves_from_the_frozen_plan() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let control = Arc::new(ResolutionControl::default());
+        let mut model = toy_model(&mut rng, &control);
+        let trainer = MultiResTrainer::new(TrainerConfig::new(specs()), Arc::clone(&control));
+        let (x, labels) = toy_data(&mut rng, 16);
+        let batches = vec![(x, labels)];
+
+        // The frozen path materializes no per-spec f32 weight tensors and
+        // builds no STE masks — the mutable forward never runs.
+        let wt_before = crate::weight_tensors_built_on_this_thread();
+        let masks_before = crate::masks_built_on_this_thread();
+        let frozen_results = trainer.evaluate_all(&mut model, &batches);
+        assert_eq!(
+            crate::weight_tensors_built_on_this_thread(),
+            wt_before,
+            "frozen serving must not materialize weight tensors"
+        );
+        assert_eq!(
+            crate::masks_built_on_this_thread(),
+            masks_before,
+            "frozen serving must not build gradient masks"
+        );
+
+        // And it reports exactly what the legacy per-spec evaluation does.
+        for (r, &spec) in frozen_results.iter().zip(specs().iter()) {
+            let legacy = evaluate_spec(&mut model, &control, spec, &batches);
+            assert_eq!(r.spec, legacy.spec);
+            assert_eq!(r.accuracy.to_bits(), legacy.accuracy.to_bits());
+            assert_eq!(r.loss.to_bits(), legacy.loss.to_bits());
+            assert_eq!(r.term_pairs, legacy.term_pairs);
+        }
     }
 
     #[test]

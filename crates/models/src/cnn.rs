@@ -1,7 +1,10 @@
 //! Residual CNN classifiers built from quantized layers.
 
 use mri_core::{QConv2d, QLinear, QuantConfig, ResolutionControl};
-use mri_nn::{BatchNorm2d, BnBankSelector, GlobalAvgPool, Layer, Mode, Param, Relu, Sequential};
+use mri_nn::{
+    BatchNorm2d, BnBankSelector, FreezeError, FreezeSink, GlobalAvgPool, Layer, Mode, Param, Relu,
+    Sequential,
+};
 use mri_tensor::conv::Conv2dCfg;
 use mri_tensor::Tensor;
 use rand::Rng;
@@ -134,6 +137,18 @@ impl Layer for ResidualBlock {
                 ""
             }
         )
+    }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        // Mirrors the eval forward: `relu(main(x) + skip(x))`, where the
+        // trailing relu is folded into the block end.
+        sink.begin_block()?;
+        self.main.freeze_into(sink)?;
+        if let Some(s) = &self.shortcut {
+            sink.begin_shortcut()?;
+            s.freeze_into(sink)?;
+        }
+        sink.end_block(true)
     }
 }
 
@@ -276,6 +291,10 @@ impl Layer for MiniResNet {
 
     fn describe(&self) -> String {
         format!("{}({})", self.name, self.net.describe())
+    }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        self.net.freeze_into(sink)
     }
 }
 
@@ -505,6 +524,24 @@ impl Layer for InvertedResidual {
             self.project.describe()
         )
     }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        // Mirrors the eval forward: linear bottleneck (`project(depthwise(
+        // expand(x))) + x` when the geometry allows a skip, no relu after
+        // the add).
+        if self.has_skip {
+            sink.begin_block()?;
+        }
+        if let Some(e) = &self.expand {
+            e.freeze_into(sink)?;
+        }
+        self.depthwise.freeze_into(sink)?;
+        self.project.freeze_into(sink)?;
+        if self.has_skip {
+            sink.end_block(false)?;
+        }
+        Ok(())
+    }
 }
 
 /// A faithful (scaled-down) MobileNet-v2: quantized stem, inverted residual
@@ -577,6 +614,10 @@ impl Layer for MiniMobileNetV2 {
 
     fn describe(&self) -> String {
         format!("MiniMobileNetV2({})", self.net.describe())
+    }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        self.net.freeze_into(sink)
     }
 }
 

@@ -1,0 +1,199 @@
+//! Exporting a layer stack into a read-only serving plan.
+//!
+//! Training objects carry mutable caches, lazy mask cells and RNG state; a
+//! serving engine wants none of that. [`Layer::freeze_into`] walks a trained
+//! stack and *describes* its inference dataflow to a [`FreezeSink`] — the
+//! sink (e.g. `mri_core::frozen::FrozenModel`) turns the description into an
+//! immutable execution plan. The walk borrows the model (`&self`), copies
+//! what it needs (BN statistics, clip constants) and never mutates training
+//! state, so freezing is safe at any point between optimizer steps.
+//!
+//! This crate only defines the vocabulary. Quantized layers live in
+//! `mri-core` and announce themselves through [`FreezeSink::quantized`] as
+//! `&dyn Any`; the sink downcasts to the concrete types it understands.
+//!
+//! [`Layer::freeze_into`]: crate::Layer::freeze_into
+
+use std::any::Any;
+use std::fmt;
+
+/// Why a model (or one of its layers) could not be frozen.
+///
+/// Freezing is best-effort by design: callers fall back to the legacy
+/// `Mode::Eval` forward when they hit one of these, so an unsupported layer
+/// degrades to the slow path instead of failing the evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreezeError {
+    /// The layer has no frozen representation (the payload is its
+    /// [`Layer::describe`](crate::Layer::describe) string).
+    Unsupported(String),
+    /// A sink-side invariant failed while building the plan (e.g. a weight
+    /// cache declined to serve packed rows for the requested resolution).
+    Build(String),
+}
+
+impl fmt::Display for FreezeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreezeError::Unsupported(what) => write!(f, "layer cannot be frozen: {what}"),
+            FreezeError::Build(why) => write!(f, "freeze plan build failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FreezeError {}
+
+/// Borrowed snapshot of a batch-norm layer's inference parameters.
+///
+/// Carries every statistic bank so the sink can precompute folded
+/// `(mean, 1/√(var+ε))` pairs per bank; the serving engine then selects a
+/// bank per request exactly as the training-side bank selector would.
+pub struct BnFreeze<'a> {
+    /// Feature-map count `C`.
+    pub channels: usize,
+    /// Shared scale γ, length `C`.
+    pub gamma: &'a [f32],
+    /// Shared shift β, length `C`.
+    pub beta: &'a [f32],
+    /// `(running mean, running var)` per statistic bank, each length `C`.
+    pub banks: Vec<(&'a [f32], &'a [f32])>,
+    /// Variance stabiliser ε.
+    pub eps: f32,
+}
+
+/// Receiver for the dataflow description emitted by
+/// [`Layer::freeze_into`](crate::Layer::freeze_into).
+///
+/// Methods are called in execution order. Residual topologies are expressed
+/// with a bracket protocol: [`begin_block`](FreezeSink::begin_block) saves
+/// the block input, the main branch's ops follow, then either
+/// [`end_block`](FreezeSink::end_block) (identity shortcut) or
+/// [`begin_shortcut`](FreezeSink::begin_shortcut) + the shortcut branch's
+/// ops + [`end_block`](FreezeSink::end_block) (projection shortcut).
+/// `end_block` adds the two branch outputs (`main + shortcut`, in that
+/// operand order) and optionally applies ReLU.
+pub trait FreezeSink {
+    /// A quantized layer announcing itself; the sink downcasts `layer` to
+    /// the concrete quantized types it supports.
+    fn quantized(&mut self, layer: &dyn Any) -> Result<(), FreezeError>;
+    /// Batch normalisation with the given frozen parameters.
+    fn batchnorm(&mut self, bn: BnFreeze<'_>) -> Result<(), FreezeError>;
+    /// Elementwise `max(x, 0)`.
+    fn relu(&mut self) -> Result<(), FreezeError>;
+    /// Square-window max pooling.
+    fn maxpool(&mut self, window: usize, stride: usize) -> Result<(), FreezeError>;
+    /// `[N, C, H, W] → [N, C]` global average pooling.
+    fn global_avg_pool(&mut self) -> Result<(), FreezeError>;
+    /// `[N, ...] → [N, prod(...)]` reshape.
+    fn flatten(&mut self) -> Result<(), FreezeError>;
+    /// A layer that is the identity at inference time (e.g. dropout).
+    fn identity(&mut self) -> Result<(), FreezeError>;
+    /// Start of a residual block: save the current activation as the block
+    /// input.
+    fn begin_block(&mut self) -> Result<(), FreezeError>;
+    /// End of the main branch: stash its output and restore the saved block
+    /// input for the shortcut branch that follows.
+    fn begin_shortcut(&mut self) -> Result<(), FreezeError>;
+    /// Join: `current = main + shortcut` (elementwise, main first), then
+    /// ReLU when `relu_after_add`.
+    fn end_block(&mut self, relu_after_add: bool) -> Result<(), FreezeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dropout, Flatten, GlobalAvgPool, Layer, MaxPool2d, Relu, Sequential};
+
+    #[derive(Default)]
+    struct Recorder(Vec<String>);
+
+    impl FreezeSink for Recorder {
+        fn quantized(&mut self, _layer: &dyn Any) -> Result<(), FreezeError> {
+            self.0.push("quantized".into());
+            Ok(())
+        }
+        fn batchnorm(&mut self, bn: BnFreeze<'_>) -> Result<(), FreezeError> {
+            self.0
+                .push(format!("bn({},{})", bn.channels, bn.banks.len()));
+            Ok(())
+        }
+        fn relu(&mut self) -> Result<(), FreezeError> {
+            self.0.push("relu".into());
+            Ok(())
+        }
+        fn maxpool(&mut self, window: usize, stride: usize) -> Result<(), FreezeError> {
+            self.0.push(format!("maxpool({window}/{stride})"));
+            Ok(())
+        }
+        fn global_avg_pool(&mut self) -> Result<(), FreezeError> {
+            self.0.push("gap".into());
+            Ok(())
+        }
+        fn flatten(&mut self) -> Result<(), FreezeError> {
+            self.0.push("flatten".into());
+            Ok(())
+        }
+        fn identity(&mut self) -> Result<(), FreezeError> {
+            self.0.push("identity".into());
+            Ok(())
+        }
+        fn begin_block(&mut self) -> Result<(), FreezeError> {
+            self.0.push("begin".into());
+            Ok(())
+        }
+        fn begin_shortcut(&mut self) -> Result<(), FreezeError> {
+            self.0.push("shortcut".into());
+            Ok(())
+        }
+        fn end_block(&mut self, relu_after_add: bool) -> Result<(), FreezeError> {
+            self.0.push(format!("end({relu_after_add})"));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sequential_freezes_in_layer_order() {
+        let mut net = Sequential::new();
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2));
+        net.push(GlobalAvgPool::new());
+        net.push(Flatten::new());
+        net.push(Dropout::new(0.5, 0));
+        let mut rec = Recorder::default();
+        net.freeze_into(&mut rec).unwrap();
+        assert_eq!(
+            rec.0,
+            vec!["relu", "maxpool(2/2)", "gap", "flatten", "identity"]
+        );
+    }
+
+    #[test]
+    fn unfreezable_layers_report_their_description() {
+        struct Opaque;
+        impl Layer for Opaque {
+            fn forward(&mut self, x: &mri_tensor::Tensor, _m: crate::Mode) -> mri_tensor::Tensor {
+                x.clone()
+            }
+            fn backward(&mut self, g: &mri_tensor::Tensor) -> mri_tensor::Tensor {
+                g.clone()
+            }
+            fn describe(&self) -> String {
+                "opaque".into()
+            }
+        }
+        let mut rec = Recorder::default();
+        let err = Opaque.freeze_into(&mut rec).unwrap_err();
+        assert_eq!(err, FreezeError::Unsupported("opaque".into()));
+        assert!(err.to_string().contains("opaque"));
+    }
+
+    #[test]
+    fn batchnorm_freeze_exposes_all_banks() {
+        let mut bn = crate::BatchNorm2d::banked(3, 4, None);
+        let mut rec = Recorder::default();
+        bn.freeze_into(&mut rec).unwrap();
+        assert_eq!(rec.0, vec!["bn(3,4)"]);
+        // Unused `&mut` silencer: freeze_into takes &self by contract.
+        let _ = bn.forward(&mri_tensor::Tensor::zeros(&[1, 3, 2, 2]), crate::Mode::Eval);
+    }
+}

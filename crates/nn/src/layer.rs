@@ -1,5 +1,6 @@
 //! The [`Layer`] trait, trainable parameters and the [`Sequential`] container.
 
+use crate::freeze::{FreezeError, FreezeSink};
 use mri_tensor::Tensor;
 
 /// Whether a forward pass runs in training or evaluation mode.
@@ -133,6 +134,18 @@ pub trait Layer {
     fn describe(&self) -> String {
         "layer".to_string()
     }
+
+    /// Describes this layer's inference dataflow to a [`FreezeSink`] so a
+    /// read-only serving plan can be built from it (see [`crate::freeze`]).
+    ///
+    /// Borrows the layer immutably and must not disturb training state.
+    /// The default declines: layers without a frozen representation make
+    /// the whole freeze fail, and callers fall back to the legacy
+    /// `Mode::Eval` forward.
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        let _ = sink;
+        Err(FreezeError::Unsupported(self.describe()))
+    }
 }
 
 /// A stack of layers applied in order.
@@ -224,6 +237,13 @@ impl Layer for Sequential {
     fn describe(&self) -> String {
         let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
         format!("sequential[{}]", inner.join(", "))
+    }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        for layer in &self.layers {
+            layer.freeze_into(sink)?;
+        }
+        Ok(())
     }
 }
 

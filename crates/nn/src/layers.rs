@@ -1,6 +1,7 @@
 //! Standard feed-forward layers: linear, convolution, batch norm, ReLU,
 //! pooling, flatten and dropout.
 
+use crate::freeze::{BnFreeze, FreezeError, FreezeSink};
 use crate::{Layer, Mode, Param};
 use mri_sync::pool;
 use mri_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dCfg};
@@ -295,8 +296,7 @@ impl Layer for BatchNorm2d {
             for ch in 0..c {
                 let m0 = rm.value.data()[ch];
                 let v0 = rv.value.data()[ch];
-                rm.value.data_mut()[ch] =
-                    (1.0 - self.momentum) * m0 + self.momentum * means[ch];
+                rm.value.data_mut()[ch] = (1.0 - self.momentum) * m0 + self.momentum * means[ch];
                 rv.value.data_mut()[ch] = (1.0 - self.momentum) * v0 + self.momentum * vars[ch];
             }
             (means, vars)
@@ -333,9 +333,7 @@ impl Layer for BatchNorm2d {
                     }
                 });
             } else {
-                bn_normalize_block(
-                    data, y_d, xh_d, 0, c, hw, &means, &inv_std_v, gamma, beta,
-                );
+                bn_normalize_block(data, y_d, xh_d, 0, c, hw, &means, &inv_std_v, gamma, beta);
             }
         }
         if mode.is_train() {
@@ -421,6 +419,20 @@ impl Layer for BatchNorm2d {
             self.channels,
             self.banks.len()
         )
+    }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        sink.batchnorm(BnFreeze {
+            channels: self.channels,
+            gamma: self.gamma.value.data(),
+            beta: self.beta.value.data(),
+            banks: self
+                .banks
+                .iter()
+                .map(|(rm, rv)| (rm.value.data(), rv.value.data()))
+                .collect(),
+            eps: self.eps,
+        })
     }
 }
 
@@ -593,6 +605,10 @@ impl Layer for Relu {
     fn describe(&self) -> String {
         "relu".to_string()
     }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        sink.relu()
+    }
 }
 
 /// Max pooling with a square window.
@@ -632,6 +648,10 @@ impl Layer for MaxPool2d {
     fn describe(&self) -> String {
         format!("maxpool2d({}x{}/{})", self.window, self.window, self.stride)
     }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        sink.maxpool(self.window, self.stride)
+    }
 }
 
 /// Global average pooling: `[N, C, H, W] → [N, C]`.
@@ -662,6 +682,10 @@ impl Layer for GlobalAvgPool {
 
     fn describe(&self) -> String {
         "global_avgpool".to_string()
+    }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        sink.global_avg_pool()
     }
 }
 
@@ -694,6 +718,10 @@ impl Layer for Flatten {
 
     fn describe(&self) -> String {
         "flatten".to_string()
+    }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        sink.flatten()
     }
 }
 
@@ -765,6 +793,11 @@ impl Layer for Dropout {
 
     fn describe(&self) -> String {
         format!("dropout({})", self.p)
+    }
+
+    fn freeze_into(&self, sink: &mut dyn FreezeSink) -> Result<(), FreezeError> {
+        // Inverted dropout is the identity at inference time.
+        sink.identity()
     }
 }
 

@@ -26,12 +26,14 @@
 // mri-tensor); iterator rewrites of the BN/LSTM math hurt readability.
 #![allow(clippy::needless_range_loop)]
 
+pub mod freeze;
 pub mod layer;
 pub mod layers;
 pub mod loss;
 pub mod lstm;
 pub mod optim;
 
+pub use freeze::{BnFreeze, FreezeError, FreezeSink};
 pub use layer::{Layer, Mode, Param, Sequential};
 pub use layers::{
     BatchNorm2d, BnBankSelector, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,

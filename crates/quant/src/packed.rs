@@ -496,6 +496,30 @@ pub fn matmul_bt_packed(
     scale: f32,
     out: &mut [f32],
 ) {
+    let mut col = Vec::new();
+    matmul_bt_packed_scratch(x, m, k, rows, alpha, scale, &mut col, out);
+}
+
+/// [`matmul_bt_packed`] with a caller-owned column scratch (grown to `m`,
+/// never shrunk) — the allocation-free variant serving engines reuse across
+/// calls. The parallel branch allocates its per-job column buffers on the
+/// executing lanes as before; only the serial path's scratch is lifted to
+/// the caller. Results are bit-identical to [`matmul_bt_packed`].
+///
+/// # Panics
+///
+/// As [`matmul_bt_packed`].
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_bt_packed_scratch(
+    x: &[f32],
+    m: usize,
+    k: usize,
+    rows: &[PackedTermStore],
+    alpha: usize,
+    scale: f32,
+    col: &mut Vec<f32>,
+    out: &mut [f32],
+) {
     let n = rows.len();
     assert_eq!(x.len(), m * k, "input buffer mismatch");
     assert_eq!(out.len(), m * n, "output buffer mismatch");
@@ -528,10 +552,13 @@ pub fn matmul_bt_packed(
             }
         });
     } else {
-        let mut col = vec![0.0f32; m];
+        if col.len() < m {
+            col.resize(m, 0.0);
+        }
+        let col = &mut col[..m];
         for (j, row) in rows.iter().enumerate() {
             col.fill(0.0);
-            bt_packed_col(x, k, row, alpha, scale, &mut col);
+            bt_packed_col(x, k, row, alpha, scale, col);
             for (i, &v) in col.iter().enumerate() {
                 out[i * n + j] = v;
             }

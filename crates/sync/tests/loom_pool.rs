@@ -89,7 +89,10 @@ fn job_panic_propagates_out_of_parallel_for() {
                 survivors.fetch_add(1, Ordering::Relaxed);
             });
         }));
-        assert!(result.is_err(), "the job panic must resurface on the caller");
+        assert!(
+            result.is_err(),
+            "the job panic must resurface on the caller"
+        );
         // The sibling grain is never cancelled, no matter who ran it.
         // ordering: read after the parallel_for join inside catch_unwind.
         assert_eq!(survivors.load(Ordering::Relaxed), 1);
@@ -107,6 +110,10 @@ fn zero_worker_pool_runs_inline_on_the_model_thread() {
                 s.spawn(move || order.lock().push(i));
             }
         });
-        assert_eq!(*order.lock(), vec![0, 1, 2], "inline dispatch preserves order");
+        assert_eq!(
+            *order.lock(),
+            vec![0, 1, 2],
+            "inline dispatch preserves order"
+        );
     });
 }

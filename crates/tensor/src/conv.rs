@@ -86,7 +86,32 @@ pub fn im2col(input: &Tensor, cfg: Conv2dCfg) -> Tensor {
     let rows = c * kh * kw;
     let cols = n * ho * wo;
     let mut out = vec![0.0f32; rows * cols];
-    let data = input.data();
+    im2col_into(input.data(), (n, c, h, w), cfg, &mut out);
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// [`im2col`] into a caller-provided buffer of length
+/// `C·KH·KW · N·H_out·W_out` — the allocation-free variant serving engines
+/// reuse across calls. The buffer is zeroed first (padding positions rely on
+/// it), then filled exactly as [`im2col`] would, including the pool dispatch,
+/// so the results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `data` or `out` do not match the geometry.
+pub fn im2col_into(
+    data: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    cfg: Conv2dCfg,
+    out: &mut [f32],
+) {
+    let (kh, kw) = cfg.kernel;
+    let (ho, wo) = cfg.out_size(h, w);
+    let rows = c * kh * kw;
+    let cols = n * ho * wo;
+    assert_eq!(data.len(), n * c * h * w, "im2col input length mismatch");
+    assert_eq!(out.len(), rows * cols, "im2col output length mismatch");
+    out.fill(0.0);
 
     // The kh·kw rows of one input channel form one contiguous block of the
     // output, so channels are natural disjoint pool jobs.
@@ -106,7 +131,6 @@ pub fn im2col(input: &Tensor, cfg: Conv2dCfg) -> Tensor {
             im2col_channel(data, block, ci, (n, c, h, w), (ho, wo), cfg);
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
 }
 
 /// Unfolds input channel `ci` into its `kh·kw` rows of the im2col matrix
@@ -305,16 +329,28 @@ pub fn gemm_to_nchw(prod: &Tensor, n: usize, ho: usize, wo: usize) -> Tensor {
     let o = prod.dim(0);
     assert_eq!(prod.dim(1), n * ho * wo, "gemm_to_nchw column mismatch");
     let mut out = vec![0.0f32; n * o * ho * wo];
-    let pd = prod.data();
+    gemm_to_nchw_into(prod.data(), o, n, ho, wo, &mut out);
+    Tensor::from_vec(out, &[n, o, ho, wo])
+}
+
+/// [`gemm_to_nchw`] on raw slices into a caller-provided buffer — the
+/// allocation-free variant for engines that keep activations in reusable
+/// arenas. Every output element is written, so `out` needs no zeroing.
+///
+/// # Panics
+///
+/// Panics if `prod` is not `o · n·ho·wo` long or `out` does not match.
+pub fn gemm_to_nchw_into(prod: &[f32], o: usize, n: usize, ho: usize, wo: usize, out: &mut [f32]) {
     let hw = ho * wo;
+    assert_eq!(prod.len(), o * n * hw, "gemm_to_nchw product mismatch");
+    assert_eq!(out.len(), n * o * hw, "gemm_to_nchw output mismatch");
     for oi in 0..o {
         for b in 0..n {
-            let src = &pd[(oi * n + b) * hw..(oi * n + b + 1) * hw];
+            let src = &prod[(oi * n + b) * hw..(oi * n + b + 1) * hw];
             let dst = &mut out[(b * o + oi) * hw..(b * o + oi + 1) * hw];
             dst.copy_from_slice(src);
         }
     }
-    Tensor::from_vec(out, &[n, o, ho, wo])
 }
 
 /// Backward 2-D convolution.
@@ -614,9 +650,8 @@ pub fn depthwise_forward_with(
     input: &Tensor,
     channels: usize,
     cfg: Conv2dCfg,
-    mut fill: impl FnMut(usize, &mut [f32]),
+    fill: impl FnMut(usize, &mut [f32]),
 ) -> Tensor {
-    let _prof = mri_telemetry::prof_scope!("tensor.depthwise_forward");
     assert_eq!(
         input.shape().rank(),
         4,
@@ -628,17 +663,41 @@ pub fn depthwise_forward_with(
     let (ho, wo) = cfg.out_size(h, w);
 
     let mut out = vec![0.0f32; n * c * ho * wo];
-    let data = input.data();
     let mut ker = vec![0.0f32; kh * kw];
+    depthwise_forward_with_into(input.data(), (n, c, h, w), cfg, &mut ker, &mut out, fill);
+    Tensor::from_vec(out, &[n, c, ho, wo])
+}
+
+/// [`depthwise_forward_with`] on raw slices into caller-provided buffers —
+/// `ker` is the `KH·KW` filter scratch and `out` the `N·C·H_out·W_out`
+/// output. Every output element is written, so `out` needs no zeroing; the
+/// per-pixel accumulation order matches [`depthwise_forward`] exactly.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the geometry.
+pub fn depthwise_forward_with_into(
+    data: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    cfg: Conv2dCfg,
+    ker: &mut [f32],
+    out: &mut [f32],
+    mut fill: impl FnMut(usize, &mut [f32]),
+) {
+    let _prof = mri_telemetry::prof_scope!("tensor.depthwise_forward");
+    let (kh, kw) = cfg.kernel;
+    let (ho, wo) = cfg.out_size(h, w);
+    assert_eq!(data.len(), n * c * h * w, "depthwise input length mismatch");
+    assert_eq!(ker.len(), kh * kw, "depthwise filter scratch mismatch");
+    assert_eq!(out.len(), n * c * ho * wo, "depthwise output mismatch");
     for ci in 0..c {
-        fill(ci, &mut ker);
+        fill(ci, ker);
         for b in 0..n {
             let img = &data[(b * c + ci) * h * w..(b * c + ci + 1) * h * w];
             let dst = &mut out[(b * c + ci) * ho * wo..(b * c + ci + 1) * ho * wo];
-            depthwise_channel(img, &ker, dst, (h, w), (ho, wo), cfg);
+            depthwise_channel(img, ker, dst, (h, w), (ho, wo), cfg);
         }
     }
-    Tensor::from_vec(out, &[n, c, ho, wo])
 }
 
 /// Backward depthwise convolution: returns `(grad_input, grad_weight)`.

@@ -118,6 +118,49 @@ fn maxpool_block(
     }
 }
 
+/// [`maxpool2d`] on raw slices into caller-provided buffers — the
+/// allocation-free variant serving engines reuse across calls. `arg` is the
+/// argmax scratch (same length as `out`); callers that only need values keep
+/// one reusable scratch around. Runs the exact `maxpool_block` worker with
+/// the same pool dispatch, so results are bit-identical to [`maxpool2d`].
+///
+/// # Panics
+///
+/// Panics if the window does not fit or the buffer lengths do not match.
+pub fn maxpool2d_values_into(
+    data: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    window: usize,
+    stride: usize,
+    arg: &mut [usize],
+    out: &mut [f32],
+) {
+    assert!(h >= window && w >= window, "pool window larger than input");
+    assert_eq!(data.len(), n * c * h * w, "maxpool input length mismatch");
+    let ho = (h - window) / stride + 1;
+    let wo = (w - window) / stride + 1;
+    let plane = ho * wo;
+    assert_eq!(out.len(), n * c * plane, "maxpool output length mismatch");
+    assert_eq!(arg.len(), n * c * plane, "maxpool argmax length mismatch");
+    if use_pool(n * c, n * c * plane * window * window) {
+        pool::scope(|s| {
+            for (t, (ob, ab)) in out
+                .chunks_mut(BC_GRAIN * plane)
+                .zip(arg.chunks_mut(BC_GRAIN * plane))
+                .enumerate()
+            {
+                let bc0 = t * BC_GRAIN;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.maxpool.chunk");
+                    maxpool_block(data, ob, ab, bc0, (h, w), (ho, wo), window, stride);
+                });
+            }
+        });
+    } else {
+        maxpool_block(data, out, arg, 0, (h, w), (ho, wo), window, stride);
+    }
+}
+
 /// Backward pass of [`maxpool2d`]: routes each output gradient to the input
 /// position that won the max.
 ///
@@ -170,6 +213,36 @@ pub fn global_avgpool(input: &Tensor) -> Tensor {
         global_avg_block(data, &mut out, 0, hw);
     }
     Tensor::from_vec(out, &[n, c])
+}
+
+/// [`global_avgpool`] on raw slices into a caller-provided `[N·C]` buffer —
+/// the allocation-free variant, bit-identical to [`global_avgpool`] (same
+/// worker, same pool dispatch).
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match the geometry.
+pub fn global_avgpool_into(
+    data: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    out: &mut [f32],
+) {
+    let hw = h * w;
+    assert_eq!(data.len(), n * c * hw, "global_avgpool input mismatch");
+    assert_eq!(out.len(), n * c, "global_avgpool output mismatch");
+    if use_pool(n * c, n * c * hw) {
+        pool::scope(|s| {
+            for (t, ob) in out.chunks_mut(BC_GRAIN).enumerate() {
+                let bc0 = t * BC_GRAIN;
+                s.spawn(move || {
+                    let _chunk_prof = mri_telemetry::prof_scope!("tensor.gap.chunk");
+                    global_avg_block(data, ob, bc0, hw);
+                });
+            }
+        });
+    } else {
+        global_avg_block(data, out, 0, hw);
+    }
 }
 
 /// Averages whole `(batch, channel)` planes starting at `bc0` into

@@ -193,7 +193,14 @@ pub fn sum_except_channel(t: &Tensor) -> Tensor {
 
 /// Sums all-but-channel axes for channels `ch0..` covering `out_chunk`,
 /// accumulating batch blocks in ascending `b` order per channel.
-fn sum_channels(data: &[f32], out_chunk: &mut [f32], ch0: usize, n: usize, c: usize, spatial: usize) {
+fn sum_channels(
+    data: &[f32],
+    out_chunk: &mut [f32],
+    ch0: usize,
+    n: usize,
+    c: usize,
+    spatial: usize,
+) {
     for (u, o) in out_chunk.iter_mut().enumerate() {
         let ch = ch0 + u;
         let mut acc = 0.0f32;

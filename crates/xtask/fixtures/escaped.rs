@@ -22,5 +22,7 @@ fn main() {
     mri_sync::thread::scope(|s| {
         s.spawn(|| {});
     });
+    // lint: allow(frozen-discipline) — fixture legacy forward.
+    let _ = net().forward(&w(), Mode::Eval);
     let _ = (c, t, x, b);
 }

@@ -1,0 +1,20 @@
+// Fixture: legacy mode-dispatched forwards in serving code.
+// Expected: one `frozen-discipline` finding on the bare eval forward; the
+// escaped call and the test-module call stay silent.
+
+fn serve(net: &mut dyn Layer, x: &Tensor) -> Tensor {
+    net.forward(x, Mode::Eval)
+}
+
+fn escaped_serve(net: &mut dyn Layer, x: &Tensor) -> Tensor {
+    // lint: allow(frozen-discipline) — fixture demonstrating the escape.
+    net.forward(x, Mode::Calibrate)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn legacy_forwards_are_fine_in_tests() {
+        let _ = net().forward(&x(), Mode::Eval);
+    }
+}

@@ -1,4 +1,4 @@
-//! The eight repo-specific lint rules.
+//! The nine repo-specific lint rules.
 //!
 //! Every rule works on the lexed `{code, comment}` line pairs from
 //! [`crate::lexer`], so string literals can never trip a rule and comments
@@ -24,6 +24,8 @@
 //! |                   | local (`let _ =` / bare statements drop it immediately)   |
 //! | `pool-discipline` | no per-call `thread::scope` in kernel hot paths          |
 //! |                   | (tensor/quant/core/nn src); dispatch via `mri_sync::pool` |
+//! | `frozen-discipline` | no `Mode::Eval`/`Mode::Calibrate` forwards outside the |
+//! |                   | trainer; serving code runs frozen execution plans         |
 
 use crate::lexer::Line;
 use crate::Finding;
@@ -56,6 +58,7 @@ pub fn check_lines(rel: &str, lines: &[Line]) -> Vec<Finding> {
     safety_comment(rel, lines, &mut findings);
     span_binding(rel, lines, &mut findings);
     pool_discipline(rel, lines, &mut findings);
+    frozen_discipline(rel, lines, &mut findings);
     findings.retain(|f| !is_escaped(lines, f.line - 1, f.rule));
     findings.sort_by_key(|f| f.line);
     findings
@@ -421,6 +424,32 @@ fn pool_discipline(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
                 i + 1,
                 "pool-discipline",
                 "per-call `thread::scope` in a kernel hot path; dispatch through the persistent worker pool (`mri_sync::pool::scope` / `parallel_for`) instead".to_string(),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------ frozen-discipline
+
+fn frozen_discipline(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    // The trainer/calibration module owns the legacy mutable eval path;
+    // tests and benches cross-check the two engines on purpose.
+    if rel == "crates/core/src/training.rs" || in_test_dir(rel) {
+        return;
+    }
+    let test_region = test_regions(lines);
+    for (i, line) in lines.iter().enumerate() {
+        if test_region[i] {
+            continue;
+        }
+        if line.code.contains("forward(")
+            && (line.code.contains("Mode::Eval") || line.code.contains("Mode::Calibrate"))
+        {
+            out.push(Finding::new(
+                rel,
+                i + 1,
+                "frozen-discipline",
+                "legacy `Mode::Eval`/`Mode::Calibrate` forward outside the trainer; serving code runs through a frozen execution plan (`FrozenModel::run`)".to_string(),
             ));
         }
     }

@@ -119,6 +119,24 @@ fn pool_discipline_fixture_fires_in_kernel_hot_paths_only() {
 }
 
 #[test]
+fn frozen_discipline_fixture_fires_outside_the_trainer_only() {
+    expect(
+        "frozen_discipline.rs",
+        "crates/models/src/fx.rs",
+        &[("frozen-discipline", 6)],
+    );
+    expect(
+        "frozen_discipline.rs",
+        "crates/bench/src/fx.rs",
+        &[("frozen-discipline", 6)],
+    );
+    // The trainer owns the legacy path; test trees cross-check on purpose.
+    expect("frozen_discipline.rs", "crates/core/src/training.rs", &[]);
+    expect("frozen_discipline.rs", "tests/fx.rs", &[]);
+    expect("frozen_discipline.rs", "crates/nn/tests/fx.rs", &[]);
+}
+
+#[test]
 fn escaped_fixture_is_silent_under_every_rule_scope() {
     // quant/src puts every escapable rule in scope at once.
     expect("escaped.rs", "crates/quant/src/fx.rs", &[]);

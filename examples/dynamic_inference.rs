@@ -1,87 +1,118 @@
-//! Dynamic resolution selection at inference time on the mMAC system
-//! simulator: the runtime scenario of the paper's Fig. 1 (right), where a
+//! Dynamic resolution selection at inference time, served from a frozen
+//! model: the runtime scenario of the paper's Fig. 1 (right), where a
 //! deployment switches sub-models to meet a changing latency budget.
+//!
+//! One `Arc<FrozenModel>` — built once from the trained meta model — serves
+//! every budget. Requests at different (α, β) run concurrently on the
+//! worker pool, each through its own `Workspace`, with zero locks and no
+//! steady-state allocations; the mMAC system simulator ingests the same
+//! frozen plan's layer geometry to project hardware latency and energy.
 //!
 //! ```text
 //! cargo run --release --example dynamic_inference
 //! ```
 
-use multi_resolution_inference::hw::SystolicArray;
-use multi_resolution_inference::hw::{MmacSystem, NetworkWorkload, SystemConfig};
-use multi_resolution_inference::quant::SdrEncoding;
+use multi_resolution_inference::core::frozen::{FrozenModel, Workspace};
+use multi_resolution_inference::core::{
+    MultiResTrainer, QuantConfig, ResolutionControl, SubModelSpec, TrainerConfig,
+};
+use multi_resolution_inference::data::SyntheticImages;
+use multi_resolution_inference::hw::{MmacSystem, SystemConfig};
+use multi_resolution_inference::models::MiniResNet;
+use multi_resolution_inference::serve;
+use multi_resolution_inference::sync::pool::Pool;
+use multi_resolution_inference::tensor::reduce::accuracy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
 
 fn main() {
-    // --- Whole-network view: the 128×128 mMAC system running ResNet-18.
-    let system = MmacSystem::new(SystemConfig::paper_vc707());
-    let net = NetworkWorkload::resnet18();
-    println!(
-        "workload: {} ({:.2} GMACs/sample)\n",
-        net.name,
-        net.total_macs() as f64 / 1e9
-    );
+    let classes = 4;
+    let img = 10;
+    // Smallest to largest; the trainer treats the last spec as the teacher.
+    let specs = vec![
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(14, 2),
+        SubModelSpec::new(20, 3),
+    ];
 
-    // A changing runtime constraint: the deadline tightens, so the runtime
-    // drops to a lower-resolution sub-model — same weights, fewer terms.
+    // --- Train the meta model once.
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model =
+        MiniResNet::mobilenet_like(&mut rng, classes, QuantConfig::paper_cnn(), &control);
+    let mut cfg = TrainerConfig::new(specs.clone());
+    cfg.lr = 0.08;
+    let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+    let mut data = SyntheticImages::new(0, classes, img);
+    println!("training the meta model (60 iterations)...");
+    for _ in 0..60 {
+        let (x, labels) = data.batch(24);
+        trainer.train_step(&mut model, &x, &labels);
+    }
+
+    // --- Freeze once: a read-only plan holding every sub-model's packed
+    // terms, folded clips and BN statistics. The Arc is all a server needs.
+    let frozen = Arc::new(FrozenModel::freeze(&model, &specs).expect("model freezes"));
+
+    // --- Hardware projection from the same plan: the mMAC simulator
+    // ingests the frozen layer geometry, so the latency table below
+    // describes exactly the computation the software path executes.
+    let system = MmacSystem::new(SystemConfig::paper_vc707());
+    let net = serve::frozen_workload("mini-mobilenet-4c", &frozen, (1, 3, img, img));
+    println!(
+        "\nworkload: {} ({:.2} MMACs/sample)",
+        net.name,
+        net.total_macs() as f64 / 1e6
+    );
     let schedule = [
-        ("night batch (quality first)", 20usize, 3usize),
-        ("daytime traffic", 14, 2),
-        ("peak load (deadline 2 ms)", 8, 2),
+        ("night batch (quality first)", 2usize),
+        ("daytime traffic", 1),
+        ("peak load (deadline tight)", 0),
     ];
     println!(
-        "{:<28} {:>8} {:>12} {:>14}",
+        "{:<28} {:>10} {:>12} {:>14}",
         "scenario", "γ", "latency", "samples/J"
     );
-    for (label, alpha, beta) in schedule {
-        let r = system.run(&net, alpha, beta);
+    for (label, idx) in schedule {
+        let spec = specs[idx];
+        let r = system.run(&net, spec.alpha, spec.beta);
         println!(
-            "{:<28} {:>8} {:>9.2} ms {:>12.1}",
+            "{:<28} {:>10} {:>9.3} ms {:>12.1}",
             label,
-            alpha * beta,
+            spec.gamma(),
             r.latency_ms,
             r.frames_per_joule
         );
     }
 
-    // --- Cell-level view: the same switch on a small systolic array, with
-    // exact results. The array is *not* rebuilt — only the budgets change,
-    // because every sub-model shares the stored leading terms.
-    println!("\nsystolic array (8×4 cells, g = 16) on one matrix multiply:");
-    let (m, k, n) = (8usize, 64usize, 12usize);
-    // DNN-like bell-shaped integer weights (most values small — the
-    // distribution TQ's flexible term allocation is designed for) and
-    // non-negative post-ReLU-like data.
-    let bell = |i: usize, scale: i64| -> i64 {
-        // Sum of three small pseudo-uniforms, centred: approximately normal.
-        let a = (i * 37 % 7) as i64;
-        let b = (i * 61 % 7) as i64;
-        let c = (i * 89 % 7) as i64;
-        (a + b + c - 9) * scale / 3
-    };
-    let w: Vec<i64> = (0..m * k).map(|i| bell(i, 2)).collect();
-    let x: Vec<i64> = (0..k * n)
-        .map(|i| bell(i.wrapping_mul(13), 2).abs())
-        .collect();
-    let mut array = SystolicArray::new(8, 4, 16, 20, 3, SdrEncoding::Naf);
-    for (alpha, beta) in [(20usize, 3usize), (14, 2), (8, 2)] {
-        array.set_budgets(alpha, beta);
-        let rep = array.matmul(&w, k, &x, n);
-        // Output error vs the exact integer product.
-        let mut err = 0f64;
-        let mut norm = 0f64;
-        for r in 0..m {
-            for j in 0..n {
-                let exact: i64 = (0..k).map(|kk| w[r * k + kk] * x[kk * n + j]).sum();
-                err += ((rep.result[r * n + j] - exact) as f64).powi(2);
-                norm += (exact as f64).powi(2);
-            }
+    // --- Concurrent serving: every budget at once, from one shared frozen
+    // model, each request on a pool thread with its own workspace.
+    let eval = SyntheticImages::eval_set(0, classes, img, 240, 24);
+    let pool = Pool::with_workers(2);
+    let mut accs = vec![0.0f32; specs.len()];
+    pool.scope(|s| {
+        for (i, slot) in accs.iter_mut().enumerate() {
+            let frozen = Arc::clone(&frozen);
+            let eval = &eval;
+            s.spawn(move || {
+                let mut ws = Workspace::new();
+                let mut correct = 0.0f64;
+                let mut total = 0usize;
+                for (x, labels) in eval {
+                    let logits = frozen.run_tensor(i, x, &mut ws);
+                    correct += f64::from(accuracy(&logits, labels)) * labels.len() as f64;
+                    total += labels.len();
+                }
+                *slot = (correct / total.max(1) as f64) as f32;
+            });
         }
-        println!(
-            "  (α={alpha:>2}, β={beta}): {:>6} cycles, relative output error {:.3}%",
-            rep.cycles,
-            100.0 * (err / norm.max(1.0)).sqrt()
-        );
+    });
+
+    println!("\nsub-models served concurrently from one frozen plan:");
+    println!("  {:<12} {:>6} {:>10}", "setting", "γ", "accuracy");
+    for (spec, acc) in specs.iter().zip(&accs) {
+        println!("{}", serve::format_accuracy_row(*spec, *acc));
     }
-    println!(
-        "\nSwitching resolution changed latency ~γ-proportionally with graceful error growth."
-    );
+    println!("\nSwitching resolution changed cost ~γ-proportionally; one stored model served all.");
 }

@@ -70,7 +70,9 @@ fn main() {
     let eval = SyntheticImages::eval_set(0, classes, img, 240, 24);
     // Deployment pattern: recalibrate BN statistics for each sub-model once
     // (or build the model with switchable banks — see the adaptive_policy
-    // example).
+    // example), then freeze a read-only serving plan. The freeze snapshots
+    // the packed terms, folded clips and the just-calibrated BN statistics,
+    // so the mutable model never runs at serving time.
     let mut cal = SyntheticImages::new(314, classes, img);
     let calib: Vec<_> = (0..30).map(|_| cal.batch(24).0).collect();
     println!("\nspawned sub-models from the restored checkpoint:");
@@ -82,18 +84,18 @@ fn main() {
             spec.resolution(),
             &calib,
         );
-        let r = multi_resolution_inference::core::training::evaluate_spec(
-            &mut deployed,
-            &control2,
-            *spec,
-            &eval,
-        );
-        println!(
-            "  {:<12} {:>6} {:>9.1}%",
-            spec.to_string(),
-            spec.gamma(),
-            r.accuracy * 100.0
-        );
+        let frozen = multi_resolution_inference::core::FrozenModel::freeze(
+            &deployed,
+            std::slice::from_ref(spec),
+        )
+        .expect("restored model freezes");
+        for (spec, acc) in multi_resolution_inference::serve::frozen_accuracy_table(&frozen, &eval)
+        {
+            println!(
+                "{}",
+                multi_resolution_inference::serve::format_accuracy_row(spec, acc)
+            );
+        }
     }
     let _ = std::fs::remove_file(path);
 }

@@ -19,6 +19,8 @@
 //! * [`sync`] — the workspace's synchronisation shim (atomics, locks,
 //!   scoped threads); what library types like [`nn::BnBankSelector`] are
 //!   built from.
+//! * [`serve`] — serving glue: mMAC workload ingestion from a frozen
+//!   model's layer geometry and the shared accuracy-table helper.
 //!
 //! # Examples
 //!
@@ -30,6 +32,8 @@
 //! let out = q.quantize_i64(&[21, 6, 17, 11]);
 //! assert_eq!(out.values, vec![21, 6, 16, 10]);
 //! ```
+
+pub mod serve;
 
 pub use mri_core as core;
 pub use mri_data as data;

@@ -1,0 +1,72 @@
+//! Serving glue between the frozen execution engine and the rest of the
+//! workspace: mMAC-simulator workload ingestion from a [`FrozenModel`]'s
+//! layer geometry, and the accuracy-table helper shared by the examples.
+
+use mri_core::frozen::{FrozenModel, Workspace};
+use mri_core::SubModelSpec;
+use mri_hw::{LayerShape, NetworkWorkload};
+use mri_tensor::reduce::accuracy;
+use mri_tensor::Tensor;
+
+/// Builds an mMAC-simulator workload from a frozen model's layer geometry
+/// at the given single-sample input dims `(1, C, H, W)`.
+///
+/// This is the serving-side ingestion path: the simulator sees exactly the
+/// GEMM dimensions the frozen plan executes, so hardware projections and
+/// software serving describe the same computation.
+pub fn frozen_workload(
+    name: &str,
+    frozen: &FrozenModel,
+    input: (usize, usize, usize, usize),
+) -> NetworkWorkload {
+    NetworkWorkload {
+        name: name.to_string(),
+        layers: frozen
+            .geometry(input)
+            .into_iter()
+            .map(|g| LayerShape {
+                name: g.name,
+                k: g.k,
+                m: g.m,
+                n: g.n,
+            })
+            .collect(),
+    }
+}
+
+/// Serves every spec of `frozen` over `eval`, returning `(spec, accuracy)`
+/// rows in spec order. All scratch lives in one reused [`Workspace`].
+pub fn frozen_accuracy_table(
+    frozen: &FrozenModel,
+    eval: &[(Tensor, Vec<usize>)],
+) -> Vec<(SubModelSpec, f32)> {
+    let mut ws = Workspace::new();
+    (0..frozen.specs().len())
+        .map(|i| {
+            let mut correct_weighted = 0.0f64;
+            let mut n_total = 0usize;
+            for (x, labels) in eval {
+                let logits = frozen.run_tensor(i, x, &mut ws);
+                correct_weighted += f64::from(accuracy(&logits, labels)) * labels.len() as f64;
+                n_total += labels.len();
+            }
+            let acc = if n_total == 0 {
+                0.0
+            } else {
+                (correct_weighted / n_total as f64) as f32
+            };
+            (frozen.specs()[i], acc)
+        })
+        .collect()
+}
+
+/// One formatted accuracy-table row, e.g. `  (α=8, β=2)       16     62.5%`
+/// — shared by the examples and pinned by a regression test.
+pub fn format_accuracy_row(spec: SubModelSpec, acc: f32) -> String {
+    format!(
+        "  {:<12} {:>6} {:>9.1}%",
+        spec.to_string(),
+        spec.gamma(),
+        acc * 100.0
+    )
+}

@@ -1,0 +1,315 @@
+//! End-to-end tests for the frozen serving engine: bit-identity with the
+//! legacy `Mode::Eval` forward across every spec and SDR encoding,
+//! concurrent serving from one shared plan, zero steady-state heap
+//! allocations on a reused workspace, and the pinned accuracy-table
+//! format the examples print.
+
+use multi_resolution_inference::core::training::calibrate_batchnorm;
+use multi_resolution_inference::core::{
+    FrozenModel, MultiResTrainer, QConv2d, QDepthwiseConv2d, QLinear, QuantConfig,
+    ResolutionControl, SubModelSpec, TrainerConfig, Workspace,
+};
+use multi_resolution_inference::data::SyntheticImages;
+use multi_resolution_inference::models::MiniResNet;
+use multi_resolution_inference::nn::{
+    BatchNorm2d, BnBankSelector, Dropout, Flatten, Layer, MaxPool2d, Mode, Relu, Sequential,
+};
+use multi_resolution_inference::quant::SdrEncoding;
+use multi_resolution_inference::serve;
+use multi_resolution_inference::sync::atomic::{AtomicUsize, Ordering};
+use multi_resolution_inference::sync::pool::Pool;
+use multi_resolution_inference::telemetry::TrackingAllocator;
+use multi_resolution_inference::tensor::conv::Conv2dCfg;
+use multi_resolution_inference::tensor::reduce::accuracy;
+use multi_resolution_inference::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The zero-alloc assertion below needs real per-thread counters, which the
+/// tracking allocator only maintains when installed as the global allocator
+/// of this test binary (and the `telemetry` feature is on — without it
+/// every stat reads zero and the assertion is vacuous but still valid).
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+/// The four sub-model specs every serving test sweeps.
+fn specs() -> Vec<SubModelSpec> {
+    [(4, 1), (8, 2), (12, 2), (16, 3)]
+        .iter()
+        .map(|&(a, b)| SubModelSpec::new(a, b))
+        .collect()
+}
+
+fn tensor_nd(dims: &'static [usize], lo: f32, hi: f32) -> impl Strategy<Value = Tensor> {
+    let len: usize = dims.iter().product();
+    prop::collection::vec(lo..hi, len).prop_map(move |v| Tensor::from_vec(v, dims))
+}
+
+/// A pipeline touching every op kind the freezer handles outside residual
+/// blocks: conv, batch norm, relu, max pool, depthwise, dropout (identity
+/// at inference), flatten, linear.
+fn build_pipeline(enc: SdrEncoding, seed: u64, control: &Arc<ResolutionControl>) -> Sequential {
+    let mut qcfg = QuantConfig::paper_cnn();
+    qcfg.encoding = enc;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new();
+    net.push(QConv2d::new(
+        &mut rng,
+        2,
+        4,
+        Conv2dCfg::same(3),
+        qcfg,
+        Arc::clone(control),
+    ));
+    net.push(BatchNorm2d::new(4));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2));
+    net.push(QDepthwiseConv2d::new(
+        &mut rng,
+        4,
+        Conv2dCfg::same(3),
+        qcfg,
+        Arc::clone(control),
+    ));
+    net.push(Relu::new());
+    net.push(Dropout::new(0.3, 7));
+    net.push(Flatten::new());
+    net.push(QLinear::new(
+        &mut rng,
+        4 * 3 * 3,
+        3,
+        qcfg,
+        Arc::clone(control),
+    ));
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `FrozenModel::run` is bit-identical to the legacy mutable
+    /// `Mode::Eval` forward for every spec and every SDR encoding.
+    #[test]
+    fn frozen_run_matches_legacy_eval_across_encodings(
+        x in tensor_nd(&[2, 2, 6, 6], 0.0, 3.9),
+        cal in tensor_nd(&[2, 2, 6, 6], 0.0, 3.9),
+        seed in 0u64..(1 << 16),
+    ) {
+        let specs = specs();
+        for enc in [
+            SdrEncoding::Unsigned,
+            SdrEncoding::Naf,
+            SdrEncoding::Booth,
+            SdrEncoding::Booth4,
+        ] {
+            let control = Arc::new(ResolutionControl::default());
+            let mut model = build_pipeline(enc, seed, &control);
+            // BN statistics from a short calibration pass at the largest
+            // spec, as a deployment would run one.
+            calibrate_batchnorm(
+                &mut model,
+                &control,
+                specs[3].resolution(),
+                std::slice::from_ref(&cal),
+            );
+            let frozen = FrozenModel::freeze(&model, &specs).expect("pipeline freezes");
+            let mut ws = Workspace::new();
+            for (i, spec) in specs.iter().enumerate() {
+                control.set_resolution(spec.resolution());
+                let want = model.forward(&x, Mode::Eval);
+                let (got, shape) = frozen.run(i, &x, &mut ws);
+                prop_assert_eq!(
+                    shape.dims(),
+                    want.dims().to_vec(),
+                    "shape at {} enc {:?}",
+                    spec,
+                    enc
+                );
+                for (j, (&g, &w)) in got.iter().zip(want.data()).enumerate() {
+                    prop_assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "bit mismatch at {} idx {} enc {:?}",
+                        spec,
+                        j,
+                        enc
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One `Arc<FrozenModel>` built from a banked-BN ResNet serves all four
+/// specs concurrently on pool threads; every per-thread output is
+/// bit-identical to the sequential legacy eval at the matching bank.
+#[test]
+fn concurrent_frozen_serving_is_bit_identical_to_sequential() {
+    let specs = specs();
+    let classes = 3;
+    let img = 8;
+    let selector: BnBankSelector = Arc::new(AtomicUsize::new(0));
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut model = MiniResNet::build_banked(
+        &mut rng,
+        "frozen-concurrency-test",
+        classes,
+        4,
+        1,
+        QuantConfig::paper_cnn(),
+        &control,
+        Some((specs.len(), Arc::clone(&selector))),
+    );
+    // One BN statistic bank per sub-model, each calibrated at its own
+    // resolution — the switchable-BN deployment of the adaptive example.
+    let mut cal = SyntheticImages::new(11, classes, img);
+    let calib: Vec<_> = (0..4).map(|_| cal.batch(8).0).collect();
+    for (i, spec) in specs.iter().enumerate() {
+        // ordering: single-threaded setup; the forward below reads it back
+        // on this same thread.
+        selector.store(i, Ordering::SeqCst);
+        calibrate_batchnorm(&mut model, &control, spec.resolution(), &calib);
+    }
+
+    let (x, _) = SyntheticImages::new(13, classes, img).batch(6);
+
+    // Sequential legacy reference: one spec at a time on the mutable model.
+    let mut want = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        // ordering: single-threaded reference loop, same-thread read-back.
+        selector.store(i, Ordering::SeqCst);
+        control.set_resolution(spec.resolution());
+        want.push(model.forward(&x, Mode::Eval));
+    }
+
+    let frozen = Arc::new(FrozenModel::freeze(&model, &specs).expect("banked resnet freezes"));
+    let pool = Pool::with_workers(2);
+    let mut got: Vec<Option<Tensor>> = (0..specs.len()).map(|_| None).collect();
+    pool.scope(|s| {
+        for (i, slot) in got.iter_mut().enumerate() {
+            let frozen = Arc::clone(&frozen);
+            let x = &x;
+            s.spawn(move || {
+                let mut ws = Workspace::new();
+                *slot = Some(frozen.run_tensor(i, x, &mut ws));
+            });
+        }
+    });
+
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        let g = g.as_ref().expect("worker produced an output");
+        assert_eq!(g.dims(), w.dims(), "spec {i}");
+        for (a, b) in g.data().iter().zip(w.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit mismatch at spec {i}");
+        }
+    }
+}
+
+/// After a warm-up pass sizes the workspace arena, repeated `run` calls on
+/// the reused workspace perform zero heap allocations — the shared-nothing
+/// steady state the serving engine promises.
+#[test]
+fn frozen_steady_state_serving_does_not_allocate() {
+    let specs = specs();
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let qcfg = QuantConfig::paper_cnn();
+    let mut net = Sequential::new();
+    net.push(QConv2d::new(
+        &mut rng,
+        2,
+        4,
+        Conv2dCfg::same(3),
+        qcfg,
+        Arc::clone(&control),
+    ));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2));
+    net.push(Flatten::new());
+    net.push(QLinear::new(&mut rng, 36, 3, qcfg, Arc::clone(&control)));
+    let frozen = FrozenModel::freeze(&net, &specs).expect("model freezes");
+
+    let x = Tensor::from_vec(
+        (0..72).map(|i| (i % 7) as f32 * 0.5).collect(),
+        &[1, 2, 6, 6],
+    );
+    let mut ws = Workspace::new();
+    // Warm-up: the first pass over every spec may grow the arena.
+    for i in 0..specs.len() {
+        let _ = frozen.run(i, &x, &mut ws);
+    }
+
+    let before = multi_resolution_inference::telemetry::alloc::thread_stats();
+    let mut checksum = 0.0f32;
+    for _ in 0..3 {
+        for i in 0..specs.len() {
+            let (out, _) = frozen.run(i, &x, &mut ws);
+            checksum += out[0];
+        }
+    }
+    let after = multi_resolution_inference::telemetry::alloc::thread_stats();
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after.alloc_count - before.alloc_count,
+        0,
+        "steady-state frozen serving must not touch the heap"
+    );
+}
+
+/// The accuracy table the examples print: the row format is pinned
+/// byte-for-byte, and the frozen table's accuracies are bit-identical to
+/// the legacy eval path's.
+#[test]
+fn frozen_accuracy_table_matches_legacy_and_pins_row_format() {
+    assert_eq!(
+        serve::format_accuracy_row(SubModelSpec::new(8, 2), 0.625),
+        "  (α=8, β=2)       16      62.5%"
+    );
+
+    let classes = 3;
+    let img = 8;
+    let specs = vec![
+        SubModelSpec::new(8, 2),
+        SubModelSpec::new(14, 2),
+        SubModelSpec::new(20, 3),
+    ];
+    let control = Arc::new(ResolutionControl::default());
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model =
+        MiniResNet::mobilenet_like(&mut rng, classes, QuantConfig::paper_cnn(), &control);
+    let mut cfg = TrainerConfig::new(specs.clone());
+    cfg.lr = 0.08;
+    let mut trainer = MultiResTrainer::new(cfg, Arc::clone(&control));
+    let mut data = SyntheticImages::new(0, classes, img);
+    for _ in 0..12 {
+        let (x, labels) = data.batch(16);
+        trainer.train_step(&mut model, &x, &labels);
+    }
+
+    let eval = SyntheticImages::eval_set(0, classes, img, 96, 16);
+    let frozen = FrozenModel::freeze(&model, &specs).expect("model freezes");
+    let table = serve::frozen_accuracy_table(&frozen, &eval);
+    assert_eq!(table.len(), specs.len());
+
+    for (i, (spec, acc)) in table.iter().enumerate() {
+        assert_eq!((spec.alpha, spec.beta), (specs[i].alpha, specs[i].beta));
+        // Legacy reference with the same weighted-mean arithmetic.
+        control.set_resolution(specs[i].resolution());
+        let mut correct = 0.0f64;
+        let mut total = 0usize;
+        for (x, labels) in &eval {
+            let logits = model.forward(x, Mode::Eval);
+            correct += f64::from(accuracy(&logits, labels)) * labels.len() as f64;
+            total += labels.len();
+        }
+        let want = (correct / total as f64) as f32;
+        assert_eq!(acc.to_bits(), want.to_bits(), "accuracy mismatch at {spec}");
+        assert_eq!(
+            serve::format_accuracy_row(*spec, *acc),
+            serve::format_accuracy_row(specs[i], want)
+        );
+    }
+}
