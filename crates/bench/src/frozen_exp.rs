@@ -137,14 +137,14 @@ pub fn frozen_eval_speedup(cfg: RunConfig) -> Vec<FrozenRow> {
     let mut ws = Workspace::new();
     // Warm-up pass sizes the workspace arena outside the timed loop.
     for i in 0..specs.len() {
-        let _ = frozen.run(i, &batches[0], &mut ws);
+        let _ = frozen.run(i, &batches[0], &mut ws).expect("warm-up serves");
     }
     let built0 = weight_tensors_built_on_this_thread();
     let t0 = Instant::now();
     for _ in 0..repeats {
         for i in 0..specs.len() {
             for x in &batches {
-                let (out, _) = frozen.run(i, x, &mut ws);
+                let (out, _) = frozen.run(i, x, &mut ws).expect("bench batch serves");
                 std::hint::black_box(out.first());
             }
         }
@@ -194,7 +194,7 @@ mod tests {
             control.set_resolution(spec.resolution());
             // lint: allow(frozen-discipline) — legacy reference arm.
             let want = net.forward(&x, Mode::Eval);
-            let (got, _) = frozen.run(i, &x, &mut ws);
+            let (got, _) = frozen.run(i, &x, &mut ws).expect("frozen arm serves");
             for (a, b) in got.iter().zip(want.data()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "spec {spec}");
             }

@@ -376,7 +376,7 @@ pub fn eval_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
     let mut ws = Workspace::new();
     probes.push(run_probe("frozen_forward", ff_iters, || {
         for i in 0..specs.len() {
-            let (out, _) = frozen.run(i, &x, &mut ws);
+            let (out, _) = frozen.run(i, &x, &mut ws).expect("probe spec serves");
             std::hint::black_box(out.first());
         }
     }));
@@ -389,7 +389,7 @@ pub fn eval_probes(cfg: RunConfig) -> Vec<ProbeRecord> {
                 let frozen = &frozen;
                 let x = &x;
                 s.spawn(move || {
-                    let (out, _) = frozen.run(i, x, ws);
+                    let (out, _) = frozen.run(i, x, ws).expect("probe spec serves");
                     std::hint::black_box(out.first());
                 });
             }

@@ -28,13 +28,19 @@
 //! pooling arithmetic), so frozen outputs are bit-identical to the mutable
 //! path — also pinned by tests.
 
+// Serving must not carry panicking shortcuts: every fallible check lives in
+// `freeze` (admission) or surfaces as a `ServeError`. The xtask serve-no-panic
+// pass (DESIGN.md §15) walks this file from `FrozenModel::run`; clippy backs
+// it up by rejecting `unwrap`/`expect` outright.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::qlayers::{term_pairs_per_dot, QConv2d, QDepthwiseConv2d, QLinear};
 use crate::qsite::{QActSite, QParamSite};
 use crate::spec::{Resolution, SubModelSpec};
 use crate::wcache::PackedWeights;
 use mri_nn::{BnFreeze, FreezeError, FreezeSink, Layer};
 use mri_quant::dq::DataLut;
-use mri_quant::packed::{matmul_bt_packed_scratch, matmul_packed_lhs};
+use mri_quant::packed::{matmul_bt_packed_scratch, matmul_packed_lhs, MAX_SERVE_ROW_GROUPS};
 use mri_tensor::conv::{depthwise_forward_with_into, gemm_to_nchw_into, im2col_into, Conv2dCfg};
 use mri_tensor::pool::{global_avgpool_into, maxpool2d_values_into};
 use mri_tensor::Tensor;
@@ -71,6 +77,62 @@ impl ActShape {
         }
     }
 }
+
+/// Why a serving call on a frozen plan was rejected.
+///
+/// Everything input-independent is validated once at
+/// [`FrozenModel::freeze`] admission, so a request can only fail on what the
+/// request itself controls: the sub-model index and the input tensor. The
+/// [`ServeError::CorruptPlan`] variant covers invariants admission already
+/// guarantees — it is unreachable for plans built by `freeze` and exists so
+/// the serving path is *structurally* panic-free rather than relying on
+/// `unreachable!`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `spec_idx` is not a valid index into [`FrozenModel::specs`].
+    SpecOutOfRange {
+        /// The requested sub-model index.
+        spec_idx: usize,
+        /// Number of specs the plan serves.
+        specs: usize,
+    },
+    /// The input tensor is neither rank 2 nor rank 4.
+    BadInputRank(Vec<usize>),
+    /// An activation reached an op whose geometry it violates.
+    ShapeMismatch {
+        /// The op that rejected the activation.
+        op: &'static str,
+        /// What was violated.
+        detail: String,
+    },
+    /// A freeze-guaranteed plan invariant did not hold — unreachable for
+    /// plans built by [`FrozenModel::freeze`].
+    CorruptPlan(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::SpecOutOfRange { spec_idx, specs } => {
+                write!(
+                    f,
+                    "spec index {spec_idx} out of range (plan serves {specs} specs)"
+                )
+            }
+            ServeError::BadInputRank(dims) => {
+                write!(f, "frozen run expects rank-2 or rank-4 input, got {dims:?}")
+            }
+            ServeError::ShapeMismatch { op, detail } => {
+                write!(f, "frozen {op}: {detail}")
+            }
+            ServeError::CorruptPlan(what) => {
+                write!(f, "corrupt frozen plan: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Per-spec serving state of one quantized layer: the packed term rows at
 /// the spec's α, the data LUT folded from the trained clip at the spec's β,
@@ -194,6 +256,7 @@ impl FrozenModel {
         if builder.depth != 0 {
             return Err(FreezeError::Build("unbalanced residual brackets".into()));
         }
+        validate_plan(&builder.ops, specs.len())?;
         Ok(FrozenModel {
             ops: builder.ops,
             specs: specs.to_vec(),
@@ -214,42 +277,65 @@ impl FrozenModel {
     /// value-MAC tallies accumulate in the workspace (see
     /// [`Workspace::drain_counters`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `spec_idx` is out of range or the input shape does not
-    /// match the plan (wrong channel count, non-rank-2/4 input).
+    /// Rejects an out-of-range `spec_idx` or an input whose shape does not
+    /// match the plan (wrong rank, channel or feature count, pool window
+    /// that does not fit). The serving path itself is structurally
+    /// panic-free: everything else is validated at freeze admission.
     pub fn run<'w>(
         &self,
         spec_idx: usize,
         input: &Tensor,
         ws: &'w mut Workspace,
-    ) -> (&'w [f32], ActShape) {
-        assert!(spec_idx < self.specs.len(), "spec index out of range");
+    ) -> Result<(&'w [f32], ActShape), ServeError> {
+        if spec_idx >= self.specs.len() {
+            return Err(ServeError::SpecOutOfRange {
+                spec_idx,
+                specs: self.specs.len(),
+            });
+        }
         let mut shape = match input.dims() {
             &[n, c, h, w] => ActShape::Nchw(n, c, h, w),
             &[n, f] => ActShape::Nf(n, f),
-            other => panic!("frozen run expects rank-2 or rank-4 input, got {other:?}"),
+            other => return Err(ServeError::BadInputRank(other.to_vec())),
         };
-        grow(&mut ws.cur, shape.len());
-        ws.cur[..shape.len()].copy_from_slice(input.data());
+        copy_into(grown(&mut ws.cur, shape.len()), input.data());
 
         for op in &self.ops {
-            shape = self.step(op, spec_idx, shape, ws);
+            shape = self.step(op, spec_idx, shape, ws)?;
         }
         ws.out_shape = Some(shape);
-        (&ws.cur[..shape.len()], shape)
+        Ok((taken(&ws.cur, shape.len()), shape))
     }
 
     /// [`FrozenModel::run`], materializing the output as a tensor (one
     /// allocation; evaluation convenience — the serving path uses `run`).
-    pub fn run_tensor(&self, spec_idx: usize, input: &Tensor, ws: &mut Workspace) -> Tensor {
-        let (out, shape) = self.run(spec_idx, input, ws);
-        Tensor::from_vec(out.to_vec(), &shape.dims())
+    ///
+    /// # Errors
+    ///
+    /// As [`FrozenModel::run`].
+    pub fn run_tensor(
+        &self,
+        spec_idx: usize,
+        input: &Tensor,
+        ws: &mut Workspace,
+    ) -> Result<Tensor, ServeError> {
+        let (out, shape) = self.run(spec_idx, input, ws)?;
+        Ok(Tensor::from_vec(out.to_vec(), &shape.dims()))
     }
 
     /// The GEMM geometry of every compute layer for a rank-4 input of the
     /// given dims — what a hardware simulator ingests as its workload.
-    pub fn geometry(&self, input: (usize, usize, usize, usize)) -> Vec<FrozenLayerGeom> {
+    ///
+    /// # Errors
+    ///
+    /// Rejects inputs whose shape does not flow through the plan (kernel or
+    /// pool window larger than the activation, linear fed a rank-4 map).
+    pub fn geometry(
+        &self,
+        input: (usize, usize, usize, usize),
+    ) -> Result<Vec<FrozenLayerGeom>, ServeError> {
         let (n, c, h, w) = input;
         let mut shape = ActShape::Nchw(n, c, h, w);
         let mut out = Vec::new();
@@ -257,8 +343,8 @@ impl FrozenModel {
         for op in &self.ops {
             shape = match op {
                 FrozenOp::Conv(p) => {
-                    let (bn, _, ih, iw) = expect_nchw(shape);
-                    let (ho, wo) = p.cfg.out_size(ih, iw);
+                    let (bn, _, ih, iw) = expect_nchw(shape, "conv")?;
+                    let (ho, wo) = conv_out_size(p.cfg, ih, iw, "conv")?;
                     out.push(FrozenLayerGeom {
                         name: format!(
                             "conv2d({}->{}, {}x{})",
@@ -271,8 +357,8 @@ impl FrozenModel {
                     ActShape::Nchw(bn, p.out_channels, ho, wo)
                 }
                 FrozenOp::Depthwise(p) => {
-                    let (bn, _, ih, iw) = expect_nchw(shape);
-                    let (ho, wo) = p.cfg.out_size(ih, iw);
+                    let (bn, _, ih, iw) = expect_nchw(shape, "depthwise")?;
+                    let (ho, wo) = conv_out_size(p.cfg, ih, iw, "depthwise")?;
                     out.push(FrozenLayerGeom {
                         name: format!(
                             "depthwise({}ch, {}x{})",
@@ -297,10 +383,10 @@ impl FrozenModel {
                     });
                     ActShape::Nf(rows, p.out_features)
                 }
-                _ => self.shape_after(op, shape, &mut stack),
+                _ => self.shape_after(op, shape, &mut stack)?,
             };
         }
-        out
+        Ok(out)
     }
 
     /// Shape evolution of the structural (non-GEMM) ops, shared by
@@ -310,14 +396,20 @@ impl FrozenModel {
         op: &FrozenOp,
         shape: ActShape,
         stack: &mut Vec<(ActShape, Option<ActShape>)>,
-    ) -> ActShape {
-        match op {
+    ) -> Result<ActShape, ServeError> {
+        Ok(match op {
             FrozenOp::MaxPool { window, stride } => {
-                let (n, c, h, w) = expect_nchw(shape);
-                ActShape::Nchw(n, c, (h - window) / stride + 1, (w - window) / stride + 1)
+                let (n, c, h, w) = expect_nchw(shape, "maxpool")?;
+                let (ho, wo) = pool_out_size(h, w, *window, *stride).ok_or_else(|| {
+                    ServeError::ShapeMismatch {
+                        op: "maxpool",
+                        detail: format!("window {window} does not fit a {h}x{w} map"),
+                    }
+                })?;
+                ActShape::Nchw(n, c, ho, wo)
             }
             FrozenOp::GlobalAvgPool => {
-                let (n, c, _, _) = expect_nchw(shape);
+                let (n, c, _, _) = expect_nchw(shape, "global_avgpool")?;
                 ActShape::Nf(n, c)
             }
             FrozenOp::Flatten => match shape {
@@ -329,16 +421,20 @@ impl FrozenModel {
                 shape
             }
             FrozenOp::BeginShortcut => {
-                let frame = stack.last_mut().expect("shortcut outside block");
+                let frame = stack
+                    .last_mut()
+                    .ok_or(ServeError::CorruptPlan("shortcut outside block"))?;
                 frame.1 = Some(shape);
                 frame.0
             }
             FrozenOp::EndBlock { .. } => {
-                stack.pop().expect("end outside block");
+                stack
+                    .pop()
+                    .ok_or(ServeError::CorruptPlan("block end without begin"))?;
                 shape
             }
             _ => shape,
-        }
+        })
     }
 
     /// Executes one op. Structural ops mutate in place; compute ops write
@@ -349,49 +445,46 @@ impl FrozenModel {
         spec_idx: usize,
         shape: ActShape,
         ws: &mut Workspace,
-    ) -> ActShape {
-        match op {
+    ) -> Result<ActShape, ServeError> {
+        Ok(match op {
             FrozenOp::Conv(p) => {
-                let (n, c, h, w) = expect_nchw(shape);
-                assert_eq!(c, p.in_channels, "frozen conv channel mismatch");
-                let sw = &p.per_spec[spec_idx];
+                let (n, c, h, w) = expect_nchw(shape, "conv")?;
+                expect_extent(c, p.in_channels, "conv", "input channels")?;
+                let sw = spec_weights(&p.per_spec, spec_idx)?;
                 let len = shape.len();
-                grow(&mut ws.qbuf, len);
-                sw.lut.quantize_into(&ws.cur[..len], &mut ws.qbuf[..len]);
+                sw.lut
+                    .quantize_into(taken(&ws.cur, len), grown(&mut ws.qbuf, len));
 
-                let (ho, wo) = p.cfg.out_size(h, w);
+                let (ho, wo) = conv_out_size(p.cfg, h, w, "conv")?;
                 let ncols = n * ho * wo;
                 let k = p.row_len;
-                grow(&mut ws.cols, k * ncols);
                 im2col_into(
-                    &ws.qbuf[..len],
+                    taken(&ws.qbuf, len),
                     (n, c, h, w),
                     p.cfg,
-                    &mut ws.cols[..k * ncols],
+                    grown(&mut ws.cols, k * ncols),
                 );
 
-                grow(&mut ws.gemm, p.out_channels * ncols);
                 matmul_packed_lhs(
                     sw.packed.rows(),
                     sw.packed.alpha(),
                     sw.packed.scale(),
-                    &ws.cols[..k * ncols],
+                    taken(&ws.cols, k * ncols),
                     k,
                     ncols,
-                    &mut ws.gemm[..p.out_channels * ncols],
+                    grown(&mut ws.gemm, p.out_channels * ncols),
                 );
 
                 let out_len = n * p.out_channels * ho * wo;
-                grow(&mut ws.nxt, out_len);
                 gemm_to_nchw_into(
-                    &ws.gemm[..p.out_channels * ncols],
+                    taken(&ws.gemm, p.out_channels * ncols),
                     p.out_channels,
                     n,
                     ho,
                     wo,
-                    &mut ws.nxt[..out_len],
+                    grown(&mut ws.nxt, out_len),
                 );
-                add_channel_bias(&mut ws.nxt[..out_len], &p.bias, n, p.out_channels, ho * wo);
+                add_channel_bias(grown(&mut ws.nxt, out_len), &p.bias, ho * wo);
                 ws.term_pairs += out_len as u64 * sw.tp_per_out;
                 ws.value_macs += out_len as u64 * p.row_len as u64;
                 std::mem::swap(&mut ws.cur, &mut ws.nxt);
@@ -400,107 +493,130 @@ impl FrozenModel {
             FrozenOp::Linear(p) => {
                 let (m, f) = match shape {
                     ActShape::Nf(m, f) => (m, f),
-                    _ => panic!("frozen linear expects [N, F] input"),
+                    ActShape::Nchw(..) => {
+                        return Err(ServeError::ShapeMismatch {
+                            op: "linear",
+                            detail: "expects [N, F] input".into(),
+                        })
+                    }
                 };
-                assert_eq!(f, p.in_features, "frozen linear width mismatch");
-                let sw = &p.per_spec[spec_idx];
+                expect_extent(f, p.in_features, "linear", "input features")?;
+                let sw = spec_weights(&p.per_spec, spec_idx)?;
                 let len = shape.len();
-                grow(&mut ws.qbuf, len);
-                sw.lut.quantize_into(&ws.cur[..len], &mut ws.qbuf[..len]);
+                sw.lut
+                    .quantize_into(taken(&ws.cur, len), grown(&mut ws.qbuf, len));
 
                 let out_len = m * p.out_features;
-                grow(&mut ws.nxt, out_len);
                 matmul_bt_packed_scratch(
-                    &ws.qbuf[..len],
+                    taken(&ws.qbuf, len),
                     m,
                     p.in_features,
                     sw.packed.rows(),
                     sw.packed.alpha(),
                     sw.packed.scale(),
                     &mut ws.col,
-                    &mut ws.nxt[..out_len],
+                    grown(&mut ws.nxt, out_len),
                 );
-                add_channel_bias(&mut ws.nxt[..out_len], &p.bias, m, p.out_features, 1);
+                add_channel_bias(grown(&mut ws.nxt, out_len), &p.bias, 1);
                 ws.term_pairs += out_len as u64 * sw.tp_per_out;
                 ws.value_macs += out_len as u64 * p.in_features as u64;
                 std::mem::swap(&mut ws.cur, &mut ws.nxt);
                 ActShape::Nf(m, p.out_features)
             }
             FrozenOp::Depthwise(p) => {
-                let (n, c, h, w) = expect_nchw(shape);
-                assert_eq!(c, p.channels, "frozen depthwise channel mismatch");
-                let sw = &p.per_spec[spec_idx];
+                let (n, c, h, w) = expect_nchw(shape, "depthwise")?;
+                expect_extent(c, p.channels, "depthwise", "channels")?;
+                let sw = spec_weights(&p.per_spec, spec_idx)?;
                 let len = shape.len();
-                grow(&mut ws.qbuf, len);
-                sw.lut.quantize_into(&ws.cur[..len], &mut ws.qbuf[..len]);
+                sw.lut
+                    .quantize_into(taken(&ws.cur, len), grown(&mut ws.qbuf, len));
 
-                let (ho, wo) = p.cfg.out_size(h, w);
+                let (ho, wo) = conv_out_size(p.cfg, h, w, "depthwise")?;
                 let out_len = n * c * ho * wo;
                 grow(&mut ws.nxt, out_len);
-                grow(&mut ws.ker, p.row_len);
                 let (alpha, scale) = (sw.packed.alpha(), sw.packed.scale());
                 let rows = sw.packed.rows();
                 depthwise_forward_with_into(
-                    &ws.qbuf[..len],
+                    taken(&ws.qbuf, len),
                     (n, c, h, w),
                     p.cfg,
-                    &mut ws.ker[..p.row_len],
-                    &mut ws.nxt[..out_len],
-                    |ci, ker| rows[ci].write_scaled(alpha, scale, ker),
+                    grown(&mut ws.ker, p.row_len),
+                    grown(&mut ws.nxt, out_len),
+                    // Freeze admission pins `rows.len()` to the channel
+                    // count, so every `ci < c` hits a row.
+                    |ci, ker| {
+                        if let Some(row) = rows.get(ci) {
+                            row.write_scaled(alpha, scale, ker);
+                        }
+                    },
                 );
-                add_channel_bias(&mut ws.nxt[..out_len], &p.bias, n, c, ho * wo);
+                add_channel_bias(grown(&mut ws.nxt, out_len), &p.bias, ho * wo);
                 ws.term_pairs += out_len as u64 * sw.tp_per_out;
                 ws.value_macs += out_len as u64 * p.row_len as u64;
                 std::mem::swap(&mut ws.cur, &mut ws.nxt);
                 ActShape::Nchw(n, c, ho, wo)
             }
             FrozenOp::BatchNorm(p) => {
-                let (n, c, h, w) = expect_nchw(shape);
-                assert_eq!(c, p.channels, "frozen batchnorm channel mismatch");
+                let (_, c, h, w) = expect_nchw(shape, "batchnorm")?;
+                expect_extent(c, p.channels, "batchnorm", "channels")?;
                 // Bank selection mirrors the trainer: spec index modulo the
-                // bank count (bank 0 for unbanked layers).
-                let (means, inv_std) = &p.banks[spec_idx % p.banks.len()];
+                // bank count (bank 0 for unbanked layers). Admission
+                // guarantees at least one bank and per-channel lengths.
+                let (means, inv_std) = spec_idx
+                    .checked_rem(p.banks.len())
+                    .and_then(|b| p.banks.get(b))
+                    .ok_or(ServeError::CorruptPlan("batchnorm plan without banks"))?;
                 let hw = h * w;
-                let cur = &mut ws.cur[..shape.len()];
-                for bc in 0..n * c {
-                    let ch = bc % c;
-                    let base = bc * hw;
-                    let (mean, is, g, bta) = (means[ch], inv_std[ch], p.gamma[ch], p.beta[ch]);
-                    for s in 0..hw {
-                        let v = (cur[base + s] - mean) * is;
-                        cur[base + s] = g * v + bta;
+                if hw == 0 {
+                    return Ok(shape);
+                }
+                let params = means
+                    .iter()
+                    .zip(inv_std.iter())
+                    .zip(p.gamma.iter().zip(p.beta.iter()))
+                    .cycle();
+                let cur = grown(&mut ws.cur, shape.len());
+                for (chunk, ((&mean, &is), (&g, &bta))) in cur.chunks_mut(hw).zip(params) {
+                    for v in chunk {
+                        *v = g * ((*v - mean) * is) + bta;
                     }
                 }
                 shape
             }
             FrozenOp::Relu => {
-                for v in &mut ws.cur[..shape.len()] {
+                for v in grown(&mut ws.cur, shape.len()) {
                     *v = v.max(0.0);
                 }
                 shape
             }
             FrozenOp::MaxPool { window, stride } => {
-                let (n, c, h, w) = expect_nchw(shape);
-                let ho = (h - window) / stride + 1;
-                let wo = (w - window) / stride + 1;
+                let (n, c, h, w) = expect_nchw(shape, "maxpool")?;
+                let (ho, wo) = pool_out_size(h, w, *window, *stride).ok_or_else(|| {
+                    ServeError::ShapeMismatch {
+                        op: "maxpool",
+                        detail: format!("window {window} does not fit a {h}x{w} map"),
+                    }
+                })?;
                 let out_len = n * c * ho * wo;
                 grow(&mut ws.nxt, out_len);
-                grow_usize(&mut ws.arg, out_len);
                 maxpool2d_values_into(
-                    &ws.cur[..shape.len()],
+                    taken(&ws.cur, shape.len()),
                     (n, c, h, w),
                     *window,
                     *stride,
-                    &mut ws.arg[..out_len],
-                    &mut ws.nxt[..out_len],
+                    grown_usize(&mut ws.arg, out_len),
+                    grown(&mut ws.nxt, out_len),
                 );
                 std::mem::swap(&mut ws.cur, &mut ws.nxt);
                 ActShape::Nchw(n, c, ho, wo)
             }
             FrozenOp::GlobalAvgPool => {
-                let (n, c, h, w) = expect_nchw(shape);
-                grow(&mut ws.nxt, n * c);
-                global_avgpool_into(&ws.cur[..shape.len()], (n, c, h, w), &mut ws.nxt[..n * c]);
+                let (n, c, h, w) = expect_nchw(shape, "global_avgpool")?;
+                global_avgpool_into(
+                    taken(&ws.cur, shape.len()),
+                    (n, c, h, w),
+                    grown(&mut ws.nxt, n * c),
+                );
                 std::mem::swap(&mut ws.cur, &mut ws.nxt);
                 ActShape::Nf(n, c)
             }
@@ -521,41 +637,61 @@ impl FrozenModel {
                 }
                 let top = ws.frame_top;
                 ws.frame_top += 1;
-                let frame = &mut ws.frames[top];
-                grow(&mut frame.input, len);
-                frame.input[..len].copy_from_slice(&ws.cur[..len]);
+                let frame = ws
+                    .frames
+                    .get_mut(top)
+                    .ok_or(ServeError::CorruptPlan("residual frame stack out of sync"))?;
+                copy_into(grown(&mut frame.input, len), taken(&ws.cur, len));
                 frame.input_shape = shape;
                 frame.main_shape = None;
                 shape
             }
             FrozenOp::BeginShortcut => {
-                assert!(ws.frame_top > 0, "shortcut outside residual block");
+                if ws.frame_top == 0 {
+                    return Err(ServeError::CorruptPlan("shortcut outside residual block"));
+                }
                 let len = shape.len();
                 let top = ws.frame_top - 1;
-                let frame = &mut ws.frames[top];
-                grow(&mut frame.main, len);
-                frame.main[..len].copy_from_slice(&ws.cur[..len]);
+                let frame = ws
+                    .frames
+                    .get_mut(top)
+                    .ok_or(ServeError::CorruptPlan("residual frame stack out of sync"))?;
+                copy_into(grown(&mut frame.main, len), taken(&ws.cur, len));
                 frame.main_shape = Some(shape);
                 let in_shape = frame.input_shape;
                 let in_len = in_shape.len();
                 // Restore the saved block input as the live activation for
                 // the shortcut branch.
-                grow(&mut ws.cur, in_len);
-                ws.cur[..in_len].copy_from_slice(&ws.frames[top].input[..in_len]);
+                let cur = grown(&mut ws.cur, in_len);
+                let frame = ws
+                    .frames
+                    .get(top)
+                    .ok_or(ServeError::CorruptPlan("residual frame stack out of sync"))?;
+                copy_into(cur, taken(&frame.input, in_len));
                 in_shape
             }
             FrozenOp::EndBlock { relu_after_add } => {
-                assert!(ws.frame_top > 0, "block end without begin");
+                if ws.frame_top == 0 {
+                    return Err(ServeError::CorruptPlan("block end without begin"));
+                }
                 let len = shape.len();
                 ws.frame_top -= 1;
-                let frame = &ws.frames[ws.frame_top];
+                let frame = ws
+                    .frames
+                    .get(ws.frame_top)
+                    .ok_or(ServeError::CorruptPlan("residual frame stack out of sync"))?;
                 // `main + shortcut`, matching the legacy operand order; f32
                 // addition is commutative bitwise for non-NaN values, but we
                 // keep the order anyway.
                 match frame.main_shape {
                     Some(ms) => {
-                        assert_eq!(ms, shape, "residual branch shape mismatch");
-                        for (dst, &m) in ws.cur[..len].iter_mut().zip(&frame.main[..len]) {
+                        if ms != shape {
+                            return Err(ServeError::ShapeMismatch {
+                                op: "residual",
+                                detail: "branch shape mismatch at block end".into(),
+                            });
+                        }
+                        for (dst, &m) in grown(&mut ws.cur, len).iter_mut().zip(frame.main.iter()) {
                             #[allow(clippy::assign_op_pattern)]
                             {
                                 *dst = m + *dst;
@@ -563,35 +699,113 @@ impl FrozenModel {
                         }
                     }
                     None => {
-                        assert_eq!(frame.input_shape, shape, "residual skip shape mismatch");
-                        for (dst, &x) in ws.cur[..len].iter_mut().zip(&frame.input[..len]) {
+                        if frame.input_shape != shape {
+                            return Err(ServeError::ShapeMismatch {
+                                op: "residual",
+                                detail: "skip shape mismatch at block end".into(),
+                            });
+                        }
+                        for (dst, &x) in grown(&mut ws.cur, len).iter_mut().zip(frame.input.iter())
+                        {
                             *dst += x;
                         }
                     }
                 }
                 if *relu_after_add {
-                    for v in &mut ws.cur[..len] {
+                    for v in grown(&mut ws.cur, len) {
                         *v = v.max(0.0);
                     }
                 }
                 shape
             }
-        }
+        })
     }
 }
 
-fn expect_nchw(shape: ActShape) -> (usize, usize, usize, usize) {
+/// The per-spec weights of one layer; admission pins `per_spec` to the spec
+/// list length, so a `run`-validated index always hits.
+fn spec_weights(per_spec: &[SpecWeights], spec_idx: usize) -> Result<&SpecWeights, ServeError> {
+    per_spec
+        .get(spec_idx)
+        .ok_or(ServeError::CorruptPlan("per-spec weights out of sync"))
+}
+
+fn expect_nchw(
+    shape: ActShape,
+    op: &'static str,
+) -> Result<(usize, usize, usize, usize), ServeError> {
     match shape {
-        ActShape::Nchw(n, c, h, w) => (n, c, h, w),
-        _ => panic!("frozen op expects [N, C, H, W] input"),
+        ActShape::Nchw(n, c, h, w) => Ok((n, c, h, w)),
+        ActShape::Nf(..) => Err(ServeError::ShapeMismatch {
+            op,
+            detail: "expects [N, C, H, W] input".into(),
+        }),
     }
+}
+
+/// Rejects an activation whose channel/feature extent does not match the
+/// plan's.
+fn expect_extent(
+    got: usize,
+    want: usize,
+    op: &'static str,
+    what: &'static str,
+) -> Result<(), ServeError> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(ServeError::ShapeMismatch {
+            op,
+            detail: format!("expected {want} {what}, got {got}"),
+        })
+    }
+}
+
+/// [`Conv2dCfg::out_size`] without its panic: `None` (mapped to a
+/// [`ServeError::ShapeMismatch`]) when the kernel does not fit the padded
+/// input. Strides are non-zero by freeze admission; the checked division
+/// keeps the path structurally panic-free anyway.
+fn conv_out_size(
+    cfg: Conv2dCfg,
+    h: usize,
+    w: usize,
+    op: &'static str,
+) -> Result<(usize, usize), ServeError> {
+    let fit = |x: usize, k: usize, pad: usize, stride: usize| -> Option<usize> {
+        x.checked_add(2 * pad)?
+            .checked_sub(k)?
+            .checked_div(stride)
+            .map(|q| q + 1)
+    };
+    let (kh, kw) = cfg.kernel;
+    match (
+        fit(h, kh, cfg.padding.0, cfg.stride.0),
+        fit(w, kw, cfg.padding.1, cfg.stride.1),
+    ) {
+        (Some(ho), Some(wo)) => Ok((ho, wo)),
+        _ => Err(ServeError::ShapeMismatch {
+            op,
+            detail: format!("kernel {kh}x{kw} does not fit a {h}x{w} map"),
+        }),
+    }
+}
+
+/// Pool output extents, or `None` when the window does not fit or the
+/// stride is zero (the latter is rejected at freeze admission).
+fn pool_out_size(h: usize, w: usize, window: usize, stride: usize) -> Option<(usize, usize)> {
+    let ho = h.checked_sub(window)?.checked_div(stride)? + 1;
+    let wo = w.checked_sub(window)?.checked_div(stride)? + 1;
+    Some((ho, wo))
 }
 
 /// Replicates `Tensor::add_channel_bias_inplace` on a raw slice: per batch
-/// row, per channel, the bias is added to every spatial element.
-fn add_channel_bias(data: &mut [f32], bias: &[f32], n: usize, c: usize, spatial: usize) {
-    debug_assert_eq!(data.len(), n * c * spatial);
-    debug_assert_eq!(bias.len(), c);
+/// row, per channel, the bias is added to every `spatial`-element plane (the
+/// bias cycles per channel; `data.len()` is a multiple of
+/// `bias.len() * spatial` by the caller's plan geometry).
+fn add_channel_bias(data: &mut [f32], bias: &[f32], spatial: usize) {
+    if spatial == 0 || bias.is_empty() {
+        return; // Degenerate plane or bias-free layer: nothing to add.
+    }
     for (chunk, &bv) in data.chunks_mut(spatial).zip(bias.iter().cycle()) {
         for v in chunk {
             *v += bv;
@@ -606,10 +820,125 @@ fn grow(v: &mut Vec<f32>, len: usize) {
     }
 }
 
-fn grow_usize(v: &mut Vec<usize>, len: usize) {
+/// [`grow`], then the first `len` elements. The resize makes the range
+/// valid, so the empty-slice fallback is never taken — it exists to keep the
+/// serving path structurally panic-free.
+fn grown(v: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    grow(v, len);
+    v.get_mut(..len).unwrap_or_default()
+}
+
+/// The first `len` elements of a grow-only buffer. Every serving-path buffer
+/// is sized by [`grown`] before it is read, so the fallback is never taken.
+fn taken(v: &[f32], len: usize) -> &[f32] {
+    v.get(..len).unwrap_or_default()
+}
+
+/// Grow-only resize of the argmax scratch, returning the first `len` slots.
+fn grown_usize(v: &mut Vec<usize>, len: usize) -> &mut [usize] {
     if v.len() < len {
         v.resize(len, 0);
     }
+    v.get_mut(..len).unwrap_or_default()
+}
+
+/// Element-wise copy of the common prefix — `copy_from_slice` without its
+/// length panic. Callers always pass equal-length slices (the lengths come
+/// from the same `ActShape`), so nothing is ever silently dropped.
+fn copy_into(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = s;
+    }
+}
+
+/// Input-independent plan validation run once at freeze admission — the
+/// checks that make the per-request path structurally infallible: per-spec
+/// weight tables must match the spec list, packed rows must match the layer
+/// geometry and stay under [`MAX_SERVE_ROW_GROUPS`] (the static overflow
+/// proof's row ceiling), strides must be non-zero, and batch-norm banks and
+/// parameter vectors must be channel-complete.
+fn validate_plan(ops: &[FrozenOp], nspecs: usize) -> Result<(), FreezeError> {
+    let check_specs = |name: &str, per_spec: &[SpecWeights], rows: usize| {
+        if per_spec.len() != nspecs {
+            return Err(FreezeError::Build(format!(
+                "{name}: {} per-spec weight sets for {nspecs} specs",
+                per_spec.len()
+            )));
+        }
+        for sw in per_spec {
+            if sw.packed.rows().len() != rows {
+                return Err(FreezeError::Build(format!(
+                    "{name}: packed store has {} rows, layer needs {rows}",
+                    sw.packed.rows().len()
+                )));
+            }
+            for row in sw.packed.rows() {
+                if row.num_groups() > MAX_SERVE_ROW_GROUPS {
+                    return Err(FreezeError::Build(format!(
+                        "{name}: a weight row carries {} term groups, above the \
+                         serving ceiling of {MAX_SERVE_ROW_GROUPS}",
+                        row.num_groups()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    };
+    let check_stride = |name: &str, cfg: &Conv2dCfg| {
+        if cfg.stride.0 == 0 || cfg.stride.1 == 0 {
+            return Err(FreezeError::Build(format!("{name}: zero stride")));
+        }
+        Ok(())
+    };
+    let check_bias = |name: &str, bias: &[f32], c: usize| {
+        if !bias.is_empty() && bias.len() != c {
+            return Err(FreezeError::Build(format!(
+                "{name}: {} bias entries for {c} channels",
+                bias.len()
+            )));
+        }
+        Ok(())
+    };
+    for op in ops {
+        match op {
+            FrozenOp::Conv(p) => {
+                check_specs("conv", &p.per_spec, p.out_channels)?;
+                check_stride("conv", &p.cfg)?;
+                check_bias("conv", &p.bias, p.out_channels)?;
+            }
+            FrozenOp::Linear(p) => {
+                check_specs("linear", &p.per_spec, p.out_features)?;
+                check_bias("linear", &p.bias, p.out_features)?;
+            }
+            FrozenOp::Depthwise(p) => {
+                check_specs("depthwise", &p.per_spec, p.channels)?;
+                check_stride("depthwise", &p.cfg)?;
+                check_bias("depthwise", &p.bias, p.channels)?;
+            }
+            FrozenOp::BatchNorm(p) => {
+                if p.banks.is_empty() {
+                    return Err(FreezeError::Build("batchnorm without banks".into()));
+                }
+                let complete = p.gamma.len() == p.channels
+                    && p.beta.len() == p.channels
+                    && p.banks
+                        .iter()
+                        .all(|(m, s)| m.len() == p.channels && s.len() == p.channels);
+                if !complete {
+                    return Err(FreezeError::Build(
+                        "batchnorm parameters not channel-complete".into(),
+                    ));
+                }
+            }
+            FrozenOp::MaxPool { window, stride } if *window == 0 || *stride == 0 => {
+                return Err(FreezeError::Build(
+                    "maxpool with zero window or stride".into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// One residual-block scratch frame: the saved block input and (for
@@ -838,6 +1167,7 @@ impl FreezeSink for PlanBuilder<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::{QuantConfig, ResolutionControl};
@@ -889,7 +1219,7 @@ mod tests {
         for (i, spec) in specs.iter().enumerate() {
             control.set_resolution(spec.resolution());
             let legacy = net.forward(&x, Mode::Eval);
-            let (out, shape) = frozen.run(i, &x, &mut ws);
+            let (out, shape) = frozen.run(i, &x, &mut ws).unwrap();
             assert_eq!(shape, ActShape::Nf(3, 4));
             let legacy_bits: Vec<u32> = legacy.data().iter().map(|v| v.to_bits()).collect();
             let frozen_bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
@@ -911,7 +1241,7 @@ mod tests {
         let legacy = (control.term_pairs(), control.value_macs());
 
         let mut ws = Workspace::new();
-        frozen.run(1, &x, &mut ws);
+        frozen.run(1, &x, &mut ws).unwrap();
         assert_eq!(ws.drain_counters(), legacy);
         assert_eq!(ws.drain_counters(), (0, 0), "drain must reset");
     }
@@ -939,12 +1269,47 @@ mod tests {
     }
 
     #[test]
+    fn run_rejects_bad_requests_instead_of_panicking() {
+        let specs = specs4();
+        let control = Arc::new(ResolutionControl::new(specs[0].resolution()));
+        let net = mlp(&control);
+        let frozen = FrozenModel::freeze(&net, &specs).unwrap();
+        let mut ws = Workspace::new();
+        let mut rng = StdRng::seed_from_u64(14);
+
+        let x = init::uniform(&mut rng, &[2, 32], 0.0, 1.0);
+        let err = frozen.run(specs.len(), &x, &mut ws).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::SpecOutOfRange {
+                spec_idx: 4,
+                specs: 4
+            }
+        );
+
+        let rank3 = init::uniform(&mut rng, &[2, 4, 4], 0.0, 1.0);
+        assert!(matches!(
+            frozen.run(0, &rank3, &mut ws).unwrap_err(),
+            ServeError::BadInputRank(_)
+        ));
+
+        let narrow = init::uniform(&mut rng, &[2, 16], 0.0, 1.0);
+        assert!(matches!(
+            frozen.run(0, &narrow, &mut ws).unwrap_err(),
+            ServeError::ShapeMismatch { op: "linear", .. }
+        ));
+
+        // A good request still succeeds after the rejected ones.
+        assert!(frozen.run(0, &x, &mut ws).is_ok());
+    }
+
+    #[test]
     fn geometry_reports_gemm_dims() {
         let specs = specs4();
         let control = Arc::new(ResolutionControl::new(specs[0].resolution()));
         let net = mlp(&control);
         let frozen = FrozenModel::freeze(&net, &specs).unwrap();
-        let geom = frozen.geometry((1, 1, 1, 32));
+        let geom = frozen.geometry((1, 1, 1, 32)).unwrap();
         // Rank-4 input flows into the first linear as its batch dim; the
         // MLP test only checks the layer list and k/m fields.
         assert_eq!(geom.len(), 2);

@@ -411,7 +411,9 @@ pub fn evaluate_frozen_spec(
     let mut loss_sum = 0.0f64;
     let mut n_total = 0usize;
     for (x, labels) in batches {
-        let logits = frozen.run_tensor(spec_idx, x, ws);
+        let logits = frozen
+            .run_tensor(spec_idx, x, ws)
+            .expect("frozen serving rejected an eval batch");
         let (tp, vm) = ws.drain_counters();
         control.add_term_pairs(tp);
         control.add_value_macs(vm);

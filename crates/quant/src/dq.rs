@@ -84,6 +84,8 @@ impl DataLut {
     }
 
     /// Fake-quantizes `src` into `dst` (same length) through the table.
+    // analyze: allow(panic, the length assert is the admission check and the
+    // LUT covers every clamped level plus offset by construction)
     pub fn quantize_into(&self, src: &[f32], dst: &mut [f32]) {
         assert_eq!(src.len(), dst.len(), "data LUT length mismatch");
         for (d, &v) in dst.iter_mut().zip(src.iter()) {

@@ -46,6 +46,8 @@ impl Term {
     /// # Panics
     ///
     /// Panics if `exponent >= 63` (would overflow `i64`).
+    // analyze: allow(panic, packed stores cap exponents at the 3-bit field
+    // so every serving-path term satisfies the assert by construction)
     pub fn value(&self) -> i64 {
         assert!(self.exponent < 63, "term exponent too large for i64");
         let v = 1i64 << self.exponent;

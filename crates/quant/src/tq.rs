@@ -462,6 +462,8 @@ impl MultiResSlice {
     }
 
     /// Iterates `(group_value_range, group_terms)` pairs.
+    // analyze: allow(panic, the ends table is monotone and bounded by the
+    // term count by construction of encode so every window is in range)
     pub(crate) fn groups(&self) -> impl Iterator<Item = (usize, &[GroupTerm])> {
         self.ends.iter().enumerate().map(move |(g, &end)| {
             let start = if g == 0 { 0 } else { self.ends[g - 1] as usize };
@@ -514,6 +516,8 @@ impl MultiResSlice {
     /// # Panics
     ///
     /// Panics if `alpha > max_alpha` or `out.len() != len()`.
+    // analyze: allow(panic, budget and output length are asserted on entry
+    // and term indices are below glen by the encode invariant)
     pub fn write_scaled(&self, alpha: usize, scale: f32, out: &mut [f32]) {
         assert!(
             alpha <= self.max_alpha,

@@ -92,11 +92,15 @@ impl UniformQuantizer {
     }
 
     /// The real-valued step between adjacent levels.
+    // analyze: allow(panic, float division cannot trap and levels is at
+    // least one because bits is validated in 1..=16 at construction)
     pub fn scale(&self) -> f32 {
         self.clip / self.levels() as f32
     }
 
     /// Quantizes a real value to its integer level (clipping included).
+    // analyze: allow(panic, float division cannot trap -- scale is finite
+    // and positive because clip is validated positive at construction)
     pub fn quantize(&self, x: f32) -> i64 {
         let l = self.levels() as f32;
         let v = x / self.scale();

@@ -1,0 +1,81 @@
+//! Boundary agreement between the runtime and the `analyze` overflow
+//! proof (`cargo run -p xtask -- analyze`, DESIGN.md §15): the pinned
+//! worst-case magnitudes in `packed.rs` are *achieved exactly* by the
+//! encoders and kernels at the admission boundary, and one step past the
+//! boundary is rejected rather than silently widened. If a future change
+//! raises a constant, both this test and the analyzer's interval proof
+//! must move together.
+
+use mri_quant::packed::{MAX_PACKED_GROUP, MAX_VALUE_MAGNITUDE};
+use mri_quant::{PackedTermStore, SdrEncoding};
+
+/// `MAX_VALUE_MAGNITUDE` is the *attained* maximum of one reconstructed
+/// value, not just an upper bound: the Unsigned encoding of 255 keeps one
+/// term per exponent `0..=7` and rebuilds to exactly 255; every encoding
+/// of every admissible magnitude stays at or below it.
+#[test]
+fn value_magnitude_bound_is_exact() {
+    let st = PackedTermStore::encode(&[MAX_VALUE_MAGNITUDE], 1, usize::MAX, SdrEncoding::Unsigned)
+        .expect("255 fits the 3-bit exponent field");
+    assert_eq!(st.values_at(usize::MAX), vec![MAX_VALUE_MAGNITUDE]);
+
+    for enc in [
+        SdrEncoding::Unsigned,
+        SdrEncoding::Naf,
+        SdrEncoding::Booth,
+        SdrEncoding::Booth4,
+    ] {
+        for v in [
+            -MAX_VALUE_MAGNITUDE,
+            -128,
+            -1,
+            0,
+            1,
+            127,
+            MAX_VALUE_MAGNITUDE,
+        ] {
+            // Recoded forms (NAF/Booth) of boundary magnitudes may spill
+            // to exponent 8 and be rejected — rejection is fine, silent
+            // widening is not.
+            if let Ok(st) = PackedTermStore::encode(&[v], 1, usize::MAX, enc) {
+                let got = st.values_at(usize::MAX)[0];
+                assert_eq!(got, v, "{enc:?} must reconstruct {v}");
+                assert!(got.abs() <= MAX_VALUE_MAGNITUDE);
+            }
+        }
+    }
+}
+
+/// One past the boundary: 256 needs `+2^8`, which does not fit the packed
+/// 3-bit exponent field, so admission fails as a typed error — exactly the
+/// failure mode the analyzer's `group-reconstruct-i64` chain assumes away.
+#[test]
+fn one_past_the_value_bound_is_rejected() {
+    for enc in [SdrEncoding::Unsigned, SdrEncoding::Naf, SdrEncoding::Booth] {
+        assert!(
+            PackedTermStore::encode(&[MAX_VALUE_MAGNITUDE + 1], 1, usize::MAX, enc).is_err(),
+            "{enc:?} must reject 256"
+        );
+    }
+}
+
+/// The analyzer bounds one group's contribution to the i64 row dot by
+/// `MAX_PACKED_GROUP * 255 * 255`. Build that worst case for real — a full
+/// group of 255s against activations of 255 — and check the runtime dot
+/// hits the bound exactly (the value is below 2^24, so f32 is exact).
+#[test]
+fn worst_case_group_dot_meets_the_analyzer_bound_exactly() {
+    let values = vec![MAX_VALUE_MAGNITUDE; MAX_PACKED_GROUP];
+    let st = PackedTermStore::encode(&values, MAX_PACKED_GROUP, usize::MAX, SdrEncoding::Unsigned)
+        .expect("a full group of 255s packs");
+    assert_eq!(st.num_groups(), 1);
+
+    let x = vec![MAX_VALUE_MAGNITUDE as f32; MAX_PACKED_GROUP];
+    let got = st.dot_scaled(usize::MAX, 1.0, &x);
+    let bound = (MAX_PACKED_GROUP as i64) * MAX_VALUE_MAGNITUDE * MAX_VALUE_MAGNITUDE;
+    assert!(
+        bound < 1 << 24,
+        "bound must be exactly representable in f32"
+    );
+    assert_eq!(got, bound as f32, "runtime dot != analyzer group bound");
+}

@@ -56,6 +56,9 @@ impl Conv2dCfg {
     /// # Panics
     ///
     /// Panics if the kernel does not fit in the padded input.
+    // analyze: allow(panic, the fit assert is the documented admission check
+    // and FrozenModel::freeze rejects zero strides before this ever runs on
+    // the serving path)
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
         let (kh, kw) = self.kernel;
         let (sh, sw) = self.stride;
@@ -99,6 +102,8 @@ pub fn im2col(input: &Tensor, cfg: Conv2dCfg) -> Tensor {
 /// # Panics
 ///
 /// Panics if `data` or `out` do not match the geometry.
+// analyze: allow(panic, both buffer lengths are asserted against the
+// geometry on entry and the channel blocks partition the output exactly)
 pub fn im2col_into(
     data: &[f32],
     (n, c, h, w): (usize, usize, usize, usize),
@@ -135,6 +140,9 @@ pub fn im2col_into(
 
 /// Unfolds input channel `ci` into its `kh·kw` rows of the im2col matrix
 /// (`block`), for the whole batch.
+// analyze: allow(panic, source and destination offsets stay inside the
+// asserted geometry of the caller -- receptive-field windows are clipped to
+// the padded input before any index forms)
 fn im2col_channel(
     data: &[f32],
     block: &mut [f32],
@@ -340,6 +348,8 @@ pub fn gemm_to_nchw(prod: &Tensor, n: usize, ho: usize, wo: usize) -> Tensor {
 /// # Panics
 ///
 /// Panics if `prod` is not `o · n·ho·wo` long or `out` does not match.
+// analyze: allow(panic, both lengths are asserted on entry and the transpose
+// indices enumerate exactly that product space)
 pub fn gemm_to_nchw_into(prod: &[f32], o: usize, n: usize, ho: usize, wo: usize, out: &mut [f32]) {
     let hw = ho * wo;
     assert_eq!(prod.len(), o * n * hw, "gemm_to_nchw product mismatch");
@@ -604,6 +614,9 @@ pub fn depthwise_forward(input: &Tensor, weight: &Tensor, cfg: Conv2dCfg) -> Ten
 
 /// One channel of [`depthwise_forward`]: convolves `img` (`h × w`) with
 /// `ker` (`kh × kw`) into `dst` (`ho × wo`).
+// analyze: allow(panic, tap positions are range-checked against the padded
+// image before indexing and dst spans exactly ho times wo by the caller's
+// asserts)
 fn depthwise_channel(
     img: &[f32],
     ker: &[f32],
@@ -676,6 +689,8 @@ pub fn depthwise_forward_with(
 /// # Panics
 ///
 /// Panics if the slice lengths do not match the geometry.
+// analyze: allow(panic, all three buffer lengths are asserted against the
+// geometry on entry and the per-plane windows tile them exactly)
 pub fn depthwise_forward_with_into(
     data: &[f32],
     (n, c, h, w): (usize, usize, usize, usize),

@@ -80,6 +80,8 @@ pub fn maxpool2d(input: &Tensor, window: usize, stride: usize) -> MaxPoolOutput 
 }
 
 /// Max-pools a block of whole `(batch, channel)` planes starting at `bc0`.
+// analyze: allow(panic, window positions stay inside the image because the
+// caller asserts the window fits and ho and wo are derived from that fit)
 #[allow(clippy::too_many_arguments)]
 fn maxpool_block(
     data: &[f32],
@@ -127,6 +129,9 @@ fn maxpool_block(
 /// # Panics
 ///
 /// Panics if the window does not fit or the buffer lengths do not match.
+// analyze: allow(panic, the window fit and all three buffer lengths are
+// asserted on entry and FrozenModel::freeze rejects zero pool strides --
+// h minus window cannot underflow past the fit assert)
 pub fn maxpool2d_values_into(
     data: &[f32],
     (n, c, h, w): (usize, usize, usize, usize),
@@ -222,6 +227,8 @@ pub fn global_avgpool(input: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics if the slice lengths do not match the geometry.
+// analyze: allow(panic, both buffer lengths are asserted against the
+// geometry on entry and the plane chunks tile them exactly)
 pub fn global_avgpool_into(
     data: &[f32],
     (n, c, h, w): (usize, usize, usize, usize),
@@ -247,6 +254,8 @@ pub fn global_avgpool_into(
 
 /// Averages whole `(batch, channel)` planes starting at `bc0` into
 /// `out_block`, one output scalar per plane.
+// analyze: allow(panic, plane windows lie inside the asserted input length
+// and the divisor is a float cast so the division cannot trap)
 fn global_avg_block(data: &[f32], out_block: &mut [f32], bc0: usize, hw: usize) {
     for (u, o) in out_block.iter_mut().enumerate() {
         let base = (bc0 + u) * hw;

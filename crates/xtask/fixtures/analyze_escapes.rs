@@ -1,0 +1,28 @@
+//! serve-no-panic escape semantics: a justified line escape, a justified
+//! function-signature escape covering the body, a bare escape that still
+//! fails for its missing justification, and a multi-line justification.
+
+pub fn serve_entry(xs: &[f32]) -> f32 {
+    line_escaped(xs) + sig_escaped(xs) + bare_escape(xs) + wrapped_escape(xs)
+}
+
+fn line_escaped(xs: &[f32]) -> f32 {
+    // analyze: allow(panic, the caller admits only non-empty slices)
+    xs[0]
+}
+
+// analyze: allow(panic, every index is validated at freeze time)
+fn sig_escaped(xs: &[f32]) -> f32 {
+    xs[1]
+}
+
+fn bare_escape(xs: &[f32]) -> f32 {
+    // analyze: allow(panic)
+    xs[2]
+}
+
+fn wrapped_escape(xs: &[f32]) -> f32 {
+    // analyze: allow(panic, a justification long enough to wrap across
+    // comment lines must still read back in document order)
+    xs[3]
+}

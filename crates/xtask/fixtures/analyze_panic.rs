@@ -1,0 +1,24 @@
+//! serve-no-panic fixture: panic sources reachable from `serve_entry`
+//! through two helper hops, plus an unreached function the call-graph
+//! walk must leave alone.
+
+pub fn serve_entry(xs: &[f32], idx: usize) -> f32 {
+    stage_one(xs, idx)
+}
+
+fn stage_one(xs: &[f32], idx: usize) -> f32 {
+    let v = xs[idx];
+    v + stage_two(xs)
+}
+
+fn stage_two(xs: &[f32]) -> f32 {
+    let first = xs.first().unwrap();
+    if xs.len() > 4 {
+        panic!("too wide");
+    }
+    *first
+}
+
+pub fn unreached(xs: &[f32]) -> f32 {
+    xs.last().expect("never analyzed: not reachable from the root")
+}

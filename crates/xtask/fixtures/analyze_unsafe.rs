@@ -1,0 +1,20 @@
+//! unsafe-obligation ledger fixture: one site with a structured SAFETY
+//! obligation, one missing it, and one escaping a coverage gap.
+
+pub fn with_obligation(p: *mut f32) {
+    // SAFETY: the caller guarantees `p` points to a live f32 owned by
+    // this scope and no other alias observes it during the write.
+    unsafe { *p = 1.0 };
+}
+
+pub fn missing_comment(p: *mut f32) {
+    unsafe { *p = 2.0 };
+}
+
+pub fn coverage_escaped(p: *mut f32) {
+    // SAFETY: same exclusive-ownership argument as `with_obligation`,
+    // spelled out here because every site carries its own obligation.
+    // analyze: allow(unsafe-coverage, exercised indirectly through the
+    // pool scope loom tests of the owning package)
+    unsafe { *p = 3.0 };
+}

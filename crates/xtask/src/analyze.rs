@@ -1,0 +1,999 @@
+//! `cargo run -p xtask -- analyze` — static safety analyses for the
+//! serving path (DESIGN.md §15).
+//!
+//! Three passes over the lexed workspace:
+//!
+//! 1. **serve-no-panic** — walk the conservative call graph from the
+//!    serving roots (`FrozenModel::run`, the packed kernels,
+//!    `pool::parallel_for`) and flag every panic source in a reachable
+//!    function. Escapes: `analyze: allow(panic, <justification>)` on the
+//!    offending line or on the function signature (covering the body);
+//!    the justification is mandatory.
+//! 2. **packed-overflow proof** — read the admission constants from the
+//!    sources (never from this file: the analyzer must notice when the
+//!    code drifts) and check every accumulation chain's worst-case
+//!    magnitude against its register width by interval arithmetic. The
+//!    proved bounds are pinned into `crates/quant/src/packed.rs` as
+//!    `const _: () = assert!(...)` items between generated-pin markers;
+//!    the pass regenerates the pin text and fails if the source block
+//!    does not match.
+//! 3. **unsafe-obligation ledger** — enumerate every `unsafe` site in
+//!    serving builds, extract its structured `SAFETY:` obligation, and
+//!    cross-reference the loom/miri coverage declared in
+//!    `scripts/check.sh`. Uncovered packages need an
+//!    `analyze: allow(unsafe-coverage, <justification>)` escape.
+//!
+//! Artifacts: `results/analyze.json` (machine-readable proof report) and
+//! `UNSAFETY.md` (the human-readable ledger), both rendered here and
+//! written by the `analyze` subcommand in `main.rs`.
+
+use std::collections::HashSet;
+
+use crate::callgraph::{package_of, DepClosure, Graph, RootSpec, SourceFile};
+use crate::lexer::Line;
+use crate::scanner::{panic_sources, PanicKind};
+use crate::Finding;
+
+/// The serving roots: everything a request touches after admission.
+pub const SERVE_ROOTS: &[RootSpec] = &[
+    RootSpec {
+        container: Some("FrozenModel"),
+        name: "run",
+    },
+    RootSpec {
+        container: Some("PackedTermStore"),
+        name: "dot_scaled",
+    },
+    RootSpec {
+        container: None,
+        name: "matmul_bt_packed",
+    },
+    RootSpec {
+        container: None,
+        name: "matmul_packed_lhs",
+    },
+    RootSpec {
+        container: Some("Pool"),
+        name: "parallel_for",
+    },
+    RootSpec {
+        container: None,
+        name: "parallel_for",
+    },
+];
+
+// ------------------------------------------------------------- constants
+
+/// Admission constants read out of the workspace sources. Every field
+/// names the file it is parsed from; the analyzer fails loudly when a
+/// constant disappears or stops being a literal.
+#[derive(Debug, Clone)]
+pub struct Consts {
+    /// `MAX_PACKED_EXPONENT` (crates/quant/src/storage.rs): largest
+    /// power-of-two exponent a packed nibble can carry.
+    pub max_packed_exponent: u128,
+    /// `MAX_PACKED_GROUP` (crates/quant/src/packed.rs): largest group the
+    /// byte-wide index memory can address.
+    pub max_packed_group: u128,
+    /// `MAX_SERVE_ROW_GROUPS` (crates/quant/src/packed.rs): freeze-time
+    /// ceiling on groups per weight row.
+    pub max_serve_row_groups: u128,
+    /// `MAX_GROUP_STACK` (crates/quant/src/tq.rs): stack-allocated group
+    /// scratch before spilling.
+    pub max_group_stack: u128,
+    /// Largest α over the `SubModelSpec::new` grids (crates/core/src/spec.rs).
+    pub max_alpha: u128,
+    /// Largest β over the same grids.
+    pub max_beta: u128,
+    /// Largest `data_bits` any layer config declares (crates/core/src/qlayers.rs).
+    pub max_data_bits: u128,
+    /// `ACC_BITS` (crates/hw/src/accumulator.rs): simulated mMAC register width.
+    pub acc_bits: u128,
+}
+
+impl Consts {
+    /// Worst-case magnitude of one reconstructed group value: canonical SDR
+    /// encodings emit at most one term per exponent per value, so
+    /// `sum 2^e for e in 0..=e_max = 2^(e_max+1) - 1`.
+    pub fn value_magnitude(&self) -> u128 {
+        saturating_pow2(self.max_packed_exponent + 1) - 1
+    }
+
+    /// Worst-case activation magnitude: `2^data_bits - 1` (deliberately a
+    /// power-of-two ceiling over the symmetric-quantization range).
+    pub fn data_magnitude(&self) -> u128 {
+        saturating_pow2(self.max_data_bits) - 1
+    }
+}
+
+/// `2^exp` saturating at `u128::MAX`: doctored constants must surface as
+/// failing bounds, never as a shift panic inside the analyzer.
+fn saturating_pow2(exp: u128) -> u128 {
+    u32::try_from(exp)
+        .ok()
+        .and_then(|s| 1u128.checked_shl(s))
+        .unwrap_or(u128::MAX)
+}
+
+/// Parses `const NAME: ... = <int literal | A << B>;` from a lexed file.
+fn parse_const(lines: &[Line], name: &str) -> Option<u128> {
+    let pat = format!("const {name}:");
+    for line in lines {
+        let Some(pos) = line.code.find(&pat) else {
+            continue;
+        };
+        let rest = &line.code[pos + pat.len()..];
+        let expr = rest.split('=').nth(1)?.split(';').next()?;
+        return eval_int_expr(expr);
+    }
+    None
+}
+
+/// Evaluates `INT` or `INT << INT` with `_` separators and type suffixes.
+fn eval_int_expr(expr: &str) -> Option<u128> {
+    let expr = expr.trim();
+    if let Some((lhs, rhs)) = expr.split_once("<<") {
+        let l = parse_int(lhs)?;
+        let r = parse_int(rhs)?;
+        return l.checked_shl(u32::try_from(r).ok()?);
+    }
+    parse_int(expr)
+}
+
+fn parse_int(tok: &str) -> Option<u128> {
+    let digits: String = tok
+        .trim()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| c.is_ascii_digit())
+        .collect();
+    if digits.is_empty() {
+        None
+    } else {
+        digits.parse().ok()
+    }
+}
+
+/// Largest `(α, β)` over every `SubModelSpec::new(<int>, <int>)` literal.
+fn max_spec_grid(lines: &[Line]) -> Option<(u128, u128)> {
+    let mut best: Option<(u128, u128)> = None;
+    for line in lines {
+        let mut from = 0;
+        while let Some(pos) = line.code[from..].find("SubModelSpec::new(") {
+            let abs = from + pos + "SubModelSpec::new(".len();
+            from = abs;
+            let rest = &line.code[abs..];
+            let Some(args) = rest.split(')').next() else {
+                continue;
+            };
+            let mut it = args.split(',');
+            let (Some(a), Some(b)) = (it.next().and_then(parse_int), it.next().and_then(parse_int))
+            else {
+                continue;
+            };
+            let cur = best.get_or_insert((0, 0));
+            cur.0 = cur.0.max(a);
+            cur.1 = cur.1.max(b);
+        }
+    }
+    best
+}
+
+/// Largest integer following any `"<field>:"` occurrence (struct literals;
+/// type ascriptions like `data_bits: u32` simply fail the int parse).
+fn max_field_literal(lines: &[Line], field: &str) -> Option<u128> {
+    let pat = format!("{field}:");
+    let mut best: Option<u128> = None;
+    for line in lines {
+        let mut from = 0;
+        while let Some(pos) = line.code[from..].find(&pat) {
+            let abs = from + pos + pat.len();
+            from = abs;
+            let val: String = line.code[abs..]
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '_')
+                .collect();
+            if let Some(v) = parse_int(&val) {
+                best = Some(best.map_or(v, |b| b.max(v)));
+            }
+        }
+    }
+    best
+}
+
+/// Reads every admission constant from the workspace sources, reporting
+/// each missing one as an `overflow` finding.
+pub fn parse_consts(files: &[SourceFile], findings: &mut Vec<Finding>) -> Option<Consts> {
+    let by_suffix = |suffix: &str| files.iter().find(|f| f.rel.ends_with(suffix));
+    let mut missing = |what: &str, rel: &str| {
+        findings.push(Finding::new(
+            rel,
+            1,
+            "overflow",
+            format!("analyzer could not read {what}; the overflow proof has lost sight of an admission constant"),
+        ));
+    };
+    let storage = by_suffix("quant/src/storage.rs");
+    let packed = by_suffix("quant/src/packed.rs");
+    let tq = by_suffix("quant/src/tq.rs");
+    let spec = by_suffix("core/src/spec.rs");
+    let qlayers = by_suffix("core/src/qlayers.rs");
+    let acc = by_suffix("hw/src/accumulator.rs");
+
+    let max_packed_exponent = storage.and_then(|f| parse_const(&f.lines, "MAX_PACKED_EXPONENT"));
+    let max_packed_group = packed.and_then(|f| parse_const(&f.lines, "MAX_PACKED_GROUP"));
+    let max_serve_row_groups = packed.and_then(|f| parse_const(&f.lines, "MAX_SERVE_ROW_GROUPS"));
+    let max_group_stack = tq.and_then(|f| parse_const(&f.lines, "MAX_GROUP_STACK"));
+    let grid = spec.and_then(|f| max_spec_grid(&f.lines));
+    let max_data_bits = qlayers.and_then(|f| max_field_literal(&f.lines, "data_bits"));
+    let acc_bits = acc.and_then(|f| parse_const(&f.lines, "ACC_BITS"));
+
+    if max_packed_exponent.is_none() {
+        missing("MAX_PACKED_EXPONENT", "crates/quant/src/storage.rs");
+    }
+    if max_packed_group.is_none() {
+        missing("MAX_PACKED_GROUP", "crates/quant/src/packed.rs");
+    }
+    if max_serve_row_groups.is_none() {
+        missing("MAX_SERVE_ROW_GROUPS", "crates/quant/src/packed.rs");
+    }
+    if max_group_stack.is_none() {
+        missing("MAX_GROUP_STACK", "crates/quant/src/tq.rs");
+    }
+    if grid.is_none() {
+        missing("the SubModelSpec::new grids", "crates/core/src/spec.rs");
+    }
+    if max_data_bits.is_none() {
+        missing("any data_bits literal", "crates/core/src/qlayers.rs");
+    }
+    if acc_bits.is_none() {
+        missing("ACC_BITS", "crates/hw/src/accumulator.rs");
+    }
+    Some(Consts {
+        max_packed_exponent: max_packed_exponent?,
+        max_packed_group: max_packed_group?,
+        max_serve_row_groups: max_serve_row_groups?,
+        max_group_stack: max_group_stack?,
+        max_alpha: grid?.0,
+        max_beta: grid?.1,
+        max_data_bits: max_data_bits?,
+        acc_bits: acc_bits?,
+    })
+}
+
+// ------------------------------------------------------- overflow chains
+
+/// One accumulation chain's worst-case interval bound.
+#[derive(Debug, Clone)]
+pub struct ChainBound {
+    pub name: &'static str,
+    /// The closed-form worst case, spelled out for the report.
+    pub formula: String,
+    pub bound: u128,
+    pub limit: u128,
+    pub ok: bool,
+}
+
+fn chain(name: &'static str, formula: String, bound: u128, limit: u128) -> ChainBound {
+    ChainBound {
+        name,
+        formula,
+        bound,
+        limit,
+        ok: bound <= limit,
+    }
+}
+
+/// Every `i64`/`u64` accumulation chain on the serving path, bounded by
+/// interval arithmetic over the admission constants.
+pub fn overflow_chains(c: &Consts) -> Vec<ChainBound> {
+    let v = c.value_magnitude();
+    let x = c.data_magnitude();
+    let e = c.max_packed_exponent;
+    let mul = |terms: &[u128]| -> u128 {
+        terms
+            .iter()
+            .try_fold(1u128, |acc, &t| acc.checked_mul(t))
+            .unwrap_or(u128::MAX)
+    };
+    let pow2 = saturating_pow2;
+    vec![
+        // PackedSlice::accumulate_into: out[i] += term.value() per index;
+        // canonical encodings carry at most one term per exponent per value.
+        chain(
+            "group-reconstruct-i64",
+            format!("2^({e}+1) - 1 = {v}"),
+            v,
+            i64::MAX as u128,
+        ),
+        // The byte-wide index memory stores in-group indices as u8.
+        chain(
+            "index-memory-u8",
+            format!("MAX_PACKED_GROUP = {}", c.max_packed_group),
+            c.max_packed_group,
+            1 << 8,
+        ),
+        // GroupValues keeps MAX_GROUP_STACK slots inline; a group must fit.
+        chain(
+            "group-stack",
+            format!("MAX_GROUP_STACK = {}", c.max_group_stack),
+            c.max_group_stack,
+            c.max_packed_group,
+        ),
+        // dot_scaled / matmul row reduction in i64: every value of every
+        // group of a row at worst-case magnitude against extreme data.
+        chain(
+            "row-dot-i64",
+            format!(
+                "MAX_SERVE_ROW_GROUPS({}) * MAX_PACKED_GROUP({}) * {v} * {x}",
+                c.max_serve_row_groups, c.max_packed_group
+            ),
+            mul(&[c.max_serve_row_groups, c.max_packed_group, v, x]),
+            i64::MAX as u128,
+        ),
+        // mri-hw TermAccumulator asserts `exponent < ACC_BITS`; a term-pair
+        // exponent is at most e_w + e_x = 2 * e_max.
+        chain(
+            "hw-pair-exponent",
+            format!("2 * {e}"),
+            2 * e,
+            c.acc_bits - 1,
+        ),
+        // mMAC u64 register: as if every value contributed γ = α·β pairs,
+        // each worth 2^(2 e_max).
+        chain(
+            "hw-register-u64",
+            format!(
+                "MAX_SERVE_ROW_GROUPS({}) * MAX_PACKED_GROUP({}) * alpha({}) * beta({}) * 2^(2*{e})",
+                c.max_serve_row_groups, c.max_packed_group, c.max_alpha, c.max_beta
+            ),
+            mul(&[
+                c.max_serve_row_groups,
+                c.max_packed_group,
+                c.max_alpha,
+                c.max_beta,
+                pow2(2 * e),
+            ]),
+            u64::MAX as u128,
+        ),
+    ]
+}
+
+/// Marker opening the generated pin block in packed.rs. Matched against the
+/// lexer's comment stream, which strips the `//` markers.
+pub const PIN_BEGIN: &str = "--- analyze: overflow bound pins";
+/// Marker closing it.
+pub const PIN_END: &str = "--- end analyze: overflow bound pins";
+
+/// The pin lines the overflow proof expects between the markers in
+/// `crates/quant/src/packed.rs` (compared whitespace-insensitively, so
+/// rustfmt re-wrapping cannot break the match).
+pub fn expected_pins(c: &Consts) -> Vec<String> {
+    let v = c.value_magnitude();
+    let x = c.data_magnitude();
+    vec![
+        format!("pub const MAX_VALUE_MAGNITUDE: i64 = {v};"),
+        format!("const _: () = assert!(MAX_PACKED_GROUP <= {});", 1u128 << 8),
+        "const _: () = assert!(MAX_GROUP_STACK <= MAX_PACKED_GROUP);".to_string(),
+        format!(
+            "const _: () = assert!((MAX_SERVE_ROW_GROUPS as u128) * (MAX_PACKED_GROUP as u128) * {v} * {x} <= i64::MAX as u128);"
+        ),
+    ]
+}
+
+/// Verifies the generated pin block in packed.rs matches `expected_pins`.
+pub fn verify_pins(files: &[SourceFile], c: &Consts, findings: &mut Vec<Finding>) {
+    let Some(packed) = files
+        .iter()
+        .find(|f| f.rel.ends_with("quant/src/packed.rs"))
+    else {
+        return; // already reported by parse_consts
+    };
+    let begin = packed
+        .lines
+        .iter()
+        .position(|l| l.comment.contains(PIN_BEGIN));
+    let end = packed
+        .lines
+        .iter()
+        .position(|l| l.comment.contains(PIN_END));
+    let expected = expected_pins(c);
+    let render = |lines: &[String]| -> String {
+        lines
+            .iter()
+            .flat_map(|l| l.chars())
+            .filter(|ch| !ch.is_whitespace())
+            .collect()
+    };
+    let (Some(b), Some(e)) = (begin, end) else {
+        findings.push(Finding::new(
+            &packed.rel,
+            1,
+            "overflow",
+            format!(
+                "missing generated pin block; add between `{PIN_BEGIN}` and `{PIN_END}` markers:\n{}",
+                expected.join("\n")
+            ),
+        ));
+        return;
+    };
+    let got: Vec<String> = packed.lines[b + 1..e]
+        .iter()
+        .map(|l| l.code.clone())
+        .collect();
+    if render(&got) != render(&expected) {
+        findings.push(Finding::new(
+            &packed.rel,
+            b + 2,
+            "overflow",
+            format!(
+                "pin block is stale for the current admission constants; expected:\n{}",
+                expected.join("\n")
+            ),
+        ));
+    }
+}
+
+// --------------------------------------------------------- serve-no-panic
+
+/// The comments attached to line `idx`, in document order (top first).
+fn attached_comment_lines(lines: &[Line], idx: usize) -> Vec<String> {
+    let mut collected = vec![lines[idx].comment.clone()];
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        let code = l.code.trim();
+        if code.is_empty() && l.comment.trim().is_empty() {
+            break;
+        }
+        if code.ends_with(';') || code.ends_with('}') {
+            break;
+        }
+        collected.push(l.comment.clone());
+    }
+    collected.reverse();
+    collected
+}
+
+/// The justification of an `analyze: allow(<rule>, ...)` escape attached to
+/// line `idx`. `Some(Ok(text))` for a justified escape, `Some(Err(()))` for
+/// an escape with an empty justification, `None` for no escape.
+fn escape_justification(lines: &[Line], idx: usize, rule: &str) -> Option<Result<String, ()>> {
+    // Document order, so multi-line justifications read back correctly.
+    let text = attached_comment_lines(lines, idx).join("\n");
+    let marker = format!("analyze: allow({rule}");
+    let pos = text.find(&marker)?;
+    let rest = &text[pos + marker.len()..];
+    let Some(rest) = rest.strip_prefix(',') else {
+        return Some(Err(())); // `analyze: allow(panic)` with no justification
+    };
+    let just = rest.split(')').next().unwrap_or("");
+    let just = just
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .trim_start_matches('/')
+        .trim()
+        .to_string();
+    if just.is_empty() {
+        Some(Err(()))
+    } else {
+        Some(Ok(just))
+    }
+}
+
+/// Serve-no-panic results: findings plus traversal statistics.
+pub struct NoPanicResult {
+    pub roots: Vec<String>,
+    pub reachable_fns: usize,
+    pub escaped: usize,
+}
+
+/// Walks the call graph from `roots` and reports every unescaped panic
+/// source in a reachable function.
+pub fn serve_no_panic(
+    files: &[SourceFile],
+    graph: &Graph,
+    roots: &[RootSpec],
+    findings: &mut Vec<Finding>,
+) -> NoPanicResult {
+    let mut root_idx: Vec<usize> = Vec::new();
+    let mut root_labels: Vec<String> = Vec::new();
+    for spec in roots {
+        let found = graph.find_roots(*spec);
+        if found.is_empty() {
+            let label = match spec.container {
+                Some(c) => format!("{c}::{}", spec.name),
+                None => spec.name.to_string(),
+            };
+            findings.push(Finding::new(
+                "(workspace)",
+                1,
+                "serve-no-panic",
+                format!("serving root `{label}` not found; the analyzer's root list is stale"),
+            ));
+            continue;
+        }
+        for i in found {
+            root_labels.push(graph.label(i));
+            root_idx.push(i);
+        }
+    }
+    let reached = graph.reachable(&root_idx);
+    let mut escaped = 0usize;
+    let mut seen: HashSet<(String, usize, String)> = HashSet::new();
+    let mut ordered: Vec<usize> = reached.keys().copied().collect();
+    ordered.sort_unstable();
+    for item_idx in ordered {
+        let item = &graph.fns[item_idx];
+        let file = &files[item.file];
+        for src in panic_sources(&file.lines, item) {
+            if !seen.insert((file.rel.clone(), src.line, src.what.clone())) {
+                continue;
+            }
+            let line_escape = escape_justification(&file.lines, src.line, "panic");
+            let fn_escape = escape_justification(&file.lines, item.sig_line, "panic");
+            match line_escape.or(fn_escape) {
+                Some(Ok(_)) => {
+                    escaped += 1;
+                    continue;
+                }
+                Some(Err(())) => {
+                    findings.push(Finding::new(
+                        &file.rel,
+                        src.line + 1,
+                        "serve-no-panic",
+                        "`analyze: allow(panic)` escape is missing its justification; write `analyze: allow(panic, <why this cannot fire>)`"
+                            .to_string(),
+                    ));
+                    continue;
+                }
+                None => {}
+            }
+            let what = match src.kind {
+                PanicKind::Macro => format!("panicking macro `{}`", src.what),
+                PanicKind::Unwrap => format!("`.{}(...)`", src.what),
+                PanicKind::Index => format!("bracket indexing `{}`", src.what),
+                PanicKind::Div => format!("unchecked integer division `{}`", src.what),
+                PanicKind::SlicePattern => "irrefutable slice pattern".to_string(),
+            };
+            findings.push(Finding::new(
+                &file.rel,
+                src.line + 1,
+                "serve-no-panic",
+                format!(
+                    "{what} reachable from a serving root via {}; move the fallibility to freeze time or escape with `analyze: allow(panic, <justification>)`",
+                    graph.path_to(&reached, item_idx)
+                ),
+            ));
+        }
+    }
+    NoPanicResult {
+        roots: root_labels,
+        reachable_fns: reached.len(),
+        escaped,
+    }
+}
+
+// ------------------------------------------------------------ unsafe ledger
+
+/// One `unsafe` site in a serving build.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub rel: String,
+    /// 1-based line.
+    pub line: usize,
+    pub kind: &'static str,
+    pub package: String,
+    /// The structured `SAFETY:` obligation text ("" when missing).
+    pub obligation: String,
+    /// Which loom/miri suites exercise this package.
+    pub coverage: Vec<String>,
+}
+
+/// loom/miri coverage declared by `scripts/check.sh`.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    /// `(package, loom test target)` pairs.
+    pub loom: Vec<(String, String)>,
+    /// Packages the miri step runs.
+    pub miri: Vec<String>,
+}
+
+/// Parses the loom target list and the miri package list out of the
+/// check script (`"mri-sync loom_pool"` strings; `-p mri-sync` flags on
+/// the miri line).
+pub fn parse_coverage(check_sh: &str) -> Coverage {
+    let mut cov = Coverage::default();
+    for raw in check_sh.lines() {
+        let line = raw.trim();
+        // Quoted "<pkg> <loom_target>" pairs.
+        let mut rest = line;
+        while let Some(open) = rest.find('"') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('"') else { break };
+            let inner = &tail[..close];
+            if let Some((pkg, target)) = inner.split_once(' ') {
+                if pkg.starts_with("mri") && target.starts_with("loom") {
+                    cov.loom.push((pkg.to_string(), target.to_string()));
+                }
+            }
+            rest = &tail[close + 1..];
+        }
+        if line.contains("miri") {
+            let mut toks = line.split_whitespace().peekable();
+            while let Some(tok) = toks.next() {
+                if tok == "-p" {
+                    if let Some(pkg) = toks.peek() {
+                        if pkg.starts_with("mri") && !cov.miri.contains(&pkg.to_string()) {
+                            cov.miri.push(pkg.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cov
+}
+
+/// Enumerates every `unsafe` site outside test/loom-gated regions,
+/// extracts obligations and coverage, and reports ledger violations.
+pub fn unsafe_ledger(
+    files: &[SourceFile],
+    coverage: &Coverage,
+    findings: &mut Vec<Finding>,
+) -> Vec<UnsafeSite> {
+    let mut sites = Vec::new();
+    for file in files {
+        let gated = crate::scanner::gated_regions(&file.lines);
+        let stem = file.stem.as_str();
+        for (i, line) in file.lines.iter().enumerate() {
+            if gated[i] || !crate::rules::has_word(&line.code, "unsafe") {
+                continue;
+            }
+            let t = line.code.trim_start();
+            let kind = if t.starts_with("unsafe impl") || t.contains(" unsafe impl ") {
+                "impl"
+            } else if line.code.contains("unsafe fn") {
+                "fn"
+            } else {
+                "block"
+            };
+            let package = package_of(&file.rel);
+            // Obligation: the SAFETY: text in the attached comments, in
+            // document order, from the marker to the end of the block.
+            let comment_lines = attached_comment_lines(&file.lines, i);
+            let mut obligation = String::new();
+            let mut in_safety = false;
+            for c in &comment_lines {
+                if c.contains("analyze: allow(") {
+                    // Escape annotations ride in the same comment block but
+                    // are not part of the safety argument.
+                    in_safety = false;
+                } else if let Some(pos) = c.find("SAFETY:") {
+                    in_safety = true;
+                    obligation.push_str(c[pos + "SAFETY:".len()..].trim());
+                    obligation.push(' ');
+                } else if in_safety {
+                    let cont = c.trim().trim_start_matches('/').trim();
+                    obligation.push_str(cont);
+                    obligation.push(' ');
+                }
+            }
+            let obligation = obligation.trim().to_string();
+            let mut cov: Vec<String> = Vec::new();
+            for (pkg, target) in &coverage.loom {
+                if *pkg == package {
+                    let direct = target.contains(stem);
+                    cov.push(if direct {
+                        format!("loom: {pkg} {target}")
+                    } else {
+                        format!("loom (package): {pkg} {target}")
+                    });
+                }
+            }
+            if coverage.miri.iter().any(|p| p == &package) {
+                cov.push(format!("miri: {package} --lib"));
+            }
+            if obligation.split_whitespace().count() < 4 {
+                findings.push(Finding::new(
+                    &file.rel,
+                    i + 1,
+                    "unsafe-ledger",
+                    "unsafe site needs a structured `SAFETY:` comment naming its obligation (at least a full sentence)"
+                        .to_string(),
+                ));
+            }
+            if cov.is_empty() {
+                match escape_justification(&file.lines, i, "unsafe-coverage") {
+                    Some(Ok(why)) => cov.push(format!("escaped: {why}")),
+                    _ => findings.push(Finding::new(
+                        &file.rel,
+                        i + 1,
+                        "unsafe-ledger",
+                        format!(
+                            "no loom/miri suite in scripts/check.sh covers package `{package}`; add coverage or escape with `analyze: allow(unsafe-coverage, <justification>)`"
+                        ),
+                    )),
+                }
+            }
+            sites.push(UnsafeSite {
+                rel: file.rel.clone(),
+                line: i + 1,
+                kind,
+                package,
+                obligation,
+                coverage: cov,
+            });
+        }
+    }
+    sites
+}
+
+// ------------------------------------------------------------- the report
+
+/// Everything one `analyze` run produced.
+pub struct AnalyzeReport {
+    pub files_checked: usize,
+    pub no_panic: NoPanicResult,
+    pub consts: Option<Consts>,
+    pub chains: Vec<ChainBound>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub findings: Vec<Finding>,
+}
+
+impl AnalyzeReport {
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty() && self.chains.iter().all(|c| c.ok)
+    }
+}
+
+/// Runs all three analyses over already-lexed sources. `check_sh` is the
+/// text of `scripts/check.sh` (empty in fixture tests that do not care
+/// about coverage).
+pub fn analyze_sources(
+    files: &[SourceFile],
+    roots: &[RootSpec],
+    check_sh: &str,
+    deps: &DepClosure,
+) -> AnalyzeReport {
+    let mut findings = Vec::new();
+    let graph = Graph::build(files, deps);
+    let no_panic = serve_no_panic(files, &graph, roots, &mut findings);
+    let consts = parse_consts(files, &mut findings);
+    let mut chains = Vec::new();
+    if let Some(c) = &consts {
+        chains = overflow_chains(c);
+        for ch in &chains {
+            if !ch.ok {
+                findings.push(Finding::new(
+                    "crates/quant/src/packed.rs",
+                    1,
+                    "overflow",
+                    format!(
+                        "accumulation chain `{}` can overflow: worst case {} = {} > limit {}",
+                        ch.name, ch.formula, ch.bound, ch.limit
+                    ),
+                ));
+            }
+        }
+        verify_pins(files, c, &mut findings);
+    }
+    let coverage = parse_coverage(check_sh);
+    let unsafe_sites = unsafe_ledger(files, &coverage, &mut findings);
+    findings.sort_by(|a, b| (&a.rel, a.line).cmp(&(&b.rel, b.line)));
+    AnalyzeReport {
+        files_checked: files.len(),
+        no_panic,
+        consts,
+        chains,
+        unsafe_sites,
+        findings,
+    }
+}
+
+// ------------------------------------------------------------- rendering
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable proof report (`results/analyze.json`).
+/// Bounds are decimal strings: a failing chain can exceed 2^53 and JSON
+/// numbers cannot carry it faithfully.
+pub fn render_json(r: &AnalyzeReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": 1,\n");
+    s.push_str(&format!("  \"ok\": {},\n", r.ok()));
+    s.push_str(&format!("  \"files_checked\": {},\n", r.files_checked));
+    s.push_str("  \"serve_no_panic\": {\n    \"roots\": [");
+    s.push_str(
+        &r.no_panic
+            .roots
+            .iter()
+            .map(|l| format!("\"{}\"", json_escape(l)))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    s.push_str("],\n");
+    s.push_str(&format!(
+        "    \"reachable_fns\": {},\n    \"escaped\": {}\n  }},\n",
+        r.no_panic.reachable_fns, r.no_panic.escaped
+    ));
+    s.push_str("  \"overflow\": {\n");
+    if let Some(c) = &r.consts {
+        s.push_str(&format!(
+            "    \"consts\": {{\"max_packed_exponent\": {}, \"max_packed_group\": {}, \"max_serve_row_groups\": {}, \"max_group_stack\": {}, \"max_alpha\": {}, \"max_beta\": {}, \"max_data_bits\": {}, \"acc_bits\": {}}},\n",
+            c.max_packed_exponent,
+            c.max_packed_group,
+            c.max_serve_row_groups,
+            c.max_group_stack,
+            c.max_alpha,
+            c.max_beta,
+            c.max_data_bits,
+            c.acc_bits
+        ));
+    } else {
+        s.push_str("    \"consts\": null,\n");
+    }
+    s.push_str("    \"chains\": [\n");
+    let chains: Vec<String> = r
+        .chains
+        .iter()
+        .map(|ch| {
+            format!(
+                "      {{\"name\": \"{}\", \"formula\": \"{}\", \"bound\": \"{}\", \"limit\": \"{}\", \"ok\": {}}}",
+                json_escape(ch.name),
+                json_escape(&ch.formula),
+                ch.bound,
+                ch.limit,
+                ch.ok
+            )
+        })
+        .collect();
+    s.push_str(&chains.join(",\n"));
+    s.push_str("\n    ]\n  },\n");
+    s.push_str("  \"unsafe_ledger\": [\n");
+    let sites: Vec<String> = r
+        .unsafe_sites
+        .iter()
+        .map(|u| {
+            format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"package\": \"{}\", \"obligation\": \"{}\", \"coverage\": [{}]}}",
+                json_escape(&u.rel),
+                u.line,
+                u.kind,
+                json_escape(&u.package),
+                json_escape(&u.obligation),
+                u.coverage
+                    .iter()
+                    .map(|c| format!("\"{}\"", json_escape(c)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+        .collect();
+    s.push_str(&sites.join(",\n"));
+    s.push_str("\n  ],\n");
+    s.push_str("  \"findings\": [\n");
+    let findings: Vec<String> = r
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&f.rel),
+                f.line,
+                f.rule,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    s.push_str(&findings.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Renders the human-readable unsafe ledger (`UNSAFETY.md`).
+pub fn render_unsafety_md(r: &AnalyzeReport) -> String {
+    let mut s = String::new();
+    s.push_str("# UNSAFETY — unsafe-obligation ledger\n\n");
+    s.push_str(
+        "Generated by `cargo run -p xtask -- analyze`; do not edit by hand.\n\
+         Every `unsafe` site compiled into serving builds, the obligation its\n\
+         `SAFETY:` comment claims, and the loom/miri suite (from\n\
+         `scripts/check.sh`) that exercises it. The analyze pass fails CI when\n\
+         a site is missing its obligation or its package loses coverage.\n\n",
+    );
+    s.push_str(&format!(
+        "Sites: {} · serve-no-panic roots: {} · reachable fns: {} · justified panic escapes: {}\n\n",
+        r.unsafe_sites.len(),
+        r.no_panic.roots.len(),
+        r.no_panic.reachable_fns,
+        r.no_panic.escaped
+    ));
+    let mut packages: Vec<&str> = r.unsafe_sites.iter().map(|u| u.package.as_str()).collect();
+    packages.sort_unstable();
+    packages.dedup();
+    for pkg in packages {
+        s.push_str(&format!("## {pkg}\n\n"));
+        for u in r.unsafe_sites.iter().filter(|u| u.package == pkg) {
+            s.push_str(&format!(
+                "- `{}:{}` (`unsafe {}`)\n  - obligation: {}\n  - coverage: {}\n",
+                u.rel,
+                u.line,
+                u.kind,
+                if u.obligation.is_empty() {
+                    "**MISSING**"
+                } else {
+                    &u.obligation
+                },
+                if u.coverage.is_empty() {
+                    "**NONE**".to_string()
+                } else {
+                    u.coverage.join("; ")
+                }
+            ));
+        }
+        s.push('\n');
+    }
+    s.push_str("## Proved accumulator bounds\n\n");
+    for ch in &r.chains {
+        s.push_str(&format!(
+            "- `{}`: {} = {} ≤ {} — {}\n",
+            ch.name,
+            ch.formula,
+            ch.bound,
+            ch.limit,
+            if ch.ok { "ok" } else { "**OVERFLOW**" }
+        ));
+    }
+    s
+}
+
+// ---------------------------------------------------------- workspace run
+
+/// Lexes every workspace source under `root` (same walk and skip list as
+/// lint). Public so the seeded-failure tests can mutate one file in memory
+/// and re-run the analyses over an otherwise-real workspace.
+pub fn workspace_sources(root: &std::path::Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut rs_files = Vec::new();
+    crate::collect_rs_files(root, &mut rs_files)?;
+    rs_files.sort();
+    let mut files = Vec::new();
+    for path in &rs_files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(path)?;
+        files.push(SourceFile::new(&rel, &source));
+    }
+    Ok(files)
+}
+
+/// Lexes the workspace and runs every analysis with the real roots and the
+/// real check-script coverage.
+pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<AnalyzeReport> {
+    let files = workspace_sources(root)?;
+    let check_sh = std::fs::read_to_string(root.join("scripts/check.sh")).unwrap_or_default();
+    let deps = crate::callgraph::dep_closure(root);
+    Ok(analyze_sources(&files, SERVE_ROOTS, &check_sh, &deps))
+}

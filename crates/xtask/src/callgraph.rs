@@ -1,0 +1,504 @@
+//! Conservative intra-workspace call graph over [`crate::scanner`] items.
+//!
+//! Resolution is name-based (no type inference), tuned to over-approximate
+//! *workspace* reachability while refusing to invent edges through std:
+//!
+//! * `Qual::name(...)` resolves to functions whose `impl` type, enclosing
+//!   inline `mod`, or file stem matches `Qual`. An unknown qualifier
+//!   (`Vec::new`, `std::mem::take`) produces **no** edge — qualified calls
+//!   are precise, and mapping them to every same-named workspace function
+//!   would drown the graph (every `new` would be reachable).
+//! * `self.name(...)` prefers methods of the caller's own `impl` type and
+//!   falls back to every workspace method of that name.
+//! * `recv.name(...)` with an unknown receiver maps to every workspace
+//!   *method* of that name (never free functions).
+//! * `name(...)` prefers free functions in the caller's file, then any
+//!   workspace free function of that name. Closures are not items: a
+//!   closure body is attributed to its enclosing function, so callback
+//!   bodies are walked whenever their definer is reachable (the
+//!   higher-order call through the function parameter itself carries no
+//!   edge — see DESIGN.md §15).
+//!
+//! Functions gated out of serving builds (`#[cfg(test)]` / `#[cfg(loom)]`)
+//! are excluded from both resolution and traversal.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::lexer::Line;
+use crate::scanner::{calls_in, scan_file, struct_fields, CallKind, FnItem};
+
+/// One lexed workspace source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// File stem (`pool` for `crates/sync/src/pool.rs`).
+    pub stem: String,
+    /// Cargo package the file belongs to (`mri-sync` for
+    /// `crates/sync/...`; the root `src/` tree is the umbrella `mri`).
+    pub package: String,
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    pub fn new(rel: &str, source: &str) -> SourceFile {
+        let stem = rel
+            .rsplit('/')
+            .next()
+            .unwrap_or(rel)
+            .trim_end_matches(".rs")
+            .to_string();
+        SourceFile {
+            rel: rel.to_string(),
+            stem,
+            package: package_of(rel),
+            lines: crate::lexer::split_lines(source),
+        }
+    }
+}
+
+/// Package name for a workspace-relative path.
+pub fn package_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let dir = rest.split('/').next().unwrap_or(rest);
+        format!("mri-{dir}")
+    } else {
+        "mri".to_string()
+    }
+}
+
+/// Transitive dependency closures per package (each package contains
+/// itself). An empty map disables package filtering (fixture graphs).
+pub type DepClosure = HashMap<String, HashSet<String>>;
+
+/// Parses `[dependencies]` sections of every workspace `Cargo.toml` under
+/// `root` into a transitive closure. Dev-dependencies are excluded on
+/// purpose: they do not exist in serving builds, and including them would
+/// let call edges flow backwards through test-only links.
+pub fn dep_closure(root: &std::path::Path) -> DepClosure {
+    let mut direct: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut manifests: Vec<(String, std::path::PathBuf)> =
+        vec![("mri".to_string(), root.join("Cargo.toml"))];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().to_string();
+            let manifest = entry.path().join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push((format!("mri-{name}"), manifest));
+            }
+        }
+    }
+    for (pkg, manifest) in manifests {
+        let deps = direct.entry(pkg.clone()).or_default();
+        deps.insert(pkg);
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let mut in_deps = false;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_deps = t == "[dependencies]";
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if name.starts_with("mri") || name == "xtask" {
+                deps.insert(name);
+            }
+        }
+    }
+    // Transitive closure by iteration (the workspace graph is tiny).
+    loop {
+        let mut grew = false;
+        let snapshot = direct.clone();
+        for deps in direct.values_mut() {
+            let extra: Vec<String> = deps
+                .iter()
+                .flat_map(|d| snapshot.get(d).into_iter().flatten())
+                .filter(|d| !deps.contains(*d))
+                .cloned()
+                .collect();
+            if !extra.is_empty() {
+                grew = true;
+                deps.extend(extra);
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    direct
+}
+
+/// A serving root: optional container (impl type) plus function name.
+#[derive(Debug, Clone, Copy)]
+pub struct RootSpec {
+    pub container: Option<&'static str>,
+    pub name: &'static str,
+}
+
+/// The call graph: all scanned items plus resolved edges.
+pub struct Graph {
+    pub fns: Vec<FnItem>,
+    /// Callee item indices per item (deduplicated, live items only).
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Scans every file and resolves every call site. `deps` restricts
+    /// edges to each caller package's dependency closure (empty = off).
+    pub fn build(files: &[SourceFile], deps: &DepClosure) -> Graph {
+        let mut fns: Vec<FnItem> = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            fns.extend(scan_file(fi, &f.lines));
+        }
+        // name -> live item indices
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, item) in fns.iter().enumerate() {
+            if !item.skipped {
+                by_name.entry(item.name.as_str()).or_default().push(i);
+            }
+        }
+        // struct -> field -> declared type base; ambiguous fields removed.
+        let mut fields: HashMap<(String, String), Option<String>> = HashMap::new();
+        for f in files {
+            for (sname, fname, fty) in struct_fields(&f.lines) {
+                match fields.entry((sname, fname)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(Some(fty));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if e.get().as_deref() != Some(fty.as_str()) {
+                            e.insert(None); // conflicting declarations
+                        }
+                    }
+                }
+            }
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (i, item) in fns.iter().enumerate() {
+            if item.skipped {
+                continue;
+            }
+            let caller_pkg = &files[item.file].package;
+            let allowed = |callee: usize| -> bool {
+                deps.is_empty()
+                    || deps
+                        .get(caller_pkg)
+                        .is_none_or(|cl| cl.contains(&files[fns[callee].file].package))
+            };
+            let mut seen: HashSet<usize> = HashSet::new();
+            for call in calls_in(&files[item.file].lines, item) {
+                for callee in resolve(&call.kind, item, &fns, &by_name, files, &fields) {
+                    if callee != i && allowed(callee) && seen.insert(callee) {
+                        edges[i].push(callee);
+                    }
+                }
+            }
+        }
+        Graph { fns, edges }
+    }
+
+    /// Item indices matching a root spec (live items only).
+    pub fn find_roots(&self, spec: RootSpec) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                !f.skipped
+                    && f.name == spec.name
+                    && match spec.container {
+                        Some(c) => f.container.as_deref() == Some(c),
+                        None => f.container.is_none(),
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS from `roots`; returns `reached[item] = Some(parent)` (roots are
+    /// their own parent) for every reachable item.
+    pub fn reachable(&self, roots: &[usize]) -> HashMap<usize, usize> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.edges[cur] {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(cur);
+                    queue.push_back(next);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Root-to-item call path for diagnostics: `a -> b -> c`.
+    pub fn path_to(&self, parent: &HashMap<usize, usize>, item: usize) -> String {
+        let mut chain = vec![item];
+        let mut cur = item;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain
+            .iter()
+            .rev()
+            .map(|&i| self.label(i))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// `Container::name` or `name` for diagnostics.
+    pub fn label(&self, item: usize) -> String {
+        let f = &self.fns[item];
+        match &f.container {
+            Some(c) => format!("{c}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+}
+
+/// Resolves one call site to candidate item indices (empty = no edge).
+fn resolve(
+    kind: &CallKind,
+    caller: &FnItem,
+    fns: &[FnItem],
+    by_name: &HashMap<&str, Vec<usize>>,
+    files: &[SourceFile],
+    fields: &HashMap<(String, String), Option<String>>,
+) -> Vec<usize> {
+    let candidates =
+        |name: &str| -> &[usize] { by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[]) };
+    match kind {
+        CallKind::SelfFieldMethod { field, name } => {
+            // The field's declared type narrows resolution; fall back to
+            // unknown-receiver behavior when the type is not a workspace
+            // struct field we recognize (or carries no method of that name,
+            // e.g. a smart-pointer deref).
+            let all = candidates(name);
+            if let Some(container) = &caller.container {
+                if let Some(Some(fty)) = fields.get(&(container.clone(), field.clone())) {
+                    let narrowed: Vec<usize> = all
+                        .iter()
+                        .copied()
+                        .filter(|&i| fns[i].container.as_deref() == Some(fty.as_str()))
+                        .collect();
+                    if !narrowed.is_empty() {
+                        return narrowed;
+                    }
+                }
+            }
+            all.iter()
+                .copied()
+                .filter(|&i| fns[i].container.is_some())
+                .collect()
+        }
+        CallKind::Qualified { qual, name } => {
+            let all = candidates(name);
+            let by_container: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].container.as_deref() == Some(qual.as_str()))
+                .collect();
+            if !by_container.is_empty() {
+                return by_container;
+            }
+            let by_scope: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    fns[i].container.is_none()
+                        && (fns[i].module.as_deref() == Some(qual.as_str())
+                            || files[fns[i].file].stem == *qual)
+                })
+                .collect();
+            by_scope // unknown qualifier: no edge, by design
+        }
+        CallKind::SelfMethod(name) => {
+            let all = candidates(name);
+            if let Some(container) = &caller.container {
+                let own: Vec<usize> = all
+                    .iter()
+                    .copied()
+                    .filter(|&i| fns[i].container.as_deref() == Some(container.as_str()))
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+            all.iter()
+                .copied()
+                .filter(|&i| fns[i].container.is_some())
+                .collect()
+        }
+        CallKind::Method(name) => candidates(name)
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].container.is_some())
+            .collect(),
+        CallKind::Bare(name) => {
+            let all = candidates(name);
+            let same_file: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| fns[i].container.is_none() && fns[i].file == caller.file)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            all.iter()
+                .copied()
+                .filter(|&i| fns[i].container.is_none())
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(files: &[(&str, &str)]) -> (Graph, Vec<SourceFile>) {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, src)| SourceFile::new(rel, src))
+            .collect();
+        (Graph::build(&sources, &DepClosure::new()), sources)
+    }
+
+    const ENGINE: &str = "\
+impl Engine {
+    pub fn run(&self) {
+        self.step();
+        helper();
+        kernel::dot(1);
+    }
+    fn step(&self) {
+        Other::make();
+    }
+}
+
+fn helper() {
+    Vec::new();
+}
+";
+
+    const KERNEL: &str = "\
+pub fn dot(n: usize) -> usize {
+    inner(n)
+}
+
+fn inner(n: usize) -> usize {
+    n
+}
+
+pub struct Other;
+
+impl Other {
+    pub fn make() -> Other {
+        Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_only() {
+        super::inner(3);
+    }
+}
+";
+
+    #[test]
+    fn reachability_follows_methods_bare_and_qualified_calls() {
+        let (g, _) = graph(&[("src/engine.rs", ENGINE), ("src/kernel.rs", KERNEL)]);
+        let roots = g.find_roots(RootSpec {
+            container: Some("Engine"),
+            name: "run",
+        });
+        assert_eq!(roots.len(), 1);
+        let reached = g.reachable(&roots);
+        let names: Vec<String> = reached.keys().map(|&i| g.label(i)).collect();
+        for expect in [
+            "Engine::run",
+            "Engine::step",
+            "helper",
+            "dot",
+            "inner",
+            "Other::make",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expect),
+                "missing {expect} in {names:?}"
+            );
+        }
+        // `Vec::new` has an unknown qualifier: no edge to `Other::make`'s
+        // namesakes or anything else from `helper` beyond what it calls.
+        assert!(!names.iter().any(|n| n == "test_only"));
+    }
+
+    #[test]
+    fn unknown_qualifier_produces_no_edge() {
+        let (g, _) = graph(&[(
+            "src/a.rs",
+            "fn caller() {\n    Foo::new();\n}\n\nimpl Bar {\n    fn new() -> Bar {\n        Bar\n    }\n}\n",
+        )]);
+        let roots = g.find_roots(RootSpec {
+            container: None,
+            name: "caller",
+        });
+        let reached = g.reachable(&roots);
+        assert_eq!(reached.len(), 1, "only the root itself");
+    }
+
+    #[test]
+    fn module_qualified_calls_resolve_to_inline_mod_fns() {
+        let src = "\
+pub fn entry() {
+    runtime::global();
+}
+
+mod runtime {
+    pub fn global() -> usize {
+        7
+    }
+}
+";
+        let (g, _) = graph(&[("src/pool.rs", src)]);
+        let roots = g.find_roots(RootSpec {
+            container: None,
+            name: "entry",
+        });
+        let reached = g.reachable(&roots);
+        assert!(reached.keys().any(|&i| g.fns[i].name == "global"));
+    }
+
+    #[test]
+    fn path_to_reports_the_call_chain() {
+        let (g, _) = graph(&[("src/engine.rs", ENGINE), ("src/kernel.rs", KERNEL)]);
+        let roots = g.find_roots(RootSpec {
+            container: Some("Engine"),
+            name: "run",
+        });
+        let reached = g.reachable(&roots);
+        let inner = g
+            .fns
+            .iter()
+            .position(|f| f.name == "inner" && !f.skipped)
+            .unwrap();
+        let path = g.path_to(&reached, inner);
+        assert_eq!(path, "Engine::run -> dot -> inner");
+    }
+}

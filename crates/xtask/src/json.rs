@@ -2,9 +2,14 @@
 //!
 //! xtask is deliberately dependency-free (see `Cargo.toml`), so the
 //! `BENCH_*.json` files are parsed with this ~150-line recursive-descent
-//! reader instead of `serde_json`. It accepts the full JSON grammar; the
-//! only deliberate simplification is that numbers are held as `f64`
-//! (plenty for nanosecond counters well below 2^53).
+//! reader instead of `serde_json`. It accepts the full JSON grammar with
+//! two deliberate simplifications: numbers are held as `f64` (plenty for
+//! nanosecond counters well below 2^53), and container nesting is capped
+//! at [`MAX_DEPTH`] so a corrupted ledger cannot overflow the stack.
+//!
+//! Hardening contract: `parse` returns `Err` on every malformed input —
+//! it never panics and never recurses unboundedly. `perf-check` maps any
+//! `Err` to exit code 2 (unusable ledger), distinct from a failing gate.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,11 +70,17 @@ impl Value {
     }
 }
 
+/// Deepest container nesting `parse` accepts. A hostile or corrupted
+/// ledger full of `[[[[…` must produce `Err`, not a stack overflow — the
+/// perf gate's contract is "exit 2 on unusable input, never crash".
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
 pub fn parse(src: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: src.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -83,6 +94,7 @@ pub fn parse(src: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -131,12 +143,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("document nests deeper than MAX_DEPTH"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(fields));
         }
         loop {
@@ -151,6 +173,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(fields));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -160,10 +183,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Value, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -174,6 +199,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -211,9 +237,12 @@ impl Parser<'_> {
                 Some(_) => {
                     // Multi-byte UTF-8 passes through verbatim: re-slice the
                     // source as str from the current byte.
-                    let rest = &self.bytes[self.pos..];
+                    let rest = self.bytes.get(self.pos..).unwrap_or_default();
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -259,10 +288,13 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number slice");
-        s.parse::<f64>()
+        let slice = self.bytes.get(start..self.pos).unwrap_or_default();
+        std::str::from_utf8(slice)
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
             .map(Value::Num)
-            .map_err(|_| self.err("bad number"))
+            .ok_or_else(|| self.err("bad number"))
     }
 }
 
@@ -315,5 +347,53 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\q\""] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // One past the cap must error; at the cap must parse.
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&deep).unwrap_err().contains("MAX_DEPTH"));
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        // Alternating container kinds count against the same budget.
+        let alt = "[{\"k\":".repeat(MAX_DEPTH) + "1" + &"}]".repeat(MAX_DEPTH);
+        assert!(parse(&alt).is_err());
+        // A pathological 64 KiB bracket run from a truncated write.
+        let truncated = "[".repeat(65536);
+        assert!(parse(&truncated).is_err());
+    }
+
+    #[test]
+    fn fuzz_corrupted_ledgers_never_panic() {
+        // Deterministic mutation sweep over a valid ledger: truncations,
+        // byte flips, and splices at every position. `parse` must return
+        // without panicking on every variant (Ok or Err both fine).
+        let seed = r#"{"schema_version":1,"records":[{"git_rev":"abc","host":"h","mode":"release","probes":[{"name":"m","wall_ns":12,"alloc_bytes":3}]}]}"#;
+        for i in 0..seed.len() {
+            let _ = parse(&seed[..i]);
+            let _ = parse(&seed[i..]);
+            for splice in ["\"", "\\u00", "{", "[", "}", "]", ",", "1e999", "-", "\\"] {
+                let mut s = String::with_capacity(seed.len() + splice.len());
+                s.push_str(&seed[..i]);
+                s.push_str(splice);
+                s.push_str(&seed[i..]);
+                let _ = parse(&s);
+            }
+        }
+        // Every single-byte document.
+        for b in 0u8..=255 {
+            if let Ok(s) = std::str::from_utf8(&[b]) {
+                let _ = parse(s);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        // `1e999` overflows f64 to infinity; the reader rejects it so
+        // `as_u64`/`as_f64` never hand non-finite values to the perf gate.
+        assert!(parse("1e999").is_err());
+        assert!(parse("-1e999").is_err());
     }
 }

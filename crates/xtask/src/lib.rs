@@ -16,10 +16,13 @@
 
 use std::path::{Path, PathBuf};
 
+pub mod analyze;
+pub mod callgraph;
 pub mod json;
 pub mod lexer;
 pub mod perf;
 pub mod rules;
+pub mod scanner;
 
 /// One lint violation.
 #[derive(Debug, Clone)]
@@ -102,7 +105,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     Ok(report)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();

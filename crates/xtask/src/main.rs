@@ -1,21 +1,27 @@
-//! `cargo run -p xtask -- <lint|perf-check> [--root PATH]`
+//! `cargo run -p xtask -- <lint|analyze|perf-check> [--root PATH]`
 //!
 //! `lint` exits 0 when the workspace is clean, 1 with one `path:line:
-//! [rule] message` diagnostic per finding otherwise. `perf-check` (extra
-//! flags: `--wall-tol F`, `--alloc-tol F`) exits 0 when the newest
-//! `BENCH_*.json` records are within tolerance of their predecessors, 1 on
-//! a regression, 2 on unusable ledgers or bad usage.
+//! [rule] message` diagnostic per finding otherwise. `analyze` runs the
+//! static safety analyses (serve-no-panic call-graph walk, the packed
+//! accumulator overflow proof, the unsafe-obligation ledger — DESIGN.md
+//! §15), writes `results/analyze.json` and `UNSAFETY.md`, and exits like
+//! `lint` (2 when the workspace cannot be walked or artifacts cannot be
+//! written). `perf-check` (extra flags: `--wall-tol F`, `--alloc-tol F`)
+//! exits 0 when the newest `BENCH_*.json` records are within tolerance of
+//! their predecessors, 1 on a regression, 2 on unusable ledgers or bad
+//! usage.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: cargo run -p xtask -- <lint|perf-check> [--root PATH] [--wall-tol F] [--alloc-tol F]";
+    "usage: cargo run -p xtask -- <lint|analyze|perf-check> [--root PATH] [--wall-tol F] [--alloc-tol F]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some("perf-check") => perf_check(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -89,6 +95,67 @@ fn perf_check(args: &[String]) -> ExitCode {
     } else {
         println!("xtask perf-check: ok");
         ExitCode::SUCCESS
+    }
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let root = match args {
+        [] => match parse_root(args) {
+            Some(p) => p,
+            None => return ExitCode::from(2),
+        },
+        [flag, path] if flag == "--root" => PathBuf::from(path),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match xtask::analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let results_dir = root.join("results");
+    let write = |path: &std::path::Path, text: String| -> std::io::Result<()> {
+        std::fs::write(path, text)
+    };
+    if let Err(e) = std::fs::create_dir_all(&results_dir)
+        .and_then(|()| {
+            write(
+                &results_dir.join("analyze.json"),
+                xtask::analyze::render_json(&report),
+            )
+        })
+        .and_then(|()| {
+            write(
+                &root.join("UNSAFETY.md"),
+                xtask::analyze::render_unsafety_md(&report),
+            )
+        })
+    {
+        eprintln!("xtask analyze: failed to write report artifacts: {e}");
+        return ExitCode::from(2);
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "xtask analyze: {} files, {} roots, {} reachable fns, {} justified panic escapes, {} unsafe sites, {} overflow chains",
+        report.files_checked,
+        report.no_panic.roots.len(),
+        report.no_panic.reachable_fns,
+        report.no_panic.escaped,
+        report.unsafe_sites.len(),
+        report.chains.len(),
+    );
+    if report.ok() {
+        println!("xtask analyze: clean (results/analyze.json, UNSAFETY.md written)");
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask analyze: {} finding(s)", report.findings.len());
+        ExitCode::FAILURE
     }
 }
 

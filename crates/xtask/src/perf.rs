@@ -346,6 +346,34 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_ledgers_error_without_panicking() {
+        // Fuzz-style sweep: every prefix/suffix truncation and a grab bag
+        // of type confusions must come back as `Err`, never a panic — the
+        // CLI maps these to exit 2.
+        let good = ledger(&[("aaa", "ci", "fast", 1000, 64)]);
+        for i in 0..good.len() {
+            if i > 0 {
+                assert!(check_ledger_str(&good[..i], "t", 1.5, 1.25).is_err());
+            }
+            let _ = check_ledger_str(&good[i..], "t", 1.5, 1.25);
+        }
+        for bad in [
+            r#"{"schema_version": 1, "records": 7}"#,
+            r#"{"schema_version": 1, "records": [null]}"#,
+            r#"{"schema_version": 1, "records": [{"probes": []}]}"#,
+            r#"{"schema_version": 1, "records": [{"git_rev": 1, "host": "h", "mode": "m", "probes": []}]}"#,
+            r#"{"schema_version": 1, "records": [{"git_rev": "a", "host": "h", "mode": "m", "probes": [{}]}]}"#,
+            r#"{"schema_version": 1, "records": [{"git_rev": "a", "host": "h", "mode": "m", "probes": [{"name": "p", "wall_ns": -4, "alloc_bytes": 0}]}]}"#,
+            r#"{"schema_version": 1, "records": [{"git_rev": "a", "host": "h", "mode": "m", "probes": [{"name": "p", "wall_ns": 1.5, "alloc_bytes": 0}]}]}"#,
+            r#"{"schema_version": "1", "records": []}"#,
+            "[1, 2, 3]",
+            "null",
+        ] {
+            assert!(check_ledger_str(bad, "t", 1.5, 1.25).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
     fn unusable_ledgers_are_hard_errors() {
         assert!(check_ledger_str("", "t", 1.5, 1.25).is_err());
         assert!(check_ledger_str("{}", "t", 1.5, 1.25).is_err());

@@ -286,7 +286,7 @@ fn safety_comment(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
 }
 
 /// True when `word` occurs in `code` with identifier boundaries.
-fn has_word(code: &str, word: &str) -> bool {
+pub(crate) fn has_word(code: &str, word: &str) -> bool {
     let mut from = 0;
     while let Some(pos) = code[from..].find(word) {
         let abs = from + pos;

@@ -1,0 +1,976 @@
+//! A lightweight item/expression scanner over the lexed line stream.
+//!
+//! The analyze pass (`cargo run -p xtask -- analyze`) needs more structure
+//! than the per-line lint rules: which function a line belongs to, which
+//! `impl` block owns that function, and what the function's body calls.
+//! A full AST is still the wrong tool — the pass keys on comments
+//! (`analyze: allow(...)` escapes, `SAFETY:` obligations) that `syn`
+//! discards — so this module recovers just enough item structure lexically:
+//!
+//! * function items with their body line spans, enclosing `impl` type and
+//!   enclosing inline `mod`;
+//! * call expressions (`name(...)`, `recv.name(...)`, `Path::name(...)`)
+//!   for the conservative call graph;
+//! * panic sources (panic-family macros, `unwrap`/`expect`, bracket
+//!   indexing, `let`-destructured slice patterns, integer division by a
+//!   named divisor).
+//!
+//! The scanner assumes rustfmt-normalized sources (one item header per
+//! line), which `scripts/check.sh` enforces with `cargo fmt --check`
+//! before the analyze step ever runs. String and char literal contents are
+//! already blanked by [`crate::lexer`], so literals can neither hide nor
+//! fake an expression.
+
+use crate::lexer::Line;
+use crate::rules::has_word;
+
+/// One `fn` item recovered from a source file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index into the caller's file table.
+    pub file: usize,
+    /// Enclosing `impl` type (base identifier), if any: `impl Foo` and
+    /// `impl Trait for Foo` both yield `Foo`.
+    pub container: Option<String>,
+    /// Innermost enclosing inline `mod`, if any.
+    pub module: Option<String>,
+    /// The function name.
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 0-based line of the body's opening `{`.
+    pub body_start: usize,
+    /// 0-based line of the body's closing `}`.
+    pub body_end: usize,
+    /// True for functions compiled out of serving builds: inside a
+    /// `#[cfg(test)]` / `#[cfg(loom)]` module or gated by such an
+    /// attribute directly.
+    pub skipped: bool,
+}
+
+/// One call expression found in a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(...)` — a free-function call.
+    Bare(String),
+    /// `self.name(...)` — a method call on the enclosing impl type.
+    SelfMethod(String),
+    /// `self.field.name(...)` — a method call on one of the enclosing
+    /// type's own fields; the field's declared type narrows resolution.
+    SelfFieldMethod { field: String, name: String },
+    /// `recv.name(...)` — a method call on an unknown receiver.
+    Method(String),
+    /// `qual::name(...)` — `qual` is the last path segment before the name
+    /// (a type, module or crate).
+    Qualified { qual: String, name: String },
+}
+
+/// A call site: the call plus its 0-based line.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub line: usize,
+    pub kind: CallKind,
+}
+
+/// Why a line can panic at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `panic!` / `assert!` / `unreachable!` / `unimplemented!` / `todo!`
+    /// (`debug_assert*` is exempt: compiled out of release serving builds).
+    Macro,
+    /// `.unwrap()` / `.expect(...)` (and their `_err` variants).
+    Unwrap,
+    /// Bracket indexing or slicing (`x[i]`, `x[a..b]`).
+    Index,
+    /// `/` or `%` with a named (non-literal, non-parenthesized) divisor.
+    Div,
+    /// An irrefutable `let [a, b, ..] = ...` slice pattern.
+    SlicePattern,
+}
+
+/// One panic source: 0-based line, kind and the matched token for the
+/// diagnostic.
+#[derive(Debug, Clone)]
+pub struct PanicSource {
+    pub line: usize,
+    pub kind: PanicKind,
+    pub what: String,
+}
+
+/// Keywords that look like `ident(` call sites but are not.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "in", "as", "where", "impl", "dyn", "unsafe", "pub", "use", "mod",
+    "struct", "enum", "trait", "type", "const", "static", "crate", "super", "Self", "self",
+];
+
+/// Macros whose expansion panics (release builds included).
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "unimplemented",
+    "todo",
+];
+
+/// Whether an attribute line gates its item out of serving builds
+/// (`cfg(test)` / `cfg(loom)`, including `cfg(all(test, ...))` forms).
+/// `not(test)` / `not(loom)` are stripped first so negative gates keep
+/// their items in scope.
+fn cfg_gated_out(attr: &str) -> bool {
+    if !attr.contains("cfg(") {
+        return false;
+    }
+    let cleaned = attr.replace("not(loom)", "").replace("not(test)", "");
+    has_word(&cleaned, "test") || has_word(&cleaned, "loom")
+}
+
+/// The base identifier of a type expression: `pool::SendPtr<T>` → `SendPtr`.
+fn base_ident(ty: &str) -> Option<String> {
+    let ty = ty.trim();
+    let ty = ty.split('<').next().unwrap_or(ty);
+    let seg = ty.rsplit("::").next().unwrap_or(ty).trim();
+    let ident: String = seg
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// Extracts the impl'd type from an `impl` header line, if this is one.
+fn impl_header_ty(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t
+        .strip_prefix("unsafe impl")
+        .or_else(|| t.strip_prefix("impl"))?;
+    // `impl` must be the keyword, not a prefix of an identifier.
+    if rest
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    // Skip the generic parameter list right after `impl`, if present.
+    let rest = rest.trim_start();
+    let rest = if let Some(stripped) = rest.strip_prefix('<') {
+        let mut depth = 1usize;
+        let mut idx = 0usize;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        idx = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        &stripped[idx..]
+    } else {
+        rest
+    };
+    let rest = rest
+        .split(" where ")
+        .next()
+        .unwrap_or(rest)
+        .split('{')
+        .next()
+        .unwrap_or(rest);
+    let ty = match rest.find(" for ") {
+        Some(pos) => &rest[pos + 5..],
+        None => rest,
+    };
+    base_ident(ty)
+}
+
+/// Extracts the function name from a `fn` header on this line, if any.
+fn fn_header_name(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("fn ") {
+        let abs = from + pos;
+        let boundary = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            let rest = &code[abs + 3..];
+            let name: String = rest
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+        from = abs + 3;
+        if from >= bytes.len() {
+            break;
+        }
+    }
+    None
+}
+
+/// The name of an inline `mod` opened on this line (`mod foo {`), if any.
+fn mod_header_name(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t
+        .strip_prefix("pub mod ")
+        .or_else(|| t.strip_prefix("mod "))
+        .or_else(|| {
+            t.strip_prefix("pub(crate) mod ")
+                .or_else(|| t.strip_prefix("pub(super) mod "))
+        })?;
+    if !t.contains('{') {
+        return None; // `mod foo;` declaration, not an inline module
+    }
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// A pending item header waiting for its opening `{` (or a `;` that makes
+/// it a bodyless declaration).
+enum Pending {
+    Fn { name: String, sig_line: usize },
+    Impl(Option<String>),
+    Mod(String),
+}
+
+enum Ctx {
+    /// `(depth inside the block, impl type)`.
+    Impl(usize, Option<String>),
+    Mod(usize, String),
+    Fn(usize, usize),
+}
+
+/// Scans one lexed file into its function items. `file` is the caller's
+/// index for this file (stored on each item).
+pub fn scan_file(file: usize, lines: &[Line]) -> Vec<FnItem> {
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut ctx: Vec<Ctx> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut depth = 0usize;
+    let mut skip_floor: Option<usize> = None;
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if pending.is_none() {
+            if let Some(name) = fn_header_name(code) {
+                pending = Some(Pending::Fn { name, sig_line: i });
+            } else if let Some(name) = mod_header_name(code) {
+                pending = Some(Pending::Mod(name));
+            } else if code.trim_start().starts_with("impl")
+                || code.trim_start().starts_with("unsafe impl")
+            {
+                if let Some(ty) = impl_header_ty(code) {
+                    pending = Some(Pending::Impl(Some(ty)));
+                } else if impl_is_header(code) {
+                    pending = Some(Pending::Impl(None));
+                }
+            }
+        }
+        let mut bracket = 0usize;
+        for c in code.chars() {
+            match c {
+                '(' | '[' => bracket += 1,
+                ')' | ']' => bracket = bracket.saturating_sub(1),
+                ';' if bracket == 0 && depth_open_pending(&pending) => {
+                    // A bodyless declaration (`fn f(...);`, `mod m;`).
+                    pending = None;
+                }
+                '{' => {
+                    depth += 1;
+                    match pending.take() {
+                        Some(Pending::Fn { name, sig_line }) => {
+                            let gated = attrs_gate_out(lines, sig_line);
+                            let container = ctx.iter().rev().find_map(|c| match c {
+                                Ctx::Impl(_, ty) => Some(ty.clone()),
+                                _ => None,
+                            });
+                            let module = ctx.iter().rev().find_map(|c| match c {
+                                Ctx::Mod(_, name) => Some(name.clone()),
+                                _ => None,
+                            });
+                            items.push(FnItem {
+                                file,
+                                container: container.flatten(),
+                                module,
+                                name,
+                                sig_line,
+                                body_start: i,
+                                body_end: i, // patched on close
+                                skipped: gated || skip_floor.is_some(),
+                            });
+                            ctx.push(Ctx::Fn(depth, items.len() - 1));
+                        }
+                        Some(Pending::Impl(ty)) => ctx.push(Ctx::Impl(depth, ty)),
+                        Some(Pending::Mod(name)) => {
+                            if skip_floor.is_none() && mod_gated_out(lines, i) {
+                                skip_floor = Some(depth);
+                            }
+                            ctx.push(Ctx::Mod(depth, name));
+                        }
+                        None => {}
+                    }
+                }
+                '}' => {
+                    if let Some(last) = ctx.last() {
+                        let open = match last {
+                            Ctx::Impl(d, _) => *d,
+                            Ctx::Mod(d, _) => *d,
+                            Ctx::Fn(d, _) => *d,
+                        };
+                        if open == depth {
+                            if let Ctx::Fn(_, idx) = ctx.pop().unwrap_or(Ctx::Impl(0, None)) {
+                                if let Some(item) = items.get_mut(idx) {
+                                    item.body_end = i;
+                                }
+                            }
+                        }
+                    }
+                    if skip_floor == Some(depth) {
+                        skip_floor = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+    }
+    items
+}
+
+/// Named-field `struct` declarations: `(struct, field, field type base
+/// ident)` triples. Used to narrow `self.field.method(...)` resolution to
+/// the field's declared type (DESIGN.md §15).
+pub fn struct_fields(lines: &[Line]) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let mut cur: Option<(String, usize)> = None; // (struct name, open depth)
+    let mut depth = 0usize;
+    for line in lines {
+        let code = line.code.trim();
+        if cur.is_none() {
+            if let Some(rest) = code
+                .strip_prefix("pub struct ")
+                .or_else(|| code.strip_prefix("struct "))
+                .or_else(|| code.strip_prefix("pub(crate) struct "))
+            {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && code.ends_with('{') {
+                    cur = Some((name, depth + 1));
+                }
+            }
+        } else if let Some((sname, open)) = &cur {
+            if depth == *open {
+                // A field line: `pub name: Type,` at the struct's own depth.
+                let f = code
+                    .trim_start_matches("pub(crate) ")
+                    .trim_start_matches("pub ");
+                if let Some((fname, fty)) = f.split_once(':') {
+                    let fname = fname.trim();
+                    if !fname.is_empty()
+                        && fname.chars().all(|c| c.is_alphanumeric() || c == '_')
+                        && !fname.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    {
+                        let fty = fty.trim_end_matches(',');
+                        if let Some(base) = base_ident(fty) {
+                            out.push((sname.clone(), fname.to_string(), base));
+                        }
+                    }
+                }
+            }
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    if let Some((_, open)) = &cur {
+                        if depth == *open {
+                            cur = None;
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Per-line flags: true inside a module gated out of serving builds
+/// (`#[cfg(test)]` / `#[cfg(loom)]` mods, tracked by brace depth). Used by
+/// the unsafe ledger, which also inspects lines outside function bodies.
+pub fn gated_regions(lines: &[Line]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut depth = 0usize;
+    let mut skip_floor: Option<usize> = None;
+    let mut pending_mod = false;
+    for (i, line) in lines.iter().enumerate() {
+        if skip_floor.is_some() {
+            flags[i] = true;
+        }
+        let code = line.code.trim_start();
+        if mod_header_name(code).is_some()
+            || code.starts_with("mod ")
+            || code.starts_with("pub mod ")
+        {
+            pending_mod = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending_mod && skip_floor.is_none() && mod_gated_out(lines, i) {
+                        skip_floor = Some(depth);
+                        flags[i] = true;
+                    }
+                    pending_mod = false;
+                }
+                '}' => {
+                    if skip_floor == Some(depth) {
+                        skip_floor = None;
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' => pending_mod = false,
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+/// Whether a pending header is waiting (helper for the `;` disposal above).
+fn depth_open_pending(pending: &Option<Pending>) -> bool {
+    pending.is_some()
+}
+
+/// Whether an `impl`-leading line really is an impl header (vs. `impl Trait`
+/// in a type position, which never starts a line in rustfmt output).
+fn impl_is_header(code: &str) -> bool {
+    let t = code.trim_start();
+    t.starts_with("impl") || t.starts_with("unsafe impl")
+}
+
+/// Whether the attribute lines directly above `sig_line` gate the item out
+/// of serving builds.
+fn attrs_gate_out(lines: &[Line], sig_line: usize) -> bool {
+    let mut i = sig_line;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        let code = l.code.trim();
+        if code.starts_with("#[") || code.starts_with("#!") {
+            if cfg_gated_out(code) {
+                return true;
+            }
+            continue;
+        }
+        if code.is_empty() {
+            continue; // comment-only or blank line between attrs
+        }
+        break;
+    }
+    false
+}
+
+/// Whether the `mod` whose `{` opens on line `open_line` is gated out
+/// (its own header line or the attribute lines above it).
+fn mod_gated_out(lines: &[Line], open_line: usize) -> bool {
+    cfg_gated_out(lines[open_line].code.trim()) || attrs_gate_out(lines, open_line)
+}
+
+/// Extracts call expressions from the body lines of `item`.
+pub fn calls_in(lines: &[Line], item: &FnItem) -> Vec<Call> {
+    let mut out = Vec::new();
+    let last = item.body_end.min(lines.len().saturating_sub(1));
+    for (li, line) in lines.iter().enumerate().take(last + 1).skip(item.sig_line) {
+        let code = &line.code;
+        let chars: Vec<char> = code.chars().collect();
+        for i in 0..chars.len() {
+            if chars[i] != '(' {
+                continue;
+            }
+            // Walk back over an optional turbofish `::<...>`.
+            let mut j = i;
+            if j > 0 && chars[j - 1] == '>' {
+                let mut depth = 0isize;
+                let mut k = j - 1;
+                loop {
+                    match chars[k] {
+                        '>' => depth += 1,
+                        '<' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                if depth == 0 && k >= 2 && chars[k - 1] == ':' && chars[k - 2] == ':' {
+                    j = k - 2;
+                } else {
+                    continue;
+                }
+            }
+            // The callee identifier must end immediately before `j`.
+            let end = j;
+            let mut start = end;
+            while start > 0 {
+                let c = chars[start - 1];
+                if c.is_alphanumeric() || c == '_' {
+                    start -= 1;
+                } else {
+                    break;
+                }
+            }
+            if start == end {
+                continue;
+            }
+            let name: String = chars[start..end].iter().collect();
+            if name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if KEYWORDS.contains(&name.as_str()) {
+                continue;
+            }
+            // `fn name(` is the definition, not a call.
+            if code[..code.char_indices().nth(start).map(|(b, _)| b).unwrap_or(0)]
+                .trim_end()
+                .ends_with("fn")
+            {
+                continue;
+            }
+            let kind = match (start >= 1).then(|| chars[start - 1]) {
+                Some('.') => {
+                    let recv_end = start - 1;
+                    let mut rs = recv_end;
+                    while rs > 0 && (chars[rs - 1].is_alphanumeric() || chars[rs - 1] == '_') {
+                        rs -= 1;
+                    }
+                    let recv: String = chars[rs..recv_end].iter().collect();
+                    if recv == "self" {
+                        CallKind::SelfMethod(name)
+                    } else if rs >= 5
+                        && chars[rs - 1] == '.'
+                        && chars[rs - 5..rs - 1].iter().collect::<String>() == "self"
+                        && (rs == 5 || !(chars[rs - 6].is_alphanumeric() || chars[rs - 6] == '_'))
+                    {
+                        CallKind::SelfFieldMethod { field: recv, name }
+                    } else {
+                        CallKind::Method(name)
+                    }
+                }
+                Some(':') if start >= 2 && chars[start - 2] == ':' => {
+                    let mut qe = start - 2;
+                    // Skip a generic segment like `Foo<T>::name`.
+                    if qe > 0 && chars[qe - 1] == '>' {
+                        let mut depth = 0isize;
+                        let mut k = qe - 1;
+                        loop {
+                            match chars[k] {
+                                '>' => depth += 1,
+                                '<' => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            if k == 0 {
+                                break;
+                            }
+                            k -= 1;
+                        }
+                        if depth == 0 {
+                            qe = k;
+                        }
+                    }
+                    let mut qs = qe;
+                    while qs > 0 && (chars[qs - 1].is_alphanumeric() || chars[qs - 1] == '_') {
+                        qs -= 1;
+                    }
+                    let qual: String = chars[qs..qe].iter().collect();
+                    if qual.is_empty() {
+                        CallKind::Bare(name)
+                    } else {
+                        CallKind::Qualified { qual, name }
+                    }
+                }
+                Some('!') => continue, // macro invocation, handled separately
+                _ => CallKind::Bare(name),
+            };
+            out.push(Call { line: li, kind });
+        }
+    }
+    out
+}
+
+/// Scans the body lines of `item` for panic sources.
+pub fn panic_sources(lines: &[Line], item: &FnItem) -> Vec<PanicSource> {
+    let mut out = Vec::new();
+    let last = item.body_end.min(lines.len().saturating_sub(1));
+    for (li, line) in lines.iter().enumerate().take(last + 1).skip(item.sig_line) {
+        let code = &line.code;
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("#[") || trimmed.starts_with("#!") {
+            continue;
+        }
+        for mac in PANIC_MACROS {
+            let pat = format!("{mac}!");
+            if contains_word_prefix(code, &pat) {
+                out.push(PanicSource {
+                    line: li,
+                    kind: PanicKind::Macro,
+                    what: format!("{mac}!"),
+                });
+            }
+        }
+        for m in [".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("] {
+            if code.contains(m) {
+                out.push(PanicSource {
+                    line: li,
+                    kind: PanicKind::Unwrap,
+                    what: m
+                        .trim_start_matches('.')
+                        .trim_end_matches('(')
+                        .trim_end_matches("()")
+                        .to_string(),
+                });
+            }
+        }
+        index_sites(code, li, &mut out);
+        div_sites(code, li, &mut out);
+        slice_pattern_site(trimmed, li, &mut out);
+    }
+    out
+}
+
+/// `pat` occurs in `code` not preceded by an identifier character (so
+/// `debug_assert!` does not match `assert!`).
+fn contains_word_prefix(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pat) {
+        let abs = from + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok {
+            return true;
+        }
+        from = abs + pat.len();
+    }
+    false
+}
+
+/// Bracket indexing/slicing: `[` whose immediately preceding character ends
+/// a value expression. Types (`&[f32]`), array literals (`= [`) and macros
+/// (`vec![`) are naturally excluded by the preceding character.
+fn index_sites(code: &str, li: usize, out: &mut Vec<PanicSource>) {
+    let chars: Vec<char> = code.chars().collect();
+    for i in 1..chars.len() {
+        if chars[i] != '[' {
+            continue;
+        }
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' || p == ')' || p == ']' || p == '?' {
+            let mut start = i - 1;
+            while start > 0 && (chars[start - 1].is_alphanumeric() || chars[start - 1] == '_') {
+                start -= 1;
+            }
+            let what: String = chars[start..i].iter().collect();
+            out.push(PanicSource {
+                line: li,
+                kind: PanicKind::Index,
+                what: format!("{what}[..]"),
+            });
+        }
+    }
+}
+
+/// Integer `/` / `%` with a named divisor. Literal divisors (`x / 2`) and
+/// parenthesized divisors are skipped, as are float-typed numerators that
+/// are lexically evident (`as f32 / n`, `1.0 / n`); this is a heuristic
+/// layer documented in DESIGN.md §15.
+fn div_sites(code: &str, li: usize, out: &mut Vec<PanicSource>) {
+    let chars: Vec<char> = code.chars().collect();
+    for i in 0..chars.len() {
+        let c = chars[i];
+        if c != '/' && c != '%' {
+            continue;
+        }
+        // Not `//`, `*/`, `/*` (already comment-stripped, but stay safe).
+        if i + 1 < chars.len() && (chars[i + 1] == '/' || chars[i + 1] == '*') {
+            continue;
+        }
+        if i > 0 && (chars[i - 1] == '/' || chars[i - 1] == '*') {
+            continue;
+        }
+        // Skip `/=`-style compound assignment's rhs check below still applies;
+        // treat the operator position uniformly.
+        let mut j = i + 1;
+        if j < chars.len() && chars[j] == '=' {
+            j += 1;
+        }
+        while j < chars.len() && chars[j] == ' ' {
+            j += 1;
+        }
+        let Some(&first) = chars.get(j) else { continue };
+        if !(first.is_alphabetic() || first == '_') {
+            continue; // literal, parenthesized or missing divisor
+        }
+        // Lexically-evident float numerator: `... as f32 / x`, `1.0 / x`.
+        let lhs = code[..code.char_indices().nth(i).map(|(b, _)| b).unwrap_or(0)].trim_end();
+        if lhs.ends_with("f32") || lhs.ends_with("f64") {
+            continue;
+        }
+        if lhs
+            .rsplit(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '_'))
+            .next()
+            .is_some_and(|tok| tok.contains('.'))
+        {
+            continue;
+        }
+        let mut end = j;
+        while end < chars.len()
+            && (chars[end].is_alphanumeric()
+                || chars[end] == '_'
+                || chars[end] == '.'
+                || chars[end] == ':')
+        {
+            end += 1;
+        }
+        let divisor: String = chars[j..end].iter().collect();
+        // `x as f32 / y as f32` style float divisions name a cast divisor.
+        if divisor == "self" && chars.get(end) != Some(&'.') {
+            continue;
+        }
+        out.push(PanicSource {
+            line: li,
+            kind: PanicKind::Div,
+            what: format!("{c} {divisor}"),
+        });
+    }
+}
+
+/// Irrefutable `let [..] = ...` slice patterns (a `let ... else` is
+/// refutable and diverges explicitly, so it is exempt).
+fn slice_pattern_site(trimmed: &str, li: usize, out: &mut Vec<PanicSource>) {
+    let Some(rest) = trimmed.strip_prefix("let ") else {
+        return;
+    };
+    let rest = rest.trim_start_matches("mut ").trim_start();
+    let pat = rest.strip_prefix('&').unwrap_or(rest);
+    if pat.starts_with('[') && !trimmed.contains(" else ") && !trimmed.ends_with("else {") {
+        out.push(PanicSource {
+            line: li,
+            kind: PanicKind::SlicePattern,
+            what: "let [..] pattern".to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_lines;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        scan_file(0, &split_lines(src))
+    }
+
+    #[test]
+    fn fn_items_with_impl_and_module_context() {
+        let src = "\
+impl FrozenModel {
+    pub fn run(&self) -> usize {
+        self.step()
+    }
+}
+
+mod runtime {
+    pub fn global() -> usize {
+        7
+    }
+}
+
+fn free_helper() {}
+";
+        let got = items(src);
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert_eq!(got[0].name, "run");
+        assert_eq!(got[0].container.as_deref(), Some("FrozenModel"));
+        assert_eq!(got[0].body_end, 3);
+        assert_eq!(got[1].name, "global");
+        assert_eq!(got[1].module.as_deref(), Some("runtime"));
+        assert_eq!(got[2].name, "free_helper");
+        assert_eq!(got[2].container, None);
+    }
+
+    #[test]
+    fn trait_impls_and_generics_resolve_to_base_type() {
+        let src = "\
+impl<'a> std::fmt::Debug for PackedSlice<'a> {
+    fn fmt(&self) -> bool {
+        true
+    }
+}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+";
+        let got = items(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].container.as_deref(), Some("PackedSlice"));
+    }
+
+    #[test]
+    fn cfg_test_and_loom_items_are_skipped() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+
+#[cfg(loom)]
+fn lanes() -> usize {
+    1
+}
+
+#[cfg(not(loom))]
+fn lanes() -> usize {
+    4
+}
+
+#[cfg(all(test, not(loom)))]
+mod more_tests {
+    fn t() {}
+}
+";
+        let got = items(src);
+        let by_skip: Vec<(String, bool)> =
+            got.iter().map(|i| (i.name.clone(), i.skipped)).collect();
+        assert_eq!(
+            by_skip,
+            vec![
+                ("helper".to_string(), true),
+                ("lanes".to_string(), true),
+                ("lanes".to_string(), false),
+                ("t".to_string(), true),
+            ],
+        );
+    }
+
+    #[test]
+    fn bodyless_declarations_are_not_items() {
+        let src = "\
+trait T {
+    fn declared(&self);
+    fn with_default(&self) {
+        ()
+    }
+}
+";
+        let got = items(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "with_default");
+    }
+
+    #[test]
+    fn call_extraction_classifies_kinds() {
+        let src = "\
+fn caller(&self) {
+    helper();
+    self.step(op);
+    ws.drain_counters();
+    FrozenModel::freeze(m);
+    pool::parallel_for(0..n, 4, |r| inner(r));
+    check::<FrozenModel>();
+    vec![0; n];
+}
+";
+        let lines = split_lines(src);
+        let item = &scan_file(0, &lines)[0];
+        let calls: Vec<CallKind> = calls_in(&lines, item).into_iter().map(|c| c.kind).collect();
+        assert!(calls.contains(&CallKind::Bare("helper".to_string())));
+        assert!(calls.contains(&CallKind::SelfMethod("step".to_string())));
+        assert!(calls.contains(&CallKind::Method("drain_counters".to_string())));
+        assert!(calls.contains(&CallKind::Qualified {
+            qual: "FrozenModel".to_string(),
+            name: "freeze".to_string()
+        }));
+        assert!(calls.contains(&CallKind::Qualified {
+            qual: "pool".to_string(),
+            name: "parallel_for".to_string()
+        }));
+        assert!(calls.contains(&CallKind::Bare("inner".to_string())));
+        assert!(
+            calls.contains(&CallKind::Bare("check".to_string())),
+            "{calls:?}"
+        );
+    }
+
+    #[test]
+    fn panic_source_taxonomy() {
+        let src = "\
+fn f(xs: &[f32], n: usize) -> f32 {
+    assert!(n > 0);
+    debug_assert!(n > 0);
+    let v = xs.first().unwrap();
+    let w = xs.last().expect(\"non-empty\");
+    let y = xs[n - 1];
+    let q = n / m;
+    let half = n / 2;
+    let frac = 1.0 / scale;
+    let [a, b] = parts;
+    vec![0.0; n];
+    v + w + y + q as f32 + half as f32 + frac + a + b
+}
+";
+        let lines = split_lines(src);
+        let item = &scan_file(0, &lines)[0];
+        let got = panic_sources(&lines, item);
+        let kinds: Vec<(usize, PanicKind)> = got.iter().map(|p| (p.line + 1, p.kind)).collect();
+        assert!(kinds.contains(&(2, PanicKind::Macro)));
+        assert!(!kinds.iter().any(|(l, _)| *l == 3), "debug_assert exempt");
+        assert!(kinds.contains(&(4, PanicKind::Unwrap)));
+        assert!(kinds.contains(&(5, PanicKind::Unwrap)));
+        assert!(kinds.contains(&(6, PanicKind::Index)));
+        assert!(kinds.contains(&(7, PanicKind::Div)));
+        assert!(!kinds.iter().any(|(l, k)| *l == 8 && *k == PanicKind::Div));
+        assert!(!kinds.iter().any(|(l, k)| *l == 9 && *k == PanicKind::Div));
+        assert!(kinds.contains(&(10, PanicKind::SlicePattern)));
+        assert!(!kinds
+            .iter()
+            .any(|(l, k)| *l == 11 && *k == PanicKind::Index));
+    }
+}

@@ -1,0 +1,270 @@
+//! The analyze pass against its fixtures and against the real workspace:
+//! escape semantics, ledger obligations, the overflow proof's reaction to
+//! widened admission constants, and the seeded-panic demonstration that a
+//! fresh `.unwrap()` inside the serving path fails the gate.
+
+use std::path::PathBuf;
+
+use xtask::analyze::{
+    analyze_sources, overflow_chains, parse_coverage, serve_no_panic, unsafe_ledger, Consts,
+    SERVE_ROOTS,
+};
+use xtask::callgraph::{DepClosure, Graph, RootSpec, SourceFile};
+use xtask::Finding;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p
+}
+
+const FIXTURE_ROOT: &[RootSpec] = &[RootSpec {
+    container: None,
+    name: "serve_entry",
+}];
+
+/// Runs only the serve-no-panic pass over one fixture mounted at `rel`.
+fn no_panic_findings(name: &str, rel: &str) -> (Vec<Finding>, usize) {
+    let files = vec![SourceFile::new(rel, &fixture(name))];
+    let deps = DepClosure::new();
+    let graph = Graph::build(&files, &deps);
+    let mut findings = Vec::new();
+    let result = serve_no_panic(&files, &graph, FIXTURE_ROOT, &mut findings);
+    (findings, result.escaped)
+}
+
+#[test]
+fn panic_fixture_flags_reachable_sources_only() {
+    let (findings, escaped) = no_panic_findings("analyze_panic.rs", "crates/nn/src/fx.rs");
+    let got: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    // Index in stage_one, unwrap and panic! in stage_two; the `.expect` in
+    // `unreached` is invisible to the walk.
+    assert_eq!(
+        got,
+        &[
+            ("serve-no-panic", 10),
+            ("serve-no-panic", 15),
+            ("serve-no-panic", 17),
+        ],
+        "{findings:#?}"
+    );
+    assert_eq!(escaped, 0);
+    // The finding explains the call chain from the root.
+    assert!(
+        findings[0].message.contains("serve_entry"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn escape_fixture_honors_line_and_signature_escapes() {
+    let (findings, escaped) = no_panic_findings("analyze_escapes.rs", "crates/nn/src/fx.rs");
+    let got: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    // Only the justification-less escape still fails; line, signature, and
+    // wrapped multi-line escapes silence their sites.
+    assert_eq!(got, &[("serve-no-panic", 21)], "{findings:#?}");
+    assert!(findings[0].message.contains("missing its justification"));
+    assert_eq!(escaped, 3);
+}
+
+#[test]
+fn unsafe_fixture_ledger_obligations_and_coverage() {
+    let files = vec![SourceFile::new(
+        "crates/nn/src/fx.rs",
+        &fixture("analyze_unsafe.rs"),
+    )];
+    // Coverage present: only the missing SAFETY comment is a finding.
+    let covered = parse_coverage("run_loom \"mri-nn loom_fx\"\ncargo miri test -p mri-nn --lib");
+    let mut findings = Vec::new();
+    let sites = unsafe_ledger(&files, &covered, &mut findings);
+    assert_eq!(sites.len(), 3);
+    let got: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, &[("unsafe-ledger", 11)], "{findings:#?}");
+    assert!(sites[0].obligation.contains("live f32"));
+    assert!(sites[0].coverage.iter().any(|c| c.contains("loom")));
+    assert!(sites[0].coverage.iter().any(|c| c.contains("miri")));
+
+    // No coverage: the uncovered sites fail unless escaped; the escape's
+    // justification reads back in document order.
+    let mut findings = Vec::new();
+    let sites = unsafe_ledger(&files, &parse_coverage(""), &mut findings);
+    let got: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        &[
+            ("unsafe-ledger", 7),
+            ("unsafe-ledger", 11),
+            ("unsafe-ledger", 11),
+        ],
+        "{findings:#?}"
+    );
+    let escaped = &sites[2];
+    assert_eq!(escaped.line, 19);
+    assert_eq!(
+        escaped.coverage,
+        vec![
+            "escaped: exercised indirectly through the pool scope loom tests of the owning package"
+                .to_string()
+        ]
+    );
+}
+
+fn real_consts() -> Consts {
+    Consts {
+        max_packed_exponent: 7,
+        max_packed_group: 256,
+        max_serve_row_groups: 1 << 16,
+        max_group_stack: 32,
+        max_alpha: 38,
+        max_beta: 5,
+        max_data_bits: 8,
+        acc_bits: 32,
+    }
+}
+
+#[test]
+fn overflow_chains_hold_at_current_constants_and_break_when_widened() {
+    let chains = overflow_chains(&real_consts());
+    assert_eq!(chains.len(), 6);
+    assert!(chains.iter().all(|c| c.ok), "{chains:#?}");
+
+    // Widening the per-row group admission past what i64 can absorb must
+    // flip the row-dot chain; the interval arithmetic saturates instead of
+    // wrapping on the way there.
+    let mut wide = real_consts();
+    wide.max_serve_row_groups = 1 << 40;
+    let chains = overflow_chains(&wide);
+    let row_dot = chains.iter().find(|c| c.name == "row-dot-i64").unwrap();
+    assert!(!row_dot.ok, "{row_dot:#?}");
+
+    let mut huge = real_consts();
+    huge.max_packed_exponent = 120; // drives 2^(2e) past u128 mul saturation
+    assert!(overflow_chains(&huge).iter().any(|c| !c.ok));
+}
+
+/// The real workspace passes the full analyze gate. This is the mirror of
+/// `lint_rules::the_workspace_itself_is_clean` for the analyze pass.
+#[test]
+fn the_workspace_itself_passes_analyze() {
+    let report = xtask::analyze::analyze_workspace(&workspace_root()).expect("workspace walks");
+    assert!(
+        report.ok(),
+        "analyze findings on the real workspace:\n{:#?}",
+        report.findings
+    );
+    assert!(report.no_panic.reachable_fns > 50, "roots resolve");
+    assert!(!report.unsafe_sites.is_empty());
+}
+
+/// Acceptance demonstration: seeding one `.unwrap()` into the body of
+/// `FrozenModel::run` makes the pass fail — the no-panic guarantee is
+/// enforced, not aspirational.
+#[test]
+fn seeded_unwrap_in_the_serving_path_fails_the_pass() {
+    let root = workspace_root();
+    let frozen_path = root.join("crates/core/src/frozen.rs");
+    let source = std::fs::read_to_string(&frozen_path).expect("frozen.rs reads");
+    let marker = "shape = self.step(op, spec_idx, shape, ws)?;";
+    assert!(
+        source.contains(marker),
+        "frozen.rs drifted; update the seeded-panic marker"
+    );
+    let seeded = source.replace(
+        marker,
+        "shape = self.step(op, spec_idx, shape, ws).unwrap();",
+    );
+
+    let mut files = xtask::analyze::workspace_sources(&root).expect("workspace walks");
+    let slot = files
+        .iter_mut()
+        .position(|f| f.rel == "crates/core/src/frozen.rs")
+        .expect("frozen.rs is in the walk");
+    files[slot] = SourceFile::new("crates/core/src/frozen.rs", &seeded);
+
+    let check_sh = std::fs::read_to_string(root.join("scripts/check.sh")).unwrap_or_default();
+    let deps = xtask::callgraph::dep_closure(&root);
+    let report = analyze_sources(&files, SERVE_ROOTS, &check_sh, &deps);
+    assert!(!report.ok(), "a seeded unwrap must fail the gate");
+    assert!(
+        report.findings.iter().any(|f| {
+            f.rel == "crates/core/src/frozen.rs"
+                && f.rule == "serve-no-panic"
+                && f.message.contains("unwrap")
+        }),
+        "{:#?}",
+        report.findings
+    );
+}
+
+/// Acceptance demonstration: widening `MAX_PACKED_GROUP` in the real
+/// sources past the u8 index memory breaks the overflow proof.
+#[test]
+fn widened_max_packed_group_fails_the_overflow_proof() {
+    let root = workspace_root();
+    let packed_path = root.join("crates/quant/src/packed.rs");
+    let source = std::fs::read_to_string(&packed_path).expect("packed.rs reads");
+    let marker = "pub const MAX_PACKED_GROUP: usize = 256;";
+    assert!(
+        source.contains(marker),
+        "packed.rs drifted; update the widened-constant marker"
+    );
+    let widened = source.replace(marker, "pub const MAX_PACKED_GROUP: usize = 1 << 33;");
+
+    let mut files = xtask::analyze::workspace_sources(&root).expect("workspace walks");
+    let slot = files
+        .iter_mut()
+        .position(|f| f.rel == "crates/quant/src/packed.rs")
+        .expect("packed.rs is in the walk");
+    files[slot] = SourceFile::new("crates/quant/src/packed.rs", &widened);
+
+    let check_sh = std::fs::read_to_string(root.join("scripts/check.sh")).unwrap_or_default();
+    let deps = xtask::callgraph::dep_closure(&root);
+    let report = analyze_sources(&files, SERVE_ROOTS, &check_sh, &deps);
+    assert!(!report.ok(), "a widened admission constant must fail");
+    let broken: Vec<&str> = report
+        .chains
+        .iter()
+        .filter(|c| !c.ok)
+        .map(|c| c.name)
+        .collect();
+    assert!(broken.contains(&"index-memory-u8"), "{broken:?}");
+    assert!(broken.contains(&"row-dot-i64"), "{broken:?}");
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "overflow" && f.message.contains("can overflow")),
+        "{:#?}",
+        report.findings
+    );
+}
+
+/// The machine-readable report round-trips through the xtask JSON reader
+/// and carries bounds as decimal strings (they can exceed 2^53).
+#[test]
+fn analyze_json_is_parseable_by_the_ledger_reader() {
+    let report = xtask::analyze::analyze_workspace(&workspace_root()).expect("workspace walks");
+    let text = xtask::analyze::render_json(&report);
+    let doc = xtask::json::parse(&text).expect("analyze.json parses");
+    assert_eq!(doc.get("ok"), Some(&xtask::json::Value::Bool(true)));
+    let chains = doc
+        .get("overflow")
+        .and_then(|o| o.get("chains"))
+        .and_then(|c| c.as_array())
+        .expect("chains array");
+    assert_eq!(chains.len(), 6);
+    for c in chains {
+        let bound = c.get("bound").and_then(|b| b.as_str()).expect("bound str");
+        assert!(bound.chars().all(|ch| ch.is_ascii_digit()));
+    }
+}

@@ -100,7 +100,9 @@ fn main() {
                 let mut correct = 0.0f64;
                 let mut total = 0usize;
                 for (x, labels) in eval {
-                    let logits = frozen.run_tensor(i, x, &mut ws);
+                    let logits = frozen
+                        .run_tensor(i, x, &mut ws)
+                        .expect("frozen serving rejected an eval batch");
                     correct += f64::from(accuracy(&logits, labels)) * labels.len() as f64;
                     total += labels.len();
                 }

@@ -30,6 +30,9 @@ cargo fmt --all -- --check
 echo "== xtask lint (repo-specific rules: see crates/xtask/src/rules.rs)"
 cargo run -q -p xtask "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- lint
 
+echo "== xtask analyze (serving-path safety proofs: see DESIGN.md §15)"
+cargo run -q -p xtask "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- analyze
+
 echo "== xtask perf-check (BENCH_*.json perf-trajectory gates)"
 cargo run -q -p xtask "${CARGO_FLAGS[@]+"${CARGO_FLAGS[@]}"}" -- perf-check
 

@@ -23,6 +23,7 @@ pub fn frozen_workload(
         name: name.to_string(),
         layers: frozen
             .geometry(input)
+            .expect("frozen geometry rejected the workload input dims")
             .into_iter()
             .map(|g| LayerShape {
                 name: g.name,
@@ -46,7 +47,9 @@ pub fn frozen_accuracy_table(
             let mut correct_weighted = 0.0f64;
             let mut n_total = 0usize;
             for (x, labels) in eval {
-                let logits = frozen.run_tensor(i, x, &mut ws);
+                let logits = frozen
+                    .run_tensor(i, x, &mut ws)
+                    .expect("frozen serving rejected an eval batch");
                 correct_weighted += f64::from(accuracy(&logits, labels)) * labels.len() as f64;
                 n_total += labels.len();
             }

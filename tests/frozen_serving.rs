@@ -119,7 +119,7 @@ proptest! {
             for (i, spec) in specs.iter().enumerate() {
                 control.set_resolution(spec.resolution());
                 let want = model.forward(&x, Mode::Eval);
-                let (got, shape) = frozen.run(i, &x, &mut ws);
+                let (got, shape) = frozen.run(i, &x, &mut ws).expect("frozen run serves");
                 prop_assert_eq!(
                     shape.dims(),
                     want.dims().to_vec(),
@@ -194,7 +194,11 @@ fn concurrent_frozen_serving_is_bit_identical_to_sequential() {
             let x = &x;
             s.spawn(move || {
                 let mut ws = Workspace::new();
-                *slot = Some(frozen.run_tensor(i, x, &mut ws));
+                *slot = Some(
+                    frozen
+                        .run_tensor(i, x, &mut ws)
+                        .expect("concurrent spec serves"),
+                );
             });
         }
     });
@@ -239,15 +243,15 @@ fn frozen_steady_state_serving_does_not_allocate() {
     let mut ws = Workspace::new();
     // Warm-up: the first pass over every spec may grow the arena.
     for i in 0..specs.len() {
-        let _ = frozen.run(i, &x, &mut ws);
+        let _ = frozen.run(i, &x, &mut ws).expect("warm-up serves");
     }
 
     let before = multi_resolution_inference::telemetry::alloc::thread_stats();
     let mut checksum = 0.0f32;
     for _ in 0..3 {
         for i in 0..specs.len() {
-            let (out, _) = frozen.run(i, &x, &mut ws);
-            checksum += out[0];
+            let (out, _) = frozen.run(i, &x, &mut ws).expect("steady-state serves");
+            checksum += out.first().copied().unwrap_or_default();
         }
     }
     let after = multi_resolution_inference::telemetry::alloc::thread_stats();
